@@ -1,0 +1,118 @@
+package rem_test
+
+import (
+	"testing"
+
+	"rem"
+)
+
+// benchExperiment runs one paper table/figure driver per iteration at
+// quick scale. The benchmark names map one-to-one onto the paper's
+// evaluation artifacts (see DESIGN.md's per-experiment index); run a
+// specific one with e.g.
+//
+//	go test -bench=BenchmarkTable5 -benchtime=1x
+//
+// and regenerate the full-scale numbers with cmd/remeval.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	cfg := rem.QuickExperimentConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := rem.RunExperiment(id, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Tables) == 0 && len(rep.Series) == 0 {
+			b.Fatalf("%s: empty report", id)
+		}
+	}
+}
+
+// Tables.
+
+func BenchmarkTable2(b *testing.B) { benchExperiment(b, "table2") }
+func BenchmarkTable3(b *testing.B) { benchExperiment(b, "table3") }
+func BenchmarkTable4(b *testing.B) { benchExperiment(b, "table4") }
+func BenchmarkTable5(b *testing.B) { benchExperiment(b, "table5") }
+
+// Figures.
+
+func BenchmarkFig2a(b *testing.B)  { benchExperiment(b, "fig2a") }
+func BenchmarkFig2b(b *testing.B)  { benchExperiment(b, "fig2b") }
+func BenchmarkFig3(b *testing.B)   { benchExperiment(b, "fig3") }
+func BenchmarkFig4(b *testing.B)   { benchExperiment(b, "fig4") }
+func BenchmarkFig9(b *testing.B)   { benchExperiment(b, "fig9") }
+func BenchmarkFig10(b *testing.B)  { benchExperiment(b, "fig10") }
+func BenchmarkFig11(b *testing.B)  { benchExperiment(b, "fig11") }
+func BenchmarkFig12(b *testing.B)  { benchExperiment(b, "fig12") }
+func BenchmarkFig13(b *testing.B)  { benchExperiment(b, "fig13") }
+func BenchmarkFig14a(b *testing.B) { benchExperiment(b, "fig14a") }
+func BenchmarkFig14b(b *testing.B) { benchExperiment(b, "fig14b") }
+func BenchmarkFig15(b *testing.B)  { benchExperiment(b, "fig15") }
+
+// Ablations (design choices called out in DESIGN.md).
+
+func BenchmarkAblationSubgrid(b *testing.B)   { benchExperiment(b, "ablation-subgrid") }
+func BenchmarkAblationHybrid(b *testing.B)    { benchExperiment(b, "ablation-hybrid") }
+func BenchmarkAblationAccel(b *testing.B)     { benchExperiment(b, "ablation-accel") }
+func BenchmarkAppendixA(b *testing.B)         { benchExperiment(b, "appendix-a") }
+func Benchmark5GProjection(b *testing.B)      { benchExperiment(b, "5g-projection") }
+func BenchmarkAblationSVDRank(b *testing.B)   { benchExperiment(b, "ablation-svdrank") }
+func BenchmarkAblationTTT(b *testing.B)       { benchExperiment(b, "ablation-ttt") }
+func BenchmarkAblationCrossBand(b *testing.B) { benchExperiment(b, "ablation-crossband") }
+
+// Component micro-benchmarks on the public API.
+
+func BenchmarkScenarioLegacy(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		built, err := rem.BuildScenario(rem.ScenarioConfig{
+			Dataset: rem.BeijingShanghai, SpeedKmh: 300,
+			Mode: rem.ModeLegacy, Duration: 60, Seed: int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := rem.RunScenario(built); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScenarioREM(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		built, err := rem.BuildScenario(rem.ScenarioConfig{
+			Dataset: rem.BeijingShanghai, SpeedKmh: 300,
+			Mode: rem.ModeREM, Duration: 60, Seed: int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := rem.RunScenario(built); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCrossBandEstimate(b *testing.B) {
+	cfg := rem.CrossBandConfig{M: 128, N: 64, DeltaF: 60e3, SymT: 1.0 / 60e3, MaxPaths: 8}
+	est, err := rem.NewCrossBandEstimator(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ch := &rem.Channel{Paths: []rem.Path{
+		{Gain: 0.9, Delay: 260e-9, Doppler: 595},
+		{Gain: 0.3i, Delay: 700e-9, Doppler: -310},
+	}}
+	h1 := rem.DDChannelMatrix(ch, cfg, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := est.Estimate(h1, 1.835e9, 2.665e9); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

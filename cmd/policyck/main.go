@@ -1,0 +1,91 @@
+// Command policyck audits a handover policy set for conflict freedom:
+// it reads A3 offsets as "i j delta" triples from a file or stdin,
+// checks the paper's Theorem 2 condition, reports violations, and
+// (with -fix) prints a minimally repaired offset table.
+//
+// Usage:
+//
+//	echo "1 2 -3
+//	2 1 -2" | policyck
+//	policyck -fix offsets.txt
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"rem"
+)
+
+func main() {
+	fix := flag.Bool("fix", false, "repair violations (minimal offset raises) and print the fixed table")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "policyck: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	tab := rem.OffsetTable{}
+	sc := bufio.NewScanner(in)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		var i, j int
+		var d float64
+		if len(line) == 0 || line[0] == '#' {
+			continue
+		}
+		if _, err := fmt.Sscanf(line, "%d %d %g", &i, &j, &d); err != nil {
+			fmt.Fprintf(os.Stderr, "policyck: line %d: want \"i j delta\": %v\n", lineNo, err)
+			os.Exit(2)
+		}
+		tab.Set(i, j, d)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "policyck: %v\n", err)
+		os.Exit(1)
+	}
+
+	vs := rem.CheckTheorem2(tab)
+	if len(vs) == 0 {
+		fmt.Println("OK: policy set is conflict-free (Theorem 2 holds)")
+		return
+	}
+	fmt.Printf("CONFLICTS: %d Theorem 2 violations\n", len(vs))
+	for _, v := range vs {
+		fmt.Printf("  %s\n", v)
+	}
+	if !*fix {
+		os.Exit(1)
+	}
+	n := rem.EnforceTheorem2(tab)
+	fmt.Printf("repaired with %d offset adjustments; fixed table:\n", n)
+	var is []int
+	for i := range tab {
+		is = append(is, i)
+	}
+	sort.Ints(is)
+	for _, i := range is {
+		var js []int
+		for j := range tab[i] {
+			js = append(js, j)
+		}
+		sort.Ints(js)
+		for _, j := range js {
+			d, _ := tab.Get(i, j)
+			fmt.Printf("%d %d %g\n", i, j, d)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+// Command remeval regenerates the paper's evaluation tables and
+// figures. Run one experiment with -exp or everything with -all.
+//
+// Usage:
+//
+//	remeval -list
+//	remeval -exp table5
+//	remeval -all -quick
+//	remeval -exp fig10 -seeds 5 -duration 2000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rem"
+)
+
+func main() {
+	var (
+		expID    = flag.String("exp", "", "experiment ID to run (see -list)")
+		all      = flag.Bool("all", false, "run every registered experiment")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		quick    = flag.Bool("quick", false, "reduced workload (smoke-test scale)")
+		seeds    = flag.Int("seeds", 0, "override number of replica seeds")
+		duration = flag.Float64("duration", 0, "override per-replica simulated seconds")
+		baseSeed = flag.Int64("seed", 1, "base RNG seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range rem.Experiments() {
+			fmt.Printf("%-20s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	cfg := rem.DefaultExperimentConfig()
+	if *quick {
+		cfg = rem.QuickExperimentConfig()
+	}
+	if *seeds > 0 {
+		cfg.Seeds = *seeds
+	}
+	if *duration > 0 {
+		cfg.DurationSec = *duration
+	}
+	cfg.BaseSeed = *baseSeed
+
+	run := func(id string) bool {
+		rep, err := rem.RunExperiment(id, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "remeval: %s: %v\n", id, err)
+			return false
+		}
+		fmt.Println(rep.Render())
+		return true
+	}
+
+	switch {
+	case *all:
+		ok := true
+		for _, e := range rem.Experiments() {
+			if !run(e.ID) {
+				ok = false
+			}
+		}
+		if !ok {
+			os.Exit(1)
+		}
+	case *expID != "":
+		if !run(*expID) {
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "remeval: pass -exp <id>, -all, or -list")
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,92 @@
+// Command remsim runs one end-to-end high-speed-rail mobility
+// simulation and prints the reliability summary.
+//
+// Usage:
+//
+//	remsim -dataset beijing-shanghai -speed 330 -mode rem -duration 600
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"rem"
+)
+
+func main() {
+	var (
+		dataset  = flag.String("dataset", "beijing-shanghai", "low-mobility-la | beijing-taiyuan | beijing-shanghai")
+		speed    = flag.Float64("speed", 300, "client speed in km/h")
+		mode     = flag.String("mode", "legacy", "legacy | rem | rem-no-crossband | legacy-fixed-policy")
+		duration = flag.Float64("duration", 600, "simulated seconds")
+		seed     = flag.Int64("seed", 1, "RNG seed")
+	)
+	flag.Parse()
+
+	var ds rem.DatasetID
+	switch *dataset {
+	case "low-mobility-la", "la":
+		ds = rem.LowMobility
+	case "beijing-taiyuan", "taiyuan":
+		ds = rem.BeijingTaiyuan
+	case "beijing-shanghai", "shanghai":
+		ds = rem.BeijingShanghai
+	default:
+		fmt.Fprintf(os.Stderr, "remsim: unknown dataset %q\n", *dataset)
+		os.Exit(2)
+	}
+	var md rem.Mode
+	switch *mode {
+	case "legacy":
+		md = rem.ModeLegacy
+	case "rem":
+		md = rem.ModeREM
+	case "rem-no-crossband":
+		md = rem.ModeREMNoCrossBand
+	case "legacy-fixed-policy":
+		md = rem.ModeLegacyFixedPolicy
+	default:
+		fmt.Fprintf(os.Stderr, "remsim: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+
+	built, err := rem.BuildScenario(rem.ScenarioConfig{
+		Dataset: ds, SpeedKmh: *speed, Mode: md, Duration: *duration, Seed: *seed,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "remsim: %v\n", err)
+		os.Exit(1)
+	}
+	res, err := rem.RunScenario(built)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "remsim: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("dataset   : %s\n", rem.DescribeDataset(ds).Name)
+	fmt.Printf("mode      : %s at %.0f km/h for %.0fs (seed %d)\n", md, *speed, *duration, *seed)
+	fmt.Printf("handovers : %d (every %.1fs)\n", res.HandoverCount(),
+		res.Duration/float64(res.HandoverCount()+1))
+	fmt.Printf("failures  : %d (ratio %.2f%%)\n", len(res.Failures), 100*res.FailureRatio())
+	causes := res.CauseCounts()
+	var keys []rem.FailureCause
+	for c := range causes {
+		keys = append(keys, c)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, c := range keys {
+		fmt.Printf("  %-22s %d\n", c.String(), causes[c])
+	}
+	fmt.Printf("signaling : %d reports delivered, %d lost; %d commands delivered, %d lost\n",
+		res.ReportsDelivered, res.ReportsLost, res.CmdsDelivered, res.CmdsLost)
+	if len(res.FeedbackDelays) > 0 {
+		var sum float64
+		for _, d := range res.FeedbackDelays {
+			sum += d
+		}
+		fmt.Printf("feedback  : mean delay %.0f ms over %d reports\n",
+			1000*sum/float64(len(res.FeedbackDelays)), len(res.FeedbackDelays))
+	}
+}

@@ -1,0 +1,78 @@
+// Command tracegen synthesizes one of the calibrated operational
+// datasets and prints its deployment, policy and radio statistics
+// (the Table 4 view of what a run will exercise).
+//
+// Usage:
+//
+//	tracegen -dataset beijing-taiyuan -duration 1000 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rem"
+)
+
+func main() {
+	var (
+		dataset  = flag.String("dataset", "beijing-taiyuan", "low-mobility-la | beijing-taiyuan | beijing-shanghai")
+		duration = flag.Float64("duration", 1000, "simulated seconds (sizes the track)")
+		seed     = flag.Int64("seed", 1, "RNG seed")
+	)
+	flag.Parse()
+
+	var ds rem.DatasetID
+	switch *dataset {
+	case "low-mobility-la", "la":
+		ds = rem.LowMobility
+	case "beijing-taiyuan", "taiyuan":
+		ds = rem.BeijingTaiyuan
+	case "beijing-shanghai", "shanghai":
+		ds = rem.BeijingShanghai
+	default:
+		fmt.Fprintf(os.Stderr, "tracegen: unknown dataset %q\n", *dataset)
+		os.Exit(2)
+	}
+	d := rem.DescribeDataset(ds)
+	speed := d.SpeedBucketsKmh[len(d.SpeedBucketsKmh)-1]
+	built, err := rem.BuildScenario(rem.ScenarioConfig{
+		Dataset:  ds,
+		SpeedKmh: speed[0] + 0.75*(speed[1]-speed[0]),
+		Mode:     rem.ModeLegacy,
+		Duration: *duration,
+		Seed:     *seed,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		os.Exit(1)
+	}
+	dep := built.Scenario.Dep
+	fmt.Printf("dataset        : %s\n", d.Name)
+	start := built.Scenario.Traj.At(0)
+	end := built.Scenario.Traj.At(*duration)
+	fmt.Printf("route length   : %.0f km (paper); this run covers %.1f km\n",
+		d.RouteKm, (end.X-start.X)/1000)
+	fmt.Printf("operators      : %v\n", d.Operators)
+	fmt.Printf("speed buckets  : %v km/h\n", d.SpeedBucketsKmh)
+	fmt.Printf("bands          :\n")
+	for _, b := range d.Bands {
+		fmt.Printf("  ch %-6d %.1f MHz carrier, %g MHz wide\n", b.Channel, b.FreqHz/1e6, b.BandwidthMHz)
+	}
+	fmt.Printf("cells          : %d on %d base stations (%.1f%% co-sited)\n",
+		len(dep.Cells), len(dep.BSs), 100*dep.CoSitedCellFraction())
+	rules := 0
+	proactive := 0
+	for _, p := range built.Policies {
+		rules += len(p.Rules)
+		for _, r := range p.Rules {
+			if r.Type == rem.A3 && r.OffsetDB < 0 {
+				proactive++
+			}
+		}
+	}
+	fmt.Printf("policy rules   : %d total, %d proactive A3\n", rules, proactive)
+	fmt.Printf("site plan      : %.0f m spacing, alternate-anchor=%v, holes every ~%.0f km\n",
+		d.SiteSpacingM, d.AlternateAnchor, d.HoleEveryM/1000)
+}

@@ -1,0 +1,100 @@
+package rem
+
+import (
+	"rem/internal/core"
+	"rem/internal/ofdm"
+	"rem/internal/sim"
+)
+
+// ControllerCell describes one cell the runtime controller tracks
+// (identifier, site, carrier).
+type ControllerCell = core.CellInfo
+
+// ControllerEstimate is one cell's inferred link quality.
+type ControllerEstimate = core.Estimate
+
+// ControllerConfig wires the embeddable REM controller: the cell
+// inventory, the operator's A3 offset table (repaired per Theorem 2 at
+// construction), the signaling overlay grid, and the cross-band
+// estimation grid.
+type ControllerConfig struct {
+	Cells    []ControllerCell
+	Offsets  OffsetTable
+	HystDB   float64
+	NoiseVar float64
+	// GridM/GridN size the OTFS signaling overlay's OFDM grid;
+	// 0 disables the overlay (feedback + decisions only).
+	GridM, GridN int
+	Serving      int
+	Seed         int64
+	CrossBand    CrossBandConfig
+}
+
+// Controller is the runtime REM pipeline of paper §6: relaxed
+// cross-band feedback, conflict-free decisions, and OTFS-carried
+// signaling — the embeddable counterpart of the simulation stack.
+type Controller struct {
+	mgr *core.Manager
+	cb  CrossBandConfig
+	dec *core.Decider
+}
+
+// NewController validates and assembles the controller. The supplied
+// offset table is copied and Theorem-2-enforced; Repairs reports how
+// many offsets had to be raised.
+func NewController(cfg ControllerConfig) (*Controller, error) {
+	fb, err := core.NewFeedback(cfg.CrossBand, cfg.NoiseVar, cfg.Cells)
+	if err != nil {
+		return nil, err
+	}
+	dec, err := core.NewDecider(cfg.Offsets, cfg.HystDB)
+	if err != nil {
+		return nil, err
+	}
+	var overlay *core.Overlay
+	if cfg.GridM > 0 && cfg.GridN > 0 {
+		streams := sim.NewStreams(cfg.Seed)
+		overlay, err = core.NewOverlay(streams.Stream("controller.overlay"), core.OverlayConfig{
+			GridM: cfg.GridM, GridN: cfg.GridN,
+			Modulation: ofdm.QPSK, NoiseVar: cfg.NoiseVar,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	mgr, err := core.NewManager(overlay, fb, dec, cfg.Serving)
+	if err != nil {
+		return nil, err
+	}
+	return &Controller{mgr: mgr, cb: cfg.CrossBand, dec: dec}, nil
+}
+
+// AnchorsNeeded returns the one cell per base station the client must
+// measure; all co-sited siblings are inferred.
+func (c *Controller) AnchorsNeeded() []int { return c.mgr.Feedback.AnchorsNeeded() }
+
+// Step ingests one anchor measurement expressed as a physical channel,
+// refreshes estimates and runs the handover decision. It returns the
+// (possibly new) serving cell and whether a handover occurred.
+func (c *Controller) Step(anchorCell int, ch *Channel) (int, bool, error) {
+	return c.mgr.ObserveAndDecide(anchorCell, DDChannelMatrix(ch, c.cb, 0))
+}
+
+// StepMatrix is Step for callers that already hold a delay-Doppler
+// channel estimate (e.g. from the OTFS pilot estimator).
+func (c *Controller) StepMatrix(anchorCell int, h *DDMatrix) (int, bool, error) {
+	return c.mgr.ObserveAndDecide(anchorCell, h)
+}
+
+// Serving returns the current serving cell.
+func (c *Controller) Serving() int { return c.mgr.Serving() }
+
+// Repairs returns how many offsets Theorem-2 enforcement raised at
+// construction.
+func (c *Controller) Repairs() int { return c.dec.Repairs() }
+
+// Handovers returns the executed (from, to) handovers in order.
+func (c *Controller) Handovers() [][2]int { return c.mgr.Handovers }
+
+// Estimates returns the latest per-cell link-quality estimates.
+func (c *Controller) Estimates() []ControllerEstimate { return c.mgr.Feedback.Snapshot() }

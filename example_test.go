@@ -1,0 +1,77 @@
+package rem_test
+
+import (
+	"fmt"
+
+	"rem"
+)
+
+// ExampleSimplifyPolicy rewrites a multi-stage operator policy into
+// REM's A3-only form (paper §5.3).
+func ExampleSimplifyPolicy() {
+	legacy := &rem.Policy{
+		CellID:  1,
+		Channel: 1825,
+		Rules: []rem.Rule{
+			{Type: rem.A2, ServThresh: -110, TTTSec: 0.64},
+			{Type: rem.A5, ServThresh: -110, NeighThresh: -103, TTTSec: 0.64, TargetChannel: 100, Stage: 1},
+		},
+	}
+	simplified := rem.SimplifyPolicy(legacy)
+	for _, r := range simplified.Rules {
+		fmt.Printf("%v offset=%g target=%d\n", r.Type, r.OffsetDB, r.TargetChannel)
+	}
+	// Output:
+	// A3 offset=7 target=100
+}
+
+// ExampleEnforceTheorem2 repairs a conflict-prone offset table.
+func ExampleEnforceTheorem2() {
+	offsets := rem.OffsetTable{}
+	offsets.Set(1, 2, -3)
+	offsets.Set(2, 1, -2)
+	fmt.Println("violations before:", len(rem.CheckTheorem2(offsets)))
+	rem.EnforceTheorem2(offsets)
+	fmt.Println("violations after:", len(rem.CheckTheorem2(offsets)))
+	// Output:
+	// violations before: 2
+	// violations after: 0
+}
+
+// ExampleDetectConflicts finds the paper's Fig. 4 proactive A3-A3
+// conflict.
+func ExampleDetectConflicts() {
+	a := &rem.Policy{CellID: 3, Channel: 300, Rules: []rem.Rule{{Type: rem.A3, OffsetDB: -3}}}
+	b := &rem.Policy{CellID: 4, Channel: 300, Rules: []rem.Rule{{Type: rem.A3, OffsetDB: -1}}}
+	for _, c := range rem.DetectConflicts(a, b) {
+		fmt.Println(c.Label)
+	}
+	// Output:
+	// A3-A3
+}
+
+// ExampleCrossBandEstimator runs Algorithm 1: infer a 2.665 GHz
+// channel from a 1.835 GHz measurement.
+func ExampleCrossBandEstimator() {
+	cfg := rem.CrossBandConfig{M: 64, N: 32, DeltaF: 60e3, SymT: 1.0 / 60e3, MaxPaths: 4}
+	est, _ := rem.NewCrossBandEstimator(cfg)
+	ch := &rem.Channel{Paths: []rem.Path{{Gain: 1, Delay: 300e-9, Doppler: 500}}}
+	_, paths, _ := est.Estimate(rem.DDChannelMatrix(ch, cfg, 0), 1.835e9, 2.665e9)
+	fmt.Printf("paths=%d doppler ratio=%.3f\n", len(paths), paths[0].Doppler2/paths[0].Doppler1)
+	// Output:
+	// paths=1 doppler ratio=1.452
+}
+
+// ExampleLocalize pins a rail client from two delay-Doppler range
+// observations (paper §10 outlook).
+func ExampleLocalize() {
+	const c = 299792458.0
+	obs := []rem.RangeObservation{
+		{BS: rem.Point{X: 800, Y: 120}, LoSDelay: 450.28 / c, CarrierHz: 2.1e9},
+		{BS: rem.Point{X: 2300, Y: -120}, LoSDelay: 1072.73 / c, CarrierHz: 2.1e9},
+	}
+	fix, _ := rem.Localize(obs)
+	fmt.Printf("x ≈ %.0f m\n", fix.X)
+	// Output:
+	// x ≈ 1234 m
+}

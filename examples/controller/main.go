@@ -1,0 +1,81 @@
+// Runtime controller demo: drive REM's embeddable controller
+// (internal/core via the rem facade) through a two-site scenario —
+// the client measures one anchor per base station, cross-band
+// estimation fills in the co-sited cells, the conflict-free decider
+// picks targets, and handover commands ride the OTFS overlay.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rem"
+	"rem/internal/sim"
+)
+
+func main() {
+	// Four cells on two sites, two carriers each.
+	cells := []rem.ControllerCell{
+		{ID: 1, BSID: 10, CarrierHz: 1.835e9},
+		{ID: 2, BSID: 10, CarrierHz: 2.665e9},
+		{ID: 3, BSID: 11, CarrierHz: 1.835e9},
+		{ID: 4, BSID: 11, CarrierHz: 2.665e9},
+	}
+	// Operator offsets, deliberately conflict-prone (proactive).
+	offsets := rem.OffsetTable{}
+	offsets.Set(1, 3, -3)
+	offsets.Set(3, 1, -2)
+
+	ctl, err := rem.NewController(rem.ControllerConfig{
+		Cells:     cells,
+		Offsets:   offsets,
+		HystDB:    2,
+		NoiseVar:  0.01,
+		GridM:     48,
+		GridN:     14,
+		Serving:   1,
+		Seed:      1,
+		CrossBand: rem.CrossBandConfig{M: 64, N: 32, DeltaF: 60e3, SymT: 1.0 / 60e3, MaxPaths: 4},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Theorem 2 repairs applied at construction: %d\n", ctl.Repairs())
+	fmt.Printf("anchors the client must measure: %v (one per site)\n\n", ctl.AnchorsNeeded())
+
+	// Simulated journey driven by the discrete-event engine: one
+	// measurement cycle per anchor every 2 s of simulated time.
+	engine := sim.NewEngine()
+	var cycle func()
+	cycle = func() {
+		t := engine.Now()
+		frac := t / 10
+		site10 := &rem.Channel{Paths: []rem.Path{
+			{Gain: complex(1.0-0.9*frac, 0), Delay: 300e-9, Doppler: 520},
+		}}
+		site11 := &rem.Channel{Paths: []rem.Path{
+			{Gain: complex(0.1+0.9*frac, 0), Delay: 250e-9, Doppler: -480},
+		}}
+		for _, a := range ctl.AnchorsNeeded() {
+			ch := site11
+			if a == 1 || a == 2 {
+				ch = site10
+			}
+			serving, hoed, err := ctl.Step(a, ch)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if hoed {
+				fmt.Printf("t=%2.0fs: HANDOVER → cell %d (command queued on OTFS overlay)\n", t, serving)
+			}
+		}
+		fmt.Printf("t=%2.0fs: serving cell %d\n", t, ctl.Serving())
+		if t < 10 {
+			engine.After(2, "measurement-cycle", cycle)
+		}
+	}
+	engine.At(0, "measurement-cycle", cycle)
+	engine.Run(11)
+	fmt.Printf("\nhandover log: %v\n", ctl.Handovers())
+	fmt.Println("No oscillation despite the proactive operator offsets: Theorem 2 was enforced at construction.")
+}

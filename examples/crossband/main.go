@@ -1,0 +1,56 @@
+// Cross-band estimation demo: measure a channel on one carrier and
+// infer another carrier's channel with Algorithm 1 — no measurement of
+// the second band, no measurement gaps.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rem"
+)
+
+func main() {
+	// A sparse high-speed-rail channel at 350 km/h on a 1.835 GHz
+	// carrier: a dominant line-of-sight path plus two reflections.
+	f1, f2 := 1.835e9, 2.665e9
+	ch := &rem.Channel{Paths: []rem.Path{
+		{Gain: complex(0.9, -0.2), Delay: 260e-9, Doppler: 595}, // LoS, head-on
+		{Gain: complex(0.3, 0.4), Delay: 700e-9, Doppler: -310},
+		{Gain: complex(-0.2, 0.1), Delay: 1400e-9, Doppler: 120},
+	}}
+
+	cfg := rem.CrossBandConfig{M: 128, N: 64, DeltaF: 60e3, SymT: 1.0 / 60e3, MaxPaths: 6}
+	est, err := rem.NewCrossBandEstimator(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The client measures band 1 only.
+	h1 := rem.DDChannelMatrix(ch, cfg, 0)
+	h2, paths, err := est.Estimate(h1, f1, f2)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Recovered multipath profile (Algorithm 1):")
+	fmt.Printf("%-6s %12s %14s %14s\n", "path", "delay (ns)", "Doppler@f1 (Hz)", "Doppler@f2 (Hz)")
+	for i, p := range paths {
+		fmt.Printf("%-6d %12.1f %14.1f %14.1f\n", i+1, p.Delay*1e9, p.Doppler1, p.Doppler2)
+	}
+
+	noiseVar := 0.01
+	truth := rem.DDSNR(rem.DDChannelMatrix(ch.Retuned(f1, f2), cfg, 0), noiseVar)
+	got := rem.DDSNR(h2, noiseVar)
+	fmt.Printf("\nBand-2 SNR: estimated %.2f dB vs ground truth %.2f dB (error %.2f dB)\n",
+		got, truth, abs(got-truth))
+	fmt.Println("The client never measured band 2: delays/attenuations transfer directly,")
+	fmt.Printf("Dopplers scale by f2/f1 = %.3f.\n", f2/f1)
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

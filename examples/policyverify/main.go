@@ -1,0 +1,72 @@
+// Policy audit: take a conflict-prone operator policy set (the Fig. 3
+// and Fig. 4 patterns), detect the conflicts, simplify per §5.3,
+// enforce Theorem 2, and verify the result is provably loop-free.
+package main
+
+import (
+	"fmt"
+
+	"rem"
+)
+
+func main() {
+	// The Fig. 4 pattern: proactive intra-frequency A3 on both cells.
+	cell3 := &rem.Policy{CellID: 3, Channel: 300, Rules: []rem.Rule{
+		{Type: rem.A3, OffsetDB: -3, TTTSec: 0.04, TargetChannel: 300},
+	}}
+	cell4 := &rem.Policy{CellID: 4, Channel: 300, Rules: []rem.Rule{
+		{Type: rem.A3, OffsetDB: -1, TTTSec: 0.04, TargetChannel: 300},
+	}}
+	// The Fig. 3 pattern: load-balancing A4 vs A5 across bands.
+	cell1 := &rem.Policy{CellID: 1, Channel: 100, Rules: []rem.Rule{
+		{Type: rem.A4, NeighThresh: -110, TTTSec: 0.04, TargetChannel: 200},
+	}}
+	cell2 := &rem.Policy{CellID: 2, Channel: 200, Rules: []rem.Rule{
+		{Type: rem.A5, ServThresh: -95, NeighThresh: -100, TTTSec: 0.04, TargetChannel: 100},
+	}}
+
+	fmt.Println("== Conflict detection on the legacy policies ==")
+	for _, pair := range [][2]*rem.Policy{{cell3, cell4}, {cell1, cell2}} {
+		for _, c := range rem.DetectConflicts(pair[0], pair[1]) {
+			fmt.Printf("conflict %s between cells %d and %d (witness RSRP %.1f / %.1f dBm)\n",
+				c.Label, c.CellA, c.CellB, c.Witness[0], c.Witness[1])
+		}
+	}
+
+	fmt.Println("\n== REM simplification (§5.3) ==")
+	simplified := map[int]*rem.Policy{}
+	for _, p := range []*rem.Policy{cell1, cell2, cell3, cell4} {
+		s := rem.SimplifyPolicy(p)
+		simplified[p.CellID] = s
+		for _, r := range s.Rules {
+			fmt.Printf("cell %d: %v offset %.1f dB (hyst %.1f) toward channel %d\n",
+				s.CellID, r.Type, r.OffsetDB, r.HystDB, r.TargetChannel)
+		}
+	}
+
+	fmt.Println("\n== Theorem 2 enforcement ==")
+	tab := rem.OffsetTable{}
+	// Assemble the pairwise offsets of the co-covering pairs.
+	setFrom := func(from, to int) {
+		p := simplified[from]
+		for _, r := range p.Rules {
+			if r.Type == rem.A3 {
+				tab.Set(from, to, r.OffsetDB)
+				return
+			}
+		}
+	}
+	setFrom(3, 4)
+	setFrom(4, 3)
+	setFrom(1, 2)
+	setFrom(2, 1)
+	before := rem.CheckTheorem2(tab)
+	fmt.Printf("violations before enforcement: %d\n", len(before))
+	for _, v := range before {
+		fmt.Printf("  %s\n", v)
+	}
+	n := rem.EnforceTheorem2(tab)
+	fmt.Printf("adjustments applied: %d\n", n)
+	fmt.Printf("violations after enforcement: %d\n", len(rem.CheckTheorem2(tab)))
+	fmt.Println("\nThe enforced table is provably loop-free for ANY signal values (Theorems 2 & 3).")
+}

@@ -1,0 +1,3 @@
+module rem
+
+go 1.22

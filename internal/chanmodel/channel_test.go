@@ -1,0 +1,267 @@
+package chanmodel
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+
+	"rem/internal/dsp"
+	"rem/internal/sim"
+)
+
+func TestMaxDopplerAndCoherence(t *testing.T) {
+	// 350 km/h at 2.6 GHz: ν_max = v f / c ≈ 843 Hz.
+	v := KmhToMs(350)
+	f := 2.6e9
+	nu := MaxDoppler(f, v)
+	if math.Abs(nu-843) > 3 {
+		t.Fatalf("MaxDoppler = %g Hz, want ≈843", nu)
+	}
+	// Paper §3.1: Tc = c/(f·v) in [1.16ms, 6.18ms] for
+	// f in [874.2, 2665] MHz and v in [200, 350] km/h.
+	lo := CoherenceTime(2665e6, KmhToMs(350))
+	hi := CoherenceTime(874.2e6, KmhToMs(200))
+	if math.Abs(lo*1e3-1.16) > 0.02 || math.Abs(hi*1e3-6.18) > 0.03 {
+		t.Fatalf("coherence range [%.3g, %.3g] ms, want ≈[1.16, 6.18]", lo*1e3, hi*1e3)
+	}
+	if !math.IsInf(CoherenceTime(0, 1), 1) || !math.IsInf(CoherenceTime(1e9, 0), 1) {
+		t.Fatal("degenerate coherence time should be +Inf")
+	}
+}
+
+func TestTFResponseMatchesDefinition(t *testing.T) {
+	ch := &Channel{Paths: []Path{
+		{Gain: 0.8 + 0.1i, Delay: 200e-9, Doppler: 300},
+		{Gain: 0.3 - 0.4i, Delay: 900e-9, Doppler: -150},
+	}}
+	m, n := 5, 4
+	deltaF, symT, t0 := 15e3, 66.7e-6, 0.25
+	h := ch.TFResponse(m, n, deltaF, symT, t0)
+	for mi := 0; mi < m; mi++ {
+		for ni := 0; ni < n; ni++ {
+			var want complex128
+			for _, p := range ch.Paths {
+				ang := 2 * math.Pi * ((t0+float64(ni)*symT)*p.Doppler - float64(mi)*deltaF*p.Delay)
+				want += p.Gain * cmplx.Exp(complex(0, ang))
+			}
+			if d := cmplx.Abs(h[mi][ni] - want); d > 1e-10 {
+				t.Fatalf("H[%d][%d] differs by %g", mi, ni, d)
+			}
+		}
+	}
+}
+
+func TestDDResponseLocalizesOnGridPath(t *testing.T) {
+	// A single path exactly on the delay-Doppler grid must map to a
+	// single dominant bin of the DD response.
+	m, n := 16, 12
+	deltaF, symT := 15e3, 1.0/15e3
+	dtau := 1 / (float64(m) * deltaF)
+	dnu := 1 / (float64(n) * symT)
+	kWant, lWant := 3, 5
+	ch := &Channel{Paths: []Path{{Gain: 1, Delay: float64(kWant) * dtau, Doppler: float64(lWant) * dnu}}}
+	dd := ch.DDResponse(m, n, deltaF, symT, 0)
+	// Find the max-magnitude bin.
+	bi, bj, best := -1, -1, 0.0
+	var total float64
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			a := cmplx.Abs(dd[i][j])
+			total += a * a
+			if a > best {
+				best, bi, bj = a, i, j
+			}
+		}
+	}
+	if bi != kWant || bj != lWant {
+		t.Fatalf("dominant DD bin (%d,%d), want (%d,%d)", bi, bj, kWant, lWant)
+	}
+	if best*best/total < 0.99 {
+		t.Fatalf("on-grid path not localized: peak fraction %g", best*best/total)
+	}
+}
+
+func TestDDResponseConsistentWithSFFT(t *testing.T) {
+	ch := &Channel{Paths: []Path{
+		{Gain: 0.6 + 0.2i, Delay: 350e-9, Doppler: 420},
+		{Gain: 0.2 - 0.5i, Delay: 1100e-9, Doppler: -600},
+	}}
+	m, n := 12, 14
+	deltaF, symT := 15e3, 71.4e-6
+	tf := ch.TFResponse(m, n, deltaF, symT, 0)
+	dd := ch.DDResponse(m, n, deltaF, symT, 0)
+	back := dsp.SFFT(dd)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			if d := cmplx.Abs(tf[i][j] - back[i][j]); d > 1e-9 {
+				t.Fatalf("SFFT(DD) != TF at (%d,%d): %g", i, j, d)
+			}
+		}
+	}
+}
+
+func TestRetunedScalesDopplerOnly(t *testing.T) {
+	ch := &Channel{Paths: []Path{{Gain: 1 + 2i, Delay: 1e-6, Doppler: 500}}}
+	r := ch.Retuned(1.8e9, 2.6e9)
+	if r.Paths[0].Gain != ch.Paths[0].Gain || r.Paths[0].Delay != ch.Paths[0].Delay {
+		t.Fatal("Retuned changed gain or delay")
+	}
+	want := 500 * 2.6 / 1.8
+	if math.Abs(r.Paths[0].Doppler-want) > 1e-9 {
+		t.Fatalf("Doppler = %g, want %g", r.Paths[0].Doppler, want)
+	}
+	if ch.Paths[0].Doppler != 500 {
+		t.Fatal("Retuned mutated the original")
+	}
+}
+
+func TestGenerateProfilePowers(t *testing.T) {
+	streams := sim.NewStreams(1)
+	rng := streams.Stream("gen")
+	const trials = 4000
+	for _, prof := range []Profile{EPA, EVA, ETU, HST} {
+		sums := make([]float64, len(prof.Taps))
+		for i := 0; i < trials; i++ {
+			ch := Generate(rng, GenConfig{Profile: prof, CarrierHz: 2e9, SpeedMS: 50})
+			if len(ch.Paths) != len(prof.Taps) {
+				t.Fatalf("%s: %d paths, want %d", prof.Name, len(ch.Paths), len(prof.Taps))
+			}
+			for p, path := range ch.Paths {
+				sums[p] += real(path.Gain)*real(path.Gain) + imag(path.Gain)*imag(path.Gain)
+			}
+		}
+		for p, tap := range prof.Taps {
+			got := dsp.DB(sums[p] / trials)
+			if math.Abs(got-tap.PowerDB) > 0.6 {
+				t.Errorf("%s tap %d: mean power %.2f dB, want %.2f", prof.Name, p, got, tap.PowerDB)
+			}
+		}
+	}
+}
+
+func TestGenerateDopplerBounded(t *testing.T) {
+	streams := sim.NewStreams(2)
+	rng := streams.Stream("dop")
+	f, v := 2.6e9, KmhToMs(350)
+	numax := MaxDoppler(f, v)
+	for i := 0; i < 500; i++ {
+		ch := Generate(rng, GenConfig{Profile: EVA, CarrierHz: f, SpeedMS: v})
+		for _, p := range ch.Paths {
+			if math.Abs(p.Doppler) > numax+1e-9 {
+				t.Fatalf("Doppler %g exceeds ν_max %g", p.Doppler, numax)
+			}
+		}
+	}
+}
+
+func TestGenerateLOSAndNormalize(t *testing.T) {
+	streams := sim.NewStreams(3)
+	rng := streams.Stream("los")
+	f, v := 2.1e9, KmhToMs(300)
+	ch := Generate(rng, GenConfig{Profile: HST, CarrierHz: f, SpeedMS: v, LOSFirstTap: true, Normalize: true})
+	if math.Abs(ch.Paths[0].Doppler-MaxDoppler(f, v)) > 1e-9 {
+		t.Fatalf("LoS Doppler = %g, want ν_max %g", ch.Paths[0].Doppler, MaxDoppler(f, v))
+	}
+	// Normalized: deterministic LoS amplitude, so check the LoS tap's
+	// share and that repeated draws have unit average power.
+	total := 0.0
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		c := Generate(rng, GenConfig{Profile: HST, CarrierHz: f, SpeedMS: v, LOSFirstTap: true, Normalize: true})
+		total += c.PowerGain()
+	}
+	if avg := total / trials; math.Abs(avg-1) > 0.05 {
+		t.Fatalf("normalized average power = %g, want ≈1", avg)
+	}
+}
+
+func TestProfileByName(t *testing.T) {
+	for _, name := range []string{"EPA", "EVA", "ETU", "HST"} {
+		if p, ok := ProfileByName(name); !ok || p.Name != name {
+			t.Fatalf("ProfileByName(%q) failed", name)
+		}
+	}
+	if _, ok := ProfileByName("nope"); ok {
+		t.Fatal("unknown profile should not resolve")
+	}
+}
+
+func TestAddAWGNPower(t *testing.T) {
+	streams := sim.NewStreams(4)
+	rng := streams.Stream("awgn")
+	g := dsp.NewGrid(40, 40)
+	AddAWGN(rng, g, 0.5)
+	sum := 0.0
+	for i := range g {
+		for j := range g[i] {
+			sum += real(g[i][j])*real(g[i][j]) + imag(g[i][j])*imag(g[i][j])
+		}
+	}
+	if mean := sum / 1600; math.Abs(mean-0.5) > 0.05 {
+		t.Fatalf("AWGN power = %g, want ≈0.5", mean)
+	}
+	// Zero variance must be a no-op.
+	h := dsp.NewGrid(2, 2)
+	AddAWGN(rng, h, 0)
+	if h[0][0] != 0 {
+		t.Fatal("AddAWGN with 0 variance changed the grid")
+	}
+}
+
+func TestShadowingCorrelation(t *testing.T) {
+	streams := sim.NewStreams(5)
+	// Adjacent samples should be highly correlated, distant ones not.
+	const n = 8000
+	var near, far []float64
+	rng := streams.Stream("shadow")
+	for i := 0; i < n; i++ {
+		s := NewShadowing(rng, 6, 50)
+		a := s.At(0)
+		b := s.At(5)    // 5 m later: rho = e^{-0.1} ≈ 0.9
+		c := s.At(1000) // ≈ independent
+		near = append(near, a*b)
+		far = append(far, a*c)
+	}
+	corrNear := dsp.Mean(near) / 36
+	corrFar := dsp.Mean(far) / 36
+	if corrNear < 0.8 {
+		t.Fatalf("near correlation = %g, want ≥0.8", corrNear)
+	}
+	if math.Abs(corrFar) > 0.1 {
+		t.Fatalf("far correlation = %g, want ≈0", corrFar)
+	}
+}
+
+func TestShadowingVarianceProperty(t *testing.T) {
+	streams := sim.NewStreams(6)
+	f := func(seed int64) bool {
+		rng := streams.Stream(string(rune(seed)))
+		s := NewShadowing(rng, 8, 50)
+		// Marginal variance stays StdDB² regardless of step pattern.
+		var samples []float64
+		d := 0.0
+		for i := 0; i < 3000; i++ {
+			d += rng.Uniform(0, 200)
+			samples = append(samples, s.At(d))
+		}
+		return math.Abs(dsp.StdDev(samples)-8) < 1.0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShadowingReprimesOnBackwardQuery(t *testing.T) {
+	streams := sim.NewStreams(7)
+	rng := streams.Stream("reprime")
+	s := NewShadowing(rng, 6, 50)
+	_ = s.At(100)
+	v := s.At(50) // backwards: new independent draw, must not panic
+	if math.IsNaN(v) {
+		t.Fatal("backward query returned NaN")
+	}
+	if a, b := s.At(50), s.At(50); a != b {
+		t.Fatal("repeated query at same distance should be stable")
+	}
+}

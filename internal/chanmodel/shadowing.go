@@ -1,0 +1,45 @@
+package chanmodel
+
+import (
+	"math"
+
+	"rem/internal/sim"
+)
+
+// Shadowing models spatially correlated log-normal shadow fading as a
+// first-order autoregressive (Gudmundson) process over traveled
+// distance: correlation exp(−Δd/DecorrM) between samples Δd apart.
+type Shadowing struct {
+	StdDB   float64 // shadowing standard deviation (dB), typically 4–8
+	DecorrM float64 // decorrelation distance (m), typically 50–100
+
+	rng    *sim.RNG
+	lastD  float64
+	lastDB float64
+	primed bool
+}
+
+// NewShadowing creates a correlated shadowing process.
+func NewShadowing(rng *sim.RNG, stdDB, decorrM float64) *Shadowing {
+	return &Shadowing{StdDB: stdDB, DecorrM: decorrM, rng: rng}
+}
+
+// At returns the shadowing loss in dB at traveled distance d meters.
+// Calls must use non-decreasing d; out-of-order queries re-prime the
+// process (treated as a new, independent location).
+func (s *Shadowing) At(d float64) float64 {
+	if !s.primed || d < s.lastD {
+		s.lastDB = s.rng.Gauss(0, s.StdDB)
+		s.lastD = d
+		s.primed = true
+		return s.lastDB
+	}
+	delta := d - s.lastD
+	if delta == 0 {
+		return s.lastDB
+	}
+	rho := math.Exp(-delta / s.DecorrM)
+	s.lastDB = rho*s.lastDB + math.Sqrt(1-rho*rho)*s.rng.Gauss(0, s.StdDB)
+	s.lastD = d
+	return s.lastDB
+}

@@ -1,0 +1,260 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"rem/internal/chanmodel"
+	"rem/internal/crossband"
+	"rem/internal/dsp"
+	"rem/internal/ofdm"
+	"rem/internal/policy"
+	"rem/internal/sim"
+)
+
+func cbCfg() crossband.Config {
+	return crossband.Config{M: 64, N: 32, DeltaF: 60e3, SymT: 1.0 / 60e3, MaxPaths: 4}
+}
+
+func ddFor(ch *chanmodel.Channel) *dsp.Matrix {
+	c := cbCfg()
+	return dsp.MatrixFromGrid(ch.DDResponse(c.M, c.N, c.DeltaF, c.SymT, 0))
+}
+
+func testCells() []CellInfo {
+	return []CellInfo{
+		{ID: 1, BSID: 10, CarrierHz: 1.835e9},
+		{ID: 2, BSID: 10, CarrierHz: 2.665e9}, // co-sited with 1
+		{ID: 3, BSID: 11, CarrierHz: 1.835e9},
+		{ID: 4, BSID: 11, CarrierHz: 2.665e9}, // co-sited with 3
+	}
+}
+
+func TestFeedbackAnchorsAndObserve(t *testing.T) {
+	f, err := NewFeedback(cbCfg(), 0.01, testCells())
+	if err != nil {
+		t.Fatal(err)
+	}
+	anchors := f.AnchorsNeeded()
+	if len(anchors) != 2 || anchors[0] != 1 || anchors[1] != 3 {
+		t.Fatalf("anchors = %v, want [1 3]", anchors)
+	}
+	ch := &chanmodel.Channel{Paths: []chanmodel.Path{
+		{Gain: 1, Delay: 260e-9, Doppler: 500},
+		{Gain: 0.3i, Delay: 900e-9, Doppler: -200},
+	}}
+	ests, err := f.Observe(1, ddFor(ch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ests) != 2 {
+		t.Fatalf("observation produced %d estimates, want anchor + sibling", len(ests))
+	}
+	if !ests[0].Measured || ests[0].CellID != 1 {
+		t.Fatalf("first estimate should be the measured anchor: %+v", ests[0])
+	}
+	if ests[1].Measured || ests[1].CellID != 2 {
+		t.Fatalf("second estimate should be the inferred sibling: %+v", ests[1])
+	}
+	// The cross-band inferred SNR must track the anchor's (same gains,
+	// same delays — only Doppler scales in this model).
+	if math.Abs(ests[0].SNRdB-ests[1].SNRdB) > 1.5 {
+		t.Fatalf("sibling SNR %.2f too far from anchor %.2f", ests[1].SNRdB, ests[0].SNRdB)
+	}
+	if got := len(f.Snapshot()); got != 2 {
+		t.Fatalf("snapshot has %d estimates, want 2", got)
+	}
+}
+
+func TestFeedbackValidation(t *testing.T) {
+	if _, err := NewFeedback(cbCfg(), 0, testCells()); err == nil {
+		t.Fatal("zero noise accepted")
+	}
+	if _, err := NewFeedback(cbCfg(), 0.01, []CellInfo{{ID: 1, BSID: 1, CarrierHz: 0}}); err == nil {
+		t.Fatal("invalid carrier accepted")
+	}
+	if _, err := NewFeedback(cbCfg(), 0.01, []CellInfo{
+		{ID: 1, BSID: 1, CarrierHz: 1e9}, {ID: 1, BSID: 2, CarrierHz: 1e9},
+	}); err == nil {
+		t.Fatal("duplicate cell accepted")
+	}
+	f, _ := NewFeedback(cbCfg(), 0.01, testCells())
+	if _, err := f.Observe(99, dsp.NewMatrix(64, 32)); err == nil {
+		t.Fatal("unknown anchor accepted")
+	}
+}
+
+func TestDeciderEnforcesTheorem2(t *testing.T) {
+	tab := policy.NewOffsetTable()
+	tab.Set(1, 2, -4)
+	tab.Set(2, 1, -3)
+	d, err := NewDecider(tab, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Repairs() == 0 {
+		t.Fatal("violating table should need repairs")
+	}
+	if d.OffsetFor(1, 2)+d.OffsetFor(2, 1) < 0 {
+		t.Fatal("decider offsets still violate Theorem 2")
+	}
+	// The input table must not be mutated.
+	if v, _ := tab.Get(1, 2); v != -4 {
+		t.Fatal("caller's table was mutated")
+	}
+	if _, err := NewDecider(tab, -1); err == nil {
+		t.Fatal("negative hysteresis accepted")
+	}
+}
+
+func TestDeciderDecisions(t *testing.T) {
+	tab := policy.NewOffsetTable()
+	tab.Set(1, 2, 3)
+	d, _ := NewDecider(tab, 1)
+	ests := []Estimate{{CellID: 1, SNRdB: 10}, {CellID: 2, SNRdB: 15}, {CellID: 3, SNRdB: 12}}
+	// Cell 2 clears 10+3+1; cell 3 clears 10+0+1; best SNR wins.
+	target, ok := d.Decide(1, ests)
+	if !ok || target != 2 {
+		t.Fatalf("Decide = (%d, %v), want (2, true)", target, ok)
+	}
+	// No serving estimate: no decision.
+	if _, ok := d.Decide(9, ests); ok {
+		t.Fatal("decision without serving estimate")
+	}
+	// Nothing qualifies.
+	if _, ok := d.Decide(1, []Estimate{{CellID: 1, SNRdB: 20}, {CellID: 2, SNRdB: 21}}); ok {
+		t.Fatal("marginal candidate should not qualify (offset+hyst)")
+	}
+}
+
+func TestDeciderNeverLoopsOnStaticSNR(t *testing.T) {
+	// Executable Theorem 2 at the controller level: fixed estimates,
+	// follow decisions; must settle within #cells steps.
+	tab := policy.NewOffsetTable()
+	for i := 1; i <= 4; i++ {
+		for j := 1; j <= 4; j++ {
+			if i != j {
+				tab.Set(i, j, float64((i*j)%5)-4)
+			}
+		}
+	}
+	d, _ := NewDecider(tab, 0)
+	ests := []Estimate{
+		{CellID: 1, SNRdB: 11}, {CellID: 2, SNRdB: 14},
+		{CellID: 3, SNRdB: 9}, {CellID: 4, SNRdB: 13},
+	}
+	serving := 1
+	for step := 0; step < 8; step++ {
+		next, ok := d.Decide(serving, ests)
+		if !ok {
+			return // settled
+		}
+		serving = next
+	}
+	t.Fatal("decider did not settle: loop despite Theorem 2 enforcement")
+}
+
+func TestOverlayTransfer(t *testing.T) {
+	streams := sim.NewStreams(5)
+	ov, err := NewOverlay(streams.Stream("ov"), OverlayConfig{
+		GridM: 48, GridN: 14, Modulation: ofdm.QPSK, NoiseVar: dsp.FromDB(-10),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flat unit channel.
+	h := dsp.NewGrid(48, 14)
+	for i := range h {
+		for j := range h[i] {
+			h[i][j] = 1
+		}
+	}
+	ov.Enqueue(make([]byte, 64))
+	ov.Enqueue(make([]byte, 64))
+	if ov.PendingMessages() != 2 {
+		t.Fatalf("pending = %d", ov.PendingMessages())
+	}
+	delivered, dataREs, err := ov.TransferInterval(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delivered != 2 || ov.Delivered != 2 || ov.Lost != 0 {
+		t.Fatalf("delivered=%d (total %d lost %d)", delivered, ov.Delivered, ov.Lost)
+	}
+	if dataREs <= 0 || dataREs >= 48*14 {
+		t.Fatalf("dataREs = %d, want a proper remainder", dataREs)
+	}
+	if ov.PendingMessages() != 0 {
+		t.Fatal("queue should be drained")
+	}
+	// Empty interval: everything goes to data.
+	_, dataREs, err = ov.TransferInterval(h)
+	if err != nil || dataREs != 48*14 {
+		t.Fatalf("idle interval dataREs = %d err=%v", dataREs, err)
+	}
+	// Grid mismatch rejected.
+	if _, _, err := ov.TransferInterval(dsp.NewGrid(4, 4)); err == nil {
+		t.Fatal("grid mismatch accepted")
+	}
+}
+
+func TestOverlayValidation(t *testing.T) {
+	streams := sim.NewStreams(6)
+	if _, err := NewOverlay(streams.Stream("x"), OverlayConfig{GridM: 0, GridN: 14}); err == nil {
+		t.Fatal("invalid grid accepted")
+	}
+	if _, err := NewOverlay(streams.Stream("x"), OverlayConfig{GridM: 4, GridN: 4, NoiseVar: -1}); err == nil {
+		t.Fatal("negative noise accepted")
+	}
+}
+
+func TestManagerEndToEnd(t *testing.T) {
+	streams := sim.NewStreams(7)
+	fb, err := NewFeedback(cbCfg(), 0.01, testCells())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := policy.NewOffsetTable()
+	tab.Set(1, 3, 3)
+	dec, err := NewDecider(tab, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ov, err := NewOverlay(streams.Stream("ov"), OverlayConfig{
+		GridM: 48, GridN: 14, Modulation: ofdm.QPSK, NoiseVar: 1e-4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewManager(ov, fb, dec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewManager(nil, nil, dec, 1); err == nil {
+		t.Fatal("nil feedback accepted")
+	}
+
+	// Serving site (BS 10) weak, next site (BS 11) strong: after both
+	// anchors are observed, the manager must hand over 1 → 3 or 4.
+	weak := &chanmodel.Channel{Paths: []chanmodel.Path{{Gain: 0.1, Delay: 300e-9, Doppler: 400}}}
+	strong := &chanmodel.Channel{Paths: []chanmodel.Path{{Gain: 1.2, Delay: 200e-9, Doppler: 450}}}
+	if _, hoed, err := m.ObserveAndDecide(1, ddFor(weak)); err != nil || hoed {
+		t.Fatalf("handover before seeing a better site: %v %v", hoed, err)
+	}
+	serving, hoed, err := m.ObserveAndDecide(3, ddFor(strong))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hoed || (serving != 3 && serving != 4) {
+		t.Fatalf("expected handover to site 11, got serving=%d hoed=%v", serving, hoed)
+	}
+	if len(m.Handovers) != 1 || m.Handovers[0][0] != 1 {
+		t.Fatalf("handover log = %v", m.Handovers)
+	}
+	if m.Overlay.PendingMessages() != 1 {
+		t.Fatal("handover command not queued on the overlay")
+	}
+	if m.Serving() != serving {
+		t.Fatal("Serving() out of sync")
+	}
+}

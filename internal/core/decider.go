@@ -1,0 +1,84 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"rem/internal/policy"
+)
+
+// Decider runs §5.3's simplified handover policy: direct A3 comparison
+// over delay-Doppler SNR with a Theorem-2-enforced per-pair offset
+// table. Construction repairs the table if needed, so a Decider is
+// conflict-free by the time it exists.
+type Decider struct {
+	offsets policy.OffsetTable
+	// HystDB is the hysteresis on top of each offset (default 2).
+	HystDB float64
+	// TTT is handled by the measurement cadence upstream; the decider
+	// itself is memoryless.
+	repairs int
+}
+
+// NewDecider copies the offset table, enforces Theorem 2 on the copy
+// (recording how many offsets had to be raised) and returns the
+// conflict-free decider.
+func NewDecider(offsets policy.OffsetTable, hystDB float64) (*Decider, error) {
+	if hystDB < 0 {
+		return nil, fmt.Errorf("core: negative hysteresis")
+	}
+	cp := policy.NewOffsetTable()
+	for i, row := range offsets {
+		for j, d := range row {
+			cp.Set(i, j, d)
+		}
+	}
+	n := policy.EnforceTheorem2(cp, nil)
+	return &Decider{offsets: cp, HystDB: hystDB, repairs: n}, nil
+}
+
+// Repairs returns how many offsets Theorem-2 enforcement raised.
+func (d *Decider) Repairs() int { return d.repairs }
+
+// OffsetFor returns the effective Δ^{serving→target}; unconfigured
+// pairs default to 0 (plain "target better than serving").
+func (d *Decider) OffsetFor(serving, target int) float64 {
+	if v, ok := d.offsets.Get(serving, target); ok {
+		return v
+	}
+	return 0
+}
+
+// Decide picks the handover target for the given serving cell from the
+// latest estimates: the SNR-best cell whose A3 criterion
+// SNR_j > SNR_serving + Δ + hysteresis holds. ok is false when no cell
+// qualifies (stay on the serving cell).
+func (d *Decider) Decide(serving int, estimates []Estimate) (target int, ok bool) {
+	var servSNR float64
+	found := false
+	for _, e := range estimates {
+		if e.CellID == serving {
+			servSNR = e.SNRdB
+			found = true
+			break
+		}
+	}
+	if !found {
+		return 0, false
+	}
+	// Deterministic evaluation order.
+	es := append([]Estimate(nil), estimates...)
+	sort.Slice(es, func(i, j int) bool { return es[i].CellID < es[j].CellID })
+	bestSNR := 0.0
+	for _, e := range es {
+		if e.CellID == serving {
+			continue
+		}
+		if e.SNRdB > servSNR+d.OffsetFor(serving, e.CellID)+d.HystDB {
+			if !ok || e.SNRdB > bestSNR {
+				target, bestSNR, ok = e.CellID, e.SNRdB, true
+			}
+		}
+	}
+	return target, ok
+}

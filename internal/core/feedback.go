@@ -1,0 +1,136 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"rem/internal/crossband"
+	"rem/internal/dsp"
+)
+
+// CellInfo describes one cell the feedback engine tracks.
+type CellInfo struct {
+	ID        int
+	BSID      int     // base-station (site) identifier, e.g. from ECI/NCGI
+	CarrierHz float64 // carrier frequency
+}
+
+// Estimate is one cell's inferred link quality.
+type Estimate struct {
+	CellID int
+	SNRdB  float64
+	// Measured marks a directly measured anchor cell; false means the
+	// value came from cross-band inference.
+	Measured bool
+}
+
+// Feedback implements §5.2's relaxed measurement at the client: cells
+// are grouped by base station; the caller measures exactly one anchor
+// cell per station (a delay-Doppler channel matrix) and Observe infers
+// every co-sited sibling without measuring it.
+type Feedback struct {
+	cfg   crossband.Config
+	est   *crossband.Estimator
+	cells map[int]CellInfo
+	byBS  map[int][]int
+	// NoiseVar converts channel estimates to SNR (linear noise power).
+	NoiseVar float64
+
+	estimates map[int]Estimate
+}
+
+// NewFeedback builds the engine for a cell inventory.
+func NewFeedback(cfg crossband.Config, noiseVar float64, cells []CellInfo) (*Feedback, error) {
+	if noiseVar <= 0 {
+		return nil, fmt.Errorf("core: noise variance must be positive")
+	}
+	est, err := crossband.NewEstimator(cfg)
+	if err != nil {
+		return nil, err
+	}
+	f := &Feedback{
+		cfg: cfg, est: est, NoiseVar: noiseVar,
+		cells:     make(map[int]CellInfo),
+		byBS:      make(map[int][]int),
+		estimates: make(map[int]Estimate),
+	}
+	for _, c := range cells {
+		if c.CarrierHz <= 0 {
+			return nil, fmt.Errorf("core: cell %d has invalid carrier", c.ID)
+		}
+		if _, dup := f.cells[c.ID]; dup {
+			return nil, fmt.Errorf("core: duplicate cell %d", c.ID)
+		}
+		f.cells[c.ID] = c
+		f.byBS[c.BSID] = append(f.byBS[c.BSID], c.ID)
+	}
+	for _, ids := range f.byBS {
+		sort.Ints(ids)
+	}
+	return f, nil
+}
+
+// AnchorsNeeded returns one suggested anchor cell per base station —
+// the only cells the client has to measure.
+func (f *Feedback) AnchorsNeeded() []int {
+	var out []int
+	var bss []int
+	for bs := range f.byBS {
+		bss = append(bss, bs)
+	}
+	sort.Ints(bss)
+	for _, bs := range bss {
+		out = append(out, f.byBS[bs][0])
+	}
+	return out
+}
+
+// Observe ingests one measured anchor: the anchor cell's delay-Doppler
+// channel matrix. It records the anchor's SNR and cross-band-estimates
+// every co-sited sibling (Algorithm 1), returning all estimates
+// produced by this observation.
+func (f *Feedback) Observe(anchorCell int, h *dsp.Matrix) ([]Estimate, error) {
+	anchor, ok := f.cells[anchorCell]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown anchor cell %d", anchorCell)
+	}
+	var out []Estimate
+	a := Estimate{
+		CellID:   anchorCell,
+		SNRdB:    crossband.SNRFromDD(h, f.NoiseVar),
+		Measured: true,
+	}
+	f.estimates[anchorCell] = a
+	out = append(out, a)
+	for _, sibID := range f.byBS[anchor.BSID] {
+		if sibID == anchorCell {
+			continue
+		}
+		sib := f.cells[sibID]
+		h2, _, err := f.est.Estimate(h, anchor.CarrierHz, sib.CarrierHz)
+		if err != nil {
+			return out, fmt.Errorf("core: cross-band estimate for cell %d: %w", sibID, err)
+		}
+		e := Estimate{
+			CellID: sibID,
+			SNRdB:  crossband.SNRFromDD(h2, f.NoiseVar),
+		}
+		f.estimates[sibID] = e
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// Snapshot returns the latest estimate per cell, sorted by cell ID.
+func (f *Feedback) Snapshot() []Estimate {
+	var ids []int
+	for id := range f.estimates {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	out := make([]Estimate, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, f.estimates[id])
+	}
+	return out
+}

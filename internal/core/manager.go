@@ -1,0 +1,69 @@
+package core
+
+import (
+	"fmt"
+
+	"rem/internal/dsp"
+)
+
+// ManagerConfig wires a Manager.
+type ManagerConfig struct {
+	Overlay  OverlayConfig
+	Feedback struct {
+		NoiseVar float64
+	}
+	HystDB float64
+}
+
+// Manager is the step-driven REM controller: feed it one measured
+// anchor channel per base station per measurement cycle, and it keeps
+// the signaling overlay and handover decision loop running.
+type Manager struct {
+	Overlay  *Overlay
+	Feedback *Feedback
+	Decider  *Decider
+
+	serving int
+	// Handovers records executed handovers (from, to) in order.
+	Handovers [][2]int
+}
+
+// NewManager composes the controller. The overlay may be nil when the
+// caller only needs feedback + decisions (e.g. client-side use).
+func NewManager(overlay *Overlay, feedback *Feedback, decider *Decider, servingCell int) (*Manager, error) {
+	if feedback == nil || decider == nil {
+		return nil, fmt.Errorf("core: feedback and decider are required")
+	}
+	return &Manager{
+		Overlay:  overlay,
+		Feedback: feedback,
+		Decider:  decider,
+		serving:  servingCell,
+	}, nil
+}
+
+// Serving returns the current serving cell.
+func (m *Manager) Serving() int { return m.serving }
+
+// ObserveAndDecide ingests one anchor measurement, refreshes the
+// estimates and runs the decision step. When a handover target
+// qualifies, a handover command is queued on the overlay (when
+// present) and the serving cell switches. It returns the new serving
+// cell and whether a handover happened.
+func (m *Manager) ObserveAndDecide(anchorCell int, h *dsp.Matrix) (int, bool, error) {
+	if _, err := m.Feedback.Observe(anchorCell, h); err != nil {
+		return m.serving, false, err
+	}
+	target, ok := m.Decider.Decide(m.serving, m.Feedback.Snapshot())
+	if !ok {
+		return m.serving, false, nil
+	}
+	if m.Overlay != nil {
+		// A handover command is ~64 signaling bits in 4G/5G RRC terms.
+		cmd := make([]byte, 64)
+		m.Overlay.Enqueue(cmd)
+	}
+	m.Handovers = append(m.Handovers, [2]int{m.serving, target})
+	m.serving = target
+	return m.serving, true, nil
+}

@@ -1,0 +1,125 @@
+// Package core assembles REM's three components into a runtime
+// controller — the embeddable counterpart of the paper's §6
+// implementation. Where internal/mobility drives trace-based
+// simulations, core exposes the online pipeline a base station or
+// client stack would run:
+//
+//   - Overlay: the delay-Doppler signaling overlay (§5.1) — packs
+//     pending signaling messages into a scheduler-carved OTFS subgrid
+//     of each OFDM subframe and transfers them with full
+//     time-frequency diversity.
+//   - Feedback: relaxed measurement (§5.2) — groups cells by base
+//     station, accepts one delay-Doppler channel estimate per station
+//     and cross-band-infers every co-sited sibling's channel.
+//   - Decider: the simplified conflict-free policy (§5.3) — A3-only
+//     decisions over delay-Doppler SNR with a Theorem-2-enforced
+//     offset table.
+//   - Manager: wires the three into a step-driven controller.
+package core
+
+import (
+	"fmt"
+
+	"rem/internal/dsp"
+	"rem/internal/ofdm"
+	"rem/internal/otfs"
+	"rem/internal/sim"
+)
+
+// OverlayConfig sizes the signaling overlay.
+type OverlayConfig struct {
+	// GridM/GridN is the OFDM resource grid per scheduling interval
+	// (e.g. 600×14 for 10 MHz LTE, 1 ms).
+	GridM, GridN int
+	// Modulation for signaling transport (default QPSK).
+	Modulation ofdm.Modulation
+	// NoiseVar is the receiver noise power per RE (linear).
+	NoiseVar float64
+}
+
+// Overlay is the delay-Doppler signaling overlay of §5.1: a signaling
+// queue, the scheduling-based subgrid allocator, and the OTFS modem
+// path. Data traffic stays on OFDM and is only accounted, never
+// touched.
+type Overlay struct {
+	cfg     OverlayConfig
+	sched   *otfs.Scheduler
+	queue   otfs.Queue
+	pending [][]byte // payloads parallel to the scheduler queue
+	rng     *sim.RNG
+
+	// Delivered and Lost count transferred signaling messages.
+	Delivered, Lost int
+	// Inbox accumulates the payload bits of delivered messages, in
+	// delivery order; the receiver drains and decodes them (e.g. with
+	// internal/rrc).
+	Inbox [][]byte
+}
+
+// NewOverlay validates the configuration and builds the overlay.
+func NewOverlay(rng *sim.RNG, cfg OverlayConfig) (*Overlay, error) {
+	if cfg.NoiseVar < 0 {
+		return nil, fmt.Errorf("core: negative noise variance")
+	}
+	s, err := otfs.NewScheduler(cfg.GridM, cfg.GridN)
+	if err != nil {
+		return nil, err
+	}
+	return &Overlay{cfg: cfg, sched: s, rng: rng}, nil
+}
+
+// Enqueue queues one signaling message (bit payload, one bit per
+// byte).
+func (o *Overlay) Enqueue(payload []byte) {
+	o.queue.EnqueueSignaling(len(payload))
+	o.pending = append(o.pending, payload)
+}
+
+// TransferInterval runs one scheduling interval over the given per-RE
+// channel grid (GridM×GridN): pending signaling drains first into an
+// OTFS subgrid and is Monte-Carlo transferred; the remaining REs are
+// reported as OFDM data capacity. It returns how many messages were
+// delivered this interval and the data REs left. Received payloads are
+// appended to Inbox for the receiver side to decode.
+func (o *Overlay) TransferInterval(h [][]complex128) (delivered, dataREs int, err error) {
+	if len(h) != o.cfg.GridM || len(h[0]) != o.cfg.GridN {
+		return 0, 0, fmt.Errorf("core: channel grid %dx%d does not match overlay %dx%d",
+			len(h), len(h[0]), o.cfg.GridM, o.cfg.GridN)
+	}
+	plan, served, _, err := o.queue.Drain(o.sched, o.cfg.Modulation)
+	if err != nil {
+		return 0, 0, err
+	}
+	if served == 0 {
+		return 0, plan.DataREs, nil
+	}
+	// Transfer each admitted message over the allocated subgrid.
+	sub := dsp.NewGrid(plan.Signaling.FW, plan.Signaling.TW)
+	for i := 0; i < plan.Signaling.FW; i++ {
+		for j := 0; j < plan.Signaling.TW; j++ {
+			sub[i][j] = h[plan.Signaling.F0+i][plan.Signaling.T0+j]
+		}
+	}
+	for k := 0; k < served && len(o.pending) > 0; k++ {
+		payload := o.pending[0]
+		o.pending = o.pending[1:]
+		res, err := otfs.TransmitBlock(o.rng, payload, o.cfg.Modulation, sub, o.cfg.NoiseVar)
+		if err != nil {
+			return delivered, plan.DataREs, err
+		}
+		if res.Delivered {
+			o.Delivered++
+			delivered++
+			o.Inbox = append(o.Inbox, res.Payload)
+		} else {
+			o.Lost++
+		}
+	}
+	return delivered, plan.DataREs, nil
+}
+
+// PendingMessages returns the signaling backlog.
+func (o *Overlay) PendingMessages() int {
+	n, _ := o.queue.PendingSignaling()
+	return n
+}

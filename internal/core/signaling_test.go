@@ -1,0 +1,119 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"rem/internal/dsp"
+	"rem/internal/ofdm"
+	"rem/internal/rrc"
+	"rem/internal/sim"
+)
+
+// TestOverlayCarriesRRCMessages exercises the full signaling path of
+// paper §6: encode a measurement report and a handover command with
+// the RRC codec, queue them on the delay-Doppler overlay, transfer
+// them over a channel, and decode what arrived.
+func TestOverlayCarriesRRCMessages(t *testing.T) {
+	streams := sim.NewStreams(9)
+	ov, err := NewOverlay(streams.Stream("ov"), OverlayConfig{
+		GridM: 96, GridN: 14, Modulation: ofdm.QPSK, NoiseVar: dsp.FromDB(-15),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := &rrc.MeasurementReport{
+		Seq:     5,
+		Serving: rrc.MeasEntry{CellID: 7, Value: -101.25},
+		Entries: []rrc.MeasEntry{{CellID: 8, Value: -97.5}},
+	}
+	cmd := &rrc.HandoverCommand{Seq: 6, TargetCell: 8, ConfigWords: make([]uint16, 20)}
+	rb, err := report.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := cmd.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ov.Enqueue(rb)
+	ov.Enqueue(cb)
+
+	// A mildly faded channel.
+	h := dsp.NewGrid(96, 14)
+	for i := range h {
+		for j := range h[i] {
+			gain := 1.0
+			if i%3 == 0 {
+				gain = 0.4
+			}
+			h[i][j] = complex(math.Sqrt(gain), 0)
+		}
+	}
+	delivered, _, err := ov.TransferInterval(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delivered != 2 || len(ov.Inbox) != 2 {
+		t.Fatalf("delivered %d, inbox %d; want 2/2", delivered, len(ov.Inbox))
+	}
+	got0, err := rrc.Decode(ov.Inbox[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := got0.(*rrc.MeasurementReport)
+	if !ok || r.Serving.CellID != 7 || len(r.Entries) != 1 {
+		t.Fatalf("decoded report = %#v", got0)
+	}
+	if math.Abs(r.Entries[0].Value-(-97.5)) > 1e-9 {
+		t.Fatalf("entry value %g", r.Entries[0].Value)
+	}
+	got1, err := rrc.Decode(ov.Inbox[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, ok := got1.(*rrc.HandoverCommand)
+	if !ok || c.TargetCell != 8 || len(c.ConfigWords) != 20 {
+		t.Fatalf("decoded command = %#v", got1)
+	}
+}
+
+// TestOverlayRRCSizing checks the scheduler reserves a subgrid large
+// enough for realistic RRC volumes.
+func TestOverlayRRCSizing(t *testing.T) {
+	streams := sim.NewStreams(10)
+	ov, err := NewOverlay(streams.Stream("ov"), OverlayConfig{
+		GridM: 600, GridN: 14, Modulation: ofdm.QPSK, NoiseVar: 1e-6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A full-size handover command (128 config words ≈ 2.1 kbit).
+	cmd := &rrc.HandoverCommand{TargetCell: 1, ConfigWords: make([]uint16, 128)}
+	bits, err := cmd.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ov.Enqueue(bits)
+	h := dsp.NewGrid(600, 14)
+	for i := range h {
+		for j := range h[i] {
+			h[i][j] = 1
+		}
+	}
+	delivered, dataREs, err := ov.TransferInterval(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delivered != 1 {
+		t.Fatalf("large command not delivered (%d)", delivered)
+	}
+	if dataREs >= 600*14 {
+		t.Fatal("no REs were reserved for the signaling subgrid")
+	}
+	if got, err := rrc.Decode(ov.Inbox[0]); err != nil {
+		t.Fatal(err)
+	} else if got.(*rrc.HandoverCommand).TargetCell != 1 {
+		t.Fatal("command corrupted")
+	}
+}

@@ -1,0 +1,265 @@
+package crossband
+
+import (
+	"math"
+	"testing"
+
+	"rem/internal/chanmodel"
+	"rem/internal/dsp"
+	"rem/internal/sim"
+)
+
+func tfGrid(ch *chanmodel.Channel, cfg Config) [][]complex128 {
+	return ch.TFResponse(cfg.M, cfg.N, cfg.DeltaF, cfg.SymT, 0)
+}
+
+func TestR2F2StaticChannelAccurate(t *testing.T) {
+	// With zero Doppler, R2F2's static model is correct and the
+	// optimizer should nail the band-2 prediction.
+	cfg := testCfg()
+	r, err := NewR2F2(cfg.M, cfg.N, cfg.DeltaF, cfg.SymT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := &chanmodel.Channel{Paths: []chanmodel.Path{
+		{Gain: 1, Delay: 300e-9, Doppler: 0},
+		{Gain: complex(0.3, 0.5), Delay: 1200e-9, Doppler: 0},
+	}}
+	f1, f2 := 1.8e9, 2.6e9
+	got, err := r.Estimate(tfGrid(ch, cfg), f1, f2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tfGrid(ch.Retuned(f1, f2), cfg)
+	noise := 0.01
+	gotSNR := SNRFromTF(got, noise)
+	wantSNR := SNRFromTF(want, noise)
+	if math.Abs(gotSNR-wantSNR) > 0.5 {
+		t.Fatalf("static R2F2 SNR error %g dB", math.Abs(gotSNR-wantSNR))
+	}
+}
+
+func TestR2F2DegradesWithDoppler(t *testing.T) {
+	// The Fig. 13 mechanism: the same estimator that is accurate when
+	// static incurs substantial SNR error under strong Doppler, while
+	// REM's delay-Doppler estimator stays accurate.
+	cfg := testCfg()
+	r, _ := NewR2F2(cfg.M, cfg.N, cfg.DeltaF, cfg.SymT)
+	rem, _ := NewEstimator(cfg)
+	streams := sim.NewStreams(30)
+	rng := streams.Stream("ch")
+	f1, f2 := 1.835e9, 2.665e9
+	noise := 0.01
+	var r2f2Err, remErr float64
+	const draws = 25
+	for d := 0; d < draws; d++ {
+		ch := chanmodel.Generate(rng, chanmodel.GenConfig{
+			Profile: chanmodel.HST, CarrierHz: f1,
+			SpeedMS: chanmodel.KmhToMs(350), Normalize: true, LOSFirstTap: true,
+		})
+		want := SNRFromTF(tfGrid(ch.Retuned(f1, f2), cfg), noise)
+
+		gotTF, err := r.Estimate(tfGrid(ch, cfg), f1, f2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2f2Err += math.Abs(SNRFromTF(gotTF, noise) - want)
+
+		h1 := dsp.MatrixFromGrid(ch.DDResponse(cfg.M, cfg.N, cfg.DeltaF, cfg.SymT, 0))
+		gotDD, _, err := rem.Estimate(h1, f1, f2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		remErr += math.Abs(SNRFromDD(gotDD, noise) - want)
+	}
+	r2f2Err /= draws
+	remErr /= draws
+	if remErr >= r2f2Err {
+		t.Fatalf("REM mean SNR error %g dB should beat R2F2 %g dB under Doppler", remErr, r2f2Err)
+	}
+}
+
+func TestR2F2Validation(t *testing.T) {
+	if _, err := NewR2F2(1, 4, 15e3, 66.7e-6); err == nil {
+		t.Fatal("invalid setup accepted")
+	}
+	r, _ := NewR2F2(8, 4, 15e3, 66.7e-6)
+	if _, err := r.Estimate(dsp.NewGrid(4, 4), 1e9, 2e9); err == nil {
+		t.Fatal("grid mismatch accepted")
+	}
+	if _, err := r.Estimate(dsp.NewGrid(8, 4), 0, 2e9); err == nil {
+		t.Fatal("invalid carrier accepted")
+	}
+}
+
+func TestR2F2ZeroChannel(t *testing.T) {
+	cfg := testCfg()
+	r, _ := NewR2F2(cfg.M, cfg.N, cfg.DeltaF, cfg.SymT)
+	got, err := r.Estimate(dsp.NewGrid(cfg.M, cfg.N), 1e9, 2e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p float64
+	for _, row := range got {
+		for _, v := range row {
+			p += real(v)*real(v) + imag(v)*imag(v)
+		}
+	}
+	if p > 1e-6 {
+		t.Fatalf("zero channel produced power %g", p)
+	}
+}
+
+func genPairs(rng *sim.RNG, cfg Config, f1, f2 float64, n int, speed float64) (b1, b2 [][][]complex128) {
+	for i := 0; i < n; i++ {
+		ch := chanmodel.Generate(rng, chanmodel.GenConfig{
+			Profile: chanmodel.HST, CarrierHz: f1,
+			SpeedMS: speed, Normalize: true, LOSFirstTap: true,
+		})
+		b1 = append(b1, tfGrid(ch, cfg))
+		b2 = append(b2, tfGrid(ch.Retuned(f1, f2), cfg))
+	}
+	return
+}
+
+func TestOptMLTrainPredict(t *testing.T) {
+	cfg := testCfg()
+	o, err := NewOptML(cfg.M, cfg.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Trained() {
+		t.Fatal("fresh model claims trained")
+	}
+	streams := sim.NewStreams(31)
+	rng := streams.Stream("train")
+	f1, f2 := 1.835e9, 2.665e9
+	speed := chanmodel.KmhToMs(300)
+	trainB1, trainB2 := genPairs(rng, cfg, f1, f2, 80, speed)
+	if err := o.Fit(trainB1, trainB2); err != nil {
+		t.Fatal(err)
+	}
+	if !o.Trained() {
+		t.Fatal("model should be trained")
+	}
+	// Test on held-out draws: SNR prediction within a few dB on
+	// average (learned average attenuation transfer).
+	testB1, testB2 := genPairs(rng, cfg, f1, f2, 20, speed)
+	noise := 0.01
+	var meanErr float64
+	for i := range testB1 {
+		got, err := o.Estimate(testB1[i], f1, f2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		meanErr += math.Abs(SNRFromTF(got, noise) - SNRFromTF(testB2[i], noise))
+	}
+	meanErr /= float64(len(testB1))
+	if meanErr > 6 {
+		t.Fatalf("OptML mean SNR error %g dB too large", meanErr)
+	}
+}
+
+func TestOptMLUntrainedAndValidation(t *testing.T) {
+	o, _ := NewOptML(64, 8)
+	if _, err := o.Estimate(dsp.NewGrid(64, 8), 1e9, 2e9); err == nil {
+		t.Fatal("untrained model produced estimate")
+	}
+	if err := o.Fit(nil, nil); err == nil {
+		t.Fatal("empty training set accepted")
+	}
+	if _, err := NewOptML(1, 1); err == nil {
+		t.Fatal("invalid grid accepted")
+	}
+}
+
+func TestOptMLGridMismatch(t *testing.T) {
+	cfg := testCfg()
+	o, _ := NewOptML(cfg.M, cfg.N)
+	streams := sim.NewStreams(32)
+	b1, b2 := genPairs(streams.Stream("x"), cfg, 1.8e9, 2.6e9, 4, 50)
+	if err := o.Fit(b1, b2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Estimate(dsp.NewGrid(4, 4), 1.8e9, 2.6e9); err == nil {
+		t.Fatal("grid mismatch accepted")
+	}
+}
+
+func TestSolveMulti(t *testing.T) {
+	// 2x2 known system.
+	a := [][]float64{{2, 1}, {1, 3}}
+	b := [][]float64{{5, 1}, {10, 2}}
+	w, err := solveMulti(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Verify A·W == B.
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			got := a[i][0]*w[0][j] + a[i][1]*w[1][j]
+			if math.Abs(got-b[i][j]) > 1e-9 {
+				t.Fatalf("A·W != B at (%d,%d)", i, j)
+			}
+		}
+	}
+	// Singular system must error.
+	if _, err := solveMulti([][]float64{{1, 1}, {1, 1}}, [][]float64{{1, 1}, {1, 1}}); err == nil {
+		t.Fatal("singular system accepted")
+	}
+}
+
+func TestSNRHelpers(t *testing.T) {
+	g := dsp.NewGrid(2, 2)
+	for i := range g {
+		for j := range g[i] {
+			g[i][j] = 2 // gain 4 per RE
+		}
+	}
+	if got := SNRFromTF(g, 0.4); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("SNRFromTF = %g, want 10 dB", got)
+	}
+	if !math.IsInf(SNRFromTF(g, 0), -1) {
+		t.Fatal("zero noise should give -Inf sentinel")
+	}
+	dd := dsp.MatrixFromGrid(dsp.ISFFT(g))
+	if got := SNRFromDD(dd, 0.4); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("SNRFromDD = %g, want 10 dB", got)
+	}
+}
+
+func BenchmarkREMEstimate(b *testing.B) {
+	cfg := testCfg()
+	e, _ := NewEstimator(cfg)
+	streams := sim.NewStreams(33)
+	ch := chanmodel.Generate(streams.Stream("b"), chanmodel.GenConfig{
+		Profile: chanmodel.HST, CarrierHz: 1.8e9, SpeedMS: chanmodel.KmhToMs(350),
+		Normalize: true, LOSFirstTap: true,
+	})
+	h1 := dsp.MatrixFromGrid(ch.DDResponse(cfg.M, cfg.N, cfg.DeltaF, cfg.SymT, 0))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := e.Estimate(h1, 1.8e9, 2.6e9); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkR2F2Estimate(b *testing.B) {
+	cfg := testCfg()
+	r, _ := NewR2F2(cfg.M, cfg.N, cfg.DeltaF, cfg.SymT)
+	streams := sim.NewStreams(34)
+	ch := chanmodel.Generate(streams.Stream("b"), chanmodel.GenConfig{
+		Profile: chanmodel.HST, CarrierHz: 1.8e9, SpeedMS: chanmodel.KmhToMs(350),
+		Normalize: true, LOSFirstTap: true,
+	})
+	tf := tfGrid(ch, cfg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Estimate(tf, 1.8e9, 2.6e9); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package crossband
+
+import (
+	"rem/internal/dsp"
+)
+
+// SNRFromTF returns the wideband SNR (dB) implied by a time-frequency
+// channel grid and a noise power: mean per-RE gain over noise.
+func SNRFromTF(h [][]complex128, noiseVar float64) float64 {
+	if noiseVar <= 0 || len(h) == 0 {
+		return dsp.DB(0)
+	}
+	var sum float64
+	count := 0
+	for _, row := range h {
+		for _, v := range row {
+			sum += real(v)*real(v) + imag(v)*imag(v)
+			count++
+		}
+	}
+	if count == 0 {
+		return dsp.DB(0)
+	}
+	return dsp.DB(sum / float64(count) / noiseVar)
+}
+
+// SNRFromDD returns the wideband SNR (dB) implied by a sampled
+// delay-Doppler channel matrix: by Parseval (1/(MN)-normalized ISFFT),
+// the mean time-frequency gain equals ‖H_dd‖²_F.
+func SNRFromDD(h *dsp.Matrix, noiseVar float64) float64 {
+	if noiseVar <= 0 || h == nil {
+		return dsp.DB(0)
+	}
+	fn := h.FrobeniusNorm()
+	return dsp.DB(fn * fn / noiseVar)
+}

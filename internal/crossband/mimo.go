@@ -1,0 +1,44 @@
+package crossband
+
+import (
+	"fmt"
+
+	"rem/internal/dsp"
+)
+
+// EstimateMIMO runs Algorithm 1 independently per antenna port (paper
+// §5.2: "Algorithm 1 supports multi-antenna systems such as MIMO and
+// beamforming, by running it on each antenna"). Inputs are band 1's
+// per-antenna delay-Doppler channel matrices; outputs are band 2's
+// per-antenna estimates plus each antenna's recovered path profile.
+func (e *Estimator) EstimateMIMO(h1 []*dsp.Matrix, f1, f2 float64) ([]*dsp.Matrix, [][]PathEstimate, error) {
+	if len(h1) == 0 {
+		return nil, nil, fmt.Errorf("crossband: no antenna inputs")
+	}
+	out := make([]*dsp.Matrix, len(h1))
+	paths := make([][]PathEstimate, len(h1))
+	for i, h := range h1 {
+		h2, p, err := e.Estimate(h, f1, f2)
+		if err != nil {
+			return nil, nil, fmt.Errorf("crossband: antenna %d: %w", i, err)
+		}
+		out[i] = h2
+		paths[i] = p
+	}
+	return out, paths, nil
+}
+
+// MIMOSNR aggregates per-antenna delay-Doppler channel estimates into
+// a post-MRC wideband SNR (dB): receive antennas combine coherently,
+// so their per-RE gains add.
+func MIMOSNR(h []*dsp.Matrix, noiseVar float64) float64 {
+	if noiseVar <= 0 || len(h) == 0 {
+		return dsp.DB(0)
+	}
+	total := 0.0
+	for _, m := range h {
+		fn := m.FrobeniusNorm()
+		total += fn * fn
+	}
+	return dsp.DB(total / noiseVar)
+}

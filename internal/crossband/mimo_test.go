@@ -1,0 +1,110 @@
+package crossband
+
+import (
+	"math"
+	"testing"
+
+	"rem/internal/chanmodel"
+	"rem/internal/dsp"
+	"rem/internal/sim"
+)
+
+func TestEstimateMIMO(t *testing.T) {
+	cfg := testCfg()
+	e, _ := NewEstimator(cfg)
+	streams := sim.NewStreams(40)
+	rng := streams.Stream("mimo")
+	f1, f2 := 1.835e9, 2.665e9
+	// Two receive antennas: same geometry (delays/Dopplers), different
+	// per-path complex gains — the standard spatially-separated-antenna
+	// model.
+	base := chanmodel.Generate(rng, chanmodel.GenConfig{
+		Profile: chanmodel.HST, CarrierHz: f1,
+		SpeedMS: chanmodel.KmhToMs(300), Normalize: true, LOSFirstTap: true,
+	})
+	ant2 := base.Clone()
+	for i := range ant2.Paths {
+		ant2.Paths[i].Gain *= complex(0, 1) // common phase rotation per antenna
+	}
+	h1 := []*dsp.Matrix{ddMatrix(t, base, cfg), ddMatrix(t, ant2, cfg)}
+	h2, paths, err := e.EstimateMIMO(h1, f1, f2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h2) != 2 || len(paths) != 2 {
+		t.Fatalf("outputs %d/%d, want 2/2", len(h2), len(paths))
+	}
+	// Each antenna's estimate must match its own ground truth.
+	for i, ch := range []*chanmodel.Channel{base, ant2} {
+		want := ddMatrix(t, ch.Retuned(f1, f2), cfg)
+		if re := relErr(h2[i], want); re > 0.25 {
+			t.Errorf("antenna %d reconstruction relative error %g", i, re)
+		}
+	}
+	// Post-MRC SNR must be the per-antenna power sum.
+	got := MIMOSNR(h2, 0.01)
+	want := dsp.DB((sq(h2[0].FrobeniusNorm()) + sq(h2[1].FrobeniusNorm())) / 0.01)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("MIMOSNR = %g, want %g", got, want)
+	}
+}
+
+func sq(x float64) float64 { return x * x }
+
+func TestEstimateMIMOValidation(t *testing.T) {
+	cfg := testCfg()
+	e, _ := NewEstimator(cfg)
+	if _, _, err := e.EstimateMIMO(nil, 1e9, 2e9); err == nil {
+		t.Fatal("empty antenna set accepted")
+	}
+	if _, _, err := e.EstimateMIMO([]*dsp.Matrix{dsp.NewMatrix(2, 2)}, 1e9, 2e9); err == nil {
+		t.Fatal("mismatched matrix accepted")
+	}
+	if MIMOSNR(nil, 0.01) != dsp.DB(0) {
+		t.Fatal("empty MIMOSNR should be -Inf sentinel")
+	}
+}
+
+func TestPipelineEndToEnd(t *testing.T) {
+	cfg := Config{M: 64, N: 32, DeltaF: 60e3, SymT: 1.0 / 60e3, MaxPaths: 6}
+	// Pilot SNR around 20 dB (channel power ~1, noise 0.01).
+	p, err := NewPipeline(cfg, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streams := sim.NewStreams(41)
+	chRNG := streams.Stream("pipe.ch")
+	rxRNG := streams.Stream("pipe.rx")
+	f1, f2 := 1.835e9, 2.665e9
+	linkNoise := 0.01
+	var errs []float64
+	const draws = 25
+	for d := 0; d < draws; d++ {
+		ch := chanmodel.Generate(chRNG, chanmodel.GenConfig{
+			Profile: chanmodel.HST, CarrierHz: f1,
+			SpeedMS: chanmodel.KmhToMs(300), Normalize: true, LOSFirstTap: true,
+		})
+		got, err := p.Run(rxRNG, ch, f1, f2, 0, linkNoise)
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth := SNRFromTF(ch.Retuned(f1, f2).TFResponse(cfg.M, cfg.N, cfg.DeltaF, cfg.SymT, 0), linkNoise)
+		errs = append(errs, math.Abs(got-truth))
+	}
+	p90 := dsp.Percentile(errs, 90)
+	if p90 > 2.5 {
+		t.Fatalf("end-to-end P90 SNR error %g dB too large (Fig. 12's ≤2 dB target ±margin)", p90)
+	}
+}
+
+func TestPipelineValidation(t *testing.T) {
+	cfg := testCfg()
+	if _, err := NewPipeline(cfg, -1); err == nil {
+		t.Fatal("negative pilot noise accepted")
+	}
+	bad := cfg
+	bad.M = 1
+	if _, err := NewPipeline(bad, 0.01); err == nil {
+		t.Fatal("invalid grid accepted")
+	}
+}

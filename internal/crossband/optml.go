@@ -1,0 +1,185 @@
+package crossband
+
+import (
+	"fmt"
+	"math"
+)
+
+// OptML is the paper's second baseline (reference [24]): a learned
+// cross-band predictor. Faithful to the original's character, it
+// (a) requires training data from the target environment (the paper
+// trains on a random 80% of the HSR dataset), (b) predicts in the
+// time-frequency domain with no Doppler model, and (c) is faster than
+// R2F2's optimizer but still slower to adapt than REM's closed-form
+// SVD path because accuracy depends on how well training covered the
+// current channel conditions.
+//
+// The model is a ridge regression from the band-1 magnitude/frequency
+// profile (downsampled to FeatureBins) to the band-2 profile.
+type OptML struct {
+	M, N        int
+	FeatureBins int     // downsampled frequency-profile length
+	Lambda      float64 // ridge regularizer
+
+	weights [][]float64 // (FeatureBins+1) x FeatureBins, bias row last
+	trained bool
+}
+
+// NewOptML creates an untrained model for an M×N grid.
+func NewOptML(m, n int) (*OptML, error) {
+	if m < 2 || n < 1 {
+		return nil, fmt.Errorf("crossband: invalid OptML grid %dx%d", m, n)
+	}
+	bins := 32
+	if bins > m {
+		bins = m
+	}
+	return &OptML{M: m, N: n, FeatureBins: bins, Lambda: 1e-3}, nil
+}
+
+// profile extracts the time-averaged magnitude frequency profile,
+// downsampled to FeatureBins.
+func (o *OptML) profile(h [][]complex128) []float64 {
+	out := make([]float64, o.FeatureBins)
+	counts := make([]int, o.FeatureBins)
+	for m := 0; m < o.M; m++ {
+		bin := m * o.FeatureBins / o.M
+		var sum float64
+		for n := 0; n < o.N; n++ {
+			v := h[m][n]
+			sum += math.Hypot(real(v), imag(v))
+		}
+		out[bin] += sum / float64(o.N)
+		counts[bin]++
+	}
+	for i := range out {
+		if counts[i] > 0 {
+			out[i] /= float64(counts[i])
+		}
+	}
+	return out
+}
+
+// Fit trains the ridge regression on paired observations: band-1 and
+// band-2 time-frequency grids of the same channel. It returns an error
+// if fewer than two pairs are supplied.
+func (o *OptML) Fit(band1, band2 [][][]complex128) error {
+	if len(band1) != len(band2) || len(band1) < 2 {
+		return fmt.Errorf("crossband: OptML needs ≥2 paired samples, got %d/%d", len(band1), len(band2))
+	}
+	d := o.FeatureBins
+	nFeat := d + 1 // + bias
+	// Normal equations: (XᵀX + λI)·W = XᵀY.
+	xtx := make([][]float64, nFeat)
+	for i := range xtx {
+		xtx[i] = make([]float64, nFeat)
+	}
+	xty := make([][]float64, nFeat)
+	for i := range xty {
+		xty[i] = make([]float64, d)
+	}
+	for s := range band1 {
+		x := append(o.profile(band1[s]), 1) // bias
+		y := o.profile(band2[s])
+		for i := 0; i < nFeat; i++ {
+			for j := 0; j < nFeat; j++ {
+				xtx[i][j] += x[i] * x[j]
+			}
+			for j := 0; j < d; j++ {
+				xty[i][j] += x[i] * y[j]
+			}
+		}
+	}
+	for i := 0; i < nFeat; i++ {
+		xtx[i][i] += o.Lambda
+	}
+	w, err := solveMulti(xtx, xty)
+	if err != nil {
+		return fmt.Errorf("crossband: OptML training: %w", err)
+	}
+	o.weights = w
+	o.trained = true
+	return nil
+}
+
+// Trained reports whether Fit has succeeded.
+func (o *OptML) Trained() bool { return o.trained }
+
+// Estimate predicts band 2's time-frequency grid from band 1's. The
+// prediction carries magnitudes only (constant phase, constant in
+// time): like the original, the model targets link quality (SNR), not
+// coherent channel state. Returns an error if the model is untrained.
+func (o *OptML) Estimate(h1tf [][]complex128, f1, f2 float64) ([][]complex128, error) {
+	if !o.trained {
+		return nil, fmt.Errorf("crossband: OptML model not trained")
+	}
+	if len(h1tf) != o.M || len(h1tf[0]) != o.N {
+		return nil, fmt.Errorf("crossband: OptML grid mismatch")
+	}
+	x := append(o.profile(h1tf), 1)
+	d := o.FeatureBins
+	pred := make([]float64, d)
+	for j := 0; j < d; j++ {
+		var sum float64
+		for i := range x {
+			sum += x[i] * o.weights[i][j]
+		}
+		if sum < 0 {
+			sum = 0
+		}
+		pred[j] = sum
+	}
+	out := make([][]complex128, o.M)
+	for m := 0; m < o.M; m++ {
+		bin := m * d / o.M
+		row := make([]complex128, o.N)
+		for n := 0; n < o.N; n++ {
+			row[n] = complex(pred[bin], 0)
+		}
+		out[m] = row
+	}
+	return out, nil
+}
+
+// solveMulti solves A·W = B for W with Gaussian elimination and partial
+// pivoting; A is square (nFeat×nFeat), B is nFeat×d.
+func solveMulti(a [][]float64, b [][]float64) ([][]float64, error) {
+	n := len(a)
+	d := len(b[0])
+	// Augment copies so callers keep their inputs.
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = append(append([]float64(nil), a[i]...), b[i]...)
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(m[piv][col]) < 1e-12 {
+			return nil, fmt.Errorf("singular system at column %d", col)
+		}
+		m[col], m[piv] = m[piv], m[col]
+		inv := 1 / m[col][col]
+		for j := col; j < n+d; j++ {
+			m[col][j] *= inv
+		}
+		for r := 0; r < n; r++ {
+			if r == col || m[r][col] == 0 {
+				continue
+			}
+			f := m[r][col]
+			for j := col; j < n+d; j++ {
+				m[r][j] -= f * m[col][j]
+			}
+		}
+	}
+	w := make([][]float64, n)
+	for i := range w {
+		w[i] = m[i][n:]
+	}
+	return w, nil
+}

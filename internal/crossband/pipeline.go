@@ -1,0 +1,50 @@
+package crossband
+
+import (
+	"fmt"
+
+	"rem/internal/chanmodel"
+	"rem/internal/otfs"
+	"rem/internal/sim"
+)
+
+// Pipeline is the full Fig. 7 receive chain: the base station's
+// delay-Doppler reference signals cross the physical channel, the
+// client runs pilot-based delay-Doppler channel estimation
+// (otfs.Estimator), and Algorithm 1 infers the co-sited band — the
+// end-to-end path a real client executes, estimation noise included.
+type Pipeline struct {
+	Est      *otfs.Estimator
+	Cross    *Estimator
+	NoiseVar float64 // per-RE receiver noise during pilot reception
+}
+
+// NewPipeline wires the pilot estimator and Algorithm 1 on matching
+// grids.
+func NewPipeline(cfg Config, pilotNoiseVar float64) (*Pipeline, error) {
+	if pilotNoiseVar < 0 {
+		return nil, fmt.Errorf("crossband: negative pilot noise")
+	}
+	oe, err := otfs.NewEstimator(cfg.M, cfg.N, cfg.DeltaF, cfg.SymT)
+	if err != nil {
+		return nil, err
+	}
+	ce, err := NewEstimator(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Pipeline{Est: oe, Cross: ce, NoiseVar: pilotNoiseVar}, nil
+}
+
+// Run executes one measurement cycle at absolute time t0: estimate
+// band 1's channel from (noisy) pilots over ch, then cross-band-infer
+// band 2. It returns band 2's estimated wideband SNR (dB) for a
+// receiver noise power of linkNoiseVar.
+func (p *Pipeline) Run(rng *sim.RNG, ch *chanmodel.Channel, f1, f2, t0, linkNoiseVar float64) (float64, error) {
+	h1 := p.Est.Estimate(rng, ch, t0, p.NoiseVar)
+	h2, _, err := p.Cross.Estimate(h1, f1, f2)
+	if err != nil {
+		return 0, err
+	}
+	return SNRFromDD(h2, linkNoiseVar), nil
+}

@@ -1,0 +1,191 @@
+package crossband
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"rem/internal/dsp"
+)
+
+// R2F2 is the paper's first baseline (reference [23]): cross-band
+// channel inference by nonlinear optimization of a *static* multipath
+// model in the time-frequency domain. Faithful to the original, it
+// (a) ignores Doppler entirely — the channel is assumed to hold still
+// across the observation window — and (b) spends its time on iterative
+// optimization (matching pursuit over a fine delay grid followed by
+// numerical-gradient refinement against the full grid), which is the
+// runtime the paper measures in Fig. 14b.
+type R2F2 struct {
+	M, N     int
+	DeltaF   float64
+	SymT     float64
+	MaxPaths int // maximum paths to explore (paper tuned this to 6)
+
+	// Oversample is the delay-grid oversampling factor for matching
+	// pursuit (default 4).
+	Oversample int
+	// RefineIters is the number of joint refinement iterations
+	// (default 30).
+	RefineIters int
+}
+
+// NewR2F2 returns the baseline estimator with the paper's tuning
+// (6 paths) unless overridden.
+func NewR2F2(m, n int, deltaF, symT float64) (*R2F2, error) {
+	if m < 2 || n < 1 || deltaF <= 0 || symT <= 0 {
+		return nil, fmt.Errorf("crossband: invalid R2F2 setup %dx%d Δf=%g T=%g", m, n, deltaF, symT)
+	}
+	return &R2F2{M: m, N: n, DeltaF: deltaF, SymT: symT, MaxPaths: 6, Oversample: 8, RefineIters: 150}, nil
+}
+
+// staticPath is R2F2's Doppler-less path model.
+type staticPath struct {
+	amp   complex128
+	delay float64
+}
+
+// Estimate infers band 2's time-frequency channel from band 1's
+// observed time-frequency grid. Both the fit and the prediction use
+// the static model H(f) = Σ_p a_p·e^{−j2πfτ_p}; in extreme mobility
+// the per-symbol Doppler rotation in h1tf is unmodeled, which is the
+// baseline's fundamental accuracy limit (paper §5.2).
+func (r *R2F2) Estimate(h1tf [][]complex128, f1, f2 float64) ([][]complex128, error) {
+	if len(h1tf) != r.M || len(h1tf[0]) != r.N {
+		return nil, fmt.Errorf("crossband: R2F2 grid mismatch")
+	}
+	if f1 <= 0 || f2 <= 0 {
+		return nil, fmt.Errorf("crossband: invalid carriers")
+	}
+	// Static assumption: collapse time by averaging (any Doppler
+	// rotation partially cancels here — the model cannot express it).
+	g := make([]complex128, r.M)
+	for m := 0; m < r.M; m++ {
+		var sum complex128
+		for n := 0; n < r.N; n++ {
+			sum += h1tf[m][n]
+		}
+		g[m] = sum / complex(float64(r.N), 0)
+	}
+
+	paths := r.matchingPursuit(g)
+	paths = r.refine(g, paths)
+
+	// Predict band 2 from the frequency-independent delays and
+	// amplitudes; the static model is constant across time.
+	out := dsp.NewGrid(r.M, r.N)
+	for m := 0; m < r.M; m++ {
+		var v complex128
+		for _, p := range paths {
+			v += p.amp * cmplx.Exp(complex(0, -2*math.Pi*float64(m)*r.DeltaF*p.delay))
+		}
+		for n := 0; n < r.N; n++ {
+			out[m][n] = v
+		}
+	}
+	return out, nil
+}
+
+// matchingPursuit greedily extracts up to MaxPaths delays on a fine
+// grid, the exploratory stage of the optimizer.
+func (r *R2F2) matchingPursuit(g []complex128) []staticPath {
+	res := append([]complex128(nil), g...)
+	grid := r.M * r.Oversample
+	maxDelay := 1 / r.DeltaF
+	var paths []staticPath
+	energy := vecPower(res)
+	for len(paths) < r.MaxPaths {
+		bestCorr, bestTau := 0.0, 0.0
+		var bestAmp complex128
+		for gi := 0; gi < grid; gi++ {
+			tau := maxDelay * float64(gi) / float64(grid)
+			amp := r.correlate(res, tau)
+			if c := cmplx.Abs(amp); c > bestCorr {
+				bestCorr, bestTau, bestAmp = c, tau, amp
+			}
+		}
+		if bestCorr*bestCorr*float64(r.M) < 1e-4*energy {
+			break
+		}
+		paths = append(paths, staticPath{amp: bestAmp, delay: bestTau})
+		r.subtract(res, bestAmp, bestTau)
+	}
+	return paths
+}
+
+// correlate returns the least-squares amplitude of a candidate delay
+// against the residual.
+func (r *R2F2) correlate(res []complex128, tau float64) complex128 {
+	var num complex128
+	for m := range res {
+		s := cmplx.Exp(complex(0, -2*math.Pi*float64(m)*r.DeltaF*tau))
+		num += cmplx.Conj(s) * res[m]
+	}
+	return num / complex(float64(len(res)), 0)
+}
+
+func (r *R2F2) subtract(res []complex128, amp complex128, tau float64) {
+	for m := range res {
+		res[m] -= amp * cmplx.Exp(complex(0, -2*math.Pi*float64(m)*r.DeltaF*tau))
+	}
+}
+
+// refine runs coordinate-descent numerical optimization of all path
+// delays and amplitudes against the averaged response — the expensive
+// "non-linear optimization" stage.
+func (r *R2F2) refine(g []complex128, paths []staticPath) []staticPath {
+	if len(paths) == 0 {
+		return paths
+	}
+	step := 1 / (r.DeltaF * float64(r.M) * float64(r.Oversample) * 2)
+	for it := 0; it < r.RefineIters; it++ {
+		improved := false
+		for pi := range paths {
+			// Residual without path pi.
+			res := append([]complex128(nil), g...)
+			for pj := range paths {
+				if pj != pi {
+					r.subtract(res, paths[pj].amp, paths[pj].delay)
+				}
+			}
+			base := paths[pi]
+			bestTau, bestAmp := base.delay, r.correlate(res, base.delay)
+			bestCost := r.cost(res, bestAmp, bestTau)
+			for _, cand := range []float64{base.delay - step, base.delay + step} {
+				if cand < 0 {
+					continue
+				}
+				amp := r.correlate(res, cand)
+				if c := r.cost(res, amp, cand); c < bestCost {
+					bestCost, bestTau, bestAmp = c, cand, amp
+					improved = true
+				}
+			}
+			paths[pi] = staticPath{amp: bestAmp, delay: bestTau}
+		}
+		if !improved {
+			step /= 2
+			if step < 1e-12 {
+				break
+			}
+		}
+	}
+	return paths
+}
+
+func (r *R2F2) cost(res []complex128, amp complex128, tau float64) float64 {
+	sum := 0.0
+	for m := range res {
+		d := res[m] - amp*cmplx.Exp(complex(0, -2*math.Pi*float64(m)*r.DeltaF*tau))
+		sum += real(d)*real(d) + imag(d)*imag(d)
+	}
+	return sum
+}
+
+func vecPower(v []complex128) float64 {
+	sum := 0.0
+	for _, c := range v {
+		sum += real(c)*real(c) + imag(c)*imag(c)
+	}
+	return sum
+}

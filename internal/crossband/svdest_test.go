@@ -1,0 +1,280 @@
+package crossband
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rem/internal/chanmodel"
+	"rem/internal/dsp"
+	"rem/internal/sim"
+)
+
+// testCfg: NR µ=2 numerology (60 kHz spacing) on a 128×64 grid —
+// Δτ ≈ 130 ns, Δν ≈ 938 Hz, spanning 1.07 ms.
+func testCfg() Config {
+	return Config{M: 128, N: 64, DeltaF: 60e3, SymT: 1.0 / 60e3, MaxPaths: 8}
+}
+
+func ddMatrix(t *testing.T, ch *chanmodel.Channel, cfg Config) *dsp.Matrix {
+	t.Helper()
+	return dsp.MatrixFromGrid(ch.DDResponse(cfg.M, cfg.N, cfg.DeltaF, cfg.SymT, 0))
+}
+
+func relErr(got, want *dsp.Matrix) float64 {
+	wn := want.FrobeniusNorm()
+	if wn == 0 {
+		return got.FrobeniusNorm()
+	}
+	return got.Sub(want).FrobeniusNorm() / wn
+}
+
+func TestEstimatorValidation(t *testing.T) {
+	if _, err := NewEstimator(Config{M: 1, N: 4, DeltaF: 1, SymT: 1}); err == nil {
+		t.Fatal("tiny grid accepted")
+	}
+	if _, err := NewEstimator(Config{M: 4, N: 4, DeltaF: 0, SymT: 1}); err == nil {
+		t.Fatal("zero Δf accepted")
+	}
+	e, err := NewEstimator(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.Estimate(dsp.NewMatrix(3, 3), 1e9, 2e9); err == nil {
+		t.Fatal("mismatched matrix accepted")
+	}
+	if _, _, err := e.Estimate(dsp.NewMatrix(128, 64), 0, 2e9); err == nil {
+		t.Fatal("zero carrier accepted")
+	}
+}
+
+func TestSinglePathRecovery(t *testing.T) {
+	cfg := testCfg()
+	e, _ := NewEstimator(cfg)
+	// One off-grid path.
+	ch := &chanmodel.Channel{Paths: []chanmodel.Path{
+		{Gain: complex(0.9, -0.3), Delay: 417e-9, Doppler: 618},
+	}}
+	h1 := ddMatrix(t, ch, cfg)
+	f1, f2 := 1.8e9, 2.6e9
+	h2, paths, err := e.Estimate(h1, f1, f2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 1 {
+		t.Fatalf("recovered %d paths, want 1", len(paths))
+	}
+	p := paths[0]
+	if math.Abs(p.Delay-417e-9) > 20e-9 {
+		t.Errorf("delay = %g ns, want ≈417", p.Delay*1e9)
+	}
+	if math.Abs(p.Doppler1-618) > 30 {
+		t.Errorf("Doppler1 = %g Hz, want ≈618", p.Doppler1)
+	}
+	if math.Abs(p.Doppler2-618*f2/f1) > 45 {
+		t.Errorf("Doppler2 = %g Hz, want ≈%g", p.Doppler2, 618*f2/f1)
+	}
+	want := ddMatrix(t, ch.Retuned(f1, f2), cfg)
+	if re := relErr(h2, want); re > 0.05 {
+		t.Errorf("band-2 reconstruction relative error %g", re)
+	}
+}
+
+func TestMultiPathOnGridRecovery(t *testing.T) {
+	cfg := testCfg()
+	e, _ := NewEstimator(cfg)
+	dtau := 1 / (float64(cfg.M) * cfg.DeltaF)
+	dnu := 1 / (float64(cfg.N) * cfg.SymT)
+	// Three paths exactly on the grid: Theorem 1 conditions hold, the
+	// SVD decomposition is exact.
+	ch := &chanmodel.Channel{Paths: []chanmodel.Path{
+		{Gain: 1.0, Delay: 0, Doppler: 0},
+		{Gain: complex(0, 0.6), Delay: 3 * dtau, Doppler: 1 * dnu},
+		{Gain: complex(-0.4, 0.2), Delay: 7 * dtau, Doppler: -2 * dnu},
+	}}
+	h1 := ddMatrix(t, ch, cfg)
+	f1, f2 := 1.8e9, 2.1e9
+	h2, paths, err := e.Estimate(h1, f1, f2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 3 {
+		t.Fatalf("recovered %d paths, want 3", len(paths))
+	}
+	want := ddMatrix(t, ch.Retuned(f1, f2), cfg)
+	if re := relErr(h2, want); re > 0.08 {
+		t.Errorf("band-2 reconstruction relative error %g", re)
+	}
+	// Delays must match the true set (strength-ordered: path 0 first).
+	wantDelays := []float64{0, 3 * dtau, 7 * dtau}
+	for i, wd := range wantDelays {
+		if math.Abs(paths[i].Delay-wd) > dtau/4 {
+			t.Errorf("path %d delay %g, want %g", i, paths[i].Delay, wd)
+		}
+	}
+}
+
+func TestHSTProfileAccuracy(t *testing.T) {
+	// Realistic draw: HST profile at 350 km/h. The estimate should land
+	// within 2 dB of the true band-2 SNR for the vast majority of
+	// draws (paper Fig. 12: ≤2 dB for ≥90%).
+	cfg := testCfg()
+	e, _ := NewEstimator(cfg)
+	streams := sim.NewStreams(20)
+	rng := streams.Stream("ch")
+	f1, f2 := 1.835e9, 2.665e9
+	noiseVar := 0.01
+	bad := 0
+	const draws = 60
+	for d := 0; d < draws; d++ {
+		ch := chanmodel.Generate(rng, chanmodel.GenConfig{
+			Profile: chanmodel.HST, CarrierHz: f1,
+			SpeedMS: chanmodel.KmhToMs(350), Normalize: true, LOSFirstTap: true,
+		})
+		h1 := ddMatrix(t, ch, cfg)
+		h2, _, err := e.Estimate(h1, f1, f2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := ddMatrix(t, ch.Retuned(f1, f2), cfg)
+		gotSNR := dsp.DB(h2.FrobeniusNorm() * h2.FrobeniusNorm() / noiseVar)
+		wantSNR := dsp.DB(want.FrobeniusNorm() * want.FrobeniusNorm() / noiseVar)
+		if math.Abs(gotSNR-wantSNR) > 2 {
+			bad++
+		}
+	}
+	if bad > draws/10 {
+		t.Fatalf("%d/%d draws exceeded 2 dB SNR error", bad, draws)
+	}
+}
+
+func TestNoiseRobustness(t *testing.T) {
+	// With noisy channel estimates the recovered paths should still be
+	// close; rank selection must not explode with noise components.
+	cfg := testCfg()
+	cfg.MaxPaths = 6
+	e, _ := NewEstimator(cfg)
+	streams := sim.NewStreams(21)
+	rng := streams.Stream("noise")
+	ch := &chanmodel.Channel{Paths: []chanmodel.Path{
+		{Gain: 1, Delay: 300e-9, Doppler: 500},
+		{Gain: complex(0.4, 0.4), Delay: 900e-9, Doppler: -350},
+	}}
+	h1 := ddMatrix(t, ch, cfg)
+	// Add estimation noise at -25 dB relative to the channel.
+	noisy := h1.Clone()
+	sigma := h1.FrobeniusNorm() / math.Sqrt(float64(cfg.M*cfg.N)) * dsp.FromDB(-25.0/2)
+	for i := range noisy.Data {
+		noisy.Data[i] += rng.ComplexNorm(sigma * sigma)
+	}
+	f1, f2 := 1.8e9, 2.6e9
+	h2, paths, err := e.Estimate(noisy, f1, f2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) > cfg.MaxPaths {
+		t.Fatalf("path count %d exceeds cap", len(paths))
+	}
+	want := ddMatrix(t, ch.Retuned(f1, f2), cfg)
+	if re := relErr(h2, want); re > 0.25 {
+		t.Errorf("noisy reconstruction relative error %g", re)
+	}
+}
+
+func TestZeroChannel(t *testing.T) {
+	cfg := testCfg()
+	e, _ := NewEstimator(cfg)
+	h2, paths, err := e.Estimate(dsp.NewMatrix(cfg.M, cfg.N), 1.8e9, 2.6e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 0 || h2.FrobeniusNorm() != 0 {
+		t.Fatal("zero channel should give zero estimate")
+	}
+}
+
+func TestSameBandIdentity(t *testing.T) {
+	// f2 == f1 must reproduce the input channel (up to truncation).
+	cfg := testCfg()
+	e, _ := NewEstimator(cfg)
+	ch := &chanmodel.Channel{Paths: []chanmodel.Path{
+		{Gain: 1, Delay: 250e-9, Doppler: 420},
+		{Gain: 0.5i, Delay: 800e-9, Doppler: -300},
+	}}
+	h1 := ddMatrix(t, ch, cfg)
+	h2, _, err := e.Estimate(h1, 2.1e9, 2.1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re := relErr(h2, h1); re > 0.05 {
+		t.Fatalf("same-band identity relative error %g", re)
+	}
+}
+
+func TestDopplerScalingDirection(t *testing.T) {
+	// Moving to a higher carrier must scale the Doppler up.
+	cfg := testCfg()
+	e, _ := NewEstimator(cfg)
+	ch := &chanmodel.Channel{Paths: []chanmodel.Path{{Gain: 1, Delay: 200e-9, Doppler: 400}}}
+	h1 := ddMatrix(t, ch, cfg)
+	_, up, err := e.Estimate(h1, 1e9, 2e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, down, err := e.Estimate(h1, 2e9, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up[0].Doppler2 < up[0].Doppler1 {
+		t.Fatal("upscaling carrier should raise Doppler")
+	}
+	if down[0].Doppler2 > down[0].Doppler1 {
+		t.Fatal("downscaling carrier should lower Doppler")
+	}
+	if math.Abs(up[0].Doppler2-2*up[0].Doppler1) > 1 {
+		t.Fatalf("Doppler2 = %g, want 2×%g", up[0].Doppler2, up[0].Doppler1)
+	}
+}
+
+// TestOnGridExactRecoveryProperty is the executable Theorem 1: paths
+// exactly on the delay-Doppler grid with distinct bins make H = ΓPΦ a
+// true SVD, so Algorithm 1 recovers the band-2 channel (nearly)
+// exactly for ANY such channel.
+func TestOnGridExactRecoveryProperty(t *testing.T) {
+	cfg := testCfg()
+	e, _ := NewEstimator(cfg)
+	dtau := 1 / (float64(cfg.M) * cfg.DeltaF)
+	dnu := 1 / (float64(cfg.N) * cfg.SymT)
+	f := func(seed int64) bool {
+		rng := sim.NewRNG(seed)
+		nPaths := 1 + rng.Intn(4)
+		usedK := map[int]bool{}
+		usedL := map[int]bool{}
+		var paths []chanmodel.Path
+		for len(paths) < nPaths {
+			k := rng.Intn(12)
+			l := rng.Intn(cfg.N/2) - cfg.N/4
+			if usedK[k] || usedL[l] {
+				continue
+			}
+			usedK[k], usedL[l] = true, true
+			paths = append(paths, chanmodel.Path{
+				Gain:    complex(rng.Uniform(0.2, 1), rng.Uniform(-0.5, 0.5)),
+				Delay:   float64(k) * dtau,
+				Doppler: float64(l) * dnu,
+			})
+		}
+		ch := &chanmodel.Channel{Paths: paths}
+		h1 := dsp.MatrixFromGrid(ch.DDResponse(cfg.M, cfg.N, cfg.DeltaF, cfg.SymT, 0))
+		f1, f2 := 1.8e9, 2.6e9
+		h2, _, err := e.Estimate(h1, f1, f2)
+		if err != nil {
+			return false
+		}
+		want := dsp.MatrixFromGrid(ch.Retuned(f1, f2).DDResponse(cfg.M, cfg.N, cfg.DeltaF, cfg.SymT, 0))
+		return relErr(h2, want) < 0.15
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

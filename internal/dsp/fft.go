@@ -1,0 +1,231 @@
+// Package dsp provides the signal-processing substrate for REM: complex
+// FFTs of arbitrary length, the symplectic finite Fourier transform
+// (SFFT/ISFFT) used by OTFS, a dense complex-matrix type, a complex
+// singular value decomposition, and small statistics helpers.
+//
+// Everything is pure Go on complex128. The package has no dependencies
+// outside the standard library and is deterministic: identical inputs
+// produce identical outputs on every platform.
+package dsp
+
+import (
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// FFT returns the discrete Fourier transform of x:
+//
+//	X[k] = Σ_{n=0}^{N-1} x[n]·e^{-j2πkn/N}
+//
+// The input is not modified. Any length is supported: powers of two use
+// an iterative radix-2 transform, other lengths fall back to Bluestein's
+// algorithm. A nil or empty input returns an empty slice.
+func FFT(x []complex128) []complex128 {
+	return fft(x, false)
+}
+
+// IFFT returns the inverse discrete Fourier transform of x, normalized
+// by 1/N so that IFFT(FFT(x)) == x up to rounding:
+//
+//	x[n] = (1/N) Σ_{k=0}^{N-1} X[k]·e^{+j2πkn/N}
+func IFFT(x []complex128) []complex128 {
+	out := fft(x, true)
+	n := complex(float64(len(x)), 0)
+	for i := range out {
+		out[i] /= n
+	}
+	return out
+}
+
+func fft(x []complex128, inverse bool) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	copy(out, x)
+	if n <= 1 {
+		return out
+	}
+	if n&(n-1) == 0 {
+		fftRadix2(out, inverse)
+		return out
+	}
+	return bluestein(out, inverse)
+}
+
+// fftRadix2 runs an in-place iterative Cooley-Tukey transform.
+// len(x) must be a power of two greater than one.
+func fftRadix2(x []complex128, inverse bool) {
+	n := len(x)
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := sign * 2 * math.Pi / float64(size)
+		wStep := cmplx.Exp(complex(0, step))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				w *= wStep
+			}
+		}
+	}
+}
+
+// bluestein computes an arbitrary-length DFT as a convolution carried
+// out by power-of-two FFTs (Bluestein's chirp-z algorithm).
+func bluestein(x []complex128, inverse bool) []complex128 {
+	n := len(x)
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	// Chirp factors w[i] = e^{sign·jπ i²/n}. i² mod 2n avoids precision
+	// loss for large i.
+	w := make([]complex128, n)
+	for i := 0; i < n; i++ {
+		ii := int64(i) * int64(i) % int64(2*n)
+		w[i] = cmplx.Exp(complex(0, sign*math.Pi*float64(ii)/float64(n)))
+	}
+	m := 1
+	for m < 2*n-1 {
+		m <<= 1
+	}
+	a := make([]complex128, m)
+	b := make([]complex128, m)
+	for i := 0; i < n; i++ {
+		a[i] = x[i] * w[i]
+		b[i] = cmplx.Conj(w[i])
+	}
+	for i := 1; i < n; i++ {
+		b[m-i] = cmplx.Conj(w[i])
+	}
+	fftRadix2(a, false)
+	fftRadix2(b, false)
+	for i := range a {
+		a[i] *= b[i]
+	}
+	fftRadix2(a, true)
+	inv := complex(1/float64(m), 0)
+	out := make([]complex128, n)
+	for i := 0; i < n; i++ {
+		out[i] = a[i] * inv * w[i]
+	}
+	return out
+}
+
+// SFFT applies the discrete symplectic finite Fourier transform that
+// maps an M×N delay-Doppler grid x[k][l] to the M×N time-frequency grid
+// X[m][n] (paper Eq. 2, indices arranged as [delay→frequency][Doppler→time]):
+//
+//	X[n,m] = Σ_{k,l} x[k,l]·e^{-j2π(mk/M − nl/N)}
+//
+// The returned grid is indexed X[m][n] (frequency-major) so that both
+// domains share the [M][N] shape. The input grid is x[k][l] with k the
+// delay index (0..M-1) and l the Doppler index (0..N-1).
+func SFFT(x [][]complex128) [][]complex128 {
+	m, n := gridDims(x)
+	// DFT along delay axis k→m, inverse DFT (unnormalized) along
+	// Doppler axis l→n. Perform the column transform first.
+	tmp := make([][]complex128, m)
+	col := make([]complex128, m)
+	for l := 0; l < n; l++ {
+		for k := 0; k < m; k++ {
+			col[k] = x[k][l]
+		}
+		res := FFT(col)
+		for k := 0; k < m; k++ {
+			if tmp[k] == nil {
+				tmp[k] = make([]complex128, n)
+			}
+			tmp[k][l] = res[k]
+		}
+	}
+	out := make([][]complex128, m)
+	for k := 0; k < m; k++ {
+		row := fft(tmp[k], true) // unnormalized inverse along Doppler
+		out[k] = row
+	}
+	return out
+}
+
+// ISFFT inverts SFFT with the 1/(MN) normalization of paper Eq. 3:
+//
+//	x[k,l] = (1/MN) Σ_{m,n} X[n,m]·e^{+j2π(mk/M − nl/N)}
+//
+// ISFFT(SFFT(x)) == x up to rounding.
+func ISFFT(x [][]complex128) [][]complex128 {
+	m, n := gridDims(x)
+	tmp := make([][]complex128, m)
+	col := make([]complex128, m)
+	for l := 0; l < n; l++ {
+		for k := 0; k < m; k++ {
+			col[k] = x[k][l]
+		}
+		res := fft(col, true) // unnormalized inverse along delay axis
+		for k := 0; k < m; k++ {
+			if tmp[k] == nil {
+				tmp[k] = make([]complex128, n)
+			}
+			tmp[k][l] = res[k]
+		}
+	}
+	out := make([][]complex128, m)
+	norm := complex(1/float64(m*n), 0)
+	for k := 0; k < m; k++ {
+		row := fft(tmp[k], false) // forward along Doppler axis
+		for l := range row {
+			row[l] *= norm
+		}
+		out[k] = row
+	}
+	return out
+}
+
+func gridDims(x [][]complex128) (m, n int) {
+	m = len(x)
+	if m == 0 {
+		return 0, 0
+	}
+	n = len(x[0])
+	for _, row := range x {
+		if len(row) != n {
+			panic("dsp: ragged grid")
+		}
+	}
+	return m, n
+}
+
+// NewGrid allocates an m×n grid of complex zeros backed by a single
+// contiguous slice.
+func NewGrid(m, n int) [][]complex128 {
+	backing := make([]complex128, m*n)
+	g := make([][]complex128, m)
+	for i := range g {
+		g[i], backing = backing[:n:n], backing[n:]
+	}
+	return g
+}
+
+// CopyGrid returns a deep copy of g.
+func CopyGrid(g [][]complex128) [][]complex128 {
+	m, n := gridDims(g)
+	out := NewGrid(m, n)
+	for i := 0; i < m; i++ {
+		copy(out[i], g[i])
+	}
+	return out
+}

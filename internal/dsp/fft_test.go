@@ -1,0 +1,251 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randComplex(rng *rand.Rand, n int) []complex128 {
+	out := make([]complex128, n)
+	for i := range out {
+		out[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return out
+}
+
+// dftNaive is the O(N²) reference implementation.
+func dftNaive(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for i := 0; i < n; i++ {
+			ang := -2 * math.Pi * float64(k) * float64(i) / float64(n)
+			sum += x[i] * cmplx.Exp(complex(0, ang))
+		}
+		out[k] = sum
+	}
+	return out
+}
+
+func maxAbsDiff(a, b []complex128) float64 {
+	if len(a) != len(b) {
+		return math.Inf(1)
+	}
+	max := 0.0
+	for i := range a {
+		if d := cmplx.Abs(a[i] - b[i]); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+func TestFFTMatchesNaiveDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 12, 14, 16, 15, 31, 32, 60, 64, 100, 128} {
+		x := randComplex(rng, n)
+		got := FFT(x)
+		want := dftNaive(x)
+		if d := maxAbsDiff(got, want); d > 1e-8*float64(n) {
+			t.Errorf("n=%d: FFT differs from naive DFT by %g", n, d)
+		}
+	}
+}
+
+func TestFFTEmptyAndSingle(t *testing.T) {
+	if got := FFT(nil); len(got) != 0 {
+		t.Fatalf("FFT(nil) = %v, want empty", got)
+	}
+	x := []complex128{3 + 4i}
+	got := FFT(x)
+	if len(got) != 1 || got[0] != x[0] {
+		t.Fatalf("FFT of single element = %v, want %v", got, x)
+	}
+}
+
+func TestIFFTInvertsFFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{1, 2, 6, 8, 13, 14, 64, 120} {
+		x := randComplex(rng, n)
+		back := IFFT(FFT(x))
+		if d := maxAbsDiff(x, back); d > 1e-9*float64(n) {
+			t.Errorf("n=%d: IFFT(FFT(x)) differs by %g", n, d)
+		}
+	}
+}
+
+func TestFFTDoesNotModifyInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := randComplex(rng, 12)
+	orig := append([]complex128(nil), x...)
+	FFT(x)
+	IFFT(x)
+	if d := maxAbsDiff(x, orig); d != 0 {
+		t.Fatalf("input modified by FFT/IFFT (diff %g)", d)
+	}
+}
+
+func TestFFTLinearityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(40)
+		a := randComplex(r, n)
+		b := randComplex(r, n)
+		alpha := complex(r.NormFloat64(), r.NormFloat64())
+		// FFT(alpha*a + b) == alpha*FFT(a) + FFT(b)
+		sum := make([]complex128, n)
+		for i := range sum {
+			sum[i] = alpha*a[i] + b[i]
+		}
+		lhs := FFT(sum)
+		fa, fb := FFT(a), FFT(b)
+		rhs := make([]complex128, n)
+		for i := range rhs {
+			rhs[i] = alpha*fa[i] + fb[i]
+		}
+		return maxAbsDiff(lhs, rhs) < 1e-8*float64(n)
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFFTParsevalProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(50)
+		x := randComplex(r, n)
+		X := FFT(x)
+		var et, ef float64
+		for i := 0; i < n; i++ {
+			et += real(x[i])*real(x[i]) + imag(x[i])*imag(x[i])
+			ef += real(X[i])*real(X[i]) + imag(X[i])*imag(X[i])
+		}
+		ef /= float64(n)
+		return math.Abs(et-ef) < 1e-8*(1+et)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSFFTInverseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, dims := range [][2]int{{1, 1}, {2, 3}, {4, 4}, {12, 14}, {16, 8}, {5, 9}} {
+		m, n := dims[0], dims[1]
+		g := NewGrid(m, n)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				g[i][j] = complex(rng.NormFloat64(), rng.NormFloat64())
+			}
+		}
+		back := ISFFT(SFFT(g))
+		for i := 0; i < m; i++ {
+			if d := maxAbsDiff(g[i], back[i]); d > 1e-9*float64(m*n) {
+				t.Errorf("%dx%d: ISFFT(SFFT) row %d differs by %g", m, n, i, d)
+			}
+		}
+	}
+}
+
+// TestSFFTDefinition checks SFFT against the paper's Eq. (2) directly.
+func TestSFFTDefinition(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	m, n := 6, 5
+	x := NewGrid(m, n)
+	for k := 0; k < m; k++ {
+		for l := 0; l < n; l++ {
+			x[k][l] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+	}
+	got := SFFT(x)
+	for mm := 0; mm < m; mm++ {
+		for nn := 0; nn < n; nn++ {
+			var want complex128
+			for k := 0; k < m; k++ {
+				for l := 0; l < n; l++ {
+					ang := -2 * math.Pi * (float64(mm*k)/float64(m) - float64(nn*l)/float64(n))
+					want += x[k][l] * cmplx.Exp(complex(0, ang))
+				}
+			}
+			if d := cmplx.Abs(got[mm][nn] - want); d > 1e-9 {
+				t.Fatalf("SFFT[%d][%d] = %v, want %v (diff %g)", mm, nn, got[mm][nn], want, d)
+			}
+		}
+	}
+}
+
+func TestSFFTEnergyConservation(t *testing.T) {
+	// Parseval for the symplectic transform:
+	// Σ|X|² = MN·Σ|x|².
+	rng := rand.New(rand.NewSource(7))
+	m, n := 8, 6
+	x := NewGrid(m, n)
+	var ein float64
+	for k := 0; k < m; k++ {
+		for l := 0; l < n; l++ {
+			v := complex(rng.NormFloat64(), rng.NormFloat64())
+			x[k][l] = v
+			ein += real(v)*real(v) + imag(v)*imag(v)
+		}
+	}
+	X := SFFT(x)
+	var eout float64
+	for _, row := range X {
+		for _, v := range row {
+			eout += real(v)*real(v) + imag(v)*imag(v)
+		}
+	}
+	if math.Abs(eout-float64(m*n)*ein) > 1e-6*eout {
+		t.Fatalf("energy in=%g scaled=%g out=%g", ein, float64(m*n)*ein, eout)
+	}
+}
+
+func TestNewGridShape(t *testing.T) {
+	g := NewGrid(3, 4)
+	if len(g) != 3 {
+		t.Fatalf("rows = %d, want 3", len(g))
+	}
+	for _, row := range g {
+		if len(row) != 4 {
+			t.Fatalf("cols = %d, want 4", len(row))
+		}
+	}
+	g[1][2] = 5
+	c := CopyGrid(g)
+	c[1][2] = 9
+	if g[1][2] != 5 {
+		t.Fatal("CopyGrid did not deep-copy")
+	}
+}
+
+func BenchmarkFFT1024(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	x := randComplex(rng, 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FFT(x)
+	}
+}
+
+func BenchmarkSFFT12x14(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	g := NewGrid(12, 14)
+	for i := range g {
+		for j := range g[i] {
+			g[i][j] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SFFT(g)
+	}
+}

@@ -1,0 +1,140 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// Matrix is a dense complex matrix stored row-major.
+type Matrix struct {
+	Rows, Cols int
+	Data       []complex128 // len == Rows*Cols
+}
+
+// NewMatrix allocates a Rows×Cols zero matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic("dsp: negative matrix dimension")
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]complex128, rows*cols)}
+}
+
+// MatrixFromGrid copies a [][]complex128 grid into a Matrix.
+func MatrixFromGrid(g [][]complex128) *Matrix {
+	m, n := gridDims(g)
+	out := NewMatrix(m, n)
+	for i := 0; i < m; i++ {
+		copy(out.Data[i*n:(i+1)*n], g[i])
+	}
+	return out
+}
+
+// Grid copies the matrix back into a [][]complex128 grid.
+func (a *Matrix) Grid() [][]complex128 {
+	g := NewGrid(a.Rows, a.Cols)
+	for i := 0; i < a.Rows; i++ {
+		copy(g[i], a.Data[i*a.Cols:(i+1)*a.Cols])
+	}
+	return g
+}
+
+// At returns element (i, j).
+func (a *Matrix) At(i, j int) complex128 { return a.Data[i*a.Cols+j] }
+
+// Set assigns element (i, j).
+func (a *Matrix) Set(i, j int, v complex128) { a.Data[i*a.Cols+j] = v }
+
+// Clone returns a deep copy.
+func (a *Matrix) Clone() *Matrix {
+	out := NewMatrix(a.Rows, a.Cols)
+	copy(out.Data, a.Data)
+	return out
+}
+
+// Mul returns a·b. Panics if the inner dimensions disagree.
+func (a *Matrix) Mul(b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("dsp: dimension mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := NewMatrix(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		orow := out.Data[i*b.Cols : (i+1)*b.Cols]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// ConjT returns the conjugate transpose aᴴ.
+func (a *Matrix) ConjT() *Matrix {
+	out := NewMatrix(a.Cols, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			out.Data[j*a.Rows+i] = cmplx.Conj(a.Data[i*a.Cols+j])
+		}
+	}
+	return out
+}
+
+// Sub returns a−b element-wise.
+func (a *Matrix) Sub(b *Matrix) *Matrix {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic("dsp: dimension mismatch in Sub")
+	}
+	out := NewMatrix(a.Rows, a.Cols)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] - b.Data[i]
+	}
+	return out
+}
+
+// Scale multiplies every element by s in place and returns the receiver.
+func (a *Matrix) Scale(s complex128) *Matrix {
+	for i := range a.Data {
+		a.Data[i] *= s
+	}
+	return a
+}
+
+// FrobeniusNorm returns √(Σ|a_ij|²).
+func (a *Matrix) FrobeniusNorm() float64 {
+	sum := 0.0
+	for _, v := range a.Data {
+		sum += real(v)*real(v) + imag(v)*imag(v)
+	}
+	return math.Sqrt(sum)
+}
+
+// Col returns a copy of column j.
+func (a *Matrix) Col(j int) []complex128 {
+	out := make([]complex128, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		out[i] = a.Data[i*a.Cols+j]
+	}
+	return out
+}
+
+// Row returns a copy of row i.
+func (a *Matrix) Row(i int) []complex128 {
+	out := make([]complex128, a.Cols)
+	copy(out, a.Data[i*a.Cols:(i+1)*a.Cols])
+	return out
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix {
+	out := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		out.Data[i*n+i] = 1
+	}
+	return out
+}

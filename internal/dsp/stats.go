@@ -1,0 +1,116 @@
+package dsp
+
+import (
+	"math"
+	"sort"
+)
+
+// CDFPoint is a single (value, cumulative-probability) sample of an
+// empirical distribution. Probability is in [0, 1].
+type CDFPoint struct {
+	Value float64
+	Prob  float64
+}
+
+// CDF builds the empirical cumulative distribution of xs. The result
+// has one point per sample, sorted by value. Empty input yields nil.
+func CDF(xs []float64) []CDFPoint {
+	if len(xs) == 0 {
+		return nil
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	out := make([]CDFPoint, len(s))
+	n := float64(len(s))
+	for i, v := range s {
+		out[i] = CDFPoint{Value: v, Prob: float64(i+1) / n}
+	}
+	return out
+}
+
+// Percentile returns the p-th percentile (p in [0,100]) of xs using
+// linear interpolation between closest ranks. It panics on empty input.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("dsp: percentile of empty slice")
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := rank - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range xs {
+		sum += v
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	sum := 0.0
+	for _, v := range xs {
+		d := v - m
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(xs)))
+}
+
+// DB converts a linear power ratio to decibels. Non-positive input
+// returns -Inf.
+func DB(lin float64) float64 {
+	if lin <= 0 {
+		return math.Inf(-1)
+	}
+	return 10 * math.Log10(lin)
+}
+
+// FromDB converts decibels to a linear power ratio.
+func FromDB(db float64) float64 { return math.Pow(10, db/10) }
+
+// Clamp limits v to [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// FractionAtOrBelow returns the fraction of samples ≤ limit.
+func FractionAtOrBelow(xs []float64, limit float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	n := 0
+	for _, v := range xs {
+		if v <= limit {
+			n++
+		}
+	}
+	return float64(n) / float64(len(xs))
+}

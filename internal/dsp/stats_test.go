@@ -1,0 +1,82 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCDF(t *testing.T) {
+	pts := CDF([]float64{3, 1, 2})
+	if len(pts) != 3 {
+		t.Fatalf("len = %d, want 3", len(pts))
+	}
+	wantV := []float64{1, 2, 3}
+	wantP := []float64{1.0 / 3, 2.0 / 3, 1}
+	for i := range pts {
+		if pts[i].Value != wantV[i] || math.Abs(pts[i].Prob-wantP[i]) > 1e-12 {
+			t.Fatalf("pts[%d] = %+v, want {%g %g}", i, pts[i], wantV[i], wantP[i])
+		}
+	}
+	if CDF(nil) != nil {
+		t.Fatal("CDF(nil) should be nil")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50}
+	cases := []struct{ p, want float64 }{
+		{0, 10}, {100, 50}, {50, 30}, {25, 20}, {10, 14},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Percentile(%g) = %g, want %g", c.p, got, c.want)
+		}
+	}
+}
+
+func TestMeanStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); math.Abs(m-5) > 1e-12 {
+		t.Fatalf("Mean = %g, want 5", m)
+	}
+	if s := StdDev(xs); math.Abs(s-2) > 1e-12 {
+		t.Fatalf("StdDev = %g, want 2", s)
+	}
+	if Mean(nil) != 0 || StdDev(nil) != 0 {
+		t.Fatal("empty-input mean/stddev should be 0")
+	}
+}
+
+func TestDBConversions(t *testing.T) {
+	if got := DB(100); math.Abs(got-20) > 1e-12 {
+		t.Fatalf("DB(100) = %g, want 20", got)
+	}
+	if got := FromDB(3); math.Abs(got-1.9952623149688795) > 1e-12 {
+		t.Fatalf("FromDB(3) = %g", got)
+	}
+	if !math.IsInf(DB(0), -1) || !math.IsInf(DB(-1), -1) {
+		t.Fatal("DB of non-positive should be -Inf")
+	}
+	// Round trip.
+	for _, v := range []float64{-30, -3, 0, 3, 17.5} {
+		if got := DB(FromDB(v)); math.Abs(got-v) > 1e-9 {
+			t.Fatalf("DB(FromDB(%g)) = %g", v, got)
+		}
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 3) != 3 || Clamp(-1, 0, 3) != 0 || Clamp(2, 0, 3) != 2 {
+		t.Fatal("Clamp misbehaves")
+	}
+}
+
+func TestFractionAtOrBelow(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if got := FractionAtOrBelow(xs, 2); got != 0.5 {
+		t.Fatalf("FractionAtOrBelow = %g, want 0.5", got)
+	}
+	if got := FractionAtOrBelow(nil, 2); got != 0 {
+		t.Fatalf("empty input should give 0, got %g", got)
+	}
+}

@@ -1,0 +1,181 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"sort"
+)
+
+// SVD holds a (thin) singular value decomposition A = U·diag(S)·Vᴴ.
+// U is Rows×r, V is Cols×r and S holds the r = min(Rows, Cols)
+// singular values sorted in descending order.
+type SVD struct {
+	U *Matrix
+	S []float64
+	V *Matrix
+}
+
+// ComputeSVD factorizes a using the one-sided Jacobi method, which is
+// simple, numerically robust and accurate for the modest grid sizes
+// (tens to low hundreds per side) that delay-Doppler processing uses.
+//
+// The decomposition satisfies A ≈ U·diag(S)·Vᴴ with unitary-column U
+// and V. Singular values are returned largest first, matching the
+// "principal components first" truncation that cross-band estimation
+// (paper §5.2) relies on.
+func ComputeSVD(a *Matrix) *SVD {
+	if a.Rows >= a.Cols {
+		u, s, v := jacobiSVD(a)
+		return &SVD{U: u, S: s, V: v}
+	}
+	// Work on Aᴴ and swap factors: A = (Aᴴ)ᴴ = (U'SV'ᴴ)ᴴ = V'SU'ᴴ.
+	u, s, v := jacobiSVD(a.ConjT())
+	return &SVD{U: v, S: s, V: u}
+}
+
+// jacobiSVD requires rows ≥ cols. It returns thin U (rows×cols),
+// singular values (cols) and V (cols×cols), unsorted work happening
+// internally; outputs are sorted descending.
+func jacobiSVD(a *Matrix) (*Matrix, []float64, *Matrix) {
+	m, n := a.Rows, a.Cols
+	w := a.Clone() // columns orthogonalized in place
+	v := Identity(n)
+
+	const maxSweeps = 60
+	tol := 1e-13
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				var alpha, beta float64
+				var gamma complex128
+				for i := 0; i < m; i++ {
+					ap := w.Data[i*n+p]
+					aq := w.Data[i*n+q]
+					alpha += real(ap)*real(ap) + imag(ap)*imag(ap)
+					beta += real(aq)*real(aq) + imag(aq)*imag(aq)
+					gamma += cmplx.Conj(ap) * aq
+				}
+				g := cmplx.Abs(gamma)
+				if g <= tol*math.Sqrt(alpha*beta) || g == 0 {
+					continue
+				}
+				off += g
+				// Complex Jacobi rotation that annihilates
+				// w_pᴴ·w_q. Factor out the phase of gamma, then
+				// apply the classical real rotation.
+				phase := gamma / complex(g, 0)
+				tau := (beta - alpha) / (2 * g)
+				var t float64
+				if tau >= 0 {
+					t = 1 / (tau + math.Sqrt(1+tau*tau))
+				} else {
+					t = -1 / (-tau + math.Sqrt(1+tau*tau))
+				}
+				cs := 1 / math.Sqrt(1+t*t)
+				sn := cs * t
+				csC := complex(cs, 0)
+				snP := complex(sn, 0) * phase
+				snPc := complex(sn, 0) * cmplx.Conj(phase)
+				for i := 0; i < m; i++ {
+					ap := w.Data[i*n+p]
+					aq := w.Data[i*n+q]
+					w.Data[i*n+p] = csC*ap - snPc*aq
+					w.Data[i*n+q] = snP*ap + csC*aq
+				}
+				for i := 0; i < n; i++ {
+					vp := v.Data[i*n+p]
+					vq := v.Data[i*n+q]
+					v.Data[i*n+p] = csC*vp - snPc*vq
+					v.Data[i*n+q] = snP*vp + csC*vq
+				}
+			}
+		}
+		if off < tol {
+			break
+		}
+	}
+
+	// Column norms are the singular values; normalize to get U.
+	s := make([]float64, n)
+	u := NewMatrix(m, n)
+	for j := 0; j < n; j++ {
+		norm := 0.0
+		for i := 0; i < m; i++ {
+			c := w.Data[i*n+j]
+			norm += real(c)*real(c) + imag(c)*imag(c)
+		}
+		norm = math.Sqrt(norm)
+		s[j] = norm
+		if norm > 0 {
+			inv := complex(1/norm, 0)
+			for i := 0; i < m; i++ {
+				u.Data[i*n+j] = w.Data[i*n+j] * inv
+			}
+		} else {
+			// Zero singular value: leave the U column zero. The
+			// callers only consume columns with s[j] > 0.
+			_ = j
+		}
+	}
+
+	// Sort descending by singular value.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return s[idx[a]] > s[idx[b]] })
+	sSorted := make([]float64, n)
+	uSorted := NewMatrix(m, n)
+	vSorted := NewMatrix(n, n)
+	for newJ, oldJ := range idx {
+		sSorted[newJ] = s[oldJ]
+		for i := 0; i < m; i++ {
+			uSorted.Data[i*n+newJ] = u.Data[i*n+oldJ]
+		}
+		for i := 0; i < n; i++ {
+			vSorted.Data[i*n+newJ] = v.Data[i*n+oldJ]
+		}
+	}
+	return uSorted, sSorted, vSorted
+}
+
+// Reconstruct multiplies the factors back together keeping only the
+// first rank singular triplets (rank ≤ len(S); rank ≤ 0 keeps all).
+func (d *SVD) Reconstruct(rank int) *Matrix {
+	r := len(d.S)
+	if rank > 0 && rank < r {
+		r = rank
+	}
+	m := d.U.Rows
+	n := d.V.Rows
+	out := NewMatrix(m, n)
+	for k := 0; k < r; k++ {
+		sk := complex(d.S[k], 0)
+		for i := 0; i < m; i++ {
+			uik := d.U.At(i, k) * sk
+			if uik == 0 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				out.Data[i*n+j] += uik * cmplx.Conj(d.V.At(j, k))
+			}
+		}
+	}
+	return out
+}
+
+// Rank returns the number of singular values above rel·S[0].
+func (d *SVD) Rank(rel float64) int {
+	if len(d.S) == 0 || d.S[0] == 0 {
+		return 0
+	}
+	th := rel * d.S[0]
+	n := 0
+	for _, s := range d.S {
+		if s > th {
+			n++
+		}
+	}
+	return n
+}

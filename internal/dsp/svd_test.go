@@ -1,0 +1,186 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randMatrix(rng *rand.Rand, m, n int) *Matrix {
+	a := NewMatrix(m, n)
+	for i := range a.Data {
+		a.Data[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return a
+}
+
+func TestSVDReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for _, dims := range [][2]int{{1, 1}, {3, 3}, {5, 2}, {2, 5}, {12, 14}, {14, 12}, {20, 7}} {
+		m, n := dims[0], dims[1]
+		a := randMatrix(rng, m, n)
+		d := ComputeSVD(a)
+		rec := d.Reconstruct(0)
+		diff := a.Sub(rec).FrobeniusNorm()
+		if diff > 1e-9*(1+a.FrobeniusNorm()) {
+			t.Errorf("%dx%d: reconstruction error %g", m, n, diff)
+		}
+	}
+}
+
+func TestSVDSingularValuesSortedNonNegative(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := randMatrix(rng, 9, 6)
+	d := ComputeSVD(a)
+	for i, s := range d.S {
+		if s < 0 {
+			t.Fatalf("singular value %d negative: %g", i, s)
+		}
+		if i > 0 && d.S[i] > d.S[i-1]+1e-12 {
+			t.Fatalf("singular values not descending: S[%d]=%g > S[%d]=%g", i, d.S[i], i-1, d.S[i-1])
+		}
+	}
+}
+
+func TestSVDUnitaryColumns(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	a := randMatrix(rng, 10, 6)
+	d := ComputeSVD(a)
+	checkOrtho := func(name string, mat *Matrix) {
+		g := mat.ConjT().Mul(mat)
+		for i := 0; i < g.Rows; i++ {
+			for j := 0; j < g.Cols; j++ {
+				want := complex128(0)
+				if i == j {
+					want = 1
+				}
+				if cmplx.Abs(g.At(i, j)-want) > 1e-9 {
+					t.Fatalf("%sᴴ%s[%d][%d] = %v, want %v", name, name, i, j, g.At(i, j), want)
+				}
+			}
+		}
+	}
+	checkOrtho("U", d.U)
+	checkOrtho("V", d.V)
+}
+
+func TestSVDKnownDiagonal(t *testing.T) {
+	a := NewMatrix(3, 3)
+	a.Set(0, 0, 3)
+	a.Set(1, 1, complex(0, 5)) // singular value 5 with a phase
+	a.Set(2, 2, 1)
+	d := ComputeSVD(a)
+	want := []float64{5, 3, 1}
+	for i, w := range want {
+		if math.Abs(d.S[i]-w) > 1e-10 {
+			t.Fatalf("S = %v, want %v", d.S, want)
+		}
+	}
+}
+
+func TestSVDLowRankTruncation(t *testing.T) {
+	// Build an exactly rank-2 matrix and verify rank detection and
+	// truncated reconstruction.
+	rng := rand.New(rand.NewSource(13))
+	m, n, r := 8, 7, 2
+	b := randMatrix(rng, m, r)
+	c := randMatrix(rng, r, n)
+	a := b.Mul(c)
+	d := ComputeSVD(a)
+	if got := d.Rank(1e-9); got != r {
+		t.Fatalf("Rank = %d, want %d (S=%v)", got, r, d.S)
+	}
+	rec := d.Reconstruct(r)
+	if diff := a.Sub(rec).FrobeniusNorm(); diff > 1e-9*a.FrobeniusNorm() {
+		t.Fatalf("rank-%d reconstruction error %g", r, diff)
+	}
+}
+
+func TestSVDFrobeniusInvariant(t *testing.T) {
+	// ‖A‖F² == Σ σᵢ² for any matrix.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := 1 + r.Intn(10)
+		n := 1 + r.Intn(10)
+		a := randMatrix(r, m, n)
+		d := ComputeSVD(a)
+		sum := 0.0
+		for _, s := range d.S {
+			sum += s * s
+		}
+		fn := a.FrobeniusNorm()
+		return math.Abs(sum-fn*fn) < 1e-8*(1+fn*fn)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSVDZeroMatrix(t *testing.T) {
+	a := NewMatrix(4, 3)
+	d := ComputeSVD(a)
+	for _, s := range d.S {
+		if s != 0 {
+			t.Fatalf("zero matrix has nonzero singular value %g", s)
+		}
+	}
+	if d.Rank(1e-9) != 0 {
+		t.Fatalf("zero matrix rank = %d, want 0", d.Rank(1e-9))
+	}
+}
+
+func TestMatrixMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	a := randMatrix(rng, 5, 5)
+	p := a.Mul(Identity(5))
+	if diff := a.Sub(p).FrobeniusNorm(); diff > 1e-12 {
+		t.Fatalf("A·I != A (diff %g)", diff)
+	}
+}
+
+func TestMatrixConjTInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	a := randMatrix(rng, 4, 7)
+	back := a.ConjT().ConjT()
+	if diff := a.Sub(back).FrobeniusNorm(); diff != 0 {
+		t.Fatalf("(Aᴴ)ᴴ != A (diff %g)", diff)
+	}
+}
+
+func TestMatrixGridRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	a := randMatrix(rng, 3, 6)
+	b := MatrixFromGrid(a.Grid())
+	if diff := a.Sub(b).FrobeniusNorm(); diff != 0 {
+		t.Fatalf("grid round trip changed matrix (diff %g)", diff)
+	}
+}
+
+func TestMatrixRowColAccessors(t *testing.T) {
+	a := NewMatrix(2, 3)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			a.Set(i, j, complex(float64(i), float64(j)))
+		}
+	}
+	r := a.Row(1)
+	if len(r) != 3 || r[2] != complex(1, 2) {
+		t.Fatalf("Row(1) = %v", r)
+	}
+	c := a.Col(2)
+	if len(c) != 2 || c[0] != complex(0, 2) || c[1] != complex(1, 2) {
+		t.Fatalf("Col(2) = %v", c)
+	}
+}
+
+func BenchmarkSVD12x14(b *testing.B) {
+	rng := rand.New(rand.NewSource(17))
+	a := randMatrix(rng, 12, 14)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ComputeSVD(a)
+	}
+}

@@ -1,0 +1,106 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Chart renders the series as a compact ASCII line chart — remeval's
+// terminal stand-in for the paper's figure panels.
+func (s *Series) Chart(width, height int) string {
+	if len(s.X) == 0 || width < 16 || height < 4 {
+		return s.Summarize()
+	}
+	xmin, xmax := minMax(s.X)
+	ymin, ymax := minMax(s.Y)
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		// Flat series: center it.
+		ymin -= 0.5
+		ymax += 0.5
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	toCol := func(x float64) int {
+		c := int((x - xmin) / (xmax - xmin) * float64(width-1))
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	toRow := func(y float64) int {
+		r := int((ymax - y) / (ymax - ymin) * float64(height-1))
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		return r
+	}
+	// Plot points and connect consecutive samples vertically so steep
+	// transitions remain visible.
+	prevR, prevC := -1, -1
+	for i := range s.X {
+		c := toCol(s.X[i])
+		r := toRow(s.Y[i])
+		grid[r][c] = '*'
+		if prevC >= 0 && c >= prevC {
+			lo, hi := prevR, r
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			for rr := lo + 1; rr < hi; rr++ {
+				mid := (prevC + c) / 2
+				if grid[rr][mid] == ' ' {
+					grid[rr][mid] = '|'
+				}
+			}
+		}
+		prevR, prevC = r, c
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  (%s vs %s)\n", s.Name, s.YLabel, s.XLabel)
+	for r, row := range grid {
+		label := "          "
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%9.3g ", ymax)
+		case height - 1:
+			label = fmt.Sprintf("%9.3g ", ymin)
+		}
+		fmt.Fprintf(&b, "%s|%s\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "%s+%s\n", strings.Repeat(" ", 10), strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%s%-.4g%s%.4g\n", strings.Repeat(" ", 11), xmin,
+		strings.Repeat(" ", max0(width-len(fmt.Sprintf("%.4g", xmin))-len(fmt.Sprintf("%.4g", xmax)))), xmax)
+	return b.String()
+}
+
+func minMax(xs []float64) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, v := range xs {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return
+}
+
+func max0(v int) int {
+	if v < 0 {
+		return 0
+	}
+	return v
+}

@@ -1,0 +1,56 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChartBasics(t *testing.T) {
+	s := Series{
+		Name: "demo", XLabel: "x", YLabel: "y",
+		X: []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9},
+		Y: []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9},
+	}
+	out := s.Chart(40, 10)
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "*") {
+		t.Fatalf("chart missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Header + height rows + axis + x labels.
+	if len(lines) != 1+10+2 {
+		t.Fatalf("chart has %d lines:\n%s", len(lines), out)
+	}
+	// Monotone series: first point top-right... i.e. last row contains
+	// the min point at the left, first row the max at the right.
+	if !strings.Contains(lines[1], "*") {
+		t.Fatalf("max row empty:\n%s", out)
+	}
+	if !strings.Contains(lines[10], "*") {
+		t.Fatalf("min row empty:\n%s", out)
+	}
+}
+
+func TestChartDegenerateInputs(t *testing.T) {
+	// Tiny canvas or empty series falls back to the summary.
+	s := Series{Name: "x", X: []float64{1}, Y: []float64{1}}
+	if out := s.Chart(4, 2); !strings.Contains(out, "[") {
+		t.Fatalf("expected summary fallback:\n%s", out)
+	}
+	empty := Series{Name: "e"}
+	if out := empty.Chart(40, 10); !strings.Contains(out, "empty") {
+		t.Fatal("empty series should fall back")
+	}
+	// Flat series must not panic and must plot mid-chart.
+	flat := Series{Name: "flat", X: []float64{0, 1, 2, 3, 4, 5, 6, 7}, Y: []float64{2, 2, 2, 2, 2, 2, 2, 2}}
+	out := flat.Chart(40, 9)
+	lines := strings.Split(out, "\n")
+	found := false
+	for i, l := range lines {
+		if strings.Contains(l, "*") && i > 2 && i < 9 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("flat series not centered:\n%s", out)
+	}
+}

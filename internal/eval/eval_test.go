@@ -1,0 +1,94 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"table2", "table3", "table4", "table5",
+		"fig2a", "fig2b", "fig3", "fig4", "fig9",
+		"fig10", "fig11", "fig12", "fig13", "fig14a", "fig14b", "fig15",
+		"ablation-subgrid", "ablation-svdrank", "ablation-ttt", "ablation-crossband",
+		"ablation-hybrid", "ablation-accel", "appendix-a", "5g-projection",
+	}
+	have := map[string]bool{}
+	for _, e := range Experiments() {
+		have[e.ID] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("experiment %q not registered", id)
+		}
+	}
+	if _, ok := ByID("table2"); !ok {
+		t.Fatal("ByID failed")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Fatal("unknown ID resolved")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := Table{
+		Title:   "demo",
+		Columns: []string{"a", "longcolumn"},
+		Rows:    [][]string{{"1", "2"}, {"333", "4"}},
+	}
+	out := tab.Render()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "longcolumn") {
+		t.Fatalf("render missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("render has %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestSeriesSummarize(t *testing.T) {
+	s := Series{Name: "x", XLabel: "t", YLabel: "v", X: []float64{1, 2, 3}, Y: []float64{4, 5, 6}}
+	out := s.Summarize()
+	if !strings.Contains(out, "x") || !strings.Contains(out, "3 points") {
+		t.Fatalf("summary: %s", out)
+	}
+	empty := Series{Name: "e"}
+	if !strings.Contains(empty.Summarize(), "empty") {
+		t.Fatal("empty series not flagged")
+	}
+}
+
+func TestConfigNormalization(t *testing.T) {
+	c := Config{}.normalized()
+	if c.Seeds != 3 || c.DurationSec != 1500 {
+		t.Fatalf("defaults not applied: %+v", c)
+	}
+}
+
+// TestAllExperimentsQuick smoke-runs every registered experiment at
+// quick scale; each must return a non-empty, renderable report.
+func TestAllExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick experiment sweep skipped in -short")
+	}
+	cfg := QuickConfig()
+	for _, e := range Experiments() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			rep, err := e.Run(cfg)
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if rep.ID != e.ID {
+				t.Fatalf("report ID %q != experiment ID %q", rep.ID, e.ID)
+			}
+			if len(rep.Tables) == 0 && len(rep.Series) == 0 {
+				t.Fatalf("%s: empty report", e.ID)
+			}
+			out := rep.Render()
+			if len(out) < 40 {
+				t.Fatalf("%s: render too short:\n%s", e.ID, out)
+			}
+		})
+	}
+}

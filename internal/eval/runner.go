@@ -1,0 +1,164 @@
+package eval
+
+import (
+	"fmt"
+
+	"rem/internal/mobility"
+	"rem/internal/policy"
+	"rem/internal/tcpsim"
+	"rem/internal/trace"
+)
+
+// Agg aggregates mobility replays over several seeds for one
+// (dataset, speed bucket, mode) cell.
+type Agg struct {
+	Dataset trace.DatasetID
+	Bucket  [2]float64
+	Mode    trace.Mode
+
+	Handovers int
+	Failures  int
+	Duration  float64
+
+	HOIntervalSec float64
+	FailureRatio  float64
+	// CauseRatio is per-cause failures over handover events (the
+	// paper's Table 2 percentage-of-events view).
+	CauseRatio map[mobility.FailureCause]float64
+	// RatioNoHoles excludes coverage-hole failures (Table 5's
+	// "failure w/o coverage hole" row).
+	RatioNoHoles float64
+
+	// Conflict-loop statistics (policy-attributed loops only).
+	ConflictLoops     int
+	LoopEverySec      float64
+	AvgHOsPerLoop     float64
+	AvgDisruptionSec  float64
+	IntraLoopFrac     float64
+	HOsInConflictFrac float64
+
+	FeedbackDelays      []float64
+	FeedbackDelaysInter []float64
+	ULFirstBLER         []float64
+	ULBLERAt            []float64
+	DLFirstBLER         []float64
+	DLBLERAt            []float64
+	FailureTimes        []float64
+	SNRTrace            []float64
+	SNRTraceAt          []float64
+	Outages             []tcpsim.Outage
+	GapActiveFrac       float64
+	Signaling           int
+}
+
+// runCell executes Seeds replicas and aggregates.
+func runCell(cfg Config, ds trace.Dataset, bucket [2]float64, mode trace.Mode) (*Agg, error) {
+	cfg = cfg.normalized()
+	agg := &Agg{
+		Dataset:    ds.ID,
+		Bucket:     bucket,
+		Mode:       mode,
+		CauseRatio: make(map[mobility.FailureCause]float64),
+	}
+	speed := trace.BucketSpeedKmh(bucket)
+	totalLoopHOs := 0
+	holeFails := 0
+	var loopHOSum, loopDisrSum float64
+	intraLoops := 0
+	var gapSec float64
+	for s := 0; s < cfg.Seeds; s++ {
+		built, err := trace.Build(trace.BuildConfig{
+			Dataset:  ds,
+			SpeedKmh: speed,
+			Mode:     mode,
+			Duration: cfg.DurationSec,
+			Seed:     cfg.BaseSeed + int64(s)*7919,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("eval: build %v/%v: %w", ds.ID, mode, err)
+		}
+		res, err := mobility.Run(built.Streams, built.Scenario)
+		if err != nil {
+			return nil, fmt.Errorf("eval: run %v/%v: %w", ds.ID, mode, err)
+		}
+		agg.Handovers += len(res.Handovers)
+		agg.Failures += len(res.Failures)
+		agg.Duration += res.Duration
+		agg.Signaling += trace.SignalingOverheadEstimate(res)
+		gapSec += res.GapActiveSec
+		for cause, n := range res.CauseCounts() {
+			agg.CauseRatio[cause] += float64(n)
+			if cause == mobility.CauseCoverageHole {
+				holeFails += n
+			}
+		}
+		agg.FeedbackDelays = append(agg.FeedbackDelays, res.FeedbackDelays...)
+		agg.FeedbackDelaysInter = append(agg.FeedbackDelaysInter, res.FeedbackDelaysInter...)
+		// Offset per-replica times so samples stay matched to their
+		// replica's failures.
+		off := float64(s) * cfg.DurationSec * 10
+		agg.ULFirstBLER = append(agg.ULFirstBLER, res.FeedbackFirstBLER...)
+		for _, tt := range res.FeedbackBLERAt {
+			agg.ULBLERAt = append(agg.ULBLERAt, tt+off)
+		}
+		agg.DLFirstBLER = append(agg.DLFirstBLER, res.CmdFirstBLER...)
+		for _, tt := range res.CmdBLERAt {
+			agg.DLBLERAt = append(agg.DLBLERAt, tt+off)
+		}
+		for _, f := range res.Failures {
+			agg.FailureTimes = append(agg.FailureTimes, f.Time+off)
+		}
+		for i, v := range res.SNRTrace {
+			agg.SNRTrace = append(agg.SNRTrace, v)
+			agg.SNRTraceAt = append(agg.SNRTraceAt, float64(i)*res.SNRTraceStep+off)
+		}
+		for _, o := range res.Outages {
+			agg.Outages = append(agg.Outages, tcpsim.Outage{Start: o.Start, Duration: o.Duration})
+		}
+
+		loops := policy.LoopDetector{}.Detect(res.Handovers)
+		cl := policy.ConflictLoops(loops, built.Policies, policy.DefaultMetricRange())
+		agg.ConflictLoops += len(cl)
+		for _, l := range cl {
+			totalLoopHOs += l.Handovers
+			loopHOSum += float64(l.Handovers)
+			loopDisrSum += l.Disruption
+			if l.IntraFrequency {
+				intraLoops++
+			}
+		}
+	}
+	events := agg.Handovers + agg.Failures
+	if events > 0 {
+		agg.FailureRatio = float64(agg.Failures) / float64(events)
+		agg.RatioNoHoles = float64(agg.Failures-holeFails) / float64(events)
+		for cause := range agg.CauseRatio {
+			agg.CauseRatio[cause] /= float64(events)
+		}
+		agg.HOsInConflictFrac = float64(totalLoopHOs) / float64(events)
+	}
+	if agg.Handovers > 0 {
+		agg.HOIntervalSec = agg.Duration / float64(agg.Handovers)
+	}
+	if agg.ConflictLoops > 0 {
+		agg.LoopEverySec = agg.Duration / float64(agg.ConflictLoops)
+		agg.AvgHOsPerLoop = loopHOSum / float64(agg.ConflictLoops)
+		agg.AvgDisruptionSec = loopDisrSum / float64(agg.ConflictLoops)
+		agg.IntraLoopFrac = float64(intraLoops) / float64(agg.ConflictLoops)
+	}
+	if agg.Duration > 0 {
+		agg.GapActiveFrac = gapSec / agg.Duration
+	}
+	return agg, nil
+}
+
+// reduction is the paper's ε = (K_legacy − K_rem)/K_rem on ratios.
+func reduction(legacy, rem float64) string {
+	if rem <= 0 {
+		if legacy <= 0 {
+			return "0"
+		}
+		return "inf"
+	}
+	return times((legacy - rem) / rem)
+}

@@ -1,0 +1,165 @@
+// Package geo models the physical geometry of the high-speed-rail
+// scenario: a 1-D rail line with base stations deployed along the
+// track, a moving client trajectory, and distance-based path loss.
+// The constants mirror the HSR deployment survey the paper cites
+// (paper §5.2: line-of-sight distances of roughly 80–550 m between
+// base station and train).
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a 2-D position in meters: X along the track, Y perpendicular.
+type Point struct {
+	X, Y float64
+}
+
+// Distance returns the Euclidean distance between two points.
+func (p Point) Distance(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// Path is anything that yields a client position over time.
+type Path interface {
+	At(t float64) Point
+}
+
+// Trajectory is a constant-speed run along the track (Y = 0).
+type Trajectory struct {
+	SpeedMS float64 // client speed in m/s
+	StartX  float64 // position at t = 0
+}
+
+// At returns the client position at time t (seconds).
+func (tr Trajectory) At(t float64) Point {
+	return Point{X: tr.StartX + tr.SpeedMS*t, Y: 0}
+}
+
+// Segment is one phase of a piecewise speed profile: ramp linearly
+// from the previous speed to TargetSpeedMS over DurationSec, then the
+// next segment begins. Trains accelerate out of stations, cruise, and
+// brake — Appendix A notes the Doppler drifts exactly during those
+// ramps.
+type Segment struct {
+	DurationSec   float64
+	TargetSpeedMS float64
+}
+
+// PiecewiseTrajectory is a speed-profiled run along the track (Y = 0).
+// Beyond the last segment the final speed holds.
+type PiecewiseTrajectory struct {
+	StartX         float64
+	InitialSpeedMS float64
+	Segments       []Segment
+}
+
+// At integrates the speed profile up to time t.
+func (tr PiecewiseTrajectory) At(t float64) Point {
+	x := tr.StartX
+	v := tr.InitialSpeedMS
+	remaining := t
+	for _, seg := range tr.Segments {
+		if seg.DurationSec <= 0 {
+			v = seg.TargetSpeedMS
+			continue
+		}
+		dt := remaining
+		if dt > seg.DurationSec {
+			dt = seg.DurationSec
+		}
+		a := (seg.TargetSpeedMS - v) / seg.DurationSec
+		x += v*dt + 0.5*a*dt*dt
+		if dt < seg.DurationSec {
+			return Point{X: x}
+		}
+		v = seg.TargetSpeedMS
+		remaining -= seg.DurationSec
+	}
+	x += v * remaining
+	return Point{X: x}
+}
+
+// SpeedAt returns the instantaneous speed at time t.
+func (tr PiecewiseTrajectory) SpeedAt(t float64) float64 {
+	v := tr.InitialSpeedMS
+	remaining := t
+	for _, seg := range tr.Segments {
+		if seg.DurationSec <= 0 {
+			v = seg.TargetSpeedMS
+			continue
+		}
+		if remaining < seg.DurationSec {
+			a := (seg.TargetSpeedMS - v) / seg.DurationSec
+			return v + a*remaining
+		}
+		v = seg.TargetSpeedMS
+		remaining -= seg.DurationSec
+	}
+	return v
+}
+
+// PathLoss is a log-distance path-loss model with a frequency
+// correction term:
+//
+//	PL(d, f) = RefDB + 10·Exponent·log10(d/1km) + FreqSlope·log10(f/2GHz)
+//
+// Defaults approximate the 3GPP rural-macro model used for HSR
+// planning.
+type PathLoss struct {
+	RefDB     float64 // loss at 1 km on a 2 GHz carrier
+	Exponent  float64 // path-loss exponent
+	FreqSlope float64 // dB per decade of carrier frequency
+	MinDistM  float64 // distances clamp to this floor
+}
+
+// DefaultPathLoss returns the rural-macro-flavored defaults used by the
+// HSR experiments.
+func DefaultPathLoss() PathLoss {
+	return PathLoss{RefDB: 124, Exponent: 3.8, FreqSlope: 21, MinDistM: 35}
+}
+
+// DB returns the path loss in dB at distance d meters on carrier f Hz.
+func (pl PathLoss) DB(d, f float64) float64 {
+	if d < pl.MinDistM {
+		d = pl.MinDistM
+	}
+	loss := pl.RefDB + 10*pl.Exponent*math.Log10(d/1000)
+	if f > 0 {
+		loss += pl.FreqSlope * math.Log10(f/2e9)
+	}
+	return loss
+}
+
+// SitePlan describes the linear base-station deployment along a track.
+type SitePlan struct {
+	TrackLenM   float64 // total track length
+	SpacingM    float64 // distance between consecutive sites
+	OffsetM     float64 // perpendicular distance from the track
+	Alternating bool    // alternate sides of the track
+}
+
+// Validate checks the plan is physically sensible.
+func (sp SitePlan) Validate() error {
+	if sp.TrackLenM <= 0 || sp.SpacingM <= 0 {
+		return fmt.Errorf("geo: invalid site plan %+v", sp)
+	}
+	return nil
+}
+
+// Sites returns base-station positions along the track, the first site
+// placed half a spacing in.
+func (sp SitePlan) Sites() []Point {
+	var out []Point
+	i := 0
+	for x := sp.SpacingM / 2; x < sp.TrackLenM; x += sp.SpacingM {
+		y := sp.OffsetM
+		if sp.Alternating && i%2 == 1 {
+			y = -sp.OffsetM
+		}
+		out = append(out, Point{X: x, Y: y})
+		i++
+	}
+	return out
+}

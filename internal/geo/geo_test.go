@@ -1,0 +1,102 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointDistance(t *testing.T) {
+	a := Point{X: 0, Y: 0}
+	b := Point{X: 3, Y: 4}
+	if d := a.Distance(b); d != 5 {
+		t.Fatalf("distance = %g, want 5", d)
+	}
+	if d := a.Distance(a); d != 0 {
+		t.Fatal("self distance nonzero")
+	}
+	// Symmetry property (inputs bounded to physical scales — unbounded
+	// float64 overflows Hypot to Inf where Inf−Inf is NaN).
+	f := func(x1, y1, x2, y2 float64) bool {
+		clamp := func(v float64) float64 { return math.Mod(v, 1e6) }
+		p := Point{clamp(x1), clamp(y1)}
+		q := Point{clamp(x2), clamp(y2)}
+		return math.Abs(p.Distance(q)-q.Distance(p)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTrajectory(t *testing.T) {
+	tr := Trajectory{SpeedMS: 30, StartX: 100}
+	p := tr.At(0)
+	if p.X != 100 || p.Y != 0 {
+		t.Fatalf("At(0) = %+v", p)
+	}
+	p = tr.At(10)
+	if p.X != 400 {
+		t.Fatalf("At(10).X = %g, want 400", p.X)
+	}
+}
+
+func TestPathLoss(t *testing.T) {
+	pl := DefaultPathLoss()
+	// Monotone in distance.
+	prev := pl.DB(50, 2e9)
+	for d := 100.0; d <= 3000; d += 100 {
+		cur := pl.DB(d, 2e9)
+		if cur <= prev {
+			t.Fatalf("path loss not monotone at %g m", d)
+		}
+		prev = cur
+	}
+	// Reference point: RefDB at 1 km on 2 GHz.
+	if got := pl.DB(1000, 2e9); math.Abs(got-pl.RefDB) > 1e-9 {
+		t.Fatalf("PL(1km, 2GHz) = %g, want %g", got, pl.RefDB)
+	}
+	// Higher carrier loses more.
+	if pl.DB(500, 2.6e9) <= pl.DB(500, 0.9e9) {
+		t.Fatal("frequency slope missing")
+	}
+	// Distance floor.
+	if pl.DB(1, 2e9) != pl.DB(pl.MinDistM, 2e9) {
+		t.Fatal("min distance clamp missing")
+	}
+	// Zero frequency skips the correction term without blowing up.
+	if math.IsNaN(pl.DB(500, 0)) || math.IsInf(pl.DB(500, 0), 0) {
+		t.Fatal("zero frequency mishandled")
+	}
+}
+
+func TestSitePlan(t *testing.T) {
+	sp := SitePlan{TrackLenM: 10000, SpacingM: 2000, OffsetM: 100, Alternating: true}
+	if err := sp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sites := sp.Sites()
+	if len(sites) != 5 {
+		t.Fatalf("%d sites, want 5", len(sites))
+	}
+	if sites[0].X != 1000 {
+		t.Fatalf("first site at %g, want half spacing", sites[0].X)
+	}
+	// Alternating sides.
+	if sites[0].Y != 100 || sites[1].Y != -100 {
+		t.Fatalf("sides not alternating: %g, %g", sites[0].Y, sites[1].Y)
+	}
+	// Non-alternating keeps one side.
+	sp.Alternating = false
+	for _, s := range sp.Sites() {
+		if s.Y != 100 {
+			t.Fatal("non-alternating plan switched sides")
+		}
+	}
+	// Validation.
+	if err := (SitePlan{}).Validate(); err == nil {
+		t.Fatal("empty plan accepted")
+	}
+	if err := (SitePlan{TrackLenM: 100, SpacingM: 0}).Validate(); err == nil {
+		t.Fatal("zero spacing accepted")
+	}
+}

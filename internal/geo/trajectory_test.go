@@ -1,0 +1,76 @@
+package geo
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPiecewiseTrajectoryRamps(t *testing.T) {
+	// Station start: accelerate 0→80 m/s over 100 s, cruise 100 s,
+	// brake to 0 over 100 s.
+	tr := PiecewiseTrajectory{
+		StartX:         1000,
+		InitialSpeedMS: 0,
+		Segments: []Segment{
+			{DurationSec: 100, TargetSpeedMS: 80},
+			{DurationSec: 100, TargetSpeedMS: 80},
+			{DurationSec: 100, TargetSpeedMS: 0},
+		},
+	}
+	if x := tr.At(0).X; x != 1000 {
+		t.Fatalf("At(0) = %g", x)
+	}
+	// End of acceleration: ½·a·t² = ½·0.8·100² = 4000.
+	if x := tr.At(100).X; math.Abs(x-5000) > 1e-9 {
+		t.Fatalf("At(100) = %g, want 5000", x)
+	}
+	if v := tr.SpeedAt(50); math.Abs(v-40) > 1e-9 {
+		t.Fatalf("SpeedAt(50) = %g, want 40", v)
+	}
+	// Cruise adds 8000 m.
+	if x := tr.At(200).X; math.Abs(x-13000) > 1e-9 {
+		t.Fatalf("At(200) = %g, want 13000", x)
+	}
+	// Braking adds another 4000 m; then the train holds 0.
+	if x := tr.At(300).X; math.Abs(x-17000) > 1e-9 {
+		t.Fatalf("At(300) = %g, want 17000", x)
+	}
+	if x := tr.At(400).X; math.Abs(x-17000) > 1e-9 {
+		t.Fatalf("stopped train moved: At(400) = %g", x)
+	}
+	if v := tr.SpeedAt(350); v != 0 {
+		t.Fatalf("SpeedAt(350) = %g, want 0", v)
+	}
+}
+
+func TestPiecewiseTrajectoryMidSegment(t *testing.T) {
+	tr := PiecewiseTrajectory{InitialSpeedMS: 10, Segments: []Segment{
+		{DurationSec: 10, TargetSpeedMS: 30},
+	}}
+	// At t=5: v = 20, x = 10·5 + ½·2·25 = 75.
+	if x := tr.At(5).X; math.Abs(x-75) > 1e-9 {
+		t.Fatalf("At(5) = %g, want 75", x)
+	}
+	// Beyond the profile: cruise at 30.
+	if x := tr.At(20).X; math.Abs(x-(200+300)) > 1e-9 {
+		t.Fatalf("At(20) = %g, want 500", x)
+	}
+	// Zero-duration segment acts as a step change.
+	tr2 := PiecewiseTrajectory{InitialSpeedMS: 10, Segments: []Segment{
+		{DurationSec: 0, TargetSpeedMS: 50},
+	}}
+	if x := tr2.At(2).X; math.Abs(x-100) > 1e-9 {
+		t.Fatalf("step-change At(2) = %g, want 100", x)
+	}
+}
+
+func TestPathInterface(t *testing.T) {
+	var p Path = Trajectory{SpeedMS: 10}
+	if p.At(3).X != 30 {
+		t.Fatal("Trajectory does not satisfy Path")
+	}
+	p = PiecewiseTrajectory{InitialSpeedMS: 10}
+	if p.At(3).X != 30 {
+		t.Fatal("PiecewiseTrajectory does not satisfy Path")
+	}
+}

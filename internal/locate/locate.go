@@ -1,0 +1,142 @@
+// Package locate implements the paper's §10 outlook: delay-Doppler
+// based localization and predictive client trajectory. The same
+// per-path delay/Doppler estimates that Algorithm 1 extracts for
+// cross-band estimation carry geometry: the line-of-sight delay gives
+// the range to each base station, and the Doppler sign gives the
+// direction of travel. On a rail line (a 1-D constraint) two or three
+// ranges pin the client position; an α-β tracker turns positions into
+// a predictive trajectory that mobility management can act on before
+// signal strength ever changes — the paper's "client movement is more
+// robust and predictable than wireless" philosophy taken one step
+// further.
+package locate
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"rem/internal/chanmodel"
+	"rem/internal/geo"
+)
+
+// RangeObservation is one base station's delay-Doppler geometry
+// reading: the line-of-sight path delay (seconds) and its Doppler
+// shift (Hz) on the given carrier.
+type RangeObservation struct {
+	BS        geo.Point
+	LoSDelay  float64
+	DopplerHz float64
+	CarrierHz float64
+}
+
+// Range returns the BS–client distance implied by the LoS delay.
+func (o RangeObservation) Range() float64 {
+	return o.LoSDelay * chanmodel.SpeedOfLight
+}
+
+// RadialSpeed returns the client speed along the BS–client axis
+// implied by the Doppler shift (positive = approaching).
+func (o RangeObservation) RadialSpeed() float64 {
+	if o.CarrierHz <= 0 {
+		return 0
+	}
+	return o.DopplerHz * chanmodel.SpeedOfLight / o.CarrierHz
+}
+
+// Fix is one localization solution on the track.
+type Fix struct {
+	X float64 // along-track position (m)
+	// Residual is the RMS range residual of the solution (m) — a
+	// quality indicator.
+	Residual float64
+	// Approaching lists, per observation, whether the Doppler says the
+	// client is moving toward that base station.
+	Approaching []bool
+}
+
+// Localize solves the 1-D track-constrained position from two or more
+// range observations: each range r_i to a base station at (x_i, y_i)
+// constrains the client to x = x_i ± √(r_i²−y_i²); the returned fix is
+// the x minimizing the RMS range residual over a candidate grid of the
+// per-BS solutions.
+func Localize(obs []RangeObservation) (Fix, error) {
+	if len(obs) < 2 {
+		return Fix{}, fmt.Errorf("locate: need ≥2 range observations, got %d", len(obs))
+	}
+	// Candidate positions: both roots of every observation.
+	var candidates []float64
+	for _, o := range obs {
+		r := o.Range()
+		dy := o.BS.Y
+		if r*r < dy*dy {
+			// Range shorter than the perpendicular offset: the client
+			// is abeam within measurement error; the closest point.
+			candidates = append(candidates, o.BS.X)
+			continue
+		}
+		d := math.Sqrt(r*r - dy*dy)
+		candidates = append(candidates, o.BS.X-d, o.BS.X+d)
+	}
+	if len(candidates) == 0 {
+		return Fix{}, fmt.Errorf("locate: no feasible candidates")
+	}
+	rms := func(x float64) float64 {
+		var sum float64
+		for _, o := range obs {
+			pred := math.Hypot(x-o.BS.X, o.BS.Y)
+			d := pred - o.Range()
+			sum += d * d
+		}
+		return math.Sqrt(sum / float64(len(obs)))
+	}
+	sort.Float64s(candidates)
+	bestX, bestR := candidates[0], math.Inf(1)
+	for _, c := range candidates {
+		if r := rms(c); r < bestR {
+			bestX, bestR = c, r
+		}
+	}
+	// Local refinement: golden-ish bisection around the best candidate.
+	step := 25.0
+	for step > 0.01 {
+		improved := false
+		for _, cand := range []float64{bestX - step, bestX + step} {
+			if r := rms(cand); r < bestR {
+				bestX, bestR = cand, r
+				improved = true
+			}
+		}
+		if !improved {
+			step /= 2
+		}
+	}
+	fix := Fix{X: bestX, Residual: bestR}
+	for _, o := range obs {
+		fix.Approaching = append(fix.Approaching, o.DopplerHz > 0)
+	}
+	return fix, nil
+}
+
+// ObserveChannel converts a channel realization (as estimated by the
+// delay-Doppler receiver) into a range observation: the strongest path
+// is taken as line-of-sight.
+func ObserveChannel(ch *chanmodel.Channel, bs geo.Point, carrierHz float64) (RangeObservation, error) {
+	if len(ch.Paths) == 0 {
+		return RangeObservation{}, fmt.Errorf("locate: empty channel")
+	}
+	best := ch.Paths[0]
+	bestP := pathPower(best)
+	for _, p := range ch.Paths[1:] {
+		if pp := pathPower(p); pp > bestP {
+			best, bestP = p, pp
+		}
+	}
+	return RangeObservation{
+		BS: bs, LoSDelay: best.Delay, DopplerHz: best.Doppler, CarrierHz: carrierHz,
+	}, nil
+}
+
+func pathPower(p chanmodel.Path) float64 {
+	return real(p.Gain)*real(p.Gain) + imag(p.Gain)*imag(p.Gain)
+}

@@ -1,0 +1,203 @@
+package locate
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rem/internal/chanmodel"
+	"rem/internal/geo"
+	"rem/internal/sim"
+)
+
+func obsFor(clientX float64, bs geo.Point, carrier float64, speedMS float64) RangeObservation {
+	r := geo.Point{X: clientX}.Distance(bs)
+	// Radial speed component for a client moving in +x.
+	cosTheta := (bs.X - clientX) / r
+	return RangeObservation{
+		BS:        bs,
+		LoSDelay:  r / chanmodel.SpeedOfLight,
+		DopplerHz: chanmodel.MaxDoppler(carrier, speedMS) * cosTheta,
+		CarrierHz: carrier,
+	}
+}
+
+func TestLocalizeExact(t *testing.T) {
+	client := 1234.0
+	obs := []RangeObservation{
+		obsFor(client, geo.Point{X: 800, Y: 120}, 2.1e9, 80),
+		obsFor(client, geo.Point{X: 2300, Y: -120}, 2.1e9, 80),
+	}
+	fix, err := Localize(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fix.X-client) > 1 {
+		t.Fatalf("fix at %g, want %g", fix.X, client)
+	}
+	if fix.Residual > 0.5 {
+		t.Fatalf("residual %g on exact ranges", fix.Residual)
+	}
+	// Doppler direction: approaching the site ahead, leaving the one
+	// behind.
+	if fix.Approaching[0] != false || fix.Approaching[1] != true {
+		t.Fatalf("approaching flags = %v", fix.Approaching)
+	}
+}
+
+func TestLocalizeResolvesAmbiguityWithThird(t *testing.T) {
+	// Two sites at the same X leave a left/right ambiguity that a third
+	// site resolves.
+	client := 3100.0
+	obs := []RangeObservation{
+		obsFor(client, geo.Point{X: 2000, Y: 100}, 2.1e9, 80),
+		obsFor(client, geo.Point{X: 2000, Y: -140}, 2.1e9, 80),
+		obsFor(client, geo.Point{X: 4000, Y: 100}, 2.1e9, 80),
+	}
+	fix, err := Localize(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fix.X-client) > 1 {
+		t.Fatalf("fix at %g, want %g", fix.X, client)
+	}
+}
+
+func TestLocalizeNoisyRangesProperty(t *testing.T) {
+	// With ±15 m range noise (≈50 ns delay error, well above what the
+	// DD grid resolves), the fix stays within ~40 m.
+	f := func(seed int64) bool {
+		rng := sim.NewRNG(seed)
+		client := rng.Uniform(1000, 9000)
+		var obs []RangeObservation
+		for _, bsx := range []float64{client - 900, client + 700, client + 2200} {
+			o := obsFor(client, geo.Point{X: bsx, Y: 120}, 2.1e9, 90)
+			o.LoSDelay += rng.Gauss(0, 15/chanmodel.SpeedOfLight)
+			obs = append(obs, o)
+		}
+		fix, err := Localize(obs)
+		return err == nil && math.Abs(fix.X-client) < 40
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLocalizeValidation(t *testing.T) {
+	if _, err := Localize(nil); err == nil {
+		t.Fatal("empty observations accepted")
+	}
+	if _, err := Localize([]RangeObservation{{}}); err == nil {
+		t.Fatal("single observation accepted")
+	}
+	// Range shorter than the lateral offset: falls back to abeam.
+	obs := []RangeObservation{
+		{BS: geo.Point{X: 500, Y: 200}, LoSDelay: 100 / chanmodel.SpeedOfLight},
+		{BS: geo.Point{X: 900, Y: 200}, LoSDelay: 450 / chanmodel.SpeedOfLight},
+	}
+	if _, err := Localize(obs); err != nil {
+		t.Fatalf("abeam fallback failed: %v", err)
+	}
+}
+
+func TestObserveChannel(t *testing.T) {
+	ch := &chanmodel.Channel{Paths: []chanmodel.Path{
+		{Gain: 0.2, Delay: 900e-9, Doppler: -100},
+		{Gain: 1.0, Delay: 400e-9, Doppler: 500}, // strongest = LoS
+	}}
+	o, err := ObserveChannel(ch, geo.Point{X: 10, Y: 5}, 2.1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.LoSDelay != 400e-9 || o.DopplerHz != 500 {
+		t.Fatalf("picked wrong path: %+v", o)
+	}
+	if math.Abs(o.Range()-400e-9*chanmodel.SpeedOfLight) > 1e-6 {
+		t.Fatal("range conversion wrong")
+	}
+	// Radial speed: ν·c/f.
+	want := 500 * chanmodel.SpeedOfLight / 2.1e9
+	if math.Abs(o.RadialSpeed()-want) > 1e-9 {
+		t.Fatalf("radial speed %g, want %g", o.RadialSpeed(), want)
+	}
+	if _, err := ObserveChannel(&chanmodel.Channel{}, geo.Point{}, 1e9); err == nil {
+		t.Fatal("empty channel accepted")
+	}
+}
+
+func TestTrackerConvergesToConstantVelocity(t *testing.T) {
+	k := NewTracker(0, 0) // defaults
+	for i := 0; i <= 50; i++ {
+		tt := float64(i) * 0.5
+		k.Update(tt, 100+80*tt)
+	}
+	x, v, ok := k.State()
+	if !ok {
+		t.Fatal("tracker not primed")
+	}
+	if math.Abs(v-80) > 1 {
+		t.Fatalf("velocity estimate %g, want 80", v)
+	}
+	if math.Abs(x-(100+80*25)) > 10 {
+		t.Fatalf("position estimate %g", x)
+	}
+	pred, err := k.Predict(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pred-(100+80*35)) > 20 {
+		t.Fatalf("prediction %g, want ≈%g", pred, 100+80*35.0)
+	}
+	dt, err := k.TimeToReach(100 + 80*30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(dt-5) > 0.5 {
+		t.Fatalf("time to reach = %g, want ≈5", dt)
+	}
+}
+
+func TestTrackerNoisyFixes(t *testing.T) {
+	rng := sim.NewRNG(3)
+	k := NewTracker(0.3, 0.04)
+	// Average the velocity estimate over the settled tail: the α-β
+	// filter is unbiased but its instantaneous estimate is noisy.
+	var vSum float64
+	count := 0
+	for i := 0; i <= 400; i++ {
+		tt := float64(i) * 0.2
+		k.Update(tt, 80*tt+rng.Gauss(0, 10))
+		if i > 200 {
+			_, v, _ := k.State()
+			vSum += v
+			count++
+		}
+	}
+	if v := vSum / float64(count); math.Abs(v-80) > 3 {
+		t.Fatalf("velocity under noise = %g, want ≈80", v)
+	}
+}
+
+func TestTrackerEdgeCases(t *testing.T) {
+	k := NewTracker(0.5, 0.1)
+	if _, err := k.Predict(1); err == nil {
+		t.Fatal("unprimed predict accepted")
+	}
+	if _, err := k.TimeToReach(10); err == nil {
+		t.Fatal("unprimed time-to-reach accepted")
+	}
+	k.Update(0, 100)
+	if _, err := k.TimeToReach(200); err == nil {
+		t.Fatal("zero-velocity time-to-reach accepted")
+	}
+	k.Update(1, 90) // moving backward
+	if _, err := k.TimeToReach(200); err == nil {
+		t.Fatal("wrong-direction target accepted")
+	}
+	// Duplicate timestamp is a no-op; out-of-order re-primes.
+	k.Update(1, 95)
+	k.Update(0.5, 50)
+	if x, _, _ := k.State(); x != 50 {
+		t.Fatalf("re-prime failed: x=%g", x)
+	}
+}

@@ -1,0 +1,154 @@
+package locate
+
+import (
+	"math"
+	"sort"
+
+	"rem/internal/crossband"
+)
+
+// PathTrack is one physical path followed across measurement cycles:
+// smoothed delay/Doppler state plus their drift rates, the
+// movement-by-inertia model of paper §4 ("client movement is slower
+// and predictable by inertia").
+type PathTrack struct {
+	Delay      float64 // smoothed τ_p (s)
+	Doppler    float64 // smoothed ν_p (Hz)
+	DelayVel   float64 // dτ/dt (s/s)
+	DopplerVel float64 // dν/dt (Hz/s)
+	Strength   float64
+	Age        int // cycles since first seen
+	Missed     int // consecutive cycles without a match
+	lastT      float64
+	// previous raw observations, for unbiased drift estimation
+	prevObsDelay   float64
+	prevObsDoppler float64
+}
+
+// PathTrackerConfig tunes association and smoothing.
+type PathTrackerConfig struct {
+	// MaxDelayGap / MaxDopplerGap bound the association distance
+	// between an existing track and a new estimate (defaults: 200 ns,
+	// 250 Hz).
+	MaxDelayGap   float64
+	MaxDopplerGap float64
+	// Alpha is the EWMA weight of new observations (default 0.4).
+	Alpha float64
+	// DropAfter removes a track missed this many cycles (default 3).
+	DropAfter int
+}
+
+func (c PathTrackerConfig) normalized() PathTrackerConfig {
+	if c.MaxDelayGap <= 0 {
+		c.MaxDelayGap = 200e-9
+	}
+	if c.MaxDopplerGap <= 0 {
+		c.MaxDopplerGap = 250
+	}
+	if c.Alpha <= 0 || c.Alpha > 1 {
+		c.Alpha = 0.4
+	}
+	if c.DropAfter <= 0 {
+		c.DropAfter = 3
+	}
+	return c
+}
+
+// PathTracker associates per-cycle multipath estimates (Algorithm 1's
+// output) into persistent tracks and predicts their evolution.
+type PathTracker struct {
+	cfg    PathTrackerConfig
+	tracks []*PathTrack
+}
+
+// NewPathTracker returns a tracker with the given configuration.
+func NewPathTracker(cfg PathTrackerConfig) *PathTracker {
+	return &PathTracker{cfg: cfg.normalized()}
+}
+
+// Tracks returns the live tracks, strongest first.
+func (pt *PathTracker) Tracks() []*PathTrack {
+	out := append([]*PathTrack(nil), pt.tracks...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Strength > out[j].Strength })
+	return out
+}
+
+// Update ingests one measurement cycle at time t. Unmatched estimates
+// open new tracks; tracks missed DropAfter cycles are removed.
+func (pt *PathTracker) Update(t float64, estimates []crossband.PathEstimate) {
+	claimed := make([]bool, len(estimates))
+	// Greedy nearest-neighbor association, strongest tracks first.
+	sort.Slice(pt.tracks, func(i, j int) bool { return pt.tracks[i].Strength > pt.tracks[j].Strength })
+	for _, tr := range pt.tracks {
+		bestIdx, bestD := -1, math.Inf(1)
+		for i, e := range estimates {
+			if claimed[i] {
+				continue
+			}
+			dd := math.Abs(e.Delay-tr.Delay) / pt.cfg.MaxDelayGap
+			dv := math.Abs(e.Doppler1-tr.Doppler) / pt.cfg.MaxDopplerGap
+			if dd > 1 || dv > 1 {
+				continue
+			}
+			if d := dd + dv; d < bestD {
+				bestIdx, bestD = i, d
+			}
+		}
+		if bestIdx < 0 {
+			tr.Missed++
+			continue
+		}
+		claimed[bestIdx] = true
+		e := estimates[bestIdx]
+		dt := t - tr.lastT
+		a := pt.cfg.Alpha
+		if dt > 0 {
+			// Drift from successive raw observations (the smoothed
+			// state lags and would bias the velocity by 1/α).
+			tr.DelayVel = (1-a)*tr.DelayVel + a*(e.Delay-tr.prevObsDelay)/dt
+			tr.DopplerVel = (1-a)*tr.DopplerVel + a*(e.Doppler1-tr.prevObsDoppler)/dt
+		}
+		tr.Delay += a * (e.Delay - tr.Delay)
+		tr.Doppler += a * (e.Doppler1 - tr.Doppler)
+		tr.Strength += a * (e.Strength - tr.Strength)
+		tr.prevObsDelay = e.Delay
+		tr.prevObsDoppler = e.Doppler1
+		tr.Age++
+		tr.Missed = 0
+		tr.lastT = t
+	}
+	for i, e := range estimates {
+		if claimed[i] {
+			continue
+		}
+		pt.tracks = append(pt.tracks, &PathTrack{
+			Delay: e.Delay, Doppler: e.Doppler1, Strength: e.Strength,
+			Age: 1, lastT: t,
+			prevObsDelay: e.Delay, prevObsDoppler: e.Doppler1,
+		})
+	}
+	// Drop stale tracks.
+	alive := pt.tracks[:0]
+	for _, tr := range pt.tracks {
+		if tr.Missed < pt.cfg.DropAfter {
+			alive = append(alive, tr)
+		}
+	}
+	pt.tracks = alive
+}
+
+// Predict extrapolates every live track dt seconds ahead, returning
+// predicted (delay, Doppler) pairs strongest first — the input a
+// predictive mobility manager would hand to cross-band reconstruction
+// before the next measurement even happens.
+func (pt *PathTracker) Predict(dt float64) []PathTrack {
+	tracks := pt.Tracks()
+	out := make([]PathTrack, 0, len(tracks))
+	for _, tr := range tracks {
+		p := *tr
+		p.Delay += tr.DelayVel * dt
+		p.Doppler += tr.DopplerVel * dt
+		out = append(out, p)
+	}
+	return out
+}

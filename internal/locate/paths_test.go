@@ -1,0 +1,109 @@
+package locate
+
+import (
+	"math"
+	"testing"
+
+	"rem/internal/crossband"
+)
+
+func est(strength, delayNS, doppler float64) crossband.PathEstimate {
+	return crossband.PathEstimate{Strength: strength, Delay: delayNS * 1e-9, Doppler1: doppler}
+}
+
+func TestPathTrackerFollowsDrift(t *testing.T) {
+	pt := NewPathTracker(PathTrackerConfig{})
+	// One path drifting: delay −10 ns per cycle, Doppler −20 Hz per
+	// cycle (approaching pass-by geometry), cycle = 0.1 s.
+	for i := 0; i < 30; i++ {
+		tt := float64(i) * 0.1
+		pt.Update(tt, []crossband.PathEstimate{
+			est(1.0, 500-10*float64(i), 600-20*float64(i)),
+		})
+	}
+	tracks := pt.Tracks()
+	if len(tracks) != 1 {
+		t.Fatalf("%d tracks, want 1", len(tracks))
+	}
+	tr := tracks[0]
+	if tr.Age < 25 {
+		t.Fatalf("track age %d — association broke", tr.Age)
+	}
+	// Drift rates: −100 ns/s and −200 Hz/s.
+	if math.Abs(tr.DelayVel-(-100e-9)) > 30e-9 {
+		t.Fatalf("delay velocity %g, want ≈−100 ns/s", tr.DelayVel)
+	}
+	if math.Abs(tr.DopplerVel-(-200)) > 60 {
+		t.Fatalf("Doppler velocity %g, want ≈−200 Hz/s", tr.DopplerVel)
+	}
+	// Prediction extrapolates.
+	pred := pt.Predict(1.0)
+	if len(pred) != 1 {
+		t.Fatal("prediction missing")
+	}
+	wantDelay := tr.Delay + tr.DelayVel
+	if math.Abs(pred[0].Delay-wantDelay) > 1e-12 {
+		t.Fatalf("predicted delay %g, want %g", pred[0].Delay, wantDelay)
+	}
+}
+
+func TestPathTrackerMultiPathAssociation(t *testing.T) {
+	pt := NewPathTracker(PathTrackerConfig{})
+	for i := 0; i < 10; i++ {
+		tt := float64(i) * 0.1
+		pt.Update(tt, []crossband.PathEstimate{
+			est(1.0, 300, 500),
+			est(0.4, 900, -300),
+		})
+	}
+	tracks := pt.Tracks()
+	if len(tracks) != 2 {
+		t.Fatalf("%d tracks, want 2", len(tracks))
+	}
+	// Strongest first.
+	if tracks[0].Strength < tracks[1].Strength {
+		t.Fatal("tracks not sorted by strength")
+	}
+	if math.Abs(tracks[0].Delay-300e-9) > 5e-9 || math.Abs(tracks[1].Delay-900e-9) > 5e-9 {
+		t.Fatalf("delays %g / %g", tracks[0].Delay, tracks[1].Delay)
+	}
+}
+
+func TestPathTrackerDropsStale(t *testing.T) {
+	pt := NewPathTracker(PathTrackerConfig{DropAfter: 2})
+	pt.Update(0, []crossband.PathEstimate{est(1, 300, 500), est(0.5, 900, -300)})
+	// The weak path disappears (blocked); after two missed cycles it
+	// must be dropped.
+	pt.Update(0.1, []crossband.PathEstimate{est(1, 300, 500)})
+	pt.Update(0.2, []crossband.PathEstimate{est(1, 300, 500)})
+	if n := len(pt.Tracks()); n != 1 {
+		t.Fatalf("%d tracks after loss, want 1", n)
+	}
+	// A genuinely new path opens a new track.
+	pt.Update(0.3, []crossband.PathEstimate{est(1, 300, 500), est(0.7, 1500, 100)})
+	if n := len(pt.Tracks()); n != 2 {
+		t.Fatalf("%d tracks after new path, want 2", n)
+	}
+}
+
+func TestPathTrackerSeparatesCloseButDistinct(t *testing.T) {
+	// Two paths outside the association gates must never merge.
+	pt := NewPathTracker(PathTrackerConfig{MaxDelayGap: 100e-9, MaxDopplerGap: 100})
+	for i := 0; i < 5; i++ {
+		pt.Update(float64(i)*0.1, []crossband.PathEstimate{
+			est(1.0, 300, 500),
+			est(0.9, 300, 800), // same delay, Doppler 3 gates away
+		})
+	}
+	if n := len(pt.Tracks()); n != 2 {
+		t.Fatalf("%d tracks, want 2 (gated association)", n)
+	}
+}
+
+func TestPathTrackerEmptyUpdates(t *testing.T) {
+	pt := NewPathTracker(PathTrackerConfig{})
+	pt.Update(0, nil)
+	if len(pt.Tracks()) != 0 || len(pt.Predict(1)) != 0 {
+		t.Fatal("empty tracker should stay empty")
+	}
+}

@@ -1,0 +1,77 @@
+package locate
+
+import "fmt"
+
+// Tracker is an α-β filter over along-track position fixes: it
+// maintains a position/velocity state and predicts ahead — the
+// "predictive client trajectory" of paper §10. Trains neither
+// accelerate quickly nor leave the track, so the constant-velocity
+// model is strong.
+type Tracker struct {
+	Alpha, Beta float64
+
+	x, v   float64
+	lastT  float64
+	primed bool
+}
+
+// NewTracker returns a tracker; alpha/beta default to (0.5, 0.1) when
+// non-positive.
+func NewTracker(alpha, beta float64) *Tracker {
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.5
+	}
+	if beta <= 0 || beta > 1 {
+		beta = 0.1
+	}
+	return &Tracker{Alpha: alpha, Beta: beta}
+}
+
+// Update ingests a position fix at time t (seconds). Out-of-order
+// updates re-prime the filter.
+func (k *Tracker) Update(t, x float64) {
+	if !k.primed || t < k.lastT {
+		k.x, k.v, k.lastT, k.primed = x, 0, t, true
+		return
+	}
+	dt := t - k.lastT
+	if dt == 0 {
+		return
+	}
+	pred := k.x + k.v*dt
+	resid := x - pred
+	k.x = pred + k.Alpha*resid
+	k.v += k.Beta * resid / dt
+	k.lastT = t
+}
+
+// State returns the current position and velocity estimate.
+func (k *Tracker) State() (x, v float64, ok bool) {
+	return k.x, k.v, k.primed
+}
+
+// Predict extrapolates the position dt seconds ahead of the last
+// update.
+func (k *Tracker) Predict(dt float64) (float64, error) {
+	if !k.primed {
+		return 0, fmt.Errorf("locate: tracker not primed")
+	}
+	return k.x + k.v*dt, nil
+}
+
+// TimeToReach returns how long until the predicted trajectory reaches
+// position target, or an error when the client is not moving toward
+// it.
+func (k *Tracker) TimeToReach(target float64) (float64, error) {
+	if !k.primed {
+		return 0, fmt.Errorf("locate: tracker not primed")
+	}
+	if k.v == 0 {
+		return 0, fmt.Errorf("locate: zero velocity estimate")
+	}
+	dt := (target - k.x) / k.v
+	if dt < 0 {
+		return 0, fmt.Errorf("locate: moving away from target")
+	}
+	return dt, nil
+}

@@ -1,0 +1,72 @@
+package mobility
+
+import (
+	"testing"
+)
+
+// TestSignalingBlackout injects a near-total signaling blackout (the
+// radio edge pushed far below the deliverable range) and checks the
+// engine degrades gracefully: failures occur, all get classified, no
+// panics, and the failure ratio saturates sanely.
+func TestSignalingBlackout(t *testing.T) {
+	sc, streams := twoCellScenario(t, 30, 3, 3)
+	sc.Env.Cfg.InterfMarginDB = 45 // SNR ≈ −20 dB everywhere
+	res, err := Run(streams, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Failures) == 0 {
+		t.Fatal("blackout produced no failures")
+	}
+	for _, f := range res.Failures {
+		if f.Cause == CauseNone {
+			t.Fatal("unclassified failure")
+		}
+	}
+	// Nothing deliverable: handovers should be rare to none, outages
+	// dominate the timeline.
+	var outageTime float64
+	for _, o := range res.Outages {
+		outageTime += o.Duration
+	}
+	if outageTime < res.Duration/2 {
+		t.Fatalf("outage time %.1fs of %.1fs — blackout not reflected", outageTime, res.Duration)
+	}
+}
+
+// TestHOInterruptionOutagesRecorded checks every successful handover
+// contributes its interruption window to the outage list (the TCP
+// model consumes these).
+func TestHOInterruptionOutagesRecorded(t *testing.T) {
+	sc, streams := twoCellScenario(t, 31, 3, 3)
+	res, err := Run(streams, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Handovers) == 0 {
+		t.Skip("no handovers this seed")
+	}
+	short := 0
+	for _, o := range res.Outages {
+		if o.Duration == sc.Cfg.HOInterruptSec {
+			short++
+		}
+	}
+	if short < len(res.Handovers) {
+		t.Fatalf("%d handovers but only %d interruption outages", len(res.Handovers), short)
+	}
+}
+
+// TestPolicyFallbackForUnknownCell ensures cells with no configured
+// policy fall back to a sane default A3 instead of stalling.
+func TestPolicyFallbackForUnknownCell(t *testing.T) {
+	sc, streams := twoCellScenario(t, 32, 3, 3)
+	sc.Policies = nil // the engine must synthesize defaults
+	res, err := Run(streams, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Handovers) == 0 {
+		t.Fatal("default policies produced no handovers")
+	}
+}

@@ -1,0 +1,413 @@
+// Package mobility implements the three-phase 4G/5G handover engine of
+// paper Fig. 1a — triggering (measurement + TTT + feedback delivery),
+// decision (policy evaluation at the serving cell), and execution
+// (handover command delivery and target connection) — together with
+// radio-link-failure detection and the paper's failure-cause taxonomy
+// (Table 2: feedback delay/loss, missed cell, handover command loss,
+// coverage hole). The same engine runs both the legacy stack and REM:
+// the scenario wiring (measurement config, signaling transport, policy
+// set, decision metric) decides which system is being simulated.
+package mobility
+
+import (
+	"fmt"
+
+	"rem/internal/geo"
+	"rem/internal/policy"
+	"rem/internal/ran"
+	"rem/internal/sim"
+)
+
+// FailureCause classifies a network failure per Table 2.
+type FailureCause int
+
+// Failure causes.
+const (
+	CauseNone         FailureCause = iota
+	CauseFeedback                  // feedback delay/loss (§3.1)
+	CauseMissedCell                // decision missed a viable cell (§3.2)
+	CauseHOCmdLoss                 // handover command loss (§3.3)
+	CauseCoverageHole              // no cell covers the area
+)
+
+// String names the cause.
+func (c FailureCause) String() string {
+	switch c {
+	case CauseNone:
+		return "none"
+	case CauseFeedback:
+		return "feedback-delay/loss"
+	case CauseMissedCell:
+		return "missed-cell"
+	case CauseHOCmdLoss:
+		return "ho-cmd-loss"
+	case CauseCoverageHole:
+		return "coverage-hole"
+	}
+	return fmt.Sprintf("FailureCause(%d)", int(c))
+}
+
+// FailureEvent is one radio link failure with its classified cause.
+type FailureEvent struct {
+	Time    float64
+	Serving int
+	Cause   FailureCause
+}
+
+// Outage is a service interruption window (for the TCP replay).
+type Outage struct {
+	Start    float64
+	Duration float64
+}
+
+// Config holds the engine's timing and threshold parameters.
+type Config struct {
+	TickSec        float64 // simulation tick (default 0.01)
+	ServeFloorDB   float64 // serving SNR below this counts out-of-sync (default −6, Qout)
+	ConnectFloorDB float64 // target must exceed this to connect (default −6)
+	RLFTimeoutSec  float64 // continuous out-of-sync before RLF (default 0.5, T310-flavored)
+	HOInterruptSec float64 // service interruption per handover (default 0.05)
+	DecisionSec    float64 // serving-cell decision processing (default 0.015)
+	ReestablishSec float64 // radio re-establishment after RLF (default 1.5)
+	// MissedCellMarginDB: a cell this far above the connect floor that
+	// was never measurable counts as "missed" (default 6).
+	MissedCellMarginDB float64
+}
+
+// DefaultConfig returns standard-flavored timings.
+func DefaultConfig() Config {
+	return Config{
+		TickSec:            0.01,
+		ServeFloorDB:       -2,
+		ConnectFloorDB:     -6,
+		RLFTimeoutSec:      0.5,
+		HOInterruptSec:     0.05,
+		DecisionSec:        0.05,
+		ReestablishSec:     1.5,
+		MissedCellMarginDB: 6,
+	}
+}
+
+// Scenario wires a full run: deployment, radio, policies, transport.
+type Scenario struct {
+	Dep      *ran.Deployment
+	Env      *ran.RadioEnv
+	Policies map[int]*policy.Policy
+	Link     *ran.LinkModel
+	MeasCfg  ran.MeasConfig
+	Traj     geo.Path
+	Cfg      Config
+	// OTFSSignaling routes all mobility signaling through REM's
+	// delay-Doppler overlay (§5.1) instead of the legacy OFDM PHY.
+	OTFSSignaling bool
+	// InitialCell pins the starting serving cell; 0 attaches to the
+	// strongest cell at t = 0.
+	InitialCell int
+	Duration    float64 // seconds
+}
+
+// Result aggregates everything the evaluation needs.
+type Result struct {
+	Duration  float64
+	Handovers []policy.HandoverRecord
+	Failures  []FailureEvent
+	Outages   []Outage
+
+	// FeedbackDelays are end-to-end triggering delays (criterion true →
+	// report delivered), Fig. 2a / Fig. 14a. FeedbackDelaysInter is the
+	// inter-frequency subset (reports for a cell on another carrier),
+	// the multi-band measurement latency the paper's Fig. 2a isolates.
+	FeedbackDelays      []float64
+	FeedbackDelaysInter []float64
+	// FeedbackFirstBLER / CmdFirstBLER are first-attempt block error
+	// probabilities of uplink reports and downlink commands, with the
+	// simulation times they occurred at (Fig. 2b filters these to a
+	// window before each network failure).
+	FeedbackFirstBLER []float64
+	FeedbackBLERAt    []float64
+	CmdFirstBLER      []float64
+	CmdBLERAt         []float64
+	// SNRTrace samples the serving cell's instantaneous OFDM SNR (dB)
+	// every SNRTraceStep seconds — the physical-layer view Fig. 2b's
+	// pre-failure block error rates are computed from.
+	SNRTrace     []float64
+	SNRTraceStep float64
+	// GapActiveSec is total time with inter-frequency measurement gaps
+	// armed (spectrum overhead accounting, §3.2).
+	GapActiveSec float64
+	// ReportsDelivered / ReportsLost count uplink feedback outcomes.
+	ReportsDelivered, ReportsLost int
+	// CmdsDelivered / CmdsLost count handover command outcomes.
+	CmdsDelivered, CmdsLost int
+}
+
+// HandoverCount returns the number of executed handovers.
+func (r *Result) HandoverCount() int { return len(r.Handovers) }
+
+// FailureRatio returns failures / (handovers + failures): the paper's
+// per-handover-event failure metric.
+func (r *Result) FailureRatio() float64 {
+	total := len(r.Handovers) + len(r.Failures)
+	if total == 0 {
+		return 0
+	}
+	return float64(len(r.Failures)) / float64(total)
+}
+
+// CauseCounts tallies failures by cause.
+func (r *Result) CauseCounts() map[FailureCause]int {
+	out := make(map[FailureCause]int)
+	for _, f := range r.Failures {
+		out[f.Cause]++
+	}
+	return out
+}
+
+// pendingCmd tracks one in-flight handover command.
+type pendingCmd struct {
+	target  int
+	sendAt  float64 // decision delay elapsed
+	trigger policy.EventType
+}
+
+// Run executes the scenario tick by tick.
+func Run(streams *sim.Streams, sc *Scenario) (*Result, error) {
+	if sc.Duration <= 0 {
+		return nil, fmt.Errorf("mobility: non-positive duration")
+	}
+	cfg := sc.Cfg
+	if cfg.TickSec <= 0 {
+		cfg = DefaultConfig()
+	}
+	res := &Result{Duration: sc.Duration, SNRTraceStep: 0.1}
+	measRNG := streams.Stream("mobility.meas")
+
+	// Initial attach: pinned cell if configured, else best at t=0.
+	snap := sc.Env.Snapshot(sc.Traj.At(0), 0)
+	serving := sc.InitialCell
+	if serving == 0 {
+		best, _, ok := ran.BestCell(snap, !sc.MeasCfg.UseDDSNR, -999)
+		if !ok {
+			return nil, fmt.Errorf("mobility: no cell visible at start")
+		}
+		serving = best
+	} else if _, ok := snap[serving]; !ok {
+		return nil, fmt.Errorf("mobility: initial cell %d not visible at start", serving)
+	}
+
+	var engine *ran.MeasEngine
+	newEngine := func(cell int) {
+		pol := sc.Policies[cell]
+		if pol == nil {
+			// A cell without an explicit policy gets a plain A3.
+			c := sc.Dep.CellByID(cell)
+			ch := 0
+			if c != nil {
+				ch = c.Channel
+			}
+			pol = &policy.Policy{CellID: cell, Channel: ch,
+				Rules: []policy.Rule{{Type: policy.A3, OffsetDB: 3, TTTSec: 0.08}}}
+		}
+		engine = ran.NewMeasEngine(measRNG, sc.Dep, pol, cell, sc.MeasCfg)
+	}
+	newEngine(serving)
+
+	outOfSyncSince := -1.0
+	var cmd *pendingCmd
+	lastCmdFailed := -100.0 // time of last lost handover command
+	inOutage := false
+	outageStart := 0.0
+	reestablishAt := 0.0
+
+	classify := func(t float64, snap map[int]ran.CellRadio) FailureCause {
+		// Coverage hole: nothing connectable anywhere.
+		_, _, any := ran.BestCell(snap, false, cfg.ConnectFloorDB)
+		if !any {
+			return CauseCoverageHole
+		}
+		// Execution failure: a handover command is in flight or was
+		// recently lost (paper §3.3).
+		if cmd != nil || t-lastCmdFailed < 2.0 {
+			return CauseHOCmdLoss
+		}
+		// Decision failure: a strong cell exists but the multi-stage
+		// policy has not (or only just) armed the inter-frequency
+		// measurements that would surface it (paper §3.2).
+		if _, _, strong := ran.BestCell(snap, false, cfg.ConnectFloorDB+cfg.MissedCellMarginDB); strong {
+			if engine != nil && len(sc.Dep.Channels()) > 1 && !sc.MeasCfg.CrossBand &&
+				!engine.GapsActive(t-1.0) {
+				return CauseMissedCell
+			}
+		}
+		// Triggering failure: feedback delayed or lost (paper §3.1).
+		return CauseFeedback
+	}
+
+	connectTo := func(t float64, target int, trigger policy.EventType, snap map[int]ran.CellRadio) bool {
+		tcr, ok := snap[target]
+		if !ok || tcr.DDSNR < cfg.ConnectFloorDB {
+			return false
+		}
+		from := serving
+		fc, tc := sc.Dep.CellByID(from), sc.Dep.CellByID(target)
+		fch, tch := 0, 0
+		if fc != nil {
+			fch = fc.Channel
+		}
+		if tc != nil {
+			tch = tc.Channel
+		}
+		res.Handovers = append(res.Handovers, policy.HandoverRecord{
+			Time: t, From: from, To: target,
+			FromChannel: fch, ToChannel: tch,
+			TriggerType: trigger, DisruptionSec: cfg.HOInterruptSec,
+		})
+		res.Outages = append(res.Outages, Outage{Start: t, Duration: cfg.HOInterruptSec})
+		serving = target
+		newEngine(serving)
+		cmd = nil
+		outOfSyncSince = -1
+		return true
+	}
+
+	steps := int(sc.Duration/cfg.TickSec) + 1
+	traceEvery := int(res.SNRTraceStep/cfg.TickSec + 0.5)
+	if traceEvery < 1 {
+		traceEvery = 1
+	}
+	for i := 0; i < steps; i++ {
+		t := float64(i) * cfg.TickSec
+		pos := sc.Traj.At(t)
+		snap = sc.Env.Snapshot(pos, t)
+		if i%traceEvery == 0 {
+			res.SNRTrace = append(res.SNRTrace, scrSNR(snap, serving))
+		}
+
+		if inOutage {
+			if t >= reestablishAt {
+				if best, _, ok := ran.BestCell(snap, false, cfg.ConnectFloorDB); ok {
+					res.Outages = append(res.Outages, Outage{Start: outageStart, Duration: t - outageStart})
+					inOutage = false
+					serving = best
+					newEngine(serving)
+					outOfSyncSince = -1
+					cmd = nil
+				}
+			}
+			continue
+		}
+
+		if engine.GapsActive(t) {
+			res.GapActiveSec += cfg.TickSec
+		}
+
+		// Radio-link monitoring.
+		scr, visible := snap[serving]
+		if !visible || scr.SNR < cfg.ServeFloorDB {
+			if outOfSyncSince < 0 {
+				outOfSyncSince = t
+			}
+			if t-outOfSyncSince >= cfg.RLFTimeoutSec {
+				res.Failures = append(res.Failures, FailureEvent{
+					Time: t, Serving: serving, Cause: classify(t, snap),
+				})
+				inOutage = true
+				outageStart = t
+				reestablishAt = t + cfg.ReestablishSec
+				continue
+			}
+		} else {
+			outOfSyncSince = -1
+		}
+
+		// Execution phase: pending handover command.
+		if cmd != nil && t >= cmd.sendAt {
+			// Handover commands are much larger RRC blocks than
+			// measurement reports (full target configuration). On the
+			// legacy PHY the narrow signaling allocation must squeeze
+			// them in at a higher effective rate — several dB more
+			// link margin (the paper's Fig. 2b: downlink commands fail
+			// at 30.3% vs uplink 9.9%). REM's scheduling-based overlay
+			// sizes the OTFS subgrid by message volume (§6), so the
+			// per-symbol operating point is unchanged.
+			var del ran.Delivery
+			if sc.OTFSSignaling {
+				del = sc.Link.DeliverOTFS(scrDD(snap, serving), false)
+			} else {
+				del = sc.Link.DeliverLegacy(scrSNR(snap, serving)-sc.Link.Cfg.CmdExtraDB,
+					scrDD(snap, serving)-sc.Link.Cfg.CmdExtraDB, false)
+			}
+			res.CmdFirstBLER = append(res.CmdFirstBLER, del.FirstBLER)
+			res.CmdBLERAt = append(res.CmdBLERAt, t)
+			if del.OK {
+				res.CmdsDelivered++
+				connectTo(t, cmd.target, cmd.trigger, snap)
+			} else {
+				res.CmdsLost++
+				lastCmdFailed = t
+				cmd = nil // serving cell will retry on next report
+			}
+			continue
+		}
+
+		// Triggering phase: measurement reports.
+		reports := engine.Tick(t, snap)
+		if len(reports) == 0 {
+			continue
+		}
+		// Pick the best report (highest metric) for decision.
+		best := reports[0]
+		for _, r := range reports[1:] {
+			if r.Metric > best.Metric {
+				best = r
+			}
+		}
+		var del ran.Delivery
+		if sc.OTFSSignaling {
+			del = sc.Link.DeliverOTFS(scrDD(snap, serving), true)
+		} else {
+			del = sc.Link.DeliverLegacy(scrSNR(snap, serving), scrDD(snap, serving), true)
+		}
+		res.FeedbackFirstBLER = append(res.FeedbackFirstBLER, del.FirstBLER)
+		res.FeedbackBLERAt = append(res.FeedbackBLERAt, t)
+		if !del.OK {
+			res.ReportsLost++
+			continue
+		}
+		res.ReportsDelivered++
+		delay := (t - best.CriterionAt) + del.Delay
+		res.FeedbackDelays = append(res.FeedbackDelays, delay)
+		if tc := sc.Dep.CellByID(best.CellID); tc != nil {
+			if scell := sc.Dep.CellByID(serving); scell != nil && tc.Channel != scell.Channel {
+				res.FeedbackDelaysInter = append(res.FeedbackDelaysInter, delay)
+			}
+		}
+
+		// Decision phase: the serving cell accepts the reported target.
+		if cmd == nil {
+			cmd = &pendingCmd{
+				target:  best.CellID,
+				sendAt:  t + cfg.DecisionSec,
+				trigger: best.Rule.Type,
+			}
+		}
+	}
+	if inOutage {
+		res.Outages = append(res.Outages, Outage{Start: outageStart, Duration: sc.Duration - outageStart})
+	}
+	return res, nil
+}
+
+func scrSNR(snap map[int]ran.CellRadio, id int) float64 {
+	if cr, ok := snap[id]; ok {
+		return cr.SNR
+	}
+	return -30
+}
+
+func scrDD(snap map[int]ran.CellRadio, id int) float64 {
+	if cr, ok := snap[id]; ok {
+		return cr.DDSNR
+	}
+	return -30
+}

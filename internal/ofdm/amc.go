@@ -1,0 +1,52 @@
+package ofdm
+
+import "math"
+
+// MCS is one modulation-and-coding-scheme entry of the link-adaptation
+// table.
+type MCS struct {
+	Index      int
+	Modulation Modulation
+	Rate       CodeRate
+}
+
+// SpectralEfficiency returns bits per symbol after coding.
+func (m MCS) SpectralEfficiency() float64 {
+	return float64(m.Rate) * float64(m.Modulation.BitsPerSymbol())
+}
+
+// MCSTable returns an LTE-flavored CQI→MCS ladder (a subset of the
+// 15-entry TS 36.213 table).
+func MCSTable() []MCS {
+	return []MCS{
+		{1, QPSK, 0.08}, {2, QPSK, 0.12}, {3, QPSK, 0.19}, {4, QPSK, 0.30},
+		{5, QPSK, 0.44}, {6, QPSK, 0.59}, {7, QAM16, 0.37}, {8, QAM16, 0.48},
+		{9, QAM16, 0.60}, {10, QAM64, 0.45}, {11, QAM64, 0.55}, {12, QAM64, 0.65},
+		{13, QAM64, 0.75}, {14, QAM64, 0.85}, {15, QAM64, 0.93},
+	}
+}
+
+// SelectMCS picks the highest-rate MCS whose predicted BLER at the
+// given effective SINR stays at or below targetBLER — the adaptive
+// modulation-and-coding loop every LTE/NR scheduler runs. It falls
+// back to the most robust entry when nothing meets the target.
+func SelectMCS(effSINR float64, targetBLER float64) MCS {
+	table := MCSTable()
+	best := table[0]
+	for _, m := range table {
+		if BLER(effSINR, m.Modulation, m.Rate) <= targetBLER {
+			best = m
+		}
+	}
+	return best
+}
+
+// AdaptedBLER returns the block error probability when the MCS was
+// selected for an SINR observed adaptationLag ago (sinrThen) but the
+// channel now offers sinrNow — the mismatch mechanism behind elevated
+// pre-failure block errors at high speed (paper Fig. 2b): at 300+ km/h
+// the channel falls faster than CQI reporting tracks it.
+func AdaptedBLER(sinrNowDB, sinrThenDB, targetBLER float64) float64 {
+	mcs := SelectMCS(math.Pow(10, sinrThenDB/10), targetBLER)
+	return BLER(math.Pow(10, sinrNowDB/10), mcs.Modulation, mcs.Rate)
+}

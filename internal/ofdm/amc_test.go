@@ -1,0 +1,65 @@
+package ofdm
+
+import (
+	"testing"
+
+	"rem/internal/dsp"
+)
+
+func TestMCSTableMonotone(t *testing.T) {
+	table := MCSTable()
+	if len(table) != 15 {
+		t.Fatalf("table has %d entries", len(table))
+	}
+	prev := 0.0
+	for _, m := range table {
+		se := m.SpectralEfficiency()
+		if se <= prev {
+			t.Fatalf("MCS %d efficiency %g not increasing", m.Index, se)
+		}
+		prev = se
+	}
+}
+
+func TestSelectMCS(t *testing.T) {
+	// Very low SINR: most robust entry.
+	if m := SelectMCS(dsp.FromDB(-15), 0.1); m.Index != 1 {
+		t.Fatalf("low-SINR MCS = %d, want 1", m.Index)
+	}
+	// Very high SINR: top entry.
+	if m := SelectMCS(dsp.FromDB(30), 0.1); m.Index != 15 {
+		t.Fatalf("high-SINR MCS = %d, want 15", m.Index)
+	}
+	// Monotone in SINR.
+	prev := 0
+	for snr := -15.0; snr <= 30; snr += 1 {
+		m := SelectMCS(dsp.FromDB(snr), 0.1)
+		if m.Index < prev {
+			t.Fatalf("MCS selection not monotone at %g dB", snr)
+		}
+		prev = m.Index
+	}
+	// Selected MCS actually meets the target (except at the floor).
+	for snr := -5.0; snr <= 30; snr += 2.5 {
+		m := SelectMCS(dsp.FromDB(snr), 0.1)
+		if m.Index > 1 && BLER(dsp.FromDB(snr), m.Modulation, m.Rate) > 0.1+1e-9 {
+			t.Fatalf("MCS %d misses the BLER target at %g dB", m.Index, snr)
+		}
+	}
+}
+
+func TestAdaptedBLER(t *testing.T) {
+	// Stable channel: BLER stays at or below target.
+	if b := AdaptedBLER(10, 10, 0.1); b > 0.1+1e-9 {
+		t.Fatalf("stable-channel adapted BLER %g > target", b)
+	}
+	// Channel fell 6 dB since the CQI report: BLER blows past the
+	// target.
+	if b := AdaptedBLER(4, 10, 0.1); b < 0.3 {
+		t.Fatalf("stale-CQI BLER %g should be elevated", b)
+	}
+	// Channel improved: BLER collapses.
+	if b := AdaptedBLER(16, 10, 0.1); b > AdaptedBLER(10, 10, 0.1) {
+		t.Fatal("improving channel should not raise BLER")
+	}
+}

@@ -1,0 +1,158 @@
+package ofdm
+
+import (
+	"fmt"
+
+	"rem/internal/dsp"
+	"rem/internal/sim"
+)
+
+// crc24APoly is the LTE CRC24A generator polynomial (TS 36.212 §5.1.1),
+// x²⁴+x²³+x¹⁸+x¹⁷+x¹⁴+x¹¹+x¹⁰+x⁷+x⁶+x⁵+x⁴+x³+x+1, MSB-first.
+const crc24APoly = 0x864CFB
+
+// CRC24A computes the LTE CRC24A checksum over a bit slice (one bit per
+// byte, values 0/1), returned as 24 bits MSB-first.
+func CRC24A(bits []byte) []byte {
+	reg := 0
+	for _, b := range bits {
+		reg = (reg << 1) | int(b&1)
+		if reg&0x1000000 != 0 {
+			reg ^= 0x1000000 | crc24APoly
+		}
+	}
+	for i := 0; i < 24; i++ {
+		reg <<= 1
+		if reg&0x1000000 != 0 {
+			reg ^= 0x1000000 | crc24APoly
+		}
+	}
+	out := make([]byte, 24)
+	for i := 0; i < 24; i++ {
+		out[i] = byte(reg >> uint(23-i) & 1)
+	}
+	return out
+}
+
+// AttachCRC returns bits followed by their CRC24A checksum.
+func AttachCRC(bits []byte) []byte {
+	return append(append([]byte{}, bits...), CRC24A(bits)...)
+}
+
+// CheckCRC verifies and strips a trailing CRC24A. It reports whether
+// the checksum matched.
+func CheckCRC(bits []byte) (payload []byte, ok bool) {
+	if len(bits) < 24 {
+		return nil, false
+	}
+	payload = bits[:len(bits)-24]
+	want := CRC24A(payload)
+	got := bits[len(bits)-24:]
+	for i := range want {
+		if want[i] != got[i] {
+			return payload, false
+		}
+	}
+	return payload, true
+}
+
+// Allocation is a rectangular set of resource elements within an M×N
+// grid: subcarriers [F0, F0+FW) × symbols [T0, T0+TW). Legacy 4G/5G
+// signaling occupies such narrow allocations, which is why it is
+// exposed to local fades (paper §3.3).
+type Allocation struct {
+	F0, T0 int // origin (subcarrier, symbol)
+	FW, TW int // width in subcarriers and symbols
+}
+
+// REs returns the number of resource elements in the allocation.
+func (a Allocation) REs() int { return a.FW * a.TW }
+
+// Validate checks the allocation fits an m×n grid.
+func (a Allocation) Validate(m, n int) error {
+	if a.F0 < 0 || a.T0 < 0 || a.FW <= 0 || a.TW <= 0 || a.F0+a.FW > m || a.T0+a.TW > n {
+		return fmt.Errorf("ofdm: allocation %+v does not fit %dx%d grid", a, m, n)
+	}
+	return nil
+}
+
+// LinkResult reports one simulated block transmission.
+type LinkResult struct {
+	Delivered bool    // CRC passed at the receiver
+	BitErrors int     // raw channel bit errors over the coded block
+	EffSINRdB float64 // EESM effective SINR over the allocation
+}
+
+// TransmitBlock Monte-Carlo-simulates one transport block over an OFDM
+// allocation: QAM-modulate payload+CRC24A onto the allocation's REs of
+// the channel grid h (per-RE complex gains), add AWGN of power
+// noiseVar plus a Doppler ICI penalty, zero-forcing equalize, demap,
+// and CRC-check. The block (payload + 24 CRC bits) must fit the
+// allocation at the chosen modulation.
+func TransmitBlock(rng *sim.RNG, payload []byte, mod Modulation, alloc Allocation,
+	h [][]complex128, noiseVar, iciRatio float64) (LinkResult, error) {
+
+	m := len(h)
+	if m == 0 {
+		return LinkResult{}, fmt.Errorf("ofdm: empty channel grid")
+	}
+	n := len(h[0])
+	if err := alloc.Validate(m, n); err != nil {
+		return LinkResult{}, err
+	}
+	block := AttachCRC(payload)
+	blockLen := len(block)
+	bps := mod.BitsPerSymbol()
+	// Pad to a whole number of symbols; pad bits sit outside the
+	// CRC-protected region and are ignored on receive.
+	padded := block
+	for len(padded)%bps != 0 {
+		padded = append(padded, 0)
+	}
+	syms, err := mod.Map(padded)
+	if err != nil {
+		return LinkResult{}, err
+	}
+	if len(syms) > alloc.REs() {
+		return LinkResult{}, fmt.Errorf("ofdm: block needs %d REs, allocation has %d", len(syms), alloc.REs())
+	}
+
+	// Per-RE ICI noise level, proportional to the grid's average
+	// received power (see RESINRs).
+	total := 0.0
+	for _, row := range h {
+		for _, v := range row {
+			total += real(v)*real(v) + imag(v)*imag(v)
+		}
+	}
+	iciVar := iciRatio * total / float64(m*n)
+
+	rx := make([]complex128, len(syms))
+	sinrs := make([]float64, 0, len(syms))
+	idx := 0
+	for f := alloc.F0; f < alloc.F0+alloc.FW && idx < len(syms); f++ {
+		for t := alloc.T0; t < alloc.T0+alloc.TW && idx < len(syms); t++ {
+			g := h[f][t]
+			y := g*syms[idx] + rng.ComplexNorm(noiseVar+iciVar)
+			if g != 0 {
+				rx[idx] = y / g // zero-forcing equalization
+			} else {
+				rx[idx] = y
+			}
+			p := real(g)*real(g) + imag(g)*imag(g)
+			sinrs = append(sinrs, p/(noiseVar+iciVar))
+			idx++
+		}
+	}
+	got := mod.Demap(rx)
+
+	errs := 0
+	for i := 0; i < blockLen; i++ {
+		if got[i] != block[i] {
+			errs++
+		}
+	}
+	_, ok := CheckCRC(got[:blockLen])
+	eff := EffectiveSINR(sinrs, EESMBeta(mod))
+	return LinkResult{Delivered: ok, BitErrors: errs, EffSINRdB: dsp.DB(eff)}, nil
+}

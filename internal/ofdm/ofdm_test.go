@@ -1,0 +1,413 @@
+package ofdm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rem/internal/chanmodel"
+	"rem/internal/dsp"
+	"rem/internal/sim"
+)
+
+func TestNumerology(t *testing.T) {
+	lte := LTE()
+	if math.Abs(lte.SymbolT-66.7e-6) > 0.1e-6 {
+		t.Fatalf("LTE symbol T = %g, want ≈66.7µs", lte.SymbolT)
+	}
+	if lte.DeltaF != 15e3 {
+		t.Fatalf("LTE Δf = %g", lte.DeltaF)
+	}
+	for mu := 0; mu <= 4; mu++ {
+		n, err := NR(mu)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 15e3 * math.Pow(2, float64(mu))
+		if n.DeltaF != want {
+			t.Fatalf("NR µ=%d Δf = %g, want %g", mu, n.DeltaF, want)
+		}
+		if math.Abs(n.DeltaF*n.SymbolT-1) > 1e-12 {
+			t.Fatalf("NR µ=%d T·Δf != 1", mu)
+		}
+	}
+	if _, err := NR(5); err == nil {
+		t.Fatal("NR(5) should fail")
+	}
+}
+
+func TestSubcarriersForBandwidth(t *testing.T) {
+	cases := map[float64]int{1.4: 72, 3: 180, 5: 300, 10: 600, 15: 900, 20: 1200}
+	for bw, want := range cases {
+		got, err := SubcarriersForBandwidth(bw)
+		if err != nil || got != want {
+			t.Fatalf("SubcarriersForBandwidth(%g) = %d, %v; want %d", bw, got, err, want)
+		}
+	}
+	if _, err := SubcarriersForBandwidth(7); err == nil {
+		t.Fatal("unsupported bandwidth should error")
+	}
+}
+
+func TestSubcarriersForBandwidthNR(t *testing.T) {
+	cases := []struct {
+		mu   int
+		mhz  float64
+		want int
+	}{
+		{0, 20, 106 * 12}, {1, 100, 273 * 12}, {3, 100, 66 * 12}, {3, 400, 264 * 12},
+	}
+	for _, c := range cases {
+		got, err := SubcarriersForBandwidthNR(c.mu, c.mhz)
+		if err != nil || got != c.want {
+			t.Fatalf("NR(µ=%d, %gMHz) = %d, %v; want %d", c.mu, c.mhz, got, err, c.want)
+		}
+	}
+	if _, err := SubcarriersForBandwidthNR(0, 400); err == nil {
+		t.Fatal("invalid combination accepted")
+	}
+	if _, err := SubcarriersForBandwidthNR(7, 20); err == nil {
+		t.Fatal("invalid µ accepted")
+	}
+}
+
+func TestGridDims(t *testing.T) {
+	m, n, err := GridDims(LTE(), 20, 1)
+	if err != nil || m != 1200 || n != 14 {
+		t.Fatalf("GridDims = (%d,%d,%v), want (1200,14,nil)", m, n, err)
+	}
+	_, n, _ = GridDims(LTE(), 5, 0.01)
+	if n != 1 {
+		t.Fatalf("sub-symbol duration should clamp N to 1, got %d", n)
+	}
+}
+
+func TestQAMRoundTrip(t *testing.T) {
+	rng := sim.NewRNG(1)
+	for _, mod := range []Modulation{QPSK, QAM16, QAM64} {
+		bps := mod.BitsPerSymbol()
+		bits := make([]byte, bps*97)
+		for i := range bits {
+			bits[i] = byte(rng.Intn(2))
+		}
+		syms, err := mod.Map(bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := mod.Demap(syms); string(got) != string(bits) {
+			t.Fatalf("%v: demap(map(bits)) != bits", mod)
+		}
+	}
+}
+
+func TestQAMUnitEnergy(t *testing.T) {
+	for _, mod := range []Modulation{QPSK, QAM16, QAM64} {
+		bps := mod.BitsPerSymbol()
+		n := 1 << uint(bps)
+		// Enumerate the full constellation.
+		sum := 0.0
+		for v := 0; v < n; v++ {
+			bits := make([]byte, bps)
+			for i := 0; i < bps; i++ {
+				bits[i] = byte(v >> uint(bps-1-i) & 1)
+			}
+			syms, err := mod.Map(bits)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := syms[0]
+			sum += real(s)*real(s) + imag(s)*imag(s)
+		}
+		if avg := sum / float64(n); math.Abs(avg-1) > 1e-12 {
+			t.Fatalf("%v average energy = %g, want 1", mod, avg)
+		}
+	}
+}
+
+func TestQAMGrayAdjacency(t *testing.T) {
+	// Gray mapping: nearest-neighbor constellation points along one
+	// axis differ in exactly one bit.
+	for _, mod := range []Modulation{QAM16, QAM64} {
+		levels := mod.pamLevels()
+		half := mod.BitsPerSymbol() / 2
+		prev := []byte(nil)
+		for li := range levels {
+			bits := grayEncode(0, half) // placeholder to use the helper
+			_ = bits
+			// Find the bit pattern whose grayIndex is li.
+			var pat []byte
+			for v := 0; v < 1<<uint(half); v++ {
+				cand := make([]byte, half)
+				for i := 0; i < half; i++ {
+					cand[i] = byte(v >> uint(half-1-i) & 1)
+				}
+				if grayIndex(cand) == li {
+					pat = cand
+					break
+				}
+			}
+			if pat == nil {
+				t.Fatalf("%v: no pattern maps to level %d", mod, li)
+			}
+			if prev != nil {
+				diff := 0
+				for i := range pat {
+					if pat[i] != prev[i] {
+						diff++
+					}
+				}
+				if diff != 1 {
+					t.Fatalf("%v: levels %d,%d differ in %d bits, want 1", mod, li-1, li, diff)
+				}
+			}
+			prev = pat
+		}
+	}
+}
+
+func TestQAMMapRejectsBadLength(t *testing.T) {
+	if _, err := QAM16.Map(make([]byte, 3)); err == nil {
+		t.Fatal("expected length error")
+	}
+}
+
+func TestCRC24A(t *testing.T) {
+	bits := []byte{1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1, 0}
+	blk := AttachCRC(bits)
+	if len(blk) != len(bits)+24 {
+		t.Fatalf("block length %d", len(blk))
+	}
+	payload, ok := CheckCRC(blk)
+	if !ok || len(payload) != len(bits) {
+		t.Fatal("clean CRC check failed")
+	}
+	// Any single-bit flip must be detected.
+	for i := range blk {
+		bad := append([]byte{}, blk...)
+		bad[i] ^= 1
+		if _, ok := CheckCRC(bad); ok {
+			t.Fatalf("flip at %d undetected", i)
+		}
+	}
+	if _, ok := CheckCRC(make([]byte, 10)); ok {
+		t.Fatal("short input should fail CRC")
+	}
+}
+
+func TestCRCDetectsBurstsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := sim.NewRNG(seed)
+		n := 16 + rng.Intn(200)
+		bits := make([]byte, n)
+		for i := range bits {
+			bits[i] = byte(rng.Intn(2))
+		}
+		blk := AttachCRC(bits)
+		// Flip a random burst of ≤24 bits: CRC24 detects all bursts
+		// up to its width.
+		start := rng.Intn(len(blk))
+		width := 1 + rng.Intn(24)
+		for i := start; i < start+width && i < len(blk); i++ {
+			blk[i] ^= 1
+		}
+		_, ok := CheckCRC(blk)
+		return !ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestICIPowerRatio(t *testing.T) {
+	// LTE at 350 km/h, 2.6 GHz: ν_max·T ≈ 0.056 → ratio ≈ 0.0104.
+	nu := chanmodel.MaxDoppler(2.6e9, chanmodel.KmhToMs(350))
+	r := ICIPowerRatio(nu, LTE().SymbolT)
+	if r < 0.005 || r > 0.02 {
+		t.Fatalf("ICI ratio = %g, want ≈0.01", r)
+	}
+	if ICIPowerRatio(0, LTE().SymbolT) != 0 {
+		t.Fatal("no Doppler should mean no ICI")
+	}
+	if ICIPowerRatio(1e9, 1) != 1 {
+		t.Fatal("ICI ratio should clamp to 1")
+	}
+	// Monotone in Doppler.
+	if ICIPowerRatio(100, 66.7e-6) >= ICIPowerRatio(1000, 66.7e-6) {
+		t.Fatal("ICI not monotone in Doppler")
+	}
+}
+
+func TestEffectiveSINRProperties(t *testing.T) {
+	// Uniform SINRs: EESM equals the common value.
+	eff := EffectiveSINR([]float64{2, 2, 2, 2}, 1.6)
+	if math.Abs(eff-2) > 1e-9 {
+		t.Fatalf("uniform EESM = %g, want 2", eff)
+	}
+	// A deep fade drags the effective SINR far below the mean.
+	faded := EffectiveSINR([]float64{10, 10, 10, 0.01}, 1.6)
+	if faded > 5 {
+		t.Fatalf("EESM with fade = %g, should be pulled down", faded)
+	}
+	// EESM ≤ arithmetic mean (Jensen).
+	f := func(seed int64) bool {
+		rng := sim.NewRNG(seed)
+		n := 1 + rng.Intn(40)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Exp(5)
+		}
+		return EffectiveSINR(xs, 1.6) <= dsp.Mean(xs)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+	if EffectiveSINR(nil, 1.6) != 0 {
+		t.Fatal("empty EESM should be 0")
+	}
+}
+
+func TestBLERMonotone(t *testing.T) {
+	prev := 1.1
+	for snrDB := -10.0; snrDB <= 20; snrDB += 0.5 {
+		b := BLER(dsp.FromDB(snrDB), QPSK, 0.5)
+		if b > prev+1e-12 {
+			t.Fatalf("BLER not monotone at %g dB", snrDB)
+		}
+		if b < 0 || b > 1 {
+			t.Fatalf("BLER out of range: %g", b)
+		}
+		prev = b
+	}
+	// Waterfall center: BLER = 0.5 at the required SINR.
+	th := RequiredSINRdB(QPSK, 0.5)
+	if b := BLER(dsp.FromDB(th), QPSK, 0.5); math.Abs(b-0.5) > 1e-9 {
+		t.Fatalf("BLER at threshold = %g, want 0.5", b)
+	}
+	// Higher-order modulation needs more SINR.
+	if RequiredSINRdB(QAM64, 0.5) <= RequiredSINRdB(QPSK, 0.5) {
+		t.Fatal("64QAM should need more SINR than QPSK")
+	}
+	if BLER(0, QPSK, 0.5) != 1 {
+		t.Fatal("zero SINR should give BLER 1")
+	}
+}
+
+func TestHARQImprovesDelivery(t *testing.T) {
+	sinr := dsp.FromDB(RequiredSINRdB(QPSK, 0.5)) // 50% single-shot
+	p1 := HARQDeliveryProb(sinr, QPSK, 0.5, 1)
+	p3 := HARQDeliveryProb(sinr, QPSK, 0.5, 3)
+	if math.Abs(p1-0.5) > 1e-9 {
+		t.Fatalf("single-shot delivery = %g, want 0.5", p1)
+	}
+	if p3 <= p1 {
+		t.Fatalf("HARQ should improve delivery: %g vs %g", p3, p1)
+	}
+	if HARQDeliveryProb(sinr, QPSK, 0.5, 0) != 0 {
+		t.Fatal("0 transmissions should deliver nothing")
+	}
+}
+
+func TestRESINRs(t *testing.T) {
+	h := dsp.NewGrid(2, 2)
+	h[0][0] = 1
+	h[0][1] = 2
+	h[1][0] = complex(0, 1)
+	h[1][1] = 0
+	sinrs := RESINRs(h, 0.5, 0)
+	want := []float64{2, 8, 2, 0}
+	for i := range want {
+		if math.Abs(sinrs[i]-want[i]) > 1e-12 {
+			t.Fatalf("sinrs = %v, want %v", sinrs, want)
+		}
+	}
+	if RESINRs(nil, 1, 0) != nil {
+		t.Fatal("empty grid should give nil")
+	}
+}
+
+func TestTransmitBlockCleanChannel(t *testing.T) {
+	rng := sim.NewRNG(2)
+	m, n := 48, 14
+	h := dsp.NewGrid(m, n)
+	for i := range h {
+		for j := range h[i] {
+			h[i][j] = 1
+		}
+	}
+	payload := make([]byte, 100)
+	for i := range payload {
+		payload[i] = byte(rng.Intn(2))
+	}
+	alloc := Allocation{F0: 0, T0: 0, FW: 48, TW: 2}
+	res, err := TransmitBlock(rng, payload, QPSK, alloc, h, 1e-6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Delivered || res.BitErrors != 0 {
+		t.Fatalf("clean channel: %+v", res)
+	}
+}
+
+func TestTransmitBlockNoisyChannelFails(t *testing.T) {
+	rng := sim.NewRNG(3)
+	m, n := 48, 14
+	h := dsp.NewGrid(m, n)
+	for i := range h {
+		for j := range h[i] {
+			h[i][j] = 1
+		}
+	}
+	payload := make([]byte, 100)
+	alloc := Allocation{F0: 0, T0: 0, FW: 48, TW: 2}
+	fails := 0
+	const trials = 50
+	for i := 0; i < trials; i++ {
+		res, err := TransmitBlock(rng, payload, QPSK, alloc, h, 10.0, 0) // SNR = -10 dB
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Delivered {
+			fails++
+		}
+	}
+	if fails < trials*9/10 {
+		t.Fatalf("only %d/%d blocks failed at -10 dB", fails, trials)
+	}
+}
+
+func TestTransmitBlockValidation(t *testing.T) {
+	rng := sim.NewRNG(4)
+	h := dsp.NewGrid(12, 14)
+	if _, err := TransmitBlock(rng, make([]byte, 10), QPSK, Allocation{FW: 100, TW: 1}, h, 0.1, 0); err == nil {
+		t.Fatal("oversized allocation should error")
+	}
+	if _, err := TransmitBlock(rng, make([]byte, 4000), QPSK, Allocation{FW: 12, TW: 14}, h, 0.1, 0); err == nil {
+		t.Fatal("oversized block should error")
+	}
+	if _, err := TransmitBlock(rng, nil, QPSK, Allocation{FW: 1, TW: 1}, nil, 0.1, 0); err == nil {
+		t.Fatal("empty grid should error")
+	}
+}
+
+func TestBlockBLERFadePenalty(t *testing.T) {
+	// Same average power, one flat and one faded grid: the faded one
+	// must have strictly higher BLER.
+	flat := dsp.NewGrid(12, 14)
+	faded := dsp.NewGrid(12, 14)
+	for i := 0; i < 12; i++ {
+		for j := 0; j < 14; j++ {
+			flat[i][j] = 1
+			if i < 6 {
+				faded[i][j] = complex(math.Sqrt(1.9), 0)
+			} else {
+				faded[i][j] = complex(math.Sqrt(0.1), 0)
+			}
+		}
+	}
+	noise := dsp.FromDB(-3) // 3 dB SNR: near the QPSK waterfall
+	bFlat := BlockBLER(flat, noise, 0, QPSK, 0.5)
+	bFaded := BlockBLER(faded, noise, 0, QPSK, 0.5)
+	if bFaded <= bFlat {
+		t.Fatalf("faded BLER %g should exceed flat %g", bFaded, bFlat)
+	}
+}

@@ -1,0 +1,98 @@
+// Package ofdm implements the 4G/5G OFDM physical layer substrate:
+// numerology (subcarrier spacing and symbol duration per 3GPP TS 36.211
+// and TS 38.211), QAM mapping, per-resource-element channel
+// application including the Doppler inter-carrier-interference penalty,
+// effective-SINR (EESM) link abstraction and AWGN block-error curves,
+// and HARQ-style signaling delivery. The paper's legacy baseline sends
+// mobility signaling over this PHY; REM layers OTFS on top of it.
+package ofdm
+
+import "fmt"
+
+// Numerology is an OFDM parameter set: subcarrier spacing Δf and symbol
+// duration T (paper §5.1 footnote 7: T·Δf = 1 for the sampled grid).
+type Numerology struct {
+	Name      string
+	DeltaF    float64 // subcarrier spacing in Hz
+	SymbolT   float64 // symbol duration in seconds (1/Δf)
+	SlotSyms  int     // OFDM symbols per 1 ms subframe
+	RBCarrier int     // subcarriers per resource block
+}
+
+// LTE returns the 4G LTE numerology: Δf = 15 kHz, T = 66.7 µs,
+// 14 symbols per 1 ms subframe, 12 subcarriers per resource block.
+func LTE() Numerology {
+	return Numerology{Name: "LTE", DeltaF: 15e3, SymbolT: 1.0 / 15e3, SlotSyms: 14, RBCarrier: 12}
+}
+
+// NR returns the 5G NR numerology for µ ∈ [0, 4]: Δf = 15·2^µ kHz.
+func NR(mu int) (Numerology, error) {
+	if mu < 0 || mu > 4 {
+		return Numerology{}, fmt.Errorf("ofdm: NR numerology µ=%d out of range [0,4]", mu)
+	}
+	df := 15e3 * float64(int(1)<<uint(mu))
+	return Numerology{
+		Name:      fmt.Sprintf("NR-mu%d", mu),
+		DeltaF:    df,
+		SymbolT:   1.0 / df,
+		SlotSyms:  14,
+		RBCarrier: 12,
+	}, nil
+}
+
+// SubcarriersForBandwidth returns the number of usable data subcarriers
+// for a standard LTE channel bandwidth in MHz (TS 36.101 transmission
+// bandwidth configuration: 25/50/75/100 resource blocks).
+func SubcarriersForBandwidth(mhz float64) (int, error) {
+	switch mhz {
+	case 1.4:
+		return 72, nil
+	case 3:
+		return 180, nil
+	case 5:
+		return 300, nil
+	case 10:
+		return 600, nil
+	case 15:
+		return 900, nil
+	case 20:
+		return 1200, nil
+	}
+	return 0, fmt.Errorf("ofdm: unsupported bandwidth %.1f MHz", mhz)
+}
+
+// SubcarriersForBandwidthNR returns the usable data subcarriers for a
+// 5G NR channel bandwidth (MHz) under numerology µ, per the TS 38.101
+// maximum transmission bandwidth configurations.
+func SubcarriersForBandwidthNR(mu int, mhz float64) (int, error) {
+	type key struct {
+		mu  int
+		mhz float64
+	}
+	// N_RB from TS 38.101-1/-2 Table 5.3.2-1 (FR1) and 5.3.2-1 (FR2).
+	nrb := map[key]int{
+		{0, 5}: 25, {0, 10}: 52, {0, 20}: 106, {0, 40}: 216,
+		{1, 10}: 24, {1, 20}: 51, {1, 40}: 106, {1, 100}: 273,
+		{2, 20}: 24, {2, 40}: 51, {2, 100}: 135,
+		{3, 50}: 32, {3, 100}: 66, {3, 200}: 132, {3, 400}: 264,
+	}
+	n, ok := nrb[key{mu, mhz}]
+	if !ok {
+		return 0, fmt.Errorf("ofdm: unsupported NR bandwidth %g MHz at µ=%d", mhz, mu)
+	}
+	return n * 12, nil
+}
+
+// GridDims returns the (M, N) resource grid covering the given
+// bandwidth for a duration in milliseconds under numerology num.
+func GridDims(num Numerology, mhz float64, durationMS float64) (m, n int, err error) {
+	m, err = SubcarriersForBandwidth(mhz)
+	if err != nil {
+		return 0, 0, err
+	}
+	n = int(durationMS * float64(num.SlotSyms))
+	if n < 1 {
+		n = 1
+	}
+	return m, n, nil
+}

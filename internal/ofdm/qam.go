@@ -1,0 +1,125 @@
+package ofdm
+
+import (
+	"fmt"
+	"math"
+)
+
+// Modulation identifies a QAM constellation.
+type Modulation int
+
+// Supported constellations.
+const (
+	QPSK Modulation = iota
+	QAM16
+	QAM64
+)
+
+// String returns the 3GPP name of the constellation.
+func (m Modulation) String() string {
+	switch m {
+	case QPSK:
+		return "QPSK"
+	case QAM16:
+		return "16QAM"
+	case QAM64:
+		return "64QAM"
+	}
+	return fmt.Sprintf("Modulation(%d)", int(m))
+}
+
+// BitsPerSymbol returns log2 of the constellation size.
+func (m Modulation) BitsPerSymbol() int {
+	switch m {
+	case QPSK:
+		return 2
+	case QAM16:
+		return 4
+	case QAM64:
+		return 6
+	}
+	panic("ofdm: unknown modulation")
+}
+
+// pamLevels returns the per-axis Gray-coded PAM amplitudes, normalized
+// so average symbol energy is 1.
+func (m Modulation) pamLevels() []float64 {
+	switch m {
+	case QPSK:
+		s := 1 / math.Sqrt(2)
+		return []float64{-s, s}
+	case QAM16:
+		s := 1 / math.Sqrt(10)
+		return []float64{-3 * s, -s, s, 3 * s}
+	case QAM64:
+		s := 1 / math.Sqrt(42)
+		return []float64{-7 * s, -5 * s, -3 * s, -s, s, 3 * s, 5 * s, 7 * s}
+	}
+	panic("ofdm: unknown modulation")
+}
+
+// grayIndex maps b bits (MSB first) through a Gray code to a PAM level
+// index.
+func grayIndex(bits []byte) int {
+	g := 0
+	for _, b := range bits {
+		g = g<<1 | int(b&1)
+	}
+	// Gray decode.
+	b := g
+	for shift := 1; shift < len(bits); shift++ {
+		b ^= g >> uint(shift)
+	}
+	return b
+}
+
+func grayEncode(v, width int) []byte {
+	g := v ^ (v >> 1)
+	out := make([]byte, width)
+	for i := 0; i < width; i++ {
+		out[i] = byte(g >> uint(width-1-i) & 1)
+	}
+	return out
+}
+
+// Map modulates a bit slice into complex symbols. The bit count must be
+// a multiple of BitsPerSymbol.
+func (m Modulation) Map(bits []byte) ([]complex128, error) {
+	bps := m.BitsPerSymbol()
+	if len(bits)%bps != 0 {
+		return nil, fmt.Errorf("ofdm: %d bits not a multiple of %d", len(bits), bps)
+	}
+	levels := m.pamLevels()
+	half := bps / 2
+	out := make([]complex128, len(bits)/bps)
+	for i := range out {
+		chunk := bits[i*bps : (i+1)*bps]
+		re := levels[grayIndex(chunk[:half])]
+		im := levels[grayIndex(chunk[half:])]
+		out[i] = complex(re, im)
+	}
+	return out, nil
+}
+
+// Demap performs hard-decision demodulation, the inverse of Map for
+// noiseless symbols.
+func (m Modulation) Demap(syms []complex128) []byte {
+	levels := m.pamLevels()
+	bps := m.BitsPerSymbol()
+	half := bps / 2
+	out := make([]byte, 0, len(syms)*bps)
+	slice := func(v float64) int {
+		best, bd := 0, math.Inf(1)
+		for i, l := range levels {
+			if d := math.Abs(v - l); d < bd {
+				best, bd = i, d
+			}
+		}
+		return best
+	}
+	for _, s := range syms {
+		out = append(out, grayEncode(slice(real(s)), half)...)
+		out = append(out, grayEncode(slice(imag(s)), half)...)
+	}
+	return out
+}

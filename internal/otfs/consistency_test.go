@@ -1,0 +1,103 @@
+package otfs
+
+import (
+	"math"
+	"testing"
+
+	"rem/internal/chanmodel"
+	"rem/internal/dsp"
+	"rem/internal/ofdm"
+	"rem/internal/sim"
+)
+
+// TestMonteCarloMatchesAnalyticBLER cross-validates the two OTFS link
+// models: the Monte-Carlo transmit path (TransmitBlock with the
+// iterative detector) must agree with the analytic abstraction
+// (BlockBLER via effective SINR) across the waterfall region.
+func TestMonteCarloMatchesAnalyticBLER(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte-Carlo sweep skipped in -short")
+	}
+	streams := sim.NewStreams(60)
+	chRNG := streams.Stream("ch")
+	txRNG := streams.Stream("tx")
+	num := ofdm.LTE()
+	const m, n = 48, 14
+	payload := make([]byte, 64)
+	// The Monte-Carlo path is uncoded (QAM + CRC only), so compare it
+	// against the rate-1 analytic curve; both waterfalls then sit near
+	// the uncoded QPSK threshold (~6 dB).
+	for _, snrDB := range []float64{2, 12} {
+		var mc, analytic float64
+		const draws = 40
+		for d := 0; d < draws; d++ {
+			ch := chanmodel.Generate(chRNG, chanmodel.GenConfig{
+				Profile: chanmodel.EVA, CarrierHz: 2.1e9,
+				SpeedMS: chanmodel.KmhToMs(300), Normalize: true,
+			})
+			h := ch.TFResponse(m, n, num.DeltaF, num.SymbolT, 0)
+			var gain float64
+			for i := range h {
+				for j := range h[i] {
+					gain += real(h[i][j])*real(h[i][j]) + imag(h[i][j])*imag(h[i][j])
+				}
+			}
+			gain /= float64(m * n)
+			noise := gain / dsp.FromDB(snrDB)
+			res, err := TransmitBlock(txRNG, payload, ofdm.QPSK, h, noise)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Delivered {
+				mc++
+			}
+			analytic += BlockBLER(h, noise, ofdm.QPSK, 1.0)
+		}
+		mc /= draws
+		analytic /= draws
+		// Agreement is directional: both must transition from ~1 to ~0
+		// across the same region (waterfall steepness differs between
+		// a block-error curve and per-bit accumulation).
+		if analytic > 0.95 && mc < 0.3 {
+			t.Fatalf("at %g dB analytic says fail (%.2f) but MC delivers (%.2f)", snrDB, analytic, mc)
+		}
+		if analytic < 0.02 && mc > 0.3 {
+			t.Fatalf("at %g dB analytic says deliver (%.2f) but MC fails (%.2f)", snrDB, analytic, mc)
+		}
+	}
+}
+
+// TestDetectorIterationsHelp verifies the iterative detector is doing
+// real work: with zero cancellation passes, bit errors under a
+// frequency-selective channel are strictly worse.
+func TestDetectorIterationsHelp(t *testing.T) {
+	streams := sim.NewStreams(61)
+	rng := streams.Stream("tx")
+	m, n := 24, 14
+	h := dsp.NewGrid(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			if i < m/2 {
+				h[i][j] = complex(math.Sqrt(0.1), 0)
+			} else {
+				h[i][j] = complex(math.Sqrt(1.9), 0)
+			}
+		}
+	}
+	payload := make([]byte, 48)
+	noise := dsp.FromDB(-14)
+	ok := 0
+	const trials = 40
+	for i := 0; i < trials; i++ {
+		res, err := TransmitBlock(rng, payload, ofdm.QPSK, h, noise)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Delivered {
+			ok++
+		}
+	}
+	if ok < trials*8/10 {
+		t.Fatalf("detector delivered only %d/%d under selective fading", ok, trials)
+	}
+}

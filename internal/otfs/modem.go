@@ -1,0 +1,262 @@
+// Package otfs implements orthogonal time-frequency space modulation in
+// the delay-Doppler domain (paper §5.1): the SFFT/ISFFT modem that maps
+// an M×N delay-Doppler symbol grid onto the OFDM time-frequency grid,
+// pilot-based delay-Doppler channel estimation (Fig. 7), the
+// scheduling-based subgrid allocator that lets OTFS signaling coexist
+// with OFDM data without PHY redesign, and the OTFS link abstraction
+// whose full time-frequency diversity stabilizes signaling (Fig. 10/11).
+package otfs
+
+import (
+	"fmt"
+	"math"
+
+	"rem/internal/dsp"
+	"rem/internal/ofdm"
+	"rem/internal/sim"
+)
+
+// Modem converts between the delay-Doppler and time-frequency domains
+// for an M×N grid. The transforms are power-normalized: a unit-energy
+// delay-Doppler symbol grid produces a unit-energy OFDM grid, so the
+// same noise model applies to OTFS signaling and OFDM data.
+type Modem struct {
+	M, N int
+}
+
+// NewModem returns a modem for an M(delay/frequency) × N(Doppler/time)
+// grid.
+func NewModem(m, n int) (*Modem, error) {
+	if m < 1 || n < 1 {
+		return nil, fmt.Errorf("otfs: invalid grid %dx%d", m, n)
+	}
+	return &Modem{M: m, N: n}, nil
+}
+
+// Modulate maps delay-Doppler symbols x[k][l] to the time-frequency
+// grid X[m][n] via the SFFT, scaled by 1/√(MN) for power normalization.
+func (md *Modem) Modulate(x [][]complex128) ([][]complex128, error) {
+	if err := md.checkDims(x); err != nil {
+		return nil, err
+	}
+	X := dsp.SFFT(x)
+	s := complex(1/math.Sqrt(float64(md.M*md.N)), 0)
+	for i := range X {
+		for j := range X[i] {
+			X[i][j] *= s
+		}
+	}
+	return X, nil
+}
+
+// Demodulate maps a received time-frequency grid back to delay-Doppler
+// symbols, inverting Modulate (ISFFT scaled by √(MN)).
+func (md *Modem) Demodulate(y [][]complex128) ([][]complex128, error) {
+	if err := md.checkDims(y); err != nil {
+		return nil, err
+	}
+	x := dsp.ISFFT(y)
+	s := complex(math.Sqrt(float64(md.M*md.N)), 0)
+	for i := range x {
+		for j := range x[i] {
+			x[i][j] *= s
+		}
+	}
+	return x, nil
+}
+
+func (md *Modem) checkDims(g [][]complex128) error {
+	if len(g) != md.M || (md.M > 0 && len(g[0]) != md.N) {
+		got := "nil"
+		if len(g) > 0 {
+			got = fmt.Sprintf("%dx%d", len(g), len(g[0]))
+		}
+		return fmt.Errorf("otfs: grid %s does not match modem %dx%d", got, md.M, md.N)
+	}
+	return nil
+}
+
+// EffectiveSINR returns the detection SINR common to every
+// delay-Doppler symbol when the grid is spread across per-RE SINRs
+// γ_k. Because OTFS spreads each symbol uniformly over the whole
+// time-frequency grid and the iterative interference-cancellation
+// receiver (paper reference [21], implemented in TransmitBlock)
+// converges to the matched-filter bound, the effective SINR is the
+// arithmetic mean
+//
+//	γ_eff = (1/K)·Σ_k γ_k
+//
+// i.e. every symbol collects the full time-frequency diversity of the
+// grid instead of being hostage to the local fade — the mechanism
+// behind paper §5.1's stabilized signaling (Fig. 10/11).
+func EffectiveSINR(perRESINRs []float64) float64 {
+	if len(perRESINRs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, g := range perRESINRs {
+		if g > 0 {
+			sum += g
+		}
+	}
+	return sum / float64(len(perRESINRs))
+}
+
+// LinkResult reports one simulated OTFS block transmission.
+type LinkResult struct {
+	Delivered bool
+	BitErrors int
+	EffSINRdB float64
+	// Payload holds the received payload bits when Delivered (CRC
+	// verified), enabling end-to-end message decoding.
+	Payload []byte
+}
+
+// detectorIterations is the number of interference-cancellation passes
+// the OTFS receiver runs (paper reference [21]: iterative detection for
+// OTFS). Four passes are enough to converge at the SINRs where blocks
+// are deliverable at all.
+const detectorIterations = 12
+
+// TransmitBlock Monte-Carlo-simulates one signaling block sent with
+// OTFS over the whole M×N grid: QAM symbols fill the delay-Doppler
+// grid, SFFT spreads them over time-frequency, the per-RE channel h
+// and AWGN apply, and an iterative interference-cancellation detector
+// (matched-filter combining plus successive cancellation of the
+// channel-variation cross-talk, after Raviteja et al. [21]) recovers
+// the delay-Doppler symbols for demapping and CRC check. Unlike OFDM,
+// no ICI penalty applies: the delay-Doppler representation is
+// invariant to Doppler-induced inter-carrier interference (§5.1).
+func TransmitBlock(rng *sim.RNG, payload []byte, mod ofdm.Modulation,
+	h [][]complex128, noiseVar float64) (LinkResult, error) {
+
+	m := len(h)
+	if m == 0 {
+		return LinkResult{}, fmt.Errorf("otfs: empty channel grid")
+	}
+	n := len(h[0])
+	md, err := NewModem(m, n)
+	if err != nil {
+		return LinkResult{}, err
+	}
+	block := ofdm.AttachCRC(payload)
+	blockLen := len(block)
+	bps := mod.BitsPerSymbol()
+	padded := block
+	for len(padded)%bps != 0 {
+		padded = append(padded, 0)
+	}
+	syms, err := mod.Map(padded)
+	if err != nil {
+		return LinkResult{}, err
+	}
+	if len(syms) > m*n {
+		return LinkResult{}, fmt.Errorf("otfs: block needs %d symbols, grid has %d", len(syms), m*n)
+	}
+
+	// Fill the delay-Doppler grid row-major; unused slots carry zeros.
+	x := dsp.NewGrid(m, n)
+	for i, s := range syms {
+		x[i/n][i%n] = s
+	}
+	X, err := md.Modulate(x)
+	if err != nil {
+		return LinkResult{}, err
+	}
+	// Channel + noise, then matched-filter combining per RE:
+	// Z = H*∘Y = |H|²∘X + H*∘W.
+	Z := dsp.NewGrid(m, n)
+	var e float64 // mean |H|²
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			g := h[i][j]
+			y := g*X[i][j] + rng.ComplexNorm(noiseVar)
+			Z[i][j] = complexConj(g) * y
+			e += real(g)*real(g) + imag(g)*imag(g)
+		}
+	}
+	e /= float64(m * n)
+	if e == 0 {
+		return LinkResult{Delivered: false, BitErrors: blockLen, EffSINRdB: -300}, nil
+	}
+
+	// Iterative cancellation of the (|H|²−E)·X cross-talk: with
+	// correct decisions every symbol is left with signal E·x plus
+	// noise of variance E·noiseVar — the matched-filter bound.
+	demapSyms := func(dd [][]complex128) []complex128 {
+		rx := make([]complex128, len(syms))
+		for i := range syms {
+			rx[i] = dd[i/n][i%n] / complex(e, 0)
+		}
+		return rx
+	}
+	rx := demapSyms(mustDemod(md, Z))
+	// Damped parallel interference cancellation: pure PIC oscillates on
+	// strongly cross-coupled symbol pairs, so each pass blends the new
+	// estimate with the previous one (paper reference [21] uses message
+	// damping for the same reason).
+	const damping = 0.6
+	for it := 0; it < detectorIterations; it++ {
+		// Re-modulate hard decisions and cancel the variation term.
+		hard, err := mod.Map(mod.Demap(rx))
+		if err != nil {
+			return LinkResult{}, err
+		}
+		xh := dsp.NewGrid(m, n)
+		for i, s := range hard {
+			xh[i/n][i%n] = s
+		}
+		Xh, err := md.Modulate(xh)
+		if err != nil {
+			return LinkResult{}, err
+		}
+		resid := dsp.NewGrid(m, n)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				g := h[i][j]
+				p := real(g)*real(g) + imag(g)*imag(g)
+				resid[i][j] = Z[i][j] - complex(p-e, 0)*Xh[i][j]
+			}
+		}
+		next := demapSyms(mustDemod(md, resid))
+		for i := range rx {
+			rx[i] = complex(damping, 0)*next[i] + complex(1-damping, 0)*rx[i]
+		}
+	}
+	got := mod.Demap(rx)
+
+	errs := 0
+	for i := 0; i < blockLen; i++ {
+		if got[i] != block[i] {
+			errs++
+		}
+	}
+	payloadBits, ok := ofdm.CheckCRC(got[:blockLen])
+
+	sinrs := ofdm.RESINRs(h, noiseVar, 0)
+	eff := EffectiveSINR(sinrs)
+	res := LinkResult{Delivered: ok, BitErrors: errs, EffSINRdB: dsp.DB(eff)}
+	if ok {
+		res.Payload = append([]byte(nil), payloadBits...)
+	}
+	return res, nil
+}
+
+func mustDemod(md *Modem, g [][]complex128) [][]complex128 {
+	out, err := md.Demodulate(g)
+	if err != nil {
+		panic(err) // dimensions are constructed to match
+	}
+	return out
+}
+
+func complexConj(c complex128) complex128 { return complex(real(c), -imag(c)) }
+
+// BlockBLER is the analytic link abstraction for OTFS signaling: per-RE
+// channel grid → block error probability through the MMSE effective
+// SINR and the AWGN BLER curve.
+func BlockBLER(h [][]complex128, noiseVar float64, m ofdm.Modulation, rate ofdm.CodeRate) float64 {
+	sinrs := ofdm.RESINRs(h, noiseVar, 0)
+	eff := EffectiveSINR(sinrs)
+	return ofdm.BLER(eff, m, rate)
+}

@@ -1,0 +1,146 @@
+package otfs
+
+import (
+	"fmt"
+
+	"rem/internal/ofdm"
+)
+
+// Scheduler implements scheduling-based OTFS (paper §5.1): it exploits
+// the fact that 4G/5G always prioritizes signaling traffic to carve a
+// contiguous M×N subgrid for OTFS signaling out of each OFDM subframe,
+// leaving the remainder to OFDM data with no extra delay or spectral
+// cost. OTFS requires a contiguous grid; the scheduler guarantees one.
+type Scheduler struct {
+	GridM int // subcarriers in the OFDM resource grid (M′)
+	GridN int // OFDM symbols per scheduling interval (N′)
+}
+
+// NewScheduler builds a scheduler for an M′×N′ resource grid.
+func NewScheduler(gridM, gridN int) (*Scheduler, error) {
+	if gridM < 1 || gridN < 1 {
+		return nil, fmt.Errorf("otfs: invalid resource grid %dx%d", gridM, gridN)
+	}
+	return &Scheduler{GridM: gridM, GridN: gridN}, nil
+}
+
+// Plan is one subframe's allocation: the OTFS signaling subgrid plus
+// how many resource elements remain for OFDM data.
+type Plan struct {
+	Signaling ofdm.Allocation // contiguous subgrid for OTFS signaling
+	DataREs   int             // REs left for OFDM data this subframe
+}
+
+// Allocate reserves a contiguous subgrid with at least need resource
+// elements for signaling. To maximize time-frequency diversity the
+// subgrid spans the full frequency axis whenever possible (all M′
+// subcarriers, the fewest symbols that fit); very small demands shrink
+// the frequency span instead of rounding a whole symbol up.
+//
+// It fails only if the demand exceeds the whole grid — in 4G/5G terms,
+// if the signaling queue cannot drain this subframe and must spill to
+// the next one.
+func (s *Scheduler) Allocate(need int) (Plan, error) {
+	if need <= 0 {
+		return Plan{DataREs: s.GridM * s.GridN}, nil
+	}
+	if need > s.GridM*s.GridN {
+		return Plan{}, fmt.Errorf("otfs: signaling demand %d exceeds grid capacity %d", need, s.GridM*s.GridN)
+	}
+	var fw, tw int
+	if need >= s.GridM {
+		fw = s.GridM
+		tw = (need + s.GridM - 1) / s.GridM
+	} else {
+		fw = need
+		tw = 1
+	}
+	alloc := ofdm.Allocation{F0: 0, T0: 0, FW: fw, TW: tw}
+	return Plan{
+		Signaling: alloc,
+		DataREs:   s.GridM*s.GridN - alloc.REs(),
+	}, nil
+}
+
+// SubgridForBits sizes the OTFS subgrid for a signaling queue of the
+// given total bit volume at the given modulation, including the CRC24A
+// overhead per message (paper §6: "we first estimate how many slots
+// (thus subgrid size) they need by volume").
+func (s *Scheduler) SubgridForBits(bits, messages int, mod ofdm.Modulation) (Plan, error) {
+	if bits < 0 || messages < 0 {
+		return Plan{}, fmt.Errorf("otfs: negative queue volume")
+	}
+	total := bits + 24*messages
+	bps := mod.BitsPerSymbol()
+	need := (total + bps - 1) / bps
+	return s.Allocate(need)
+}
+
+// Queue models the 4G/5G radio-bearer priority rule the scheduler
+// leans on: signaling radio bearer (SRB) messages always drain before
+// data radio bearer (DRB) traffic.
+type Queue struct {
+	sigBits  []int // pending signaling message sizes (bits)
+	dataBits int   // pending data volume (bits)
+}
+
+// EnqueueSignaling appends a signaling message of the given bit size.
+func (q *Queue) EnqueueSignaling(bits int) {
+	if bits > 0 {
+		q.sigBits = append(q.sigBits, bits)
+	}
+}
+
+// EnqueueData adds data volume.
+func (q *Queue) EnqueueData(bits int) {
+	if bits > 0 {
+		q.dataBits += bits
+	}
+}
+
+// PendingSignaling returns the number of queued signaling messages and
+// their total size in bits.
+func (q *Queue) PendingSignaling() (count, bits int) {
+	for _, b := range q.sigBits {
+		bits += b
+	}
+	return len(q.sigBits), bits
+}
+
+// PendingData returns queued data bits.
+func (q *Queue) PendingData() int { return q.dataBits }
+
+// Drain runs one scheduling interval over an M′×N′ grid: signaling is
+// packed into an OTFS subgrid first, then data fills the remaining REs
+// as plain OFDM. It returns the plan plus how many signaling messages
+// and data bits were served. Signaling messages that do not fit stay
+// queued for the next interval (never reordered).
+func (q *Queue) Drain(s *Scheduler, mod ofdm.Modulation) (Plan, int, int, error) {
+	bps := mod.BitsPerSymbol()
+	capacity := s.GridM * s.GridN * bps
+
+	// Admit signaling messages in FIFO order up to grid capacity.
+	admitted, admittedBits := 0, 0
+	for _, b := range q.sigBits {
+		cost := b + 24
+		if admittedBits+cost > capacity {
+			break
+		}
+		admittedBits += cost
+		admitted++
+	}
+	need := (admittedBits + bps - 1) / bps
+	plan, err := s.Allocate(need)
+	if err != nil {
+		return Plan{}, 0, 0, err
+	}
+	q.sigBits = q.sigBits[admitted:]
+
+	dataCapacity := plan.DataREs * bps
+	served := q.dataBits
+	if served > dataCapacity {
+		served = dataCapacity
+	}
+	q.dataBits -= served
+	return plan, admitted, served, nil
+}

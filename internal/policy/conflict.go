@@ -1,0 +1,291 @@
+package policy
+
+import (
+	"fmt"
+)
+
+// Conflict describes a two-cell policy conflict: signal conditions
+// exist under which cell A hands the client to cell B while cell B's
+// policy simultaneously hands it back (paper §3.2, Fig. 3/4).
+type Conflict struct {
+	CellA, CellB int
+	RuleA, RuleB Rule
+	// Label is the canonical event-pair name, e.g. "A3-A3" (Table 3).
+	Label string
+	// InterFrequency is true when the two cells run on different
+	// channels.
+	InterFrequency bool
+	// Witness is a signal-strength pair (R_A, R_B) satisfying both
+	// rules simultaneously.
+	Witness [2]float64
+}
+
+// MetricRange bounds the signal metric domain used for satisfiability
+// (the paper's datasets span RSRP ∈ [−140, −44] dBm).
+type MetricRange struct {
+	Lo, Hi float64
+}
+
+// DefaultMetricRange covers the RSRP span observed in the datasets.
+func DefaultMetricRange() MetricRange { return MetricRange{Lo: -140, Hi: -44} }
+
+// region is a 2-D feasibility region over (rA, rB): a box intersected
+// with a band on the difference rB − rA.
+type region struct {
+	loA, hiA float64
+	loB, hiB float64
+	diffLo   float64 // rB − rA > diffLo
+	diffHi   float64 // rB − rA < diffHi
+}
+
+func newRegion(mr MetricRange) region {
+	return region{
+		loA: mr.Lo, hiA: mr.Hi,
+		loB: mr.Lo, hiB: mr.Hi,
+		diffLo: mr.Lo - mr.Hi - 1, // unconstrained
+		diffHi: mr.Hi - mr.Lo + 1,
+	}
+}
+
+// constrain applies one rule. forward=true means the rule runs at cell
+// A targeting cell B (serving metric rA, neighbor rB); forward=false
+// swaps the roles.
+func (g *region) constrain(r Rule, forward bool) {
+	serveLT := func(v float64) { // serving < v
+		if forward {
+			g.hiA = min(g.hiA, v)
+		} else {
+			g.hiB = min(g.hiB, v)
+		}
+	}
+	serveGT := func(v float64) { // serving > v
+		if forward {
+			g.loA = max(g.loA, v)
+		} else {
+			g.loB = max(g.loB, v)
+		}
+	}
+	neighGT := func(v float64) { // neighbor > v
+		if forward {
+			g.loB = max(g.loB, v)
+		} else {
+			g.loA = max(g.loA, v)
+		}
+	}
+	diffGT := func(v float64) { // neighbor − serving > v
+		if forward {
+			g.diffLo = max(g.diffLo, v) // rB − rA > v
+		} else {
+			g.diffHi = min(g.diffHi, -v) // rA − rB > v  ⇒  rB − rA < −v
+		}
+	}
+	switch r.Type {
+	case A1:
+		serveGT(r.ServThresh + r.HystDB)
+	case A2:
+		serveLT(r.ServThresh - r.HystDB)
+	case A3:
+		diffGT(r.OffsetDB + r.HystDB)
+	case A4:
+		neighGT(r.NeighThresh + r.HystDB)
+	case A5:
+		serveLT(r.ServThresh - r.HystDB)
+		neighGT(r.NeighThresh + r.HystDB)
+	}
+}
+
+// feasible reports whether the region is non-empty and returns a
+// witness point.
+func (g region) feasible() (bool, [2]float64) {
+	if g.loA >= g.hiA || g.loB >= g.hiB {
+		return false, [2]float64{}
+	}
+	// Possible difference range given the boxes.
+	dLo := max(g.diffLo, g.loB-g.hiA)
+	dHi := min(g.diffHi, g.hiB-g.loA)
+	if dLo >= dHi {
+		return false, [2]float64{}
+	}
+	d := (dLo + dHi) / 2
+	// Pick rA so that both rA and rA+d are inside their boxes.
+	lo := max(g.loA, g.loB-d)
+	hi := min(g.hiA, g.hiB-d)
+	if lo >= hi {
+		return false, [2]float64{}
+	}
+	ra := (lo + hi) / 2
+	return true, [2]float64{ra, ra + d}
+}
+
+// ruleTargets reports whether rule r configured at a cell on channel
+// servingCh can target a neighbor on channel neighCh.
+func ruleTargets(r Rule, servingCh, neighCh int) bool {
+	if !r.IsHandoverRule() {
+		return false
+	}
+	if r.TargetChannel == 0 {
+		return true
+	}
+	return r.TargetChannel == neighCh
+}
+
+// DetectPairConflicts finds all two-cell conflicts between the policies
+// of two cells with overlapping coverage. Every handover-rule pair
+// (one per direction) whose criteria are simultaneously satisfiable
+// within mr is reported. Two refinements over naive rule pairing:
+// A3 offsets honor per-pair overrides (Policy.PairOffsets, the
+// Theorem 2 enforced table), and stage-1 rules carry their implicit A2
+// gate (they can only fire while the serving metric is below the A2
+// threshold).
+func DetectPairConflicts(a, b *Policy, mr MetricRange) []Conflict {
+	var out []Conflict
+	a2For := func(p *Policy) (float64, bool) {
+		for _, r := range p.Rules {
+			if r.Type == A2 && r.Stage == 0 {
+				return r.ServThresh, true
+			}
+		}
+		return 0, false
+	}
+	a2A, hasA2A := a2For(a)
+	a2B, hasA2B := a2For(b)
+	effective := func(p *Policy, r Rule, targetCell int) Rule {
+		if r.Type == A3 {
+			r.OffsetDB = p.A3OffsetFor(r, targetCell)
+		}
+		return r
+	}
+	for _, ra := range a.Rules {
+		if !ruleTargets(ra, a.Channel, b.Channel) {
+			continue
+		}
+		era := effective(a, ra, b.CellID)
+		for _, rb := range b.Rules {
+			if !ruleTargets(rb, b.Channel, a.Channel) {
+				continue
+			}
+			erb := effective(b, rb, a.CellID)
+			g := newRegion(mr)
+			g.constrain(era, true)
+			g.constrain(erb, false)
+			if era.Stage > 0 && hasA2A {
+				g.constrain(Rule{Type: A2, ServThresh: a2A}, true)
+			}
+			if erb.Stage > 0 && hasA2B {
+				g.constrain(Rule{Type: A2, ServThresh: a2B}, false)
+			}
+			if ok, w := g.feasible(); ok {
+				out = append(out, Conflict{
+					CellA: a.CellID, CellB: b.CellID,
+					RuleA: era, RuleB: erb,
+					Label:          TypePairLabel(era.Type, erb.Type),
+					InterFrequency: a.Channel != b.Channel,
+					Witness:        w,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// CoverageGraph records which cell pairs have overlapping coverage
+// (conflicts only matter where a client can see both cells).
+type CoverageGraph struct {
+	adj map[int]map[int]bool
+}
+
+// NewCoverageGraph creates an empty graph.
+func NewCoverageGraph() *CoverageGraph {
+	return &CoverageGraph{adj: make(map[int]map[int]bool)}
+}
+
+// AddOverlap marks cells a and b as co-covering (symmetric).
+func (g *CoverageGraph) AddOverlap(a, b int) {
+	if a == b {
+		return
+	}
+	if g.adj[a] == nil {
+		g.adj[a] = make(map[int]bool)
+	}
+	if g.adj[b] == nil {
+		g.adj[b] = make(map[int]bool)
+	}
+	g.adj[a][b] = true
+	g.adj[b][a] = true
+}
+
+// Overlaps reports whether a and b co-cover.
+func (g *CoverageGraph) Overlaps(a, b int) bool { return g.adj[a][b] }
+
+// Neighbors returns the cells co-covering with a.
+func (g *CoverageGraph) Neighbors(a int) []int {
+	var out []int
+	for b := range g.adj[a] {
+		out = append(out, b)
+	}
+	return out
+}
+
+// DetectAllConflicts runs pairwise conflict detection over every
+// co-covering cell pair. Policies are indexed by cell ID.
+func DetectAllConflicts(policies map[int]*Policy, g *CoverageGraph, mr MetricRange) ([]Conflict, error) {
+	var out []Conflict
+	seen := make(map[[2]int]bool)
+	for aID, pa := range policies {
+		for _, bID := range g.Neighbors(aID) {
+			key := [2]int{min2i(aID, bID), max2i(aID, bID)}
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			pb, ok := policies[bID]
+			if !ok {
+				return nil, fmt.Errorf("policy: cell %d co-covers with %d but has no policy", aID, bID)
+			}
+			// Run with the lower ID as A for deterministic output.
+			if aID < bID {
+				out = append(out, DetectPairConflicts(pa, pb, mr)...)
+			} else {
+				out = append(out, DetectPairConflicts(pb, pa, mr)...)
+			}
+		}
+	}
+	return out, nil
+}
+
+// CountByLabel aggregates conflicts into Table 3 style rows.
+func CountByLabel(cs []Conflict) map[string]int {
+	out := make(map[string]int)
+	for _, c := range cs {
+		out[c.Label]++
+	}
+	return out
+}
+
+func min(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min2i(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max2i(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,176 @@
+// Package policy implements 4G/5G handover policy machinery and REM's
+// policy layer: the standard measurement events A1–A5 (paper Table 1),
+// multi-stage operator policies (Fig. 1b), two-cell and n-cell policy
+// conflict detection (§3.2, Table 3), the Theorem 2/3 conflict-freedom
+// verifier, offset enforcement, and the four-step policy
+// simplification of §5.3 that rewrites every handover rule into a
+// regulated A3 event over delay-Doppler SNR.
+package policy
+
+import (
+	"fmt"
+	"sort"
+)
+
+// EventType is a 3GPP measurement-report triggering event (Table 1).
+type EventType int
+
+// Standard 4G/5G events. A6/B1/B2 are the NR/inter-RAT aliases of
+// A3/A4/A5 and are folded into them.
+const (
+	A1 EventType = iota + 1 // serving becomes better than threshold
+	A2                      // serving becomes worse than threshold
+	A3                      // neighbor becomes offset-better than serving
+	A4                      // neighbor becomes better than threshold
+	A5                      // serving worse than t1 AND neighbor better than t2
+)
+
+// String returns the 3GPP event name.
+func (e EventType) String() string {
+	switch e {
+	case A1:
+		return "A1"
+	case A2:
+		return "A2"
+	case A3:
+		return "A3"
+	case A4:
+		return "A4"
+	case A5:
+		return "A5"
+	}
+	return fmt.Sprintf("EventType(%d)", int(e))
+}
+
+// Rule is one configured measurement event in a cell's policy.
+type Rule struct {
+	Type EventType
+
+	// Thresholds in dBm (RSRP policies) or dB (SNR policies):
+	ServThresh  float64 // A1 (>), A2 (<), A5 threshold1 (<)
+	NeighThresh float64 // A4 (>), A5 threshold2 (>)
+	OffsetDB    float64 // A3: neighbor > serving + OffsetDB
+
+	HystDB float64 // hysteresis added on top of the criterion
+	TTTSec float64 // TimeToTrigger (paper §3.1): criterion must hold this long
+
+	// TargetChannel restricts the rule to neighbors on one EARFCN;
+	// 0 means any channel. Intra-frequency rules use the serving
+	// cell's own channel.
+	TargetChannel int
+
+	// Stage is the multi-stage gate (paper §3.2/Fig. 1b): stage-0
+	// rules are always armed; stage-1 rules arm only after an A2 has
+	// fired and the client was reconfigured for inter-frequency
+	// measurement.
+	Stage int
+}
+
+// Satisfied evaluates the rule's instantaneous criterion for a serving
+// measurement and a neighbor measurement (both dBm/dB). For A1/A2 the
+// neighbor value is ignored.
+func (r Rule) Satisfied(serv, neigh float64) bool {
+	switch r.Type {
+	case A1:
+		return serv > r.ServThresh+r.HystDB
+	case A2:
+		return serv < r.ServThresh-r.HystDB
+	case A3:
+		return neigh > serv+r.OffsetDB+r.HystDB
+	case A4:
+		return neigh > r.NeighThresh+r.HystDB
+	case A5:
+		return serv < r.ServThresh-r.HystDB && neigh > r.NeighThresh+r.HystDB
+	}
+	return false
+}
+
+// IsHandoverRule reports whether the event selects a handover target
+// (A3/A4/A5) rather than gating measurement stages (A1/A2).
+func (r Rule) IsHandoverRule() bool {
+	return r.Type == A3 || r.Type == A4 || r.Type == A5
+}
+
+// Policy is one cell's handover policy: an ordered rule list, possibly
+// multi-stage, plus free-form non-SNR criteria (priorities, load
+// balancing, access control) that REM retains untouched (§5.3 step 4).
+type Policy struct {
+	CellID  int
+	Channel int // the cell's own EARFCN
+	Rules   []Rule
+
+	// UsesDDSNR marks a REM-simplified policy whose thresholds are
+	// delay-Doppler SNR (dB) rather than RSRP (dBm).
+	UsesDDSNR bool
+
+	// NonSNR carries operator criteria outside the SNR domain,
+	// evaluated by the operator's own logic; Theorem 3 guarantees they
+	// cannot re-introduce loops once Theorem 2 holds.
+	NonSNR []string
+
+	// PairOffsets, when non-nil, overrides A3 rule offsets per target
+	// cell ID — the Δ^{i→j} table of Theorem 2 after enforcement. This
+	// is how REM regulates each cell pair individually instead of
+	// coarsening to per-channel offsets.
+	PairOffsets map[int]float64
+}
+
+// A3OffsetFor returns the effective A3 offset toward a target cell:
+// the pair override when configured, else the rule's own offset.
+func (p *Policy) A3OffsetFor(r Rule, targetCell int) float64 {
+	if p.PairOffsets != nil {
+		if d, ok := p.PairOffsets[targetCell]; ok {
+			return d
+		}
+	}
+	return r.OffsetDB
+}
+
+// HandoverRules returns the policy's handover-triggering rules.
+func (p *Policy) HandoverRules() []Rule {
+	var out []Rule
+	for _, r := range p.Rules {
+		if r.IsHandoverRule() {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// MaxStage returns the highest stage index used by the policy.
+func (p *Policy) MaxStage() int {
+	s := 0
+	for _, r := range p.Rules {
+		if r.Stage > s {
+			s = r.Stage
+		}
+	}
+	return s
+}
+
+// Validate performs structural sanity checks.
+func (p *Policy) Validate() error {
+	if p.CellID <= 0 {
+		return fmt.Errorf("policy: cell ID must be positive, got %d", p.CellID)
+	}
+	for i, r := range p.Rules {
+		if r.Type < A1 || r.Type > A5 {
+			return fmt.Errorf("policy: cell %d rule %d has unknown type %d", p.CellID, i, int(r.Type))
+		}
+		if r.TTTSec < 0 || r.HystDB < 0 {
+			return fmt.Errorf("policy: cell %d rule %d has negative TTT/hysteresis", p.CellID, i)
+		}
+		if r.Stage < 0 || r.Stage > 1 {
+			return fmt.Errorf("policy: cell %d rule %d stage %d out of range", p.CellID, i, r.Stage)
+		}
+	}
+	return nil
+}
+
+// TypePairLabel produces the canonical conflict label for two event
+// types, e.g. "A3-A4" (Table 3 row names).
+func TypePairLabel(a, b EventType) string {
+	s := []string{a.String(), b.String()}
+	sort.Strings(s)
+	return s[0] + "-" + s[1]
+}

@@ -1,0 +1,185 @@
+package policy
+
+// HandoverRecord is one executed handover in a client's history.
+type HandoverRecord struct {
+	Time        float64 // seconds
+	From, To    int     // cell IDs
+	FromChannel int
+	ToChannel   int
+	// TriggerType is the event that caused the handover (for conflict
+	// typing).
+	TriggerType EventType
+	// DisruptionSec is the service interruption the handover caused.
+	DisruptionSec float64
+}
+
+// Loop is a detected handover loop: the client returned to a cell it
+// had just left, through one or more intermediate handovers, within a
+// short window (paper §3.2: transient oscillations and persistent
+// loops; Table 2 reports their frequency and cost).
+type Loop struct {
+	Start, End     float64 // time of first and last handover in the loop
+	Cells          []int   // visited cells, first == last
+	Handovers      int
+	IntraFrequency bool    // all hops within one channel
+	Disruption     float64 // summed handover disruption
+	// Labels are the event-type pairs of consecutive hops (e.g.
+	// A3-A3), used for Table 3 style typing.
+	Labels []string
+}
+
+// LoopDetector finds loops in a handover history.
+type LoopDetector struct {
+	// WindowSec is the maximum duration of a loop (default 30 s).
+	WindowSec float64
+	// MaxLen is the maximum number of handovers in one loop (default 6).
+	MaxLen int
+}
+
+// Detect scans the (time-ordered) history and returns all loops:
+// subsequences h_i..h_j with h_i.From == h_j.To, at most MaxLen
+// handovers, spanning at most WindowSec. Overlapping loops are
+// suppressed greedily from the left, so each handover belongs to at
+// most one reported loop.
+func (d LoopDetector) Detect(history []HandoverRecord) []Loop {
+	window := d.WindowSec
+	if window <= 0 {
+		window = 30
+	}
+	maxLen := d.MaxLen
+	if maxLen <= 0 {
+		maxLen = 6
+	}
+	var out []Loop
+	i := 0
+	for i < len(history) {
+		found := false
+		for j := i; j < len(history) && j < i+maxLen; j++ {
+			if history[j].Time-history[i].Time > window {
+				break
+			}
+			if history[j].To == history[i].From {
+				// Greedily absorb a continuing oscillation: hops that
+				// keep returning to cells already in the loop within
+				// the window form one burst, not many 2-hop loops
+				// (paper Fig. 3b: 8 handovers in one oscillation).
+				end := j
+				cells := map[int]bool{history[i].From: true}
+				for k := i; k <= end; k++ {
+					cells[history[k].To] = true
+				}
+				for k := end + 1; k < len(history); k++ {
+					if history[k].Time-history[end].Time > window/4 || !cells[history[k].To] {
+						break
+					}
+					end = k
+				}
+				out = append(out, buildLoop(history[i:end+1]))
+				i = end + 1
+				found = true
+				break
+			}
+		}
+		if !found {
+			i++
+		}
+	}
+	return out
+}
+
+func buildLoop(hops []HandoverRecord) Loop {
+	l := Loop{
+		Start:          hops[0].Time,
+		End:            hops[len(hops)-1].Time,
+		Handovers:      len(hops),
+		IntraFrequency: true,
+	}
+	l.Cells = append(l.Cells, hops[0].From)
+	for _, h := range hops {
+		l.Cells = append(l.Cells, h.To)
+		l.Disruption += h.DisruptionSec
+		if h.FromChannel != h.ToChannel {
+			l.IntraFrequency = false
+		}
+	}
+	for i := 1; i < len(hops); i++ {
+		l.Labels = append(l.Labels, TypePairLabel(hops[i-1].TriggerType, hops[i].TriggerType))
+	}
+	if len(hops) == 1 {
+		l.Labels = append(l.Labels, TypePairLabel(hops[0].TriggerType, hops[0].TriggerType))
+	}
+	return l
+}
+
+// ConflictLoops filters loops down to those caused by policy
+// conflicts: a loop counts when some adjacent cell pair visited by the
+// loop has simultaneously satisfiable handover rules in both
+// directions (paper §3.2). Loops without such a pair are ordinary
+// re-handovers from signal dynamics, not conflicts.
+func ConflictLoops(loops []Loop, policies map[int]*Policy, mr MetricRange) []Loop {
+	type pair struct{ a, b int }
+	cache := make(map[pair]bool)
+	conflicts := func(a, b int) bool {
+		if a > b {
+			a, b = b, a
+		}
+		key := pair{a, b}
+		if v, ok := cache[key]; ok {
+			return v
+		}
+		pa, pb := policies[a], policies[b]
+		v := false
+		if pa != nil && pb != nil {
+			v = len(DetectPairConflicts(pa, pb, mr)) > 0
+		}
+		cache[key] = v
+		return v
+	}
+	var out []Loop
+	for _, l := range loops {
+		for i := 1; i < len(l.Cells); i++ {
+			if conflicts(l.Cells[i-1], l.Cells[i]) {
+				out = append(out, l)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// LoopStats aggregates detected loops into the Table 2 conflict rows.
+type LoopStats struct {
+	Count             int
+	AvgFrequencySec   float64 // observation span / loop count
+	AvgHandovers      float64
+	AvgDisruptionSec  float64
+	IntraFreqFraction float64
+	// HandoversInLoops is the total number of handovers that are part
+	// of some loop (Table 5's "Total HO in conflicts").
+	HandoversInLoops int
+}
+
+// Summarize computes loop statistics over an observation span.
+func Summarize(loops []Loop, spanSec float64) LoopStats {
+	s := LoopStats{Count: len(loops)}
+	if len(loops) == 0 {
+		return s
+	}
+	intra := 0
+	for _, l := range loops {
+		s.AvgHandovers += float64(l.Handovers)
+		s.AvgDisruptionSec += l.Disruption
+		s.HandoversInLoops += l.Handovers
+		if l.IntraFrequency {
+			intra++
+		}
+	}
+	n := float64(len(loops))
+	s.AvgHandovers /= n
+	s.AvgDisruptionSec /= n
+	s.IntraFreqFraction = float64(intra) / n
+	if spanSec > 0 {
+		s.AvgFrequencySec = spanSec / n
+	}
+	return s
+}

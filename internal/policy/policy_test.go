@@ -1,0 +1,542 @@
+package policy
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"rem/internal/sim"
+)
+
+func TestRuleSatisfied(t *testing.T) {
+	cases := []struct {
+		r           Rule
+		serv, neigh float64
+		want        bool
+	}{
+		{Rule{Type: A1, ServThresh: -90}, -85, 0, true},
+		{Rule{Type: A1, ServThresh: -90}, -95, 0, false},
+		{Rule{Type: A2, ServThresh: -110}, -115, 0, true},
+		{Rule{Type: A2, ServThresh: -110}, -105, 0, false},
+		{Rule{Type: A3, OffsetDB: 3}, -100, -96, true},
+		{Rule{Type: A3, OffsetDB: 3}, -100, -98, false},
+		{Rule{Type: A3, OffsetDB: -3}, -100, -102, true}, // proactive (negative offset)
+		{Rule{Type: A4, NeighThresh: -103}, 0, -100, true},
+		{Rule{Type: A4, NeighThresh: -103}, 0, -105, false},
+		{Rule{Type: A5, ServThresh: -110, NeighThresh: -108}, -112, -105, true},
+		{Rule{Type: A5, ServThresh: -110, NeighThresh: -108}, -105, -105, false},
+		{Rule{Type: A5, ServThresh: -110, NeighThresh: -108}, -112, -110, false},
+	}
+	for i, c := range cases {
+		if got := c.r.Satisfied(c.serv, c.neigh); got != c.want {
+			t.Errorf("case %d (%v): Satisfied(%g,%g) = %v, want %v", i, c.r.Type, c.serv, c.neigh, got, c.want)
+		}
+	}
+}
+
+func TestRuleHysteresis(t *testing.T) {
+	r := Rule{Type: A3, OffsetDB: 3, HystDB: 1}
+	if r.Satisfied(-100, -96.5) {
+		t.Fatal("hysteresis should block a marginal trigger")
+	}
+	if !r.Satisfied(-100, -95.5) {
+		t.Fatal("criterion beyond hysteresis should trigger")
+	}
+}
+
+func TestPolicyValidate(t *testing.T) {
+	p := &Policy{CellID: 1, Rules: []Rule{{Type: A3, TTTSec: 0.04}}}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []*Policy{
+		{CellID: 0},
+		{CellID: 1, Rules: []Rule{{Type: EventType(9)}}},
+		{CellID: 1, Rules: []Rule{{Type: A3, TTTSec: -1}}},
+		{CellID: 1, Rules: []Rule{{Type: A3, Stage: 7}}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad policy %d accepted", i)
+		}
+	}
+}
+
+func TestTypePairLabel(t *testing.T) {
+	if got := TypePairLabel(A4, A3); got != "A3-A4" {
+		t.Fatalf("label = %q", got)
+	}
+	if got := TypePairLabel(A3, A3); got != "A3-A3" {
+		t.Fatalf("label = %q", got)
+	}
+}
+
+// Figure 3's load-balancing conflict: cell 1 moves to cell 2 when
+// RSRP2 > −110; cell 2 moves back when RSRP2 < −95 and RSRP1 > −100.
+func fig3Policies() (*Policy, *Policy) {
+	c1 := &Policy{CellID: 1, Channel: 100, Rules: []Rule{
+		{Type: A4, NeighThresh: -110, TargetChannel: 200},
+	}}
+	c2 := &Policy{CellID: 2, Channel: 200, Rules: []Rule{
+		{Type: A5, ServThresh: -95, NeighThresh: -100, TargetChannel: 100},
+	}}
+	return c1, c2
+}
+
+func TestDetectPairConflictsFig3(t *testing.T) {
+	c1, c2 := fig3Policies()
+	cs := DetectPairConflicts(c1, c2, DefaultMetricRange())
+	if len(cs) != 1 {
+		t.Fatalf("found %d conflicts, want 1", len(cs))
+	}
+	c := cs[0]
+	if c.Label != "A4-A5" {
+		t.Fatalf("label = %q, want A4-A5", c.Label)
+	}
+	if !c.InterFrequency {
+		t.Fatal("fig-3 conflict is inter-frequency")
+	}
+	// Witness: (R1, R2) must satisfy both policies.
+	r1, r2 := c.Witness[0], c.Witness[1]
+	if !(r2 > -110 && r2 < -95 && r1 > -100) {
+		t.Fatalf("witness (%g, %g) does not satisfy both rules", r1, r2)
+	}
+}
+
+// Figure 4's proactive A3-A3 conflict: Δ(3→4) = −3, Δ(4→3) = −1.
+func fig4Policies() (*Policy, *Policy) {
+	c3 := &Policy{CellID: 3, Channel: 300, Rules: []Rule{
+		{Type: A3, OffsetDB: -3},
+	}}
+	c4 := &Policy{CellID: 4, Channel: 300, Rules: []Rule{
+		{Type: A3, OffsetDB: -1},
+	}}
+	return c3, c4
+}
+
+func TestDetectPairConflictsFig4(t *testing.T) {
+	c3, c4 := fig4Policies()
+	cs := DetectPairConflicts(c3, c4, DefaultMetricRange())
+	if len(cs) != 1 {
+		t.Fatalf("found %d conflicts, want 1", len(cs))
+	}
+	if cs[0].Label != "A3-A3" || cs[0].InterFrequency {
+		t.Fatalf("conflict = %+v, want intra-frequency A3-A3", cs[0])
+	}
+	// The witness difference must lie inside the conflict band:
+	// R4 − R3 > −3 (3→4 fires) and R3 − R4 > −1 ⇒ R4 − R3 < 1.
+	d := cs[0].Witness[1] - cs[0].Witness[0]
+	if !(d > -3 && d < 1) {
+		t.Fatalf("witness difference %g outside (−3, 1)", d)
+	}
+}
+
+func TestNoConflictWhenOffsetsSumNonNegative(t *testing.T) {
+	// Theorem 2 pairwise case: Δ12 + Δ21 ≥ 0 ⇒ no A3-A3 conflict.
+	c1 := &Policy{CellID: 1, Channel: 300, Rules: []Rule{{Type: A3, OffsetDB: 3}}}
+	c2 := &Policy{CellID: 2, Channel: 300, Rules: []Rule{{Type: A3, OffsetDB: -3}}}
+	if cs := DetectPairConflicts(c1, c2, DefaultMetricRange()); len(cs) != 0 {
+		t.Fatalf("Δ sum = 0 should be conflict-free, got %d conflicts", len(cs))
+	}
+	// Strictly negative sum conflicts.
+	c2.Rules[0].OffsetDB = -3.5
+	if cs := DetectPairConflicts(c1, c2, DefaultMetricRange()); len(cs) != 1 {
+		t.Fatal("Δ sum < 0 should conflict")
+	}
+}
+
+func TestConflictPairwiseMatchesTheorem2Property(t *testing.T) {
+	// Property: for pure A3-A3 intra-frequency policies, conflict
+	// detection agrees exactly with the pairwise Theorem 2 condition.
+	f := func(seed int64) bool {
+		rng := sim.NewRNG(seed)
+		d12 := rng.Uniform(-6, 6)
+		d21 := rng.Uniform(-6, 6)
+		c1 := &Policy{CellID: 1, Channel: 1, Rules: []Rule{{Type: A3, OffsetDB: d12}}}
+		c2 := &Policy{CellID: 2, Channel: 1, Rules: []Rule{{Type: A3, OffsetDB: d21}}}
+		cs := DetectPairConflicts(c1, c2, DefaultMetricRange())
+		return (len(cs) > 0) == (d12+d21 < 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRuleTargetChannelFiltering(t *testing.T) {
+	// A rule targeting channel 500 cannot conflict with a cell on 200.
+	c1 := &Policy{CellID: 1, Channel: 100, Rules: []Rule{
+		{Type: A4, NeighThresh: -110, TargetChannel: 500},
+	}}
+	c2 := &Policy{CellID: 2, Channel: 200, Rules: []Rule{
+		{Type: A4, NeighThresh: -110, TargetChannel: 100},
+	}}
+	if cs := DetectPairConflicts(c1, c2, DefaultMetricRange()); len(cs) != 0 {
+		t.Fatal("channel-filtered rule should not conflict")
+	}
+}
+
+func TestDetectAllConflictsUsesCoverage(t *testing.T) {
+	c1, c2 := fig4Policies()
+	policies := map[int]*Policy{3: c1, 4: c2}
+	g := NewCoverageGraph()
+	// No overlap: no conflicts even though rules clash.
+	cs, err := DetectAllConflicts(policies, g, DefaultMetricRange())
+	if err != nil || len(cs) != 0 {
+		t.Fatalf("cs=%v err=%v; want none", cs, err)
+	}
+	g.AddOverlap(3, 4)
+	cs, err = DetectAllConflicts(policies, g, DefaultMetricRange())
+	if err != nil || len(cs) != 1 {
+		t.Fatalf("cs=%v err=%v; want one", cs, err)
+	}
+	if CountByLabel(cs)["A3-A3"] != 1 {
+		t.Fatal("label count wrong")
+	}
+	// Missing policy for an overlapping cell is an error.
+	g.AddOverlap(3, 9)
+	if _, err := DetectAllConflicts(policies, g, DefaultMetricRange()); err == nil {
+		t.Fatal("missing policy should error")
+	}
+}
+
+func TestCheckTheorem2(t *testing.T) {
+	tab := NewOffsetTable()
+	tab.Set(1, 2, -3)
+	tab.Set(2, 1, -1) // pairwise sum −4 < 0 (both directions violate)
+	vs := CheckTheorem2(tab, nil)
+	if len(vs) != 2 {
+		t.Fatalf("violations = %v, want 2 (both orderings)", vs)
+	}
+	tab.Set(2, 1, 3)
+	if vs := CheckTheorem2(tab, nil); len(vs) != 0 {
+		t.Fatalf("sum 0 should pass, got %v", vs)
+	}
+	// Three-cell chain: Δ12 + Δ23 < 0.
+	tab3 := NewOffsetTable()
+	tab3.Set(1, 2, -2)
+	tab3.Set(2, 3, 1)
+	tab3.Set(3, 1, 5)
+	vs = CheckTheorem2(tab3, nil)
+	if len(vs) != 1 || vs[0].I != 1 || vs[0].J != 2 || vs[0].K != 3 {
+		t.Fatalf("violations = %v", vs)
+	}
+}
+
+func TestCheckTheorem2RespectsCoverage(t *testing.T) {
+	tab := NewOffsetTable()
+	tab.Set(1, 2, -3)
+	tab.Set(2, 1, -3)
+	g := NewCoverageGraph() // cells never co-cover
+	if vs := CheckTheorem2(tab, g); len(vs) != 0 {
+		t.Fatalf("non-overlapping cells cannot violate, got %v", vs)
+	}
+	g.AddOverlap(1, 2)
+	if vs := CheckTheorem2(tab, g); len(vs) == 0 {
+		t.Fatal("overlapping cells should violate")
+	}
+}
+
+func TestEnforceTheorem2(t *testing.T) {
+	tab := NewOffsetTable()
+	tab.Set(1, 2, -3)
+	tab.Set(2, 1, -1)
+	tab.Set(2, 3, -2)
+	tab.Set(3, 2, 0.5)
+	tab.Set(1, 3, 1)
+	tab.Set(3, 1, -4)
+	n := EnforceTheorem2(tab, nil)
+	if n == 0 {
+		t.Fatal("no adjustments made")
+	}
+	if vs := CheckTheorem2(tab, nil); len(vs) != 0 {
+		t.Fatalf("still violating after enforcement: %v", vs)
+	}
+}
+
+func TestEnforceTheorem2PropertyRandomTables(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := sim.NewRNG(seed)
+		n := 3 + rng.Intn(5)
+		tab := NewOffsetTable()
+		for i := 1; i <= n; i++ {
+			for j := 1; j <= n; j++ {
+				if i != j && rng.Bool(0.7) {
+					tab.Set(i, j, rng.Uniform(-8, 8))
+				}
+			}
+		}
+		EnforceTheorem2(tab, nil)
+		return len(CheckTheorem2(tab, nil)) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSimulateHandoverChainLoopFreedom(t *testing.T) {
+	// Executable Theorem 2: enforced tables never loop for any SNR
+	// assignment; violating tables loop for a witness assignment.
+	viol := NewOffsetTable()
+	viol.Set(1, 2, -3)
+	viol.Set(2, 1, -3)
+	snr := map[int]float64{1: 10, 2: 9} // inside the conflict band
+	_, looped := SimulateHandoverChain(viol, snr, 1, 10)
+	if !looped {
+		t.Fatal("violating table should loop")
+	}
+	f := func(seed int64) bool {
+		rng := sim.NewRNG(seed)
+		n := 3 + rng.Intn(4)
+		tab := NewOffsetTable()
+		for i := 1; i <= n; i++ {
+			for j := 1; j <= n; j++ {
+				if i != j {
+					tab.Set(i, j, rng.Uniform(-5, 5))
+				}
+			}
+		}
+		EnforceTheorem2(tab, nil)
+		snrs := map[int]float64{}
+		for i := 1; i <= n; i++ {
+			snrs[i] = rng.Uniform(0, 30)
+		}
+		for start := 1; start <= n; start++ {
+			if _, looped := SimulateHandoverChain(tab, snrs, start, 3*n); looped {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSimplifyDropsStagesAndRewritesEvents(t *testing.T) {
+	// The Fig. 1b policy: A2 gate, intra A3, inter-frequency A4/A5
+	// behind the gate, plus a direct A4 for load balancing.
+	legacy := &Policy{
+		CellID:  7,
+		Channel: 1825,
+		Rules: []Rule{
+			{Type: A2, ServThresh: -110, TTTSec: 0.64},
+			{Type: A3, OffsetDB: 3, TTTSec: 0.08, TargetChannel: 1825},
+			{Type: A4, NeighThresh: -108, TTTSec: 0.64, TargetChannel: 2452, Stage: 1},
+			{Type: A5, ServThresh: -110, NeighThresh: -103, TTTSec: 0.64, TargetChannel: 100, Stage: 1},
+			{Type: A4, NeighThresh: -103, TTTSec: 0.32, TargetChannel: 1850}, // stand-alone (load balancing)
+		},
+		NonSNR: []string{"priority:gold-users"},
+	}
+	simp := Simplify(legacy, SimplifyConfig{RefServingDBm: -100})
+	if !simp.UsesDDSNR {
+		t.Fatal("simplified policy should use DD SNR")
+	}
+	if len(simp.NonSNR) != 1 || simp.NonSNR[0] != "priority:gold-users" {
+		t.Fatal("non-SNR policies must be retained verbatim")
+	}
+	for _, r := range simp.Rules {
+		if r.Type == A1 || r.Type == A2 {
+			t.Fatalf("gate rule %v survived with all-co-sited targets", r.Type)
+		}
+		if r.Type != A3 {
+			t.Fatalf("rule type %v should have been rewritten to A3", r.Type)
+		}
+		if r.Stage != 0 {
+			t.Fatal("co-sited targets should be single-stage")
+		}
+	}
+	// A5(−110, −103) ⇒ Δ = 7; A4-after-A2(−108 after −110) ⇒ Δ = 2;
+	// stand-alone A4(−103, ref −100) ⇒ Δ = −3.
+	offsets := map[int]float64{}
+	for _, r := range simp.Rules {
+		offsets[r.TargetChannel] = r.OffsetDB
+	}
+	if math.Abs(offsets[100]-7) > 1e-9 {
+		t.Fatalf("A5 rewrite offset = %g, want 7", offsets[100])
+	}
+	if math.Abs(offsets[2452]-2) > 1e-9 {
+		t.Fatalf("A4-after-A2 rewrite offset = %g, want 2", offsets[2452])
+	}
+	if math.Abs(offsets[1850]-(-3)) > 1e-9 {
+		t.Fatalf("stand-alone A4 rewrite offset = %g, want −3", offsets[1850])
+	}
+}
+
+func TestSimplifyKeepsGateForNonCoSited(t *testing.T) {
+	legacy := &Policy{
+		CellID:  8,
+		Channel: 100,
+		Rules: []Rule{
+			{Type: A2, ServThresh: -110},
+			{Type: A4, NeighThresh: -105, TargetChannel: 999, Stage: 1},
+		},
+	}
+	simp := Simplify(legacy, SimplifyConfig{
+		CoSited: func(a, b int) bool { return false },
+	})
+	hasGate := false
+	for _, r := range simp.Rules {
+		if r.Type == A2 {
+			hasGate = true
+		}
+		if r.Type == A3 && r.Stage != 1 {
+			t.Fatal("non-co-sited rewritten rule should stay staged")
+		}
+	}
+	if !hasGate {
+		t.Fatal("A2 gate should be retained for non-co-sited targets")
+	}
+}
+
+func TestBuildAndApplyOffsetTable(t *testing.T) {
+	p1 := &Policy{CellID: 1, Channel: 10, Rules: []Rule{{Type: A3, OffsetDB: -2}}}
+	p2 := &Policy{CellID: 2, Channel: 10, Rules: []Rule{{Type: A3, OffsetDB: -2}}}
+	policies := map[int]*Policy{1: p1, 2: p2}
+	channels := map[int]int{1: 10, 2: 10}
+	g := NewCoverageGraph()
+	g.AddOverlap(1, 2)
+	tab := BuildOffsetTable(policies, channels, g)
+	if d, ok := tab.Get(1, 2); !ok || d != -2 {
+		t.Fatalf("table Δ(1→2) = %g, %v", d, ok)
+	}
+	EnforceTheorem2(tab, g)
+	ApplyOffsetTable(policies, channels, g, tab)
+	d12, _ := tab.Get(1, 2)
+	d21, _ := tab.Get(2, 1)
+	if d12+d21 < 0 {
+		t.Fatal("enforcement failed")
+	}
+	if p1.Rules[0].OffsetDB+p2.Rules[0].OffsetDB < 0 {
+		t.Fatal("applied policies still conflict")
+	}
+	if cs := DetectPairConflicts(p1, p2, DefaultMetricRange()); len(cs) != 0 {
+		t.Fatalf("simplified+enforced policies still conflict: %v", cs)
+	}
+}
+
+func TestLoopDetector(t *testing.T) {
+	hist := []HandoverRecord{
+		{Time: 0, From: 1, To: 2, FromChannel: 5, ToChannel: 5, TriggerType: A3, DisruptionSec: 0.1},
+		{Time: 2, From: 2, To: 1, FromChannel: 5, ToChannel: 5, TriggerType: A3, DisruptionSec: 0.1},
+		{Time: 100, From: 1, To: 3, FromChannel: 5, ToChannel: 7, TriggerType: A4, DisruptionSec: 0.1},
+		{Time: 103, From: 3, To: 4, FromChannel: 7, ToChannel: 5, TriggerType: A5, DisruptionSec: 0.1},
+		{Time: 106, From: 4, To: 1, FromChannel: 5, ToChannel: 5, TriggerType: A3, DisruptionSec: 0.1},
+	}
+	loops := LoopDetector{}.Detect(hist)
+	if len(loops) != 2 {
+		t.Fatalf("detected %d loops, want 2: %+v", len(loops), loops)
+	}
+	if !loops[0].IntraFrequency || loops[0].Handovers != 2 {
+		t.Fatalf("loop 0 = %+v", loops[0])
+	}
+	if loops[1].IntraFrequency || loops[1].Handovers != 3 {
+		t.Fatalf("loop 1 = %+v", loops[1])
+	}
+	st := Summarize(loops, 200)
+	if st.Count != 2 || st.AvgFrequencySec != 100 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if math.Abs(st.AvgHandovers-2.5) > 1e-9 || st.IntraFreqFraction != 0.5 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.HandoversInLoops != 5 {
+		t.Fatalf("HandoversInLoops = %d, want 5", st.HandoversInLoops)
+	}
+}
+
+func TestLoopDetectorWindowLimit(t *testing.T) {
+	hist := []HandoverRecord{
+		{Time: 0, From: 1, To: 2},
+		{Time: 100, From: 2, To: 1}, // return far outside the window
+	}
+	if loops := (LoopDetector{WindowSec: 30}).Detect(hist); len(loops) != 0 {
+		t.Fatalf("slow return should not count as loop: %+v", loops)
+	}
+	if st := Summarize(nil, 100); st.Count != 0 {
+		t.Fatal("empty summarize should be zero")
+	}
+}
+
+func TestPolicyAccessors(t *testing.T) {
+	p := &Policy{CellID: 1, Channel: 5, Rules: []Rule{
+		{Type: A2, ServThresh: -110},
+		{Type: A3, OffsetDB: 3},
+		{Type: A4, NeighThresh: -100, Stage: 1},
+	}}
+	hr := p.HandoverRules()
+	if len(hr) != 2 || hr[0].Type != A3 || hr[1].Type != A4 {
+		t.Fatalf("HandoverRules = %v", hr)
+	}
+	if p.MaxStage() != 1 {
+		t.Fatalf("MaxStage = %d", p.MaxStage())
+	}
+	// Pair override resolution.
+	p.PairOffsets = map[int]float64{7: -1.5}
+	if got := p.A3OffsetFor(p.Rules[1], 7); got != -1.5 {
+		t.Fatalf("A3OffsetFor override = %g", got)
+	}
+	if got := p.A3OffsetFor(p.Rules[1], 8); got != 3 {
+		t.Fatalf("A3OffsetFor fallback = %g", got)
+	}
+	p.PairOffsets = nil
+	if got := p.A3OffsetFor(p.Rules[1], 7); got != 3 {
+		t.Fatalf("A3OffsetFor nil map = %g", got)
+	}
+}
+
+func TestEventTypeStrings(t *testing.T) {
+	want := map[EventType]string{A1: "A1", A2: "A2", A3: "A3", A4: "A4", A5: "A5"}
+	for e, s := range want {
+		if e.String() != s {
+			t.Fatalf("%d.String() = %q", int(e), e.String())
+		}
+	}
+	if EventType(99).String() == "A1" {
+		t.Fatal("unknown event type mislabeled")
+	}
+}
+
+func TestViolationString(t *testing.T) {
+	v := Violation{I: 1, J: 2, K: 3, Sum: -2.5}
+	s := v.String()
+	if len(s) < 10 || !strings.Contains(s, "-2.50") {
+		t.Fatalf("violation string %q", s)
+	}
+}
+
+func TestConflictLoopsClassification(t *testing.T) {
+	conflicting := map[int]*Policy{
+		1: {CellID: 1, Channel: 5, Rules: []Rule{{Type: A3, OffsetDB: -3}}},
+		2: {CellID: 2, Channel: 5, Rules: []Rule{{Type: A3, OffsetDB: -3}}},
+		3: {CellID: 3, Channel: 5, Rules: []Rule{{Type: A3, OffsetDB: 3}}},
+		4: {CellID: 4, Channel: 5, Rules: []Rule{{Type: A3, OffsetDB: 3}}},
+	}
+	loops := []Loop{
+		{Cells: []int{1, 2, 1}, Handovers: 2}, // conflicting pair
+		{Cells: []int{3, 4, 3}, Handovers: 2}, // clean pair (sum +6)
+	}
+	cl := ConflictLoops(loops, conflicting, DefaultMetricRange())
+	if len(cl) != 1 || cl[0].Cells[0] != 1 {
+		t.Fatalf("ConflictLoops = %+v, want only the (1,2) loop", cl)
+	}
+	// Missing policies never classify as conflicts.
+	if got := ConflictLoops(loops, map[int]*Policy{}, DefaultMetricRange()); len(got) != 0 {
+		t.Fatal("loops without policies classified as conflicts")
+	}
+}
+
+func TestConflictA1GateConstraint(t *testing.T) {
+	// A1 rules constrain the serving floor in conflict satisfiability.
+	a := &Policy{CellID: 1, Channel: 5, Rules: []Rule{
+		{Type: A1, ServThresh: -90},
+		{Type: A3, OffsetDB: -3},
+	}}
+	b := &Policy{CellID: 2, Channel: 5, Rules: []Rule{{Type: A3, OffsetDB: -3}}}
+	// Still conflicting (the A1 is a separate rule, not a gate here),
+	// but the detector must not crash and must produce a witness.
+	cs := DetectPairConflicts(a, b, DefaultMetricRange())
+	if len(cs) == 0 {
+		t.Fatal("expected conflict")
+	}
+}

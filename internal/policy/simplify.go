@@ -1,0 +1,204 @@
+package policy
+
+// SimplifyConfig parameterizes REM's policy simplification (§5.3).
+type SimplifyConfig struct {
+	// CoSited reports whether two channels are served by co-located
+	// cells at this deployment (so cross-band estimation can replace
+	// inter-frequency measurement). A nil function means "always",
+	// matching deployments where every band is co-sited.
+	CoSited func(servingChannel, targetChannel int) bool
+
+	// RefServingDBm anchors the translation of a stand-alone A4
+	// threshold (load balancing without a preceding A2) into an A3
+	// offset: Δ_A3 = NeighThresh − RefServingDBm (the capacity
+	// comparison of §5.3 step 3, case 2). Default −100 dBm.
+	RefServingDBm float64
+
+	// TTTSec is the triggering interval for the simplified policy;
+	// the stable delay-Doppler SNR permits a short TTT (default 0.04s).
+	TTTSec float64
+
+	// MinHystDB floors the hysteresis of every simplified handover
+	// rule. Stable DD-SNR plus near-zero enforced offsets would
+	// otherwise hand over on any 1 dB wiggle; a 2 dB floor is the
+	// usual operator choice.
+	MinHystDB float64
+}
+
+// Simplify applies REM's four-step policy simplification to one cell's
+// legacy policy (paper §5.3, Fig. 8):
+//
+//  1. The decision metric becomes delay-Doppler SNR (UsesDDSNR).
+//  2. Multi-stage decisions collapse: where the target band is
+//     co-sited, cross-band estimation replaces A1/A2-gated
+//     inter-frequency measurement, so A1/A2 rules are dropped and
+//     stage-1 rules are promoted to stage 0. Non-co-sited targets keep
+//     their multi-stage gating (but their rules are still rewritten).
+//  3. A5 rewrites to A3 with Δ_A3 = threshold2 − threshold1; A4 that
+//     only armed after A2 rewrites through the equivalent A5 with
+//     Δ¹_A5 = Δ_A2, Δ²_A5 = Δ_A4; a stand-alone A4 (load balancing)
+//     rewrites to a capacity-style A3 against RefServingDBm.
+//  4. Everything outside the SNR domain (Policy.NonSNR) is retained
+//     verbatim.
+//
+// The returned policy contains only A3 handover rules (plus retained
+// A1/A2 gates for non-co-sited targets). Run EnforceTheorem2 on the
+// assembled OffsetTable afterwards to guarantee conflict freedom.
+func Simplify(p *Policy, cfg SimplifyConfig) *Policy {
+	if cfg.RefServingDBm == 0 {
+		cfg.RefServingDBm = -100
+	}
+	if cfg.TTTSec == 0 {
+		cfg.TTTSec = 0.04
+	}
+	coSited := cfg.CoSited
+	if coSited == nil {
+		coSited = func(_, _ int) bool { return true }
+	}
+
+	out := &Policy{
+		CellID:    p.CellID,
+		Channel:   p.Channel,
+		UsesDDSNR: true,
+		NonSNR:    append([]string(nil), p.NonSNR...),
+	}
+
+	// The A2 threshold gates stage-1 rules; needed for the A4-after-A2
+	// rewriting.
+	a2Thresh, hasA2 := 0.0, false
+	for _, r := range p.Rules {
+		if r.Type == A2 {
+			a2Thresh, hasA2 = r.ServThresh, true
+		}
+	}
+
+	for _, r := range p.Rules {
+		targetCoSited := r.TargetChannel == 0 || coSited(p.Channel, r.TargetChannel)
+		switch r.Type {
+		case A1, A2:
+			// Step 2: measurement-stage gates disappear when
+			// cross-band estimation covers the inter-frequency cells;
+			// otherwise the gate is retained for the non-co-sited
+			// stage.
+			if !allTargetsCoSited(p, coSited) {
+				out.Rules = append(out.Rules, gateRule(r, cfg.TTTSec))
+			}
+		case A3:
+			nr := r
+			nr.TTTSec = cfg.TTTSec
+			if nr.HystDB < cfg.MinHystDB {
+				nr.HystDB = cfg.MinHystDB
+			}
+			if targetCoSited {
+				nr.Stage = 0
+			}
+			out.Rules = append(out.Rules, nr)
+		case A5:
+			// Step 3: A5(serv < t1, neigh > t2) ⇒ A3 with Δ = t2 − t1.
+			out.Rules = append(out.Rules, rewriteToA3(r, r.NeighThresh-r.ServThresh, targetCoSited, cfg.TTTSec, cfg.MinHystDB))
+		case A4:
+			if r.Stage > 0 && hasA2 {
+				// A4 armed after A2 ≡ A5 with Δ¹ = Δ_A2, Δ² = Δ_A4.
+				out.Rules = append(out.Rules, rewriteToA3(r, r.NeighThresh-a2Thresh, targetCoSited, cfg.TTTSec, cfg.MinHystDB))
+			} else {
+				// Stand-alone A4 (load balancing / added capacity):
+				// capacity comparison anchored at the reference level.
+				out.Rules = append(out.Rules, rewriteToA3(r, r.NeighThresh-cfg.RefServingDBm, targetCoSited, cfg.TTTSec, cfg.MinHystDB))
+			}
+		}
+	}
+	return out
+}
+
+func rewriteToA3(r Rule, offset float64, coSited bool, ttt, minHyst float64) Rule {
+	nr := Rule{
+		Type:          A3,
+		OffsetDB:      offset,
+		HystDB:        r.HystDB,
+		TTTSec:        ttt,
+		TargetChannel: r.TargetChannel,
+		Stage:         r.Stage,
+	}
+	if nr.HystDB < minHyst {
+		nr.HystDB = minHyst
+	}
+	if coSited {
+		nr.Stage = 0
+	}
+	return nr
+}
+
+func gateRule(r Rule, ttt float64) Rule {
+	nr := r
+	nr.TTTSec = ttt
+	return nr
+}
+
+func allTargetsCoSited(p *Policy, coSited func(a, b int) bool) bool {
+	for _, r := range p.Rules {
+		if !r.IsHandoverRule() {
+			continue
+		}
+		if r.TargetChannel != 0 && !coSited(p.Channel, r.TargetChannel) {
+			return false
+		}
+	}
+	return true
+}
+
+// BuildOffsetTable assembles the Δ^{i→j} table from a set of simplified
+// policies and the coverage graph: for each cell i and each co-covering
+// cell j, the applicable A3 offset is the loosest (smallest) offset of
+// any rule targeting j's channel.
+func BuildOffsetTable(policies map[int]*Policy, channels map[int]int, g *CoverageGraph) OffsetTable {
+	t := NewOffsetTable()
+	for i, p := range policies {
+		for _, j := range g.Neighbors(i) {
+			ch, ok := channels[j]
+			if !ok {
+				continue
+			}
+			bestSet := false
+			best := 0.0
+			for _, r := range p.Rules {
+				if r.Type != A3 {
+					continue
+				}
+				if r.TargetChannel != 0 && r.TargetChannel != ch {
+					continue
+				}
+				if !bestSet || r.OffsetDB < best {
+					best, bestSet = r.OffsetDB, true
+				}
+			}
+			if bestSet {
+				t.Set(i, j, best)
+			}
+		}
+	}
+	return t
+}
+
+// ApplyOffsetTable writes repaired offsets back into the simplified
+// policies: each A3 rule's offset becomes the maximum repaired offset
+// across the co-covered cells its channel filter matches (so every
+// pairwise guarantee holds).
+func ApplyOffsetTable(policies map[int]*Policy, channels map[int]int, g *CoverageGraph, t OffsetTable) {
+	for i, p := range policies {
+		for ri := range p.Rules {
+			r := &p.Rules[ri]
+			if r.Type != A3 {
+				continue
+			}
+			for _, j := range g.Neighbors(i) {
+				ch := channels[j]
+				if r.TargetChannel != 0 && r.TargetChannel != ch {
+					continue
+				}
+				if d, ok := t.Get(i, j); ok && d > r.OffsetDB {
+					r.OffsetDB = d
+				}
+			}
+		}
+	}
+}

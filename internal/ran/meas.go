@@ -1,0 +1,418 @@
+package ran
+
+import (
+	"sort"
+
+	"rem/internal/policy"
+	"rem/internal/sim"
+)
+
+// MeasConfig parameterizes the client measurement schedule.
+type MeasConfig struct {
+	// IntraPeriod is the refresh period of intra-frequency neighbor
+	// measurements (default 0.04 s).
+	IntraPeriod float64
+	// GapPeriod is the period of inter-frequency measurement gaps;
+	// each gap visits one foreign channel round-robin (default 0.08 s,
+	// 3GPP MeasurementGap patterns).
+	GapPeriod float64
+	// ReconfigRTT is the round trip for A2-triggered measurement
+	// reconfiguration before inter-frequency gaps start (paper §3.2's
+	// "extra round trips", default 0.06 s).
+	ReconfigRTT float64
+	// CrossBand enables REM's relaxed feedback (§5.2): one measured
+	// cell per base station, co-sited siblings filled in by cross-band
+	// estimation with CrossBandErrStdDB estimation noise and no gaps.
+	CrossBand         bool
+	CrossBandErrStdDB float64
+	// UseDDSNR selects the delay-Doppler SNR metric (REM) instead of
+	// RSRP (legacy) as the policy input.
+	UseDDSNR bool
+	// FilterCoeff is the 3GPP L3 filter coefficient a in
+	// new = old + a·(meas − old); 1 disables filtering (default 0.25).
+	FilterCoeff float64
+	// SettleSec suppresses rule evaluation for this long after the
+	// engine starts (post-handover RACH + RRC reconfiguration settling,
+	// default 0.3 s).
+	SettleSec float64
+	// ReportIntervalSec spaces repeated reports for a still-true
+	// criterion (3GPP reportInterval, default 0.24 s).
+	ReportIntervalSec float64
+	// AlwaysGaps arms inter-frequency measurement gaps from the start
+	// (no A2 gating) — the REM-without-cross-band ablation still needs
+	// to see inter-frequency cells somehow.
+	AlwaysGaps bool
+	// MeasNoiseStdDB is the per-sample measurement error of the raw
+	// metric. For legacy RSRP it grows with client speed: the OFDM
+	// coherence time shrinks as 1/v (paper §2), so each L1 measurement
+	// window averages fewer coherent samples. REM's delay-Doppler
+	// measurements stay clean (the stable h(τ,ν) of Appendix A), which
+	// is the paper's core reliability argument.
+	MeasNoiseStdDB float64
+}
+
+// DefaultLegacyMeasConfig returns the operator-flavored legacy schedule.
+func DefaultLegacyMeasConfig() MeasConfig {
+	return MeasConfig{
+		IntraPeriod: 0.04, GapPeriod: 0.08, ReconfigRTT: 0.06,
+		FilterCoeff: 0.25, SettleSec: 0.3, ReportIntervalSec: 0.24,
+	}
+}
+
+// DefaultREMMeasConfig returns REM's schedule.
+func DefaultREMMeasConfig() MeasConfig {
+	return MeasConfig{
+		IntraPeriod: 0.04, GapPeriod: 0.08, ReconfigRTT: 0.06, FilterCoeff: 0.25,
+		SettleSec: 0.3, ReportIntervalSec: 0.24,
+		CrossBand: true, CrossBandErrStdDB: 1.0, UseDDSNR: true,
+	}
+}
+
+// Report is a measurement report ready to be sent to the serving cell.
+type Report struct {
+	CellID     int // reported neighbor cell
+	Rule       policy.Rule
+	Metric     float64 // reported value (RSRP dBm or DD-SNR dB)
+	ServMetric float64
+	// CriterionAt is when the rule's criterion first became
+	// continuously true; ReadyAt is when the TTT elapsed and the report
+	// was generated. ReadyAt − CriterionAt is the triggering delay of
+	// Fig. 2a / Fig. 14a (delivery delay adds on top).
+	CriterionAt float64
+	ReadyAt     float64
+}
+
+type measValue struct {
+	metric     float64
+	measuredAt float64
+	valid      bool
+}
+
+type tttKey struct {
+	ruleIdx int
+	cellID  int
+}
+
+// MeasEngine runs the client-side measurement schedule and event
+// evaluation for one serving cell's policy. Create a fresh engine
+// after every handover (3GPP resets measurement state on
+// reconfiguration).
+type MeasEngine struct {
+	Cfg     MeasConfig
+	Dep     *Deployment
+	Policy  *policy.Policy
+	Serving int
+
+	rng *sim.RNG
+
+	values     map[int]measValue
+	tttSince   map[tttKey]float64
+	gapsActive bool
+	gapsAt     float64 // when gaps become active (after reconfig RTT)
+	a2Since    float64
+	a2Armed    bool
+
+	startAt    float64
+	started    bool
+	lastIntra  float64
+	lastGap    float64
+	gapRR      int // round-robin index over foreign channels
+	firstTick  bool
+	foreignChs []int
+}
+
+// NewMeasEngine builds the engine for a serving cell and its policy.
+func NewMeasEngine(rng *sim.RNG, dep *Deployment, pol *policy.Policy, servingCell int, cfg MeasConfig) *MeasEngine {
+	e := &MeasEngine{
+		Cfg: cfg, Dep: dep, Policy: pol, Serving: servingCell,
+		rng:       rng,
+		values:    make(map[int]measValue),
+		tttSince:  make(map[tttKey]float64),
+		firstTick: true,
+		a2Since:   -1,
+	}
+	serving := dep.CellByID(servingCell)
+	servingCh := 0
+	if serving != nil {
+		servingCh = serving.Channel
+	}
+	for _, ch := range dep.Channels() {
+		if ch != servingCh {
+			e.foreignChs = append(e.foreignChs, ch)
+		}
+	}
+	// A stage-0 handover rule that explicitly targets a foreign channel
+	// (stand-alone A4 for load balancing, Fig. 3) comes with its own
+	// inter-frequency measurement object: gaps are armed from the
+	// start, no A2 gate involved. Cross-band mode needs no gaps at all
+	// — inferring co-sited bands is the point of §5.2.
+	if !cfg.CrossBand {
+		for _, r := range pol.Rules {
+			if r.IsHandoverRule() && r.Stage == 0 &&
+				r.TargetChannel != 0 && r.TargetChannel != servingCh {
+				e.gapsActive = true
+				e.gapsAt = 0
+				break
+			}
+		}
+	}
+	return e
+}
+
+// GapsActive reports whether inter-frequency measurement gaps are
+// currently consuming spectrum (for the MeasurementGap overhead
+// accounting of §3.2).
+func (e *MeasEngine) GapsActive(t float64) bool {
+	if e.Cfg.AlwaysGaps {
+		return true
+	}
+	return e.gapsActive && t >= e.gapsAt
+}
+
+// metric selects the configured policy input from a snapshot entry.
+func (e *MeasEngine) metric(cr CellRadio) float64 {
+	if e.Cfg.UseDDSNR {
+		return cr.DDSNR
+	}
+	return cr.RSRP
+}
+
+// store applies the L3 filter and records a measurement. Values older
+// than one second reset the filter (3GPP re-initializes after
+// measurement interruptions).
+func (e *MeasEngine) store(id int, t, raw float64) {
+	if e.Cfg.MeasNoiseStdDB > 0 {
+		raw += e.rng.Gauss(0, e.Cfg.MeasNoiseStdDB)
+	}
+	a := e.Cfg.FilterCoeff
+	if a <= 0 || a > 1 {
+		a = 1
+	}
+	old, ok := e.values[id]
+	v := raw
+	if ok && old.valid && t-old.measuredAt < 1.0 {
+		v = old.metric + a*(raw-old.metric)
+	}
+	e.values[id] = measValue{metric: v, measuredAt: t, valid: true}
+}
+
+// Tick advances the engine to time t with the given radio snapshot and
+// returns reports whose TTT has just elapsed. dt is the tick duration.
+func (e *MeasEngine) Tick(t float64, snap map[int]CellRadio) []Report {
+	if !e.started {
+		e.startAt = t
+		e.started = true
+	}
+	e.visit(t, snap)
+	if t-e.startAt < e.Cfg.SettleSec {
+		return nil
+	}
+	return e.evaluate(t)
+}
+
+// visit updates stored measurement values according to the schedule.
+func (e *MeasEngine) visit(t float64, snap map[int]CellRadio) {
+	serving := e.Dep.CellByID(e.Serving)
+	servingCh := 0
+	if serving != nil {
+		servingCh = serving.Channel
+	}
+
+	// Serving cell is always tracked.
+	if cr, ok := snap[e.Serving]; ok {
+		e.store(e.Serving, t, e.metric(cr))
+	} else {
+		e.values[e.Serving] = measValue{valid: false}
+	}
+
+	if e.Cfg.CrossBand {
+		e.visitCrossBand(t, snap, servingCh)
+		return
+	}
+
+	// Intra-frequency scan. Iterate in cell-ID order so RNG draws are
+	// reproducible (map order is randomized).
+	ids := sortedIDs(snap)
+	if e.firstTick || t-e.lastIntra >= e.Cfg.IntraPeriod {
+		e.lastIntra = t
+		for _, id := range ids {
+			if id == e.Serving {
+				continue
+			}
+			c := e.Dep.CellByID(id)
+			if c != nil && c.Channel == servingCh {
+				e.store(id, t, e.metric(snap[id]))
+			}
+		}
+	}
+
+	// Inter-frequency gaps: one foreign channel per gap, round-robin.
+	if e.GapsActive(t) && len(e.foreignChs) > 0 &&
+		(e.firstTick || t-e.lastGap >= e.Cfg.GapPeriod) {
+		e.lastGap = t
+		ch := e.foreignChs[e.gapRR%len(e.foreignChs)]
+		e.gapRR++
+		for _, id := range ids {
+			c := e.Dep.CellByID(id)
+			if c != nil && c.Channel == ch {
+				e.store(id, t, e.metric(snap[id]))
+			}
+		}
+	}
+	e.firstTick = false
+}
+
+func sortedIDs(snap map[int]CellRadio) []int {
+	ids := make([]int, 0, len(snap))
+	for id := range snap {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// visitCrossBand measures one cell per base station and estimates its
+// co-sited siblings (paper §5.2/§6): intra-frequency anchor when
+// available, otherwise the strongest cell of the site.
+func (e *MeasEngine) visitCrossBand(t float64, snap map[int]CellRadio, servingCh int) {
+	if !e.firstTick && t-e.lastIntra < e.Cfg.IntraPeriod {
+		return
+	}
+	e.lastIntra = t
+	e.firstTick = false
+	for _, bs := range e.Dep.BSs {
+		// Pick the anchor: intra-frequency cell if the site has one
+		// visible, else the first visible cell.
+		var anchor *Cell
+		for _, c := range bs.Cells {
+			if _, ok := snap[c.ID]; !ok {
+				continue
+			}
+			if c.Channel == servingCh {
+				anchor = c
+				break
+			}
+			if anchor == nil {
+				anchor = c
+			}
+		}
+		if anchor == nil {
+			continue
+		}
+		cr := snap[anchor.ID]
+		e.store(anchor.ID, t, e.metric(cr))
+		for _, sib := range bs.Cells {
+			if sib.ID == anchor.ID {
+				continue
+			}
+			scr, ok := snap[sib.ID]
+			if !ok {
+				continue
+			}
+			// Cross-band estimate: true sibling metric plus the
+			// estimation error of Algorithm 1 (Fig. 12 calibration).
+			est := e.metric(scr) + e.rng.Gauss(0, e.Cfg.CrossBandErrStdDB)
+			e.store(sib.ID, t, est)
+		}
+	}
+}
+
+// evaluate runs the policy rules over stored values and returns due
+// reports.
+func (e *MeasEngine) evaluate(t float64) []Report {
+	serv, ok := e.values[e.Serving]
+	if !ok || !serv.valid {
+		return nil
+	}
+
+	// A2 gate for multi-stage policies.
+	for _, r := range e.Policy.Rules {
+		if r.Type != policy.A2 || r.Stage != 0 {
+			continue
+		}
+		if r.Satisfied(serv.metric, 0) {
+			if e.a2Since < 0 {
+				e.a2Since = t
+			}
+			if !e.a2Armed && t-e.a2Since >= r.TTTSec {
+				e.a2Armed = true
+				e.gapsActive = true
+				e.gapsAt = t + e.Cfg.ReconfigRTT
+			}
+		} else {
+			e.a2Since = -1
+		}
+	}
+	// With cross-band estimation there is no gating: stage-1 rules are
+	// always armed (Simplify already promotes them, but be safe).
+	stageArmed := func(stage int) bool {
+		if stage == 0 {
+			return true
+		}
+		return e.a2Armed || e.Cfg.CrossBand
+	}
+
+	var out []Report
+	// Deterministic order over cells.
+	ids := make([]int, 0, len(e.values))
+	for id := range e.values {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+
+	for ri, r := range e.Policy.Rules {
+		if !r.IsHandoverRule() || !stageArmed(r.Stage) {
+			continue
+		}
+		for _, id := range ids {
+			if id == e.Serving {
+				continue
+			}
+			c := e.Dep.CellByID(id)
+			if c == nil {
+				continue
+			}
+			if r.TargetChannel != 0 && c.Channel != r.TargetChannel {
+				continue
+			}
+			v := e.values[id]
+			if !v.valid {
+				continue
+			}
+			key := tttKey{ruleIdx: ri, cellID: id}
+			eff := r
+			if r.Type == policy.A3 {
+				eff.OffsetDB = e.Policy.A3OffsetFor(r, id)
+			}
+			if eff.Satisfied(serv.metric, v.metric) {
+				since, tracking := e.tttSince[key]
+				if !tracking {
+					e.tttSince[key] = t
+					since = t
+				}
+				rearm := r.TTTSec
+				if e.Cfg.ReportIntervalSec > rearm {
+					rearm = e.Cfg.ReportIntervalSec
+				}
+				_ = rearm
+				if t-since >= r.TTTSec {
+					out = append(out, Report{
+						CellID:      id,
+						Rule:        eff,
+						Metric:      v.metric,
+						ServMetric:  serv.metric,
+						CriterionAt: since,
+						ReadyAt:     t,
+					})
+					// Re-arm so a persisting condition re-reports
+					// only after the report interval (3GPP
+					// reportInterval), not every tick.
+					e.tttSince[key] = t + rearm - r.TTTSec
+				}
+			} else {
+				delete(e.tttSince, key)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,231 @@
+package ran
+
+import (
+	"math"
+
+	"rem/internal/chanmodel"
+	"rem/internal/dsp"
+	"rem/internal/geo"
+	"rem/internal/ofdm"
+	"rem/internal/sim"
+)
+
+// CellRadio is the instantaneous radio state of one cell as seen by
+// the client.
+type CellRadio struct {
+	RSRP float64 // dBm, including fast fading (what legacy reports)
+	// SNR is the instantaneous OFDM signal-to-noise ratio in dB,
+	// including fast fading and the Doppler ICI penalty — the volatile
+	// quantity of Fig. 11's "Legacy" curve.
+	SNR float64
+	// DDSNR is the delay-Doppler domain SNR in dB: fast fading is
+	// averaged out by the grid-wide OTFS spreading, no ICI penalty
+	// applies — Fig. 11's stable "REM" curve.
+	DDSNR float64
+}
+
+// Hole is a coverage hole along the track (tunnel, deep cutting, or a
+// frequency-selective blockage): cells with carrier ≥ MinFreqHz take
+// ExtraLossDB additional loss while the client is inside
+// [StartX, EndX]. MinFreqHz = 0 blocks every band (terrain);
+// MinFreqHz ≈ 10 GHz models mmWave blockage that sub-6 GHz penetrates.
+type Hole struct {
+	StartX, EndX float64
+	ExtraLossDB  float64
+	MinFreqHz    float64
+}
+
+// RadioConfig parameterizes the radio environment.
+type RadioConfig struct {
+	PathLoss       geo.PathLoss
+	NoisePerREDBm  float64 // thermal noise + noise figure per RE (default −125)
+	InterfMarginDB float64 // average other-cell interference margin (default 12)
+	ShadowStdDB    float64 // per-site log-normal shadowing σ (default 4)
+	ShadowDecorrM  float64 // shadowing decorrelation distance (default 120)
+	// CellShadowStdDB is the small per-cell residual on top of the
+	// per-site shadowing: co-sited cells share their propagation paths
+	// (paper §3.1), so almost all shadowing is common to the site.
+	CellShadowStdDB float64
+	SpeedMS         float64 // client speed (drives fading rate and ICI)
+	SymbolT         float64 // OFDM symbol duration for the ICI penalty
+	Holes           []Hole  // coverage holes along the track
+}
+
+// DefaultRadioConfig returns the HSR-calibrated defaults.
+func DefaultRadioConfig(speedMS float64) RadioConfig {
+	return RadioConfig{
+		PathLoss:        geo.DefaultPathLoss(),
+		NoisePerREDBm:   -125,
+		InterfMarginDB:  18,
+		ShadowStdDB:     3.5,
+		ShadowDecorrM:   250,
+		CellShadowStdDB: 0.75,
+		SpeedMS:         speedMS,
+		SymbolT:         ofdm.LTE().SymbolT,
+	}
+}
+
+// cellFadeState is the per-cell AR(1) complex fading process.
+type cellFadeState struct {
+	g      complex128
+	lastT  float64
+	primed bool
+}
+
+// RadioEnv computes per-cell radio snapshots for a client moving along
+// the deployment. It is deterministic for a given RNG stream.
+type RadioEnv struct {
+	Dep *Deployment
+	Cfg RadioConfig
+
+	shadow     map[int]*chanmodel.Shadowing // per base station
+	cellShadow map[int]*chanmodel.Shadowing // per-cell residual
+	fade       map[int]*cellFadeState
+	rng        *sim.RNG
+}
+
+// NewRadioEnv wires a radio environment over a deployment.
+func NewRadioEnv(dep *Deployment, cfg RadioConfig, streams *sim.Streams) *RadioEnv {
+	e := &RadioEnv{
+		Dep:        dep,
+		Cfg:        cfg,
+		shadow:     make(map[int]*chanmodel.Shadowing),
+		cellShadow: make(map[int]*chanmodel.Shadowing),
+		fade:       make(map[int]*cellFadeState),
+		rng:        streams.Stream("ran.fading"),
+	}
+	for _, bs := range dep.BSs {
+		e.shadow[bs.ID] = chanmodel.NewShadowing(
+			streams.Stream("ran.shadow.bs."+itoa(bs.ID)), cfg.ShadowStdDB, cfg.ShadowDecorrM)
+	}
+	for _, c := range dep.Cells {
+		e.cellShadow[c.ID] = chanmodel.NewShadowing(
+			streams.Stream("ran.shadow.cell."+itoa(c.ID)), cfg.CellShadowStdDB, cfg.ShadowDecorrM)
+	}
+	return e
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		b[i] = '-'
+	}
+	return string(b[i:])
+}
+
+// fadeSample advances the per-cell AR(1) Rayleigh fading process to
+// time t and returns the power gain (linear, mean 1).
+func (e *RadioEnv) fadeSample(cellID int, freqHz, t float64) float64 {
+	st := e.fade[cellID]
+	if st == nil {
+		st = &cellFadeState{}
+		e.fade[cellID] = st
+	}
+	if !st.primed {
+		st.g = e.rng.ComplexNorm(1)
+		st.lastT = t
+		st.primed = true
+	} else if t > st.lastT {
+		tc := chanmodel.CoherenceTime(freqHz, e.Cfg.SpeedMS)
+		var rho float64
+		if math.IsInf(tc, 1) {
+			rho = 1
+		} else {
+			rho = math.Exp(-(t - st.lastT) / tc)
+		}
+		st.g = complex(rho, 0)*st.g + e.rng.ComplexNorm(1-rho*rho)
+		st.lastT = t
+	}
+	p := real(st.g)*real(st.g) + imag(st.g)*imag(st.g)
+	if p < 1e-6 {
+		p = 1e-6
+	}
+	return p
+}
+
+// Snapshot returns the radio state of every cell at client position pos
+// and time t. Cells below the visibility floor (−140 dBm RSRP) are
+// omitted.
+func (e *RadioEnv) Snapshot(pos geo.Point, t float64) map[int]CellRadio {
+	holeLoss := func(freq float64) float64 {
+		loss := 0.0
+		for _, h := range e.Cfg.Holes {
+			if pos.X >= h.StartX && pos.X <= h.EndX && freq >= h.MinFreqHz {
+				loss += h.ExtraLossDB
+			}
+		}
+		return loss
+	}
+	out := make(map[int]CellRadio)
+	for _, c := range e.Dep.Cells {
+		d := pos.Distance(c.BS.Pos)
+		pl := e.Cfg.PathLoss.DB(d, c.FreqHz)
+		sh := e.shadow[c.BS.ID].At(pos.X) + e.cellShadow[c.ID].At(pos.X)
+		meanRSRP := c.TxPowerDBm - pl - sh - holeLoss(c.FreqHz)
+		if meanRSRP < -140 {
+			continue
+		}
+		fadeDB := dsp.DB(e.fadeSample(c.ID, c.FreqHz, t))
+		meanSNR := meanRSRP - e.Cfg.NoisePerREDBm - e.Cfg.InterfMarginDB
+
+		ici := ofdm.ICIPowerRatio(chanmodel.MaxDoppler(c.FreqHz, e.Cfg.SpeedMS), e.Cfg.SymbolT)
+		// ICI behaves as self-noise: SINR = S/(N + ici·S).
+		lin := dsp.FromDB(meanSNR + fadeDB)
+		sinr := lin / (1 + ici*lin)
+
+		out[c.ID] = CellRadio{
+			RSRP:  meanRSRP + fadeDB,
+			SNR:   dsp.DB(sinr),
+			DDSNR: meanSNR,
+		}
+	}
+	return out
+}
+
+// BestCell returns the cell with the strongest metric in a snapshot
+// (RSRP when byRSRP, otherwise DDSNR) and whether any cell qualifies
+// above the floor.
+func BestCell(snap map[int]CellRadio, byRSRP bool, floor float64) (int, float64, bool) {
+	bestID, bestV, found := 0, 0.0, false
+	// Deterministic tie-breaking by cell ID.
+	ids := make([]int, 0, len(snap))
+	for id := range snap {
+		ids = append(ids, id)
+	}
+	sortInts(ids)
+	for _, id := range ids {
+		v := snap[id].RSRP
+		if !byRSRP {
+			v = snap[id].DDSNR
+		}
+		if v < floor {
+			continue
+		}
+		if !found || v > bestV {
+			bestID, bestV, found = id, v, true
+		}
+	}
+	return bestID, bestV, found
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

@@ -1,0 +1,230 @@
+// Package rrc implements a compact radio-resource-control message
+// codec for the mobility signaling REM carries: measurement reports
+// (client → serving cell) and handover commands (serving cell →
+// client). Messages encode to bit slices (one bit per byte, matching
+// the PHY packages' convention) with fixed-width fields in the spirit
+// of 3GPP ASN.1 PER: no delimiters, every field a known width. The
+// codec is what the delay-Doppler overlay actually transports, so
+// message sizes — and therefore subgrid allocations — are real.
+package rrc
+
+import (
+	"fmt"
+	"math"
+)
+
+// MessageType discriminates the signaling messages.
+type MessageType int
+
+// Message types.
+const (
+	TypeMeasurementReport MessageType = 1
+	TypeHandoverCommand   MessageType = 2
+)
+
+// Field widths (bits).
+const (
+	typeBits   = 4
+	cellBits   = 16 // cell identity
+	metricBits = 10 // quantized measurement value
+	countBits  = 4  // entries per report (≤15)
+	seqBits    = 8  // transaction sequence number
+)
+
+// metric quantization: [-156, -28] dBm (RSRP) or [-64, 64] dB (SNR)
+// fit a 10-bit grid at 1/8 dB steps.
+const (
+	metricMinDB  = -156.0
+	metricStepDB = 0.125
+)
+
+// QuantizeMetric clamps and quantizes a dB(m) value to the codec grid.
+func QuantizeMetric(v float64) uint16 {
+	q := math.Round((v - metricMinDB) / metricStepDB)
+	if q < 0 {
+		q = 0
+	}
+	if q > (1<<metricBits)-1 {
+		q = (1 << metricBits) - 1
+	}
+	return uint16(q)
+}
+
+// DequantizeMetric inverts QuantizeMetric.
+func DequantizeMetric(q uint16) float64 {
+	return metricMinDB + float64(q)*metricStepDB
+}
+
+// MeasEntry is one cell's measurement inside a report.
+type MeasEntry struct {
+	CellID uint16
+	Value  float64 // dBm or dB; quantized on encode
+}
+
+// MeasurementReport is the client's feedback message (paper Fig. 1a,
+// "measurement feedback").
+type MeasurementReport struct {
+	Seq     uint8
+	Serving MeasEntry
+	Entries []MeasEntry
+}
+
+// HandoverCommand is the serving cell's execution message (paper
+// Fig. 1a, "handover to cell 1"). The configuration block mirrors the
+// RRCConnectionReconfiguration payload size: target identity plus an
+// opaque config of ConfigWords 16-bit words.
+type HandoverCommand struct {
+	Seq         uint8
+	TargetCell  uint16
+	ConfigWords []uint16
+}
+
+type bitWriter struct{ bits []byte }
+
+func (w *bitWriter) write(v uint64, n int) {
+	for i := n - 1; i >= 0; i-- {
+		w.bits = append(w.bits, byte(v>>uint(i)&1))
+	}
+}
+
+type bitReader struct {
+	bits []byte
+	pos  int
+}
+
+func (r *bitReader) read(n int) (uint64, error) {
+	if r.pos+n > len(r.bits) {
+		return 0, fmt.Errorf("rrc: truncated message (need %d bits at %d, have %d)", n, r.pos, len(r.bits))
+	}
+	var v uint64
+	for i := 0; i < n; i++ {
+		v = v<<1 | uint64(r.bits[r.pos]&1)
+		r.pos++
+	}
+	return v, nil
+}
+
+// Encode serializes the report to bits.
+func (m *MeasurementReport) Encode() ([]byte, error) {
+	if len(m.Entries) > (1<<countBits)-1 {
+		return nil, fmt.Errorf("rrc: %d entries exceed the %d-entry report limit", len(m.Entries), (1<<countBits)-1)
+	}
+	var w bitWriter
+	w.write(uint64(TypeMeasurementReport), typeBits)
+	w.write(uint64(m.Seq), seqBits)
+	w.write(uint64(m.Serving.CellID), cellBits)
+	w.write(uint64(QuantizeMetric(m.Serving.Value)), metricBits)
+	w.write(uint64(len(m.Entries)), countBits)
+	for _, e := range m.Entries {
+		w.write(uint64(e.CellID), cellBits)
+		w.write(uint64(QuantizeMetric(e.Value)), metricBits)
+	}
+	return w.bits, nil
+}
+
+// Encode serializes the command to bits.
+func (c *HandoverCommand) Encode() ([]byte, error) {
+	if len(c.ConfigWords) > (1<<seqBits)-1 {
+		return nil, fmt.Errorf("rrc: config too large (%d words)", len(c.ConfigWords))
+	}
+	var w bitWriter
+	w.write(uint64(TypeHandoverCommand), typeBits)
+	w.write(uint64(c.Seq), seqBits)
+	w.write(uint64(c.TargetCell), cellBits)
+	w.write(uint64(len(c.ConfigWords)), seqBits)
+	for _, cw := range c.ConfigWords {
+		w.write(uint64(cw), 16)
+	}
+	return w.bits, nil
+}
+
+// Decode parses any supported message from bits, returning one of
+// *MeasurementReport or *HandoverCommand.
+func Decode(bits []byte) (any, error) {
+	r := &bitReader{bits: bits}
+	tv, err := r.read(typeBits)
+	if err != nil {
+		return nil, err
+	}
+	switch MessageType(tv) {
+	case TypeMeasurementReport:
+		return decodeReport(r)
+	case TypeHandoverCommand:
+		return decodeCommand(r)
+	}
+	return nil, fmt.Errorf("rrc: unknown message type %d", tv)
+}
+
+func decodeReport(r *bitReader) (*MeasurementReport, error) {
+	var m MeasurementReport
+	seq, err := r.read(seqBits)
+	if err != nil {
+		return nil, err
+	}
+	m.Seq = uint8(seq)
+	cid, err := r.read(cellBits)
+	if err != nil {
+		return nil, err
+	}
+	val, err := r.read(metricBits)
+	if err != nil {
+		return nil, err
+	}
+	m.Serving = MeasEntry{CellID: uint16(cid), Value: DequantizeMetric(uint16(val))}
+	n, err := r.read(countBits)
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < n; i++ {
+		cid, err := r.read(cellBits)
+		if err != nil {
+			return nil, err
+		}
+		val, err := r.read(metricBits)
+		if err != nil {
+			return nil, err
+		}
+		m.Entries = append(m.Entries, MeasEntry{CellID: uint16(cid), Value: DequantizeMetric(uint16(val))})
+	}
+	return &m, nil
+}
+
+func decodeCommand(r *bitReader) (*HandoverCommand, error) {
+	var c HandoverCommand
+	seq, err := r.read(seqBits)
+	if err != nil {
+		return nil, err
+	}
+	c.Seq = uint8(seq)
+	tc, err := r.read(cellBits)
+	if err != nil {
+		return nil, err
+	}
+	c.TargetCell = uint16(tc)
+	n, err := r.read(seqBits)
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < n; i++ {
+		w, err := r.read(16)
+		if err != nil {
+			return nil, err
+		}
+		c.ConfigWords = append(c.ConfigWords, uint16(w))
+	}
+	return &c, nil
+}
+
+// ReportBits returns the encoded size of a report with n neighbor
+// entries — what the overlay's scheduler sizes subgrids against.
+func ReportBits(n int) int {
+	return typeBits + seqBits + cellBits + metricBits + countBits + n*(cellBits+metricBits)
+}
+
+// CommandBits returns the encoded size of a command with n config
+// words. A realistic RRCConnectionReconfiguration carries on the order
+// of 100–200 words, an order of magnitude more than a report — the
+// size asymmetry behind the paper's Fig. 2b downlink/uplink gap.
+func CommandBits(n int) int {
+	return typeBits + seqBits + cellBits + seqBits + 16*n
+}

@@ -1,0 +1,166 @@
+package rrc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rem/internal/sim"
+)
+
+func TestQuantizeMetricRoundTrip(t *testing.T) {
+	for _, v := range []float64{-140, -110.5, -100.125, -44, -30} {
+		q := QuantizeMetric(v)
+		back := DequantizeMetric(q)
+		if math.Abs(back-v) > metricStepDB/2+1e-9 {
+			t.Fatalf("quantize(%g) → %g: error beyond half step", v, back)
+		}
+	}
+	// Clamping at the edges.
+	if QuantizeMetric(-500) != 0 {
+		t.Fatal("below-range value should clamp to 0")
+	}
+	if QuantizeMetric(500) != (1<<metricBits)-1 {
+		t.Fatal("above-range value should clamp to max")
+	}
+}
+
+func TestMeasurementReportRoundTrip(t *testing.T) {
+	m := &MeasurementReport{
+		Seq:     42,
+		Serving: MeasEntry{CellID: 1001, Value: -101.5},
+		Entries: []MeasEntry{
+			{CellID: 1002, Value: -98.25},
+			{CellID: 2001, Value: -110},
+		},
+	}
+	bits, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bits) != ReportBits(2) {
+		t.Fatalf("encoded %d bits, want %d", len(bits), ReportBits(2))
+	}
+	got, err := Decode(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := got.(*MeasurementReport)
+	if !ok {
+		t.Fatalf("decoded %T", got)
+	}
+	if r.Seq != 42 || r.Serving.CellID != 1001 || len(r.Entries) != 2 {
+		t.Fatalf("round trip mismatch: %+v", r)
+	}
+	if math.Abs(r.Serving.Value-(-101.5)) > 1e-9 {
+		t.Fatalf("serving value %g", r.Serving.Value)
+	}
+	if r.Entries[1].CellID != 2001 || math.Abs(r.Entries[1].Value-(-110)) > 1e-9 {
+		t.Fatalf("entry mismatch: %+v", r.Entries[1])
+	}
+}
+
+func TestHandoverCommandRoundTrip(t *testing.T) {
+	c := &HandoverCommand{Seq: 7, TargetCell: 31337, ConfigWords: []uint16{1, 2, 65535}}
+	bits, err := c.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bits) != CommandBits(3) {
+		t.Fatalf("encoded %d bits, want %d", len(bits), CommandBits(3))
+	}
+	got, err := Decode(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, ok := got.(*HandoverCommand)
+	if !ok {
+		t.Fatalf("decoded %T", got)
+	}
+	if h.Seq != 7 || h.TargetCell != 31337 || len(h.ConfigWords) != 3 || h.ConfigWords[2] != 65535 {
+		t.Fatalf("round trip mismatch: %+v", h)
+	}
+}
+
+func TestEncodeLimits(t *testing.T) {
+	m := &MeasurementReport{Entries: make([]MeasEntry, 16)}
+	if _, err := m.Encode(); err == nil {
+		t.Fatal("16 entries should exceed the 4-bit count")
+	}
+	c := &HandoverCommand{ConfigWords: make([]uint16, 256)}
+	if _, err := c.Encode(); err == nil {
+		t.Fatal("256 config words should exceed the 8-bit count")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(nil); err == nil {
+		t.Fatal("empty input decoded")
+	}
+	// Unknown type.
+	if _, err := Decode([]byte{1, 1, 1, 1}); err == nil {
+		t.Fatal("unknown type decoded")
+	}
+	// Truncations at every prefix of a valid message must error, never
+	// panic.
+	m := &MeasurementReport{Serving: MeasEntry{CellID: 5, Value: -100},
+		Entries: []MeasEntry{{CellID: 9, Value: -90}}}
+	bits, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 1; n < len(bits); n++ {
+		if _, err := Decode(bits[:n]); err == nil {
+			t.Fatalf("truncation to %d bits decoded successfully", n)
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := sim.NewRNG(seed)
+		m := &MeasurementReport{
+			Seq:     uint8(rng.Intn(256)),
+			Serving: MeasEntry{CellID: uint16(rng.Intn(65536)), Value: rng.Uniform(-150, -40)},
+		}
+		for i := 0; i < rng.Intn(15); i++ {
+			m.Entries = append(m.Entries, MeasEntry{
+				CellID: uint16(rng.Intn(65536)), Value: rng.Uniform(-150, -40),
+			})
+		}
+		bits, err := m.Encode()
+		if err != nil {
+			return false
+		}
+		got, err := Decode(bits)
+		if err != nil {
+			return false
+		}
+		r := got.(*MeasurementReport)
+		if r.Seq != m.Seq || r.Serving.CellID != m.Serving.CellID || len(r.Entries) != len(m.Entries) {
+			return false
+		}
+		for i := range m.Entries {
+			if r.Entries[i].CellID != m.Entries[i].CellID {
+				return false
+			}
+			if math.Abs(r.Entries[i].Value-m.Entries[i].Value) > metricStepDB/2+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSizeAsymmetry(t *testing.T) {
+	// A realistic command dwarfs a realistic report — the Fig. 2b
+	// mechanism.
+	report := ReportBits(4)
+	command := CommandBits(128)
+	if command < 8*report {
+		t.Fatalf("command %d bits should be ≳8x report %d bits", command, report)
+	}
+}

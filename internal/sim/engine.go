@@ -1,0 +1,116 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a scheduled callback. Events with equal timestamps fire in
+// scheduling order (FIFO), which keeps replays deterministic.
+type Event struct {
+	At   float64 // simulated time in seconds
+	Name string  // for tracing/debugging
+	Fn   func()
+
+	seq   uint64
+	index int
+}
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].At != q[j].At {
+		return q[i].At < q[j].At
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is a minimal discrete-event simulator: schedule closures at
+// absolute or relative simulated times, then Run until the queue drains
+// or a horizon is reached.
+type Engine struct {
+	now   float64
+	queue eventQueue
+	seq   uint64
+}
+
+// NewEngine returns an engine with the clock at t = 0.
+func NewEngine() *Engine {
+	e := &Engine{}
+	heap.Init(&e.queue)
+	return e
+}
+
+// Now returns the current simulated time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// At schedules fn at the absolute simulated time t. Scheduling in the
+// past panics — it always indicates a modeling bug.
+func (e *Engine) At(t float64, name string, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling %q at %.9f before now %.9f", name, t, e.now))
+	}
+	ev := &Event{At: t, Name: name, Fn: fn, seq: e.seq}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After schedules fn delay seconds from now.
+func (e *Engine) After(delay float64, name string, fn func()) *Event {
+	return e.At(e.now+delay, name, fn)
+}
+
+// Cancel removes a pending event. Canceling an already-fired or
+// already-canceled event is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.index < 0 || ev.index >= len(e.queue) || e.queue[ev.index] != ev {
+		return
+	}
+	heap.Remove(&e.queue, ev.index)
+	ev.index = -1
+}
+
+// Run executes events in time order until the queue empties or the
+// clock would pass horizon (exclusive). It returns the number of events
+// fired.
+func (e *Engine) Run(horizon float64) int {
+	fired := 0
+	for len(e.queue) > 0 {
+		next := e.queue[0]
+		if next.At > horizon {
+			break
+		}
+		heap.Pop(&e.queue)
+		next.index = -1
+		e.now = next.At
+		next.Fn()
+		fired++
+	}
+	if e.now < horizon {
+		e.now = horizon
+	}
+	return fired
+}
+
+// Pending returns the number of events still queued.
+func (e *Engine) Pending() int { return len(e.queue) }

@@ -1,0 +1,232 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEngineOrdersEvents(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.At(2.0, "b", func() { order = append(order, "b") })
+	e.At(1.0, "a", func() { order = append(order, "a") })
+	e.At(3.0, "c", func() { order = append(order, "c") })
+	n := e.Run(10)
+	if n != 3 {
+		t.Fatalf("fired %d events, want 3", n)
+	}
+	if got := order[0] + order[1] + order[2]; got != "abc" {
+		t.Fatalf("order = %v", order)
+	}
+	if e.Now() != 10 {
+		t.Fatalf("clock = %g, want horizon 10", e.Now())
+	}
+}
+
+func TestEngineFIFOForTies(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		e.At(1.0, "tie", func() { order = append(order, i) })
+	}
+	e.Run(2)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie order = %v, want FIFO", order)
+		}
+	}
+}
+
+func TestEngineHorizonStopsEarly(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.At(5.0, "late", func() { fired = true })
+	e.Run(4.0)
+	if fired {
+		t.Fatal("event after horizon fired")
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", e.Pending())
+	}
+	e.Run(6.0)
+	if !fired {
+		t.Fatal("event not fired after extending horizon")
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.At(1.0, "x", func() { fired = true })
+	e.Cancel(ev)
+	e.Cancel(ev) // double cancel is a no-op
+	e.Run(5)
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+}
+
+func TestEngineScheduleDuringRun(t *testing.T) {
+	e := NewEngine()
+	var hits []float64
+	var tick func()
+	tick = func() {
+		hits = append(hits, e.Now())
+		if e.Now() < 0.5 {
+			e.After(0.1, "tick", tick)
+		}
+	}
+	e.At(0.1, "tick", tick)
+	e.Run(1.0)
+	if len(hits) != 5 {
+		t.Fatalf("hits = %v, want 5 ticks", hits)
+	}
+	for i, h := range hits {
+		if math.Abs(h-0.1*float64(i+1)) > 1e-9 {
+			t.Fatalf("tick %d at %g", i, h)
+		}
+	}
+}
+
+func TestEngineSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(1.0, "x", func() {})
+	e.Run(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic when scheduling in the past")
+		}
+	}()
+	e.At(0.5, "past", func() {})
+}
+
+func TestStreamsDeterministicAndIndependent(t *testing.T) {
+	s := NewStreams(42)
+	a1 := s.Stream("alpha")
+	a2 := s.Stream("alpha")
+	b := s.Stream("beta")
+	for i := 0; i < 100; i++ {
+		if a1.Float64() != a2.Float64() {
+			t.Fatal("same-name streams diverge")
+		}
+	}
+	// Different names should produce different sequences (overwhelmingly).
+	a3 := s.Stream("alpha")
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a3.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Fatalf("streams alpha and beta nearly identical (%d/100 equal)", same)
+	}
+}
+
+func TestRNGComplexNormVariance(t *testing.T) {
+	g := NewRNG(7)
+	const n = 20000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		c := g.ComplexNorm(2.0)
+		sum += real(c)*real(c) + imag(c)*imag(c)
+	}
+	mean := sum / n
+	if math.Abs(mean-2.0) > 0.1 {
+		t.Fatalf("ComplexNorm variance = %g, want ≈2", mean)
+	}
+}
+
+func TestRNGRayleighMean(t *testing.T) {
+	g := NewRNG(8)
+	const n = 20000
+	sigma := 1.5
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += g.Rayleigh(sigma)
+	}
+	want := sigma * math.Sqrt(math.Pi/2)
+	if math.Abs(sum/n-want) > 0.05 {
+		t.Fatalf("Rayleigh mean = %g, want ≈%g", sum/n, want)
+	}
+}
+
+func TestRNGBoolProbability(t *testing.T) {
+	g := NewRNG(9)
+	const n = 20000
+	hit := 0
+	for i := 0; i < n; i++ {
+		if g.Bool(0.3) {
+			hit++
+		}
+	}
+	p := float64(hit) / n
+	if math.Abs(p-0.3) > 0.02 {
+		t.Fatalf("Bool(0.3) frequency = %g", p)
+	}
+}
+
+func TestRNGBasicDistributions(t *testing.T) {
+	g := NewRNG(11)
+	// Intn bounds.
+	for i := 0; i < 1000; i++ {
+		if v := g.Intn(7); v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+	}
+	// Uniform bounds and mean.
+	var sum float64
+	for i := 0; i < 10000; i++ {
+		v := g.Uniform(2, 6)
+		if v < 2 || v >= 6 {
+			t.Fatalf("Uniform out of range: %g", v)
+		}
+		sum += v
+	}
+	if m := sum / 10000; math.Abs(m-4) > 0.1 {
+		t.Fatalf("Uniform mean %g", m)
+	}
+	// Gauss mean/std.
+	var gs []float64
+	for i := 0; i < 20000; i++ {
+		gs = append(gs, g.Gauss(5, 2))
+	}
+	var mean float64
+	for _, v := range gs {
+		mean += v
+	}
+	mean /= float64(len(gs))
+	if math.Abs(mean-5) > 0.1 {
+		t.Fatalf("Gauss mean %g", mean)
+	}
+	// Exp mean.
+	sum = 0
+	for i := 0; i < 20000; i++ {
+		sum += g.Exp(3)
+	}
+	if m := sum / 20000; math.Abs(m-3) > 0.15 {
+		t.Fatalf("Exp mean %g", m)
+	}
+	// Norm is standard normal.
+	sum = 0
+	for i := 0; i < 20000; i++ {
+		sum += g.Norm()
+	}
+	if m := sum / 20000; math.Abs(m) > 0.05 {
+		t.Fatalf("Norm mean %g", m)
+	}
+	// Perm is a permutation.
+	p := g.Perm(10)
+	seen := map[int]bool{}
+	for _, v := range p {
+		if v < 0 || v >= 10 || seen[v] {
+			t.Fatalf("Perm invalid: %v", p)
+		}
+		seen[v] = true
+	}
+	// Seed accessor.
+	if NewStreams(123).Seed() != 123 {
+		t.Fatal("Seed accessor wrong")
+	}
+}

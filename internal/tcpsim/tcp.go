@@ -1,0 +1,170 @@
+// Package tcpsim models TCP behaviour across radio outages for the
+// paper's application-level results (Fig. 9): during a network failure
+// the radio link is down and TCP retransmissions back off
+// exponentially, so the connection stalls for the outage duration plus
+// the residual wait until the next retransmission timer fires —
+// usually well past the moment radio connectivity returns.
+package tcpsim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Outage is a radio service interruption.
+type Outage struct {
+	Start    float64
+	Duration float64
+}
+
+// Config holds the TCP timer model.
+type Config struct {
+	// BaseRTOSec is the retransmission timeout when the loss begins
+	// (RTT-derived; default 0.2 s).
+	BaseRTOSec float64
+	// MaxRTOSec caps the exponential backoff (default 60 s, RFC 6298).
+	MaxRTOSec float64
+	// SlowStartSec is the post-recovery ramp to full throughput
+	// (default 1.5 s).
+	SlowStartSec float64
+	// RateMbps is the steady-state throughput (default 20).
+	RateMbps float64
+}
+
+// DefaultConfig returns LTE-flavored TCP parameters.
+func DefaultConfig() Config {
+	return Config{BaseRTOSec: 0.2, MaxRTOSec: 60, SlowStartSec: 1.5, RateMbps: 20}
+}
+
+func (c Config) normalized() Config {
+	if c.BaseRTOSec <= 0 {
+		c.BaseRTOSec = 0.2
+	}
+	if c.MaxRTOSec < c.BaseRTOSec {
+		c.MaxRTOSec = 60
+	}
+	if c.SlowStartSec <= 0 {
+		c.SlowStartSec = 1.5
+	}
+	if c.RateMbps <= 0 {
+		c.RateMbps = 20
+	}
+	return c
+}
+
+// Stall is one TCP stall event.
+type Stall struct {
+	Start    float64
+	Duration float64 // ≥ the radio outage duration
+	// FinalRTO is the backoff value reached when transfer resumed —
+	// the "TCP RTO ← 6.28s" annotation of Fig. 9b.
+	FinalRTO float64
+	// Retransmissions counts timer expirations during the stall.
+	Retransmissions int
+}
+
+// StallForOutage computes the TCP stall produced by one radio outage:
+// retransmissions fire at exponentially backed-off times from the
+// outage start; the first one after radio recovery succeeds and ends
+// the stall. The stall therefore overshoots the outage by up to one
+// RTO (paper §7.1: "TCP stalling time is usually longer than the
+// network failures because of its retransmission timeout").
+func StallForOutage(o Outage, cfg Config) Stall {
+	cfg = cfg.normalized()
+	if o.Duration <= 0 {
+		return Stall{Start: o.Start}
+	}
+	rto := cfg.BaseRTOSec
+	elapsed := 0.0
+	n := 0
+	for {
+		next := elapsed + rto
+		if next >= o.Duration {
+			// This retransmission lands after radio recovery and
+			// succeeds.
+			return Stall{Start: o.Start, Duration: next, FinalRTO: rto, Retransmissions: n + 1}
+		}
+		elapsed = next
+		n++
+		rto = math.Min(rto*2, cfg.MaxRTOSec)
+	}
+}
+
+// Summary aggregates a replay.
+type Summary struct {
+	Stalls        []Stall
+	TotalStallSec float64
+	MeanStallSec  float64
+}
+
+// Replay converts a set of radio outages into TCP stalls. Outages are
+// processed in start order; overlapping outages merge.
+func Replay(outages []Outage, cfg Config) Summary {
+	cfg = cfg.normalized()
+	merged := merge(outages)
+	var s Summary
+	for _, o := range merged {
+		st := StallForOutage(o, cfg)
+		s.Stalls = append(s.Stalls, st)
+		s.TotalStallSec += st.Duration
+	}
+	if len(s.Stalls) > 0 {
+		s.MeanStallSec = s.TotalStallSec / float64(len(s.Stalls))
+	}
+	return s
+}
+
+func merge(outages []Outage) []Outage {
+	if len(outages) == 0 {
+		return nil
+	}
+	os := append([]Outage(nil), outages...)
+	sort.Slice(os, func(i, j int) bool { return os[i].Start < os[j].Start })
+	out := []Outage{os[0]}
+	for _, o := range os[1:] {
+		last := &out[len(out)-1]
+		if o.Start <= last.Start+last.Duration {
+			end := math.Max(last.Start+last.Duration, o.Start+o.Duration)
+			last.Duration = end - last.Start
+			continue
+		}
+		out = append(out, o)
+	}
+	return out
+}
+
+// TracePoint is one sample of the Fig. 9b style throughput timeline.
+type TracePoint struct {
+	Time float64
+	Mbps float64
+}
+
+// ThroughputTrace renders the throughput timeline over [0, horizon)
+// with the given sample period, applying stalls (zero throughput) and
+// slow-start ramps after each stall.
+func ThroughputTrace(stalls []Stall, horizon, dt float64, cfg Config) ([]TracePoint, error) {
+	cfg = cfg.normalized()
+	if dt <= 0 || horizon <= 0 {
+		return nil, fmt.Errorf("tcpsim: invalid trace params horizon=%g dt=%g", horizon, dt)
+	}
+	var out []TracePoint
+	for t := 0.0; t < horizon; t += dt {
+		rate := cfg.RateMbps
+		for _, s := range stalls {
+			end := s.Start + s.Duration
+			switch {
+			case t >= s.Start && t < end:
+				rate = 0
+			case t >= end && t < end+cfg.SlowStartSec:
+				// Linear ramp approximating slow start recovery.
+				r := cfg.RateMbps * (t - end) / cfg.SlowStartSec
+				if r < rate {
+					rate = r
+				}
+			}
+		}
+		out = append(out, TracePoint{Time: t, Mbps: rate})
+	}
+	return out, nil
+}

@@ -1,0 +1,124 @@
+package tcpsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestStallForOutageExceedsOutage(t *testing.T) {
+	cfg := DefaultConfig()
+	f := func(seed int64) bool {
+		d := math.Abs(float64(seed%1000))/100 + 0.01 // 0.01..10.01 s
+		st := StallForOutage(Outage{Start: 5, Duration: d}, cfg)
+		// Stall covers the outage and overshoots by at most one RTO.
+		return st.Duration >= d && st.Duration <= d+st.FinalRTO+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStallBackoffDoubles(t *testing.T) {
+	cfg := DefaultConfig()
+	// 2 s outage with 0.2 s base RTO: retransmissions at 0.2, 0.6,
+	// 1.4, 3.0 — the 4th (RTO 1.6) lands past 2 s and succeeds.
+	st := StallForOutage(Outage{Duration: 2}, cfg)
+	if st.Retransmissions != 4 {
+		t.Fatalf("retransmissions = %d, want 4", st.Retransmissions)
+	}
+	if math.Abs(st.Duration-3.0) > 1e-9 {
+		t.Fatalf("stall = %g, want 3.0", st.Duration)
+	}
+	if math.Abs(st.FinalRTO-1.6) > 1e-9 {
+		t.Fatalf("final RTO = %g, want 1.6", st.FinalRTO)
+	}
+}
+
+func TestStallRTOCap(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxRTOSec = 1.0
+	st := StallForOutage(Outage{Duration: 10}, cfg)
+	if st.FinalRTO > 1.0 {
+		t.Fatalf("RTO %g exceeded cap", st.FinalRTO)
+	}
+}
+
+func TestStallZeroOutage(t *testing.T) {
+	st := StallForOutage(Outage{Start: 3, Duration: 0}, DefaultConfig())
+	if st.Duration != 0 || st.Retransmissions != 0 {
+		t.Fatalf("zero outage produced stall %+v", st)
+	}
+}
+
+func TestReplayMergesOverlaps(t *testing.T) {
+	s := Replay([]Outage{
+		{Start: 0, Duration: 1},
+		{Start: 0.5, Duration: 1}, // overlaps the first
+		{Start: 10, Duration: 0.3},
+	}, DefaultConfig())
+	if len(s.Stalls) != 2 {
+		t.Fatalf("stalls = %d, want 2 after merging", len(s.Stalls))
+	}
+	if s.Stalls[0].Duration < 1.5 {
+		t.Fatalf("merged stall %g should cover 1.5 s outage", s.Stalls[0].Duration)
+	}
+	if s.TotalStallSec <= 0 || s.MeanStallSec <= 0 {
+		t.Fatal("summary totals missing")
+	}
+	if empty := Replay(nil, DefaultConfig()); len(empty.Stalls) != 0 || empty.MeanStallSec != 0 {
+		t.Fatal("empty replay should be empty")
+	}
+}
+
+func TestLongerOutagesLongerStalls(t *testing.T) {
+	// Monotonicity: mean stall grows with outage duration — the
+	// mechanism behind REM's Fig. 9a win (fewer/shorter outages).
+	cfg := DefaultConfig()
+	a := Replay([]Outage{{0, 1}, {20, 1}, {40, 1}}, cfg)
+	b := Replay([]Outage{{0, 3}, {20, 3}, {40, 3}}, cfg)
+	if b.MeanStallSec <= a.MeanStallSec {
+		t.Fatalf("mean stall %g for 3 s outages ≤ %g for 1 s", b.MeanStallSec, a.MeanStallSec)
+	}
+}
+
+func TestThroughputTrace(t *testing.T) {
+	cfg := DefaultConfig()
+	stalls := []Stall{{Start: 2, Duration: 3}}
+	tr, err := ThroughputTrace(stalls, 10, 0.1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := func(tt float64) float64 {
+		for _, p := range tr {
+			if math.Abs(p.Time-tt) < 0.0501 {
+				return p.Mbps
+			}
+		}
+		t.Fatalf("no sample near %g", tt)
+		return 0
+	}
+	if at(1.0) != cfg.RateMbps {
+		t.Fatal("pre-stall throughput should be full")
+	}
+	if at(3.0) != 0 {
+		t.Fatal("mid-stall throughput should be zero")
+	}
+	post := at(5.6) // 0.6 s into the 1.5 s slow-start ramp
+	if post <= 0 || post >= cfg.RateMbps {
+		t.Fatalf("ramp throughput = %g, want between 0 and %g", post, cfg.RateMbps)
+	}
+	if at(9.0) != cfg.RateMbps {
+		t.Fatal("recovered throughput should be full")
+	}
+	if _, err := ThroughputTrace(nil, 0, 0.1, cfg); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+}
+
+func TestConfigNormalization(t *testing.T) {
+	st := StallForOutage(Outage{Duration: 1}, Config{})
+	if st.Duration <= 1 {
+		t.Fatal("zero config should normalize to defaults and still work")
+	}
+}

@@ -1,0 +1,229 @@
+// Package trace synthesizes the operational datasets of paper Table 4
+// and turns them into runnable scenarios. The originals (fine-grained
+// Beijing–Taiyuan HSR, coarse-grained Beijing–Shanghai HSR, Los
+// Angeles low-mobility drives) are proprietary; the generators here
+// are calibrated to every statistic the paper publishes about them —
+// speed ranges, carrier frequencies and bandwidths, cell/base-station
+// counts and co-siting, RSRP/SNR spans, handover cadence, policy mix
+// (proactive intra-frequency A3, multi-stage inter-frequency rules,
+// load-balancing pairs) — so that replays exercise the same mobility
+// decision paths (see DESIGN.md "Substitutions").
+package trace
+
+import (
+	"fmt"
+
+	"rem/internal/ran"
+)
+
+// DatasetID identifies one of the three synthesized datasets.
+type DatasetID int
+
+// Dataset identifiers, mirroring Table 4's columns.
+const (
+	LowMobility DatasetID = iota
+	BeijingTaiyuan
+	BeijingShanghai
+)
+
+// String names the dataset.
+func (d DatasetID) String() string {
+	switch d {
+	case LowMobility:
+		return "low-mobility-LA"
+	case BeijingTaiyuan:
+		return "beijing-taiyuan"
+	case BeijingShanghai:
+		return "beijing-shanghai"
+	}
+	return fmt.Sprintf("DatasetID(%d)", int(d))
+}
+
+// PolicyMix controls the synthesized operator policy population.
+type PolicyMix struct {
+	// ProactiveFrac is the fraction of cells configured with a
+	// proactive (negative-offset) intra-frequency A3 — the operators'
+	// failure-mitigation practice that amplifies conflicts in extreme
+	// mobility (paper §3.2, Fig. 4).
+	ProactiveFrac float64
+	// ProactiveOffsets are the candidate negative Δ_A3 values.
+	ProactiveOffsets []float64
+	// NormalOffset is the default intra-frequency Δ_A3.
+	NormalOffset float64
+	// LoadBalanceFrac is the fraction of co-sited pairs with Fig. 3
+	// style conflicting load-balancing rules (A4 one way, A5 back).
+	LoadBalanceFrac float64
+	// IntraTTTSec / InterTTTChoices mirror the operator configurations
+	// in §3.1 (intra 40–80 ms; inter 128–640 ms).
+	IntraTTTSec     float64
+	InterTTTChoices []float64
+	// HystDB is the hysteresis applied to every generated rule.
+	HystDB float64
+	// A2Thresh gates inter-frequency measurement (multi-stage).
+	A2Thresh float64
+	// A4Thresh / A5T1 / A5T2 are the staged inter-frequency rules.
+	A4Thresh float64
+	A5T1     float64
+	A5T2     float64
+}
+
+// Dataset describes one synthesized dataset.
+type Dataset struct {
+	ID        DatasetID
+	Name      string
+	RouteKm   float64
+	Operators []string
+	// SpeedBucketsKmh are the evaluation speed buckets (Table 2/5).
+	SpeedBucketsKmh [][2]float64
+	Bands           []ran.BandConfig
+	SiteSpacingM    float64
+	SiteOffsetM     float64
+	CoSitedProb     float64
+	Mix             PolicyMix
+	// HoleEveryM is the average spacing of coverage holes (tunnels,
+	// cuttings) along the route; 0 disables them.
+	HoleEveryM float64
+	// AlternateAnchor marks HSR-style frequency planning: adjacent
+	// sites anchor on different bands, so boundary handovers are
+	// inter-frequency (urban drive networks overlap instead).
+	AlternateAnchor bool
+	// NRMu selects the 5G NR numerology µ (subcarrier spacing
+	// 15·2^µ kHz) for the radio model; 0 keeps the LTE numerology,
+	// which is identical to NR µ=0.
+	NRMu int
+	// BlockageEveryM adds frequency-selective mmWave blockages
+	// (≥10 GHz only, ~18 dB, 30–80 m long) with this average spacing;
+	// 0 disables them. Only meaningful with a mmWave band.
+	BlockageEveryM float64
+	// FineGrained marks datasets with full PHY-layer channel metrics
+	// (the Beijing–Shanghai set only carries RRC + RSRP/RSRQ; the
+	// paper therefore cannot score missed cells on it — neither do we).
+	FineGrained bool
+}
+
+// Describe returns the three calibrated datasets.
+func Describe(id DatasetID) Dataset {
+	switch id {
+	case LowMobility:
+		return Dataset{
+			ID: id, Name: "Los Angeles low-mobility (driving)",
+			RouteKm:         619,
+			Operators:       []string{"AT&T", "T-Mobile", "Verizon", "Sprint"},
+			SpeedBucketsKmh: [][2]float64{{0, 100}},
+			Bands: []ran.BandConfig{
+				{Channel: 5230, FreqHz: 0.7315e9, BandwidthMHz: 10, TxPowerDBm: 18},
+				{Channel: 2175, FreqHz: 2.1325e9, BandwidthMHz: 20, TxPowerDBm: 18},
+				{Channel: 66986, FreqHz: 2.6486e9, BandwidthMHz: 20, TxPowerDBm: 18},
+			},
+			SiteSpacingM: 1700, SiteOffsetM: 260, CoSitedProb: 0.55,
+			HoleEveryM: 70000, AlternateAnchor: true,
+			Mix: PolicyMix{
+				ProactiveFrac:    0.0, // no proactive policies at low mobility
+				ProactiveOffsets: []float64{-2},
+				NormalOffset:     3,
+				LoadBalanceFrac:  0.02, // rare, but the only conflicts at low mobility (Table 2)
+				IntraTTTSec:      0.24,
+				InterTTTChoices:  []float64{0.32, 0.64},
+				HystDB:           1.0,
+				A2Thresh:         -106, A4Thresh: -106, A5T1: -110, A5T2: -104,
+			},
+			FineGrained: true,
+		}
+	case BeijingTaiyuan:
+		return Dataset{
+			ID: id, Name: "Beijing–Taiyuan HSR (fine-grained)",
+			RouteKm:         1136,
+			Operators:       []string{"China Telecom"},
+			SpeedBucketsKmh: [][2]float64{{200, 300}},
+			Bands: []ran.BandConfig{
+				{Channel: 1825, FreqHz: 1.8571e9, BandwidthMHz: 20, TxPowerDBm: 18},
+				{Channel: 2452, FreqHz: 2.12e9, BandwidthMHz: 15, TxPowerDBm: 18},
+				{Channel: 100, FreqHz: 0.8742e9, BandwidthMHz: 10, TxPowerDBm: 12},
+			},
+			SiteSpacingM: 1550, SiteOffsetM: 150, CoSitedProb: 0.55,
+			HoleEveryM: 36000, AlternateAnchor: true,
+			Mix: PolicyMix{
+				ProactiveFrac:    0.50, // A3-A3 conflicts dominate: 92.8% (Table 3)
+				ProactiveOffsets: []float64{-3, -2, -1},
+				NormalOffset:     3,
+				LoadBalanceFrac:  0.03,
+				IntraTTTSec:      0.04,
+				InterTTTChoices:  []float64{0.256, 0.32, 0.64, 0.64, 0.64},
+				HystDB:           1.5,
+				A2Thresh:         -104, A4Thresh: -102, A5T1: -110, A5T2: -102,
+			},
+			FineGrained: true,
+		}
+	case BeijingShanghai:
+		return Dataset{
+			ID: id, Name: "Beijing–Shanghai HSR (coarse-grained)",
+			RouteKm:         51367,
+			Operators:       []string{"China Mobile", "China Telecom"},
+			SpeedBucketsKmh: [][2]float64{{100, 200}, {200, 300}, {300, 350}},
+			Bands: []ran.BandConfig{
+				{Channel: 1840, FreqHz: 1.835e9, BandwidthMHz: 20, TxPowerDBm: 18},
+				{Channel: 38400, FreqHz: 2.665e9, BandwidthMHz: 15, TxPowerDBm: 18},
+				{Channel: 1300, FreqHz: 2.37e9, BandwidthMHz: 10, TxPowerDBm: 18},
+			},
+			SiteSpacingM: 1500, SiteOffsetM: 140, CoSitedProb: 0.52,
+			HoleEveryM: 36000, AlternateAnchor: true,
+			Mix: PolicyMix{
+				ProactiveFrac:    0.35, // A3-A3 at 55.9% of conflicts (Table 3)
+				ProactiveOffsets: []float64{-3, -2, -1},
+				NormalOffset:     3,
+				LoadBalanceFrac:  0.06, // A4-A5/A4-A4 conflict mix (Table 3)
+				IntraTTTSec:      0.04,
+				InterTTTChoices:  []float64{0.256, 0.32, 0.64, 0.64, 0.64},
+				HystDB:           1.5,
+				A2Thresh:         -104, A4Thresh: -102, A5T1: -110, A5T2: -102,
+			},
+			FineGrained: false,
+		}
+	}
+	panic(fmt.Sprintf("trace: unknown dataset %d", int(id)))
+}
+
+// Describe5G returns the §3.4 projection: a 5G NR deployment with
+// dense small cells under sub-6 GHz + 28 GHz mmWave carriers and µ=3
+// numerology (120 kHz subcarriers — NR's mmWave configuration, which
+// also shrinks the symbol time and keeps Doppler ICI tractable).
+// Handovers become far more frequent and the mmWave carrier far more
+// Doppler-stressed, which is exactly why the paper argues 5G needs
+// REM even more than LTE does.
+func Describe5G() Dataset {
+	return Dataset{
+		ID: BeijingShanghai, Name: "5G NR HSR projection (sub-6GHz + mmWave small cells)",
+		RouteKm:         1318,
+		Operators:       []string{"projection"},
+		SpeedBucketsKmh: [][2]float64{{300, 350}},
+		Bands: []ran.BandConfig{
+			{Channel: 620000, FreqHz: 3.5e9, BandwidthMHz: 20, TxPowerDBm: 18},
+			{Channel: 2070833, FreqHz: 28e9, BandwidthMHz: 20, TxPowerDBm: 30},
+		},
+		SiteSpacingM: 700, SiteOffsetM: 60, CoSitedProb: 0.6,
+		HoleEveryM: 36000, AlternateAnchor: true,
+		NRMu: 3, BlockageEveryM: 1200,
+		Mix: PolicyMix{
+			ProactiveFrac:    0.5,
+			ProactiveOffsets: []float64{-3, -2, -1},
+			NormalOffset:     3,
+			LoadBalanceFrac:  0.1,
+			IntraTTTSec:      0.04,
+			InterTTTChoices:  []float64{0.256, 0.32, 0.64, 0.64, 0.64},
+			HystDB:           1.5,
+			A2Thresh:         -104, A4Thresh: -102, A5T1: -110, A5T2: -102,
+		},
+		FineGrained: true,
+	}
+}
+
+// All returns the three dataset descriptors.
+func All() []Dataset {
+	return []Dataset{Describe(LowMobility), Describe(BeijingTaiyuan), Describe(BeijingShanghai)}
+}
+
+// BucketSpeedKmh returns a representative speed for a bucket (its
+// 3/4 point, where most cruising happens).
+func BucketSpeedKmh(bucket [2]float64) float64 {
+	return bucket[0] + 0.75*(bucket[1]-bucket[0])
+}

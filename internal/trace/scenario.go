@@ -1,0 +1,330 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+
+	"rem/internal/chanmodel"
+	"rem/internal/geo"
+	"rem/internal/mobility"
+	"rem/internal/ofdm"
+	"rem/internal/policy"
+	"rem/internal/ran"
+	"rem/internal/sim"
+)
+
+// Mode selects the mobility management under test.
+type Mode int
+
+// Modes.
+const (
+	// Legacy is today's wireless-signal-strength-based 4G/5G stack.
+	Legacy Mode = iota
+	// REM is the full system: OTFS signaling overlay + cross-band
+	// estimation + simplified conflict-free policy.
+	REM
+	// REMNoCrossBand ablates §5.2 (keeps OTFS signaling and the
+	// simplified policy, but measures every cell directly).
+	REMNoCrossBand
+	// LegacyFixedPolicy is the Fig. 15 sanity arm: legacy signaling
+	// and measurement, but proactive conflict-prone thresholds
+	// repaired per Theorem 2.
+	LegacyFixedPolicy
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case Legacy:
+		return "legacy"
+	case REM:
+		return "rem"
+	case REMNoCrossBand:
+		return "rem-no-crossband"
+	case LegacyFixedPolicy:
+		return "legacy-fixed-policy"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// BuildConfig selects dataset, speed, mode and length of a run.
+type BuildConfig struct {
+	Dataset  Dataset
+	SpeedKmh float64
+	Mode     Mode
+	Duration float64 // seconds of travel
+	Seed     int64
+}
+
+// Built is a ready-to-run scenario plus the artifacts the evaluation
+// inspects (policies, coverage graph, deployment).
+type Built struct {
+	Scenario *mobility.Scenario
+	Streams  *sim.Streams
+	Policies map[int]*policy.Policy
+	Coverage *policy.CoverageGraph
+	Channels map[int]int
+}
+
+// Build assembles a scenario: deployment sized to the travel duration,
+// per-cell operator policies drawn from the dataset's mix, coverage
+// graph, radio environment and signaling transport for the mode.
+func Build(cfg BuildConfig) (*Built, error) {
+	if cfg.Duration <= 0 {
+		return nil, fmt.Errorf("trace: non-positive duration")
+	}
+	if cfg.SpeedKmh <= 0 {
+		return nil, fmt.Errorf("trace: non-positive speed")
+	}
+	ds := cfg.Dataset
+	streams := sim.NewStreams(cfg.Seed)
+	speed := chanmodel.KmhToMs(cfg.SpeedKmh)
+
+	trackLen := speed*cfg.Duration + 4*ds.SiteSpacingM
+	dep, err := ran.NewLinearDeployment(streams.Stream("deploy"), ran.DeploymentConfig{
+		Plan: geo.SitePlan{
+			TrackLenM: trackLen, SpacingM: ds.SiteSpacingM,
+			OffsetM: ds.SiteOffsetM, Alternating: true,
+		},
+		Bands:           ds.Bands,
+		CoSitedProb:     ds.CoSitedProb,
+		PosJitterM:      0.3 * ds.SiteSpacingM,
+		PowerJitterDB:   4,
+		AlternateAnchor: ds.AlternateAnchor,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	policies := GeneratePolicies(streams.Stream("policies"), dep, ds.Mix)
+	coverage := BuildCoverage(dep)
+	channels := make(map[int]int, len(dep.Cells))
+	for _, c := range dep.Cells {
+		channels[c.ID] = c.Channel
+	}
+
+	measCfg := ran.DefaultLegacyMeasConfig()
+	// RSRP measurement error grows with speed (coherence time ∝ 1/v).
+	measCfg.MeasNoiseStdDB = 0.5 + speed/30
+	otfs := false
+	switch cfg.Mode {
+	case Legacy:
+		// as-is
+	case LegacyFixedPolicy:
+		// Repair the A3 offsets in place per Theorem 2 (Fig. 15),
+		// leaving everything else legacy.
+		tab := policy.BuildOffsetTable(policies, channels, coverage)
+		policy.EnforceTheorem2(tab, coverage)
+		attachPairOffsets(policies, tab)
+	case REM, REMNoCrossBand:
+		simp := make(map[int]*policy.Policy, len(policies))
+		coSited := func(a, b int) bool { return dep.CoSited(a, b) }
+		for id, p := range policies {
+			simp[id] = policy.Simplify(p, policy.SimplifyConfig{CoSited: coSited, MinHystDB: 2})
+		}
+		// Enforce over the complete cell graph: Theorem 2 must hold for
+		// ANY pair a client could oscillate between, however unlikely.
+		complete := policy.NewCoverageGraph()
+		for _, a := range dep.Cells {
+			for _, b := range dep.Cells {
+				if a.ID < b.ID {
+					complete.AddOverlap(a.ID, b.ID)
+				}
+			}
+		}
+		tab := policy.BuildOffsetTable(simp, channels, complete)
+		policy.EnforceTheorem2(tab, complete)
+		attachPairOffsets(simp, tab)
+		policies = simp
+		measCfg = ran.DefaultREMMeasConfig()
+		if cfg.Mode == REMNoCrossBand {
+			// Without cross-band estimation the client must scan
+			// inter-frequency cells the hard way: always-on gaps
+			// (the simplified policy has no A2 gate to arm them).
+			measCfg.CrossBand = false
+			measCfg.AlwaysGaps = true
+		}
+		otfs = true
+	default:
+		return nil, fmt.Errorf("trace: unknown mode %v", cfg.Mode)
+	}
+
+	radioCfg := ran.DefaultRadioConfig(speed)
+	if ds.NRMu > 0 {
+		num, err := ofdm.NR(ds.NRMu)
+		if err != nil {
+			return nil, err
+		}
+		radioCfg.SymbolT = num.SymbolT
+	}
+	radioCfg.Holes = generateHoles(streams.Stream("holes"), trackLen, ds.HoleEveryM)
+	radioCfg.Holes = append(radioCfg.Holes,
+		generateBlockages(streams.Stream("blockages"), trackLen, ds.BlockageEveryM)...)
+	env := ran.NewRadioEnv(dep, radioCfg, streams)
+	link := ran.NewLinkModel(streams.Stream("link"), ran.DefaultLinkConfig())
+
+	sc := &mobility.Scenario{
+		Dep:           dep,
+		Env:           env,
+		Policies:      policies,
+		Link:          link,
+		MeasCfg:       measCfg,
+		Traj:          geo.Trajectory{SpeedMS: speed, StartX: ds.SiteSpacingM / 2},
+		Cfg:           mobility.DefaultConfig(),
+		OTFSSignaling: otfs,
+		Duration:      cfg.Duration,
+	}
+	return &Built{
+		Scenario: sc, Streams: streams,
+		Policies: policies, Coverage: coverage, Channels: channels,
+	}, nil
+}
+
+// GeneratePolicies draws one operator policy per cell from the
+// dataset's policy mix: a (possibly proactive) intra-frequency A3, an
+// A2-gated multi-stage block with per-foreign-channel A4/A5 rules, and
+// Fig. 3 style load-balancing pairs on a fraction of co-sited pairs.
+func GeneratePolicies(rng *sim.RNG, dep *ran.Deployment, mix PolicyMix) map[int]*policy.Policy {
+	channels := dep.Channels()
+	out := make(map[int]*policy.Policy, len(dep.Cells))
+	for _, c := range dep.Cells {
+		p := &policy.Policy{CellID: c.ID, Channel: c.Channel}
+		// Intra-frequency A3.
+		offset := mix.NormalOffset
+		if rng.Bool(mix.ProactiveFrac) && len(mix.ProactiveOffsets) > 0 {
+			offset = mix.ProactiveOffsets[rng.Intn(len(mix.ProactiveOffsets))]
+		}
+		p.Rules = append(p.Rules, policy.Rule{
+			Type: policy.A3, OffsetDB: offset, HystDB: mix.HystDB,
+			TTTSec: mix.IntraTTTSec, TargetChannel: c.Channel,
+		})
+		// Multi-stage inter-frequency block.
+		p.Rules = append(p.Rules, policy.Rule{
+			Type: policy.A2, ServThresh: mix.A2Thresh, HystDB: mix.HystDB, TTTSec: mix.IntraTTTSec,
+		})
+		for _, ch := range channels {
+			if ch == c.Channel {
+				continue
+			}
+			ttt := mix.InterTTTChoices[rng.Intn(len(mix.InterTTTChoices))]
+			if rng.Bool(0.5) {
+				p.Rules = append(p.Rules, policy.Rule{
+					Type: policy.A4, NeighThresh: mix.A4Thresh, HystDB: mix.HystDB,
+					TTTSec: ttt, TargetChannel: ch, Stage: 1,
+				})
+			} else {
+				p.Rules = append(p.Rules, policy.Rule{
+					Type: policy.A5, ServThresh: mix.A5T1, NeighThresh: mix.A5T2,
+					HystDB: mix.HystDB, TTTSec: ttt, TargetChannel: ch, Stage: 1,
+				})
+			}
+		}
+		out[c.ID] = p
+	}
+	// Load-balancing conflict pairs on co-sited cells (Fig. 3): the
+	// wide cell pulls aggressively (stand-alone A4), the narrow cell
+	// pushes back with an A5.
+	for _, bs := range dep.BSs {
+		if len(bs.Cells) < 2 || !rng.Bool(mix.LoadBalanceFrac) {
+			continue
+		}
+		a, b := bs.Cells[0], bs.Cells[1]
+		// Wider bandwidth attracts traffic.
+		if b.BandwidthMHz > a.BandwidthMHz {
+			a, b = b, a
+		}
+		out[b.ID].Rules = append(out[b.ID].Rules, policy.Rule{
+			Type: policy.A4, NeighThresh: -106, HystDB: mix.HystDB,
+			TTTSec: mix.IntraTTTSec, TargetChannel: a.Channel,
+		})
+		out[a.ID].Rules = append(out[a.ID].Rules, policy.Rule{
+			Type: policy.A5, ServThresh: -96, NeighThresh: -98, HystDB: mix.HystDB,
+			TTTSec: mix.IntraTTTSec, TargetChannel: b.Channel,
+		})
+	}
+	return out
+}
+
+// generateBlockages scatters mmWave-only blockages (trackside
+// obstacles that sub-6 GHz diffracts around but 28 GHz does not).
+func generateBlockages(rng *sim.RNG, trackLen, everyM float64) []ran.Hole {
+	if everyM <= 0 {
+		return nil
+	}
+	var out []ran.Hole
+	x := rng.Exp(everyM)
+	for x < trackLen {
+		length := rng.Uniform(30, 80)
+		out = append(out, ran.Hole{
+			StartX: x, EndX: x + length,
+			ExtraLossDB: 18, MinFreqHz: 10e9,
+		})
+		x += length + rng.Exp(everyM)
+	}
+	return out
+}
+
+// attachPairOffsets hands each policy its row of the enforced
+// Δ^{i→j} table so the measurement engine regulates every cell pair
+// individually (Theorem 2 operates on pairs, not channels).
+func attachPairOffsets(policies map[int]*policy.Policy, tab policy.OffsetTable) {
+	for id, p := range policies {
+		row := tab[id]
+		if len(row) == 0 {
+			continue
+		}
+		p.PairOffsets = make(map[int]float64, len(row))
+		for j, d := range row {
+			p.PairOffsets[j] = d
+		}
+	}
+}
+
+// generateHoles scatters coverage holes (tunnels, cuttings) along the
+// track with exponential spacing around everyM and 80–200 m lengths.
+func generateHoles(rng *sim.RNG, trackLen, everyM float64) []ran.Hole {
+	if everyM <= 0 {
+		return nil
+	}
+	var out []ran.Hole
+	x := rng.Exp(everyM)
+	for x < trackLen {
+		length := rng.Uniform(80, 200)
+		out = append(out, ran.Hole{StartX: x, EndX: x + length, ExtraLossDB: 30})
+		x += length + rng.Exp(everyM)
+	}
+	return out
+}
+
+// BuildCoverage links cells that can plausibly co-cover: same site or
+// sites within 2.5 spacings (jittered deployments and shadowing let a
+// client occasionally reach a cell two sites away, and every such pair
+// must be under Theorem 2 regulation).
+func BuildCoverage(dep *ran.Deployment) *policy.CoverageGraph {
+	g := policy.NewCoverageGraph()
+	spacing := math.Inf(1)
+	for i := 1; i < len(dep.BSs); i++ {
+		d := dep.BSs[i].Pos.Distance(dep.BSs[i-1].Pos)
+		if d < spacing {
+			spacing = d
+		}
+	}
+	for _, a := range dep.Cells {
+		for _, b := range dep.Cells {
+			if a.ID >= b.ID {
+				continue
+			}
+			if a.BS == b.BS || a.BS.Pos.Distance(b.BS.Pos) <= 2.5*spacing {
+				g.AddOverlap(a.ID, b.ID)
+			}
+		}
+	}
+	return g
+}
+
+// SignalingOverheadEstimate approximates the per-run signaling volume
+// (Table 4's "# signaling messages"): measurement reports plus
+// handover commands and their RRC envelopes.
+func SignalingOverheadEstimate(res *mobility.Result) int {
+	return res.ReportsDelivered + res.ReportsLost + res.CmdsDelivered + res.CmdsLost + 4*len(res.Handovers)
+}

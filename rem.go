@@ -1,0 +1,257 @@
+package rem
+
+import (
+	"rem/internal/chanmodel"
+	"rem/internal/crossband"
+	"rem/internal/dsp"
+	"rem/internal/eval"
+	"rem/internal/geo"
+	"rem/internal/locate"
+	"rem/internal/mobility"
+	"rem/internal/otfs"
+	"rem/internal/policy"
+	"rem/internal/rrc"
+	"rem/internal/tcpsim"
+	"rem/internal/trace"
+)
+
+// Re-exported core types. The internal packages remain the
+// implementation; this facade is the supported API surface.
+type (
+	// Dataset describes one synthesized operational dataset (Table 4).
+	Dataset = trace.Dataset
+	// DatasetID selects a dataset.
+	DatasetID = trace.DatasetID
+	// Mode selects the mobility management under test.
+	Mode = trace.Mode
+	// Built is an assembled, ready-to-run scenario.
+	Built = trace.Built
+	// Result aggregates a mobility replay.
+	Result = mobility.Result
+	// FailureCause classifies a network failure (Table 2 taxonomy).
+	FailureCause = mobility.FailureCause
+	// Policy is one cell's handover policy.
+	Policy = policy.Policy
+	// Rule is one measurement-event rule (Table 1).
+	Rule = policy.Rule
+	// EventType is a 3GPP measurement event (A1–A5).
+	EventType = policy.EventType
+	// OffsetTable is the Δ^{i→j} table of Theorem 2.
+	OffsetTable = policy.OffsetTable
+	// Violation is a Theorem 2 breach.
+	Violation = policy.Violation
+	// Conflict is a detected two-cell policy conflict (Table 3).
+	Conflict = policy.Conflict
+	// Channel is a sparse delay-Doppler multipath channel (Eq. 1).
+	Channel = chanmodel.Channel
+	// Path is one propagation path.
+	Path = chanmodel.Path
+	// CrossBandEstimator runs Algorithm 1.
+	CrossBandEstimator = crossband.Estimator
+	// DDMatrix is a sampled delay-Doppler channel matrix (paper Eq. 6).
+	DDMatrix = dsp.Matrix
+	// CrossBandConfig parameterizes Algorithm 1's grid.
+	CrossBandConfig = crossband.Config
+	// PathEstimate is one recovered multipath component.
+	PathEstimate = crossband.PathEstimate
+	// OTFSModem converts between delay-Doppler and time-frequency.
+	OTFSModem = otfs.Modem
+	// Experiment is a registered paper table/figure driver.
+	Experiment = eval.Experiment
+	// ExperimentConfig scales experiment workloads.
+	ExperimentConfig = eval.Config
+	// Report is an experiment's rendered output.
+	Report = eval.Report
+	// TCPStall is one TCP stall event across a radio outage.
+	TCPStall = tcpsim.Stall
+	// RangeObservation is one base station's delay-Doppler geometry
+	// reading (paper §10: delay-Doppler based localization).
+	RangeObservation = locate.RangeObservation
+	// Fix is a track-constrained localization solution.
+	Fix = locate.Fix
+	// Tracker is the α-β predictive trajectory filter (paper §10).
+	Tracker = locate.Tracker
+	// Point is a 2-D track-frame position.
+	Point = geo.Point
+	// Trajectory is a constant-speed client path; PiecewiseTrajectory
+	// adds acceleration/braking phases.
+	Trajectory = geo.Trajectory
+	// PiecewiseTrajectory is a speed-profiled client path.
+	PiecewiseTrajectory = geo.PiecewiseTrajectory
+	// MeasurementReport / HandoverCommand are the RRC signaling
+	// messages the delay-Doppler overlay transports.
+	MeasurementReport = rrc.MeasurementReport
+	// HandoverCommand is the serving cell's execution message.
+	HandoverCommand = rrc.HandoverCommand
+	// PathTracker follows multipath components across measurement
+	// cycles and predicts their drift (paper §4's
+	// movement-by-inertia).
+	PathTracker = locate.PathTracker
+	// PathTrackerConfig tunes the tracker.
+	PathTrackerConfig = locate.PathTrackerConfig
+)
+
+// Dataset identifiers.
+const (
+	LowMobility     = trace.LowMobility
+	BeijingTaiyuan  = trace.BeijingTaiyuan
+	BeijingShanghai = trace.BeijingShanghai
+)
+
+// Modes.
+const (
+	// ModeLegacy is today's wireless-signal-strength 4G/5G stack.
+	ModeLegacy = trace.Legacy
+	// ModeREM is the full REM system.
+	ModeREM = trace.REM
+	// ModeREMNoCrossBand ablates cross-band estimation.
+	ModeREMNoCrossBand = trace.REMNoCrossBand
+	// ModeLegacyFixedPolicy repairs legacy thresholds per Theorem 2
+	// (the Fig. 15 arm).
+	ModeLegacyFixedPolicy = trace.LegacyFixedPolicy
+)
+
+// Failure causes (Table 2 taxonomy).
+const (
+	CauseFeedback     = mobility.CauseFeedback
+	CauseMissedCell   = mobility.CauseMissedCell
+	CauseHOCmdLoss    = mobility.CauseHOCmdLoss
+	CauseCoverageHole = mobility.CauseCoverageHole
+)
+
+// Measurement events.
+const (
+	A1 = policy.A1
+	A2 = policy.A2
+	A3 = policy.A3
+	A4 = policy.A4
+	A5 = policy.A5
+)
+
+// ScenarioConfig selects dataset, speed, mode, duration and seed for a
+// simulation run.
+type ScenarioConfig struct {
+	Dataset  DatasetID
+	SpeedKmh float64
+	Mode     Mode
+	Duration float64 // simulated seconds
+	Seed     int64
+}
+
+// DescribeDataset returns a dataset's calibrated descriptor.
+func DescribeDataset(id DatasetID) Dataset { return trace.Describe(id) }
+
+// Datasets lists all three synthesized datasets.
+func Datasets() []Dataset { return trace.All() }
+
+// BuildScenario assembles a runnable scenario: deployment, radio
+// environment, operator policies (simplified and Theorem-2-enforced
+// for REM modes), measurement schedule and signaling transport.
+func BuildScenario(cfg ScenarioConfig) (*Built, error) {
+	return trace.Build(trace.BuildConfig{
+		Dataset:  trace.Describe(cfg.Dataset),
+		SpeedKmh: cfg.SpeedKmh,
+		Mode:     cfg.Mode,
+		Duration: cfg.Duration,
+		Seed:     cfg.Seed,
+	})
+}
+
+// RunScenario executes a built scenario through the three-phase
+// handover engine and returns the replay result.
+func RunScenario(b *Built) (*Result, error) {
+	return mobility.Run(b.Streams, b.Scenario)
+}
+
+// NewCrossBandEstimator returns Algorithm 1 for the given grid.
+func NewCrossBandEstimator(cfg CrossBandConfig) (*CrossBandEstimator, error) {
+	return crossband.NewEstimator(cfg)
+}
+
+// NewOTFSModem returns an M×N delay-Doppler modem.
+func NewOTFSModem(m, n int) (*OTFSModem, error) { return otfs.NewModem(m, n) }
+
+// DDChannelMatrix samples a channel's delay-Doppler response on the
+// estimator grid at absolute time t0 — the input to Algorithm 1.
+func DDChannelMatrix(ch *Channel, cfg CrossBandConfig, t0 float64) *DDMatrix {
+	return dsp.MatrixFromGrid(ch.DDResponse(cfg.M, cfg.N, cfg.DeltaF, cfg.SymT, t0))
+}
+
+// DDSNR returns the wideband SNR (dB) implied by a delay-Doppler
+// channel matrix and a noise power.
+func DDSNR(h *DDMatrix, noiseVar float64) float64 { return crossband.SNRFromDD(h, noiseVar) }
+
+// SimplifyPolicy applies REM's four-step policy simplification (§5.3)
+// with default settings (all bands co-sited, 2 dB hysteresis floor).
+func SimplifyPolicy(p *Policy) *Policy {
+	return policy.Simplify(p, policy.SimplifyConfig{MinHystDB: 2})
+}
+
+// CheckTheorem2 verifies conflict freedom of an offset table; a nil
+// graph treats all cells as co-covering.
+func CheckTheorem2(t OffsetTable) []Violation { return policy.CheckTheorem2(t, nil) }
+
+// EnforceTheorem2 minimally raises offsets until Theorem 2 holds and
+// returns the number of adjustments.
+func EnforceTheorem2(t OffsetTable) int { return policy.EnforceTheorem2(t, nil) }
+
+// DetectConflicts finds all two-cell policy conflicts between two
+// cells' policies over the realistic RSRP range.
+func DetectConflicts(a, b *Policy) []Conflict {
+	return policy.DetectPairConflicts(a, b, policy.DefaultMetricRange())
+}
+
+// Experiments lists all paper table/figure drivers.
+func Experiments() []Experiment { return eval.Experiments() }
+
+// RunExperiment runs one experiment by ID (e.g. "table5", "fig10").
+func RunExperiment(id string, cfg ExperimentConfig) (*Report, error) {
+	e, ok := eval.ByID(id)
+	if !ok {
+		return nil, errUnknownExperiment(id)
+	}
+	return e.Run(cfg)
+}
+
+// DefaultExperimentConfig returns full-scale experiment settings;
+// QuickExperimentConfig returns a fast reduced-scale variant.
+func DefaultExperimentConfig() ExperimentConfig { return eval.DefaultConfig() }
+
+// QuickExperimentConfig returns reduced-scale experiment settings.
+func QuickExperimentConfig() ExperimentConfig { return eval.QuickConfig() }
+
+// Localize solves a track-constrained position from two or more
+// delay-Doppler range observations (paper §10's localization outlook).
+func Localize(obs []RangeObservation) (Fix, error) { return locate.Localize(obs) }
+
+// ObserveRange converts a channel estimate into a range observation
+// (strongest path treated as line-of-sight).
+func ObserveRange(ch *Channel, bs Point, carrierHz float64) (RangeObservation, error) {
+	return locate.ObserveChannel(ch, bs, carrierHz)
+}
+
+// NewTracker returns an α-β trajectory tracker; non-positive gains
+// select defaults.
+func NewTracker(alpha, beta float64) *Tracker { return locate.NewTracker(alpha, beta) }
+
+// NewPathTracker follows Algorithm 1's per-path estimates across
+// measurement cycles (association + drift prediction).
+func NewPathTracker(cfg PathTrackerConfig) *PathTracker { return locate.NewPathTracker(cfg) }
+
+// DecodeSignaling parses an RRC signaling payload delivered by the
+// overlay; it returns *MeasurementReport or *HandoverCommand.
+func DecodeSignaling(bits []byte) (any, error) { return rrc.Decode(bits) }
+
+// DB converts a linear power ratio to decibels; FromDB inverts it.
+func DB(lin float64) float64 { return dsp.DB(lin) }
+
+// FromDB converts decibels to a linear power ratio.
+func FromDB(db float64) float64 { return dsp.FromDB(db) }
+
+type unknownExperimentError string
+
+func (e unknownExperimentError) Error() string {
+	return "rem: unknown experiment " + string(e)
+}
+
+func errUnknownExperiment(id string) error { return unknownExperimentError(id) }

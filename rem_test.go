@@ -1,0 +1,127 @@
+package rem_test
+
+import (
+	"math"
+	"testing"
+
+	"rem"
+)
+
+func TestFacadeScenarioRoundTrip(t *testing.T) {
+	built, err := rem.BuildScenario(rem.ScenarioConfig{
+		Dataset:  rem.BeijingShanghai,
+		SpeedKmh: 300,
+		Mode:     rem.ModeREM,
+		Duration: 120,
+		Seed:     42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rem.RunScenario(built)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HandoverCount() == 0 {
+		t.Fatal("no handovers")
+	}
+	if r := res.FailureRatio(); r < 0 || r > 1 {
+		t.Fatalf("failure ratio %g out of range", r)
+	}
+}
+
+func TestFacadeDatasets(t *testing.T) {
+	if len(rem.Datasets()) != 3 {
+		t.Fatal("expected three datasets")
+	}
+	ds := rem.DescribeDataset(rem.BeijingTaiyuan)
+	if ds.Name == "" || len(ds.Bands) == 0 {
+		t.Fatal("dataset descriptor incomplete")
+	}
+}
+
+func TestFacadePolicyTools(t *testing.T) {
+	legacy := &rem.Policy{
+		CellID:  1,
+		Channel: 100,
+		Rules: []rem.Rule{
+			{Type: rem.A2, ServThresh: -110, TTTSec: 0.64},
+			{Type: rem.A5, ServThresh: -110, NeighThresh: -103, TTTSec: 0.64, TargetChannel: 200, Stage: 1},
+		},
+	}
+	simp := rem.SimplifyPolicy(legacy)
+	if !simp.UsesDDSNR {
+		t.Fatal("simplified policy should use DD SNR")
+	}
+	for _, r := range simp.Rules {
+		if r.Type != rem.A3 {
+			t.Fatalf("rule %v not rewritten to A3", r.Type)
+		}
+	}
+
+	tab := rem.OffsetTable{}
+	tab.Set(1, 2, -3)
+	tab.Set(2, 1, -2)
+	if len(rem.CheckTheorem2(tab)) == 0 {
+		t.Fatal("violation not detected")
+	}
+	if n := rem.EnforceTheorem2(tab); n == 0 {
+		t.Fatal("no repair made")
+	}
+	if len(rem.CheckTheorem2(tab)) != 0 {
+		t.Fatal("repair incomplete")
+	}
+
+	a := &rem.Policy{CellID: 1, Channel: 5, Rules: []rem.Rule{{Type: rem.A3, OffsetDB: -3}}}
+	b := &rem.Policy{CellID: 2, Channel: 5, Rules: []rem.Rule{{Type: rem.A3, OffsetDB: -3}}}
+	if len(rem.DetectConflicts(a, b)) == 0 {
+		t.Fatal("conflict not detected")
+	}
+}
+
+func TestFacadeCrossBand(t *testing.T) {
+	cfg := rem.CrossBandConfig{M: 64, N: 32, DeltaF: 60e3, SymT: 1.0 / 60e3, MaxPaths: 4}
+	est, err := rem.NewCrossBandEstimator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := &rem.Channel{Paths: []rem.Path{{Gain: 1, Delay: 300e-9, Doppler: 500}}}
+	h1 := rem.DDChannelMatrix(ch, cfg, 0)
+	h2, paths, err := est.Estimate(h1, 1.8e9, 2.6e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 1 {
+		t.Fatalf("recovered %d paths, want 1", len(paths))
+	}
+	want := rem.DDSNR(rem.DDChannelMatrix(ch.Retuned(1.8e9, 2.6e9), cfg, 0), 0.01)
+	got := rem.DDSNR(h2, 0.01)
+	if math.Abs(got-want) > 1 {
+		t.Fatalf("cross-band SNR %g, want ≈%g", got, want)
+	}
+}
+
+func TestFacadeExperiments(t *testing.T) {
+	if len(rem.Experiments()) < 16 {
+		t.Fatalf("only %d experiments registered", len(rem.Experiments()))
+	}
+	if _, err := rem.RunExperiment("does-not-exist", rem.QuickExperimentConfig()); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	rep, err := rem.RunExperiment("fig14b", rem.QuickExperimentConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Render() == "" {
+		t.Fatal("empty report")
+	}
+}
+
+func TestFacadeDBHelpers(t *testing.T) {
+	if math.Abs(rem.DB(100)-20) > 1e-12 {
+		t.Fatal("DB wrong")
+	}
+	if math.Abs(rem.FromDB(20)-100) > 1e-9 {
+		t.Fatal("FromDB wrong")
+	}
+}
