@@ -1,12 +1,21 @@
 // Command remeval regenerates the paper's evaluation tables and
 // figures. Run one experiment with -exp or everything with -all.
 //
+// Experiments execute on the deterministic parallel engine: -workers
+// bounds the worker pool (0 = all cores), and the rendered output is
+// byte-identical at any worker count for the same seed. With -all the
+// independent experiments themselves also fan out across the pool.
+// Exception: fig14b reports measured wall-clock estimator runtimes,
+// which are inherently load-dependent (they vary even between two
+// identical serial runs, and co-running experiments under -all inflate
+// them) — run it alone for clean timings.
+//
 // Usage:
 //
 //	remeval -list
 //	remeval -exp table5
 //	remeval -all -quick
-//	remeval -exp fig10 -seeds 5 -duration 2000
+//	remeval -exp fig10 -seeds 5 -duration 2000 -workers 4
 package main
 
 import (
@@ -15,6 +24,7 @@ import (
 	"os"
 
 	"rem"
+	"rem/internal/par"
 )
 
 func main() {
@@ -26,6 +36,7 @@ func main() {
 		seeds    = flag.Int("seeds", 0, "override number of replica seeds")
 		duration = flag.Float64("duration", 0, "override per-replica simulated seconds")
 		baseSeed = flag.Int64("seed", 1, "base RNG seed")
+		workers  = flag.Int("workers", 0, "parallel worker pool size; 0 = all cores (output is identical at any value)")
 	)
 	flag.Parse()
 
@@ -47,6 +58,7 @@ func main() {
 		cfg.DurationSec = *duration
 	}
 	cfg.BaseSeed = *baseSeed
+	cfg.Workers = *workers
 
 	run := func(id string) bool {
 		rep, err := rem.RunExperiment(id, cfg)
@@ -60,11 +72,32 @@ func main() {
 
 	switch {
 	case *all:
-		ok := true
-		for _, e := range rem.Experiments() {
-			if !run(e.ID) {
-				ok = false
+		// The experiment list is embarrassingly parallel too: render
+		// everything concurrently, print in registry order. Each
+		// experiment runs its own inner loops serially here so the
+		// fan-out stays bounded by one pool.
+		exps := rem.Experiments()
+		inner := cfg
+		inner.Workers = 1
+		type outcome struct {
+			text string
+			err  error
+		}
+		outs, _ := par.IndexedMap(cfg.Workers, len(exps), func(i int) (outcome, error) {
+			rep, err := rem.RunExperiment(exps[i].ID, inner)
+			if err != nil {
+				return outcome{err: err}, nil
 			}
+			return outcome{text: rep.Render()}, nil
+		})
+		ok := true
+		for i, out := range outs {
+			if out.err != nil {
+				fmt.Fprintf(os.Stderr, "remeval: %s: %v\n", exps[i].ID, out.err)
+				ok = false
+				continue
+			}
+			fmt.Println(out.text)
 		}
 		if !ok {
 			os.Exit(1)

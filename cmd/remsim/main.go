@@ -1,9 +1,17 @@
 // Command remsim runs one end-to-end high-speed-rail mobility
 // simulation and prints the reliability summary.
 //
+// With -replicas N it runs N independent replicas (seeds seed,
+// seed+7919, seed+2*7919, ...) across the -workers pool and prints the
+// per-replica and aggregate failure statistics. The output is
+// deterministic for a given seed at any worker count: each replica
+// derives its RNG from its own index and results are reduced in
+// replica order.
+//
 // Usage:
 //
 //	remsim -dataset beijing-shanghai -speed 330 -mode rem -duration 600
+//	remsim -mode rem -replicas 8 -workers 4
 package main
 
 import (
@@ -13,6 +21,7 @@ import (
 	"sort"
 
 	"rem"
+	"rem/internal/par"
 )
 
 func main() {
@@ -22,6 +31,8 @@ func main() {
 		mode     = flag.String("mode", "legacy", "legacy | rem | rem-no-crossband | legacy-fixed-policy")
 		duration = flag.Float64("duration", 600, "simulated seconds")
 		seed     = flag.Int64("seed", 1, "RNG seed")
+		replicas = flag.Int("replicas", 1, "independent replicas to run (seeds seed+i*7919)")
+		workers  = flag.Int("workers", 0, "parallel worker pool size; 0 = all cores (output is identical at any value)")
 	)
 	flag.Parse()
 
@@ -51,15 +62,22 @@ func main() {
 		fmt.Fprintf(os.Stderr, "remsim: unknown mode %q\n", *mode)
 		os.Exit(2)
 	}
-
-	built, err := rem.BuildScenario(rem.ScenarioConfig{
-		Dataset: ds, SpeedKmh: *speed, Mode: md, Duration: *duration, Seed: *seed,
-	})
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "remsim: %v\n", err)
-		os.Exit(1)
+	if *replicas < 1 {
+		*replicas = 1
 	}
-	res, err := rem.RunScenario(built)
+
+	// Each replica builds and runs its own scenario from an
+	// index-derived seed; the pool width never changes the numbers.
+	results, err := par.IndexedMap(*workers, *replicas, func(s int) (*rem.Result, error) {
+		built, err := rem.BuildScenario(rem.ScenarioConfig{
+			Dataset: ds, SpeedKmh: *speed, Mode: md, Duration: *duration,
+			Seed: *seed + int64(s)*7919,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return rem.RunScenario(built)
+	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "remsim: %v\n", err)
 		os.Exit(1)
@@ -67,6 +85,26 @@ func main() {
 
 	fmt.Printf("dataset   : %s\n", rem.DescribeDataset(ds).Name)
 	fmt.Printf("mode      : %s at %.0f km/h for %.0fs (seed %d)\n", md, *speed, *duration, *seed)
+	if *replicas == 1 {
+		printSummary(results[0])
+		return
+	}
+	var hos, fails int
+	for s, res := range results {
+		hos += res.HandoverCount()
+		fails += len(res.Failures)
+		fmt.Printf("replica %d : seed %d, %d handovers, %d failures (ratio %.2f%%)\n",
+			s, *seed+int64(s)*7919, res.HandoverCount(), len(res.Failures), 100*res.FailureRatio())
+	}
+	ratio := 0.0
+	if hos+fails > 0 {
+		ratio = float64(fails) / float64(hos+fails)
+	}
+	fmt.Printf("aggregate : %d handovers, %d failures over %d replicas (ratio %.2f%%)\n",
+		hos, fails, *replicas, 100*ratio)
+}
+
+func printSummary(res *rem.Result) {
 	fmt.Printf("handovers : %d (every %.1fs)\n", res.HandoverCount(),
 		res.Duration/float64(res.HandoverCount()+1))
 	fmt.Printf("failures  : %d (ratio %.2f%%)\n", len(res.Failures), 100*res.FailureRatio())

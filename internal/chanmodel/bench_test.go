@@ -1,0 +1,44 @@
+package chanmodel
+
+import (
+	"testing"
+
+	"rem/internal/dsp"
+)
+
+func benchChannel() *Channel {
+	return &Channel{Paths: []Path{
+		{Gain: 0.9, Delay: 260e-9, Doppler: 595},
+		{Gain: 0.3i, Delay: 700e-9, Doppler: -310},
+		{Gain: 0.2 + 0.1i, Delay: 1090e-9, Doppler: 120},
+	}}
+}
+
+// BenchmarkTFResponse measures the per-draw cost of sampling the
+// time-frequency grid on the cross-band estimator's 128×64 grid — the
+// dominant allocation in the eval draw loops before buffer reuse.
+func BenchmarkTFResponse(b *testing.B) {
+	ch := benchChannel()
+	b.Run("alloc", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = ch.TFResponse(128, 64, 60e3, 1.0/60e3, 0)
+		}
+	})
+	b.Run("into", func(b *testing.B) {
+		dst := dsp.NewGrid(128, 64)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ch.TFResponseInto(dst, 60e3, 1.0/60e3, 0)
+		}
+	})
+}
+
+func BenchmarkDDResponse(b *testing.B) {
+	ch := benchChannel()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = ch.DDResponse(128, 64, 60e3, 1.0/60e3, 0)
+	}
+}

@@ -60,6 +60,28 @@ func KmhToMs(kmh float64) float64 { return kmh / 3.6 }
 // relation specialized to the sampled grid.
 func (c *Channel) TFResponse(m, n int, deltaF, symT, t0 float64) [][]complex128 {
 	h := dsp.NewGrid(m, n)
+	c.TFResponseInto(h, deltaF, symT, t0)
+	return h
+}
+
+// TFResponseInto samples the time-frequency response into dst (an
+// existing len(dst)×len(dst[0]) grid), overwriting its contents.
+// Callers that regenerate same-size grids per channel draw can reuse
+// one buffer instead of allocating every time; see TFResponse for the
+// sampled relation.
+func (c *Channel) TFResponseInto(dst [][]complex128, deltaF, symT, t0 float64) {
+	m := len(dst)
+	if m == 0 {
+		return
+	}
+	n := len(dst[0])
+	h := dst
+	for i := range h {
+		row := h[i]
+		for j := range row {
+			row[j] = 0
+		}
+	}
 	for _, p := range c.Paths {
 		// Phase advances linearly along both axes; precompute the
 		// per-step rotations to keep this O(P·(M+N) + M·N).
@@ -77,7 +99,6 @@ func (c *Channel) TFResponse(m, n int, deltaF, symT, t0 float64) [][]complex128 
 			fCur *= fStep
 		}
 	}
-	return h
 }
 
 // DDResponse returns the sampled effective delay-Doppler channel

@@ -6,13 +6,215 @@
 // Everything is pure Go on complex128. The package has no dependencies
 // outside the standard library and is deterministic: identical inputs
 // produce identical outputs on every platform.
+//
+// FFT, IFFT, SFFT and ISFFT are safe for concurrent use: per-size
+// transform plans (twiddle factors, bit-reversal permutations,
+// Bluestein chirp kernels) are built once and cached behind a
+// sync.RWMutex, and per-call scratch comes from a sync.Pool.
 package dsp
 
 import (
 	"math"
 	"math/bits"
 	"math/cmplx"
+	"sync"
 )
+
+// fftPlan holds the precomputed, immutable data for one transform size.
+// Plans are built once per size, cached forever, and only ever read
+// afterwards, which is what makes the transforms goroutine-safe.
+type fftPlan struct {
+	n    int
+	pow2 bool
+
+	// Radix-2 data (pow2 only).
+	rev        []int        // bit-reversal permutation
+	twiddle    []complex128 // e^{-j2πk/n}, k < n/2 (forward)
+	twiddleInv []complex128 // e^{+j2πk/n}, k < n/2 (inverse)
+
+	// Bluestein data (non-pow2 only).
+	m        int          // power-of-two convolution length (≥ 2n-1)
+	mPlan    *fftPlan     // radix-2 plan for length m
+	chirp    []complex128 // w[i] = e^{-jπ i²/n} (forward chirp)
+	kernel   []complex128 // FFT of the padded conj-chirp kernel (forward)
+	kernelIn []complex128 // FFT of the padded chirp kernel (inverse)
+}
+
+var (
+	planMu sync.RWMutex
+	plans  = map[int]*fftPlan{}
+)
+
+// planFor returns the cached plan for size n, building it on first use.
+// A racing duplicate build is harmless: plans are deterministic, and
+// the store keeps whichever landed first.
+func planFor(n int) *fftPlan {
+	planMu.RLock()
+	p := plans[n]
+	planMu.RUnlock()
+	if p != nil {
+		return p
+	}
+	p = newPlan(n)
+	planMu.Lock()
+	if q, ok := plans[n]; ok {
+		p = q
+	} else {
+		plans[n] = p
+	}
+	planMu.Unlock()
+	return p
+}
+
+func newPlan(n int) *fftPlan {
+	p := &fftPlan{n: n, pow2: n&(n-1) == 0}
+	if n <= 1 {
+		return p
+	}
+	if p.pow2 {
+		shift := 64 - uint(bits.TrailingZeros(uint(n)))
+		p.rev = make([]int, n)
+		for i := 0; i < n; i++ {
+			p.rev[i] = int(bits.Reverse64(uint64(i)) >> shift)
+		}
+		half := n / 2
+		p.twiddle = make([]complex128, half)
+		p.twiddleInv = make([]complex128, half)
+		for k := 0; k < half; k++ {
+			s, c := math.Sincos(2 * math.Pi * float64(k) / float64(n))
+			p.twiddle[k] = complex(c, -s)
+			p.twiddleInv[k] = complex(c, s)
+		}
+		return p
+	}
+	// Bluestein: chirp factors w[i] = e^{-jπ i²/n}; i² mod 2n avoids
+	// precision loss for large i.
+	p.chirp = make([]complex128, n)
+	for i := 0; i < n; i++ {
+		ii := int64(i) * int64(i) % int64(2*n)
+		s, c := math.Sincos(math.Pi * float64(ii) / float64(n))
+		p.chirp[i] = complex(c, -s)
+	}
+	p.m = 1
+	for p.m < 2*n-1 {
+		p.m <<= 1
+	}
+	p.mPlan = planFor(p.m)
+	// The convolution kernel's FFT depends only on n, so both
+	// directions are transformed once here instead of on every call.
+	p.kernel = p.chirpKernelFFT(false)
+	p.kernelIn = p.chirpKernelFFT(true)
+	return p
+}
+
+// chirpKernelFFT builds FFT(b) for b[i] = conj(w_dir[i]) padded to m,
+// where w_dir is the direction's chirp (conj(chirp) for inverse).
+func (p *fftPlan) chirpKernelFFT(inverse bool) []complex128 {
+	b := make([]complex128, p.m)
+	for i := 0; i < p.n; i++ {
+		w := p.chirp[i]
+		if inverse {
+			w = cmplx.Conj(w)
+		}
+		b[i] = cmplx.Conj(w)
+		if i > 0 {
+			b[p.m-i] = cmplx.Conj(w)
+		}
+	}
+	p.mPlan.radix2(b, false)
+	return b
+}
+
+// transform runs the DFT in place, unnormalized in both directions
+// (IFFT callers apply 1/n themselves).
+func (p *fftPlan) transform(x []complex128, inverse bool) {
+	if p.n <= 1 {
+		return
+	}
+	if p.pow2 {
+		p.radix2(x, inverse)
+		return
+	}
+	p.bluestein(x, inverse)
+}
+
+// radix2 runs the iterative Cooley-Tukey transform in place using the
+// precomputed permutation and twiddle tables.
+func (p *fftPlan) radix2(x []complex128, inverse bool) {
+	n := p.n
+	for i, j := range p.rev {
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	tw := p.twiddle
+	if inverse {
+		tw = p.twiddleInv
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		stride := n / size
+		for start := 0; start < n; start += size {
+			ti := 0
+			for k := start; k < start+half; k++ {
+				a := x[k]
+				b := x[k+half] * tw[ti]
+				x[k] = a + b
+				x[k+half] = a - b
+				ti += stride
+			}
+		}
+	}
+}
+
+// scratchPool recycles Bluestein convolution buffers across calls (and
+// across goroutines).
+var scratchPool = sync.Pool{New: func() any { return new([]complex128) }}
+
+func getScratch(n int) ([]complex128, *[]complex128) {
+	sp := scratchPool.Get().(*[]complex128)
+	if cap(*sp) < n {
+		*sp = make([]complex128, n)
+	}
+	s := (*sp)[:n]
+	return s, sp
+}
+
+// bluestein computes an arbitrary-length DFT in place as a convolution
+// carried out by power-of-two FFTs (Bluestein's chirp-z algorithm),
+// using the plan's precomputed chirp and kernel FFT.
+func (p *fftPlan) bluestein(x []complex128, inverse bool) {
+	n, m := p.n, p.m
+	kernel := p.kernel
+	if inverse {
+		kernel = p.kernelIn
+	}
+	a, sp := getScratch(m)
+	for i := 0; i < n; i++ {
+		w := p.chirp[i]
+		if inverse {
+			w = cmplx.Conj(w)
+		}
+		a[i] = x[i] * w
+	}
+	for i := n; i < m; i++ {
+		a[i] = 0
+	}
+	p.mPlan.radix2(a, false)
+	for i := range a {
+		a[i] *= kernel[i]
+	}
+	p.mPlan.radix2(a, true)
+	inv := complex(1/float64(m), 0)
+	for i := 0; i < n; i++ {
+		w := p.chirp[i]
+		if inverse {
+			w = cmplx.Conj(w)
+		}
+		x[i] = a[i] * inv * w
+	}
+	scratchPool.Put(sp)
+}
 
 // FFT returns the discrete Fourier transform of x:
 //
@@ -45,85 +247,7 @@ func fft(x []complex128, inverse bool) []complex128 {
 	if n <= 1 {
 		return out
 	}
-	if n&(n-1) == 0 {
-		fftRadix2(out, inverse)
-		return out
-	}
-	return bluestein(out, inverse)
-}
-
-// fftRadix2 runs an in-place iterative Cooley-Tukey transform.
-// len(x) must be a power of two greater than one.
-func fftRadix2(x []complex128, inverse bool) {
-	n := len(x)
-	// Bit-reversal permutation.
-	shift := 64 - uint(bits.TrailingZeros(uint(n)))
-	for i := 0; i < n; i++ {
-		j := int(bits.Reverse64(uint64(i)) >> shift)
-		if j > i {
-			x[i], x[j] = x[j], x[i]
-		}
-	}
-	sign := -1.0
-	if inverse {
-		sign = 1.0
-	}
-	for size := 2; size <= n; size <<= 1 {
-		half := size >> 1
-		step := sign * 2 * math.Pi / float64(size)
-		wStep := cmplx.Exp(complex(0, step))
-		for start := 0; start < n; start += size {
-			w := complex(1, 0)
-			for k := 0; k < half; k++ {
-				a := x[start+k]
-				b := x[start+k+half] * w
-				x[start+k] = a + b
-				x[start+k+half] = a - b
-				w *= wStep
-			}
-		}
-	}
-}
-
-// bluestein computes an arbitrary-length DFT as a convolution carried
-// out by power-of-two FFTs (Bluestein's chirp-z algorithm).
-func bluestein(x []complex128, inverse bool) []complex128 {
-	n := len(x)
-	sign := -1.0
-	if inverse {
-		sign = 1.0
-	}
-	// Chirp factors w[i] = e^{sign·jπ i²/n}. i² mod 2n avoids precision
-	// loss for large i.
-	w := make([]complex128, n)
-	for i := 0; i < n; i++ {
-		ii := int64(i) * int64(i) % int64(2*n)
-		w[i] = cmplx.Exp(complex(0, sign*math.Pi*float64(ii)/float64(n)))
-	}
-	m := 1
-	for m < 2*n-1 {
-		m <<= 1
-	}
-	a := make([]complex128, m)
-	b := make([]complex128, m)
-	for i := 0; i < n; i++ {
-		a[i] = x[i] * w[i]
-		b[i] = cmplx.Conj(w[i])
-	}
-	for i := 1; i < n; i++ {
-		b[m-i] = cmplx.Conj(w[i])
-	}
-	fftRadix2(a, false)
-	fftRadix2(b, false)
-	for i := range a {
-		a[i] *= b[i]
-	}
-	fftRadix2(a, true)
-	inv := complex(1/float64(m), 0)
-	out := make([]complex128, n)
-	for i := 0; i < n; i++ {
-		out[i] = a[i] * inv * w[i]
-	}
+	planFor(n).transform(out, inverse)
 	return out
 }
 
@@ -137,29 +261,7 @@ func bluestein(x []complex128, inverse bool) []complex128 {
 // domains share the [M][N] shape. The input grid is x[k][l] with k the
 // delay index (0..M-1) and l the Doppler index (0..N-1).
 func SFFT(x [][]complex128) [][]complex128 {
-	m, n := gridDims(x)
-	// DFT along delay axis k→m, inverse DFT (unnormalized) along
-	// Doppler axis l→n. Perform the column transform first.
-	tmp := make([][]complex128, m)
-	col := make([]complex128, m)
-	for l := 0; l < n; l++ {
-		for k := 0; k < m; k++ {
-			col[k] = x[k][l]
-		}
-		res := FFT(col)
-		for k := 0; k < m; k++ {
-			if tmp[k] == nil {
-				tmp[k] = make([]complex128, n)
-			}
-			tmp[k][l] = res[k]
-		}
-	}
-	out := make([][]complex128, m)
-	for k := 0; k < m; k++ {
-		row := fft(tmp[k], true) // unnormalized inverse along Doppler
-		out[k] = row
-	}
-	return out
+	return sfft(x, false)
 }
 
 // ISFFT inverts SFFT with the 1/(MN) normalization of paper Eq. 3:
@@ -168,29 +270,43 @@ func SFFT(x [][]complex128) [][]complex128 {
 //
 // ISFFT(SFFT(x)) == x up to rounding.
 func ISFFT(x [][]complex128) [][]complex128 {
+	return sfft(x, true)
+}
+
+// sfft runs the (inverse) symplectic transform: a DFT along the delay
+// axis and an opposite-direction DFT along the Doppler axis, with the
+// 1/(MN) normalization on the inverse path.
+func sfft(x [][]complex128, inverse bool) [][]complex128 {
 	m, n := gridDims(x)
-	tmp := make([][]complex128, m)
-	col := make([]complex128, m)
+	out := NewGrid(m, n)
+	if m == 0 || n == 0 {
+		return out
+	}
+	colPlan := planFor(m)
+	rowPlan := planFor(n)
+	col, sp := getScratch(m)
 	for l := 0; l < n; l++ {
 		for k := 0; k < m; k++ {
 			col[k] = x[k][l]
 		}
-		res := fft(col, true) // unnormalized inverse along delay axis
+		colPlan.transform(col, inverse) // delay axis: forward for SFFT
 		for k := 0; k < m; k++ {
-			if tmp[k] == nil {
-				tmp[k] = make([]complex128, n)
-			}
-			tmp[k][l] = res[k]
+			out[k][l] = col[k]
 		}
 	}
-	out := make([][]complex128, m)
-	norm := complex(1/float64(m*n), 0)
+	scratchPool.Put(sp)
+	var norm complex128
+	if inverse {
+		norm = complex(1/float64(m*n), 0)
+	}
 	for k := 0; k < m; k++ {
-		row := fft(tmp[k], false) // forward along Doppler axis
-		for l := range row {
-			row[l] *= norm
+		rowPlan.transform(out[k], !inverse) // Doppler axis: opposite direction
+		if inverse {
+			row := out[k]
+			for l := range row {
+				row[l] *= norm
+			}
 		}
-		out[k] = row
 	}
 	return out
 }

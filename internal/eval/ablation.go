@@ -9,6 +9,7 @@ import (
 	"rem/internal/mobility"
 	"rem/internal/ofdm"
 	"rem/internal/otfs"
+	"rem/internal/par"
 	"rem/internal/sim"
 	"rem/internal/trace"
 )
@@ -31,7 +32,6 @@ func runAblationSubgrid(cfg Config) (*Report, error) {
 		draws = 12
 	}
 	streams := sim.NewStreams(cfg.BaseSeed + 200)
-	rng := streams.Stream("subgrid")
 	t := Table{
 		Title:   "OTFS subgrid size vs signaling BLER (EVA 350 km/h, 3 dB transmit SNR)",
 		Columns: []string{"subgrid (MxN)", "REs", "mean BLER"},
@@ -43,16 +43,29 @@ func runAblationSubgrid(cfg Config) (*Report, error) {
 	// is fixed at 3 dB (no per-realization conditioning).
 	sizes := [][2]int{{12, 2}, {48, 14}, {192, 14}, {600, 14}}
 	maxM := 600
-	acc := make([]float64, len(sizes))
 	noise := dsp.FromDB(-3)
-	for d := 0; d < draws; d++ {
+	// One RNG stream per draw (seed schedule "subgrid.<d>") so draws
+	// can run on any worker without perturbing each other.
+	perDraw, err := par.IndexedMap(cfg.Workers, draws, func(d int) ([]float64, error) {
+		rng := streams.Stream(fmt.Sprintf("subgrid.%04d", d))
 		ch := chanmodel.Generate(rng, chanmodel.GenConfig{
 			Profile: chanmodel.EVA, CarrierHz: 2.6e9,
 			SpeedMS: chanmodel.KmhToMs(350), Normalize: true,
 		})
 		h := ch.TFResponse(maxM, 14, num.DeltaF, num.SymbolT, 0)
+		blers := make([]float64, len(sizes))
 		for si, dims := range sizes {
-			acc[si] += otfs.BlockBLER(subGrid(h, 0, dims[0], 0, dims[1]), noise, ofdm.QPSK, 1.0/3)
+			blers[si] = otfs.BlockBLER(subGrid(h, 0, dims[0], 0, dims[1]), noise, ofdm.QPSK, 1.0/3)
+		}
+		return blers, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	acc := make([]float64, len(sizes))
+	for _, blers := range perDraw {
+		for si, v := range blers {
+			acc[si] += v
 		}
 	}
 	for si, dims := range sizes {
@@ -80,8 +93,6 @@ func runAblationSVDRank(cfg Config) (*Report, error) {
 	}
 	ccfg := cbConfig()
 	streams := sim.NewStreams(cfg.BaseSeed + 210)
-	rng := streams.Stream("rank")
-	noiseRNG := streams.Stream("rank.noise")
 	fc1, fc2 := 1.835e9, 2.665e9
 	t := Table{
 		Title:   "SVD path cap vs cross-band SNR error (HST @350 km/h, noisy estimates)",
@@ -94,8 +105,11 @@ func runAblationSVDRank(cfg Config) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		var acc float64
-		for d := 0; d < draws; d++ {
+		// Per-draw streams keyed by (path cap, draw index): every cap
+		// sees its own independent channel and noise sequences.
+		errsDB, err := par.IndexedMap(cfg.Workers, draws, func(d int) (float64, error) {
+			rng := streams.Stream(fmt.Sprintf("rank.%d.%04d", maxP, d))
+			noiseRNG := streams.Stream(fmt.Sprintf("rank.noise.%d.%04d", maxP, d))
 			ch := chanmodel.Generate(rng, chanmodel.GenConfig{
 				Profile: chanmodel.HST, CarrierHz: fc1,
 				SpeedMS: chanmodel.KmhToMs(350), Normalize: true, LOSFirstTap: true,
@@ -108,11 +122,18 @@ func runAblationSVDRank(cfg Config) (*Report, error) {
 			}
 			h2, _, err := est.Estimate(h1, fc1, fc2)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
 			got := crossband.SNRFromDD(h2, 0.01)
 			want := crossband.SNRFromTF(ch.Retuned(fc1, fc2).TFResponse(c.M, c.N, c.DeltaF, c.SymT, 0), 0.01)
-			acc += abs(got - want)
+			return abs(got - want), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var acc float64
+		for _, e := range errsDB {
+			acc += e
 		}
 		t.Rows = append(t.Rows, []string{fmt.Sprintf("%d", maxP), f2(acc / float64(draws))})
 	}
@@ -133,13 +154,19 @@ func runAblationTTT(cfg Config) (*Report, error) {
 		Title:   "Intra-frequency TTT sweep (legacy, Beijing-Shanghai @300-350 km/h)",
 		Columns: []string{"TTT (ms)", "failure ratio", "conflict loops/1000s", "HO interval (s)"},
 	}
-	for _, ttt := range []float64{0.02, 0.04, 0.16, 0.48} {
+	ttts := []float64{0.02, 0.04, 0.16, 0.48}
+	var specs []cellSpec
+	for _, ttt := range ttts {
 		ds := trace.Describe(trace.BeijingShanghai)
 		ds.Mix.IntraTTTSec = ttt
-		a, err := runCell(cfg, ds, [2]float64{300, 350}, trace.Legacy)
-		if err != nil {
-			return nil, err
-		}
+		specs = append(specs, cellSpec{ds: ds, bucket: [2]float64{300, 350}, mode: trace.Legacy})
+	}
+	aggs, err := runCells(cfg, specs)
+	if err != nil {
+		return nil, err
+	}
+	for ti, ttt := range ttts {
+		a := aggs[ti]
 		loopsPerKs := 0.0
 		if a.Duration > 0 {
 			loopsPerKs = float64(a.ConflictLoops) / a.Duration * 1000
@@ -164,11 +191,17 @@ func runAblationCrossBand(cfg Config) (*Report, error) {
 		Title:   "REM vs REM-without-cross-band (Beijing-Shanghai @300-350 km/h)",
 		Columns: []string{"variant", "failure ratio", "mean feedback delay (s)", "missed-cell ratio", "gap-armed time"},
 	}
-	for _, mode := range []trace.Mode{trace.REM, trace.REMNoCrossBand} {
-		a, err := runCell(cfg, trace.Describe(trace.BeijingShanghai), [2]float64{300, 350}, mode)
-		if err != nil {
-			return nil, err
-		}
+	modes := []trace.Mode{trace.REM, trace.REMNoCrossBand}
+	var specs []cellSpec
+	for _, mode := range modes {
+		specs = append(specs, cellSpec{ds: trace.Describe(trace.BeijingShanghai), bucket: [2]float64{300, 350}, mode: mode})
+	}
+	aggs, err := runCells(cfg, specs)
+	if err != nil {
+		return nil, err
+	}
+	for mi, mode := range modes {
+		a := aggs[mi]
 		t.Rows = append(t.Rows, []string{
 			mode.String(), pct(a.FailureRatio),
 			fmt.Sprintf("%.3f", dsp.Mean(a.FeedbackDelays)),

@@ -6,6 +6,7 @@ import (
 	"rem/internal/chanmodel"
 	"rem/internal/geo"
 	"rem/internal/mobility"
+	"rem/internal/par"
 	"rem/internal/trace"
 )
 
@@ -29,8 +30,10 @@ func runAblationAccel(cfg Config) (*Report, error) {
 	duration := cfg.DurationSec
 	for _, mode := range []trace.Mode{trace.Legacy, trace.REM} {
 		for _, profile := range []string{"constant 330 km/h", "brake-dwell-accelerate"} {
-			var total, fails, hos int
-			for s := 0; s < cfg.Seeds; s++ {
+			mode, profile := mode, profile
+			// Replica seeds derive from the index, so the arm's seeds
+			// fan out across workers.
+			counts, err := par.IndexedMap(cfg.Workers, cfg.Seeds, func(s int) ([2]int, error) {
 				built, err := trace.Build(trace.BuildConfig{
 					Dataset:  ds,
 					SpeedKmh: 330,
@@ -39,7 +42,7 @@ func runAblationAccel(cfg Config) (*Report, error) {
 					Seed:     cfg.BaseSeed + int64(s)*7919,
 				})
 				if err != nil {
-					return nil, err
+					return [2]int{}, err
 				}
 				if profile != "constant 330 km/h" {
 					cruise := chanmodel.KmhToMs(330)
@@ -57,12 +60,18 @@ func runAblationAccel(cfg Config) (*Report, error) {
 				}
 				res, err := mobility.Run(built.Streams, built.Scenario)
 				if err != nil {
-					return nil, err
+					return [2]int{}, err
 				}
-				hos += len(res.Handovers)
-				fails += len(res.Failures)
-				total += len(res.Handovers) + len(res.Failures)
-				_ = built.Policies
+				return [2]int{len(res.Handovers), len(res.Failures)}, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			var total, fails, hos int
+			for _, c := range counts {
+				hos += c[0]
+				fails += c[1]
+				total += c[0] + c[1]
 			}
 			ratio := 0.0
 			if total > 0 {

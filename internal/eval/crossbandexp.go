@@ -8,6 +8,7 @@ import (
 	"rem/internal/chanmodel"
 	"rem/internal/crossband"
 	"rem/internal/dsp"
+	"rem/internal/par"
 	"rem/internal/sim"
 )
 
@@ -112,20 +113,25 @@ func runFig12(cfg Config) (*Report, error) {
 	f1, f2 := 1.835e9, 2.665e9
 	noiseVar := 0.01
 	for _, s := range cbSettings() {
-		rng := streams.Stream("fig12." + s.name)
-		var errs []float64
-		correct := 0
-		for d := 0; d < draws; d++ {
+		s := s
+		// One stream per draw ("fig12.<scenario>.<d>"): the channel
+		// and the decision margin both come from the draw's own stream.
+		trials, err := par.IndexedMap(cfg.Workers, draws, func(d int) (cbTrial, error) {
+			rng := streams.Stream(fmt.Sprintf("fig12.%s.%04d", s.name, d))
 			ch := chanmodel.Generate(rng, chanmodel.GenConfig{
 				Profile: s.profile, CarrierHz: f1,
 				SpeedMS: chanmodel.KmhToMs(s.speed), Normalize: true,
 				LOSFirstTap: s.profile.Name == "HST",
 			})
 			margin := rng.Uniform(-3, 3)
-			tr, err := runREMTrial(est, ch, ccfg, f1, f2, noiseVar, margin, 3)
-			if err != nil {
-				return nil, err
-			}
+			return runREMTrial(est, ch, ccfg, f1, f2, noiseVar, margin, 3)
+		})
+		if err != nil {
+			return nil, err
+		}
+		var errs []float64
+		correct := 0
+		for _, tr := range trials {
 			errs = append(errs, tr.errDB)
 			if tr.correct {
 				correct++
@@ -182,48 +188,76 @@ func runFig13(cfg Config) (*Report, error) {
 			SpeedMS: chanmodel.KmhToMs(rng.Uniform(200, 350)), Normalize: true, LOSFirstTap: true,
 		})
 	}
-	// Train OptML on an 80% split (the paper's protocol).
-	trainRNG := streams.Stream("fig13.train")
+	// Train OptML on an 80% split (the paper's protocol). Each
+	// training example has its own stream ("fig13.train.<i>").
+	type trainPair struct{ tf1, tf2 [][]complex128 }
+	pairs, err := par.IndexedMap(cfg.Workers, trainN, func(i int) (trainPair, error) {
+		ch := gen(streams.Stream(fmt.Sprintf("fig13.train.%04d", i)))
+		return trainPair{
+			tf1: ch.TFResponse(ccfg.M, ccfg.N, ccfg.DeltaF, ccfg.SymT, 0),
+			tf2: ch.Retuned(fc1, fc2).TFResponse(ccfg.M, ccfg.N, ccfg.DeltaF, ccfg.SymT, 0),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	var b1, b2 [][][]complex128
-	for i := 0; i < trainN; i++ {
-		ch := gen(trainRNG)
-		b1 = append(b1, ch.TFResponse(ccfg.M, ccfg.N, ccfg.DeltaF, ccfg.SymT, 0))
-		b2 = append(b2, ch.Retuned(fc1, fc2).TFResponse(ccfg.M, ccfg.N, ccfg.DeltaF, ccfg.SymT, 0))
+	for _, p := range pairs {
+		b1 = append(b1, p.tf1)
+		b2 = append(b2, p.tf2)
 	}
 	if err := optml.Fit(b1, b2); err != nil {
 		return nil, err
 	}
 
-	testRNG := streams.Stream("fig13.test")
+	// Test draws ("fig13.test.<d>") fan out across all three
+	// estimators at once; OptML's weights are frozen after Fit, so the
+	// estimators are all read-only here.
 	methods := []*cbMethod{{name: "REM"}, {name: "OptML"}, {name: "R2F2"}}
-	for d := 0; d < draws; d++ {
-		ch := gen(testRNG)
-		margin := testRNG.Uniform(-3, 3)
-		truth := crossband.SNRFromTF(ch.Retuned(fc1, fc2).TFResponse(ccfg.M, ccfg.N, ccfg.DeltaF, ccfg.SymT, 0), noiseVar)
+	type testOut struct {
+		errDB   [3]float64
+		correct [3]bool
+	}
+	outs, err := par.IndexedMap(cfg.Workers, draws, func(d int) (testOut, error) {
+		rng := streams.Stream(fmt.Sprintf("fig13.test.%04d", d))
+		ch := gen(rng)
+		margin := rng.Uniform(-3, 3)
+		truthTF := ch.Retuned(fc1, fc2).TFResponse(ccfg.M, ccfg.N, ccfg.DeltaF, ccfg.SymT, 0)
+		truth := crossband.SNRFromTF(truthTF, noiseVar)
 		servSNR := truth - 3 - margin
 		tf1 := ch.TFResponse(ccfg.M, ccfg.N, ccfg.DeltaF, ccfg.SymT, 0)
+		var out testOut
 
 		tr, err := runREMTrial(rem, ch, ccfg, fc1, fc2, noiseVar, margin, 3)
 		if err != nil {
-			return nil, err
+			return out, err
 		}
-		methods[0].record(tr.errDB, tr.correct)
-
-		truthTF := ch.Retuned(fc1, fc2).TFResponse(ccfg.M, ccfg.N, ccfg.DeltaF, ccfg.SymT, 0)
+		out.errDB[0], out.correct[0] = tr.errDB, tr.correct
 
 		oEst, err := optml.Estimate(tf1, fc1, fc2)
 		if err != nil {
-			return nil, err
+			return out, err
 		}
 		oSNR := crossband.SNRFromTF(oEst, noiseVar)
-		methods[1].record(subbandSNRErr(oEst, truthTF, noiseVar), (oSNR > servSNR+3) == (truth > servSNR+3))
+		out.errDB[1] = subbandSNRErr(oEst, truthTF, noiseVar)
+		out.correct[1] = (oSNR > servSNR+3) == (truth > servSNR+3)
 
 		rEst, err := r2f2.Estimate(tf1, fc1, fc2)
 		if err != nil {
-			return nil, err
+			return out, err
 		}
 		rSNR := crossband.SNRFromTF(rEst, noiseVar)
-		methods[2].record(subbandSNRErr(rEst, truthTF, noiseVar), (rSNR > servSNR+3) == (truth > servSNR+3))
+		out.errDB[2] = subbandSNRErr(rEst, truthTF, noiseVar)
+		out.correct[2] = (rSNR > servSNR+3) == (truth > servSNR+3)
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, out := range outs {
+		for mi := range methods {
+			methods[mi].record(out.errDB[mi], out.correct[mi])
+		}
 	}
 	rep := &Report{
 		ID:    "fig13",

@@ -1,0 +1,50 @@
+package eval
+
+import "testing"
+
+// renderAt runs one experiment at the given worker count and returns
+// the rendered report bytes.
+func renderAt(t *testing.T, id string, workers int) string {
+	t.Helper()
+	e, ok := ByID(id)
+	if !ok {
+		t.Fatalf("experiment %q not registered", id)
+	}
+	cfg := QuickConfig()
+	cfg.Workers = workers
+	rep, err := e.Run(cfg)
+	if err != nil {
+		t.Fatalf("%s (workers=%d): %v", id, workers, err)
+	}
+	return rep.Render()
+}
+
+// TestWorkerCountInvariance is the parallel layer's core regression:
+// the rendered report must be byte-identical at any pool width, because
+// every work item derives its RNG stream from its index and results
+// are reduced in index order. A diff here means some loop is sharing
+// mutable state across what is now concurrent work.
+func TestWorkerCountInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("worker invariance sweep skipped in -short")
+	}
+	serial := renderAt(t, "table5", 1)
+	parallel := renderAt(t, "table5", 8)
+	if serial != parallel {
+		t.Fatalf("table5 differs between Workers=1 and Workers=8:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+	}
+}
+
+// TestRepeatDeterminism re-runs one PHY experiment at a fixed worker
+// count: two runs with the same seed must render identically (no
+// scheduling-order leakage into the floating-point reductions).
+func TestRepeatDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("repeat determinism skipped in -short")
+	}
+	first := renderAt(t, "fig10", 4)
+	second := renderAt(t, "fig10", 4)
+	if first != second {
+		t.Fatalf("fig10 differs between two identical runs:\n--- first ---\n%s\n--- second ---\n%s", first, second)
+	}
+}

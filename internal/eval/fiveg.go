@@ -29,12 +29,17 @@ func run5GProjection(cfg Config) (*Report, error) {
 		{"5G NR projection", trace.Describe5G(), trace.Legacy},
 		{"5G NR projection", trace.Describe5G(), trace.REM},
 	}
-	var legacy5G, rem5G, legacyLTE *Agg
+	var specs []cellSpec
 	for _, r := range rows {
-		a, err := runCell(cfg, r.ds, bucket, r.mode)
-		if err != nil {
-			return nil, err
-		}
+		specs = append(specs, cellSpec{ds: r.ds, bucket: bucket, mode: r.mode})
+	}
+	aggs, err := runCells(cfg, specs)
+	if err != nil {
+		return nil, err
+	}
+	var legacy5G, rem5G, legacyLTE *Agg
+	for ri, r := range rows {
+		a := aggs[ri]
 		perCentury := 0.0
 		if a.Duration > 0 {
 			perCentury = float64(a.Failures) / a.Duration * 100

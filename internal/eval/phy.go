@@ -7,6 +7,7 @@ import (
 	"rem/internal/dsp"
 	"rem/internal/ofdm"
 	"rem/internal/otfs"
+	"rem/internal/par"
 	"rem/internal/sim"
 )
 
@@ -50,34 +51,55 @@ func runFig10(cfg Config) (*Report, error) {
 		Paper: "REM's BLER waterfall sits far left of legacy's; legacy has an error floor under HST Doppler",
 	}
 	streams := sim.NewStreams(cfg.BaseSeed + 100)
+	var snrs []float64
+	for snrDB := -20.0; snrDB <= 30; snrDB += step {
+		snrs = append(snrs, snrDB)
+	}
 	for _, sc := range phyScenarios() {
-		chRNG := streams.Stream("fig10." + sc.name)
+		sc := sc
 		legacy := Series{Name: "Legacy " + sc.name, XLabel: "SNR (dB)", YLabel: "BLER"}
 		rem := Series{Name: "REM " + sc.name, XLabel: "SNR (dB)", YLabel: "BLER"}
 		ici := ofdm.ICIPowerRatio(chanmodel.MaxDoppler(sc.carrier, chanmodel.KmhToMs(sc.speed)), num.SymbolT)
-		for snrDB := -20.0; snrDB <= 30; snrDB += step {
-			var accL, accR float64
-			for d := 0; d < draws; d++ {
-				ch := chanmodel.Generate(chRNG, chanmodel.GenConfig{
-					Profile: sc.profile, CarrierHz: sc.carrier,
-					SpeedMS: chanmodel.KmhToMs(sc.speed), Normalize: true,
-					LOSFirstTap: sc.profile.Name == "HST",
-				})
-				h := ch.TFResponse(m, n, num.DeltaF, num.SymbolT, 0)
-				// Condition noise on the realized wideband gain so the
-				// x-axis is the measured SNR, as in the paper.
-				var gain float64
-				for i := range h {
-					for j := range h[i] {
-						gain += real(h[i][j])*real(h[i][j]) + imag(h[i][j])*imag(h[i][j])
-					}
+		// Matched draws: every SNR point scores the same channel
+		// realizations (one stream per draw, seed schedule
+		// "fig10.<scenario>.<d>"), so the waterfall is a paired sweep
+		// and each draw samples the grid once for the whole x-axis.
+		perDraw, err := par.IndexedMap(cfg.Workers, draws, func(d int) ([2][]float64, error) {
+			rng := streams.Stream(fmt.Sprintf("fig10.%s.%04d", sc.name, d))
+			ch := chanmodel.Generate(rng, chanmodel.GenConfig{
+				Profile: sc.profile, CarrierHz: sc.carrier,
+				SpeedMS: chanmodel.KmhToMs(sc.speed), Normalize: true,
+				LOSFirstTap: sc.profile.Name == "HST",
+			})
+			h := ch.TFResponse(m, n, num.DeltaF, num.SymbolT, 0)
+			// Condition noise on the realized wideband gain so the
+			// x-axis is the measured SNR, as in the paper.
+			var gain float64
+			for i := range h {
+				for j := range h[i] {
+					gain += real(h[i][j])*real(h[i][j]) + imag(h[i][j])*imag(h[i][j])
 				}
-				gain /= float64(m * n)
+			}
+			gain /= float64(m * n)
+			// Legacy signaling: one resource block wide, two symbols
+			// (a typical PDCCH/PDSCH signaling slice).
+			slot := subGrid(h, 0, 12, 0, 2)
+			var out [2][]float64
+			for _, snrDB := range snrs {
 				noise := gain / dsp.FromDB(snrDB)
-				// Legacy signaling: one resource block wide, two
-				// symbols (a typical PDCCH/PDSCH signaling slice).
-				accL += ofdm.BlockBLER(subGrid(h, 0, 12, 0, 2), noise, ici, ofdm.QPSK, 1.0/3)
-				accR += otfs.BlockBLER(h, noise, ofdm.QPSK, 1.0/3)
+				out[0] = append(out[0], ofdm.BlockBLER(slot, noise, ici, ofdm.QPSK, 1.0/3))
+				out[1] = append(out[1], otfs.BlockBLER(h, noise, ofdm.QPSK, 1.0/3))
+			}
+			return out, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for si, snrDB := range snrs {
+			var accL, accR float64
+			for _, dr := range perDraw {
+				accL += dr[0][si]
+				accR += dr[1][si]
 			}
 			legacy.X = append(legacy.X, snrDB)
 			legacy.Y = append(legacy.Y, accL/float64(draws))
@@ -118,9 +140,24 @@ func runFig11(cfg Config) (*Report, error) {
 		legacy := Series{Name: "Legacy " + sc.name, XLabel: "time (s)", YLabel: "SNR (dB)"}
 		rem := Series{Name: "REM " + sc.name, XLabel: "time (s)", YLabel: "SNR (dB)"}
 		noise := dsp.FromDB(-meanSNRdB) * ch.PowerGain()
-		for i := 0; i <= 100; i++ {
+		// The 101 time samples are independent reads of one frozen
+		// channel: fan them out, with one reusable 600×28 grid per
+		// worker slot (the sampling is pure, so scratch reuse cannot
+		// change results).
+		const pts = 101
+		legacy.X = make([]float64, pts)
+		legacy.Y = make([]float64, pts)
+		rem.X = make([]float64, pts)
+		rem.Y = make([]float64, pts)
+		workers := par.Workers(cfg.Workers)
+		grids := make([][][]complex128, workers)
+		err := par.ForEachWorker(workers, pts, func(w, i int) error {
+			if grids[w] == nil {
+				grids[w] = dsp.NewGrid(m, n)
+			}
+			h := grids[w]
 			t0 := float64(i) * 0.01
-			h := ch.TFResponse(m, n, num.DeltaF, num.SymbolT, t0)
+			ch.TFResponseInto(h, num.DeltaF, num.SymbolT, t0)
 			// Legacy: the SNR of one signaling slot (1 RB × 2 syms).
 			slot := subGrid(h, 0, 12, 0, 2)
 			var g float64
@@ -130,11 +167,15 @@ func runFig11(cfg Config) (*Report, error) {
 				}
 			}
 			g /= float64(len(slot) * len(slot[0]))
-			legacy.X = append(legacy.X, t0)
-			legacy.Y = append(legacy.Y, dsp.DB(g/noise))
+			legacy.X[i] = t0
+			legacy.Y[i] = dsp.DB(g / noise)
 			// REM: OTFS effective SNR over the whole grid.
-			rem.X = append(rem.X, t0)
-			rem.Y = append(rem.Y, dsp.DB(otfs.EffectiveSINR(ofdm.RESINRs(h, noise, 0))))
+			rem.X[i] = t0
+			rem.Y[i] = dsp.DB(otfs.EffectiveSINR(ofdm.RESINRs(h, noise, 0)))
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
 		rep.Series = append(rep.Series, legacy, rem)
 		rep.Notes = append(rep.Notes, fmt.Sprintf("%s: SNR stddev legacy %.2f dB vs REM %.2f dB",

@@ -48,14 +48,14 @@ func table2Cells() []struct {
 func runTable2(cfg Config) (*Report, error) {
 	cells := table2Cells()
 	cols := []string{"metric"}
-	var aggs []*Agg
+	var specs []cellSpec
 	for _, c := range cells {
 		cols = append(cols, fmt.Sprintf("%s %g-%gkm/h", c.ds.ID, c.bucket[0], c.bucket[1]))
-		a, err := runCell(cfg, c.ds, c.bucket, trace.Legacy)
-		if err != nil {
-			return nil, err
-		}
-		aggs = append(aggs, a)
+		specs = append(specs, cellSpec{ds: c.ds, bucket: c.bucket, mode: trace.Legacy})
+	}
+	aggs, err := runCells(cfg, specs)
+	if err != nil {
+		return nil, err
 	}
 	row := func(name string, f func(*Agg) string) []string {
 		out := []string{name}
@@ -113,15 +113,20 @@ func runTable5(cfg Config) (*Report, error) {
 		Title:   "Table 5: failures and conflicts, legacy (LGC) vs REM, with reduction ε",
 		Columns: []string{"route/speed", "metric", "LGC", "REM", "eps"},
 	}
+	// Both arms of every route/speed cell are independent: fan all
+	// 2×len(cells) replays out at once.
+	var specs []cellSpec
 	for _, c := range cells {
-		leg, err := runCell(cfg, c.ds, c.bucket, trace.Legacy)
-		if err != nil {
-			return nil, err
-		}
-		rem, err := runCell(cfg, c.ds, c.bucket, trace.REM)
-		if err != nil {
-			return nil, err
-		}
+		specs = append(specs,
+			cellSpec{ds: c.ds, bucket: c.bucket, mode: trace.Legacy},
+			cellSpec{ds: c.ds, bucket: c.bucket, mode: trace.REM})
+	}
+	aggs, err := runCells(cfg, specs)
+	if err != nil {
+		return nil, err
+	}
+	for ci, c := range cells {
+		leg, rem := aggs[2*ci], aggs[2*ci+1]
 		// Replay convention: the paper replays the dataset's handover
 		// events and scores how many REM prevents, so both arms'
 		// failure counts are normalized by the legacy arm's event
@@ -157,16 +162,14 @@ func runTable5(cfg Config) (*Report, error) {
 }
 
 func runFig2a(cfg Config) (*Report, error) {
-	sh := trace.Describe(trace.BeijingShanghai)
-	hsr, err := runCell(cfg, sh, [2]float64{300, 350}, trace.Legacy)
+	aggs, err := runCells(cfg, []cellSpec{
+		{ds: trace.Describe(trace.BeijingShanghai), bucket: [2]float64{300, 350}, mode: trace.Legacy},
+		{ds: trace.Describe(trace.LowMobility), bucket: [2]float64{0, 100}, mode: trace.Legacy},
+	})
 	if err != nil {
 		return nil, err
 	}
-	la := trace.Describe(trace.LowMobility)
-	drv, err := runCell(cfg, la, [2]float64{0, 100}, trace.Legacy)
-	if err != nil {
-		return nil, err
-	}
+	hsr, drv := aggs[0], aggs[1]
 	return &Report{
 		ID:    "fig2a",
 		Title: "Slow feedback: measurement delay CDF",
@@ -287,15 +290,19 @@ func runFig9(cfg Config) (*Report, error) {
 	}
 	tcpCfg := tcpsim.DefaultConfig()
 	var trace9b []tcpsim.TracePoint
-	for _, bucket := range [][2]float64{{200, 300}, {300, 350}} {
-		leg, err := runCell(cfg, sh, bucket, trace.Legacy)
-		if err != nil {
-			return nil, err
-		}
-		rem, err := runCell(cfg, sh, bucket, trace.REM)
-		if err != nil {
-			return nil, err
-		}
+	buckets := [][2]float64{{200, 300}, {300, 350}}
+	var specs []cellSpec
+	for _, bucket := range buckets {
+		specs = append(specs,
+			cellSpec{ds: sh, bucket: bucket, mode: trace.Legacy},
+			cellSpec{ds: sh, bucket: bucket, mode: trace.REM})
+	}
+	aggs, err := runCells(cfg, specs)
+	if err != nil {
+		return nil, err
+	}
+	for bi, bucket := range buckets {
+		leg, rem := aggs[2*bi], aggs[2*bi+1]
 		// Only failure outages stall TCP meaningfully; handover
 		// interruptions (50 ms) barely register. Filter to ≥0.2 s.
 		ls := tcpsim.Replay(longOutages(leg.Outages, 0.2), tcpCfg)
@@ -341,14 +348,14 @@ func runFig9(cfg Config) (*Report, error) {
 
 func runFig14a(cfg Config) (*Report, error) {
 	sh := trace.Describe(trace.BeijingShanghai)
-	leg, err := runCell(cfg, sh, [2]float64{300, 350}, trace.Legacy)
+	aggs, err := runCells(cfg, []cellSpec{
+		{ds: sh, bucket: [2]float64{300, 350}, mode: trace.Legacy},
+		{ds: sh, bucket: [2]float64{300, 350}, mode: trace.REM},
+	})
 	if err != nil {
 		return nil, err
 	}
-	rem, err := runCell(cfg, sh, [2]float64{300, 350}, trace.REM)
-	if err != nil {
-		return nil, err
-	}
+	leg, rem := aggs[0], aggs[1]
 	return &Report{
 		ID:    "fig14a",
 		Title: "Feedback delay reduction",
@@ -371,19 +378,20 @@ func runFig15(cfg Config) (*Report, error) {
 		Title:   "Fig 15: failure ratio w/o coverage holes after Theorem-2 policy repair",
 		Columns: []string{"speed (km/h)", "legacy (OFDM, conflict-prone)", "legacy+fixed policy", "REM"},
 	}
-	for _, bucket := range [][2]float64{{100, 200}, {200, 300}, {300, 350}} {
-		leg, err := runCell(cfg, sh, bucket, trace.Legacy)
-		if err != nil {
-			return nil, err
-		}
-		fixed, err := runCell(cfg, sh, bucket, trace.LegacyFixedPolicy)
-		if err != nil {
-			return nil, err
-		}
-		rem, err := runCell(cfg, sh, bucket, trace.REM)
-		if err != nil {
-			return nil, err
-		}
+	buckets := [][2]float64{{100, 200}, {200, 300}, {300, 350}}
+	var specs []cellSpec
+	for _, bucket := range buckets {
+		specs = append(specs,
+			cellSpec{ds: sh, bucket: bucket, mode: trace.Legacy},
+			cellSpec{ds: sh, bucket: bucket, mode: trace.LegacyFixedPolicy},
+			cellSpec{ds: sh, bucket: bucket, mode: trace.REM})
+	}
+	aggs, err := runCells(cfg, specs)
+	if err != nil {
+		return nil, err
+	}
+	for bi, bucket := range buckets {
+		leg, fixed, rem := aggs[3*bi], aggs[3*bi+1], aggs[3*bi+2]
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprintf("%g-%g", bucket[0], bucket[1]),
 			pct(leg.RatioNoHoles), pct(fixed.RatioNoHoles), pct(rem.RatioNoHoles),

@@ -133,6 +133,11 @@ type Config struct {
 	BaseSeed int64
 	// Quick shrinks workloads for smoke tests and benchmarks.
 	Quick bool
+	// Workers bounds the parallel execution layer's pool width per
+	// fan-out (0 or negative = all cores). Reports are byte-identical
+	// at any worker count: work items derive independent RNG streams
+	// from their index and results are reduced in index order.
+	Workers int
 }
 
 // DefaultConfig returns full-scale experiment settings.

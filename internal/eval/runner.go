@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"rem/internal/mobility"
+	"rem/internal/par"
 	"rem/internal/policy"
 	"rem/internal/tcpsim"
 	"rem/internal/trace"
@@ -51,7 +52,18 @@ type Agg struct {
 	Signaling           int
 }
 
-// runCell executes Seeds replicas and aggregates.
+// replicaOut is one seed's replay plus its policy-attributed conflict
+// loops, produced on a worker and reduced on the caller's goroutine.
+type replicaOut struct {
+	res   *mobility.Result
+	loops []policy.Loop
+}
+
+// runCell executes Seeds replicas in parallel (bounded by cfg.Workers)
+// and aggregates them in seed order, so the reduction — including its
+// floating-point accumulation order — matches a serial run exactly.
+// Each replica is fully self-contained: its seed is derived from the
+// replica index, never from a shared stream.
 func runCell(cfg Config, ds trace.Dataset, bucket [2]float64, mode trace.Mode) (*Agg, error) {
 	cfg = cfg.normalized()
 	agg := &Agg{
@@ -61,12 +73,7 @@ func runCell(cfg Config, ds trace.Dataset, bucket [2]float64, mode trace.Mode) (
 		CauseRatio: make(map[mobility.FailureCause]float64),
 	}
 	speed := trace.BucketSpeedKmh(bucket)
-	totalLoopHOs := 0
-	holeFails := 0
-	var loopHOSum, loopDisrSum float64
-	intraLoops := 0
-	var gapSec float64
-	for s := 0; s < cfg.Seeds; s++ {
+	reps, err := par.IndexedMap(cfg.Workers, cfg.Seeds, func(s int) (replicaOut, error) {
 		built, err := trace.Build(trace.BuildConfig{
 			Dataset:  ds,
 			SpeedKmh: speed,
@@ -75,12 +82,29 @@ func runCell(cfg Config, ds trace.Dataset, bucket [2]float64, mode trace.Mode) (
 			Seed:     cfg.BaseSeed + int64(s)*7919,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("eval: build %v/%v: %w", ds.ID, mode, err)
+			return replicaOut{}, fmt.Errorf("eval: build %v/%v: %w", ds.ID, mode, err)
 		}
 		res, err := mobility.Run(built.Streams, built.Scenario)
 		if err != nil {
-			return nil, fmt.Errorf("eval: run %v/%v: %w", ds.ID, mode, err)
+			return replicaOut{}, fmt.Errorf("eval: run %v/%v: %w", ds.ID, mode, err)
 		}
+		loops := policy.LoopDetector{}.Detect(res.Handovers)
+		return replicaOut{
+			res:   res,
+			loops: policy.ConflictLoops(loops, built.Policies, policy.DefaultMetricRange()),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	totalLoopHOs := 0
+	holeFails := 0
+	var loopHOSum, loopDisrSum float64
+	intraLoops := 0
+	var gapSec float64
+	for s, rep := range reps {
+		res := rep.res
 		agg.Handovers += len(res.Handovers)
 		agg.Failures += len(res.Failures)
 		agg.Duration += res.Duration
@@ -116,10 +140,8 @@ func runCell(cfg Config, ds trace.Dataset, bucket [2]float64, mode trace.Mode) (
 			agg.Outages = append(agg.Outages, tcpsim.Outage{Start: o.Start, Duration: o.Duration})
 		}
 
-		loops := policy.LoopDetector{}.Detect(res.Handovers)
-		cl := policy.ConflictLoops(loops, built.Policies, policy.DefaultMetricRange())
-		agg.ConflictLoops += len(cl)
-		for _, l := range cl {
+		agg.ConflictLoops += len(rep.loops)
+		for _, l := range rep.loops {
 			totalLoopHOs += l.Handovers
 			loopHOSum += float64(l.Handovers)
 			loopDisrSum += l.Disruption
@@ -150,6 +172,27 @@ func runCell(cfg Config, ds trace.Dataset, bucket [2]float64, mode trace.Mode) (
 		agg.GapActiveFrac = gapSec / agg.Duration
 	}
 	return agg, nil
+}
+
+// runCells evaluates many independent (dataset, bucket, mode) cells in
+// parallel and returns the aggregates in argument order. The per-cell
+// seed schedule is identical to calling runCell sequentially.
+func runCells(cfg Config, cells []cellSpec) ([]*Agg, error) {
+	return par.IndexedMap(cfg.Workers, len(cells), func(i int) (*Agg, error) {
+		// The outer fan-out already provides cell-level parallelism;
+		// run each cell's replicas serially to avoid multiplying the
+		// pool width.
+		inner := cfg
+		inner.Workers = 1
+		return runCell(inner, cells[i].ds, cells[i].bucket, cells[i].mode)
+	})
+}
+
+// cellSpec names one runCell invocation for a parallel batch.
+type cellSpec struct {
+	ds     trace.Dataset
+	bucket [2]float64
+	mode   trace.Mode
 }
 
 // reduction is the paper's ε = (K_legacy − K_rem)/K_rem on ratios.

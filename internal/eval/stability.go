@@ -9,6 +9,7 @@ import (
 	"rem/internal/dsp"
 	"rem/internal/ofdm"
 	"rem/internal/otfs"
+	"rem/internal/par"
 	"rem/internal/sim"
 )
 
@@ -51,13 +52,22 @@ func runAppendixA(cfg Config) (*Report, error) {
 
 	tfS := Series{Name: "time-frequency H(t,f)", XLabel: "lag (s)", YLabel: "correlation"}
 	ddS := Series{Name: "delay-Doppler h(τ,ν)", XLabel: "lag (s)", YLabel: "correlation"}
-	for _, lag := range []float64{0, tc / 2, tc, 2 * tc, 5 * tc, 10 * tc, 50 * tc, 200 * tc} {
+	lags := []float64{0, tc / 2, tc, 2 * tc, 5 * tc, 10 * tc, 50 * tc, 200 * tc}
+	// Each lag is an independent pure read of the frozen channel.
+	corrs, err := par.IndexedMap(cfg.Workers, len(lags), func(i int) ([2]float64, error) {
+		lag := lags[i]
 		tfL := ch.TFResponse(m, n, num.DeltaF, num.SymbolT, lag)
 		ddL := compensatedDD(ch, m, n, num, lag)
+		return [2]float64{gridCorrelation(tf0, tfL), gridCorrelation(dd0, ddL)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, lag := range lags {
 		tfS.X = append(tfS.X, lag)
-		tfS.Y = append(tfS.Y, gridCorrelation(tf0, tfL))
+		tfS.Y = append(tfS.Y, corrs[i][0])
 		ddS.X = append(ddS.X, lag)
-		ddS.Y = append(ddS.Y, gridCorrelation(dd0, ddL))
+		ddS.Y = append(ddS.Y, corrs[i][1])
 	}
 	return &Report{
 		ID:     "appendix-a",
@@ -115,13 +125,15 @@ func runAblationHybrid(cfg Config) (*Report, error) {
 	num := ofdm.LTE()
 	const m, n = 96, 14
 	streams := sim.NewStreams(cfg.BaseSeed + 310)
-	rng := streams.Stream("hybrid")
 	t := Table{
 		Title:   "Data transfer over OFDM vs OTFS (EVA @350 km/h, realized 9 dB SNR)",
 		Columns: []string{"data PHY", "mean BLER", "detector passes", "relative processing"},
 	}
-	var ofdmB, otfsB float64
-	for d := 0; d < draws; d++ {
+	ici := ofdm.ICIPowerRatio(chanmodel.MaxDoppler(2.6e9, chanmodel.KmhToMs(350)), num.SymbolT)
+	// One stream per draw (seed schedule "hybrid.<d>") so the draws
+	// parallelize without sharing RNG state.
+	perDraw, err := par.IndexedMap(cfg.Workers, draws, func(d int) ([2]float64, error) {
+		rng := streams.Stream(fmt.Sprintf("hybrid.%04d", d))
 		ch := chanmodel.Generate(rng, chanmodel.GenConfig{
 			Profile: chanmodel.EVA, CarrierHz: 2.6e9,
 			SpeedMS: chanmodel.KmhToMs(350), Normalize: true,
@@ -136,10 +148,19 @@ func runAblationHybrid(cfg Config) (*Report, error) {
 		}
 		gain /= float64(m * n)
 		noise := gain / dsp.FromDB(9)
-		ici := ofdm.ICIPowerRatio(chanmodel.MaxDoppler(2.6e9, chanmodel.KmhToMs(350)), num.SymbolT)
 		// OFDM data: a scheduler allocation of 2 RBs × full subframe.
-		ofdmB += ofdm.BlockBLER(subGrid(h, 0, 24, 0, 14), noise, ici, ofdm.QAM16, 0.5)
-		otfsB += otfs.BlockBLER(h, noise, ofdm.QAM16, 0.5)
+		return [2]float64{
+			ofdm.BlockBLER(subGrid(h, 0, 24, 0, 14), noise, ici, ofdm.QAM16, 0.5),
+			otfs.BlockBLER(h, noise, ofdm.QAM16, 0.5),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var ofdmB, otfsB float64
+	for _, dr := range perDraw {
+		ofdmB += dr[0]
+		otfsB += dr[1]
 	}
 	t.Rows = append(t.Rows,
 		[]string{"OFDM", fmt.Sprintf("%.4f", ofdmB/float64(draws)), "1 (single-tap EQ)", "1.0x"},

@@ -1,0 +1,101 @@
+// Package par is the deterministic parallel execution layer for the
+// evaluation stack: a bounded worker pool that fans independent work
+// items out by index and hands results back in index order.
+//
+// Determinism contract: callers must make each work item self-contained
+// (derive any RNG stream from the item's index — see rem/internal/sim's
+// concurrency contract) and must perform all cross-item reduction on
+// the index-ordered results this package returns. Under that contract
+// aggregation order — and therefore floating-point reduction order and
+// rendered report bytes — is identical at any worker count, including 1.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a configured pool width: n <= 0 selects
+// runtime.GOMAXPROCS(0) (all available cores), any positive n is used
+// as-is.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// ForEach runs fn(i) for every i in [0, n) on at most workers
+// concurrent goroutines (workers <= 0 means all cores). Every item runs
+// regardless of other items' errors, so the set of executed work is
+// schedule-independent; the returned error is the one with the smallest
+// index, which makes the call's outcome deterministic too.
+func ForEach(workers, n int, fn func(i int) error) error {
+	return ForEachWorker(workers, n, func(_, i int) error { return fn(i) })
+}
+
+// ForEachWorker is ForEach with the worker slot id (0..workers-1)
+// passed alongside the item index, so callers can keep per-slot scratch
+// buffers that are reused across the items a slot processes. Scratch
+// must never influence results, only allocation behavior.
+func ForEachWorker(workers, n int, fn func(worker, i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(0, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(w, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// IndexedMap fans fn out over [0, n) and collects the results in index
+// order: out[i] is fn(i)'s value no matter which worker ran it or when.
+// On error the results are discarded and the smallest-index error is
+// returned.
+func IndexedMap[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(workers, n, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,106 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-3) = %d", got)
+	}
+	if got := Workers(5); got != 5 {
+		t.Fatalf("Workers(5) = %d", got)
+	}
+}
+
+func TestForEachRunsEverything(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		var hits [257]atomic.Int32
+		err := ForEach(workers, len(hits), func(i int) error {
+			hits[i].Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range hits {
+			if hits[i].Load() != 1 {
+				t.Fatalf("workers=%d: item %d ran %d times", workers, i, hits[i].Load())
+			}
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	if err := ForEach(4, 0, func(int) error { return errors.New("must not run") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachSmallestIndexError(t *testing.T) {
+	// Several items fail; the reported error must always be the
+	// smallest-index one regardless of scheduling.
+	for trial := 0; trial < 20; trial++ {
+		err := ForEach(8, 64, func(i int) error {
+			if i%7 == 3 {
+				return fmt.Errorf("item %d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "item 3" {
+			t.Fatalf("got %v, want item 3", err)
+		}
+	}
+}
+
+func TestForEachWorkerSlots(t *testing.T) {
+	workers := 4
+	var bad atomic.Bool
+	err := ForEachWorker(workers, 100, func(w, i int) error {
+		if w < 0 || w >= workers {
+			bad.Store(true)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad.Load() {
+		t.Fatal("worker slot out of range")
+	}
+}
+
+func TestIndexedMapOrder(t *testing.T) {
+	for _, workers := range []int{1, 3, 16} {
+		out, err := IndexedMap(workers, 500, func(i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestIndexedMapError(t *testing.T) {
+	out, err := IndexedMap(4, 10, func(i int) (int, error) {
+		if i == 5 {
+			return 0, errors.New("boom")
+		}
+		return i, nil
+	})
+	if err == nil || out != nil {
+		t.Fatalf("expected error and nil slice, got %v %v", out, err)
+	}
+}

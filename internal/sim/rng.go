@@ -3,6 +3,19 @@
 // queue with a simulated clock, and named deterministic random-number
 // streams so that every experiment in the repository is reproducible
 // bit-for-bit from its seed.
+//
+// # Concurrency contract
+//
+// RNG is single-goroutine: a generator's sequence is its state, so two
+// goroutines sharing one RNG would both race and destroy determinism
+// (the interleaving would decide who gets which draw). Streams, by
+// contrast, is immutable and safe for concurrent use. Parallel code
+// must therefore derive one named stream (or one seed) per work item —
+// e.g. Stream(fmt.Sprintf("fig12.%s.%04d", scenario, draw)) — and keep
+// it private to the goroutine running that item. This is the seed
+// schedule rem/internal/par's deterministic fan-out relies on: each
+// item's draws depend only on (master seed, item name/index), never on
+// which worker ran it or in what order.
 package sim
 
 import (
@@ -13,7 +26,8 @@ import (
 
 // RNG wraps math/rand with a few distributions the channel and network
 // models need. It is deliberately not safe for concurrent use; create
-// one stream per logical noise source instead (see Streams).
+// one stream per logical noise source — and, in parallel code, one
+// stream per work item (see Streams and the package comment).
 type RNG struct {
 	r *rand.Rand
 }
@@ -67,6 +81,8 @@ func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
 // Streams derives independent named RNGs from a master seed, so that
 // adding a new consumer never perturbs the draws seen by existing ones
 // (a classic reproducibility hazard with a single shared stream).
+// Streams itself is immutable and safe for concurrent use; the RNGs it
+// returns are not — derive one per goroutine/work item.
 type Streams struct {
 	seed int64
 }

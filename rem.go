@@ -58,7 +58,9 @@ type (
 	OTFSModem = otfs.Modem
 	// Experiment is a registered paper table/figure driver.
 	Experiment = eval.Experiment
-	// ExperimentConfig scales experiment workloads.
+	// ExperimentConfig scales experiment workloads. Its Workers field
+	// bounds the parallel worker pool (0 = all cores); rendered
+	// reports are byte-identical at any worker count.
 	ExperimentConfig = eval.Config
 	// Report is an experiment's rendered output.
 	Report = eval.Report
