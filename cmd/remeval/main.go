@@ -16,9 +16,11 @@
 //	remeval -exp table5
 //	remeval -all -quick
 //	remeval -exp fig10 -seeds 5 -duration 2000 -workers 4
+//	remeval -exp table5 -json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -37,6 +39,7 @@ func main() {
 		duration = flag.Float64("duration", 0, "override per-replica simulated seconds")
 		baseSeed = flag.Int64("seed", 1, "base RNG seed")
 		workers  = flag.Int("workers", 0, "parallel worker pool size; 0 = all cores (output is identical at any value)")
+		jsonOut  = flag.Bool("json", false, "emit each report as machine-readable JSON instead of rendered text")
 	)
 	flag.Parse()
 
@@ -60,14 +63,29 @@ func main() {
 	cfg.BaseSeed = *baseSeed
 	cfg.Workers = *workers
 
+	// emit prints one report: rendered text by default, or the report
+	// struct (ID, title, tables, series) as one JSON document with -json.
+	emit := func(rep *rem.Report) bool {
+		if !*jsonOut {
+			fmt.Println(rep.Render())
+			return true
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintf(os.Stderr, "remeval: %v\n", err)
+			return false
+		}
+		return true
+	}
+
 	run := func(id string) bool {
 		rep, err := rem.RunExperiment(id, cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "remeval: %s: %v\n", id, err)
 			return false
 		}
-		fmt.Println(rep.Render())
-		return true
+		return emit(rep)
 	}
 
 	switch {
@@ -80,15 +98,12 @@ func main() {
 		inner := cfg
 		inner.Workers = 1
 		type outcome struct {
-			text string
-			err  error
+			rep *rem.Report
+			err error
 		}
 		outs, _ := par.IndexedMap(cfg.Workers, len(exps), func(i int) (outcome, error) {
 			rep, err := rem.RunExperiment(exps[i].ID, inner)
-			if err != nil {
-				return outcome{err: err}, nil
-			}
-			return outcome{text: rep.Render()}, nil
+			return outcome{rep: rep, err: err}, nil
 		})
 		ok := true
 		for i, out := range outs {
@@ -97,7 +112,9 @@ func main() {
 				ok = false
 				continue
 			}
-			fmt.Println(out.text)
+			if !emit(out.rep) {
+				ok = false
+			}
 		}
 		if !ok {
 			os.Exit(1)

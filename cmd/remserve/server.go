@@ -1,0 +1,402 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"rem"
+)
+
+// wireSpec is the POST /runs request body: the fleet spec plus
+// string-named dataset and mode (the embedded FleetSpec keeps its
+// typed Dataset/Mode out of JSON).
+type wireSpec struct {
+	rem.FleetSpec
+	Dataset string `json:"dataset,omitempty"`
+	Mode    string `json:"mode,omitempty"`
+}
+
+// Run lifecycle states.
+const (
+	statePending  = "pending"
+	stateRunning  = "running"
+	stateDone     = "done"
+	stateCanceled = "canceled"
+	stateFailed   = "failed"
+)
+
+func terminal(state string) bool {
+	return state == stateDone || state == stateCanceled || state == stateFailed
+}
+
+// run is one fleet execution owned by the server. The fleet engine
+// calls its hooks from a single coordinating goroutine; HTTP handlers
+// read it concurrently, so all mutable state sits behind mu.
+type run struct {
+	id     string
+	spec   wireSpec
+	cancel context.CancelFunc
+
+	mu       sync.Mutex
+	state    string
+	errMsg   string
+	events   []rem.FleetEvent
+	notify   chan struct{} // closed and replaced on every append/transition
+	progress rem.FleetProgress
+	result   *rem.FleetResult
+	started  time.Time
+}
+
+func (r *run) wake() {
+	close(r.notify)
+	r.notify = make(chan struct{})
+}
+
+func (r *run) appendEvent(ev rem.FleetEvent) {
+	r.mu.Lock()
+	r.events = append(r.events, ev)
+	r.wake()
+	r.mu.Unlock()
+}
+
+func (r *run) setProgress(p rem.FleetProgress) {
+	r.mu.Lock()
+	r.progress = p
+	r.mu.Unlock()
+}
+
+func (r *run) finish(state string, res *rem.FleetResult, errMsg string) {
+	r.mu.Lock()
+	r.state = state
+	r.result = res
+	r.errMsg = errMsg
+	r.wake()
+	r.mu.Unlock()
+}
+
+// runView is the JSON shape of GET /runs/{id}.
+type runView struct {
+	ID       string           `json:"id"`
+	State    string           `json:"state"`
+	Error    string           `json:"error,omitempty"`
+	Spec     wireSpec         `json:"spec"`
+	SimTime  float64          `json:"sim_time_sec"`
+	Attached int              `json:"attached"`
+	Events   int              `json:"events"`
+	Result   *rem.FleetResult `json:"result,omitempty"`
+}
+
+func (r *run) view(withResult bool) runView {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v := runView{
+		ID: r.id, State: r.state, Error: r.errMsg, Spec: r.spec,
+		SimTime: r.progress.SimTime, Attached: r.progress.Attached,
+		Events: len(r.events),
+	}
+	if withResult {
+		v.Result = r.result
+	}
+	return v
+}
+
+// epochBuckets are the upper bounds (ms) of the epoch decision-latency
+// histogram exported at /metrics.
+var epochBuckets = []float64{1, 5, 25, 100, 500}
+
+// server owns the run registry and metrics. Metrics are plain fields
+// (not expvar globals) so tests can construct independent servers
+// without duplicate-Publish panics.
+type server struct {
+	baseCtx context.Context
+
+	mu    sync.Mutex
+	runs  map[string]*run
+	order []string
+	seq   int
+
+	runsStarted, runsCompleted, runsCanceled, runsFailed int
+	epochs                                               int
+	epochHist                                            []int // len(epochBuckets)+1, last = overflow
+}
+
+func newServer(ctx context.Context) *server {
+	return &server{
+		baseCtx:   ctx,
+		runs:      make(map[string]*run),
+		epochHist: make([]int, len(epochBuckets)+1),
+	}
+}
+
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("POST /runs", s.handleStartRun)
+	mux.HandleFunc("GET /runs", s.handleListRuns)
+	mux.HandleFunc("GET /runs/{id}", s.handleGetRun)
+	mux.HandleFunc("POST /runs/{id}/cancel", s.handleCancelRun)
+	mux.HandleFunc("GET /runs/{id}/events", s.handleEvents)
+	return mux
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+type metricsView struct {
+	ActiveRuns    int           `json:"active_runs"`
+	ActiveUEs     int           `json:"active_ues"`
+	RunsStarted   int           `json:"runs_started"`
+	RunsCompleted int           `json:"runs_completed"`
+	RunsCanceled  int           `json:"runs_canceled"`
+	RunsFailed    int           `json:"runs_failed"`
+	Handovers     int           `json:"handovers"`
+	Failures      int           `json:"failures"`
+	Blocked       int           `json:"blocked"`
+	Epochs        int           `json:"epochs"`
+	EpochWallHist []bucketCount `json:"epoch_wall_ms_hist"`
+}
+
+type bucketCount struct {
+	LeMs  float64 `json:"le_ms,omitempty"` // 0 means +Inf (overflow bucket)
+	Count int     `json:"count"`
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	m := metricsView{
+		RunsStarted:   s.runsStarted,
+		RunsCompleted: s.runsCompleted,
+		RunsCanceled:  s.runsCanceled,
+		RunsFailed:    s.runsFailed,
+		Epochs:        s.epochs,
+	}
+	for i, n := range s.epochHist {
+		b := bucketCount{Count: n}
+		if i < len(epochBuckets) {
+			b.LeMs = epochBuckets[i]
+		}
+		m.EpochWallHist = append(m.EpochWallHist, b)
+	}
+	views := make([]*run, 0, len(s.runs))
+	for _, id := range s.order {
+		views = append(views, s.runs[id])
+	}
+	s.mu.Unlock()
+
+	// Live counters: sum each run's latest progress heartbeat (the
+	// hooks carry cumulative totals per run, so this includes both
+	// finished and still-running fleets).
+	for _, r := range views {
+		r.mu.Lock()
+		if r.state == stateRunning {
+			m.ActiveRuns++
+			m.ActiveUEs += r.progress.Attached
+		}
+		m.Handovers += r.progress.Handovers
+		m.Failures += r.progress.Failures
+		m.Blocked += r.progress.Blocked
+		r.mu.Unlock()
+	}
+	writeJSON(w, http.StatusOK, m)
+}
+
+func (s *server) handleStartRun(w http.ResponseWriter, req *http.Request) {
+	var spec wireSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, req.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad spec: %w", err))
+		return
+	}
+	r, err := s.startRun(spec)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	w.Header().Set("Location", "/runs/"+r.id)
+	writeJSON(w, http.StatusAccepted, r.view(false))
+}
+
+func (s *server) startRun(spec wireSpec) (*run, error) {
+	ds, err := rem.ParseDataset(spec.Dataset)
+	if err != nil {
+		return nil, err
+	}
+	md, err := rem.ParseMode(spec.Mode)
+	if err != nil {
+		return nil, err
+	}
+	fs := spec.FleetSpec
+	fs.Dataset = ds
+	fs.Mode = md
+	if fs.DurationSec <= 0 {
+		return nil, fmt.Errorf("spec: duration_sec must be > 0")
+	}
+	if fs.UEs < 1 {
+		return nil, fmt.Errorf("spec: ues must be >= 1")
+	}
+
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	r := &run{
+		spec: spec, cancel: cancel,
+		state: statePending, notify: make(chan struct{}),
+		started: time.Now(),
+	}
+	s.mu.Lock()
+	s.seq++
+	r.id = fmt.Sprintf("run-%04d", s.seq)
+	s.runs[r.id] = r
+	s.order = append(s.order, r.id)
+	s.runsStarted++
+	s.mu.Unlock()
+
+	go s.execute(ctx, r, fs)
+	return r, nil
+}
+
+func (s *server) execute(ctx context.Context, r *run, fs rem.FleetSpec) {
+	r.mu.Lock()
+	r.state = stateRunning
+	r.wake()
+	r.mu.Unlock()
+
+	res, err := rem.RunFleetWithOptions(ctx, fs, rem.FleetOptions{
+		Observer: r.appendEvent,
+		Progress: func(p rem.FleetProgress) {
+			r.setProgress(p)
+			s.observeEpoch(p.WallStep)
+		},
+	})
+
+	s.mu.Lock()
+	switch {
+	case err == nil:
+		s.runsCompleted++
+	case errors.Is(err, context.Canceled):
+		s.runsCanceled++
+	default:
+		s.runsFailed++
+	}
+	s.mu.Unlock()
+
+	switch {
+	case err == nil:
+		r.finish(stateDone, res, "")
+	case errors.Is(err, context.Canceled):
+		r.finish(stateCanceled, nil, err.Error())
+	default:
+		r.finish(stateFailed, nil, err.Error())
+	}
+	r.cancel()
+}
+
+func (s *server) observeEpoch(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	s.mu.Lock()
+	s.epochs++
+	i := 0
+	for i < len(epochBuckets) && ms > epochBuckets[i] {
+		i++
+	}
+	s.epochHist[i]++
+	s.mu.Unlock()
+}
+
+func (s *server) lookup(req *http.Request) *run {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.runs[req.PathValue("id")]
+}
+
+func (s *server) handleListRuns(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	runs := make([]*run, 0, len(s.order))
+	for _, id := range s.order {
+		runs = append(runs, s.runs[id])
+	}
+	s.mu.Unlock()
+	views := make([]runView, 0, len(runs))
+	for _, r := range runs {
+		views = append(views, r.view(false))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"runs": views})
+}
+
+func (s *server) handleGetRun(w http.ResponseWriter, req *http.Request) {
+	r := s.lookup(req)
+	if r == nil {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no such run"))
+		return
+	}
+	writeJSON(w, http.StatusOK, r.view(true))
+}
+
+func (s *server) handleCancelRun(w http.ResponseWriter, req *http.Request) {
+	r := s.lookup(req)
+	if r == nil {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no such run"))
+		return
+	}
+	r.cancel()
+	writeJSON(w, http.StatusOK, r.view(false))
+}
+
+// handleEvents streams the run's events as NDJSON: buffered replay
+// first, then live follow until the run reaches a terminal state or
+// the client disconnects.
+func (s *server) handleEvents(w http.ResponseWriter, req *http.Request) {
+	r := s.lookup(req)
+	if r == nil {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no such run"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	idx := 0
+	for {
+		r.mu.Lock()
+		pending := r.events[idx:]
+		idx = len(r.events)
+		done := terminal(r.state)
+		notify := r.notify
+		r.mu.Unlock()
+
+		for _, ev := range pending {
+			if err := enc.Encode(ev); err != nil {
+				return
+			}
+		}
+		if len(pending) > 0 && flusher != nil {
+			flusher.Flush()
+		}
+		if done {
+			return
+		}
+		select {
+		case <-notify:
+		case <-req.Context().Done():
+			return
+		}
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,288 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"rem"
+)
+
+func newTestServer(t *testing.T) (*server, *httptest.Server) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	s := newServer(ctx)
+	ts := httptest.NewServer(s.handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func postRun(t *testing.T, ts *httptest.Server, body string) runView {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/runs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /runs: status %d", resp.StatusCode)
+	}
+	var v runView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func getRun(t *testing.T, ts *httptest.Server, id string) runView {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/runs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v runView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func waitState(t *testing.T, ts *httptest.Server, id, want string) runView {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		v := getRun(t, ts, id)
+		if v.State == want {
+			return v
+		}
+		if terminal(v.State) && v.State != want {
+			t.Fatalf("run %s reached %q (err %q), want %q", id, v.State, v.Error, want)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("run %s never reached %q", id, want)
+	return runView{}
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+}
+
+func TestRunLifecycle(t *testing.T) {
+	_, ts := newTestServer(t)
+	v := postRun(t, ts, `{"ues":20,"dataset":"beijing-shanghai","mode":"rem","speed_kmh":330,"duration_sec":3,"seed":7}`)
+	if v.ID != "run-0001" {
+		t.Fatalf("id = %q", v.ID)
+	}
+	done := waitState(t, ts, v.ID, stateDone)
+	if done.Result == nil {
+		t.Fatal("done run has no result")
+	}
+	if got := done.Result.Summary.UEs; got != 20 {
+		t.Fatalf("result UEs = %d, want 20", got)
+	}
+	if done.Result.Summary.Mode != "rem" || done.Result.Summary.Dataset != "beijing-shanghai" {
+		t.Fatalf("result header: %+v", done.Result.Summary)
+	}
+	if !strings.Contains(done.Result.Report, "Fleet reliability") {
+		t.Fatal("rendered report missing from result")
+	}
+
+	// The service result must equal a direct engine run of the same
+	// spec — the server adds no nondeterminism.
+	direct, err := rem.RunFleet(context.Background(), rem.FleetSpec{
+		UEs: 20, Dataset: rem.BeijingShanghai, Mode: rem.ModeREM,
+		SpeedKmh: 330, DurationSec: 3, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*done.Result, *direct) {
+		t.Fatal("server result differs from direct fleet run")
+	}
+
+	// List view includes it.
+	resp, err := http.Get(ts.URL + "/runs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var list struct {
+		Runs []runView `json:"runs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Runs) != 1 || list.Runs[0].ID != v.ID {
+		t.Fatalf("list: %+v", list.Runs)
+	}
+}
+
+func TestEventStream(t *testing.T) {
+	_, ts := newTestServer(t)
+	// Open the stream while the run is live: replay + follow must
+	// deliver every event and terminate at run completion.
+	v := postRun(t, ts, `{"ues":30,"dataset":"beijing-shanghai","mode":"legacy","speed_kmh":330,"duration_sec":4,"seed":3}`)
+	resp, err := http.Get(ts.URL + "/runs/" + v.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content-type %q", ct)
+	}
+	var streamed []rem.FleetEvent
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var ev rem.FleetEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		streamed = append(streamed, ev)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	done := waitState(t, ts, v.ID, stateDone)
+	if len(streamed) != done.Events {
+		t.Fatalf("streamed %d events, run recorded %d", len(streamed), done.Events)
+	}
+	if len(streamed) == 0 {
+		t.Fatal("expected events from a 30-UE run")
+	}
+
+	// A second read after completion replays the identical sequence.
+	resp2, err := http.Get(ts.URL + "/runs/" + v.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var replayed []rem.FleetEvent
+	sc2 := bufio.NewScanner(resp2.Body)
+	for sc2.Scan() {
+		var ev rem.FleetEvent
+		if err := json.Unmarshal(sc2.Bytes(), &ev); err != nil {
+			t.Fatal(err)
+		}
+		replayed = append(replayed, ev)
+	}
+	if !reflect.DeepEqual(streamed, replayed) {
+		t.Fatal("replay differs from live stream")
+	}
+}
+
+func TestConcurrentRunsAndCancel(t *testing.T) {
+	s, ts := newTestServer(t)
+	// A long run to cancel plus short runs completing around it.
+	long := postRun(t, ts, `{"ues":20,"dataset":"beijing-shanghai","mode":"legacy","speed_kmh":330,"duration_sec":600,"seed":1,"epoch_sec":0.2}`)
+	var wg sync.WaitGroup
+	ids := make([]string, 3)
+	for i := range ids {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v := postRun(t, ts, fmt.Sprintf(
+				`{"ues":10,"dataset":"beijing-taiyuan","mode":"rem","speed_kmh":300,"duration_sec":2,"seed":%d}`, i+2))
+			ids[i] = v.ID
+		}(i)
+	}
+	wg.Wait()
+	for _, id := range ids {
+		waitState(t, ts, id, stateDone)
+	}
+
+	waitState(t, ts, long.ID, stateRunning)
+	resp, err := http.Post(ts.URL+"/runs/"+long.ID+"/cancel", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	waitState(t, ts, long.ID, stateCanceled)
+
+	// Metrics reflect the mixture.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var m metricsView
+	if err := json.NewDecoder(mresp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if m.RunsStarted != 4 || m.RunsCompleted != 3 || m.RunsCanceled != 1 {
+		t.Fatalf("metrics: %+v", m)
+	}
+	if m.Epochs == 0 {
+		t.Fatal("no epochs observed in latency histogram")
+	}
+	total := 0
+	for _, b := range m.EpochWallHist {
+		total += b.Count
+	}
+	if total != m.Epochs {
+		t.Fatalf("histogram sums to %d, epochs = %d", total, m.Epochs)
+	}
+	_ = s
+}
+
+func TestBaseContextCancelTearsDownRuns(t *testing.T) {
+	// Simulates SIGTERM: cancelling the server's base context must
+	// cancel in-flight fleets.
+	ctx, cancel := context.WithCancel(context.Background())
+	s := newServer(ctx)
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+	v := postRun(t, ts, `{"ues":10,"dataset":"beijing-shanghai","mode":"legacy","speed_kmh":330,"duration_sec":600,"seed":1}`)
+	waitState(t, ts, v.ID, stateRunning)
+	cancel()
+	waitState(t, ts, v.ID, stateCanceled)
+}
+
+func TestBadRequests(t *testing.T) {
+	_, ts := newTestServer(t)
+	for _, body := range []string{
+		`not json`,
+		`{"ues":0,"duration_sec":5}`,
+		`{"ues":5}`,
+		`{"ues":5,"duration_sec":5,"mode":"warp-drive"}`,
+		`{"ues":5,"duration_sec":5,"dataset":"mars"}`,
+		`{"ues":5,"duration_sec":5,"bogus_field":1}`,
+	} {
+		resp, err := http.Post(ts.URL+"/runs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("POST %q: status %d, want 400", body, resp.StatusCode)
+		}
+	}
+	for _, path := range []string{"/runs/run-9999", "/runs/run-9999/events"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s: status %d, want 404", path, resp.StatusCode)
+		}
+	}
+}

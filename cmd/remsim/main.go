@@ -1,20 +1,25 @@
 // Command remsim runs one end-to-end high-speed-rail mobility
 // simulation and prints the reliability summary.
 //
-// With -replicas N it runs N independent replicas (seeds seed,
-// seed+7919, seed+2*7919, ...) across the -workers pool and prints the
-// per-replica and aggregate failure statistics. The output is
-// deterministic for a given seed at any worker count: each replica
-// derives its RNG from its own index and results are reduced in
-// replica order.
+// With -replicas N it runs N independent replicas across the -workers
+// pool and prints the per-replica and aggregate failure statistics.
+// Replica i's RNG is rooted at rem.ReplicaSeed(seed, i) — the same
+// hash-derived schedule the fleet engine and remserve use — so the
+// output is deterministic for a given seed at any worker count and
+// replica seeds never collide with nearby master seeds.
+//
+// With -json the summary is emitted as the machine-readable
+// FleetSummary JSON that remserve returns, so CLI and service output
+// are directly diffable.
 //
 // Usage:
 //
 //	remsim -dataset beijing-shanghai -speed 330 -mode rem -duration 600
-//	remsim -mode rem -replicas 8 -workers 4
+//	remsim -mode rem -replicas 8 -workers 4 -json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -31,35 +36,20 @@ func main() {
 		mode     = flag.String("mode", "legacy", "legacy | rem | rem-no-crossband | legacy-fixed-policy")
 		duration = flag.Float64("duration", 600, "simulated seconds")
 		seed     = flag.Int64("seed", 1, "RNG seed")
-		replicas = flag.Int("replicas", 1, "independent replicas to run (seeds seed+i*7919)")
+		replicas = flag.Int("replicas", 1, "independent replicas to run (seeds rem.ReplicaSeed(seed, i))")
 		workers  = flag.Int("workers", 0, "parallel worker pool size; 0 = all cores (output is identical at any value)")
+		jsonOut  = flag.Bool("json", false, "emit the machine-readable summary JSON instead of text")
 	)
 	flag.Parse()
 
-	var ds rem.DatasetID
-	switch *dataset {
-	case "low-mobility-la", "la":
-		ds = rem.LowMobility
-	case "beijing-taiyuan", "taiyuan":
-		ds = rem.BeijingTaiyuan
-	case "beijing-shanghai", "shanghai":
-		ds = rem.BeijingShanghai
-	default:
-		fmt.Fprintf(os.Stderr, "remsim: unknown dataset %q\n", *dataset)
+	ds, err := rem.ParseDataset(*dataset)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "remsim: %v\n", err)
 		os.Exit(2)
 	}
-	var md rem.Mode
-	switch *mode {
-	case "legacy":
-		md = rem.ModeLegacy
-	case "rem":
-		md = rem.ModeREM
-	case "rem-no-crossband":
-		md = rem.ModeREMNoCrossBand
-	case "legacy-fixed-policy":
-		md = rem.ModeLegacyFixedPolicy
-	default:
-		fmt.Fprintf(os.Stderr, "remsim: unknown mode %q\n", *mode)
+	md, err := rem.ParseMode(*mode)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "remsim: %v\n", err)
 		os.Exit(2)
 	}
 	if *replicas < 1 {
@@ -71,7 +61,7 @@ func main() {
 	results, err := par.IndexedMap(*workers, *replicas, func(s int) (*rem.Result, error) {
 		built, err := rem.BuildScenario(rem.ScenarioConfig{
 			Dataset: ds, SpeedKmh: *speed, Mode: md, Duration: *duration,
-			Seed: *seed + int64(s)*7919,
+			Seed: rem.ReplicaSeed(*seed, s),
 		})
 		if err != nil {
 			return nil, err
@@ -81,6 +71,17 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "remsim: %v\n", err)
 		os.Exit(1)
+	}
+
+	if *jsonOut {
+		sum := rem.SummarizeFleet(ds, md, *speed, *duration, *seed, results)
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(sum); err != nil {
+			fmt.Fprintf(os.Stderr, "remsim: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	fmt.Printf("dataset   : %s\n", rem.DescribeDataset(ds).Name)
@@ -94,7 +95,7 @@ func main() {
 		hos += res.HandoverCount()
 		fails += len(res.Failures)
 		fmt.Printf("replica %d : seed %d, %d handovers, %d failures (ratio %.2f%%)\n",
-			s, *seed+int64(s)*7919, res.HandoverCount(), len(res.Failures), 100*res.FailureRatio())
+			s, rem.ReplicaSeed(*seed, s), res.HandoverCount(), len(res.Failures), 100*res.FailureRatio())
 	}
 	ratio := 0.0
 	if hos+fails > 0 {

@@ -1,0 +1,73 @@
+package core
+
+// TargetCandidate is one prospective handover target offered to the
+// admission controller: its reported link metric and the number of
+// clients currently attached to it.
+type TargetCandidate struct {
+	CellID int
+	Metric float64 // dB(m); higher is better
+	Load   int     // currently attached clients
+}
+
+// Admission is the serving network's load-aware target selection: a
+// per-cell attach capacity plus a load-spreading preference. It is the
+// decision piece the fleet engine consults with frozen per-cell loads,
+// and is deterministic for a given candidate list.
+type Admission struct {
+	// Capacity is the per-cell attach limit; <= 0 means unlimited.
+	Capacity int
+	// SpreadMarginDB widens the choice: any admissible candidate within
+	// this many dB of the best admissible one is eligible, and the
+	// least-loaded eligible candidate wins (ties: higher metric, then
+	// lower cell ID). 0 always picks the strongest admissible cell.
+	SpreadMarginDB float64
+}
+
+// NewAdmission returns an Admission with the given capacity and no
+// load spreading.
+func NewAdmission(capacity int) *Admission { return &Admission{Capacity: capacity} }
+
+// Admissible reports whether a cell with the given load can accept one
+// more client.
+func (a *Admission) Admissible(load int) bool {
+	return a.Capacity <= 0 || load < a.Capacity
+}
+
+// Select picks the handover target from candidates (any order): the
+// strongest admissible cell, or — with SpreadMarginDB > 0 — the
+// least-loaded cell within the margin of the strongest admissible one.
+// ok is false when no candidate is admissible (the handover is
+// deferred; the client stays and re-reports).
+func (a *Admission) Select(cands []TargetCandidate) (target int, ok bool) {
+	// Strongest admissible candidate first.
+	bestIdx := -1
+	for i, c := range cands {
+		if !a.Admissible(c.Load) {
+			continue
+		}
+		if bestIdx < 0 || c.Metric > cands[bestIdx].Metric ||
+			(c.Metric == cands[bestIdx].Metric && c.CellID < cands[bestIdx].CellID) {
+			bestIdx = i
+		}
+	}
+	if bestIdx < 0 {
+		return 0, false
+	}
+	if a.SpreadMarginDB <= 0 {
+		return cands[bestIdx].CellID, true
+	}
+	floor := cands[bestIdx].Metric - a.SpreadMarginDB
+	pick := bestIdx
+	for i, c := range cands {
+		if i == bestIdx || !a.Admissible(c.Load) || c.Metric < floor {
+			continue
+		}
+		p := cands[pick]
+		if c.Load < p.Load ||
+			(c.Load == p.Load && (c.Metric > p.Metric ||
+				(c.Metric == p.Metric && c.CellID < p.CellID))) {
+			pick = i
+		}
+	}
+	return cands[pick].CellID, true
+}

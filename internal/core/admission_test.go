@@ -1,0 +1,71 @@
+package core
+
+import "testing"
+
+func TestAdmissionUnlimitedPicksStrongest(t *testing.T) {
+	a := NewAdmission(0)
+	target, ok := a.Select([]TargetCandidate{
+		{CellID: 3, Metric: -5, Load: 900},
+		{CellID: 1, Metric: 2, Load: 1000},
+		{CellID: 2, Metric: -1, Load: 0},
+	})
+	if !ok || target != 1 {
+		t.Fatalf("got (%d, %v), want (1, true)", target, ok)
+	}
+}
+
+func TestAdmissionCapacitySkipsFullCells(t *testing.T) {
+	a := NewAdmission(10)
+	target, ok := a.Select([]TargetCandidate{
+		{CellID: 1, Metric: 5, Load: 10}, // full
+		{CellID: 2, Metric: 3, Load: 9},
+		{CellID: 3, Metric: 4, Load: 10}, // full
+	})
+	if !ok || target != 2 {
+		t.Fatalf("got (%d, %v), want (2, true)", target, ok)
+	}
+}
+
+func TestAdmissionAllFullDefers(t *testing.T) {
+	a := NewAdmission(1)
+	_, ok := a.Select([]TargetCandidate{
+		{CellID: 1, Metric: 5, Load: 1},
+		{CellID: 2, Metric: 3, Load: 2},
+	})
+	if ok {
+		t.Fatal("expected deferral when every candidate is at capacity")
+	}
+}
+
+func TestAdmissionEmptyCandidates(t *testing.T) {
+	if _, ok := NewAdmission(0).Select(nil); ok {
+		t.Fatal("expected no selection from an empty candidate list")
+	}
+}
+
+func TestAdmissionSpreadPrefersLeastLoaded(t *testing.T) {
+	a := &Admission{Capacity: 100, SpreadMarginDB: 3}
+	target, ok := a.Select([]TargetCandidate{
+		{CellID: 1, Metric: 10, Load: 50},
+		{CellID: 2, Metric: 8, Load: 5},   // within margin, much lighter
+		{CellID: 3, Metric: 6.5, Load: 0}, // outside margin
+	})
+	if !ok || target != 2 {
+		t.Fatalf("got (%d, %v), want (2, true)", target, ok)
+	}
+}
+
+func TestAdmissionSpreadTieBreaksDeterministically(t *testing.T) {
+	a := &Admission{Capacity: 0, SpreadMarginDB: 5}
+	// Equal loads and metrics: lowest cell ID must win, in any order.
+	orders := [][]TargetCandidate{
+		{{CellID: 7, Metric: 1, Load: 2}, {CellID: 4, Metric: 1, Load: 2}},
+		{{CellID: 4, Metric: 1, Load: 2}, {CellID: 7, Metric: 1, Load: 2}},
+	}
+	for _, cands := range orders {
+		target, ok := a.Select(cands)
+		if !ok || target != 4 {
+			t.Fatalf("got (%d, %v), want (4, true)", target, ok)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package eval
+
+import (
+	"fmt"
+
+	"rem/internal/dsp"
+	"rem/internal/mobility"
+)
+
+// FleetAgg is the fleet-level reliability aggregate: many concurrent
+// UEs' mobility results reduced (in UE order, so the aggregation is
+// deterministic at any worker count) into the same per-event metrics
+// the paper's tables report for a single client.
+type FleetAgg struct {
+	UEs       int
+	Handovers int
+	Failures  int
+	Duration  float64 // summed UE-seconds
+
+	FailureRatio  float64
+	RatioNoHoles  float64
+	HOIntervalSec float64
+	CauseRatio    map[mobility.FailureCause]float64
+
+	MeanFeedbackDelaySec float64
+	ReportsDelivered     int
+	ReportsLost          int
+	CmdsDelivered        int
+	CmdsLost             int
+}
+
+// AggregateFleet reduces per-UE results (indexed by UE) into the
+// fleet-level view. Nil results are tolerated (a canceled run's
+// stragglers) and skipped without perturbing the other UEs' sums.
+func AggregateFleet(results []*mobility.Result) *FleetAgg {
+	a := &FleetAgg{CauseRatio: make(map[mobility.FailureCause]float64)}
+	holeFails := 0
+	var delaySum float64
+	var delayN int
+	for _, res := range results {
+		if res == nil {
+			continue
+		}
+		a.UEs++
+		a.Handovers += len(res.Handovers)
+		a.Failures += len(res.Failures)
+		a.Duration += res.Duration
+		a.ReportsDelivered += res.ReportsDelivered
+		a.ReportsLost += res.ReportsLost
+		a.CmdsDelivered += res.CmdsDelivered
+		a.CmdsLost += res.CmdsLost
+		for cause, n := range res.CauseCounts() {
+			a.CauseRatio[cause] += float64(n)
+			if cause == mobility.CauseCoverageHole {
+				holeFails += n
+			}
+		}
+		for _, d := range res.FeedbackDelays {
+			delaySum += d
+			delayN++
+		}
+	}
+	events := a.Handovers + a.Failures
+	if events > 0 {
+		a.FailureRatio = float64(a.Failures) / float64(events)
+		a.RatioNoHoles = float64(a.Failures-holeFails) / float64(events)
+		for cause := range a.CauseRatio {
+			a.CauseRatio[cause] /= float64(events)
+		}
+	}
+	if a.Handovers > 0 {
+		a.HOIntervalSec = a.Duration / float64(a.Handovers)
+	}
+	if delayN > 0 {
+		a.MeanFeedbackDelaySec = delaySum / float64(delayN)
+	}
+	return a
+}
+
+// Report renders the aggregate through the standard report machinery,
+// so fleet output is directly comparable with the paper-table
+// experiments. The rendering is byte-deterministic for a given
+// aggregate.
+func (a *FleetAgg) Report(title string) *Report {
+	causeRow := func(c mobility.FailureCause) []string {
+		return []string{"  " + c.String(), pct(a.CauseRatio[c])}
+	}
+	t := Table{
+		Title:   "Fleet reliability",
+		Columns: []string{"metric", "value"},
+		Rows: [][]string{
+			{"concurrent UEs", fmt.Sprintf("%d", a.UEs)},
+			{"UE-seconds simulated", fmt.Sprintf("%.0f", a.Duration)},
+			{"handovers", fmt.Sprintf("%d", a.Handovers)},
+			{"failures", fmt.Sprintf("%d", a.Failures)},
+			{"avg handover interval", secs(a.HOIntervalSec)},
+			{"total failure ratio", pct(a.FailureRatio)},
+			{"failure w/o coverage hole", pct(a.RatioNoHoles)},
+			causeRow(mobility.CauseFeedback),
+			causeRow(mobility.CauseMissedCell),
+			causeRow(mobility.CauseHOCmdLoss),
+			causeRow(mobility.CauseCoverageHole),
+			{"mean feedback delay", fmt.Sprintf("%.0fms", 1000*a.MeanFeedbackDelaySec)},
+			{"reports delivered/lost", fmt.Sprintf("%d/%d", a.ReportsDelivered, a.ReportsLost)},
+			{"commands delivered/lost", fmt.Sprintf("%d/%d", a.CmdsDelivered, a.CmdsLost)},
+		},
+	}
+	return &Report{
+		ID:     "fleet",
+		Title:  title,
+		Tables: []Table{t},
+	}
+}
+
+// FeedbackDelayCDF renders the fleet-wide feedback-delay distribution
+// (reduced in UE order) as a report series, mirroring Fig. 2a/14a for
+// the multi-UE case.
+func FeedbackDelayCDF(results []*mobility.Result) Series {
+	var delays []float64
+	for _, res := range results {
+		if res == nil {
+			continue
+		}
+		delays = append(delays, res.FeedbackDelays...)
+	}
+	s := Series{Name: "fleet feedback delay", XLabel: "delay (s)", YLabel: "CDF"}
+	for _, p := range dsp.CDF(delays) {
+		s.X = append(s.X, p.Value)
+		s.Y = append(s.Y, p.Prob)
+	}
+	return s
+}

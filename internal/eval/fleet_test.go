@@ -1,0 +1,107 @@
+package eval
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"rem/internal/mobility"
+	"rem/internal/policy"
+)
+
+func fleetResults() []*mobility.Result {
+	return []*mobility.Result{
+		{
+			Duration:  100,
+			Handovers: []policy.HandoverRecord{{Time: 10, From: 0, To: 1}, {Time: 60, From: 1, To: 2}},
+			Failures: []mobility.FailureEvent{
+				{Time: 80, Serving: 2, Cause: mobility.CauseFeedback},
+			},
+			FeedbackDelays:   []float64{0.2, 0.4},
+			ReportsDelivered: 50, ReportsLost: 2,
+			CmdsDelivered: 3, CmdsLost: 1,
+		},
+		nil, // canceled straggler: must be skipped, not counted
+		{
+			Duration:  100,
+			Handovers: []policy.HandoverRecord{{Time: 30, From: 5, To: 6}},
+			Failures: []mobility.FailureEvent{
+				{Time: 90, Serving: 6, Cause: mobility.CauseCoverageHole},
+			},
+			FeedbackDelays:   []float64{0.6},
+			ReportsDelivered: 40, ReportsLost: 0,
+			CmdsDelivered: 2, CmdsLost: 0,
+		},
+	}
+}
+
+func TestAggregateFleet(t *testing.T) {
+	a := AggregateFleet(fleetResults())
+	if a.UEs != 2 {
+		t.Fatalf("UEs = %d, want 2 (nil result must be skipped)", a.UEs)
+	}
+	if a.Handovers != 3 || a.Failures != 2 {
+		t.Fatalf("handovers/failures = %d/%d", a.Handovers, a.Failures)
+	}
+	if a.Duration != 200 {
+		t.Fatalf("duration = %g", a.Duration)
+	}
+	// 2 failures over 5 events; 1 is a coverage hole.
+	if got, want := a.FailureRatio, 2.0/5.0; got != want {
+		t.Fatalf("failure ratio %g, want %g", got, want)
+	}
+	if got, want := a.RatioNoHoles, 1.0/5.0; got != want {
+		t.Fatalf("no-hole ratio %g, want %g", got, want)
+	}
+	if got, want := a.HOIntervalSec, 200.0/3.0; got != want {
+		t.Fatalf("HO interval %g, want %g", got, want)
+	}
+	if got, want := a.MeanFeedbackDelaySec, (0.2+0.4+0.6)/3; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("mean feedback delay %g, want %g", got, want)
+	}
+	if a.ReportsDelivered != 90 || a.ReportsLost != 2 || a.CmdsDelivered != 5 || a.CmdsLost != 1 {
+		t.Fatalf("signaling sums wrong: %+v", a)
+	}
+	if got := a.CauseRatio[mobility.CauseFeedback]; got != 1.0/5.0 {
+		t.Fatalf("feedback cause ratio %g", got)
+	}
+}
+
+func TestAggregateFleetEmpty(t *testing.T) {
+	a := AggregateFleet(nil)
+	if a.UEs != 0 || a.FailureRatio != 0 || a.HOIntervalSec != 0 {
+		t.Fatalf("empty aggregate not zero: %+v", a)
+	}
+	// Rendering an empty aggregate must not panic or divide by zero.
+	if r := a.Report("empty").Render(); !strings.Contains(r, "concurrent UEs") {
+		t.Fatal("empty report missing table")
+	}
+}
+
+func TestFleetReportDeterministic(t *testing.T) {
+	r1 := AggregateFleet(fleetResults()).Report("fleet title").Render()
+	r2 := AggregateFleet(fleetResults()).Report("fleet title").Render()
+	if r1 != r2 {
+		t.Fatal("report rendering not deterministic")
+	}
+	for _, want := range []string{"fleet title", "concurrent UEs", "2", "total failure ratio", "40.0%"} {
+		if !strings.Contains(r1, want) {
+			t.Fatalf("report missing %q:\n%s", want, r1)
+		}
+	}
+}
+
+func TestFeedbackDelayCDF(t *testing.T) {
+	s := FeedbackDelayCDF(fleetResults())
+	if len(s.X) != 3 || len(s.Y) != 3 {
+		t.Fatalf("CDF has %d/%d points, want 3", len(s.X), len(s.Y))
+	}
+	for i := 1; i < len(s.X); i++ {
+		if s.X[i] < s.X[i-1] || s.Y[i] < s.Y[i-1] {
+			t.Fatal("CDF not monotone")
+		}
+	}
+	if s.Y[len(s.Y)-1] != 1 {
+		t.Fatalf("CDF does not reach 1: %v", s.Y)
+	}
+}

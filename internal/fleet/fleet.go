@@ -1,0 +1,338 @@
+// Package fleet is the multi-UE layer of the reproduction: it steps N
+// concurrent UE sessions — each a full mobility.Runner over the
+// ran/trace substrate — against one shared deployment with per-cell
+// attach state and load-aware handover admission (internal/core), on
+// the deterministic internal/par pool.
+//
+// # Determinism model
+//
+// The fleet advances in epochs. Within an epoch every session steps
+// independently on the worker pool: its RNG streams are rooted at
+// sim.ReplicaSeed(fleet seed, UE index), and the per-cell loads its
+// admission decisions read are the *frozen* loads from the epoch
+// boundary. At the barrier the engine reduces session state in UE
+// order: recomputes loads, updates per-cell statistics and emits the
+// epoch's events sorted by (time, UE). Every quantity the fleet
+// produces therefore depends only on (spec, epoch schedule) — never on
+// the worker count or on goroutine interleaving — so aggregate
+// reports are byte-identical at -workers 1 and -workers N.
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"rem/internal/core"
+	"rem/internal/eval"
+	"rem/internal/mobility"
+	"rem/internal/par"
+	"rem/internal/trace"
+)
+
+// Spec configures a fleet run.
+type Spec struct {
+	// UEs is the number of concurrent sessions (required, >= 1).
+	UEs int `json:"ues"`
+	// Dataset selects the synthesized deployment (default
+	// beijing-shanghai).
+	Dataset trace.DatasetID `json:"-"`
+	// Mode selects the mobility system under test.
+	Mode trace.Mode `json:"-"`
+	// SpeedKmh is the nominal client speed (default 300).
+	SpeedKmh float64 `json:"speed_kmh,omitempty"`
+	// DurationSec is the simulated time per UE (required, > 0).
+	DurationSec float64 `json:"duration_sec"`
+	// Seed roots every RNG stream of the run (default 1).
+	Seed int64 `json:"seed,omitempty"`
+	// Workers bounds the parallel pool (0 = all cores). Results are
+	// byte-identical at any value.
+	Workers int `json:"workers,omitempty"`
+	// EpochSec is the barrier interval at which shared cell state is
+	// refreshed and events are published (default 0.5 simulated
+	// seconds). Smaller epochs mean fresher loads; the value is part of
+	// the deterministic schedule, not a tuning-free knob.
+	EpochSec float64 `json:"epoch_sec,omitempty"`
+	// CellCapacity caps attached UEs per cell for handover admission
+	// (0 = unlimited).
+	CellCapacity int `json:"cell_capacity,omitempty"`
+	// SpreadMarginDB enables load spreading: an admissible target
+	// within this many dB of the best is preferred when lighter.
+	SpreadMarginDB float64 `json:"spread_margin_db,omitempty"`
+	// StartSpreadM / SpeedJitterFrac de-synchronize the fleet (see
+	// trace.FleetConfig); zero selects the defaults.
+	StartSpreadM    float64 `json:"start_spread_m,omitempty"`
+	SpeedJitterFrac float64 `json:"speed_jitter_frac,omitempty"`
+}
+
+func (s Spec) withDefaults() Spec {
+	if s.SpeedKmh == 0 {
+		s.SpeedKmh = 300
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	if s.EpochSec <= 0 {
+		s.EpochSec = 0.5
+	}
+	return s
+}
+
+// Validate checks the spec without running it.
+func (s Spec) Validate() error {
+	if s.UEs < 1 {
+		return fmt.Errorf("fleet: UEs must be >= 1 (got %d)", s.UEs)
+	}
+	if s.DurationSec <= 0 {
+		return fmt.Errorf("fleet: non-positive duration %g", s.DurationSec)
+	}
+	return nil
+}
+
+// Progress is the per-epoch heartbeat handed to Options.Progress: the
+// live counters a serving layer exports.
+type Progress struct {
+	SimTime   float64       // simulated seconds completed
+	Attached  int           // UEs currently holding a radio link
+	Handovers int           // cumulative
+	Failures  int           // cumulative
+	Blocked   int           // cumulative admission deferrals
+	WallStep  time.Duration // wall-clock cost of this epoch
+}
+
+// Options customizes a run with observation hooks. Both hooks are
+// called from the coordinating goroutine only (never concurrently).
+type Options struct {
+	// Observer receives every fleet event in deterministic order
+	// ((time, UE) within each epoch).
+	Observer func(Event)
+	// Progress receives one heartbeat per epoch.
+	Progress func(Progress)
+}
+
+// Run executes the fleet to completion (or ctx cancellation).
+func Run(ctx context.Context, spec Spec) (*Result, error) {
+	return RunWithOptions(ctx, spec, Options{})
+}
+
+// RunWithOptions is Run with observation hooks.
+func RunWithOptions(ctx context.Context, spec Spec, opts Options) (*Result, error) {
+	spec = spec.withDefaults()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	eng, err := newEngine(spec)
+	if err != nil {
+		return nil, err
+	}
+	return eng.run(ctx, opts)
+}
+
+// engine holds one run's shared state.
+type engine struct {
+	spec     Spec
+	shared   *trace.Shared
+	sessions []*session
+	adm      *core.Admission
+
+	// loads is the frozen per-cell attach count (indexed by cell ID)
+	// the sessions' admission hooks read during an epoch. It is
+	// replaced — never mutated — at epoch barriers, and the par pool's
+	// goroutine spawn provides the happens-before edge to the workers.
+	loads []int
+
+	cells     map[int]*CellStat
+	handovers int
+	failures  int
+	blocked   int
+}
+
+func newEngine(spec Spec) (*engine, error) {
+	shared, err := trace.BuildFleetShared(trace.FleetConfig{
+		BuildConfig: trace.BuildConfig{
+			Dataset:  trace.Describe(spec.Dataset),
+			SpeedKmh: spec.SpeedKmh,
+			Mode:     spec.Mode,
+			Duration: spec.DurationSec,
+			Seed:     spec.Seed,
+		},
+		StartSpreadM:    spec.StartSpreadM,
+		SpeedJitterFrac: spec.SpeedJitterFrac,
+	})
+	if err != nil {
+		return nil, err
+	}
+	maxCell := 0
+	for _, c := range shared.Dep.Cells {
+		if c.ID > maxCell {
+			maxCell = c.ID
+		}
+	}
+	eng := &engine{
+		spec:   spec,
+		shared: shared,
+		adm:    &core.Admission{Capacity: spec.CellCapacity, SpreadMarginDB: spec.SpreadMarginDB},
+		loads:  make([]int, maxCell+1),
+		cells:  make(map[int]*CellStat, len(shared.Dep.Cells)),
+	}
+	for _, c := range shared.Dep.Cells {
+		eng.cells[c.ID] = &CellStat{Cell: c.ID, Channel: c.Channel}
+	}
+	return eng, nil
+}
+
+func (e *engine) run(ctx context.Context, opts Options) (*Result, error) {
+	spec := e.spec
+	// Build every session on the pool: scenario assembly (deployment
+	// lookups, policy wiring, per-UE RNG streams) is itself parallel.
+	sessions, err := par.IndexedMapCtx(ctx, spec.Workers, spec.UEs, func(ue int) (*session, error) {
+		return newSession(e, ue)
+	})
+	if err != nil {
+		return nil, err
+	}
+	e.sessions = sessions
+	e.refreshLoads()
+	for _, s := range e.sessions {
+		if cs := e.cells[s.runner.Serving()]; cs != nil {
+			cs.Attaches++
+		}
+	}
+	e.updatePeaks()
+
+	// Epoch loop: step everyone to the next barrier, then reduce in
+	// UE order.
+	for simT := 0.0; simT < spec.DurationSec; {
+		end := simT + spec.EpochSec
+		if end > spec.DurationSec {
+			end = spec.DurationSec
+		}
+		wallStart := time.Now()
+		err := par.ForEachCtx(ctx, spec.Workers, len(e.sessions), func(i int) error {
+			e.sessions[i].stepTo(end)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		simT = end
+
+		// Barrier: UE-ordered reduction of everything the epoch
+		// produced, then refresh the frozen loads for the next epoch.
+		var events []Event
+		for _, s := range e.sessions {
+			events = append(events, s.drainEvents()...)
+		}
+		sort.SliceStable(events, func(a, b int) bool {
+			if events[a].Time != events[b].Time {
+				return events[a].Time < events[b].Time
+			}
+			return events[a].UE < events[b].UE
+		})
+		for _, ev := range events {
+			e.applyEvent(ev)
+			if opts.Observer != nil {
+				opts.Observer(ev)
+			}
+		}
+		e.refreshLoads()
+		e.updatePeaks()
+		if opts.Progress != nil {
+			opts.Progress(Progress{
+				SimTime:   simT,
+				Attached:  e.attachedCount(),
+				Handovers: e.handovers,
+				Failures:  e.failures,
+				Blocked:   e.blocked,
+				WallStep:  time.Since(wallStart),
+			})
+		}
+	}
+
+	// Finish every runner (in order) and aggregate.
+	results := make([]*mobility.Result, len(e.sessions))
+	for i, s := range e.sessions {
+		results[i] = s.runner.Finish()
+	}
+	return e.buildResult(results), nil
+}
+
+func (e *engine) applyEvent(ev Event) {
+	switch ev.Type {
+	case EventHandover:
+		e.handovers++
+		if cs := e.cells[ev.To]; cs != nil {
+			cs.HandoversIn++
+			cs.Attaches++
+		}
+	case EventFailure:
+		e.failures++
+		if cs := e.cells[ev.From]; cs != nil {
+			cs.Failures++
+		}
+	case EventBlocked:
+		e.blocked++
+		if cs := e.cells[ev.To]; cs != nil {
+			cs.Blocked++
+		}
+	case EventReattach:
+		if cs := e.cells[ev.To]; cs != nil {
+			cs.Attaches++
+		}
+	}
+}
+
+// refreshLoads recomputes the per-cell attach counts from the
+// sessions' current serving cells (UE order; detached UEs count
+// nowhere) and publishes a fresh frozen snapshot.
+func (e *engine) refreshLoads() {
+	loads := make([]int, len(e.loads))
+	for _, s := range e.sessions {
+		if s.runner.Attached() {
+			id := s.runner.Serving()
+			if id >= 0 && id < len(loads) {
+				loads[id]++
+			}
+		}
+	}
+	e.loads = loads
+}
+
+func (e *engine) updatePeaks() {
+	for id, cs := range e.cells {
+		if id < len(e.loads) && e.loads[id] > cs.PeakAttached {
+			cs.PeakAttached = e.loads[id]
+		}
+	}
+}
+
+func (e *engine) attachedCount() int {
+	n := 0
+	for _, l := range e.loads {
+		n += l
+	}
+	return n
+}
+
+func (e *engine) buildResult(results []*mobility.Result) *Result {
+	sum := summarize(e.spec, results, func(ue int) int64 { return e.shared.UESeed(ue) })
+	sum.Blocked = e.blocked
+	ids := make([]int, 0, len(e.cells))
+	for id := range e.cells {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		cs := *e.cells[id]
+		if id < len(e.loads) {
+			cs.FinalAttached = e.loads[id]
+		}
+		sum.Cells = append(sum.Cells, cs)
+	}
+	agg := eval.AggregateFleet(results)
+	title := fmt.Sprintf("%d-UE fleet, %s/%s at %g km/h for %gs (seed %d)",
+		e.spec.UEs, trace.Describe(e.spec.Dataset).ID, e.spec.Mode,
+		e.spec.SpeedKmh, e.spec.DurationSec, e.spec.Seed)
+	return &Result{Summary: *sum, Report: agg.Report(title).Render()}
+}

@@ -1,0 +1,123 @@
+package fleet
+
+import (
+	"fmt"
+
+	"rem/internal/core"
+	"rem/internal/mobility"
+)
+
+// session is one UE's private slice of the fleet: its scenario,
+// runner, and the bookkeeping needed to diff out newly produced
+// events at each epoch barrier. A session is stepped by exactly one
+// worker at a time; its hook writes only session-local state.
+type session struct {
+	ue     int
+	seed   int64
+	runner *mobility.Runner
+	res    *mobility.Result
+
+	// Consumed prefix lengths of the accumulating result slices.
+	hoSeen, failSeen int
+	// pending collects this epoch's blocked (admission-deferred)
+	// events, appended by the SelectTarget hook while stepping.
+	pending []Event
+	// wasAttached tracks outage recovery so reattaches are reported.
+	wasAttached bool
+	lastServing int
+}
+
+func newSession(e *engine, ue int) (*session, error) {
+	built, err := e.shared.BuildUE(ue)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: build UE %d: %w", ue, err)
+	}
+	s := &session{ue: ue, seed: e.shared.UESeed(ue)}
+	// Load-aware admission: the hook sees the engine's frozen
+	// epoch-boundary loads, so its decisions are independent of worker
+	// scheduling. Deferrals are recorded session-locally and published
+	// at the barrier.
+	built.Scenario.SelectTarget = func(t float64, serving int, cands []mobility.Candidate) (int, bool) {
+		loads := e.loads
+		tcs := make([]core.TargetCandidate, 0, len(cands))
+		for _, c := range cands {
+			load := 0
+			if c.CellID >= 0 && c.CellID < len(loads) {
+				load = loads[c.CellID]
+			}
+			tcs = append(tcs, core.TargetCandidate{CellID: c.CellID, Metric: c.Metric, Load: load})
+		}
+		target, ok := e.adm.Select(tcs)
+		if !ok && len(cands) > 0 {
+			s.pending = append(s.pending, Event{
+				UE: s.ue, Time: t, Type: EventBlocked,
+				From: serving, To: cands[0].CellID,
+			})
+		}
+		return target, ok
+	}
+	r, err := mobility.NewRunner(built.Streams, built.Scenario)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: UE %d: %w", ue, err)
+	}
+	s.runner = r
+	s.res = r.Result()
+	s.wasAttached = true
+	s.lastServing = r.Serving()
+	return s, nil
+}
+
+// stepTo advances the session to simulated time t (exclusive of later
+// ticks). Runs on a pool worker; touches only session-local state plus
+// the engine's frozen load snapshot.
+func (s *session) stepTo(t float64) { s.runner.StepTo(t) }
+
+// drainEvents converts everything the last epoch appended to the
+// result into fleet events, in time order, and marks it consumed.
+// Called at the barrier (single goroutine).
+func (s *session) drainEvents() []Event {
+	var out []Event
+	for _, h := range s.res.Handovers[s.hoSeen:] {
+		out = append(out, Event{
+			UE: s.ue, Time: h.Time, Type: EventHandover,
+			From: h.From, To: h.To,
+		})
+	}
+	s.hoSeen = len(s.res.Handovers)
+	for _, f := range s.res.Failures[s.failSeen:] {
+		out = append(out, Event{
+			UE: s.ue, Time: f.Time, Type: EventFailure,
+			From: f.Serving, Cause: f.Cause.String(),
+		})
+	}
+	s.failSeen = len(s.res.Failures)
+	out = append(out, s.pending...)
+	s.pending = nil
+
+	// Reattach after an outage: the runner silently switched serving
+	// cells during re-establishment; surface it as an event so cell
+	// attach counts stay explainable.
+	attached := s.runner.Attached()
+	serving := s.runner.Serving()
+	if attached && !s.wasAttached {
+		out = append(out, Event{
+			UE: s.ue, Time: s.runner.Now(), Type: EventReattach,
+			From: s.lastServing, To: serving,
+		})
+	}
+	s.wasAttached = attached
+	s.lastServing = serving
+
+	// Time-order within the session (handovers/failures/blocked are
+	// each already sorted; merge cheaply by insertion).
+	sortEventsByTime(out)
+	return out
+}
+
+func sortEventsByTime(evs []Event) {
+	for i := 1; i < len(evs); i++ {
+		for j := i; j > 0 && evs[j].Time < evs[j-1].Time; j-- {
+			evs[j], evs[j-1] = evs[j-1], evs[j]
+		}
+	}
+}

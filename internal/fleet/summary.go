@@ -1,0 +1,141 @@
+package fleet
+
+import (
+	"rem/internal/mobility"
+	"rem/internal/sim"
+	"rem/internal/trace"
+)
+
+// Event types streamed out of a fleet run.
+const (
+	EventHandover = "handover"
+	EventFailure  = "failure"
+	EventBlocked  = "blocked"  // admission deferred a handover
+	EventReattach = "reattach" // post-outage re-establishment
+)
+
+// Event is one per-UE occurrence, emitted in deterministic
+// (epoch, time, UE) order. It is the NDJSON record remserve streams.
+type Event struct {
+	UE    int     `json:"ue"`
+	Time  float64 `json:"t"`
+	Type  string  `json:"type"`
+	From  int     `json:"from,omitempty"`
+	To    int     `json:"to,omitempty"`
+	Cause string  `json:"cause,omitempty"`
+}
+
+// UEStat summarizes one UE's run.
+type UEStat struct {
+	UE           int     `json:"ue"`
+	Seed         int64   `json:"seed"`
+	Handovers    int     `json:"handovers"`
+	Failures     int     `json:"failures"`
+	FailureRatio float64 `json:"failure_ratio"`
+	FinalCell    int     `json:"final_cell"`
+}
+
+// CellStat summarizes one cell's share of the fleet.
+type CellStat struct {
+	Cell          int `json:"cell"`
+	Channel       int `json:"channel"`
+	Attaches      int `json:"attaches"` // initial attaches + handovers-in + reattaches
+	HandoversIn   int `json:"handovers_in"`
+	Failures      int `json:"failures"`
+	Blocked       int `json:"blocked,omitempty"`
+	PeakAttached  int `json:"peak_attached"`
+	FinalAttached int `json:"final_attached"`
+}
+
+// Summary is the machine-readable result shared by the fleet engine,
+// remserve and the CLIs' -json mode, so service and CLI outputs are
+// directly diffable.
+type Summary struct {
+	UEs         int     `json:"ues"`
+	Dataset     string  `json:"dataset"`
+	Mode        string  `json:"mode"`
+	SpeedKmh    float64 `json:"speed_kmh"`
+	DurationSec float64 `json:"duration_sec"`
+	Seed        int64   `json:"seed"`
+
+	Handovers            int            `json:"handovers"`
+	Failures             int            `json:"failures"`
+	Blocked              int            `json:"blocked,omitempty"`
+	FailureRatio         float64        `json:"failure_ratio"`
+	HOIntervalSec        float64        `json:"avg_handover_interval_sec"`
+	MeanFeedbackDelaySec float64        `json:"mean_feedback_delay_sec"`
+	Causes               map[string]int `json:"failure_causes"`
+
+	PerUE []UEStat   `json:"per_ue"`
+	Cells []CellStat `json:"cells,omitempty"`
+}
+
+// Result is a completed fleet run: the machine-readable summary plus
+// the human-readable reliability report rendered through the eval
+// machinery.
+type Result struct {
+	Summary Summary `json:"summary"`
+	Report  string  `json:"report"`
+}
+
+// SummarizeResults reduces independent per-replica mobility results
+// (indexed by replica/UE) into the shared Summary shape. It is what
+// remsim's -json mode uses, with seeds derived by sim.ReplicaSeed —
+// the same schedule the fleet engine uses — so a K-replica CLI run and
+// a K-UE fleet run produce structurally identical JSON.
+func SummarizeResults(ds trace.DatasetID, mode trace.Mode, speedKmh, durationSec float64,
+	seed int64, results []*mobility.Result,
+) *Summary {
+	return summarize(Spec{
+		UEs: len(results), Dataset: ds, Mode: mode,
+		SpeedKmh: speedKmh, DurationSec: durationSec, Seed: seed,
+	}, results, func(i int) int64 { return sim.ReplicaSeed(seed, i) })
+}
+
+func summarize(spec Spec, results []*mobility.Result, seedOf func(int) int64) *Summary {
+	sum := &Summary{
+		UEs:         len(results),
+		Dataset:     trace.Describe(spec.Dataset).ID.String(),
+		Mode:        spec.Mode.String(),
+		SpeedKmh:    spec.SpeedKmh,
+		DurationSec: spec.DurationSec,
+		Seed:        spec.Seed,
+		Causes:      make(map[string]int),
+	}
+	var delaySum float64
+	var delayN int
+	var duration float64
+	for i, res := range results {
+		if res == nil {
+			continue
+		}
+		st := UEStat{UE: i, Seed: seedOf(i)}
+		st.Handovers = len(res.Handovers)
+		st.Failures = len(res.Failures)
+		st.FailureRatio = res.FailureRatio()
+		if n := len(res.Handovers); n > 0 {
+			st.FinalCell = res.Handovers[n-1].To
+		}
+		sum.PerUE = append(sum.PerUE, st)
+		sum.Handovers += st.Handovers
+		sum.Failures += st.Failures
+		duration += res.Duration
+		for cause, n := range res.CauseCounts() {
+			sum.Causes[cause.String()] += n
+		}
+		for _, d := range res.FeedbackDelays {
+			delaySum += d
+			delayN++
+		}
+	}
+	if events := sum.Handovers + sum.Failures; events > 0 {
+		sum.FailureRatio = float64(sum.Failures) / float64(events)
+	}
+	if sum.Handovers > 0 {
+		sum.HOIntervalSec = duration / float64(sum.Handovers)
+	}
+	if delayN > 0 {
+		sum.MeanFeedbackDelaySec = delaySum / float64(delayN)
+	}
+	return sum
+}

@@ -11,6 +11,7 @@ package mobility
 
 import (
 	"fmt"
+	"sort"
 
 	"rem/internal/geo"
 	"rem/internal/policy"
@@ -88,6 +89,15 @@ func DefaultConfig() Config {
 	}
 }
 
+// Candidate is one prospective handover target extracted from a
+// delivered measurement report, offered to a Scenario's SelectTarget
+// hook.
+type Candidate struct {
+	CellID  int
+	Metric  float64 // reported value (RSRP dBm or DD-SNR dB)
+	Trigger policy.EventType
+}
+
 // Scenario wires a full run: deployment, radio, policies, transport.
 type Scenario struct {
 	Dep      *ran.Deployment
@@ -104,6 +114,15 @@ type Scenario struct {
 	// strongest cell at t = 0.
 	InitialCell int
 	Duration    float64 // seconds
+	// SelectTarget, when non-nil, lets the serving network pick the
+	// handover target from the delivered report's candidates (sorted
+	// best-first) instead of always taking the strongest — the hook the
+	// fleet engine uses for load-dependent admission. Returning ok =
+	// false defers the handover (no command is issued this report; the
+	// client re-reports on its normal cadence). The hook must be
+	// deterministic for a given (t, serving, cands) to preserve the
+	// byte-determinism contract.
+	SelectTarget func(t float64, serving int, cands []Candidate) (target int, ok bool)
 }
 
 // Result aggregates everything the evaluation needs.
@@ -170,8 +189,35 @@ type pendingCmd struct {
 	trigger policy.EventType
 }
 
-// Run executes the scenario tick by tick.
-func Run(streams *sim.Streams, sc *Scenario) (*Result, error) {
+// Runner executes a scenario tick by tick and can be driven
+// incrementally: StepTo advances the client to a simulated time and
+// returns, preserving all engine state, so many Runners can be
+// interleaved (the fleet engine steps thousands of them in epochs).
+// A Runner is single-goroutine; different Runners are independent as
+// long as they do not share a Scenario's Env, Link or Streams.
+type Runner struct {
+	sc  *Scenario
+	cfg Config
+	res *Result
+
+	measRNG *sim.RNG
+	engine  *ran.MeasEngine
+
+	serving        int
+	outOfSyncSince float64
+	cmd            *pendingCmd
+	lastCmdFailed  float64 // time of last lost handover command
+	inOutage       bool
+	outageStart    float64
+	reestablishAt  float64
+
+	i, steps, traceEvery int
+	finished             bool
+}
+
+// NewRunner validates the scenario, performs the initial attach and
+// returns a Runner positioned at t = 0 with no ticks processed.
+func NewRunner(streams *sim.Streams, sc *Scenario) (*Runner, error) {
 	if sc.Duration <= 0 {
 		return nil, fmt.Errorf("mobility: non-positive duration")
 	}
@@ -179,223 +225,305 @@ func Run(streams *sim.Streams, sc *Scenario) (*Result, error) {
 	if cfg.TickSec <= 0 {
 		cfg = DefaultConfig()
 	}
-	res := &Result{Duration: sc.Duration, SNRTraceStep: 0.1}
-	measRNG := streams.Stream("mobility.meas")
+	r := &Runner{
+		sc:             sc,
+		cfg:            cfg,
+		res:            &Result{Duration: sc.Duration, SNRTraceStep: 0.1},
+		measRNG:        streams.Stream("mobility.meas"),
+		outOfSyncSince: -1,
+		lastCmdFailed:  -100,
+	}
 
 	// Initial attach: pinned cell if configured, else best at t=0.
 	snap := sc.Env.Snapshot(sc.Traj.At(0), 0)
-	serving := sc.InitialCell
-	if serving == 0 {
+	r.serving = sc.InitialCell
+	if r.serving == 0 {
 		best, _, ok := ran.BestCell(snap, !sc.MeasCfg.UseDDSNR, -999)
 		if !ok {
 			return nil, fmt.Errorf("mobility: no cell visible at start")
 		}
-		serving = best
-	} else if _, ok := snap[serving]; !ok {
-		return nil, fmt.Errorf("mobility: initial cell %d not visible at start", serving)
+		r.serving = best
+	} else if _, ok := snap[r.serving]; !ok {
+		return nil, fmt.Errorf("mobility: initial cell %d not visible at start", r.serving)
+	}
+	r.newEngine(r.serving)
+
+	r.steps = int(sc.Duration/cfg.TickSec) + 1
+	r.traceEvery = int(r.res.SNRTraceStep/cfg.TickSec + 0.5)
+	if r.traceEvery < 1 {
+		r.traceEvery = 1
+	}
+	return r, nil
+}
+
+// Now returns the simulated time of the next unprocessed tick.
+func (r *Runner) Now() float64 { return float64(r.i) * r.cfg.TickSec }
+
+// Serving returns the current serving cell.
+func (r *Runner) Serving() int { return r.serving }
+
+// Attached reports whether the client currently has a radio link (it
+// is false during post-RLF re-establishment outages).
+func (r *Runner) Attached() bool { return !r.inOutage }
+
+// Done reports whether every tick of the scenario has been processed.
+func (r *Runner) Done() bool { return r.i >= r.steps }
+
+// Result exposes the accumulating result. Callers may read it between
+// StepTo calls (e.g. to stream out newly appended handovers/failures)
+// but must not mutate it before Finish.
+func (r *Runner) Result() *Result { return r.res }
+
+func (r *Runner) newEngine(cell int) {
+	sc := r.sc
+	pol := sc.Policies[cell]
+	if pol == nil {
+		// A cell without an explicit policy gets a plain A3.
+		c := sc.Dep.CellByID(cell)
+		ch := 0
+		if c != nil {
+			ch = c.Channel
+		}
+		pol = &policy.Policy{CellID: cell, Channel: ch,
+			Rules: []policy.Rule{{Type: policy.A3, OffsetDB: 3, TTTSec: 0.08}}}
+	}
+	r.engine = ran.NewMeasEngine(r.measRNG, sc.Dep, pol, cell, sc.MeasCfg)
+}
+
+func (r *Runner) classify(t float64, snap map[int]ran.CellRadio) FailureCause {
+	cfg, sc := r.cfg, r.sc
+	// Coverage hole: nothing connectable anywhere.
+	_, _, any := ran.BestCell(snap, false, cfg.ConnectFloorDB)
+	if !any {
+		return CauseCoverageHole
+	}
+	// Execution failure: a handover command is in flight or was
+	// recently lost (paper §3.3).
+	if r.cmd != nil || t-r.lastCmdFailed < 2.0 {
+		return CauseHOCmdLoss
+	}
+	// Decision failure: a strong cell exists but the multi-stage
+	// policy has not (or only just) armed the inter-frequency
+	// measurements that would surface it (paper §3.2).
+	if _, _, strong := ran.BestCell(snap, false, cfg.ConnectFloorDB+cfg.MissedCellMarginDB); strong {
+		if r.engine != nil && len(sc.Dep.Channels()) > 1 && !sc.MeasCfg.CrossBand &&
+			!r.engine.GapsActive(t-1.0) {
+			return CauseMissedCell
+		}
+	}
+	// Triggering failure: feedback delayed or lost (paper §3.1).
+	return CauseFeedback
+}
+
+func (r *Runner) connectTo(t float64, target int, trigger policy.EventType, snap map[int]ran.CellRadio) bool {
+	cfg, sc, res := r.cfg, r.sc, r.res
+	tcr, ok := snap[target]
+	if !ok || tcr.DDSNR < cfg.ConnectFloorDB {
+		return false
+	}
+	from := r.serving
+	fc, tc := sc.Dep.CellByID(from), sc.Dep.CellByID(target)
+	fch, tch := 0, 0
+	if fc != nil {
+		fch = fc.Channel
+	}
+	if tc != nil {
+		tch = tc.Channel
+	}
+	res.Handovers = append(res.Handovers, policy.HandoverRecord{
+		Time: t, From: from, To: target,
+		FromChannel: fch, ToChannel: tch,
+		TriggerType: trigger, DisruptionSec: cfg.HOInterruptSec,
+	})
+	res.Outages = append(res.Outages, Outage{Start: t, Duration: cfg.HOInterruptSec})
+	r.serving = target
+	r.newEngine(r.serving)
+	r.cmd = nil
+	r.outOfSyncSince = -1
+	return true
+}
+
+// tick processes one simulation step.
+func (r *Runner) tick(t float64) {
+	cfg, sc, res := r.cfg, r.sc, r.res
+	pos := sc.Traj.At(t)
+	snap := sc.Env.Snapshot(pos, t)
+	if r.i%r.traceEvery == 0 {
+		res.SNRTrace = append(res.SNRTrace, scrSNR(snap, r.serving))
 	}
 
-	var engine *ran.MeasEngine
-	newEngine := func(cell int) {
-		pol := sc.Policies[cell]
-		if pol == nil {
-			// A cell without an explicit policy gets a plain A3.
-			c := sc.Dep.CellByID(cell)
-			ch := 0
-			if c != nil {
-				ch = c.Channel
-			}
-			pol = &policy.Policy{CellID: cell, Channel: ch,
-				Rules: []policy.Rule{{Type: policy.A3, OffsetDB: 3, TTTSec: 0.08}}}
-		}
-		engine = ran.NewMeasEngine(measRNG, sc.Dep, pol, cell, sc.MeasCfg)
-	}
-	newEngine(serving)
-
-	outOfSyncSince := -1.0
-	var cmd *pendingCmd
-	lastCmdFailed := -100.0 // time of last lost handover command
-	inOutage := false
-	outageStart := 0.0
-	reestablishAt := 0.0
-
-	classify := func(t float64, snap map[int]ran.CellRadio) FailureCause {
-		// Coverage hole: nothing connectable anywhere.
-		_, _, any := ran.BestCell(snap, false, cfg.ConnectFloorDB)
-		if !any {
-			return CauseCoverageHole
-		}
-		// Execution failure: a handover command is in flight or was
-		// recently lost (paper §3.3).
-		if cmd != nil || t-lastCmdFailed < 2.0 {
-			return CauseHOCmdLoss
-		}
-		// Decision failure: a strong cell exists but the multi-stage
-		// policy has not (or only just) armed the inter-frequency
-		// measurements that would surface it (paper §3.2).
-		if _, _, strong := ran.BestCell(snap, false, cfg.ConnectFloorDB+cfg.MissedCellMarginDB); strong {
-			if engine != nil && len(sc.Dep.Channels()) > 1 && !sc.MeasCfg.CrossBand &&
-				!engine.GapsActive(t-1.0) {
-				return CauseMissedCell
+	if r.inOutage {
+		if t >= r.reestablishAt {
+			if best, _, ok := ran.BestCell(snap, false, cfg.ConnectFloorDB); ok {
+				res.Outages = append(res.Outages, Outage{Start: r.outageStart, Duration: t - r.outageStart})
+				r.inOutage = false
+				r.serving = best
+				r.newEngine(r.serving)
+				r.outOfSyncSince = -1
+				r.cmd = nil
 			}
 		}
-		// Triggering failure: feedback delayed or lost (paper §3.1).
-		return CauseFeedback
+		return
 	}
 
-	connectTo := func(t float64, target int, trigger policy.EventType, snap map[int]ran.CellRadio) bool {
-		tcr, ok := snap[target]
-		if !ok || tcr.DDSNR < cfg.ConnectFloorDB {
-			return false
-		}
-		from := serving
-		fc, tc := sc.Dep.CellByID(from), sc.Dep.CellByID(target)
-		fch, tch := 0, 0
-		if fc != nil {
-			fch = fc.Channel
-		}
-		if tc != nil {
-			tch = tc.Channel
-		}
-		res.Handovers = append(res.Handovers, policy.HandoverRecord{
-			Time: t, From: from, To: target,
-			FromChannel: fch, ToChannel: tch,
-			TriggerType: trigger, DisruptionSec: cfg.HOInterruptSec,
-		})
-		res.Outages = append(res.Outages, Outage{Start: t, Duration: cfg.HOInterruptSec})
-		serving = target
-		newEngine(serving)
-		cmd = nil
-		outOfSyncSince = -1
-		return true
+	if r.engine.GapsActive(t) {
+		res.GapActiveSec += cfg.TickSec
 	}
 
-	steps := int(sc.Duration/cfg.TickSec) + 1
-	traceEvery := int(res.SNRTraceStep/cfg.TickSec + 0.5)
-	if traceEvery < 1 {
-		traceEvery = 1
+	// Radio-link monitoring.
+	scr, visible := snap[r.serving]
+	if !visible || scr.SNR < cfg.ServeFloorDB {
+		if r.outOfSyncSince < 0 {
+			r.outOfSyncSince = t
+		}
+		if t-r.outOfSyncSince >= cfg.RLFTimeoutSec {
+			res.Failures = append(res.Failures, FailureEvent{
+				Time: t, Serving: r.serving, Cause: r.classify(t, snap),
+			})
+			r.inOutage = true
+			r.outageStart = t
+			r.reestablishAt = t + cfg.ReestablishSec
+			return
+		}
+	} else {
+		r.outOfSyncSince = -1
 	}
-	for i := 0; i < steps; i++ {
-		t := float64(i) * cfg.TickSec
-		pos := sc.Traj.At(t)
-		snap = sc.Env.Snapshot(pos, t)
-		if i%traceEvery == 0 {
-			res.SNRTrace = append(res.SNRTrace, scrSNR(snap, serving))
-		}
 
-		if inOutage {
-			if t >= reestablishAt {
-				if best, _, ok := ran.BestCell(snap, false, cfg.ConnectFloorDB); ok {
-					res.Outages = append(res.Outages, Outage{Start: outageStart, Duration: t - outageStart})
-					inOutage = false
-					serving = best
-					newEngine(serving)
-					outOfSyncSince = -1
-					cmd = nil
-				}
-			}
-			continue
-		}
-
-		if engine.GapsActive(t) {
-			res.GapActiveSec += cfg.TickSec
-		}
-
-		// Radio-link monitoring.
-		scr, visible := snap[serving]
-		if !visible || scr.SNR < cfg.ServeFloorDB {
-			if outOfSyncSince < 0 {
-				outOfSyncSince = t
-			}
-			if t-outOfSyncSince >= cfg.RLFTimeoutSec {
-				res.Failures = append(res.Failures, FailureEvent{
-					Time: t, Serving: serving, Cause: classify(t, snap),
-				})
-				inOutage = true
-				outageStart = t
-				reestablishAt = t + cfg.ReestablishSec
-				continue
-			}
-		} else {
-			outOfSyncSince = -1
-		}
-
-		// Execution phase: pending handover command.
-		if cmd != nil && t >= cmd.sendAt {
-			// Handover commands are much larger RRC blocks than
-			// measurement reports (full target configuration). On the
-			// legacy PHY the narrow signaling allocation must squeeze
-			// them in at a higher effective rate — several dB more
-			// link margin (the paper's Fig. 2b: downlink commands fail
-			// at 30.3% vs uplink 9.9%). REM's scheduling-based overlay
-			// sizes the OTFS subgrid by message volume (§6), so the
-			// per-symbol operating point is unchanged.
-			var del ran.Delivery
-			if sc.OTFSSignaling {
-				del = sc.Link.DeliverOTFS(scrDD(snap, serving), false)
-			} else {
-				del = sc.Link.DeliverLegacy(scrSNR(snap, serving)-sc.Link.Cfg.CmdExtraDB,
-					scrDD(snap, serving)-sc.Link.Cfg.CmdExtraDB, false)
-			}
-			res.CmdFirstBLER = append(res.CmdFirstBLER, del.FirstBLER)
-			res.CmdBLERAt = append(res.CmdBLERAt, t)
-			if del.OK {
-				res.CmdsDelivered++
-				connectTo(t, cmd.target, cmd.trigger, snap)
-			} else {
-				res.CmdsLost++
-				lastCmdFailed = t
-				cmd = nil // serving cell will retry on next report
-			}
-			continue
-		}
-
-		// Triggering phase: measurement reports.
-		reports := engine.Tick(t, snap)
-		if len(reports) == 0 {
-			continue
-		}
-		// Pick the best report (highest metric) for decision.
-		best := reports[0]
-		for _, r := range reports[1:] {
-			if r.Metric > best.Metric {
-				best = r
-			}
-		}
+	// Execution phase: pending handover command.
+	if r.cmd != nil && t >= r.cmd.sendAt {
+		// Handover commands are much larger RRC blocks than
+		// measurement reports (full target configuration). On the
+		// legacy PHY the narrow signaling allocation must squeeze
+		// them in at a higher effective rate — several dB more
+		// link margin (the paper's Fig. 2b: downlink commands fail
+		// at 30.3% vs uplink 9.9%). REM's scheduling-based overlay
+		// sizes the OTFS subgrid by message volume (§6), so the
+		// per-symbol operating point is unchanged.
 		var del ran.Delivery
 		if sc.OTFSSignaling {
-			del = sc.Link.DeliverOTFS(scrDD(snap, serving), true)
+			del = sc.Link.DeliverOTFS(scrDD(snap, r.serving), false)
 		} else {
-			del = sc.Link.DeliverLegacy(scrSNR(snap, serving), scrDD(snap, serving), true)
+			del = sc.Link.DeliverLegacy(scrSNR(snap, r.serving)-sc.Link.Cfg.CmdExtraDB,
+				scrDD(snap, r.serving)-sc.Link.Cfg.CmdExtraDB, false)
 		}
-		res.FeedbackFirstBLER = append(res.FeedbackFirstBLER, del.FirstBLER)
-		res.FeedbackBLERAt = append(res.FeedbackBLERAt, t)
-		if !del.OK {
-			res.ReportsLost++
-			continue
+		res.CmdFirstBLER = append(res.CmdFirstBLER, del.FirstBLER)
+		res.CmdBLERAt = append(res.CmdBLERAt, t)
+		if del.OK {
+			res.CmdsDelivered++
+			r.connectTo(t, r.cmd.target, r.cmd.trigger, snap)
+		} else {
+			res.CmdsLost++
+			r.lastCmdFailed = t
+			r.cmd = nil // serving cell will retry on next report
 		}
-		res.ReportsDelivered++
-		delay := (t - best.CriterionAt) + del.Delay
-		res.FeedbackDelays = append(res.FeedbackDelays, delay)
-		if tc := sc.Dep.CellByID(best.CellID); tc != nil {
-			if scell := sc.Dep.CellByID(serving); scell != nil && tc.Channel != scell.Channel {
-				res.FeedbackDelaysInter = append(res.FeedbackDelaysInter, delay)
-			}
-		}
+		return
+	}
 
-		// Decision phase: the serving cell accepts the reported target.
-		if cmd == nil {
-			cmd = &pendingCmd{
-				target:  best.CellID,
+	// Triggering phase: measurement reports.
+	reports := r.engine.Tick(t, snap)
+	if len(reports) == 0 {
+		return
+	}
+	// Pick the best report (highest metric) for decision.
+	best := reports[0]
+	for _, rp := range reports[1:] {
+		if rp.Metric > best.Metric {
+			best = rp
+		}
+	}
+	var del ran.Delivery
+	if sc.OTFSSignaling {
+		del = sc.Link.DeliverOTFS(scrDD(snap, r.serving), true)
+	} else {
+		del = sc.Link.DeliverLegacy(scrSNR(snap, r.serving), scrDD(snap, r.serving), true)
+	}
+	res.FeedbackFirstBLER = append(res.FeedbackFirstBLER, del.FirstBLER)
+	res.FeedbackBLERAt = append(res.FeedbackBLERAt, t)
+	if !del.OK {
+		res.ReportsLost++
+		return
+	}
+	res.ReportsDelivered++
+	delay := (t - best.CriterionAt) + del.Delay
+	res.FeedbackDelays = append(res.FeedbackDelays, delay)
+	if tc := sc.Dep.CellByID(best.CellID); tc != nil {
+		if scell := sc.Dep.CellByID(r.serving); scell != nil && tc.Channel != scell.Channel {
+			res.FeedbackDelaysInter = append(res.FeedbackDelaysInter, delay)
+		}
+	}
+
+	// Decision phase: the serving cell picks the target — the best
+	// reported cell, unless a SelectTarget hook (load-aware admission)
+	// overrides or defers the choice.
+	if r.cmd == nil {
+		target, trigger, ok := best.CellID, best.Rule.Type, true
+		if sc.SelectTarget != nil {
+			cands := make([]Candidate, 0, len(reports))
+			for _, rp := range reports {
+				cands = append(cands, Candidate{CellID: rp.CellID, Metric: rp.Metric, Trigger: rp.Rule.Type})
+			}
+			// Best-first, stable: metric descending, cell ID ascending.
+			sort.SliceStable(cands, func(a, b int) bool {
+				if cands[a].Metric != cands[b].Metric {
+					return cands[a].Metric > cands[b].Metric
+				}
+				return cands[a].CellID < cands[b].CellID
+			})
+			target, ok = sc.SelectTarget(t, r.serving, cands)
+			if ok {
+				trigger = best.Rule.Type
+				for _, c := range cands {
+					if c.CellID == target {
+						trigger = c.Trigger
+						break
+					}
+				}
+			}
+		}
+		if ok {
+			r.cmd = &pendingCmd{
+				target:  target,
 				sendAt:  t + cfg.DecisionSec,
-				trigger: best.Rule.Type,
+				trigger: trigger,
 			}
 		}
 	}
-	if inOutage {
-		res.Outages = append(res.Outages, Outage{Start: outageStart, Duration: sc.Duration - outageStart})
+}
+
+// StepTo processes every tick with simulated time <= t (and within the
+// scenario duration). It is a no-op when t is behind the clock.
+func (r *Runner) StepTo(t float64) {
+	for r.i < r.steps {
+		tt := float64(r.i) * r.cfg.TickSec
+		if tt > t {
+			return
+		}
+		r.tick(tt)
+		r.i++
 	}
-	return res, nil
+}
+
+// Finish closes out the run (recording a trailing outage if the client
+// ended detached) and returns the result. The Runner must have been
+// stepped to completion; Finish steps any remainder itself.
+func (r *Runner) Finish() *Result {
+	r.StepTo(r.sc.Duration)
+	if !r.finished {
+		r.finished = true
+		if r.inOutage {
+			r.res.Outages = append(r.res.Outages, Outage{Start: r.outageStart, Duration: r.sc.Duration - r.outageStart})
+		}
+	}
+	return r.res
+}
+
+// Run executes the scenario tick by tick to completion.
+func Run(streams *sim.Streams, sc *Scenario) (*Result, error) {
+	r, err := NewRunner(streams, sc)
+	if err != nil {
+		return nil, err
+	}
+	return r.Finish(), nil
 }
 
 func scrSNR(snap map[int]ran.CellRadio, id int) float64 {

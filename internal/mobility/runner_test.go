@@ -1,0 +1,178 @@
+package mobility
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"rem/internal/sim"
+)
+
+// TestRunnerStepToMatchesRun is the incremental-stepping contract: a
+// Runner advanced in arbitrary chunks must finish with exactly the
+// result of the one-shot Run on an identical scenario.
+func TestRunnerStepToMatchesRun(t *testing.T) {
+	for _, chunk := range []float64{0.05, 0.5, 7, 151} {
+		sc1, st1 := twoCellScenario(t, 9, 3, 3)
+		oneShot, err := Run(st1, sc1)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		sc2, st2 := twoCellScenario(t, 9, 3, 3)
+		r, err := NewRunner(st2, sc2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for x := chunk; r.Now() < sc2.Duration && !r.Done(); x += chunk {
+			r.StepTo(x)
+		}
+		stepped := r.Finish()
+
+		if !reflect.DeepEqual(oneShot, stepped) {
+			t.Fatalf("chunk %g: stepped result differs from one-shot Run", chunk)
+		}
+	}
+}
+
+func TestRunnerFinishIdempotent(t *testing.T) {
+	sc, st := twoCellScenario(t, 4, 3, 3)
+	r, err := NewRunner(st, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := r.Finish()
+	if !r.Done() {
+		t.Fatal("Done false after Finish")
+	}
+	if second := r.Finish(); second != first {
+		t.Fatal("second Finish returned a different result")
+	}
+}
+
+// TestRunnersConcurrentNoStateBleed steps many independent Runners
+// concurrently (as the fleet engine does) and checks each reproduces
+// its serial twin exactly. Run with -race this also proves Runners
+// share no hidden mutable state.
+func TestRunnersConcurrentNoStateBleed(t *testing.T) {
+	const n = 8
+	serial := make([]*Result, n)
+	for i := 0; i < n; i++ {
+		sc, st := twoCellScenario(t, int64(100+i), 3, 3)
+		res, err := Run(st, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial[i] = res
+	}
+
+	runners := make([]*Runner, n)
+	for i := 0; i < n; i++ {
+		sc, st := twoCellScenario(t, int64(100+i), 3, 3)
+		r, err := NewRunner(st, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runners[i] = r
+	}
+	// Epoch-style lockstep: all runners step the same window on
+	// separate goroutines, barrier, repeat.
+	for x := 10.0; x <= 160; x += 10 {
+		var wg sync.WaitGroup
+		for _, r := range runners {
+			wg.Add(1)
+			go func(r *Runner) {
+				defer wg.Done()
+				r.StepTo(x)
+			}(r)
+		}
+		wg.Wait()
+	}
+	for i, r := range runners {
+		if got := r.Finish(); !reflect.DeepEqual(got, serial[i]) {
+			t.Fatalf("runner %d diverged from its serial twin", i)
+		}
+	}
+}
+
+// TestSelectTargetHookDeferral checks the admission hook: a hook that
+// always defers must suppress every handover command, and a
+// passthrough hook must reproduce the hook-free run exactly.
+func TestSelectTargetHookDeferral(t *testing.T) {
+	scNone, stNone := twoCellScenario(t, 6, 3, 3)
+	base, err := Run(stNone, scNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	scPass, stPass := twoCellScenario(t, 6, 3, 3)
+	var sawCands bool
+	scPass.SelectTarget = func(_ float64, _ int, cands []Candidate) (int, bool) {
+		sawCands = len(cands) > 0
+		return cands[0].CellID, true
+	}
+	pass, err := Run(stPass, scPass)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sawCands {
+		t.Fatal("hook never saw candidates")
+	}
+	if !reflect.DeepEqual(base, pass) {
+		t.Fatal("passthrough hook changed the run")
+	}
+
+	scDefer, stDefer := twoCellScenario(t, 6, 3, 3)
+	deferred := 0
+	scDefer.SelectTarget = func(float64, int, []Candidate) (int, bool) {
+		deferred++
+		return 0, false
+	}
+	blocked, err := Run(stDefer, scDefer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deferred == 0 {
+		t.Fatal("deferring hook never invoked")
+	}
+	if len(blocked.Handovers) != 0 {
+		t.Fatalf("%d handovers despite always-deferring admission", len(blocked.Handovers))
+	}
+}
+
+// TestRunnerCandidateOrderDeterministic: the candidate list handed to
+// the hook is sorted (metric desc, cell asc) so hooks see a canonical
+// order regardless of map iteration.
+func TestRunnerCandidateOrderDeterministic(t *testing.T) {
+	sc, st := twoCellScenario(t, 12, 3, 3)
+	sc.SelectTarget = func(_ float64, _ int, cands []Candidate) (int, bool) {
+		for i := 1; i < len(cands); i++ {
+			a, b := cands[i-1], cands[i]
+			if a.Metric < b.Metric || (a.Metric == b.Metric && a.CellID > b.CellID) {
+				t.Fatalf("candidates out of order: %+v", cands)
+			}
+		}
+		return cands[0].CellID, true
+	}
+	if _, err := Run(st, sc); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunnerReplicaSeedsIndependent: two runners with ReplicaSeed-derived
+// seeds from the same master produce different traces (the streams are
+// genuinely decorrelated, not offset copies).
+func TestRunnerReplicaSeedsIndependent(t *testing.T) {
+	results := make([]*Result, 2)
+	for i := range results {
+		sc, st := twoCellScenario(t, sim.ReplicaSeed(5, i), 3, 3)
+		res, err := Run(st, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[i] = res
+	}
+	if reflect.DeepEqual(results[0], results[1]) {
+		t.Fatal("replica-seeded runs are identical; seeds not independent")
+	}
+}

@@ -11,6 +11,7 @@
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -35,20 +36,52 @@ func ForEach(workers, n int, fn func(i int) error) error {
 	return ForEachWorker(workers, n, func(_, i int) error { return fn(i) })
 }
 
+// ForEachCtx is ForEach with cooperative cancellation: once ctx is
+// done, no further items are started (items already running complete)
+// and ctx.Err() is returned. Cancellation is the one escape from the
+// everything-runs contract — an aborted call makes no determinism
+// promise about which items ran, only that the non-canceled path is
+// byte-identical to ForEach.
+func ForEachCtx(ctx context.Context, workers, n int, fn func(i int) error) error {
+	return ForEachWorkerCtx(ctx, workers, n, func(_, i int) error { return fn(i) })
+}
+
 // ForEachWorker is ForEach with the worker slot id (0..workers-1)
 // passed alongside the item index, so callers can keep per-slot scratch
 // buffers that are reused across the items a slot processes. Scratch
 // must never influence results, only allocation behavior.
 func ForEachWorker(workers, n int, fn func(worker, i int) error) error {
+	return ForEachWorkerCtx(context.Background(), workers, n, fn)
+}
+
+// ForEachWorkerCtx is ForEachWorker with ForEachCtx's cancellation
+// semantics: ctx done stops new items from starting and dominates any
+// per-item error in the return value.
+func ForEachWorkerCtx(ctx context.Context, workers, n int, fn func(worker, i int) error) error {
 	if n <= 0 {
-		return nil
+		return ctx.Err()
 	}
 	workers = Workers(workers)
 	if workers > n {
 		workers = n
 	}
+	done := ctx.Done()
+	canceled := func() bool {
+		if done == nil {
+			return false
+		}
+		select {
+		case <-done:
+			return true
+		default:
+			return false
+		}
+	}
 	if workers == 1 {
 		for i := 0; i < n; i++ {
+			if canceled() {
+				return ctx.Err()
+			}
 			if err := fn(0, i); err != nil {
 				return err
 			}
@@ -63,6 +96,9 @@ func ForEachWorker(workers, n int, fn func(worker, i int) error) error {
 		go func(w int) {
 			defer wg.Done()
 			for {
+				if canceled() {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -72,6 +108,9 @@ func ForEachWorker(workers, n int, fn func(worker, i int) error) error {
 		}(w)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return err
@@ -85,8 +124,15 @@ func ForEachWorker(workers, n int, fn func(worker, i int) error) error {
 // On error the results are discarded and the smallest-index error is
 // returned.
 func IndexedMap[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	return IndexedMapCtx(context.Background(), workers, n, fn)
+}
+
+// IndexedMapCtx is IndexedMap with ForEachCtx's cancellation
+// semantics: when ctx is canceled mid-run the partial results are
+// discarded and ctx.Err() is returned.
+func IndexedMapCtx[T any](ctx context.Context, workers, n int, fn func(i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
-	err := ForEach(workers, n, func(i int) error {
+	err := ForEachCtx(ctx, workers, n, func(i int) error {
 		v, err := fn(i)
 		if err != nil {
 			return err

@@ -1,6 +1,7 @@
 package par
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -90,6 +91,87 @@ func TestIndexedMapOrder(t *testing.T) {
 				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
 			}
 		}
+	}
+}
+
+func TestForEachCtxPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		ran := atomic.Int32{}
+		err := ForEachCtx(ctx, workers, 100, func(i int) error {
+			ran.Add(1)
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if ran.Load() != 0 {
+			t.Fatalf("workers=%d: %d items ran on a pre-canceled context", workers, ran.Load())
+		}
+	}
+}
+
+func TestForEachCtxCancelMidRun(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		ran := atomic.Int32{}
+		err := ForEachCtx(ctx, workers, 10_000, func(i int) error {
+			if ran.Add(1) == 8 {
+				cancel()
+			}
+			return nil
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		// In-flight items may finish but the bulk of the work must have
+		// been skipped.
+		if n := ran.Load(); n >= 10_000 {
+			t.Fatalf("workers=%d: all %d items ran despite cancellation", workers, n)
+		}
+	}
+}
+
+func TestForEachCtxCancelDominatesItemError(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	err := ForEachCtx(ctx, 4, 64, func(i int) error {
+		if i == 3 {
+			cancel()
+			return errors.New("item error")
+		}
+		return nil
+	})
+	cancel()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled to dominate item errors", err)
+	}
+}
+
+func TestIndexedMapCtxMatchesIndexedMap(t *testing.T) {
+	// The non-canceled path must be byte-identical to the ctx-free one.
+	want, err := IndexedMap(3, 257, func(i int) (int, error) { return i * 3, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := IndexedMapCtx(context.Background(), 3, 257, func(i int) (int, error) { return i * 3, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("out[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestIndexedMapCtxCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, err := IndexedMapCtx(ctx, 4, 50, func(i int) (int, error) { return i, nil })
+	if !errors.Is(err, context.Canceled) || out != nil {
+		t.Fatalf("got (%v, %v), want (nil, context.Canceled)", out, err)
 	}
 }
 

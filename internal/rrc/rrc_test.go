@@ -1,7 +1,9 @@
 package rrc
 
 import (
+	"fmt"
 	"math"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -162,5 +164,71 @@ func TestSizeAsymmetry(t *testing.T) {
 	command := CommandBits(128)
 	if command < 8*report {
 		t.Fatalf("command %d bits should be ≳8x report %d bits", command, report)
+	}
+}
+
+// TestConcurrentEncodeDecode hammers the codec from many goroutines
+// (the fleet's sessions encode signaling concurrently). Run with -race
+// this proves Encode/Decode share no hidden mutable state; each
+// goroutine also checks its round-trips stay self-consistent.
+func TestConcurrentEncodeDecode(t *testing.T) {
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for iter := 0; iter < 500; iter++ {
+				m := &MeasurementReport{
+					Seq:     uint8(iter),
+					Serving: MeasEntry{CellID: uint16(g*1000 + iter%100), Value: -100 + float64(g)},
+					Entries: []MeasEntry{
+						{CellID: uint16(iter % 7), Value: -90 - float64(iter%40)},
+						{CellID: uint16(g), Value: -80.5},
+					},
+				}
+				bits, err := m.Encode()
+				if err != nil {
+					errs <- err
+					return
+				}
+				got, err := Decode(bits)
+				if err != nil {
+					errs <- err
+					return
+				}
+				rt, ok := got.(*MeasurementReport)
+				if !ok || rt.Seq != m.Seq || rt.Serving.CellID != m.Serving.CellID || len(rt.Entries) != 2 {
+					errs <- fmt.Errorf("goroutine %d: report round-trip mismatch: %+v", g, got)
+					return
+				}
+
+				c := &HandoverCommand{
+					Seq: uint8(iter), TargetCell: uint16(g*100 + iter%50),
+					ConfigWords: []uint16{uint16(iter), uint16(g), 0xffff},
+				}
+				cbits, err := c.Encode()
+				if err != nil {
+					errs <- err
+					return
+				}
+				cgot, err := Decode(cbits)
+				if err != nil {
+					errs <- err
+					return
+				}
+				crt, ok := cgot.(*HandoverCommand)
+				if !ok || crt.TargetCell != c.TargetCell || len(crt.ConfigWords) != 3 {
+					errs <- fmt.Errorf("goroutine %d: command round-trip mismatch: %+v", g, cgot)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
 	}
 }

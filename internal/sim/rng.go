@@ -22,6 +22,7 @@ import (
 	"hash/fnv"
 	"math"
 	"math/rand"
+	"strconv"
 )
 
 // RNG wraps math/rand with a few distributions the channel and network
@@ -101,3 +102,17 @@ func (s *Streams) Stream(name string) *RNG {
 
 // Seed returns the master seed the factory was built with.
 func (s *Streams) Seed() int64 { return s.seed }
+
+// ReplicaSeed derives the master seed for independent replica (or UE)
+// i of a run rooted at master. It uses the same FNV name-hashing as
+// Stream, so replica seed schedules are well-spread and stable: unlike
+// arithmetic spacing (seed + i*k), two replicas of different masters
+// can never collide by landing on the same arithmetic progression.
+// Every fan-out that runs "N copies of the same scenario with
+// independent randomness" must use this helper so CLI, service and
+// evaluation seed schedules agree.
+func ReplicaSeed(master int64, i int) int64 {
+	h := fnv.New64a()
+	h.Write([]byte("replica." + strconv.Itoa(i)))
+	return master ^ int64(h.Sum64())
+}

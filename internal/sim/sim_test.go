@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"math"
 	"testing"
 )
@@ -228,5 +229,41 @@ func TestRNGBasicDistributions(t *testing.T) {
 	// Seed accessor.
 	if NewStreams(123).Seed() != 123 {
 		t.Fatal("Seed accessor wrong")
+	}
+}
+
+// TestReplicaSeedSchedule pins the replica/UE seed-derivation schedule
+// shared by remsim -replicas and the fleet engine. The golden values
+// guard against silent changes: recorded fleet summaries and replica
+// outputs are only reproducible while this schedule holds.
+func TestReplicaSeedSchedule(t *testing.T) {
+	golden := map[int]int64{
+		0:   -1874779652746144000,
+		1:   -1874780752257772209,
+		7:   -1874778553234515787,
+		999: -7235189280456433139,
+	}
+	for i, want := range golden {
+		if got := ReplicaSeed(1, i); got != want {
+			t.Errorf("ReplicaSeed(1, %d) = %d, want %d", i, got, want)
+		}
+	}
+	if got := ReplicaSeed(42, 3); got != int64(-1874782951281028670) {
+		t.Errorf("ReplicaSeed(42, 3) = %d", got)
+	}
+
+	// Distinctness across a wide index range and nearby masters: the
+	// hash-derived schedule must not collide the way seed+7919*i could
+	// (master 1 replica 1 vs master 7920 replica 0).
+	seen := map[int64]string{}
+	for master := int64(1); master <= 4; master++ {
+		for i := 0; i < 2000; i++ {
+			s := ReplicaSeed(master, i)
+			key := fmt.Sprintf("m%d i%d", master, i)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("seed collision: %s and %s both map to %d", prev, key, s)
+			}
+			seen[s] = key
+		}
 	}
 }

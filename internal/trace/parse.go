@@ -1,0 +1,32 @@
+package trace
+
+import "fmt"
+
+// ParseDataset maps a user-facing dataset name (CLI flag or JSON spec
+// field) to its ID. Short aliases match the CLI's historical spelling.
+func ParseDataset(name string) (DatasetID, error) {
+	switch name {
+	case "", "beijing-shanghai", "shanghai":
+		return BeijingShanghai, nil
+	case "low-mobility-la", "la", "low-mobility-LA":
+		return LowMobility, nil
+	case "beijing-taiyuan", "taiyuan":
+		return BeijingTaiyuan, nil
+	}
+	return 0, fmt.Errorf("unknown dataset %q (want low-mobility-la | beijing-taiyuan | beijing-shanghai)", name)
+}
+
+// ParseMode maps a user-facing mode name to its Mode.
+func ParseMode(name string) (Mode, error) {
+	switch name {
+	case "", "legacy":
+		return Legacy, nil
+	case "rem":
+		return REM, nil
+	case "rem-no-crossband":
+		return REMNoCrossBand, nil
+	case "legacy-fixed-policy":
+		return LegacyFixedPolicy, nil
+	}
+	return 0, fmt.Errorf("unknown mode %q (want legacy | rem | rem-no-crossband | legacy-fixed-policy)", name)
+}

@@ -81,17 +81,7 @@ func Build(cfg BuildConfig) (*Built, error) {
 	speed := chanmodel.KmhToMs(cfg.SpeedKmh)
 
 	trackLen := speed*cfg.Duration + 4*ds.SiteSpacingM
-	dep, err := ran.NewLinearDeployment(streams.Stream("deploy"), ran.DeploymentConfig{
-		Plan: geo.SitePlan{
-			TrackLenM: trackLen, SpacingM: ds.SiteSpacingM,
-			OffsetM: ds.SiteOffsetM, Alternating: true,
-		},
-		Bands:           ds.Bands,
-		CoSitedProb:     ds.CoSitedProb,
-		PosJitterM:      0.3 * ds.SiteSpacingM,
-		PowerJitterDB:   4,
-		AlternateAnchor: ds.AlternateAnchor,
-	})
+	dep, err := buildDeployment(streams, ds, trackLen)
 	if err != nil {
 		return nil, err
 	}
@@ -103,11 +93,63 @@ func Build(cfg BuildConfig) (*Built, error) {
 		channels[c.ID] = c.Channel
 	}
 
+	policies, measCfg, otfs, err := applyMode(cfg.Mode, dep, policies, channels, coverage, speed)
+	if err != nil {
+		return nil, err
+	}
+
+	radioCfg, err := buildRadioCfg(streams, ds, speed, trackLen)
+	if err != nil {
+		return nil, err
+	}
+	env := ran.NewRadioEnv(dep, radioCfg, streams)
+	link := ran.NewLinkModel(streams.Stream("link"), ran.DefaultLinkConfig())
+
+	sc := &mobility.Scenario{
+		Dep:           dep,
+		Env:           env,
+		Policies:      policies,
+		Link:          link,
+		MeasCfg:       measCfg,
+		Traj:          geo.Trajectory{SpeedMS: speed, StartX: ds.SiteSpacingM / 2},
+		Cfg:           mobility.DefaultConfig(),
+		OTFSSignaling: otfs,
+		Duration:      cfg.Duration,
+	}
+	return &Built{
+		Scenario: sc, Streams: streams,
+		Policies: policies, Coverage: coverage, Channels: channels,
+	}, nil
+}
+
+// buildDeployment places the dataset's cell layout along trackLen
+// meters of track, drawing jitter from the streams' "deploy" stream.
+func buildDeployment(streams *sim.Streams, ds Dataset, trackLen float64) (*ran.Deployment, error) {
+	return ran.NewLinearDeployment(streams.Stream("deploy"), ran.DeploymentConfig{
+		Plan: geo.SitePlan{
+			TrackLenM: trackLen, SpacingM: ds.SiteSpacingM,
+			OffsetM: ds.SiteOffsetM, Alternating: true,
+		},
+		Bands:           ds.Bands,
+		CoSitedProb:     ds.CoSitedProb,
+		PosJitterM:      0.3 * ds.SiteSpacingM,
+		PowerJitterDB:   4,
+		AlternateAnchor: ds.AlternateAnchor,
+	})
+}
+
+// applyMode specializes generated operator policies and the
+// measurement schedule for the mobility mode under test. It returns
+// the (possibly rewritten) policy set, the measurement config and
+// whether signaling rides the OTFS overlay.
+func applyMode(mode Mode, dep *ran.Deployment, policies map[int]*policy.Policy,
+	channels map[int]int, coverage *policy.CoverageGraph, speedMS float64,
+) (map[int]*policy.Policy, ran.MeasConfig, bool, error) {
 	measCfg := ran.DefaultLegacyMeasConfig()
 	// RSRP measurement error grows with speed (coherence time ∝ 1/v).
-	measCfg.MeasNoiseStdDB = 0.5 + speed/30
+	measCfg.MeasNoiseStdDB = 0.5 + speedMS/30
 	otfs := false
-	switch cfg.Mode {
+	switch mode {
 	case Legacy:
 		// as-is
 	case LegacyFixedPolicy:
@@ -137,7 +179,7 @@ func Build(cfg BuildConfig) (*Built, error) {
 		attachPairOffsets(simp, tab)
 		policies = simp
 		measCfg = ran.DefaultREMMeasConfig()
-		if cfg.Mode == REMNoCrossBand {
+		if mode == REMNoCrossBand {
 			// Without cross-band estimation the client must scan
 			// inter-frequency cells the hard way: always-on gaps
 			// (the simplified policy has no A2 gate to arm them).
@@ -146,38 +188,27 @@ func Build(cfg BuildConfig) (*Built, error) {
 		}
 		otfs = true
 	default:
-		return nil, fmt.Errorf("trace: unknown mode %v", cfg.Mode)
+		return nil, measCfg, false, fmt.Errorf("trace: unknown mode %v", mode)
 	}
+	return policies, measCfg, otfs, nil
+}
 
-	radioCfg := ran.DefaultRadioConfig(speed)
+// buildRadioCfg derives the radio environment configuration for the
+// dataset: numerology, coverage holes and mmWave blockages along the
+// track (drawn from the "holes"/"blockages" streams).
+func buildRadioCfg(streams *sim.Streams, ds Dataset, speedMS, trackLen float64) (ran.RadioConfig, error) {
+	radioCfg := ran.DefaultRadioConfig(speedMS)
 	if ds.NRMu > 0 {
 		num, err := ofdm.NR(ds.NRMu)
 		if err != nil {
-			return nil, err
+			return radioCfg, err
 		}
 		radioCfg.SymbolT = num.SymbolT
 	}
 	radioCfg.Holes = generateHoles(streams.Stream("holes"), trackLen, ds.HoleEveryM)
 	radioCfg.Holes = append(radioCfg.Holes,
 		generateBlockages(streams.Stream("blockages"), trackLen, ds.BlockageEveryM)...)
-	env := ran.NewRadioEnv(dep, radioCfg, streams)
-	link := ran.NewLinkModel(streams.Stream("link"), ran.DefaultLinkConfig())
-
-	sc := &mobility.Scenario{
-		Dep:           dep,
-		Env:           env,
-		Policies:      policies,
-		Link:          link,
-		MeasCfg:       measCfg,
-		Traj:          geo.Trajectory{SpeedMS: speed, StartX: ds.SiteSpacingM / 2},
-		Cfg:           mobility.DefaultConfig(),
-		OTFSSignaling: otfs,
-		Duration:      cfg.Duration,
-	}
-	return &Built{
-		Scenario: sc, Streams: streams,
-		Policies: policies, Coverage: coverage, Channels: channels,
-	}, nil
+	return radioCfg, nil
 }
 
 // GeneratePolicies draws one operator policy per cell from the

@@ -1,16 +1,20 @@
 package rem
 
 import (
+	"context"
+
 	"rem/internal/chanmodel"
 	"rem/internal/crossband"
 	"rem/internal/dsp"
 	"rem/internal/eval"
+	"rem/internal/fleet"
 	"rem/internal/geo"
 	"rem/internal/locate"
 	"rem/internal/mobility"
 	"rem/internal/otfs"
 	"rem/internal/policy"
 	"rem/internal/rrc"
+	"rem/internal/sim"
 	"rem/internal/tcpsim"
 	"rem/internal/trace"
 )
@@ -91,6 +95,19 @@ type (
 	PathTracker = locate.PathTracker
 	// PathTrackerConfig tunes the tracker.
 	PathTrackerConfig = locate.PathTrackerConfig
+	// FleetSpec configures a multi-UE fleet run.
+	FleetSpec = fleet.Spec
+	// FleetResult is a completed fleet run (summary + rendered report).
+	FleetResult = fleet.Result
+	// FleetSummary is the machine-readable fleet aggregate, shared by
+	// remserve and the CLIs' -json mode.
+	FleetSummary = fleet.Summary
+	// FleetEvent is one per-UE fleet occurrence (the NDJSON record).
+	FleetEvent = fleet.Event
+	// FleetOptions adds observation hooks to a fleet run.
+	FleetOptions = fleet.Options
+	// FleetProgress is the per-epoch fleet heartbeat.
+	FleetProgress = fleet.Progress
 )
 
 // Dataset identifiers.
@@ -142,6 +159,39 @@ type ScenarioConfig struct {
 
 // DescribeDataset returns a dataset's calibrated descriptor.
 func DescribeDataset(id DatasetID) Dataset { return trace.Describe(id) }
+
+// ParseDataset maps a user-facing dataset name ("beijing-shanghai",
+// "la", ...) to its ID.
+func ParseDataset(name string) (DatasetID, error) { return trace.ParseDataset(name) }
+
+// ParseMode maps a user-facing mode name ("legacy", "rem", ...) to its
+// Mode.
+func ParseMode(name string) (Mode, error) { return trace.ParseMode(name) }
+
+// ReplicaSeed derives the i-th replica/UE seed from a master seed. It
+// is the one seed schedule shared by remsim -replicas and the fleet
+// engine, so a K-replica CLI run and a K-UE fleet run agree on per-UE
+// randomness roots.
+func ReplicaSeed(master int64, i int) int64 { return sim.ReplicaSeed(master, i) }
+
+// RunFleet steps a fleet of concurrent UE sessions against one shared
+// deployment; results are byte-identical at any worker count.
+func RunFleet(ctx context.Context, spec FleetSpec) (*FleetResult, error) {
+	return fleet.Run(ctx, spec)
+}
+
+// RunFleetWithOptions is RunFleet with event/progress hooks.
+func RunFleetWithOptions(ctx context.Context, spec FleetSpec, opts FleetOptions) (*FleetResult, error) {
+	return fleet.RunWithOptions(ctx, spec, opts)
+}
+
+// SummarizeFleet reduces independent per-replica results into the
+// machine-readable fleet summary (remsim's -json output).
+func SummarizeFleet(ds DatasetID, mode Mode, speedKmh, durationSec float64,
+	seed int64, results []*Result,
+) *FleetSummary {
+	return fleet.SummarizeResults(ds, mode, speedKmh, durationSec, seed, results)
+}
 
 // Datasets lists all three synthesized datasets.
 func Datasets() []Dataset { return trace.All() }
