@@ -1,0 +1,278 @@
+// Command rembench is the pinned performance harness for the PHY hot
+// path and the experiment drivers built on it. Every benchmark runs a
+// fixed workload from fixed seeds, so ns/op moves only when the code
+// does (modulo machine noise) and allocs/op is fully deterministic.
+//
+// Usage:
+//
+//	rembench                      # full run, prints a table
+//	rembench -quick               # CI-scale run (seconds, not minutes)
+//	rembench -out BENCH_PR3.json  # also write machine-readable results
+//	rembench -quick -baseline BENCH_PR3.json
+//	                              # compare against a committed baseline:
+//	                              # exit 1 on >25% ns/op or any allocs/op
+//	                              # regression
+//
+// The committed BENCH_PR3.json at the repo root is the reference the CI
+// bench job gates on; regenerate it with `rembench -quick -out
+// BENCH_PR3.json` after an intentional performance change.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+
+	"rem"
+	"rem/internal/chanmodel"
+	"rem/internal/crossband"
+	"rem/internal/dsp"
+	"rem/internal/fleet"
+	"rem/internal/ofdm"
+	"rem/internal/sim"
+	"rem/internal/trace"
+)
+
+// result is one benchmark's measurement, the unit of BENCH_PR3.json.
+type result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+type report struct {
+	Quick      bool     `json:"quick"`
+	Benchmarks []result `json:"benchmarks"`
+}
+
+// spec pins one benchmark: the function plus its benchtime at each
+// scale ("1x", "100x", "0.5s"...).
+type spec struct {
+	name      string
+	quickTime string
+	fullTime  string
+	fn        func(b *testing.B)
+	// allocSlack is the tolerated fractional allocs/op increase over the
+	// baseline. Single-threaded kernels are exactly deterministic and
+	// use 0; the worker-pool meso-benchmarks jitter by a few allocations
+	// with goroutine scheduling and get a small allowance.
+	allocSlack float64
+}
+
+func main() {
+	testing.Init() // registers test.benchtime before our flags parse
+	var (
+		quick    = flag.Bool("quick", false, "CI-scale iteration counts")
+		outPath  = flag.String("out", "", "write results JSON to this path")
+		baseline = flag.String("baseline", "", "baseline JSON to gate against")
+		filter   = flag.String("bench", "", "run only benchmarks containing this substring")
+	)
+	flag.Parse()
+
+	rep := report{Quick: *quick}
+	for _, s := range specs() {
+		if *filter != "" && !contains(s.name, *filter) {
+			continue
+		}
+		bt := s.fullTime
+		if *quick {
+			bt = s.quickTime
+		}
+		if err := flag.Set("test.benchtime", bt); err != nil {
+			fatal(err)
+		}
+		br := testing.Benchmark(s.fn)
+		r := result{
+			Name:        s.name,
+			Iterations:  br.N,
+			NsPerOp:     float64(br.T.Nanoseconds()) / float64(br.N),
+			AllocsPerOp: br.AllocsPerOp(),
+			BytesPerOp:  br.AllocedBytesPerOp(),
+		}
+		rep.Benchmarks = append(rep.Benchmarks, r)
+		fmt.Printf("%-24s %10d it  %14.0f ns/op  %8d allocs/op  %12d B/op\n",
+			r.Name, r.Iterations, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmarks matched -bench %q", *filter))
+	}
+
+	if *outPath != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*outPath, append(buf, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *outPath)
+	}
+
+	if *baseline != "" {
+		if err := gate(rep, *baseline); err != nil {
+			fmt.Fprintln(os.Stderr, "REGRESSION:", err)
+			os.Exit(1)
+		}
+		fmt.Println("baseline gate passed")
+	}
+}
+
+// gate fails when any benchmark regresses versus the baseline: ns/op by
+// more than 25% (machine-noise allowance), or allocs/op beyond the
+// benchmark's slack — zero for the single-threaded kernels, where any
+// increase is a real leak into the hot path.
+func gate(rep report, path string) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("read baseline: %w", err)
+	}
+	var base report
+	if err := json.Unmarshal(buf, &base); err != nil {
+		return fmt.Errorf("parse baseline: %w", err)
+	}
+	byName := make(map[string]result, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		byName[b.Name] = b
+	}
+	slack := make(map[string]float64)
+	for _, s := range specs() {
+		slack[s.name] = s.allocSlack
+	}
+	for _, r := range rep.Benchmarks {
+		b, ok := byName[r.Name]
+		if !ok {
+			continue // new benchmark, nothing to gate against
+		}
+		if b.NsPerOp > 0 && r.NsPerOp > b.NsPerOp*1.25 {
+			return fmt.Errorf("%s: %.0f ns/op vs baseline %.0f (+%.0f%%)",
+				r.Name, r.NsPerOp, b.NsPerOp, 100*(r.NsPerOp/b.NsPerOp-1))
+		}
+		allowed := int64(float64(b.AllocsPerOp) * (1 + slack[r.Name]))
+		if r.AllocsPerOp > allowed {
+			return fmt.Errorf("%s: %d allocs/op vs baseline %d (allowed %d)",
+				r.Name, r.AllocsPerOp, b.AllocsPerOp, allowed)
+		}
+	}
+	return nil
+}
+
+// specs returns the pinned benchmark set. Seeds and workloads are
+// fixed; do not vary them between runs or the baseline gate loses its
+// meaning.
+func specs() []spec {
+	return []spec{
+		{name: "tf_response", quickTime: "2000x", fullTime: "1s", fn: benchTFResponse},
+		{name: "block_bler_fused", quickTime: "5000x", fullTime: "1s", fn: benchBlockBLER},
+		{name: "svd_estimate", quickTime: "20x", fullTime: "1s", fn: benchSVDEstimate},
+		{name: "table2_quick", quickTime: "1x", fullTime: "3x", fn: benchTable2, allocSlack: 0.02},
+		{name: "fleet_100ue_epoch", quickTime: "1x", fullTime: "3x", fn: benchFleet100, allocSlack: 0.02},
+	}
+}
+
+// benchTFResponse: per-RE time-frequency response of a fixed EVA draw
+// into a preallocated 72×14 LTE grid — the innermost PHY kernel.
+func benchTFResponse(b *testing.B) {
+	lte := ofdm.LTE()
+	ch := chanmodel.Generate(sim.NewRNG(11), chanmodel.GenConfig{
+		Profile: chanmodel.EVA, CarrierHz: 2.6e9, SpeedMS: 97.2, Normalize: true,
+	})
+	dst := dsp.NewGrid(72, 14)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ch.TFResponseInto(dst, lte.DeltaF, lte.SymbolT, 0)
+	}
+}
+
+// benchBlockBLER: the fused grid → BLER link abstraction. Must stay at
+// 0 allocs/op (also pinned by TestBlockBLERZeroAllocs).
+func benchBlockBLER(b *testing.B) {
+	lte := ofdm.LTE()
+	ch := chanmodel.Generate(sim.NewRNG(12), chanmodel.GenConfig{
+		Profile: chanmodel.ETU, CarrierHz: 2.6e9, SpeedMS: 97.2, Normalize: true,
+	})
+	h := ch.TFResponse(72, 14, lte.DeltaF, lte.SymbolT, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ofdm.BlockBLER(h, 0.1, 0.02, ofdm.QAM16, 0.5)
+	}
+}
+
+// benchSVDEstimate: Algorithm 1 on a 128×64 delay-Doppler grid — the
+// cross-band estimation workhorse.
+func benchSVDEstimate(b *testing.B) {
+	cfg := crossband.Config{M: 128, N: 64, DeltaF: 60e3, SymT: 1.0 / 60e3, MaxPaths: 8}
+	est, err := crossband.NewEstimator(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ch := &chanmodel.Channel{Paths: []chanmodel.Path{
+		{Gain: 0.9, Delay: 260e-9, Doppler: 595},
+		{Gain: 0.3i, Delay: 700e-9, Doppler: -310},
+	}}
+	h1 := ch.DDResponse(cfg.M, cfg.N, cfg.DeltaF, cfg.SymT, 0).Matrix()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := est.Estimate(h1, 1.835e9, 2.665e9); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchTable2: one quick-scale replica of the paper's Table 2 driver —
+// the meso-benchmark the PR's ≥1.5× acceptance criterion is stated on.
+func benchTable2(b *testing.B) {
+	cfg := rem.QuickExperimentConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := rem.RunExperiment("table2", cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Tables) == 0 {
+			b.Fatal("empty report")
+		}
+	}
+}
+
+// benchFleet100: a 100-UE fleet run over four epochs of shared-state
+// coordination — the multi-session scaling path.
+func benchFleet100(b *testing.B) {
+	spec := fleet.Spec{
+		UEs: 100, Dataset: trace.BeijingShanghai, Mode: trace.REM,
+		DurationSec: 2, Seed: 1, EpochSec: 0.5,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := fleet.Run(context.Background(), spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res == nil {
+			b.Fatal("nil result")
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rembench:", err)
+	os.Exit(1)
+}

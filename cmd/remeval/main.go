@@ -27,6 +27,7 @@ import (
 
 	"rem"
 	"rem/internal/par"
+	"rem/internal/prof"
 )
 
 func main() {
@@ -40,8 +41,23 @@ func main() {
 		baseSeed = flag.Int64("seed", 1, "base RNG seed")
 		workers  = flag.Int("workers", 0, "parallel worker pool size; 0 = all cores (output is identical at any value)")
 		jsonOut  = flag.Bool("json", false, "emit each report as machine-readable JSON instead of rendered text")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "remeval: %v\n", err)
+		os.Exit(2)
+	}
+	// exit flushes profiles before terminating; os.Exit skips defers.
+	exit := func(code int) {
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(os.Stderr, "remeval: %v\n", err)
+		}
+		os.Exit(code)
+	}
 
 	if *list {
 		for _, e := range rem.Experiments() {
@@ -117,15 +133,16 @@ func main() {
 			}
 		}
 		if !ok {
-			os.Exit(1)
+			exit(1)
 		}
 	case *expID != "":
 		if !run(*expID) {
-			os.Exit(1)
+			exit(1)
 		}
 	default:
 		fmt.Fprintln(os.Stderr, "remeval: pass -exp <id>, -all, or -list")
 		flag.Usage()
-		os.Exit(2)
+		exit(2)
 	}
+	exit(0)
 }

@@ -31,6 +31,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on DefaultServeMux
 	"os"
 	"os/signal"
 	"syscall"
@@ -39,7 +40,19 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	pprofAddr := flag.String("pprof", "", "serve /debug/pprof on this address (e.g. localhost:6060); empty disables")
 	flag.Parse()
+
+	// The profiling endpoints live on their own listener so they are
+	// never exposed on the service address.
+	if *pprofAddr != "" {
+		go func() {
+			log.Printf("remserve pprof listening on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("remserve: pprof listener: %v", err)
+			}
+		}()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

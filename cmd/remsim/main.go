@@ -27,6 +27,7 @@ import (
 
 	"rem"
 	"rem/internal/par"
+	"rem/internal/prof"
 )
 
 func main() {
@@ -39,18 +40,33 @@ func main() {
 		replicas = flag.Int("replicas", 1, "independent replicas to run (seeds rem.ReplicaSeed(seed, i))")
 		workers  = flag.Int("workers", 0, "parallel worker pool size; 0 = all cores (output is identical at any value)")
 		jsonOut  = flag.Bool("json", false, "emit the machine-readable summary JSON instead of text")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
-	ds, err := rem.ParseDataset(*dataset)
+	stopProf, err := prof.Start(*cpuProf, *memProf)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "remsim: %v\n", err)
 		os.Exit(2)
 	}
+	// exit flushes profiles before terminating; os.Exit skips defers.
+	exit := func(code int) {
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(os.Stderr, "remsim: %v\n", err)
+		}
+		os.Exit(code)
+	}
+
+	ds, err := rem.ParseDataset(*dataset)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "remsim: %v\n", err)
+		exit(2)
+	}
 	md, err := rem.ParseMode(*mode)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "remsim: %v\n", err)
-		os.Exit(2)
+		exit(2)
 	}
 	if *replicas < 1 {
 		*replicas = 1
@@ -70,7 +86,7 @@ func main() {
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "remsim: %v\n", err)
-		os.Exit(1)
+		exit(1)
 	}
 
 	if *jsonOut {
@@ -79,16 +95,16 @@ func main() {
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(sum); err != nil {
 			fmt.Fprintf(os.Stderr, "remsim: %v\n", err)
-			os.Exit(1)
+			exit(1)
 		}
-		return
+		exit(0)
 	}
 
 	fmt.Printf("dataset   : %s\n", rem.DescribeDataset(ds).Name)
 	fmt.Printf("mode      : %s at %.0f km/h for %.0fs (seed %d)\n", md, *speed, *duration, *seed)
 	if *replicas == 1 {
 		printSummary(results[0])
-		return
+		exit(0)
 	}
 	var hos, fails int
 	for s, res := range results {
@@ -103,6 +119,7 @@ func main() {
 	}
 	fmt.Printf("aggregate : %d handovers, %d failures over %d replicas (ratio %.2f%%)\n",
 		hos, fails, *replicas, 100*ratio)
+	exit(0)
 }
 
 func printSummary(res *rem.Result) {

@@ -58,43 +58,41 @@ func KmhToMs(kmh float64) float64 { return kmh / 3.6 }
 // m indexes subcarriers (0..M-1, spacing deltaF) and n indexes OFDM
 // symbols (0..N-1, duration symT). This is the paper's H(t, f)
 // relation specialized to the sampled grid.
-func (c *Channel) TFResponse(m, n int, deltaF, symT, t0 float64) [][]complex128 {
+func (c *Channel) TFResponse(m, n int, deltaF, symT, t0 float64) dsp.Grid {
 	h := dsp.NewGrid(m, n)
 	c.TFResponseInto(h, deltaF, symT, t0)
 	return h
 }
 
-// TFResponseInto samples the time-frequency response into dst (an
-// existing len(dst)×len(dst[0]) grid), overwriting its contents.
-// Callers that regenerate same-size grids per channel draw can reuse
-// one buffer instead of allocating every time; see TFResponse for the
-// sampled relation.
-func (c *Channel) TFResponseInto(dst [][]complex128, deltaF, symT, t0 float64) {
-	m := len(dst)
-	if m == 0 {
+// TFResponseInto samples the time-frequency response into dst,
+// overwriting its contents. Callers that regenerate same-size grids
+// per channel draw can reuse one buffer instead of allocating every
+// time; see TFResponse for the sampled relation.
+func (c *Channel) TFResponseInto(dst dsp.Grid, deltaF, symT, t0 float64) {
+	m, n := dst.M, dst.N
+	if m == 0 || n == 0 {
 		return
 	}
-	n := len(dst[0])
-	h := dst
-	for i := range h {
-		row := h[i]
-		for j := range row {
-			row[j] = 0
-		}
-	}
+	dst.Zero()
+	data := dst.Data
 	for _, p := range c.Paths {
 		// Phase advances linearly along both axes; precompute the
 		// per-step rotations to keep this O(P·(M+N) + M·N).
 		base := p.Gain * cmplx.Exp(complex(0, 2*math.Pi*t0*p.Doppler))
 		fStep := cmplx.Exp(complex(0, -2*math.Pi*deltaF*p.Delay))
 		tStep := cmplx.Exp(complex(0, 2*math.Pi*symT*p.Doppler))
+		tr, ti := real(tStep), imag(tStep)
 		fCur := complex(1, 0)
 		for mi := 0; mi < m; mi++ {
+			// Split re/im recurrence for the per-symbol phase rotation:
+			// same naive (ac−bd, ad+bc) product the complex128 multiply
+			// compiles to, kept in scalar registers across the row.
 			v := base * fCur
-			row := h[mi]
-			for ni := 0; ni < n; ni++ {
-				row[ni] += v
-				v *= tStep
+			vr, vi := real(v), imag(v)
+			row := data[mi*n : (mi+1)*n]
+			for ni := range row {
+				row[ni] += complex(vr, vi)
+				vr, vi = vr*tr-vi*ti, vr*ti+vi*tr
 			}
 			fCur *= fStep
 		}
@@ -105,7 +103,7 @@ func (c *Channel) TFResponseInto(dst [][]complex128, deltaF, symT, t0 float64) {
 // H(k,l) = h_w(kΔτ, lΔν)/(MN) of paper Eq. (5)/(6), computed as the
 // inverse SFFT of the sampled time-frequency response. Δτ = 1/(MΔf)
 // and Δν = 1/(NT) are implied by the grid.
-func (c *Channel) DDResponse(m, n int, deltaF, symT, t0 float64) [][]complex128 {
+func (c *Channel) DDResponse(m, n int, deltaF, symT, t0 float64) dsp.Grid {
 	return dsp.ISFFT(c.TFResponse(m, n, deltaF, symT, t0))
 }
 
@@ -244,13 +242,13 @@ func Generate(rng *sim.RNG, cfg GenConfig) *Channel {
 
 // AddAWGN adds circularly-symmetric complex Gaussian noise with power
 // noiseVar to every element of grid, in place.
-func AddAWGN(rng *sim.RNG, grid [][]complex128, noiseVar float64) {
+func AddAWGN(rng *sim.RNG, grid dsp.Grid, noiseVar float64) {
 	if noiseVar <= 0 {
 		return
 	}
-	for i := range grid {
-		for j := range grid[i] {
-			grid[i][j] += rng.ComplexNorm(noiseVar)
-		}
+	// Flat Data is row-major, so the RNG draw order matches the former
+	// row-by-row traversal exactly.
+	for i := range grid.Data {
+		grid.Data[i] += rng.ComplexNorm(noiseVar)
 	}
 }

@@ -45,7 +45,7 @@ func TestTFResponseMatchesDefinition(t *testing.T) {
 				ang := 2 * math.Pi * ((t0+float64(ni)*symT)*p.Doppler - float64(mi)*deltaF*p.Delay)
 				want += p.Gain * cmplx.Exp(complex(0, ang))
 			}
-			if d := cmplx.Abs(h[mi][ni] - want); d > 1e-10 {
+			if d := cmplx.Abs(h.At(mi, ni) - want); d > 1e-10 {
 				t.Fatalf("H[%d][%d] differs by %g", mi, ni, d)
 			}
 		}
@@ -67,7 +67,7 @@ func TestDDResponseLocalizesOnGridPath(t *testing.T) {
 	var total float64
 	for i := 0; i < m; i++ {
 		for j := 0; j < n; j++ {
-			a := cmplx.Abs(dd[i][j])
+			a := cmplx.Abs(dd.At(i, j))
 			total += a * a
 			if a > best {
 				best, bi, bj = a, i, j
@@ -94,7 +94,7 @@ func TestDDResponseConsistentWithSFFT(t *testing.T) {
 	back := dsp.SFFT(dd)
 	for i := 0; i < m; i++ {
 		for j := 0; j < n; j++ {
-			if d := cmplx.Abs(tf[i][j] - back[i][j]); d > 1e-9 {
+			if d := cmplx.Abs(tf.At(i, j) - back.At(i, j)); d > 1e-9 {
 				t.Fatalf("SFFT(DD) != TF at (%d,%d): %g", i, j, d)
 			}
 		}
@@ -193,10 +193,8 @@ func TestAddAWGNPower(t *testing.T) {
 	g := dsp.NewGrid(40, 40)
 	AddAWGN(rng, g, 0.5)
 	sum := 0.0
-	for i := range g {
-		for j := range g[i] {
-			sum += real(g[i][j])*real(g[i][j]) + imag(g[i][j])*imag(g[i][j])
-		}
+	for _, v := range g.Data {
+		sum += real(v)*real(v) + imag(v)*imag(v)
 	}
 	if mean := sum / 1600; math.Abs(mean-0.5) > 0.05 {
 		t.Fatalf("AWGN power = %g, want ≈0.5", mean)
@@ -204,7 +202,7 @@ func TestAddAWGNPower(t *testing.T) {
 	// Zero variance must be a no-op.
 	h := dsp.NewGrid(2, 2)
 	AddAWGN(rng, h, 0)
-	if h[0][0] != 0 {
+	if h.At(0, 0) != 0 {
 		t.Fatal("AddAWGN with 0 variance changed the grid")
 	}
 }

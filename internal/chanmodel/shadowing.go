@@ -17,6 +17,13 @@ type Shadowing struct {
 	lastD  float64
 	lastDB float64
 	primed bool
+
+	// rho/sig memo for the common fixed-step advance: tick-driven
+	// callers query equidistant positions, so exp and sqrt of the same
+	// delta dominate the cost. Keyed on the exact float delta, the
+	// cached values are bitwise what the direct computation yields.
+	memoDelta, memoRho, memoSig float64
+	memoOK                      bool
 }
 
 // NewShadowing creates a correlated shadowing process.
@@ -38,8 +45,15 @@ func (s *Shadowing) At(d float64) float64 {
 	if delta == 0 {
 		return s.lastDB
 	}
-	rho := math.Exp(-delta / s.DecorrM)
-	s.lastDB = rho*s.lastDB + math.Sqrt(1-rho*rho)*s.rng.Gauss(0, s.StdDB)
+	var rho, sig float64
+	if s.memoOK && delta == s.memoDelta {
+		rho, sig = s.memoRho, s.memoSig
+	} else {
+		rho = math.Exp(-delta / s.DecorrM)
+		sig = math.Sqrt(1 - rho*rho)
+		s.memoDelta, s.memoRho, s.memoSig, s.memoOK = delta, rho, sig, true
+	}
+	s.lastDB = rho*s.lastDB + sig*s.rng.Gauss(0, s.StdDB)
 	s.lastD = d
 	return s.lastDB
 }

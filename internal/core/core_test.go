@@ -18,7 +18,7 @@ func cbCfg() crossband.Config {
 
 func ddFor(ch *chanmodel.Channel) *dsp.Matrix {
 	c := cbCfg()
-	return dsp.MatrixFromGrid(ch.DDResponse(c.M, c.N, c.DeltaF, c.SymT, 0))
+	return ch.DDResponse(c.M, c.N, c.DeltaF, c.SymT, 0).Matrix()
 }
 
 func testCells() []CellInfo {
@@ -164,10 +164,8 @@ func TestOverlayTransfer(t *testing.T) {
 	}
 	// Flat unit channel.
 	h := dsp.NewGrid(48, 14)
-	for i := range h {
-		for j := range h[i] {
-			h[i][j] = 1
-		}
+	for i := range h.Data {
+		h.Data[i] = 1
 	}
 	ov.Enqueue(make([]byte, 64))
 	ov.Enqueue(make([]byte, 64))

@@ -47,6 +47,7 @@ type Overlay struct {
 	queue   otfs.Queue
 	pending [][]byte // payloads parallel to the scheduler queue
 	rng     *sim.RNG
+	sub     dsp.Grid // reusable signaling-subgrid scratch
 
 	// Delivered and Lost count transferred signaling messages.
 	Delivered, Lost int
@@ -81,10 +82,10 @@ func (o *Overlay) Enqueue(payload []byte) {
 // reported as OFDM data capacity. It returns how many messages were
 // delivered this interval and the data REs left. Received payloads are
 // appended to Inbox for the receiver side to decode.
-func (o *Overlay) TransferInterval(h [][]complex128) (delivered, dataREs int, err error) {
-	if len(h) != o.cfg.GridM || len(h[0]) != o.cfg.GridN {
+func (o *Overlay) TransferInterval(h dsp.Grid) (delivered, dataREs int, err error) {
+	if h.M != o.cfg.GridM || h.N != o.cfg.GridN {
 		return 0, 0, fmt.Errorf("core: channel grid %dx%d does not match overlay %dx%d",
-			len(h), len(h[0]), o.cfg.GridM, o.cfg.GridN)
+			h.M, h.N, o.cfg.GridM, o.cfg.GridN)
 	}
 	plan, served, _, err := o.queue.Drain(o.sched, o.cfg.Modulation)
 	if err != nil {
@@ -93,13 +94,13 @@ func (o *Overlay) TransferInterval(h [][]complex128) (delivered, dataREs int, er
 	if served == 0 {
 		return 0, plan.DataREs, nil
 	}
-	// Transfer each admitted message over the allocated subgrid.
-	sub := dsp.NewGrid(plan.Signaling.FW, plan.Signaling.TW)
-	for i := 0; i < plan.Signaling.FW; i++ {
-		for j := 0; j < plan.Signaling.TW; j++ {
-			sub[i][j] = h[plan.Signaling.F0+i][plan.Signaling.T0+j]
-		}
+	// Transfer each admitted message over the allocated subgrid, copied
+	// into a scratch grid reused across intervals.
+	if o.sub.M != plan.Signaling.FW || o.sub.N != plan.Signaling.TW {
+		o.sub = dsp.NewGrid(plan.Signaling.FW, plan.Signaling.TW)
 	}
+	sub := o.sub
+	sub.CopyRect(h, plan.Signaling.F0, plan.Signaling.T0)
 	for k := 0; k < served && len(o.pending) > 0; k++ {
 		payload := o.pending[0]
 		o.pending = o.pending[1:]

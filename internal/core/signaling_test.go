@@ -41,13 +41,14 @@ func TestOverlayCarriesRRCMessages(t *testing.T) {
 
 	// A mildly faded channel.
 	h := dsp.NewGrid(96, 14)
-	for i := range h {
-		for j := range h[i] {
-			gain := 1.0
-			if i%3 == 0 {
-				gain = 0.4
-			}
-			h[i][j] = complex(math.Sqrt(gain), 0)
+	for i := 0; i < h.M; i++ {
+		gain := 1.0
+		if i%3 == 0 {
+			gain = 0.4
+		}
+		row := h.Row(i)
+		for j := range row {
+			row[j] = complex(math.Sqrt(gain), 0)
 		}
 	}
 	delivered, _, err := ov.TransferInterval(h)
@@ -96,10 +97,8 @@ func TestOverlayRRCSizing(t *testing.T) {
 	}
 	ov.Enqueue(bits)
 	h := dsp.NewGrid(600, 14)
-	for i := range h {
-		for j := range h[i] {
-			h[i][j] = 1
-		}
+	for i := range h.Data {
+		h.Data[i] = 1
 	}
 	delivered, dataREs, err := ov.TransferInterval(h)
 	if err != nil {

@@ -9,7 +9,7 @@ import (
 	"rem/internal/sim"
 )
 
-func tfGrid(ch *chanmodel.Channel, cfg Config) [][]complex128 {
+func tfGrid(ch *chanmodel.Channel, cfg Config) dsp.Grid {
 	return ch.TFResponse(cfg.M, cfg.N, cfg.DeltaF, cfg.SymT, 0)
 }
 
@@ -65,7 +65,7 @@ func TestR2F2DegradesWithDoppler(t *testing.T) {
 		}
 		r2f2Err += math.Abs(SNRFromTF(gotTF, noise) - want)
 
-		h1 := dsp.MatrixFromGrid(ch.DDResponse(cfg.M, cfg.N, cfg.DeltaF, cfg.SymT, 0))
+		h1 := ch.DDResponse(cfg.M, cfg.N, cfg.DeltaF, cfg.SymT, 0).Matrix()
 		gotDD, _, err := rem.Estimate(h1, f1, f2)
 		if err != nil {
 			t.Fatal(err)
@@ -100,17 +100,15 @@ func TestR2F2ZeroChannel(t *testing.T) {
 		t.Fatal(err)
 	}
 	var p float64
-	for _, row := range got {
-		for _, v := range row {
-			p += real(v)*real(v) + imag(v)*imag(v)
-		}
+	for _, v := range got.Data {
+		p += real(v)*real(v) + imag(v)*imag(v)
 	}
 	if p > 1e-6 {
 		t.Fatalf("zero channel produced power %g", p)
 	}
 }
 
-func genPairs(rng *sim.RNG, cfg Config, f1, f2 float64, n int, speed float64) (b1, b2 [][][]complex128) {
+func genPairs(rng *sim.RNG, cfg Config, f1, f2 float64, n int, speed float64) (b1, b2 []dsp.Grid) {
 	for i := 0; i < n; i++ {
 		ch := chanmodel.Generate(rng, chanmodel.GenConfig{
 			Profile: chanmodel.HST, CarrierHz: f1,
@@ -211,10 +209,8 @@ func TestSolveMulti(t *testing.T) {
 
 func TestSNRHelpers(t *testing.T) {
 	g := dsp.NewGrid(2, 2)
-	for i := range g {
-		for j := range g[i] {
-			g[i][j] = 2 // gain 4 per RE
-		}
+	for i := range g.Data {
+		g.Data[i] = 2 // gain 4 per RE
 	}
 	if got := SNRFromTF(g, 0.4); math.Abs(got-10) > 1e-9 {
 		t.Fatalf("SNRFromTF = %g, want 10 dB", got)
@@ -222,7 +218,7 @@ func TestSNRHelpers(t *testing.T) {
 	if !math.IsInf(SNRFromTF(g, 0), -1) {
 		t.Fatal("zero noise should give -Inf sentinel")
 	}
-	dd := dsp.MatrixFromGrid(dsp.ISFFT(g))
+	dd := dsp.ISFFT(g).Matrix()
 	if got := SNRFromDD(dd, 0.4); math.Abs(got-10) > 1e-9 {
 		t.Fatalf("SNRFromDD = %g, want 10 dB", got)
 	}
@@ -236,7 +232,7 @@ func BenchmarkREMEstimate(b *testing.B) {
 		Profile: chanmodel.HST, CarrierHz: 1.8e9, SpeedMS: chanmodel.KmhToMs(350),
 		Normalize: true, LOSFirstTap: true,
 	})
-	h1 := dsp.MatrixFromGrid(ch.DDResponse(cfg.M, cfg.N, cfg.DeltaF, cfg.SymT, 0))
+	h1 := ch.DDResponse(cfg.M, cfg.N, cfg.DeltaF, cfg.SymT, 0).Matrix()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

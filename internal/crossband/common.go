@@ -6,22 +6,15 @@ import (
 
 // SNRFromTF returns the wideband SNR (dB) implied by a time-frequency
 // channel grid and a noise power: mean per-RE gain over noise.
-func SNRFromTF(h [][]complex128, noiseVar float64) float64 {
-	if noiseVar <= 0 || len(h) == 0 {
+func SNRFromTF(h dsp.Grid, noiseVar float64) float64 {
+	if noiseVar <= 0 || h.M == 0 || len(h.Data) == 0 {
 		return dsp.DB(0)
 	}
 	var sum float64
-	count := 0
-	for _, row := range h {
-		for _, v := range row {
-			sum += real(v)*real(v) + imag(v)*imag(v)
-			count++
-		}
+	for _, v := range h.Data {
+		sum += real(v)*real(v) + imag(v)*imag(v)
 	}
-	if count == 0 {
-		return dsp.DB(0)
-	}
-	return dsp.DB(sum / float64(count) / noiseVar)
+	return dsp.DB(sum / float64(len(h.Data)) / noiseVar)
 }
 
 // SNRFromDD returns the wideband SNR (dB) implied by a sampled

@@ -3,6 +3,8 @@ package crossband
 import (
 	"fmt"
 	"math"
+
+	"rem/internal/dsp"
 )
 
 // OptML is the paper's second baseline (reference [24]): a learned
@@ -39,14 +41,13 @@ func NewOptML(m, n int) (*OptML, error) {
 
 // profile extracts the time-averaged magnitude frequency profile,
 // downsampled to FeatureBins.
-func (o *OptML) profile(h [][]complex128) []float64 {
+func (o *OptML) profile(h dsp.Grid) []float64 {
 	out := make([]float64, o.FeatureBins)
 	counts := make([]int, o.FeatureBins)
 	for m := 0; m < o.M; m++ {
 		bin := m * o.FeatureBins / o.M
 		var sum float64
-		for n := 0; n < o.N; n++ {
-			v := h[m][n]
+		for _, v := range h.Row(m) {
 			sum += math.Hypot(real(v), imag(v))
 		}
 		out[bin] += sum / float64(o.N)
@@ -63,7 +64,7 @@ func (o *OptML) profile(h [][]complex128) []float64 {
 // Fit trains the ridge regression on paired observations: band-1 and
 // band-2 time-frequency grids of the same channel. It returns an error
 // if fewer than two pairs are supplied.
-func (o *OptML) Fit(band1, band2 [][][]complex128) error {
+func (o *OptML) Fit(band1, band2 []dsp.Grid) error {
 	if len(band1) != len(band2) || len(band1) < 2 {
 		return fmt.Errorf("crossband: OptML needs ≥2 paired samples, got %d/%d", len(band1), len(band2))
 	}
@@ -109,12 +110,12 @@ func (o *OptML) Trained() bool { return o.trained }
 // prediction carries magnitudes only (constant phase, constant in
 // time): like the original, the model targets link quality (SNR), not
 // coherent channel state. Returns an error if the model is untrained.
-func (o *OptML) Estimate(h1tf [][]complex128, f1, f2 float64) ([][]complex128, error) {
+func (o *OptML) Estimate(h1tf dsp.Grid, f1, f2 float64) (dsp.Grid, error) {
 	if !o.trained {
-		return nil, fmt.Errorf("crossband: OptML model not trained")
+		return dsp.Grid{}, fmt.Errorf("crossband: OptML model not trained")
 	}
-	if len(h1tf) != o.M || len(h1tf[0]) != o.N {
-		return nil, fmt.Errorf("crossband: OptML grid mismatch")
+	if h1tf.M != o.M || h1tf.N != o.N {
+		return dsp.Grid{}, fmt.Errorf("crossband: OptML grid mismatch")
 	}
 	x := append(o.profile(h1tf), 1)
 	d := o.FeatureBins
@@ -129,14 +130,13 @@ func (o *OptML) Estimate(h1tf [][]complex128, f1, f2 float64) ([][]complex128, e
 		}
 		pred[j] = sum
 	}
-	out := make([][]complex128, o.M)
+	out := dsp.NewGrid(o.M, o.N)
 	for m := 0; m < o.M; m++ {
 		bin := m * d / o.M
-		row := make([]complex128, o.N)
-		for n := 0; n < o.N; n++ {
+		row := out.Row(m)
+		for n := range row {
 			row[n] = complex(pred[bin], 0)
 		}
-		out[m] = row
 	}
 	return out, nil
 }

@@ -50,20 +50,20 @@ type staticPath struct {
 // the static model H(f) = Σ_p a_p·e^{−j2πfτ_p}; in extreme mobility
 // the per-symbol Doppler rotation in h1tf is unmodeled, which is the
 // baseline's fundamental accuracy limit (paper §5.2).
-func (r *R2F2) Estimate(h1tf [][]complex128, f1, f2 float64) ([][]complex128, error) {
-	if len(h1tf) != r.M || len(h1tf[0]) != r.N {
-		return nil, fmt.Errorf("crossband: R2F2 grid mismatch")
+func (r *R2F2) Estimate(h1tf dsp.Grid, f1, f2 float64) (dsp.Grid, error) {
+	if h1tf.M != r.M || h1tf.N != r.N {
+		return dsp.Grid{}, fmt.Errorf("crossband: R2F2 grid mismatch")
 	}
 	if f1 <= 0 || f2 <= 0 {
-		return nil, fmt.Errorf("crossband: invalid carriers")
+		return dsp.Grid{}, fmt.Errorf("crossband: invalid carriers")
 	}
 	// Static assumption: collapse time by averaging (any Doppler
 	// rotation partially cancels here — the model cannot express it).
 	g := make([]complex128, r.M)
 	for m := 0; m < r.M; m++ {
 		var sum complex128
-		for n := 0; n < r.N; n++ {
-			sum += h1tf[m][n]
+		for _, v := range h1tf.Row(m) {
+			sum += v
 		}
 		g[m] = sum / complex(float64(r.N), 0)
 	}
@@ -79,8 +79,9 @@ func (r *R2F2) Estimate(h1tf [][]complex128, f1, f2 float64) ([][]complex128, er
 		for _, p := range paths {
 			v += p.amp * cmplx.Exp(complex(0, -2*math.Pi*float64(m)*r.DeltaF*p.delay))
 		}
-		for n := 0; n < r.N; n++ {
-			out[m][n] = v
+		row := out.Row(m)
+		for n := range row {
+			row[n] = v
 		}
 	}
 	return out, nil

@@ -19,7 +19,7 @@ func testCfg() Config {
 
 func ddMatrix(t *testing.T, ch *chanmodel.Channel, cfg Config) *dsp.Matrix {
 	t.Helper()
-	return dsp.MatrixFromGrid(ch.DDResponse(cfg.M, cfg.N, cfg.DeltaF, cfg.SymT, 0))
+	return ch.DDResponse(cfg.M, cfg.N, cfg.DeltaF, cfg.SymT, 0).Matrix()
 }
 
 func relErr(got, want *dsp.Matrix) float64 {
@@ -266,13 +266,13 @@ func TestOnGridExactRecoveryProperty(t *testing.T) {
 			})
 		}
 		ch := &chanmodel.Channel{Paths: paths}
-		h1 := dsp.MatrixFromGrid(ch.DDResponse(cfg.M, cfg.N, cfg.DeltaF, cfg.SymT, 0))
+		h1 := ch.DDResponse(cfg.M, cfg.N, cfg.DeltaF, cfg.SymT, 0).Matrix()
 		f1, f2 := 1.8e9, 2.6e9
 		h2, _, err := e.Estimate(h1, f1, f2)
 		if err != nil {
 			return false
 		}
-		want := dsp.MatrixFromGrid(ch.Retuned(f1, f2).DDResponse(cfg.M, cfg.N, cfg.DeltaF, cfg.SymT, 0))
+		want := ch.Retuned(f1, f2).DDResponse(cfg.M, cfg.N, cfg.DeltaF, cfg.SymT, 0).Matrix()
 		return relErr(h2, want) < 0.15
 	}
 	// Pinned generator seed: the 0.15 bound is tight enough that rare

@@ -40,14 +40,24 @@ func BenchmarkIFFT(b *testing.B) {
 
 func BenchmarkSFFT(b *testing.B) {
 	g := NewGrid(64, 32)
-	for i := range g {
-		for j := range g[i] {
-			g[i][j] = complex(float64(i-j), float64(i+j))
+	for i := 0; i < g.M; i++ {
+		row := g.Row(i)
+		for j := range row {
+			row[j] = complex(float64(i-j), float64(i+j))
 		}
 	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		_ = SFFT(g)
-	}
+	b.Run("alloc", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = SFFT(g)
+		}
+	})
+	b.Run("into", func(b *testing.B) {
+		dst := NewGrid(64, 32)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			SFFTInto(dst, g)
+		}
+	})
 }

@@ -260,7 +260,7 @@ func fft(x []complex128, inverse bool) []complex128 {
 // The returned grid is indexed X[m][n] (frequency-major) so that both
 // domains share the [M][N] shape. The input grid is x[k][l] with k the
 // delay index (0..M-1) and l the Doppler index (0..N-1).
-func SFFT(x [][]complex128) [][]complex128 {
+func SFFT(x Grid) Grid {
 	return sfft(x, false)
 }
 
@@ -269,29 +269,45 @@ func SFFT(x [][]complex128) [][]complex128 {
 //	x[k,l] = (1/MN) Σ_{m,n} X[n,m]·e^{+j2π(mk/M − nl/N)}
 //
 // ISFFT(SFFT(x)) == x up to rounding.
-func ISFFT(x [][]complex128) [][]complex128 {
+func ISFFT(x Grid) Grid {
 	return sfft(x, true)
 }
 
-// sfft runs the (inverse) symplectic transform: a DFT along the delay
-// axis and an opposite-direction DFT along the Doppler axis, with the
-// 1/(MN) normalization on the inverse path.
-func sfft(x [][]complex128, inverse bool) [][]complex128 {
-	m, n := gridDims(x)
-	out := NewGrid(m, n)
+// SFFTInto computes SFFT(x) into dst, which must match x's shape and
+// not alias it. Callers that transform same-size grids repeatedly can
+// reuse one output buffer instead of allocating every call.
+func SFFTInto(dst, x Grid) { sfftInto(dst, x, false) }
+
+// ISFFTInto computes ISFFT(x) into dst (same contract as SFFTInto).
+func ISFFTInto(dst, x Grid) { sfftInto(dst, x, true) }
+
+func sfft(x Grid, inverse bool) Grid {
+	out := NewGrid(x.M, x.N)
+	sfftInto(out, x, inverse)
+	return out
+}
+
+// sfftInto runs the (inverse) symplectic transform: a DFT along the
+// delay axis and an opposite-direction DFT along the Doppler axis, with
+// the 1/(MN) normalization on the inverse path.
+func sfftInto(dst, x Grid, inverse bool) {
+	m, n := x.M, x.N
+	if dst.M != m || dst.N != n {
+		panic("dsp: grid shape mismatch in SFFT")
+	}
 	if m == 0 || n == 0 {
-		return out
+		return
 	}
 	colPlan := planFor(m)
 	rowPlan := planFor(n)
 	col, sp := getScratch(m)
 	for l := 0; l < n; l++ {
 		for k := 0; k < m; k++ {
-			col[k] = x[k][l]
+			col[k] = x.Data[k*n+l]
 		}
 		colPlan.transform(col, inverse) // delay axis: forward for SFFT
 		for k := 0; k < m; k++ {
-			out[k][l] = col[k]
+			dst.Data[k*n+l] = col[k]
 		}
 	}
 	scratchPool.Put(sp)
@@ -300,48 +316,12 @@ func sfft(x [][]complex128, inverse bool) [][]complex128 {
 		norm = complex(1/float64(m*n), 0)
 	}
 	for k := 0; k < m; k++ {
-		rowPlan.transform(out[k], !inverse) // Doppler axis: opposite direction
+		row := dst.Row(k)
+		rowPlan.transform(row, !inverse) // Doppler axis: opposite direction
 		if inverse {
-			row := out[k]
 			for l := range row {
 				row[l] *= norm
 			}
 		}
 	}
-	return out
-}
-
-func gridDims(x [][]complex128) (m, n int) {
-	m = len(x)
-	if m == 0 {
-		return 0, 0
-	}
-	n = len(x[0])
-	for _, row := range x {
-		if len(row) != n {
-			panic("dsp: ragged grid")
-		}
-	}
-	return m, n
-}
-
-// NewGrid allocates an m×n grid of complex zeros backed by a single
-// contiguous slice.
-func NewGrid(m, n int) [][]complex128 {
-	backing := make([]complex128, m*n)
-	g := make([][]complex128, m)
-	for i := range g {
-		g[i], backing = backing[:n:n], backing[n:]
-	}
-	return g
-}
-
-// CopyGrid returns a deep copy of g.
-func CopyGrid(g [][]complex128) [][]complex128 {
-	m, n := gridDims(g)
-	out := NewGrid(m, n)
-	for i := 0; i < m; i++ {
-		copy(out[i], g[i])
-	}
-	return out
 }

@@ -140,14 +140,12 @@ func TestSFFTInverseRoundTrip(t *testing.T) {
 	for _, dims := range [][2]int{{1, 1}, {2, 3}, {4, 4}, {12, 14}, {16, 8}, {5, 9}} {
 		m, n := dims[0], dims[1]
 		g := NewGrid(m, n)
-		for i := 0; i < m; i++ {
-			for j := 0; j < n; j++ {
-				g[i][j] = complex(rng.NormFloat64(), rng.NormFloat64())
-			}
+		for i := range g.Data {
+			g.Data[i] = complex(rng.NormFloat64(), rng.NormFloat64())
 		}
 		back := ISFFT(SFFT(g))
 		for i := 0; i < m; i++ {
-			if d := maxAbsDiff(g[i], back[i]); d > 1e-9*float64(m*n) {
+			if d := maxAbsDiff(g.Row(i), back.Row(i)); d > 1e-9*float64(m*n) {
 				t.Errorf("%dx%d: ISFFT(SFFT) row %d differs by %g", m, n, i, d)
 			}
 		}
@@ -159,10 +157,8 @@ func TestSFFTDefinition(t *testing.T) {
 	rng := rand.New(rand.NewSource(6))
 	m, n := 6, 5
 	x := NewGrid(m, n)
-	for k := 0; k < m; k++ {
-		for l := 0; l < n; l++ {
-			x[k][l] = complex(rng.NormFloat64(), rng.NormFloat64())
-		}
+	for i := range x.Data {
+		x.Data[i] = complex(rng.NormFloat64(), rng.NormFloat64())
 	}
 	got := SFFT(x)
 	for mm := 0; mm < m; mm++ {
@@ -171,11 +167,11 @@ func TestSFFTDefinition(t *testing.T) {
 			for k := 0; k < m; k++ {
 				for l := 0; l < n; l++ {
 					ang := -2 * math.Pi * (float64(mm*k)/float64(m) - float64(nn*l)/float64(n))
-					want += x[k][l] * cmplx.Exp(complex(0, ang))
+					want += x.At(k, l) * cmplx.Exp(complex(0, ang))
 				}
 			}
-			if d := cmplx.Abs(got[mm][nn] - want); d > 1e-9 {
-				t.Fatalf("SFFT[%d][%d] = %v, want %v (diff %g)", mm, nn, got[mm][nn], want, d)
+			if d := cmplx.Abs(got.At(mm, nn) - want); d > 1e-9 {
+				t.Fatalf("SFFT[%d][%d] = %v, want %v (diff %g)", mm, nn, got.At(mm, nn), want, d)
 			}
 		}
 	}
@@ -188,19 +184,15 @@ func TestSFFTEnergyConservation(t *testing.T) {
 	m, n := 8, 6
 	x := NewGrid(m, n)
 	var ein float64
-	for k := 0; k < m; k++ {
-		for l := 0; l < n; l++ {
-			v := complex(rng.NormFloat64(), rng.NormFloat64())
-			x[k][l] = v
-			ein += real(v)*real(v) + imag(v)*imag(v)
-		}
+	for i := range x.Data {
+		v := complex(rng.NormFloat64(), rng.NormFloat64())
+		x.Data[i] = v
+		ein += real(v)*real(v) + imag(v)*imag(v)
 	}
 	X := SFFT(x)
 	var eout float64
-	for _, row := range X {
-		for _, v := range row {
-			eout += real(v)*real(v) + imag(v)*imag(v)
-		}
+	for _, v := range X.Data {
+		eout += real(v)*real(v) + imag(v)*imag(v)
 	}
 	if math.Abs(eout-float64(m*n)*ein) > 1e-6*eout {
 		t.Fatalf("energy in=%g scaled=%g out=%g", ein, float64(m*n)*ein, eout)
@@ -209,18 +201,16 @@ func TestSFFTEnergyConservation(t *testing.T) {
 
 func TestNewGridShape(t *testing.T) {
 	g := NewGrid(3, 4)
-	if len(g) != 3 {
-		t.Fatalf("rows = %d, want 3", len(g))
+	if g.M != 3 || g.N != 4 || len(g.Data) != 12 {
+		t.Fatalf("grid shape %dx%d (%d cells), want 3x4 (12)", g.M, g.N, len(g.Data))
 	}
-	for _, row := range g {
-		if len(row) != 4 {
-			t.Fatalf("cols = %d, want 4", len(row))
-		}
+	if row := g.Row(1); len(row) != 4 {
+		t.Fatalf("row length = %d, want 4", len(row))
 	}
-	g[1][2] = 5
+	g.Set(1, 2, 5)
 	c := CopyGrid(g)
-	c[1][2] = 9
-	if g[1][2] != 5 {
+	c.Set(1, 2, 9)
+	if g.At(1, 2) != 5 {
 		t.Fatal("CopyGrid did not deep-copy")
 	}
 }
@@ -238,10 +228,8 @@ func BenchmarkFFT1024(b *testing.B) {
 func BenchmarkSFFT12x14(b *testing.B) {
 	rng := rand.New(rand.NewSource(9))
 	g := NewGrid(12, 14)
-	for i := range g {
-		for j := range g[i] {
-			g[i][j] = complex(rng.NormFloat64(), rng.NormFloat64())
-		}
+	for i := range g.Data {
+		g.Data[i] = complex(rng.NormFloat64(), rng.NormFloat64())
 	}
 	b.ReportAllocs()
 	b.ResetTimer()

@@ -1,0 +1,81 @@
+package dsp
+
+// Grid is an M×N complex resource grid stored flat in row-major order:
+// element (i, j) lives at Data[i*N+j]. It replaces the former jagged
+// [][]complex128 representation so the PHY hot loops (channel sampling,
+// per-RE SINR, SFFT) traverse one contiguous slice instead of chasing
+// row pointers, and so views between Grid and Matrix are free.
+//
+// Grid is a small value type (two ints and a slice header); pass it by
+// value. Copies share the backing Data — use Clone for a deep copy.
+type Grid struct {
+	M, N int          // rows (delay/frequency axis), columns (Doppler/time axis)
+	Data []complex128 // len == M*N, row-major
+}
+
+// NewGrid allocates an m×n grid of complex zeros backed by a single
+// contiguous slice.
+func NewGrid(m, n int) Grid {
+	if m < 0 || n < 0 {
+		panic("dsp: negative grid dimension")
+	}
+	return Grid{M: m, N: n, Data: make([]complex128, m*n)}
+}
+
+// At returns element (i, j).
+func (g Grid) At(i, j int) complex128 { return g.Data[i*g.N+j] }
+
+// Set assigns element (i, j).
+func (g Grid) Set(i, j int, v complex128) { g.Data[i*g.N+j] = v }
+
+// Row returns row i as a zero-copy view into the backing slice.
+func (g Grid) Row(i int) []complex128 { return g.Data[i*g.N : (i+1)*g.N : (i+1)*g.N] }
+
+// Rows returns the row band [i0, i1) as a zero-copy sub-grid view.
+func (g Grid) Rows(i0, i1 int) Grid {
+	if i0 < 0 || i1 < i0 || i1 > g.M {
+		panic("dsp: row band out of range")
+	}
+	return Grid{M: i1 - i0, N: g.N, Data: g.Data[i0*g.N : i1*g.N : i1*g.N]}
+}
+
+// Matrix returns a zero-copy Matrix view over the same backing data.
+// Mutations through either view are visible in both.
+func (g Grid) Matrix() *Matrix { return &Matrix{Rows: g.M, Cols: g.N, Data: g.Data} }
+
+// Clone returns a deep copy of g.
+func (g Grid) Clone() Grid {
+	out := Grid{M: g.M, N: g.N, Data: make([]complex128, len(g.Data))}
+	copy(out.Data, g.Data)
+	return out
+}
+
+// Zero clears every element in place.
+func (g Grid) Zero() {
+	clear(g.Data)
+}
+
+// CopyFrom copies src's elements into g. Panics on shape mismatch.
+func (g Grid) CopyFrom(src Grid) {
+	if g.M != src.M || g.N != src.N {
+		panic("dsp: grid shape mismatch in CopyFrom")
+	}
+	copy(g.Data, src.Data)
+}
+
+// CopyRect copies the fw×tw rectangle of src anchored at (f0, t0) into
+// g, which must be fw×tw. With flat storage a column-subset rectangle
+// is not expressible as a view, so this is the one remaining copy on
+// the sub-grid path; callers reuse a scratch Grid to keep it
+// allocation-free.
+func (g Grid) CopyRect(src Grid, f0, t0 int) {
+	if f0 < 0 || t0 < 0 || f0+g.M > src.M || t0+g.N > src.N {
+		panic("dsp: rectangle out of range in CopyRect")
+	}
+	for i := 0; i < g.M; i++ {
+		copy(g.Row(i), src.Data[(f0+i)*src.N+t0:(f0+i)*src.N+t0+g.N])
+	}
+}
+
+// CopyGrid returns a deep copy of g.
+func CopyGrid(g Grid) Grid { return g.Clone() }

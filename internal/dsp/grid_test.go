@@ -1,0 +1,111 @@
+package dsp
+
+import "testing"
+
+func TestGridRowAndRowsAreViews(t *testing.T) {
+	g := NewGrid(3, 4)
+	for i := range g.Data {
+		g.Data[i] = complex(float64(i), 0)
+	}
+	r := g.Row(1)
+	if len(r) != 4 || r[0] != g.At(1, 0) {
+		t.Fatalf("Row(1) = %v", r)
+	}
+	r[2] = 99
+	if g.At(1, 2) != 99 {
+		t.Fatal("Row is not a view into the backing slice")
+	}
+	// Full-capacity slicing: appending to a row view must not clobber
+	// the next row.
+	r = append(r, -1)
+	if g.At(2, 0) == -1 {
+		t.Fatal("append through Row view overwrote the next row")
+	}
+
+	band := g.Rows(1, 3)
+	if band.M != 2 || band.N != 4 || band.At(0, 2) != 99 {
+		t.Fatalf("Rows(1,3) = %+v", band)
+	}
+	band.Set(1, 3, 7)
+	if g.At(2, 3) != 7 {
+		t.Fatal("Rows is not a view")
+	}
+}
+
+func TestGridMatrixSharesStorage(t *testing.T) {
+	g := NewGrid(2, 3)
+	m := g.Matrix()
+	if m.Rows != 2 || m.Cols != 3 {
+		t.Fatalf("Matrix dims %dx%d", m.Rows, m.Cols)
+	}
+	m.Data[4] = 5
+	if g.At(1, 1) != 5 {
+		t.Fatal("Matrix view does not share storage")
+	}
+}
+
+func TestGridCloneAndCopyFrom(t *testing.T) {
+	g := NewGrid(2, 2)
+	g.Data[0] = 1
+	c := g.Clone()
+	c.Data[0] = 2
+	if g.Data[0] != 1 {
+		t.Fatal("Clone shares storage")
+	}
+	d := NewGrid(2, 2)
+	d.CopyFrom(g)
+	if d.Data[0] != 1 {
+		t.Fatal("CopyFrom missed data")
+	}
+	g.Zero()
+	if g.Data[0] != 0 {
+		t.Fatal("Zero left data")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CopyFrom shape mismatch must panic")
+		}
+	}()
+	d.CopyFrom(NewGrid(1, 2))
+}
+
+func TestGridCopyRect(t *testing.T) {
+	src := NewGrid(4, 5)
+	for i := range src.Data {
+		src.Data[i] = complex(float64(i), 0)
+	}
+	dst := NewGrid(2, 3)
+	dst.CopyRect(src, 1, 2)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if dst.At(i, j) != src.At(1+i, 2+j) {
+				t.Fatalf("CopyRect (%d,%d) = %v, want %v", i, j, dst.At(i, j), src.At(1+i, 2+j))
+			}
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range CopyRect must panic")
+		}
+	}()
+	dst.CopyRect(src, 3, 3)
+}
+
+func TestGridRowsBoundsPanic(t *testing.T) {
+	g := NewGrid(3, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Rows out of range must panic")
+		}
+	}()
+	_ = g.Rows(2, 4)
+}
+
+func TestNewGridNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative dimension must panic")
+		}
+	}()
+	_ = NewGrid(-1, 2)
+}

@@ -20,24 +20,11 @@ func NewMatrix(rows, cols int) *Matrix {
 	return &Matrix{Rows: rows, Cols: cols, Data: make([]complex128, rows*cols)}
 }
 
-// MatrixFromGrid copies a [][]complex128 grid into a Matrix.
-func MatrixFromGrid(g [][]complex128) *Matrix {
-	m, n := gridDims(g)
-	out := NewMatrix(m, n)
-	for i := 0; i < m; i++ {
-		copy(out.Data[i*n:(i+1)*n], g[i])
-	}
-	return out
-}
-
-// Grid copies the matrix back into a [][]complex128 grid.
-func (a *Matrix) Grid() [][]complex128 {
-	g := NewGrid(a.Rows, a.Cols)
-	for i := 0; i < a.Rows; i++ {
-		copy(g[i], a.Data[i*a.Cols:(i+1)*a.Cols])
-	}
-	return g
-}
+// AsGrid returns a zero-copy Grid view over the same backing data —
+// both types are row-major, so no conversion copy is needed (this
+// replaces the former MatrixFromGrid/Grid copy pair). Mutations
+// through either view are visible in both.
+func (a *Matrix) AsGrid() Grid { return Grid{M: a.Rows, N: a.Cols, Data: a.Data} }
 
 // At returns element (i, j).
 func (a *Matrix) At(i, j int) complex128 { return a.Data[i*a.Cols+j] }

@@ -152,9 +152,18 @@ func TestMatrixConjTInvolution(t *testing.T) {
 func TestMatrixGridRoundTrip(t *testing.T) {
 	rng := rand.New(rand.NewSource(16))
 	a := randMatrix(rng, 3, 6)
-	b := MatrixFromGrid(a.Grid())
+	g := a.AsGrid()
+	if g.M != a.Rows || g.N != a.Cols {
+		t.Fatalf("AsGrid shape %dx%d, want %dx%d", g.M, g.N, a.Rows, a.Cols)
+	}
+	b := g.Matrix()
 	if diff := a.Sub(b).FrobeniusNorm(); diff != 0 {
 		t.Fatalf("grid round trip changed matrix (diff %g)", diff)
+	}
+	// Both views share storage with a.
+	g.Data[0] += 1
+	if a.Data[0] != g.Data[0] {
+		t.Fatal("AsGrid is not a zero-copy view")
 	}
 }
 

@@ -114,7 +114,7 @@ func runAblationSVDRank(cfg Config) (*Report, error) {
 				Profile: chanmodel.HST, CarrierHz: fc1,
 				SpeedMS: chanmodel.KmhToMs(350), Normalize: true, LOSFirstTap: true,
 			})
-			h1 := dsp.MatrixFromGrid(ch.DDResponse(c.M, c.N, c.DeltaF, c.SymT, 0))
+			h1 := ch.DDResponse(c.M, c.N, c.DeltaF, c.SymT, 0).Matrix()
 			// Estimation noise at −30 dB of channel power.
 			sigma := h1.FrobeniusNorm() / float64(c.M*c.N)
 			for i := range h1.Data {

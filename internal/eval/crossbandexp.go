@@ -50,12 +50,12 @@ type cbTrial struct {
 func runREMTrial(e *crossband.Estimator, ch *chanmodel.Channel, cfg crossband.Config,
 	f1, f2, noiseVar, marginDB, deltaDB float64) (cbTrial, error) {
 
-	h1 := dsp.MatrixFromGrid(ch.DDResponse(cfg.M, cfg.N, cfg.DeltaF, cfg.SymT, 0))
+	h1 := ch.DDResponse(cfg.M, cfg.N, cfg.DeltaF, cfg.SymT, 0).Matrix()
 	h2, _, err := e.Estimate(h1, f1, f2)
 	if err != nil {
 		return cbTrial{}, err
 	}
-	estTF := dsp.SFFT(h2.Grid())
+	estTF := dsp.SFFT(h2.AsGrid())
 	truthTF := ch.Retuned(f1, f2).TFResponse(cfg.M, cfg.N, cfg.DeltaF, cfg.SymT, 0)
 	errDB := subbandSNRErr(estTF, truthTF, noiseVar)
 	est := crossband.SNRFromTF(estTF, noiseVar)
@@ -75,14 +75,15 @@ func runREMTrial(e *crossband.Estimator, ch *chanmodel.Channel, cfg crossband.Co
 // the granularity at which schedulers consume channel quality. A
 // wideband-only score would hide Doppler-blind estimators' inability
 // to predict the fading structure.
-func subbandSNRErr(est, truth [][]complex128, noiseVar float64) float64 {
+func subbandSNRErr(est, truth dsp.Grid, noiseVar float64) float64 {
 	const chunk = 16
-	m := len(truth)
+	m := truth.M
 	var sum float64
 	n := 0
+	// Row bands are zero-copy views into the flat grids.
 	for f0 := 0; f0+chunk <= m; f0 += chunk {
-		e := crossband.SNRFromTF(est[f0:f0+chunk], noiseVar)
-		tr := crossband.SNRFromTF(truth[f0:f0+chunk], noiseVar)
+		e := crossband.SNRFromTF(est.Rows(f0, f0+chunk), noiseVar)
+		tr := crossband.SNRFromTF(truth.Rows(f0, f0+chunk), noiseVar)
 		sum += math.Abs(e - tr)
 		n++
 	}
@@ -190,7 +191,7 @@ func runFig13(cfg Config) (*Report, error) {
 	}
 	// Train OptML on an 80% split (the paper's protocol). Each
 	// training example has its own stream ("fig13.train.<i>").
-	type trainPair struct{ tf1, tf2 [][]complex128 }
+	type trainPair struct{ tf1, tf2 dsp.Grid }
 	pairs, err := par.IndexedMap(cfg.Workers, trainN, func(i int) (trainPair, error) {
 		ch := gen(streams.Stream(fmt.Sprintf("fig13.train.%04d", i)))
 		return trainPair{
@@ -201,7 +202,7 @@ func runFig13(cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	var b1, b2 [][][]complex128
+	var b1, b2 []dsp.Grid
 	for _, p := range pairs {
 		b1 = append(b1, p.tf1)
 		b2 = append(b2, p.tf2)
@@ -319,8 +320,8 @@ func runFig14b(cfg Config) (*Report, error) {
 		SpeedMS: chanmodel.KmhToMs(300), Normalize: true, LOSFirstTap: true,
 	})
 	tf1 := ch.TFResponse(ccfg.M, ccfg.N, ccfg.DeltaF, ccfg.SymT, 0)
-	h1 := dsp.MatrixFromGrid(ch.DDResponse(ccfg.M, ccfg.N, ccfg.DeltaF, ccfg.SymT, 0))
-	var tb1, tb2 [][][]complex128
+	h1 := ch.DDResponse(ccfg.M, ccfg.N, ccfg.DeltaF, ccfg.SymT, 0).Matrix()
+	var tb1, tb2 []dsp.Grid
 	for i := 0; i < 8; i++ {
 		c := chanmodel.Generate(rng, chanmodel.GenConfig{
 			Profile: chanmodel.HST, CarrierHz: fc1, SpeedMS: chanmodel.KmhToMs(300), Normalize: true,

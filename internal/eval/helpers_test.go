@@ -59,15 +59,15 @@ func TestSubGrid(t *testing.T) {
 	h := dsp.NewGrid(4, 4)
 	for i := 0; i < 4; i++ {
 		for j := 0; j < 4; j++ {
-			h[i][j] = complex(float64(i), float64(j))
+			h.Set(i, j, complex(float64(i), float64(j)))
 		}
 	}
 	s := subGrid(h, 1, 2, 2, 2)
-	if len(s) != 2 || len(s[0]) != 2 {
-		t.Fatalf("shape %dx%d", len(s), len(s[0]))
+	if s.M != 2 || s.N != 2 {
+		t.Fatalf("shape %dx%d", s.M, s.N)
 	}
-	if s[0][0] != complex(1, 2) || s[1][1] != complex(2, 3) {
-		t.Fatalf("content wrong: %v", s)
+	if s.At(0, 0) != complex(1, 2) || s.At(1, 1) != complex(2, 3) {
+		t.Fatalf("content wrong: %v", s.Data)
 	}
 }
 
@@ -83,25 +83,23 @@ func TestYAt(t *testing.T) {
 
 func TestGridCorrelation(t *testing.T) {
 	a := dsp.NewGrid(2, 2)
-	a[0][0], a[0][1], a[1][0], a[1][1] = 1, 2i, -1, 3
+	a.Data[0], a.Data[1], a.Data[2], a.Data[3] = 1, 2i, -1, 3
 	// Self-correlation is 1; global phase rotation keeps it 1.
 	if c := gridCorrelation(a, a); math.Abs(c-1) > 1e-12 {
 		t.Fatalf("self correlation %g", c)
 	}
 	b := dsp.CopyGrid(a)
-	for i := range b {
-		for j := range b[i] {
-			b[i][j] *= complex(0, 1)
-		}
+	for i := range b.Data {
+		b.Data[i] *= complex(0, 1)
 	}
 	if c := gridCorrelation(a, b); math.Abs(c-1) > 1e-12 {
 		t.Fatalf("phase-rotated correlation %g, want 1", c)
 	}
 	// Orthogonal grids correlate to 0.
 	z := dsp.NewGrid(2, 2)
-	z[0][1] = 1
+	z.Set(0, 1, 1)
 	o := dsp.NewGrid(2, 2)
-	o[1][0] = 1
+	o.Set(1, 0, 1)
 	if c := gridCorrelation(z, o); c != 0 {
 		t.Fatalf("orthogonal correlation %g", c)
 	}

@@ -75,10 +75,8 @@ func runFig10(cfg Config) (*Report, error) {
 			// Condition noise on the realized wideband gain so the
 			// x-axis is the measured SNR, as in the paper.
 			var gain float64
-			for i := range h {
-				for j := range h[i] {
-					gain += real(h[i][j])*real(h[i][j]) + imag(h[i][j])*imag(h[i][j])
-				}
+			for _, v := range h.Data {
+				gain += real(v)*real(v) + imag(v)*imag(v)
 			}
 			gain /= float64(m * n)
 			// Legacy signaling: one resource block wide, two symbols
@@ -150,28 +148,30 @@ func runFig11(cfg Config) (*Report, error) {
 		rem.X = make([]float64, pts)
 		rem.Y = make([]float64, pts)
 		workers := par.Workers(cfg.Workers)
-		grids := make([][][]complex128, workers)
+		grids := make([]dsp.Grid, workers)
+		slots := make([]dsp.Grid, workers)
 		err := par.ForEachWorker(workers, pts, func(w, i int) error {
-			if grids[w] == nil {
+			if grids[w].Data == nil {
 				grids[w] = dsp.NewGrid(m, n)
+				slots[w] = dsp.NewGrid(12, 2)
 			}
 			h := grids[w]
 			t0 := float64(i) * 0.01
 			ch.TFResponseInto(h, num.DeltaF, num.SymbolT, t0)
 			// Legacy: the SNR of one signaling slot (1 RB × 2 syms).
-			slot := subGrid(h, 0, 12, 0, 2)
+			slot := slots[w]
+			slot.CopyRect(h, 0, 0)
 			var g float64
-			for _, row := range slot {
-				for _, v := range row {
-					g += real(v)*real(v) + imag(v)*imag(v)
-				}
+			for _, v := range slot.Data {
+				g += real(v)*real(v) + imag(v)*imag(v)
 			}
-			g /= float64(len(slot) * len(slot[0]))
+			g /= float64(len(slot.Data))
 			legacy.X[i] = t0
 			legacy.Y[i] = dsp.DB(g / noise)
-			// REM: OTFS effective SNR over the whole grid.
+			// REM: OTFS effective SNR over the whole grid, fused and
+			// allocation-free.
 			rem.X[i] = t0
-			rem.Y[i] = dsp.DB(otfs.EffectiveSINR(ofdm.RESINRs(h, noise, 0)))
+			rem.Y[i] = dsp.DB(otfs.EffectiveSINRGrid(h, noise))
 			return nil
 		})
 		if err != nil {
@@ -184,13 +184,9 @@ func runFig11(cfg Config) (*Report, error) {
 	return rep, nil
 }
 
-func subGrid(h [][]complex128, f0, fw, t0, tw int) [][]complex128 {
+func subGrid(h dsp.Grid, f0, fw, t0, tw int) dsp.Grid {
 	out := dsp.NewGrid(fw, tw)
-	for i := 0; i < fw; i++ {
-		for j := 0; j < tw; j++ {
-			out[i][j] = h[f0+i][t0+j]
-		}
-	}
+	out.CopyRect(h, f0, t0)
 	return out
 }
 

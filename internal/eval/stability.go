@@ -85,7 +85,7 @@ func runAppendixA(cfg Config) (*Report, error) {
 // compensatedDD samples the delay-Doppler response at t0 with each
 // path's deterministic Doppler phase progression removed — the
 // movement-compensated view a delay-Doppler receiver maintains.
-func compensatedDD(ch *chanmodel.Channel, m, n int, num ofdm.Numerology, t0 float64) [][]complex128 {
+func compensatedDD(ch *chanmodel.Channel, m, n int, num ofdm.Numerology, t0 float64) dsp.Grid {
 	comp := ch.Clone()
 	for i, p := range comp.Paths {
 		comp.Paths[i].Gain = p.Gain * cmplx.Exp(complex(0, -2*math.Pi*p.Doppler*t0))
@@ -95,15 +95,14 @@ func compensatedDD(ch *chanmodel.Channel, m, n int, num ofdm.Numerology, t0 floa
 }
 
 // gridCorrelation returns |<a, b>| / (‖a‖·‖b‖).
-func gridCorrelation(a, b [][]complex128) float64 {
+func gridCorrelation(a, b dsp.Grid) float64 {
 	var dot complex128
 	var na, nb float64
-	for i := range a {
-		for j := range a[i] {
-			dot += a[i][j] * cmplx.Conj(b[i][j])
-			na += real(a[i][j])*real(a[i][j]) + imag(a[i][j])*imag(a[i][j])
-			nb += real(b[i][j])*real(b[i][j]) + imag(b[i][j])*imag(b[i][j])
-		}
+	for i, av := range a.Data {
+		bv := b.Data[i]
+		dot += av * cmplx.Conj(bv)
+		na += real(av)*real(av) + imag(av)*imag(av)
+		nb += real(bv)*real(bv) + imag(bv)*imag(bv)
 	}
 	if na == 0 || nb == 0 {
 		return 0
@@ -141,10 +140,8 @@ func runAblationHybrid(cfg Config) (*Report, error) {
 		h := ch.TFResponse(m, n, num.DeltaF, num.SymbolT, 0)
 		// Condition on the realized wideband SNR (9 dB) as in Fig. 10.
 		var gain float64
-		for i := range h {
-			for j := range h[i] {
-				gain += real(h[i][j])*real(h[i][j]) + imag(h[i][j])*imag(h[i][j])
-			}
+		for _, v := range h.Data {
+			gain += real(v)*real(v) + imag(v)*imag(v)
 		}
 		gain /= float64(m * n)
 		noise := gain / dsp.FromDB(9)

@@ -122,14 +122,26 @@ func DefaultPathLoss() PathLoss {
 
 // DB returns the path loss in dB at distance d meters on carrier f Hz.
 func (pl PathLoss) DB(d, f float64) float64 {
+	loss := pl.DistTermDB(d)
+	if f > 0 {
+		loss += pl.FreqTermDB(f)
+	}
+	return loss
+}
+
+// DistTermDB is the distance-dependent part of the loss: the reference
+// loss plus the log-distance term. Callers on a fixed carrier can cache
+// FreqTermDB and add the two, which is exactly what DB computes.
+func (pl PathLoss) DistTermDB(d float64) float64 {
 	if d < pl.MinDistM {
 		d = pl.MinDistM
 	}
-	loss := pl.RefDB + 10*pl.Exponent*math.Log10(d/1000)
-	if f > 0 {
-		loss += pl.FreqSlope * math.Log10(f/2e9)
-	}
-	return loss
+	return pl.RefDB + 10*pl.Exponent*math.Log10(d/1000)
+}
+
+// FreqTermDB is the frequency correction term, constant per carrier.
+func (pl PathLoss) FreqTermDB(f float64) float64 {
+	return pl.FreqSlope * math.Log10(f/2e9)
 }
 
 // SitePlan describes the linear base-station deployment along a track.

@@ -2,6 +2,7 @@ package ofdm
 
 import (
 	"math"
+	"sync"
 
 	"rem/internal/dsp"
 )
@@ -30,30 +31,59 @@ func ICIPowerRatio(maxDopplerHz, symbolT float64) float64 {
 // per-RE post-equalization SINRs (linear) given symbol energy Es = 1,
 // noise variance noiseVar, and a Doppler-induced ICI power ratio
 // iciRatio. ICI behaves as extra noise proportional to the local
-// average received power.
-func RESINRs(h [][]complex128, noiseVar, iciRatio float64) []float64 {
-	var sinrs []float64
-	// Average gain for the ICI term.
-	total, count := 0.0, 0
-	for _, row := range h {
-		for _, v := range row {
-			total += real(v)*real(v) + imag(v)*imag(v)
-			count++
-		}
-	}
-	if count == 0 {
+// average received power. The result is allocated exactly once at M·N;
+// use RESINRsInto to reuse caller scratch.
+func RESINRs(h dsp.Grid, noiseVar, iciRatio float64) []float64 {
+	if len(h.Data) == 0 {
 		return nil
 	}
-	avg := total / float64(count)
-	ici := iciRatio * avg
-	for _, row := range h {
-		for _, v := range row {
-			g := real(v)*real(v) + imag(v)*imag(v)
-			sinrs = append(sinrs, g/(noiseVar+ici))
-		}
-	}
-	return sinrs
+	return RESINRsInto(make([]float64, 0, len(h.Data)), h, noiseVar, iciRatio)
 }
+
+// RESINRsInto appends the per-RE SINRs of h to dst and returns the
+// extended slice, growing dst's backing array only when its capacity is
+// short of len(dst)+M·N. Returns dst unchanged for an empty grid.
+func RESINRsInto(dst []float64, h dsp.Grid, noiseVar, iciRatio float64) []float64 {
+	data := h.Data
+	if len(data) == 0 {
+		return dst
+	}
+	// Average gain for the ICI term.
+	total := 0.0
+	for _, v := range data {
+		total += real(v)*real(v) + imag(v)*imag(v)
+	}
+	avg := total / float64(len(data))
+	ici := iciRatio * avg
+	if need := len(dst) + len(data); cap(dst) < need {
+		grown := make([]float64, len(dst), need)
+		copy(grown, dst)
+		dst = grown
+	}
+	for _, v := range data {
+		g := real(v)*real(v) + imag(v)*imag(v)
+		dst = append(dst, g/(noiseVar+ici))
+	}
+	return dst
+}
+
+// sinrScratch pools SINR vectors for callers that need the per-RE
+// values transiently (e.g. the OTFS Monte-Carlo link); the fused
+// BlockBLER kernel below needs no vector at all.
+var sinrScratch = sync.Pool{New: func() any { return new([]float64) }}
+
+// GetSINRScratch returns a zero-length scratch slice with at least the
+// requested capacity, and a handle to return it with PutSINRScratch.
+func GetSINRScratch(capacity int) ([]float64, *[]float64) {
+	sp := sinrScratch.Get().(*[]float64)
+	if cap(*sp) < capacity {
+		*sp = make([]float64, 0, capacity)
+	}
+	return (*sp)[:0], sp
+}
+
+// PutSINRScratch recycles a scratch slice obtained from GetSINRScratch.
+func PutSINRScratch(sp *[]float64) { sinrScratch.Put(sp) }
 
 // EESMBeta returns the exponential effective-SINR mapping calibration
 // factor for a constellation (standard link-abstraction values).
@@ -116,10 +146,36 @@ func BLER(effSINR float64, m Modulation, rate CodeRate) float64 {
 }
 
 // BlockBLER is the one-call link abstraction: per-RE channel grid →
-// block error probability, combining RESINRs, EESM and the AWGN curve.
-func BlockBLER(h [][]complex128, noiseVar, iciRatio float64, m Modulation, rate CodeRate) float64 {
-	sinrs := RESINRs(h, noiseVar, iciRatio)
-	eff := EffectiveSINR(sinrs, EESMBeta(m))
+// block error probability. It fuses RESINRs, the EESM collapse and the
+// AWGN curve into one pass over the grid (plus the average-power
+// prepass the ICI term needs) with zero allocations, replicating the
+// reference RESINRs → EffectiveSINR → BLER chain operation for
+// operation so the result is bit-identical to the three-call form.
+//
+// Contract pinned by TestBlockBLEREmptyGrid: an empty grid yields
+// RESINRs nil → EffectiveSINR 0 → BLER 1.
+func BlockBLER(h dsp.Grid, noiseVar, iciRatio float64, m Modulation, rate CodeRate) float64 {
+	data := h.Data
+	if len(data) == 0 {
+		return BLER(0, m, rate) // dsp.DB(0) = -Inf → 1
+	}
+	// Pass 1: average gain for the ICI self-noise term (as in RESINRs).
+	total := 0.0
+	for _, v := range data {
+		total += real(v)*real(v) + imag(v)*imag(v)
+	}
+	avg := total / float64(len(data))
+	ici := iciRatio * avg
+	denom := noiseVar + ici
+	// Pass 2: EESM sum over per-RE SINRs (as in EffectiveSINR), without
+	// materializing the SINR vector.
+	beta := EESMBeta(m)
+	sum := 0.0
+	for _, v := range data {
+		g := real(v)*real(v) + imag(v)*imag(v)
+		sum += math.Exp(-(g / denom) / beta)
+	}
+	eff := -beta * math.Log(sum/float64(len(data)))
 	return BLER(eff, m, rate)
 }
 

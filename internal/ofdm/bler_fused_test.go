@@ -1,0 +1,174 @@
+package ofdm
+
+import (
+	"math"
+	"testing"
+
+	"rem/internal/chanmodel"
+	"rem/internal/dsp"
+	"rem/internal/sim"
+)
+
+// referenceBlockBLER is the unfused three-call chain BlockBLER replaces.
+func referenceBlockBLER(h dsp.Grid, noiseVar, iciRatio float64, m Modulation, rate CodeRate) float64 {
+	sinrs := RESINRs(h, noiseVar, iciRatio)
+	eff := EffectiveSINR(sinrs, EESMBeta(m))
+	return BLER(eff, m, rate)
+}
+
+func TestBlockBLEREmptyGrid(t *testing.T) {
+	// Contract: empty grid → RESINRs nil → EffectiveSINR 0 → BLER 1.
+	if got := RESINRs(dsp.Grid{}, 0.1, 0); got != nil {
+		t.Fatalf("RESINRs(empty) = %v, want nil", got)
+	}
+	if got := EffectiveSINR(nil, 1.6); got != 0 {
+		t.Fatalf("EffectiveSINR(nil) = %g, want 0", got)
+	}
+	for _, m := range []Modulation{QPSK, QAM16, QAM64} {
+		want := BLER(0, m, 0.5)
+		if want != 1 {
+			t.Fatalf("BLER(0) = %g, want 1", want)
+		}
+		if got := BlockBLER(dsp.Grid{}, 0.1, 0, m, 0.5); got != 1 {
+			t.Fatalf("BlockBLER(empty, %v) = %g, want 1", m, got)
+		}
+	}
+}
+
+func TestBlockBLERZeroNoise(t *testing.T) {
+	// noiseVar = 0 with no ICI: per-RE SINR is +Inf on a nonzero grid, so
+	// the block never errors; an all-zero grid gives 0/0 SINRs → BLER 1.
+	h := dsp.NewGrid(4, 4)
+	for i := range h.Data {
+		h.Data[i] = 1
+	}
+	if got := BlockBLER(h, 0, 0, QPSK, 0.5); got != 0 {
+		t.Fatalf("BlockBLER(zero noise, unit grid) = %g, want 0", got)
+	}
+	if ref := referenceBlockBLER(h, 0, 0, QPSK, 0.5); ref != 0 {
+		t.Fatalf("reference chain disagrees: %g", ref)
+	}
+	// All-zero grid with zero noise is 0/0 per RE: both forms propagate
+	// NaN identically rather than inventing a value.
+	z := dsp.NewGrid(4, 4)
+	got := BlockBLER(z, 0, 0, QPSK, 0.5)
+	ref := referenceBlockBLER(z, 0, 0, QPSK, 0.5)
+	if math.Float64bits(got) != math.Float64bits(ref) {
+		t.Fatalf("all-zero grid: fused %g != reference %g", got, ref)
+	}
+}
+
+// TestBlockBLERGoldenMatchesReference pins the fused kernel bit-for-bit
+// against the RESINRs → EffectiveSINR → BLER chain across random draws
+// of every bundled 3GPP profile, all constellations, and a sweep of
+// noise/ICI operating points. Any float reordering in the fusion breaks
+// this test.
+func TestBlockBLERGoldenMatchesReference(t *testing.T) {
+	lte := LTE()
+	rng := sim.NewRNG(7)
+	for _, prof := range []chanmodel.Profile{chanmodel.EPA, chanmodel.EVA, chanmodel.ETU, chanmodel.HST} {
+		for draw := 0; draw < 3; draw++ {
+			ch := chanmodel.Generate(rng, chanmodel.GenConfig{
+				Profile: prof, CarrierHz: 2.6e9, SpeedMS: 97.2,
+				LOSFirstTap: prof.Name == "HST", Normalize: true,
+			})
+			h := ch.TFResponse(72, 14, lte.DeltaF, lte.SymbolT, 0)
+			for _, m := range []Modulation{QPSK, QAM16, QAM64} {
+				for _, noiseVar := range []float64{1e-3, 0.1, 1} {
+					for _, ici := range []float64{0, 0.02, 0.3} {
+						got := BlockBLER(h, noiseVar, ici, m, 0.5)
+						want := referenceBlockBLER(h, noiseVar, ici, m, 0.5)
+						if got != want {
+							t.Fatalf("%s draw %d %v noise=%g ici=%g: fused %.17g != reference %.17g",
+								prof.Name, draw, m, noiseVar, ici, got, want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRESINRsIntoReusesCapacity(t *testing.T) {
+	h := dsp.NewGrid(6, 7)
+	for i := range h.Data {
+		h.Data[i] = complex(float64(i%5)+1, 0)
+	}
+	fresh := RESINRs(h, 0.1, 0.01)
+	if len(fresh) != 42 {
+		t.Fatalf("len = %d, want 42", len(fresh))
+	}
+	buf := make([]float64, 0, 64)
+	out := RESINRsInto(buf[:0], h, 0.1, 0.01)
+	if &out[0] != &buf[:1][0] {
+		t.Fatal("RESINRsInto reallocated despite sufficient capacity")
+	}
+	for i := range fresh {
+		if out[i] != fresh[i] {
+			t.Fatalf("Into[%d] = %g, want %g", i, out[i], fresh[i])
+		}
+	}
+	// Appending after existing content preserves the prefix.
+	pre := []float64{-1, -2}
+	out2 := RESINRsInto(pre, h, 0.1, 0.01)
+	if out2[0] != -1 || out2[1] != -2 || len(out2) != 44 {
+		t.Fatalf("prefix not preserved: %v...", out2[:3])
+	}
+	// Empty grid returns dst unchanged.
+	if got := RESINRsInto(pre[:2], dsp.Grid{}, 0.1, 0); len(got) != 2 {
+		t.Fatalf("empty grid extended dst to %d", len(got))
+	}
+}
+
+func TestBlockBLERZeroAllocs(t *testing.T) {
+	h := dsp.NewGrid(72, 14)
+	for i := range h.Data {
+		h.Data[i] = complex(1, 0.5)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		_ = BlockBLER(h, 0.1, 0.01, QAM16, 0.5)
+	})
+	if allocs != 0 {
+		t.Fatalf("BlockBLER allocates %.1f per call, want 0", allocs)
+	}
+}
+
+// The fused/reference pair below backs the before/after numbers in
+// EXPERIMENTS.md "PHY hot-path performance".
+func benchGrid() dsp.Grid {
+	lte := LTE()
+	ch := chanmodel.Generate(sim.NewRNG(12), chanmodel.GenConfig{
+		Profile: chanmodel.ETU, CarrierHz: 2.6e9, SpeedMS: 97.2, Normalize: true,
+	})
+	return ch.TFResponse(72, 14, lte.DeltaF, lte.SymbolT, 0)
+}
+
+func BenchmarkBlockBLERFused(b *testing.B) {
+	h := benchGrid()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = BlockBLER(h, 0.1, 0.02, QAM16, 0.5)
+	}
+}
+
+func BenchmarkBlockBLERReference(b *testing.B) {
+	h := benchGrid()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = referenceBlockBLER(h, 0.1, 0.02, QAM16, 0.5)
+	}
+}
+
+func TestEffectiveSINRMonotoneInFadeDepth(t *testing.T) {
+	// Sanity: a deep per-RE fade lowers the effective SINR versus a flat
+	// grid with the same mean SINR — EESM punishes fades.
+	flat := []float64{10, 10, 10, 10}
+	faded := []float64{19.9, 10, 10, 0.1}
+	ef := EffectiveSINR(flat, 1.6)
+	ed := EffectiveSINR(faded, 1.6)
+	if !(ed < ef) || math.IsNaN(ed) {
+		t.Fatalf("faded eff %g should be below flat %g", ed, ef)
+	}
+}

@@ -90,13 +90,12 @@ type LinkResult struct {
 // and CRC-check. The block (payload + 24 CRC bits) must fit the
 // allocation at the chosen modulation.
 func TransmitBlock(rng *sim.RNG, payload []byte, mod Modulation, alloc Allocation,
-	h [][]complex128, noiseVar, iciRatio float64) (LinkResult, error) {
+	h dsp.Grid, noiseVar, iciRatio float64) (LinkResult, error) {
 
-	m := len(h)
-	if m == 0 {
+	m, n := h.M, h.N
+	if m == 0 || n == 0 {
 		return LinkResult{}, fmt.Errorf("ofdm: empty channel grid")
 	}
-	n := len(h[0])
 	if err := alloc.Validate(m, n); err != nil {
 		return LinkResult{}, err
 	}
@@ -120,10 +119,8 @@ func TransmitBlock(rng *sim.RNG, payload []byte, mod Modulation, alloc Allocatio
 	// Per-RE ICI noise level, proportional to the grid's average
 	// received power (see RESINRs).
 	total := 0.0
-	for _, row := range h {
-		for _, v := range row {
-			total += real(v)*real(v) + imag(v)*imag(v)
-		}
+	for _, v := range h.Data {
+		total += real(v)*real(v) + imag(v)*imag(v)
 	}
 	iciVar := iciRatio * total / float64(m*n)
 
@@ -132,7 +129,7 @@ func TransmitBlock(rng *sim.RNG, payload []byte, mod Modulation, alloc Allocatio
 	idx := 0
 	for f := alloc.F0; f < alloc.F0+alloc.FW && idx < len(syms); f++ {
 		for t := alloc.T0; t < alloc.T0+alloc.TW && idx < len(syms); t++ {
-			g := h[f][t]
+			g := h.At(f, t)
 			y := g*syms[idx] + rng.ComplexNorm(noiseVar+iciVar)
 			if g != 0 {
 				rx[idx] = y / g // zero-forcing equalization

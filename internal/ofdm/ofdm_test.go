@@ -309,10 +309,10 @@ func TestHARQImprovesDelivery(t *testing.T) {
 
 func TestRESINRs(t *testing.T) {
 	h := dsp.NewGrid(2, 2)
-	h[0][0] = 1
-	h[0][1] = 2
-	h[1][0] = complex(0, 1)
-	h[1][1] = 0
+	h.Set(0, 0, 1)
+	h.Set(0, 1, 2)
+	h.Set(1, 0, complex(0, 1))
+	h.Set(1, 1, 0)
 	sinrs := RESINRs(h, 0.5, 0)
 	want := []float64{2, 8, 2, 0}
 	for i := range want {
@@ -320,7 +320,7 @@ func TestRESINRs(t *testing.T) {
 			t.Fatalf("sinrs = %v, want %v", sinrs, want)
 		}
 	}
-	if RESINRs(nil, 1, 0) != nil {
+	if RESINRs(dsp.Grid{}, 1, 0) != nil {
 		t.Fatal("empty grid should give nil")
 	}
 }
@@ -329,10 +329,8 @@ func TestTransmitBlockCleanChannel(t *testing.T) {
 	rng := sim.NewRNG(2)
 	m, n := 48, 14
 	h := dsp.NewGrid(m, n)
-	for i := range h {
-		for j := range h[i] {
-			h[i][j] = 1
-		}
+	for i := range h.Data {
+		h.Data[i] = 1
 	}
 	payload := make([]byte, 100)
 	for i := range payload {
@@ -352,10 +350,8 @@ func TestTransmitBlockNoisyChannelFails(t *testing.T) {
 	rng := sim.NewRNG(3)
 	m, n := 48, 14
 	h := dsp.NewGrid(m, n)
-	for i := range h {
-		for j := range h[i] {
-			h[i][j] = 1
-		}
+	for i := range h.Data {
+		h.Data[i] = 1
 	}
 	payload := make([]byte, 100)
 	alloc := Allocation{F0: 0, T0: 0, FW: 48, TW: 2}
@@ -384,7 +380,7 @@ func TestTransmitBlockValidation(t *testing.T) {
 	if _, err := TransmitBlock(rng, make([]byte, 4000), QPSK, Allocation{FW: 12, TW: 14}, h, 0.1, 0); err == nil {
 		t.Fatal("oversized block should error")
 	}
-	if _, err := TransmitBlock(rng, nil, QPSK, Allocation{FW: 1, TW: 1}, nil, 0.1, 0); err == nil {
+	if _, err := TransmitBlock(rng, nil, QPSK, Allocation{FW: 1, TW: 1}, dsp.Grid{}, 0.1, 0); err == nil {
 		t.Fatal("empty grid should error")
 	}
 }
@@ -396,11 +392,11 @@ func TestBlockBLERFadePenalty(t *testing.T) {
 	faded := dsp.NewGrid(12, 14)
 	for i := 0; i < 12; i++ {
 		for j := 0; j < 14; j++ {
-			flat[i][j] = 1
+			flat.Set(i, j, 1)
 			if i < 6 {
-				faded[i][j] = complex(math.Sqrt(1.9), 0)
+				faded.Set(i, j, complex(math.Sqrt(1.9), 0))
 			} else {
-				faded[i][j] = complex(math.Sqrt(0.1), 0)
+				faded.Set(i, j, complex(math.Sqrt(0.1), 0))
 			}
 		}
 	}

@@ -37,10 +37,8 @@ func TestMonteCarloMatchesAnalyticBLER(t *testing.T) {
 			})
 			h := ch.TFResponse(m, n, num.DeltaF, num.SymbolT, 0)
 			var gain float64
-			for i := range h {
-				for j := range h[i] {
-					gain += real(h[i][j])*real(h[i][j]) + imag(h[i][j])*imag(h[i][j])
-				}
+			for _, v := range h.Data {
+				gain += real(v)*real(v) + imag(v)*imag(v)
 			}
 			gain /= float64(m * n)
 			noise := gain / dsp.FromDB(snrDB)
@@ -76,11 +74,12 @@ func TestDetectorIterationsHelp(t *testing.T) {
 	m, n := 24, 14
 	h := dsp.NewGrid(m, n)
 	for i := 0; i < m; i++ {
-		for j := 0; j < n; j++ {
+		row := h.Row(i)
+		for j := range row {
 			if i < m/2 {
-				h[i][j] = complex(math.Sqrt(0.1), 0)
+				row[j] = complex(math.Sqrt(0.1), 0)
 			} else {
-				h[i][j] = complex(math.Sqrt(1.9), 0)
+				row[j] = complex(math.Sqrt(1.9), 0)
 			}
 		}
 	}

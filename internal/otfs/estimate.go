@@ -13,14 +13,13 @@ import (
 // symbols with a fixed pseudo-random phase pattern. Both ends derive
 // the identical grid from (m, n), mirroring how 4G/5G reference signals
 // are generated from cell-known seeds (paper §5.2, Fig. 7).
-func ReferenceGrid(m, n int) [][]complex128 {
+func ReferenceGrid(m, n int) dsp.Grid {
 	rng := sim.NewRNG(int64(m)<<20 | int64(n))
 	g := dsp.NewGrid(m, n)
 	vals := []complex128{1, -1, complex(0, 1), complex(0, -1)}
-	for i := 0; i < m; i++ {
-		for j := 0; j < n; j++ {
-			g[i][j] = vals[rng.Intn(4)]
-		}
+	// Flat row-major fill preserves the original per-(i,j) draw order.
+	for i := range g.Data {
+		g.Data[i] = vals[rng.Intn(4)]
 	}
 	return g
 }
@@ -72,16 +71,13 @@ func (e *Estimator) Estimate(rng *sim.RNG, ch *chanmodel.Channel, t0, noiseVar f
 	// the known X. |X[i][j]| varies (SFFT of the pilot grid), so the
 	// per-RE noise after division is noiseVar/|X|²; the pilot grid is
 	// unit-magnitude in the DD domain giving E|X|² = MN.
-	for i := 0; i < e.M; i++ {
-		for j := 0; j < e.N; j++ {
-			x := X[i][j]
-			y := Htf[i][j]*x + scaleNoise(rng, noiseVar)
-			if x != 0 {
-				est[i][j] = y / x
-			}
+	for i, x := range X.Data {
+		y := Htf.Data[i]*x + scaleNoise(rng, noiseVar)
+		if x != 0 {
+			est.Data[i] = y / x
 		}
 	}
-	return dsp.MatrixFromGrid(dsp.ISFFT(est))
+	return dsp.ISFFT(est).Matrix()
 }
 
 func scaleNoise(rng *sim.RNG, noiseVar float64) complex128 {
@@ -95,7 +91,7 @@ func scaleNoise(rng *sim.RNG, noiseVar float64) complex128 {
 // on this estimator's grid (no noise) — the ground truth that both the
 // estimator and cross-band inference are judged against.
 func (e *Estimator) TrueDD(ch *chanmodel.Channel, t0 float64) *dsp.Matrix {
-	return dsp.MatrixFromGrid(ch.DDResponse(e.M, e.N, e.DeltaF, e.SymT, t0))
+	return ch.DDResponse(e.M, e.N, e.DeltaF, e.SymT, t0).Matrix()
 }
 
 // SNRFromDD computes the wideband SNR (linear) implied by a sampled

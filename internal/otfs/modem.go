@@ -35,43 +35,45 @@ func NewModem(m, n int) (*Modem, error) {
 
 // Modulate maps delay-Doppler symbols x[k][l] to the time-frequency
 // grid X[m][n] via the SFFT, scaled by 1/√(MN) for power normalization.
-func (md *Modem) Modulate(x [][]complex128) ([][]complex128, error) {
+func (md *Modem) Modulate(x dsp.Grid) (dsp.Grid, error) {
 	if err := md.checkDims(x); err != nil {
-		return nil, err
+		return dsp.Grid{}, err
 	}
-	X := dsp.SFFT(x)
-	s := complex(1/math.Sqrt(float64(md.M*md.N)), 0)
-	for i := range X {
-		for j := range X[i] {
-			X[i][j] *= s
-		}
-	}
+	X := dsp.NewGrid(md.M, md.N)
+	md.modulateInto(X, x)
 	return X, nil
+}
+
+func (md *Modem) modulateInto(dst, x dsp.Grid) {
+	dsp.SFFTInto(dst, x)
+	s := complex(1/math.Sqrt(float64(md.M*md.N)), 0)
+	for i := range dst.Data {
+		dst.Data[i] *= s
+	}
 }
 
 // Demodulate maps a received time-frequency grid back to delay-Doppler
 // symbols, inverting Modulate (ISFFT scaled by √(MN)).
-func (md *Modem) Demodulate(y [][]complex128) ([][]complex128, error) {
+func (md *Modem) Demodulate(y dsp.Grid) (dsp.Grid, error) {
 	if err := md.checkDims(y); err != nil {
-		return nil, err
+		return dsp.Grid{}, err
 	}
-	x := dsp.ISFFT(y)
-	s := complex(math.Sqrt(float64(md.M*md.N)), 0)
-	for i := range x {
-		for j := range x[i] {
-			x[i][j] *= s
-		}
-	}
+	x := dsp.NewGrid(md.M, md.N)
+	md.demodulateInto(x, y)
 	return x, nil
 }
 
-func (md *Modem) checkDims(g [][]complex128) error {
-	if len(g) != md.M || (md.M > 0 && len(g[0]) != md.N) {
-		got := "nil"
-		if len(g) > 0 {
-			got = fmt.Sprintf("%dx%d", len(g), len(g[0]))
-		}
-		return fmt.Errorf("otfs: grid %s does not match modem %dx%d", got, md.M, md.N)
+func (md *Modem) demodulateInto(dst, y dsp.Grid) {
+	dsp.ISFFTInto(dst, y)
+	s := complex(math.Sqrt(float64(md.M*md.N)), 0)
+	for i := range dst.Data {
+		dst.Data[i] *= s
+	}
+}
+
+func (md *Modem) checkDims(g dsp.Grid) error {
+	if g.M != md.M || g.N != md.N {
+		return fmt.Errorf("otfs: grid %dx%d does not match modem %dx%d", g.M, g.N, md.M, md.N)
 	}
 	return nil
 }
@@ -102,6 +104,35 @@ func EffectiveSINR(perRESINRs []float64) float64 {
 	return sum / float64(len(perRESINRs))
 }
 
+// EffectiveSINRGrid is the fused, allocation-free form of
+// EffectiveSINR(ofdm.RESINRs(h, noiseVar, 0)): one prepass for the
+// (zero-weighted) ICI term plus one accumulation pass, replicating the
+// reference chain's arithmetic operation for operation so the result is
+// bit-identical.
+func EffectiveSINRGrid(h dsp.Grid, noiseVar float64) float64 {
+	data := h.Data
+	if len(data) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, v := range data {
+		total += real(v)*real(v) + imag(v)*imag(v)
+	}
+	// RESINRs computes ici = iciRatio·avg with iciRatio = 0 on this
+	// path; keep the same expression so even degenerate grids match.
+	ici := 0 * (total / float64(len(data)))
+	denom := noiseVar + ici
+	sum := 0.0
+	for _, v := range data {
+		g := real(v)*real(v) + imag(v)*imag(v)
+		s := g / denom
+		if s > 0 {
+			sum += s
+		}
+	}
+	return sum / float64(len(data))
+}
+
 // LinkResult reports one simulated OTFS block transmission.
 type LinkResult struct {
 	Delivered bool
@@ -128,13 +159,12 @@ const detectorIterations = 12
 // no ICI penalty applies: the delay-Doppler representation is
 // invariant to Doppler-induced inter-carrier interference (§5.1).
 func TransmitBlock(rng *sim.RNG, payload []byte, mod ofdm.Modulation,
-	h [][]complex128, noiseVar float64) (LinkResult, error) {
+	h dsp.Grid, noiseVar float64) (LinkResult, error) {
 
-	m := len(h)
-	if m == 0 {
+	m, n := h.M, h.N
+	if m == 0 || n == 0 {
 		return LinkResult{}, fmt.Errorf("otfs: empty channel grid")
 	}
-	n := len(h[0])
 	md, err := NewModem(m, n)
 	if err != nil {
 		return LinkResult{}, err
@@ -154,11 +184,10 @@ func TransmitBlock(rng *sim.RNG, payload []byte, mod ofdm.Modulation,
 		return LinkResult{}, fmt.Errorf("otfs: block needs %d symbols, grid has %d", len(syms), m*n)
 	}
 
-	// Fill the delay-Doppler grid row-major; unused slots carry zeros.
+	// Fill the delay-Doppler grid row-major (flat index i is (i/n, i%n));
+	// unused slots carry zeros.
 	x := dsp.NewGrid(m, n)
-	for i, s := range syms {
-		x[i/n][i%n] = s
-	}
+	copy(x.Data, syms)
 	X, err := md.Modulate(x)
 	if err != nil {
 		return LinkResult{}, err
@@ -167,13 +196,10 @@ func TransmitBlock(rng *sim.RNG, payload []byte, mod ofdm.Modulation,
 	// Z = H*∘Y = |H|²∘X + H*∘W.
 	Z := dsp.NewGrid(m, n)
 	var e float64 // mean |H|²
-	for i := 0; i < m; i++ {
-		for j := 0; j < n; j++ {
-			g := h[i][j]
-			y := g*X[i][j] + rng.ComplexNorm(noiseVar)
-			Z[i][j] = complexConj(g) * y
-			e += real(g)*real(g) + imag(g)*imag(g)
-		}
+	for i, g := range h.Data {
+		y := g*X.Data[i] + rng.ComplexNorm(noiseVar)
+		Z.Data[i] = complexConj(g) * y
+		e += real(g)*real(g) + imag(g)*imag(g)
 	}
 	e /= float64(m * n)
 	if e == 0 {
@@ -183,14 +209,21 @@ func TransmitBlock(rng *sim.RNG, payload []byte, mod ofdm.Modulation,
 	// Iterative cancellation of the (|H|²−E)·X cross-talk: with
 	// correct decisions every symbol is left with signal E·x plus
 	// noise of variance E·noiseVar — the matched-filter bound.
-	demapSyms := func(dd [][]complex128) []complex128 {
-		rx := make([]complex128, len(syms))
-		for i := range syms {
-			rx[i] = dd[i/n][i%n] / complex(e, 0)
+	demapSyms := func(dst []complex128, dd dsp.Grid) {
+		for i := range dst {
+			dst[i] = dd.Data[i] / complex(e, 0)
 		}
-		return rx
 	}
-	rx := demapSyms(mustDemod(md, Z))
+	// All per-iteration grids and symbol vectors are allocated once and
+	// reused across the detector passes.
+	dd := dsp.NewGrid(m, n)
+	md.demodulateInto(dd, Z)
+	rx := make([]complex128, len(syms))
+	demapSyms(rx, dd)
+	next := make([]complex128, len(syms))
+	xh := dsp.NewGrid(m, n)
+	Xh := dsp.NewGrid(m, n)
+	resid := dsp.NewGrid(m, n)
 	// Damped parallel interference cancellation: pure PIC oscillates on
 	// strongly cross-coupled symbol pairs, so each pass blends the new
 	// estimate with the previous one (paper reference [21] uses message
@@ -202,23 +235,14 @@ func TransmitBlock(rng *sim.RNG, payload []byte, mod ofdm.Modulation,
 		if err != nil {
 			return LinkResult{}, err
 		}
-		xh := dsp.NewGrid(m, n)
-		for i, s := range hard {
-			xh[i/n][i%n] = s
+		copy(xh.Data, hard)
+		md.modulateInto(Xh, xh)
+		for i, g := range h.Data {
+			p := real(g)*real(g) + imag(g)*imag(g)
+			resid.Data[i] = Z.Data[i] - complex(p-e, 0)*Xh.Data[i]
 		}
-		Xh, err := md.Modulate(xh)
-		if err != nil {
-			return LinkResult{}, err
-		}
-		resid := dsp.NewGrid(m, n)
-		for i := 0; i < m; i++ {
-			for j := 0; j < n; j++ {
-				g := h[i][j]
-				p := real(g)*real(g) + imag(g)*imag(g)
-				resid[i][j] = Z[i][j] - complex(p-e, 0)*Xh[i][j]
-			}
-		}
-		next := demapSyms(mustDemod(md, resid))
+		md.demodulateInto(dd, resid)
+		demapSyms(next, dd)
 		for i := range rx {
 			rx[i] = complex(damping, 0)*next[i] + complex(1-damping, 0)*rx[i]
 		}
@@ -233,8 +257,7 @@ func TransmitBlock(rng *sim.RNG, payload []byte, mod ofdm.Modulation,
 	}
 	payloadBits, ok := ofdm.CheckCRC(got[:blockLen])
 
-	sinrs := ofdm.RESINRs(h, noiseVar, 0)
-	eff := EffectiveSINR(sinrs)
+	eff := EffectiveSINRGrid(h, noiseVar)
 	res := LinkResult{Delivered: ok, BitErrors: errs, EffSINRdB: dsp.DB(eff)}
 	if ok {
 		res.Payload = append([]byte(nil), payloadBits...)
@@ -242,21 +265,12 @@ func TransmitBlock(rng *sim.RNG, payload []byte, mod ofdm.Modulation,
 	return res, nil
 }
 
-func mustDemod(md *Modem, g [][]complex128) [][]complex128 {
-	out, err := md.Demodulate(g)
-	if err != nil {
-		panic(err) // dimensions are constructed to match
-	}
-	return out
-}
-
 func complexConj(c complex128) complex128 { return complex(real(c), -imag(c)) }
 
 // BlockBLER is the analytic link abstraction for OTFS signaling: per-RE
 // channel grid → block error probability through the MMSE effective
-// SINR and the AWGN BLER curve.
-func BlockBLER(h [][]complex128, noiseVar float64, m ofdm.Modulation, rate ofdm.CodeRate) float64 {
-	sinrs := ofdm.RESINRs(h, noiseVar, 0)
-	eff := EffectiveSINR(sinrs)
-	return ofdm.BLER(eff, m, rate)
+// SINR and the AWGN BLER curve. The effective-SINR collapse runs fused
+// over the flat grid with zero allocations (see EffectiveSINRGrid).
+func BlockBLER(h dsp.Grid, noiseVar float64, m ofdm.Modulation, rate ofdm.CodeRate) float64 {
+	return ofdm.BLER(EffectiveSINRGrid(h, noiseVar), m, rate)
 }

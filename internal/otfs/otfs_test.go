@@ -11,12 +11,10 @@ import (
 	"rem/internal/sim"
 )
 
-func flatGrid(m, n int, g complex128) [][]complex128 {
+func flatGrid(m, n int, g complex128) dsp.Grid {
 	h := dsp.NewGrid(m, n)
-	for i := range h {
-		for j := range h[i] {
-			h[i][j] = g
-		}
+	for i := range h.Data {
+		h.Data[i] = g
 	}
 	return h
 }
@@ -28,10 +26,8 @@ func TestModemRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	x := dsp.NewGrid(12, 14)
-	for i := range x {
-		for j := range x[i] {
-			x[i][j] = complex(rng.Norm(), rng.Norm())
-		}
+	for i := range x.Data {
+		x.Data[i] = complex(rng.Norm(), rng.Norm())
 	}
 	X, err := md.Modulate(x)
 	if err != nil {
@@ -41,11 +37,9 @@ func TestModemRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i := range x {
-		for j := range x[i] {
-			if d := cmplx.Abs(x[i][j] - back[i][j]); d > 1e-9 {
-				t.Fatalf("round trip differs at (%d,%d) by %g", i, j, d)
-			}
+	for i := range x.Data {
+		if d := cmplx.Abs(x.Data[i] - back.Data[i]); d > 1e-9 {
+			t.Fatalf("round trip differs at cell %d by %g", i, d)
 		}
 	}
 }
@@ -55,19 +49,15 @@ func TestModemPowerNormalized(t *testing.T) {
 	md, _ := NewModem(16, 8)
 	x := dsp.NewGrid(16, 8)
 	var ein float64
-	for i := range x {
-		for j := range x[i] {
-			v := complex(rng.Norm(), rng.Norm())
-			x[i][j] = v
-			ein += real(v)*real(v) + imag(v)*imag(v)
-		}
+	for i := range x.Data {
+		v := complex(rng.Norm(), rng.Norm())
+		x.Data[i] = v
+		ein += real(v)*real(v) + imag(v)*imag(v)
 	}
 	X, _ := md.Modulate(x)
 	var eout float64
-	for i := range X {
-		for j := range X[i] {
-			eout += real(X[i][j])*real(X[i][j]) + imag(X[i][j])*imag(X[i][j])
-		}
+	for _, v := range X.Data {
+		eout += real(v)*real(v) + imag(v)*imag(v)
 	}
 	if math.Abs(eout-ein) > 1e-9*ein {
 		t.Fatalf("energy in %g out %g", ein, eout)
@@ -135,10 +125,8 @@ func TestOTFSBeatsOFDMUnderFades(t *testing.T) {
 		// plots BLER against the measured SNR: scale the noise so the
 		// grid-average SNR is exactly the target.
 		var gain float64
-		for i := range h {
-			for j := range h[i] {
-				gain += real(h[i][j])*real(h[i][j]) + imag(h[i][j])*imag(h[i][j])
-			}
+		for _, v := range h.Data {
+			gain += real(v)*real(v) + imag(v)*imag(v)
 		}
 		gain /= float64(m * n)
 		nv := noise * gain
@@ -152,13 +140,9 @@ func TestOTFSBeatsOFDMUnderFades(t *testing.T) {
 	}
 }
 
-func subGrid(h [][]complex128, f0, fw, t0, tw int) [][]complex128 {
+func subGrid(h dsp.Grid, f0, fw, t0, tw int) dsp.Grid {
 	out := dsp.NewGrid(fw, tw)
-	for i := 0; i < fw; i++ {
-		for j := 0; j < tw; j++ {
-			out[i][j] = h[f0+i][t0+j]
-		}
-	}
+	out.CopyRect(h, f0, t0)
 	return out
 }
 
@@ -185,11 +169,12 @@ func TestTransmitBlockSurvivesDeepFade(t *testing.T) {
 	m, n := 24, 14
 	h := dsp.NewGrid(m, n)
 	for i := 0; i < m; i++ {
-		for j := 0; j < n; j++ {
+		row := h.Row(i)
+		for j := range row {
 			if i < m/2 {
-				h[i][j] = complex(math.Sqrt(0.02), 0) // −17 dB fade
+				row[j] = complex(math.Sqrt(0.02), 0) // −17 dB fade
 			} else {
-				h[i][j] = complex(math.Sqrt(1.98), 0)
+				row[j] = complex(math.Sqrt(1.98), 0)
 			}
 		}
 	}
@@ -224,7 +209,7 @@ func TestTransmitBlockSurvivesDeepFade(t *testing.T) {
 
 func TestTransmitBlockValidation(t *testing.T) {
 	rng := sim.NewRNG(7)
-	if _, err := TransmitBlock(rng, nil, ofdm.QPSK, nil, 0.1); err == nil {
+	if _, err := TransmitBlock(rng, nil, ofdm.QPSK, dsp.Grid{}, 0.1); err == nil {
 		t.Fatal("empty grid accepted")
 	}
 	h := flatGrid(4, 4, 1)
@@ -236,21 +221,19 @@ func TestTransmitBlockValidation(t *testing.T) {
 func TestReferenceGridDeterministicUnitMagnitude(t *testing.T) {
 	a := ReferenceGrid(12, 14)
 	b := ReferenceGrid(12, 14)
-	for i := range a {
-		for j := range a[i] {
-			if a[i][j] != b[i][j] {
-				t.Fatal("reference grid not deterministic")
-			}
-			if math.Abs(cmplx.Abs(a[i][j])-1) > 1e-12 {
-				t.Fatal("reference symbol not unit magnitude")
-			}
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("reference grid not deterministic")
+		}
+		if math.Abs(cmplx.Abs(a.Data[i])-1) > 1e-12 {
+			t.Fatal("reference symbol not unit magnitude")
 		}
 	}
 	c := ReferenceGrid(12, 15)
 	diff := false
-	for i := range a {
-		for j := range a[i] {
-			if a[i][j] != c[i][j] {
+	for i := 0; i < a.M; i++ {
+		for j := 0; j < a.N; j++ {
+			if a.At(i, j) != c.At(i, j) {
 				diff = true
 			}
 		}
@@ -332,7 +315,7 @@ func TestSNRFromDD(t *testing.T) {
 	// SNR = 1/noise.
 	m, n := 8, 8
 	tf := flatGrid(m, n, 1)
-	dd := dsp.MatrixFromGrid(dsp.ISFFT(tf))
+	dd := dsp.ISFFT(tf).Matrix()
 	snr := SNRFromDD(dd, 0.1)
 	if math.Abs(snr-10) > 1e-9 {
 		t.Fatalf("SNRFromDD = %g, want 10", snr)

@@ -119,6 +119,7 @@ type MeasEngine struct {
 	gapRR      int // round-robin index over foreign channels
 	firstTick  bool
 	foreignChs []int
+	idsBuf     []int // scratch for per-tick sorted-ID iteration
 }
 
 // NewMeasEngine builds the engine for a serving cell and its policy.
@@ -232,7 +233,12 @@ func (e *MeasEngine) visit(t float64, snap map[int]CellRadio) {
 
 	// Intra-frequency scan. Iterate in cell-ID order so RNG draws are
 	// reproducible (map order is randomized).
-	ids := sortedIDs(snap)
+	ids := e.idsBuf[:0]
+	for id := range snap {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	e.idsBuf = ids
 	if e.firstTick || t-e.lastIntra >= e.Cfg.IntraPeriod {
 		e.lastIntra = t
 		for _, id := range ids {
@@ -260,15 +266,6 @@ func (e *MeasEngine) visit(t float64, snap map[int]CellRadio) {
 		}
 	}
 	e.firstTick = false
-}
-
-func sortedIDs(snap map[int]CellRadio) []int {
-	ids := make([]int, 0, len(snap))
-	for id := range snap {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
-	return ids
 }
 
 // visitCrossBand measures one cell per base station and estimates its
@@ -354,11 +351,12 @@ func (e *MeasEngine) evaluate(t float64) []Report {
 
 	var out []Report
 	// Deterministic order over cells.
-	ids := make([]int, 0, len(e.values))
+	ids := e.idsBuf[:0]
 	for id := range e.values {
 		ids = append(ids, id)
 	}
 	sort.Ints(ids)
+	e.idsBuf = ids
 
 	for ri, r := range e.Policy.Rules {
 		if !r.IsHandoverRule() || !stageArmed(r.Stage) {

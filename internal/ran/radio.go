@@ -70,6 +70,24 @@ type cellFadeState struct {
 	g      complex128
 	lastT  float64
 	primed bool
+	// rho memo keyed on the exact elapsed dt (tick-driven callers
+	// advance in fixed steps, so the exp() argument repeats).
+	memoDt, memoRho float64
+	memoOK          bool
+}
+
+// cellRadioState carries everything Snapshot needs for one cell: the
+// shadowing processes and fading state plus the per-cell constants
+// (frequency path-loss term, coherence time, ICI ratio) that the naive
+// per-tick recomputation spent most of its time on.
+type cellRadioState struct {
+	cell     *Cell
+	shadow   *chanmodel.Shadowing // per-site, shared across co-sited cells
+	cellSh   *chanmodel.Shadowing // per-cell residual
+	fade     cellFadeState
+	freqTerm float64 // PathLoss.FreqTermDB(FreqHz)
+	tc       float64 // chanmodel.CoherenceTime(FreqHz, speed)
+	ici      float64 // ofdm.ICIPowerRatio at this carrier
 }
 
 // RadioEnv computes per-cell radio snapshots for a client moving along
@@ -78,29 +96,38 @@ type RadioEnv struct {
 	Dep *Deployment
 	Cfg RadioConfig
 
-	shadow     map[int]*chanmodel.Shadowing // per base station
-	cellShadow map[int]*chanmodel.Shadowing // per-cell residual
-	fade       map[int]*cellFadeState
-	rng        *sim.RNG
+	cells []cellRadioState
+	snap  map[int]CellRadio // reused across Snapshot calls
+	rng   *sim.RNG
 }
 
 // NewRadioEnv wires a radio environment over a deployment.
 func NewRadioEnv(dep *Deployment, cfg RadioConfig, streams *sim.Streams) *RadioEnv {
 	e := &RadioEnv{
-		Dep:        dep,
-		Cfg:        cfg,
-		shadow:     make(map[int]*chanmodel.Shadowing),
-		cellShadow: make(map[int]*chanmodel.Shadowing),
-		fade:       make(map[int]*cellFadeState),
-		rng:        streams.Stream("ran.fading"),
+		Dep: dep,
+		Cfg: cfg,
+		rng: streams.Stream("ran.fading"),
 	}
+	// Stream creation order (per BS, then per cell) is part of the seed
+	// schedule and must not change.
+	siteShadow := make(map[int]*chanmodel.Shadowing, len(dep.BSs))
 	for _, bs := range dep.BSs {
-		e.shadow[bs.ID] = chanmodel.NewShadowing(
+		siteShadow[bs.ID] = chanmodel.NewShadowing(
 			streams.Stream("ran.shadow.bs."+itoa(bs.ID)), cfg.ShadowStdDB, cfg.ShadowDecorrM)
 	}
-	for _, c := range dep.Cells {
-		e.cellShadow[c.ID] = chanmodel.NewShadowing(
-			streams.Stream("ran.shadow.cell."+itoa(c.ID)), cfg.CellShadowStdDB, cfg.ShadowDecorrM)
+	e.cells = make([]cellRadioState, len(dep.Cells))
+	for i, c := range dep.Cells {
+		e.cells[i] = cellRadioState{
+			cell:   c,
+			shadow: siteShadow[c.BS.ID],
+			cellSh: chanmodel.NewShadowing(
+				streams.Stream("ran.shadow.cell."+itoa(c.ID)), cfg.CellShadowStdDB, cfg.ShadowDecorrM),
+			tc:  chanmodel.CoherenceTime(c.FreqHz, cfg.SpeedMS),
+			ici: ofdm.ICIPowerRatio(chanmodel.MaxDoppler(c.FreqHz, cfg.SpeedMS), cfg.SymbolT),
+		}
+		if c.FreqHz > 0 {
+			e.cells[i].freqTerm = cfg.PathLoss.FreqTermDB(c.FreqHz)
+		}
 	}
 	return e
 }
@@ -127,30 +154,28 @@ func itoa(v int) string {
 	return string(b[i:])
 }
 
-// fadeSample advances the per-cell AR(1) Rayleigh fading process to
-// time t and returns the power gain (linear, mean 1).
-func (e *RadioEnv) fadeSample(cellID int, freqHz, t float64) float64 {
-	st := e.fade[cellID]
-	if st == nil {
-		st = &cellFadeState{}
-		e.fade[cellID] = st
-	}
-	if !st.primed {
-		st.g = e.rng.ComplexNorm(1)
-		st.lastT = t
-		st.primed = true
-	} else if t > st.lastT {
-		tc := chanmodel.CoherenceTime(freqHz, e.Cfg.SpeedMS)
+// fadeSample advances a cell's AR(1) Rayleigh fading process to time t
+// and returns the power gain (linear, mean 1).
+func (e *RadioEnv) fadeSample(st *cellRadioState, t float64) float64 {
+	f := &st.fade
+	if !f.primed {
+		f.g = e.rng.ComplexNorm(1)
+		f.lastT = t
+		f.primed = true
+	} else if t > f.lastT {
 		var rho float64
-		if math.IsInf(tc, 1) {
+		if math.IsInf(st.tc, 1) {
 			rho = 1
+		} else if dt := t - f.lastT; f.memoOK && dt == f.memoDt {
+			rho = f.memoRho
 		} else {
-			rho = math.Exp(-(t - st.lastT) / tc)
+			rho = math.Exp(-dt / st.tc)
+			f.memoDt, f.memoRho, f.memoOK = dt, rho, true
 		}
-		st.g = complex(rho, 0)*st.g + e.rng.ComplexNorm(1-rho*rho)
-		st.lastT = t
+		f.g = complex(rho, 0)*f.g + e.rng.ComplexNorm(1-rho*rho)
+		f.lastT = t
 	}
-	p := real(st.g)*real(st.g) + imag(st.g)*imag(st.g)
+	p := real(f.g)*real(f.g) + imag(f.g)*imag(f.g)
 	if p < 1e-6 {
 		p = 1e-6
 	}
@@ -159,33 +184,36 @@ func (e *RadioEnv) fadeSample(cellID int, freqHz, t float64) float64 {
 
 // Snapshot returns the radio state of every cell at client position pos
 // and time t. Cells below the visibility floor (−140 dBm RSRP) are
-// omitted.
+// omitted. The returned map is owned by the environment and reused by
+// the next Snapshot call: consume it before advancing.
 func (e *RadioEnv) Snapshot(pos geo.Point, t float64) map[int]CellRadio {
-	holeLoss := func(freq float64) float64 {
-		loss := 0.0
+	if e.snap == nil {
+		e.snap = make(map[int]CellRadio, len(e.cells))
+	} else {
+		clear(e.snap)
+	}
+	out := e.snap
+	for i := range e.cells {
+		st := &e.cells[i]
+		c := st.cell
+		d := pos.Distance(c.BS.Pos)
+		pl := e.Cfg.PathLoss.DistTermDB(d) + st.freqTerm
+		sh := st.shadow.At(pos.X) + st.cellSh.At(pos.X)
+		meanRSRP := c.TxPowerDBm - pl - sh
 		for _, h := range e.Cfg.Holes {
-			if pos.X >= h.StartX && pos.X <= h.EndX && freq >= h.MinFreqHz {
-				loss += h.ExtraLossDB
+			if pos.X >= h.StartX && pos.X <= h.EndX && c.FreqHz >= h.MinFreqHz {
+				meanRSRP -= h.ExtraLossDB
 			}
 		}
-		return loss
-	}
-	out := make(map[int]CellRadio)
-	for _, c := range e.Dep.Cells {
-		d := pos.Distance(c.BS.Pos)
-		pl := e.Cfg.PathLoss.DB(d, c.FreqHz)
-		sh := e.shadow[c.BS.ID].At(pos.X) + e.cellShadow[c.ID].At(pos.X)
-		meanRSRP := c.TxPowerDBm - pl - sh - holeLoss(c.FreqHz)
 		if meanRSRP < -140 {
 			continue
 		}
-		fadeDB := dsp.DB(e.fadeSample(c.ID, c.FreqHz, t))
+		fadeDB := dsp.DB(e.fadeSample(st, t))
 		meanSNR := meanRSRP - e.Cfg.NoisePerREDBm - e.Cfg.InterfMarginDB
 
-		ici := ofdm.ICIPowerRatio(chanmodel.MaxDoppler(c.FreqHz, e.Cfg.SpeedMS), e.Cfg.SymbolT)
 		// ICI behaves as self-noise: SINR = S/(N + ici·S).
 		lin := dsp.FromDB(meanSNR + fadeDB)
-		sinr := lin / (1 + ici*lin)
+		sinr := lin / (1 + st.ici*lin)
 
 		out[c.ID] = CellRadio{
 			RSRP:  meanRSRP + fadeDB,
@@ -201,31 +229,20 @@ func (e *RadioEnv) Snapshot(pos geo.Point, t float64) map[int]CellRadio {
 // above the floor.
 func BestCell(snap map[int]CellRadio, byRSRP bool, floor float64) (int, float64, bool) {
 	bestID, bestV, found := 0, 0.0, false
-	// Deterministic tie-breaking by cell ID.
-	ids := make([]int, 0, len(snap))
-	for id := range snap {
-		ids = append(ids, id)
-	}
-	sortInts(ids)
-	for _, id := range ids {
-		v := snap[id].RSRP
+	// Single pass with deterministic tie-breaking by cell ID: strictly
+	// better value wins, equal value goes to the lower ID — the same
+	// winner the former sorted-ascending scan produced.
+	for id, cr := range snap {
+		v := cr.RSRP
 		if !byRSRP {
-			v = snap[id].DDSNR
+			v = cr.DDSNR
 		}
 		if v < floor {
 			continue
 		}
-		if !found || v > bestV {
+		if !found || v > bestV || (v == bestV && id < bestID) {
 			bestID, bestV, found = id, v, true
 		}
 	}
 	return bestID, bestV, found
-}
-
-func sortInts(xs []int) {
-	for i := 1; i < len(xs); i++ {
-		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
-			xs[j], xs[j-1] = xs[j-1], xs[j]
-		}
-	}
 }

@@ -226,7 +226,7 @@ func NewOTFSModem(m, n int) (*OTFSModem, error) { return otfs.NewModem(m, n) }
 // DDChannelMatrix samples a channel's delay-Doppler response on the
 // estimator grid at absolute time t0 — the input to Algorithm 1.
 func DDChannelMatrix(ch *Channel, cfg CrossBandConfig, t0 float64) *DDMatrix {
-	return dsp.MatrixFromGrid(ch.DDResponse(cfg.M, cfg.N, cfg.DeltaF, cfg.SymT, t0))
+	return ch.DDResponse(cfg.M, cfg.N, cfg.DeltaF, cfg.SymT, t0).Matrix()
 }
 
 // DDSNR returns the wideband SNR (dB) implied by a delay-Doppler
