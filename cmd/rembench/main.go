@@ -10,8 +10,9 @@
 //	rembench -out BENCH_PR3.json  # also write machine-readable results
 //	rembench -quick -baseline BENCH_PR3.json
 //	                              # compare against a committed baseline:
-//	                              # exit 1 on >25% ns/op or any allocs/op
-//	                              # regression
+//	                              # prints a per-benchmark diff table and
+//	                              # exits 1 on >25% ns/op, any allocs/op,
+//	                              # or any B/op regression beyond slack
 //
 // The committed BENCH_PR3.json at the repo root is the reference the CI
 // bench job gates on; regenerate it with `rembench -quick -out
@@ -122,10 +123,13 @@ func main() {
 	}
 }
 
-// gate fails when any benchmark regresses versus the baseline: ns/op by
-// more than 25% (machine-noise allowance), or allocs/op beyond the
-// benchmark's slack — zero for the single-threaded kernels, where any
-// increase is a real leak into the hot path.
+// gate compares every benchmark against the baseline, prints a
+// per-benchmark diff table, and fails when any dimension regresses:
+// ns/op by more than 25% (machine-noise allowance), allocs/op beyond
+// the benchmark's slack — zero for the single-threaded kernels, where
+// any increase is a real leak into the hot path — and B/op beyond the
+// same slack plus a 64-byte absolute grace (worker-pool bookkeeping
+// rounds bytes up a little between runs even at identical allocs).
 func gate(rep report, path string) error {
 	buf, err := os.ReadFile(path)
 	if err != nil {
@@ -143,22 +147,52 @@ func gate(rep report, path string) error {
 	for _, s := range specs() {
 		slack[s.name] = s.allocSlack
 	}
+
+	fmt.Printf("\n%-24s %22s %22s %26s  %s\n", "benchmark",
+		"ns/op (base→cur)", "allocs/op (base→cur)", "B/op (base→cur)", "verdict")
+	var failures []string
 	for _, r := range rep.Benchmarks {
 		b, ok := byName[r.Name]
 		if !ok {
-			continue // new benchmark, nothing to gate against
+			fmt.Printf("%-24s %22s %22s %26s  %s\n", r.Name, "-", "-", "-", "new (not gated)")
+			continue
 		}
+		var bad []string
 		if b.NsPerOp > 0 && r.NsPerOp > b.NsPerOp*1.25 {
-			return fmt.Errorf("%s: %.0f ns/op vs baseline %.0f (+%.0f%%)",
-				r.Name, r.NsPerOp, b.NsPerOp, 100*(r.NsPerOp/b.NsPerOp-1))
+			bad = append(bad, fmt.Sprintf("ns/op +%.0f%%", 100*(r.NsPerOp/b.NsPerOp-1)))
 		}
-		allowed := int64(float64(b.AllocsPerOp) * (1 + slack[r.Name]))
-		if r.AllocsPerOp > allowed {
-			return fmt.Errorf("%s: %d allocs/op vs baseline %d (allowed %d)",
-				r.Name, r.AllocsPerOp, b.AllocsPerOp, allowed)
+		allowedAllocs := int64(float64(b.AllocsPerOp) * (1 + slack[r.Name]))
+		if r.AllocsPerOp > allowedAllocs {
+			bad = append(bad, fmt.Sprintf("allocs/op %d > %d", r.AllocsPerOp, allowedAllocs))
 		}
+		allowedBytes := int64(float64(b.BytesPerOp)*(1+slack[r.Name])) + 64
+		if r.BytesPerOp > allowedBytes {
+			bad = append(bad, fmt.Sprintf("B/op %d > %d", r.BytesPerOp, allowedBytes))
+		}
+		verdict := "ok"
+		if len(bad) > 0 {
+			verdict = "FAIL: " + join(bad, "; ")
+			failures = append(failures, r.Name+" ("+join(bad, "; ")+")")
+		}
+		fmt.Printf("%-24s %10.0f→%-10.0f %10d→%-10d %12d→%-12d  %s\n",
+			r.Name, b.NsPerOp, r.NsPerOp, b.AllocsPerOp, r.AllocsPerOp,
+			b.BytesPerOp, r.BytesPerOp, verdict)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed: %s", len(failures), join(failures, "; "))
 	}
 	return nil
+}
+
+func join(parts []string, sep string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += sep
+		}
+		out += p
+	}
+	return out
 }
 
 // specs returns the pinned benchmark set. Seeds and workloads are

@@ -40,6 +40,7 @@ func main() {
 		duration = flag.Float64("duration", 0, "override per-replica simulated seconds")
 		baseSeed = flag.Int64("seed", 1, "base RNG seed")
 		workers  = flag.Int("workers", 0, "parallel worker pool size; 0 = all cores (output is identical at any value)")
+		faults   = flag.String("faults", "", "JSON fault plan file; arms the deterministic fault plane for every replica")
 		jsonOut  = flag.Bool("json", false, "emit each report as machine-readable JSON instead of rendered text")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -78,6 +79,14 @@ func main() {
 	}
 	cfg.BaseSeed = *baseSeed
 	cfg.Workers = *workers
+	if *faults != "" {
+		plan, err := rem.LoadFaultPlan(*faults)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "remeval: %v\n", err)
+			exit(2)
+		}
+		cfg.Faults = plan
+	}
 
 	// emit prints one report: rendered text by default, or the report
 	// struct (ID, title, tables, series) as one JSON document with -json.

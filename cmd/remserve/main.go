@@ -41,6 +41,12 @@ import (
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	pprofAddr := flag.String("pprof", "", "serve /debug/pprof on this address (e.g. localhost:6060); empty disables")
+	runTimeout := flag.Duration("run-timeout", 0, "per-run wall-clock deadline (0 disables); exceeded runs finish failed")
+	maxBody := flag.Int64("max-body", 1<<20, "maximum POST /runs body size in bytes")
+	maxActive := flag.Int("max-active", 4, "fleet runs executing concurrently; further runs queue")
+	maxQueue := flag.Int("max-queue", 8, "pending-run queue depth, 0 for none; beyond it POST /runs returns 503")
+	retries := flag.Int("retries", 2, "retry attempts for run starts that fail before producing output (-1 disables)")
+	journalPath := flag.String("journal", "", "crash-safe run journal path; on restart, interrupted runs surface as failed")
 	flag.Parse()
 
 	// The profiling endpoints live on their own listener so they are
@@ -57,7 +63,22 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	s := newServer(ctx)
+	mq := *maxQueue
+	if mq == 0 {
+		mq = -1 // flag 0 means "no queue"; serverConfig uses -1 for that
+	}
+	s, err := newServer(ctx, serverConfig{
+		RunTimeout:  *runTimeout,
+		MaxBody:     *maxBody,
+		MaxActive:   *maxActive,
+		MaxQueue:    mq,
+		Retries:     *retries,
+		JournalPath: *journalPath,
+	})
+	if err != nil {
+		log.Fatalf("remserve: %v", err)
+	}
+	defer s.journal.Close()
 	srv := &http.Server{
 		Addr:        *addr,
 		Handler:     s.handler(),

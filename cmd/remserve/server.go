@@ -5,7 +5,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -50,6 +52,19 @@ type run struct {
 	progress rem.FleetProgress
 	result   *rem.FleetResult
 	started  time.Time
+	// userCanceled distinguishes a client-requested cancel (terminal
+	// state "canceled") from a shutdown- or deadline-induced context
+	// cancellation (terminal state "failed").
+	userCanceled bool
+	// observed flips once the fleet produced any event or progress;
+	// a failed start is only retried while it is still false.
+	observed bool
+}
+
+func (r *run) markObserved() {
+	r.mu.Lock()
+	r.observed = true
+	r.mu.Unlock()
 }
 
 func (r *run) wake() {
@@ -109,11 +124,62 @@ func (r *run) view(withResult bool) runView {
 // histogram exported at /metrics.
 var epochBuckets = []float64{1, 5, 25, 100, 500}
 
+// serverConfig is the hardening surface of the serving stack: request
+// and run bounds plus the crash-safe journal location. The zero value
+// selects production defaults via defaulted().
+type serverConfig struct {
+	// RunTimeout bounds each run's wall-clock execution (0 = no
+	// deadline). A run that exceeds it finishes failed.
+	RunTimeout time.Duration
+	// MaxBody caps the POST /runs request body in bytes.
+	MaxBody int64
+	// MaxActive bounds concurrently executing fleets; further admitted
+	// runs queue as "pending" until a slot frees.
+	MaxActive int
+	// MaxQueue bounds the pending queue; beyond MaxActive+MaxQueue
+	// non-terminal runs, POST /runs sheds load with 503 + Retry-After.
+	MaxQueue int
+	// Retries is the number of times a run start is retried after a
+	// transient failure (one that produced no events or progress and
+	// was not a cancellation). Negative disables retries.
+	Retries int
+	// JournalPath enables the crash-safe run journal; runs found
+	// started-but-unfinished at boot are recovered as failed.
+	JournalPath string
+}
+
+func (c serverConfig) defaulted() serverConfig {
+	if c.MaxBody <= 0 {
+		c.MaxBody = 1 << 20
+	}
+	if c.MaxActive <= 0 {
+		c.MaxActive = 4
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 8
+	}
+	if c.MaxQueue < 0 { // negative disables queuing entirely
+		c.MaxQueue = 0
+	}
+	if c.Retries == 0 {
+		c.Retries = 2
+	}
+	if c.Retries < 0 {
+		c.Retries = 0
+	}
+	return c
+}
+
 // server owns the run registry and metrics. Metrics are plain fields
 // (not expvar globals) so tests can construct independent servers
 // without duplicate-Publish panics.
 type server struct {
 	baseCtx context.Context
+	cfg     serverConfig
+	// slots is the active-run semaphore; execute() holds one slot for
+	// the duration of the fleet run.
+	slots   chan struct{}
+	journal *journal
 
 	mu    sync.Mutex
 	runs  map[string]*run
@@ -121,15 +187,90 @@ type server struct {
 	seq   int
 
 	runsStarted, runsCompleted, runsCanceled, runsFailed int
+	runsShed, runsRecovered, runsRetried                 int
 	epochs                                               int
 	epochHist                                            []int // len(epochBuckets)+1, last = overflow
 }
 
-func newServer(ctx context.Context) *server {
-	return &server{
+func newServer(ctx context.Context, cfg serverConfig) (*server, error) {
+	cfg = cfg.defaulted()
+	s := &server{
 		baseCtx:   ctx,
+		cfg:       cfg,
+		slots:     make(chan struct{}, cfg.MaxActive),
 		runs:      make(map[string]*run),
 		epochHist: make([]int, len(epochBuckets)+1),
+	}
+	if cfg.JournalPath != "" {
+		j, entries, err := openJournal(cfg.JournalPath)
+		if err != nil {
+			return nil, err
+		}
+		s.journal = j
+		s.recover(entries)
+	}
+	return s, nil
+}
+
+// recover replays journal entries from a previous process: runs with a
+// start but no end were in flight when that process died — surface
+// them as failed (with their spec, so the client can re-POST) rather
+// than leaking them, and advance the ID sequence past everything seen.
+func (s *server) recover(entries []journalEntry) {
+	type rec struct {
+		spec  *wireSpec
+		ended bool
+	}
+	open := make(map[string]*rec)
+	var order []string
+	maxSeq := 0
+	for _, e := range entries {
+		var n int
+		if _, err := fmt.Sscanf(e.ID, "run-%d", &n); err == nil && n > maxSeq {
+			maxSeq = n
+		}
+		switch e.Op {
+		case "start":
+			if _, ok := open[e.ID]; !ok {
+				open[e.ID] = &rec{spec: e.Spec}
+				order = append(order, e.ID)
+			}
+		case "end":
+			if r, ok := open[e.ID]; ok {
+				r.ended = true
+			}
+		}
+	}
+	s.seq = maxSeq
+	for _, id := range order {
+		rc := open[id]
+		if rc.ended {
+			continue
+		}
+		r := &run{
+			id:     id,
+			cancel: func() {},
+			state:  stateFailed,
+			errMsg: "interrupted by server restart",
+			notify: make(chan struct{}),
+		}
+		if rc.spec != nil {
+			r.spec = *rc.spec
+		}
+		s.runs[id] = r
+		s.order = append(s.order, id)
+		s.runsFailed++
+		s.runsRecovered++
+		s.journalEnd(r)
+	}
+}
+
+func (s *server) journalEnd(r *run) {
+	r.mu.Lock()
+	e := journalEntry{Op: "end", ID: r.id, State: r.state, Error: r.errMsg}
+	r.mu.Unlock()
+	if err := s.journal.record(e); err != nil {
+		log.Printf("remserve: journal: %v", err)
 	}
 }
 
@@ -157,6 +298,9 @@ type metricsView struct {
 	RunsCompleted int           `json:"runs_completed"`
 	RunsCanceled  int           `json:"runs_canceled"`
 	RunsFailed    int           `json:"runs_failed"`
+	RunsShed      int           `json:"runs_shed"`
+	RunsRecovered int           `json:"runs_recovered"`
+	RunsRetried   int           `json:"runs_retried"`
 	Handovers     int           `json:"handovers"`
 	Failures      int           `json:"failures"`
 	Blocked       int           `json:"blocked"`
@@ -176,6 +320,9 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		RunsCompleted: s.runsCompleted,
 		RunsCanceled:  s.runsCanceled,
 		RunsFailed:    s.runsFailed,
+		RunsShed:      s.runsShed,
+		RunsRecovered: s.runsRecovered,
+		RunsRetried:   s.runsRetried,
 		Epochs:        s.epochs,
 	}
 	for i, n := range s.epochHist {
@@ -208,15 +355,30 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, m)
 }
 
+// errBusy is returned by startRun when the non-terminal run count has
+// reached MaxActive+MaxQueue; the handler sheds the request with 503.
+var errBusy = errors.New("server at capacity: too many runs in flight")
+
 func (s *server) handleStartRun(w http.ResponseWriter, req *http.Request) {
 	var spec wireSpec
-	dec := json.NewDecoder(http.MaxBytesReader(w, req.Body, 1<<20))
+	dec := json.NewDecoder(http.MaxBytesReader(w, req.Body, s.cfg.MaxBody))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("spec exceeds %d-byte limit", tooBig.Limit))
+			return
+		}
 		httpError(w, http.StatusBadRequest, fmt.Errorf("bad spec: %w", err))
 		return
 	}
 	r, err := s.startRun(spec)
+	if errors.Is(err, errBusy) {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSec))
+		httpError(w, http.StatusServiceUnavailable, err)
+		return
+	}
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
@@ -224,6 +386,9 @@ func (s *server) handleStartRun(w http.ResponseWriter, req *http.Request) {
 	w.Header().Set("Location", "/runs/"+r.id)
 	writeJSON(w, http.StatusAccepted, r.view(false))
 }
+
+// retryAfterSec is the Retry-After hint sent with load-shed responses.
+const retryAfterSec = 1
 
 func (s *server) startRun(spec wireSpec) (*run, error) {
 	ds, err := rem.ParseDataset(spec.Dataset)
@@ -251,6 +416,23 @@ func (s *server) startRun(spec wireSpec) (*run, error) {
 		started: time.Now(),
 	}
 	s.mu.Lock()
+	// Load shedding: admission is bounded by active slots plus a finite
+	// pending queue. Shedding here (rather than blocking) keeps the
+	// handler's latency flat under overload.
+	inFlight := 0
+	for _, other := range s.runs {
+		other.mu.Lock()
+		if !terminal(other.state) {
+			inFlight++
+		}
+		other.mu.Unlock()
+	}
+	if inFlight >= s.cfg.MaxActive+s.cfg.MaxQueue {
+		s.runsShed++
+		s.mu.Unlock()
+		cancel()
+		return nil, errBusy
+	}
 	s.seq++
 	r.id = fmt.Sprintf("run-%04d", s.seq)
 	s.runs[r.id] = r
@@ -258,44 +440,118 @@ func (s *server) startRun(spec wireSpec) (*run, error) {
 	s.runsStarted++
 	s.mu.Unlock()
 
+	if err := s.journal.record(journalEntry{Op: "start", ID: r.id, Spec: &spec}); err != nil {
+		log.Printf("remserve: journal: %v", err)
+	}
 	go s.execute(ctx, r, fs)
 	return r, nil
 }
 
 func (s *server) execute(ctx context.Context, r *run, fs rem.FleetSpec) {
+	// Hold an active slot for the duration of the fleet run; until one
+	// frees up the run stays "pending" in the bounded queue.
+	select {
+	case s.slots <- struct{}{}:
+		defer func() { <-s.slots }()
+	case <-ctx.Done():
+		s.finishRun(r, ctx.Err())
+		return
+	}
+
+	if s.cfg.RunTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.RunTimeout)
+		defer cancel()
+	}
+
 	r.mu.Lock()
 	r.state = stateRunning
 	r.wake()
 	r.mu.Unlock()
 
-	res, err := rem.RunFleetWithOptions(ctx, fs, rem.FleetOptions{
-		Observer: r.appendEvent,
+	opts := rem.FleetOptions{
+		Observer: func(ev rem.FleetEvent) {
+			r.markObserved()
+			r.appendEvent(ev)
+		},
 		Progress: func(p rem.FleetProgress) {
+			r.markObserved()
 			r.setProgress(p)
 			s.observeEpoch(p.WallStep)
 		},
-	})
+	}
 
-	s.mu.Lock()
+	// Transient failures at run start (before the fleet produced any
+	// observable output) are retried with a short backoff; anything
+	// after first output is not, to avoid replaying partial streams.
+	var res *rem.FleetResult
+	var err error
+	for attempt := 0; ; attempt++ {
+		res, err = rem.RunFleetWithOptions(ctx, fs, opts)
+		if err == nil || ctx.Err() != nil {
+			break
+		}
+		r.mu.Lock()
+		observed := r.observed
+		r.mu.Unlock()
+		if observed || attempt >= s.cfg.Retries {
+			break
+		}
+		s.mu.Lock()
+		s.runsRetried++
+		s.mu.Unlock()
+		select {
+		case <-time.After(time.Duration(attempt+1) * 10 * time.Millisecond):
+		case <-ctx.Done():
+		}
+	}
+	if err != nil {
+		res = nil
+	}
+	s.finishRunResult(r, res, err)
+}
+
+// finishRun finishes a run that never produced a result.
+func (s *server) finishRun(r *run, err error) { s.finishRunResult(r, nil, err) }
+
+// finishRunResult maps the fleet error to a terminal state, updates
+// metrics, and journals the end. A context.Canceled error only counts
+// as "canceled" when the client asked for it; cancellation imposed by
+// server shutdown (or slot-wait abandonment) is a failure from the
+// client's point of view, as is a blown run deadline.
+func (s *server) finishRunResult(r *run, res *rem.FleetResult, err error) {
+	r.mu.Lock()
+	userCanceled := r.userCanceled
+	r.mu.Unlock()
+
+	state := stateDone
+	msg := ""
 	switch {
 	case err == nil:
-		s.runsCompleted++
+	case errors.Is(err, context.DeadlineExceeded):
+		state, msg = stateFailed, fmt.Sprintf("run exceeded %s deadline", s.cfg.RunTimeout)
+	case errors.Is(err, context.Canceled) && userCanceled:
+		state, msg = stateCanceled, err.Error()
 	case errors.Is(err, context.Canceled):
+		state, msg = stateFailed, "canceled by server shutdown"
+	default:
+		state, msg = stateFailed, err.Error()
+	}
+
+	s.mu.Lock()
+	switch state {
+	case stateDone:
+		s.runsCompleted++
+	case stateCanceled:
 		s.runsCanceled++
 	default:
 		s.runsFailed++
 	}
 	s.mu.Unlock()
 
-	switch {
-	case err == nil:
-		r.finish(stateDone, res, "")
-	case errors.Is(err, context.Canceled):
-		r.finish(stateCanceled, nil, err.Error())
-	default:
-		r.finish(stateFailed, nil, err.Error())
-	}
+	r.finish(state, res, msg)
 	r.cancel()
+	s.journalEnd(r)
 }
 
 func (s *server) observeEpoch(d time.Duration) {
@@ -345,6 +601,9 @@ func (s *server) handleCancelRun(w http.ResponseWriter, req *http.Request) {
 		httpError(w, http.StatusNotFound, fmt.Errorf("no such run"))
 		return
 	}
+	r.mu.Lock()
+	r.userCanceled = true
+	r.mu.Unlock()
 	r.cancel()
 	writeJSON(w, http.StatusOK, r.view(false))
 }

@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"reflect"
 	"strings"
 	"sync"
@@ -17,10 +19,18 @@ import (
 )
 
 func newTestServer(t *testing.T) (*server, *httptest.Server) {
+	return newTestServerCfg(t, serverConfig{})
+}
+
+func newTestServerCfg(t *testing.T, cfg serverConfig) (*server, *httptest.Server) {
 	t.Helper()
 	ctx, cancel := context.WithCancel(context.Background())
 	t.Cleanup(cancel)
-	s := newServer(ctx)
+	s, err := newServer(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.journal.Close() })
 	ts := httptest.NewServer(s.handler())
 	t.Cleanup(ts.Close)
 	return s, ts
@@ -244,16 +254,201 @@ func TestConcurrentRunsAndCancel(t *testing.T) {
 }
 
 func TestBaseContextCancelTearsDownRuns(t *testing.T) {
-	// Simulates SIGTERM: cancelling the server's base context must
-	// cancel in-flight fleets.
+	// Simulates SIGTERM: cancelling the server's base context must tear
+	// down in-flight fleets, and since the client never asked for the
+	// cancel, the run surfaces as failed — with the shutdown recorded
+	// in the journal so a restarted server need not re-fail it.
+	journalPath := filepath.Join(t.TempDir(), "runs.journal")
 	ctx, cancel := context.WithCancel(context.Background())
-	s := newServer(ctx)
+	s, err := newServer(ctx, serverConfig{JournalPath: journalPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.journal.Close()
 	ts := httptest.NewServer(s.handler())
 	defer ts.Close()
 	v := postRun(t, ts, `{"ues":10,"dataset":"beijing-shanghai","mode":"legacy","speed_kmh":330,"duration_sec":600,"seed":1}`)
 	waitState(t, ts, v.ID, stateRunning)
 	cancel()
+	got := waitState(t, ts, v.ID, stateFailed)
+	if !strings.Contains(got.Error, "shutdown") {
+		t.Fatalf("error = %q, want mention of shutdown", got.Error)
+	}
+
+	// The graceful path journaled an end record: a restarted server
+	// sees the run as terminal, not interrupted.
+	s2, err := newServer(context.Background(), serverConfig{JournalPath: journalPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.journal.Close()
+	s2.mu.Lock()
+	r2 := s2.runs[v.ID]
+	s2.mu.Unlock()
+	if r2 != nil {
+		t.Fatalf("gracefully ended run %s re-recovered as %q", v.ID, r2.state)
+	}
+}
+
+func TestUserCancelStaysCanceled(t *testing.T) {
+	_, ts := newTestServer(t)
+	v := postRun(t, ts, `{"ues":10,"dataset":"beijing-shanghai","mode":"legacy","speed_kmh":330,"duration_sec":600,"seed":1}`)
+	waitState(t, ts, v.ID, stateRunning)
+	resp, err := http.Post(ts.URL+"/runs/"+v.ID+"/cancel", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
 	waitState(t, ts, v.ID, stateCanceled)
+}
+
+func TestLoadSheddingQueueFull(t *testing.T) {
+	// One active slot, no queue: the second concurrent run must be shed
+	// with 503 + Retry-After instead of piling up.
+	s, ts := newTestServerCfg(t, serverConfig{MaxActive: 1, MaxQueue: -1})
+	long := postRun(t, ts, `{"ues":10,"dataset":"beijing-shanghai","mode":"legacy","speed_kmh":330,"duration_sec":600,"seed":1}`)
+	waitState(t, ts, long.ID, stateRunning)
+
+	resp, err := http.Post(ts.URL+"/runs", "application/json", strings.NewReader(
+		`{"ues":5,"dataset":"beijing-shanghai","mode":"rem","speed_kmh":330,"duration_sec":2,"seed":2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("503 without Retry-After header")
+	}
+	s.mu.Lock()
+	shed := s.runsShed
+	s.mu.Unlock()
+	if shed != 1 {
+		t.Fatalf("runsShed = %d, want 1", shed)
+	}
+
+	// Cancel the hog; capacity frees and the next POST is admitted.
+	cresp, err := http.Post(ts.URL+"/runs/"+long.ID+"/cancel", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cresp.Body.Close()
+	waitState(t, ts, long.ID, stateCanceled)
+	v := postRun(t, ts, `{"ues":5,"dataset":"beijing-shanghai","mode":"rem","speed_kmh":330,"duration_sec":2,"seed":2}`)
+	waitState(t, ts, v.ID, stateDone)
+}
+
+func TestQueuedRunWaitsForSlot(t *testing.T) {
+	// With a queue, an over-capacity run is admitted as pending and
+	// executes once the active run finishes.
+	_, ts := newTestServerCfg(t, serverConfig{MaxActive: 1, MaxQueue: 4})
+	long := postRun(t, ts, `{"ues":10,"dataset":"beijing-shanghai","mode":"legacy","speed_kmh":330,"duration_sec":600,"seed":1}`)
+	waitState(t, ts, long.ID, stateRunning)
+	queued := postRun(t, ts, `{"ues":5,"dataset":"beijing-shanghai","mode":"rem","speed_kmh":330,"duration_sec":2,"seed":2}`)
+	if v := getRun(t, ts, queued.ID); v.State != statePending {
+		t.Fatalf("queued run state = %q, want pending", v.State)
+	}
+	resp, err := http.Post(ts.URL+"/runs/"+long.ID+"/cancel", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	waitState(t, ts, queued.ID, stateDone)
+}
+
+func TestRunTimeoutFailsRun(t *testing.T) {
+	_, ts := newTestServerCfg(t, serverConfig{RunTimeout: 50 * time.Millisecond})
+	v := postRun(t, ts, `{"ues":10,"dataset":"beijing-shanghai","mode":"legacy","speed_kmh":330,"duration_sec":600,"seed":1}`)
+	got := waitState(t, ts, v.ID, stateFailed)
+	if !strings.Contains(got.Error, "deadline") {
+		t.Fatalf("error = %q, want deadline mention", got.Error)
+	}
+}
+
+func TestOversizedBodyRejected(t *testing.T) {
+	_, ts := newTestServerCfg(t, serverConfig{MaxBody: 256})
+	// Leading whitespace is valid JSON padding, so the only possible
+	// rejection is the body-size limit.
+	big := strings.Repeat(" ", 1024) +
+		`{"ues":5,"duration_sec":5,"dataset":"beijing-shanghai","mode":"rem"}`
+	resp, err := http.Post(ts.URL+"/runs", "application/json", strings.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413", resp.StatusCode)
+	}
+}
+
+func TestJournalRecoveryMarksInterruptedRunFailed(t *testing.T) {
+	// Simulate a crash: write a journal whose last run has a start but
+	// no end. The next server must surface it as failed and keep
+	// allocating fresh IDs after it.
+	journalPath := filepath.Join(t.TempDir(), "runs.journal")
+	lines := []string{
+		`{"op":"start","id":"run-0001","spec":{"ues":3,"duration_sec":2,"dataset":"beijing-shanghai","mode":"rem"}}`,
+		`{"op":"end","id":"run-0001","state":"done"}`,
+		`{"op":"start","id":"run-0002","spec":{"ues":9,"duration_sec":600,"dataset":"beijing-shanghai","mode":"legacy"}}`,
+		`{"op":"sta`, // torn final write mid-crash: must be tolerated
+	}
+	if err := os.WriteFile(journalPath, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, ts := newTestServerCfg(t, serverConfig{JournalPath: journalPath})
+
+	v := getRun(t, ts, "run-0002")
+	if v.State != stateFailed || !strings.Contains(v.Error, "restart") {
+		t.Fatalf("recovered run: state %q err %q, want failed/interrupted", v.State, v.Error)
+	}
+	if v.Spec.UEs != 9 {
+		t.Fatalf("recovered spec lost: %+v", v.Spec)
+	}
+	s.mu.Lock()
+	recovered := s.runsRecovered
+	s.mu.Unlock()
+	if recovered != 1 {
+		t.Fatalf("runsRecovered = %d, want 1 (run-0001 ended cleanly)", recovered)
+	}
+
+	// New runs continue the sequence past recovered IDs.
+	nv := postRun(t, ts, `{"ues":5,"dataset":"beijing-shanghai","mode":"rem","speed_kmh":330,"duration_sec":2,"seed":4}`)
+	if nv.ID != "run-0003" {
+		t.Fatalf("next id = %q, want run-0003", nv.ID)
+	}
+	waitState(t, ts, nv.ID, stateDone)
+
+	// And recovery is idempotent: a third boot sees end records for
+	// everything and recovers nothing.
+	s3, err := newServer(context.Background(), serverConfig{JournalPath: journalPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.journal.Close()
+	s3.mu.Lock()
+	again := s3.runsRecovered
+	s3.mu.Unlock()
+	if again != 0 {
+		t.Fatalf("second recovery found %d interrupted runs, want 0", again)
+	}
+}
+
+func TestRunWithFaultPlan(t *testing.T) {
+	// A spec may carry an inline fault plan; it must execute and be
+	// echoed back in the run view, and injected loss must leave a trace
+	// in the summary.
+	_, ts := newTestServer(t)
+	v := postRun(t, ts, `{"ues":10,"dataset":"beijing-shanghai","mode":"legacy","speed_kmh":330,
+		"duration_sec":5,"seed":7,
+		"faults":{"name":"svc","bursts":[{"start_sec":0,"end_sec":5,"p_good_to_bad":0.4,"p_bad_to_good":0.2,"loss_good":0,"loss_bad":0.95}]}}`)
+	done := waitState(t, ts, v.ID, stateDone)
+	if done.Spec.Faults == nil || done.Spec.Faults.Name != "svc" {
+		t.Fatalf("fault plan not echoed in run view: %+v", done.Spec.Faults)
+	}
+	if done.Result.Summary.FaultLosses == 0 {
+		t.Fatal("burst plan injected no losses over 5s at 330 km/h")
+	}
 }
 
 func TestBadRequests(t *testing.T) {

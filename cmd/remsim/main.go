@@ -38,6 +38,7 @@ func main() {
 		duration = flag.Float64("duration", 600, "simulated seconds")
 		seed     = flag.Int64("seed", 1, "RNG seed")
 		replicas = flag.Int("replicas", 1, "independent replicas to run (seeds rem.ReplicaSeed(seed, i))")
+		faults   = flag.String("faults", "", "JSON fault plan file; arms the deterministic fault plane")
 		workers  = flag.Int("workers", 0, "parallel worker pool size; 0 = all cores (output is identical at any value)")
 		jsonOut  = flag.Bool("json", false, "emit the machine-readable summary JSON instead of text")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -71,13 +72,21 @@ func main() {
 	if *replicas < 1 {
 		*replicas = 1
 	}
+	var plan *rem.FaultPlan
+	if *faults != "" {
+		plan, err = rem.LoadFaultPlan(*faults)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "remsim: %v\n", err)
+			exit(2)
+		}
+	}
 
 	// Each replica builds and runs its own scenario from an
 	// index-derived seed; the pool width never changes the numbers.
 	results, err := par.IndexedMap(*workers, *replicas, func(s int) (*rem.Result, error) {
 		built, err := rem.BuildScenario(rem.ScenarioConfig{
 			Dataset: ds, SpeedKmh: *speed, Mode: md, Duration: *duration,
-			Seed: rem.ReplicaSeed(*seed, s),
+			Seed: rem.ReplicaSeed(*seed, s), Faults: plan,
 		})
 		if err != nil {
 			return nil, err
@@ -137,6 +146,9 @@ func printSummary(res *rem.Result) {
 	}
 	fmt.Printf("signaling : %d reports delivered, %d lost; %d commands delivered, %d lost\n",
 		res.ReportsDelivered, res.ReportsLost, res.CmdsDelivered, res.CmdsLost)
+	if n := res.FaultLosses(); n > 0 {
+		fmt.Printf("faults    : %d signaling messages lost to injected faults\n", n)
+	}
 	if len(res.FeedbackDelays) > 0 {
 		var sum float64
 		for _, d := range res.FeedbackDelays {

@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"rem/internal/fault"
 )
 
 // Table is a printable table.
@@ -138,6 +140,10 @@ type Config struct {
 	// at any worker count: work items derive independent RNG streams
 	// from their index and results are reduced in index order.
 	Workers int
+	// Faults arms the deterministic fault plane for every replica of
+	// every experiment cell (nil = disarmed; reports then match a
+	// build without the fault plane byte for byte).
+	Faults *fault.Plan
 }
 
 // DefaultConfig returns full-scale experiment settings.

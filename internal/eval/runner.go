@@ -50,6 +50,9 @@ type Agg struct {
 	Outages             []tcpsim.Outage
 	GapActiveFrac       float64
 	Signaling           int
+	// FaultLosses counts signaling messages lost to injected transport
+	// faults (zero whenever Config.Faults is disarmed).
+	FaultLosses int
 }
 
 // replicaOut is one seed's replay plus its policy-attributed conflict
@@ -80,6 +83,7 @@ func runCell(cfg Config, ds trace.Dataset, bucket [2]float64, mode trace.Mode) (
 			Mode:     mode,
 			Duration: cfg.DurationSec,
 			Seed:     cfg.BaseSeed + int64(s)*7919,
+			Faults:   cfg.Faults,
 		})
 		if err != nil {
 			return replicaOut{}, fmt.Errorf("eval: build %v/%v: %w", ds.ID, mode, err)
@@ -109,6 +113,7 @@ func runCell(cfg Config, ds trace.Dataset, bucket [2]float64, mode trace.Mode) (
 		agg.Failures += len(res.Failures)
 		agg.Duration += res.Duration
 		agg.Signaling += trace.SignalingOverheadEstimate(res)
+		agg.FaultLosses += res.FaultLosses()
 		gapSec += res.GapActiveSec
 		for cause, n := range res.CauseCounts() {
 			agg.CauseRatio[cause] += float64(n)

@@ -1,0 +1,320 @@
+// Package fault is the deterministic fault-injection plane of the
+// reproduction. The paper's claim is *reliability under extreme
+// mobility* (§7 evaluates handover failures, RLFs and stale-CSI
+// misprediction), but a channel model only produces the failures it
+// happens to produce; this package injects them on demand so the
+// conflict-free policy's recovery behaviour (Theorems 2 & 3) can be
+// stress-tested at the edges, with legacy and REM compared under
+// *identical* fault schedules.
+//
+// # Fault taxonomy
+//
+//   - Cell outages: a cell disappears from the radio environment for a
+//     scheduled window (site power loss, baseband crash) and restarts
+//     afterwards. Outage of the serving cell forces the RLF →
+//     re-establishment path.
+//   - Signaling faults: scheduled loss, extra delay and corruption of
+//     RRC transport messages (measurement reports uplink, handover
+//     commands downlink), on top of whatever the PHY does.
+//   - CSI faults: the cross-band estimator's inferred sibling-band CSI
+//     goes stale (estimates freeze at their last value) or zeroed
+//     (estimates collapse to the noise floor) — the stale-CSI
+//     misprediction class the delay-Doppler literature motivates.
+//   - Burst loss: a Gilbert–Elliott two-state chain gates signaling
+//     deliveries inside scheduled windows. Operational HSR datasets
+//     show signaling losses cluster in bursts, not i.i.d.; the chain
+//     reproduces that clustering.
+//
+// # Determinism contract
+//
+// A Plan is pure data: windows and probabilities, either unmarshalled
+// from JSON or derived from a sim.Streams via Generate. All randomness
+// at *injection* time comes from the Injector's own RNG, which callers
+// derive from the run's stream factory (one injector per run/UE, used
+// from that run's single goroutine). Fault outcomes therefore depend
+// only on (master seed, plan, query sequence) — never on worker count
+// or goroutine interleaving — so fleet/eval reports stay byte-identical
+// at any -workers value, faults enabled or not.
+package fault
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"rem/internal/sim"
+)
+
+// MsgKind discriminates the signaling directions faults can target.
+type MsgKind int
+
+// Signaling message kinds.
+const (
+	// MsgReport is an uplink measurement report.
+	MsgReport MsgKind = iota
+	// MsgCommand is a downlink handover command.
+	MsgCommand
+)
+
+// String names the kind using the Plan's JSON vocabulary.
+func (k MsgKind) String() string {
+	switch k {
+	case MsgReport:
+		return "report"
+	case MsgCommand:
+		return "command"
+	}
+	return fmt.Sprintf("MsgKind(%d)", int(k))
+}
+
+// CSIMode is the health of cross-band channel state information.
+type CSIMode int
+
+// CSI fault modes.
+const (
+	// CSIHealthy: estimates flow normally.
+	CSIHealthy CSIMode = iota
+	// CSIStale: sibling-band estimates freeze at their last value.
+	CSIStale
+	// CSIZero: sibling-band estimates collapse to the noise floor.
+	CSIZero
+)
+
+// AllCells as an outage's Cell selects every cell (a full blackout
+// window — tunnel power loss rather than a single site failure).
+const AllCells = -1
+
+// CellOutage schedules one cell (or every cell) down for a window.
+type CellOutage struct {
+	Cell  int     `json:"cell"` // cell ID, or AllCells (-1)
+	Start float64 `json:"start_sec"`
+	End   float64 `json:"end_sec"`
+}
+
+// SignalingFault schedules transport-level loss/delay/corruption for a
+// window. Kind "" targets both directions.
+type SignalingFault struct {
+	Start       float64 `json:"start_sec"`
+	End         float64 `json:"end_sec"`
+	Kind        string  `json:"kind,omitempty"` // "report" | "command" | "" (both)
+	DropProb    float64 `json:"drop_prob,omitempty"`
+	DelaySec    float64 `json:"delay_sec,omitempty"`
+	CorruptProb float64 `json:"corrupt_prob,omitempty"`
+}
+
+// CSIFault schedules a cross-band CSI degradation window.
+type CSIFault struct {
+	Start float64 `json:"start_sec"`
+	End   float64 `json:"end_sec"`
+	Mode  string  `json:"mode"` // "stale" | "zero"
+}
+
+// Burst is a Gilbert–Elliott loss window: inside [Start, End] a
+// two-state (good/bad) Markov chain advances once per signaling
+// attempt; the loss probability is LossGood or LossBad according to the
+// state. The chain enters each window in the good state.
+type Burst struct {
+	Start float64 `json:"start_sec"`
+	End   float64 `json:"end_sec"`
+	// PGoodToBad / PBadToGood are the per-attempt transition
+	// probabilities. Mean bad-run length is 1/PBadToGood attempts.
+	PGoodToBad float64 `json:"p_good_to_bad"`
+	PBadToGood float64 `json:"p_bad_to_good"`
+	LossGood   float64 `json:"loss_good,omitempty"`
+	LossBad    float64 `json:"loss_bad"`
+}
+
+// Plan is a complete, immutable fault schedule. The zero Plan injects
+// nothing; a nil *Plan disables the fault plane entirely.
+type Plan struct {
+	Name      string           `json:"name,omitempty"`
+	Outages   []CellOutage     `json:"outages,omitempty"`
+	Signaling []SignalingFault `json:"signaling,omitempty"`
+	CSI       []CSIFault       `json:"csi,omitempty"`
+	Bursts    []Burst          `json:"bursts,omitempty"`
+}
+
+// Empty reports whether the plan schedules no faults at all.
+func (p *Plan) Empty() bool {
+	return p == nil ||
+		len(p.Outages) == 0 && len(p.Signaling) == 0 && len(p.CSI) == 0 && len(p.Bursts) == 0
+}
+
+func checkWindow(what string, i int, start, end float64) error {
+	if start < 0 || end <= start {
+		return fmt.Errorf("fault: %s[%d]: bad window [%g, %g]", what, i, start, end)
+	}
+	return nil
+}
+
+func checkProb(what string, i int, name string, p float64) error {
+	if p < 0 || p > 1 {
+		return fmt.Errorf("fault: %s[%d]: %s = %g outside [0, 1]", what, i, name, p)
+	}
+	return nil
+}
+
+// Validate checks every window and probability in the plan.
+func (p *Plan) Validate() error {
+	if p == nil {
+		return nil
+	}
+	for i, o := range p.Outages {
+		if err := checkWindow("outages", i, o.Start, o.End); err != nil {
+			return err
+		}
+		if o.Cell < AllCells {
+			return fmt.Errorf("fault: outages[%d]: bad cell %d", i, o.Cell)
+		}
+	}
+	for i, s := range p.Signaling {
+		if err := checkWindow("signaling", i, s.Start, s.End); err != nil {
+			return err
+		}
+		switch s.Kind {
+		case "", "report", "command":
+		default:
+			return fmt.Errorf("fault: signaling[%d]: unknown kind %q", i, s.Kind)
+		}
+		if err := checkProb("signaling", i, "drop_prob", s.DropProb); err != nil {
+			return err
+		}
+		if err := checkProb("signaling", i, "corrupt_prob", s.CorruptProb); err != nil {
+			return err
+		}
+		if s.DelaySec < 0 {
+			return fmt.Errorf("fault: signaling[%d]: negative delay %g", i, s.DelaySec)
+		}
+	}
+	for i, c := range p.CSI {
+		if err := checkWindow("csi", i, c.Start, c.End); err != nil {
+			return err
+		}
+		if c.Mode != "stale" && c.Mode != "zero" {
+			return fmt.Errorf("fault: csi[%d]: unknown mode %q", i, c.Mode)
+		}
+	}
+	for i, b := range p.Bursts {
+		if err := checkWindow("bursts", i, b.Start, b.End); err != nil {
+			return err
+		}
+		for _, pr := range []struct {
+			name string
+			v    float64
+		}{
+			{"p_good_to_bad", b.PGoodToBad}, {"p_bad_to_good", b.PBadToGood},
+			{"loss_good", b.LossGood}, {"loss_bad", b.LossBad},
+		} {
+			if err := checkProb("bursts", i, pr.name, pr.v); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Parse unmarshals and validates a JSON plan.
+func Parse(data []byte) (*Plan, error) {
+	var p Plan
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("fault: parse plan: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// Load reads and validates a JSON plan file.
+func Load(path string) (*Plan, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("fault: load plan: %w", err)
+	}
+	p, err := Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("fault: %s: %w", path, err)
+	}
+	return p, nil
+}
+
+// GenSpec parameterizes Generate. Zero-valued rates disable that fault
+// class; every rate is a mean spacing in simulated seconds (windows are
+// scattered with exponential gaps, the same idiom the trace package
+// uses for coverage holes).
+type GenSpec struct {
+	DurationSec float64 // required: schedule horizon
+
+	// Cells lists the cell IDs outages may hit (round-robin through a
+	// deterministic shuffle). Empty with OutageEverySec > 0 means every
+	// outage is a full blackout (AllCells).
+	Cells           []int
+	OutageEverySec  float64 // mean spacing between outages
+	OutageLenSec    [2]float64
+	BurstEverySec   float64 // mean spacing between Gilbert–Elliott windows
+	BurstLenSec     [2]float64
+	PGoodToBad      float64 // chain parameters for generated bursts
+	PBadToGood      float64
+	LossBad         float64
+	CSIEverySec     float64 // mean spacing between CSI fault windows
+	CSILenSec       [2]float64
+	CSIZeroFraction float64 // fraction of CSI windows that zero (rest stale)
+}
+
+// Generate derives a random plan from the run's stream factory — the
+// schedule depends only on (master seed, spec), so a generated plan is
+// as reproducible as a committed JSON file. Draws come from the
+// dedicated "fault.plan" stream and never perturb any other consumer.
+func Generate(streams *sim.Streams, spec GenSpec) (*Plan, error) {
+	if spec.DurationSec <= 0 {
+		return nil, fmt.Errorf("fault: generate: non-positive duration")
+	}
+	rng := streams.Stream("fault.plan")
+	p := &Plan{Name: "generated"}
+	winLen := func(lo, hi float64) float64 {
+		if hi <= lo {
+			return lo
+		}
+		return rng.Uniform(lo, hi)
+	}
+	if spec.OutageEverySec > 0 {
+		x := rng.Exp(spec.OutageEverySec)
+		for i := 0; x < spec.DurationSec; i++ {
+			cell := AllCells
+			if len(spec.Cells) > 0 {
+				cell = spec.Cells[rng.Intn(len(spec.Cells))]
+			}
+			l := winLen(spec.OutageLenSec[0], spec.OutageLenSec[1])
+			p.Outages = append(p.Outages, CellOutage{Cell: cell, Start: x, End: x + l})
+			x += l + rng.Exp(spec.OutageEverySec)
+		}
+	}
+	if spec.BurstEverySec > 0 {
+		x := rng.Exp(spec.BurstEverySec)
+		for x < spec.DurationSec {
+			l := winLen(spec.BurstLenSec[0], spec.BurstLenSec[1])
+			p.Bursts = append(p.Bursts, Burst{
+				Start: x, End: x + l,
+				PGoodToBad: spec.PGoodToBad, PBadToGood: spec.PBadToGood,
+				LossBad: spec.LossBad,
+			})
+			x += l + rng.Exp(spec.BurstEverySec)
+		}
+	}
+	if spec.CSIEverySec > 0 {
+		x := rng.Exp(spec.CSIEverySec)
+		for x < spec.DurationSec {
+			mode := "stale"
+			if rng.Bool(spec.CSIZeroFraction) {
+				mode = "zero"
+			}
+			l := winLen(spec.CSILenSec[0], spec.CSILenSec[1])
+			p.CSI = append(p.CSI, CSIFault{Start: x, End: x + l, Mode: mode})
+			x += l + rng.Exp(spec.CSIEverySec)
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

@@ -1,0 +1,177 @@
+package fault
+
+import (
+	"rem/internal/sim"
+)
+
+// Verdict is the transport-level outcome the injector imposes on one
+// signaling delivery, composed on top of whatever the PHY decided.
+type Verdict struct {
+	// Drop loses the message outright.
+	Drop bool
+	// Corrupt garbles the encoded message (the caller round-trips it
+	// through the RRC codec with flipped bits to decide survivability).
+	Corrupt bool
+	// ExtraDelay is added transport latency in seconds.
+	ExtraDelay float64
+}
+
+// Injector is the runtime half of the fault plane: one per run (or per
+// UE in a fleet), owning a private RNG stream derived from that run's
+// stream factory. It is deliberately not safe for concurrent use — the
+// mobility engine queries it from the run's single stepping goroutine,
+// which is exactly what keeps fault outcomes schedule-independent.
+type Injector struct {
+	plan *Plan
+	rng  *sim.RNG
+
+	// Gilbert–Elliott chain state: which burst window we are inside
+	// (index into plan.Bursts, -1 when outside all) and the current
+	// chain state. Entering a window resets the chain to good.
+	burstIdx int
+	bad      bool
+
+	// Injection counters for observability (read after the run).
+	Dropped, Corrupted, Delayed int
+}
+
+// NewInjector builds the runtime injector for a plan. A nil or empty
+// plan yields a nil injector; every query method is nil-safe, so
+// callers thread the injector through unconditionally.
+func NewInjector(plan *Plan, rng *sim.RNG) *Injector {
+	if plan.Empty() {
+		return nil
+	}
+	return &Injector{plan: plan, rng: rng, burstIdx: -1}
+}
+
+// Plan returns the schedule this injector executes (nil-safe).
+func (in *Injector) Plan() *Plan {
+	if in == nil {
+		return nil
+	}
+	return in.plan
+}
+
+// CellDown reports whether the cell is inside a scheduled outage
+// window at time t. It draws no randomness, so it is safe to call any
+// number of times per tick.
+func (in *Injector) CellDown(cell int, t float64) bool {
+	if in == nil {
+		return false
+	}
+	for _, o := range in.plan.Outages {
+		if t >= o.Start && t < o.End && (o.Cell == AllCells || o.Cell == cell) {
+			return true
+		}
+	}
+	return false
+}
+
+// CSIMode reports the cross-band CSI health at time t. Overlapping
+// windows resolve in plan order (first match wins); no randomness.
+func (in *Injector) CSIMode(t float64) CSIMode {
+	if in == nil {
+		return CSIHealthy
+	}
+	for _, c := range in.plan.CSI {
+		if t >= c.Start && t < c.End {
+			if c.Mode == "zero" {
+				return CSIZero
+			}
+			return CSIStale
+		}
+	}
+	return CSIHealthy
+}
+
+// Signaling imposes the plan on one signaling delivery attempt at time
+// t. It advances the Gilbert–Elliott chain once per call when t is
+// inside a burst window (the chain is message-clocked, the standard
+// packet-level formulation), then applies any scheduled signaling
+// window matching the message kind. The RNG draw sequence depends only
+// on the query sequence, which the single-goroutine contract pins.
+func (in *Injector) Signaling(t float64, kind MsgKind) Verdict {
+	var v Verdict
+	if in == nil {
+		return v
+	}
+	// Burst (Gilbert–Elliott) gate.
+	if i := in.burstAt(t); i >= 0 {
+		b := in.plan.Bursts[i]
+		if i != in.burstIdx {
+			in.burstIdx = i
+			in.bad = false // windows open in the good state
+		}
+		if in.bad {
+			if in.rng.Bool(b.PBadToGood) {
+				in.bad = false
+			}
+		} else if in.rng.Bool(b.PGoodToBad) {
+			in.bad = true
+		}
+		loss := b.LossGood
+		if in.bad {
+			loss = b.LossBad
+		}
+		if loss > 0 && in.rng.Bool(loss) {
+			v.Drop = true
+		}
+	} else {
+		in.burstIdx = -1
+	}
+	// Scheduled signaling windows.
+	for _, s := range in.plan.Signaling {
+		if t < s.Start || t >= s.End {
+			continue
+		}
+		if s.Kind != "" && s.Kind != kind.String() {
+			continue
+		}
+		if !v.Drop && s.DropProb > 0 && in.rng.Bool(s.DropProb) {
+			v.Drop = true
+		}
+		if s.CorruptProb > 0 && in.rng.Bool(s.CorruptProb) {
+			v.Corrupt = true
+		}
+		if s.DelaySec > v.ExtraDelay {
+			v.ExtraDelay = s.DelaySec
+		}
+	}
+	switch {
+	case v.Drop:
+		v.Corrupt = false // a dropped message cannot also be garbled
+		in.Dropped++
+	case v.Corrupt:
+		in.Corrupted++
+	}
+	if !v.Drop && v.ExtraDelay > 0 {
+		in.Delayed++
+	}
+	return v
+}
+
+func (in *Injector) burstAt(t float64) int {
+	for i, b := range in.plan.Bursts {
+		if t >= b.Start && t < b.End {
+			return i
+		}
+	}
+	return -1
+}
+
+// CorruptBits flips a small random number of bits (1–3) of an encoded
+// RRC message in place and returns it. The bit-per-byte convention
+// matches rem/internal/rrc, so the caller can attempt a decode of the
+// garbled message and count it lost if the codec rejects it or the
+// content changed.
+func (in *Injector) CorruptBits(bits []byte) []byte {
+	if in == nil || len(bits) == 0 {
+		return bits
+	}
+	n := 1 + in.rng.Intn(3)
+	for k := 0; k < n; k++ {
+		bits[in.rng.Intn(len(bits))] ^= 1
+	}
+	return bits
+}

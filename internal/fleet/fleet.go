@@ -26,6 +26,7 @@ import (
 
 	"rem/internal/core"
 	"rem/internal/eval"
+	"rem/internal/fault"
 	"rem/internal/mobility"
 	"rem/internal/par"
 	"rem/internal/trace"
@@ -64,6 +65,10 @@ type Spec struct {
 	// trace.FleetConfig); zero selects the defaults.
 	StartSpreadM    float64 `json:"start_spread_m,omitempty"`
 	SpeedJitterFrac float64 `json:"speed_jitter_frac,omitempty"`
+	// Faults arms the deterministic fault plane for every UE: the
+	// schedule (outages, CSI windows) is shared fleet-wide, injection
+	// randomness comes from each UE's private stream.
+	Faults *fault.Plan `json:"faults,omitempty"`
 }
 
 func (s Spec) withDefaults() Spec {
@@ -86,6 +91,9 @@ func (s Spec) Validate() error {
 	}
 	if s.DurationSec <= 0 {
 		return fmt.Errorf("fleet: non-positive duration %g", s.DurationSec)
+	}
+	if err := s.Faults.Validate(); err != nil {
+		return err
 	}
 	return nil
 }
@@ -156,6 +164,7 @@ func newEngine(spec Spec) (*engine, error) {
 			Mode:     spec.Mode,
 			Duration: spec.DurationSec,
 			Seed:     spec.Seed,
+			Faults:   spec.Faults,
 		},
 		StartSpreadM:    spec.StartSpreadM,
 		SpeedJitterFrac: spec.SpeedJitterFrac,

@@ -7,7 +7,9 @@ import (
 	"reflect"
 	"testing"
 
+	"rem/internal/fault"
 	"rem/internal/mobility"
+	"rem/internal/par"
 	"rem/internal/trace"
 )
 
@@ -218,5 +220,111 @@ func TestSummarizeResultsShape(t *testing.T) {
 	}
 	if len(sum.PerUE) != 2 || sum.PerUE[0].Seed == sum.PerUE[1].Seed {
 		t.Fatalf("per-UE seeds not distinct: %+v", sum.PerUE)
+	}
+}
+
+// TestFleetEpochWorkerPanicSurvives proves the serving-robustness
+// contract: a panic inside one UE's epoch step surfaces as an error
+// carrying the stack — it does not kill the process — and the engine
+// is immediately reusable for a healthy run.
+func TestFleetEpochWorkerPanicSurvives(t *testing.T) {
+	spec := Spec{
+		UEs: 8, Dataset: trace.BeijingTaiyuan, Mode: trace.Legacy,
+		SpeedKmh: 300, DurationSec: 3, Seed: 3, Workers: 4,
+	}
+	stepHook = func(ue int) {
+		if ue == 5 {
+			panic("injected epoch-worker fault")
+		}
+	}
+	defer func() { stepHook = nil }()
+	_, err := Run(context.Background(), spec)
+	var pe *par.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("got %T (%v), want *par.PanicError", err, err)
+	}
+	if pe.Value != "injected epoch-worker fault" {
+		t.Errorf("PanicError.Value = %v", pe.Value)
+	}
+	if len(pe.Stack) == 0 {
+		t.Error("PanicError.Stack is empty")
+	}
+
+	// The same process must run the next fleet cleanly.
+	stepHook = nil
+	res, err := Run(context.Background(), spec)
+	if err != nil {
+		t.Fatalf("healthy run after panic failed: %v", err)
+	}
+	if res.Summary.Handovers == 0 {
+		t.Error("healthy run produced no handovers")
+	}
+
+	// And the faulty run must not have poisoned determinism: a repeat
+	// matches byte for byte.
+	res2, err := Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(res.Summary)
+	b, _ := json.Marshal(res2.Summary)
+	if string(a) != string(b) {
+		t.Error("summaries differ across identical runs after a panic")
+	}
+}
+
+// TestFleetFaultPlanDeterminism: a fault-armed fleet must stay
+// byte-identical across worker counts, and the plan must actually
+// inject (non-zero fault losses).
+func TestFleetFaultPlanDeterminism(t *testing.T) {
+	plan := &fault.Plan{
+		Bursts: []fault.Burst{{Start: 0.5, End: 3.5, PGoodToBad: 0.4, PBadToGood: 0.2, LossBad: 0.95}},
+		Signaling: []fault.SignalingFault{
+			{Start: 0, End: 4, DropProb: 0.2, CorruptProb: 0.2, DelaySec: 0.02},
+		},
+	}
+	var got []string
+	var losses int
+	for _, workers := range []int{1, 8} {
+		res, err := Run(context.Background(), Spec{
+			UEs: 24, Dataset: trace.BeijingShanghai, Mode: trace.REM,
+			SpeedKmh: 330, DurationSec: 4, Seed: 11, Workers: workers,
+			Faults: plan,
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		js, _ := json.Marshal(res)
+		got = append(got, string(js))
+		losses = res.Summary.FaultLosses
+	}
+	if got[0] != got[1] {
+		t.Fatal("fault-armed fleet differs across worker counts")
+	}
+	if losses == 0 {
+		t.Error("fault plan injected no losses")
+	}
+}
+
+// TestFleetFaultsDisarmedIdentical: Spec.Faults = nil and an empty
+// plan must both reproduce the unfaulted fleet byte for byte.
+func TestFleetFaultsDisarmedIdentical(t *testing.T) {
+	spec := Spec{
+		UEs: 10, Dataset: trace.BeijingTaiyuan, Mode: trace.Legacy,
+		SpeedKmh: 300, DurationSec: 3, Seed: 5,
+	}
+	base, err := Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Faults = &fault.Plan{Name: "empty"}
+	empty, err := Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(base)
+	b, _ := json.Marshal(empty)
+	if string(a) != string(b) {
+		t.Fatal("empty fault plan changed the fleet output")
 	}
 }

@@ -67,10 +67,20 @@ func newSession(e *engine, ue int) (*session, error) {
 	return s, nil
 }
 
+// stepHook, when non-nil, runs before each session step. It exists so
+// tests can inject a failure into an epoch worker and prove the panic
+// surfaces as an error instead of killing the process.
+var stepHook func(ue int)
+
 // stepTo advances the session to simulated time t (exclusive of later
 // ticks). Runs on a pool worker; touches only session-local state plus
 // the engine's frozen load snapshot.
-func (s *session) stepTo(t float64) { s.runner.StepTo(t) }
+func (s *session) stepTo(t float64) {
+	if stepHook != nil {
+		stepHook(s.ue)
+	}
+	s.runner.StepTo(t)
+}
 
 // drainEvents converts everything the last epoch appended to the
 // result into fleet events, in time order, and marks it consumed.

@@ -65,6 +65,10 @@ type Summary struct {
 	HOIntervalSec        float64        `json:"avg_handover_interval_sec"`
 	MeanFeedbackDelaySec float64        `json:"mean_feedback_delay_sec"`
 	Causes               map[string]int `json:"failure_causes"`
+	// FaultLosses counts signaling messages lost to injected transport
+	// faults (drop + fatal corruption), fleet-wide. Omitted when the
+	// fault plane is disarmed, keeping legacy summaries byte-identical.
+	FaultLosses int `json:"fault_losses,omitempty"`
 
 	PerUE []UEStat   `json:"per_ue"`
 	Cells []CellStat `json:"cells,omitempty"`
@@ -127,6 +131,7 @@ func summarize(spec Spec, results []*mobility.Result, seedOf func(int) int64) *S
 			delaySum += d
 			delayN++
 		}
+		sum.FaultLosses += res.FaultLosses()
 	}
 	if events := sum.Handovers + sum.Failures; events > 0 {
 		sum.FailureRatio = float64(sum.Failures) / float64(events)

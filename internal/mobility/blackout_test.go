@@ -1,8 +1,29 @@
 package mobility
 
 import (
+	"reflect"
 	"testing"
+
+	"rem/internal/fault"
+	"rem/internal/ran"
+	"rem/internal/sim"
 )
+
+// armFaults wires an injector into a hand-built scenario the same way
+// trace.Build does: outage hook on the radio env, CSI hook on the
+// cross-band estimator, signaling verdicts on the runner.
+func armFaults(t *testing.T, sc *Scenario, streams *sim.Streams, plan *fault.Plan) {
+	t.Helper()
+	if err := plan.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	inj := fault.NewInjector(plan, streams.Stream("fault.injector"))
+	sc.Env.CellDown = inj.CellDown
+	if sc.MeasCfg.CrossBand {
+		sc.MeasCfg.CSIFault = inj.CSIMode
+	}
+	sc.Faults = inj
+}
 
 // TestSignalingBlackout injects a near-total signaling blackout (the
 // radio edge pushed far below the deliverable range) and checks the
@@ -54,6 +75,96 @@ func TestHOInterruptionOutagesRecorded(t *testing.T) {
 	}
 	if short < len(res.Handovers) {
 		t.Fatalf("%d handovers but only %d interruption outages", len(res.Handovers), short)
+	}
+}
+
+// TestFaultHooksLegacyAndREM drives the injected-signaling-loss hooks
+// under both measurement policies: the same fault plan must produce
+// counted losses and a no-worse-is-better degradation relative to the
+// clean run, deterministically per seed.
+func TestFaultHooksLegacyAndREM(t *testing.T) {
+	plan := &fault.Plan{
+		Name: "blackout-signaling",
+		Signaling: []fault.SignalingFault{
+			{Start: 10, End: 140, DropProb: 0.5, CorruptProb: 0.3},
+			{Start: 10, End: 140, Kind: "command", DropProb: 0.5},
+		},
+	}
+	for _, tc := range []struct {
+		name string
+		cfg  ran.MeasConfig
+	}{
+		{"legacy", ran.DefaultLegacyMeasConfig()},
+		{"rem", ran.DefaultREMMeasConfig()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			clean, streams := twoCellScenario(t, 40, 3, 3)
+			clean.MeasCfg = tc.cfg
+			cleanRes, err := Run(streams, clean)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cleanRes.FaultLosses() != 0 {
+				t.Fatalf("clean run counted %d fault losses", cleanRes.FaultLosses())
+			}
+
+			faulted, fstreams := twoCellScenario(t, 40, 3, 3)
+			faulted.MeasCfg = tc.cfg
+			armFaults(t, faulted, fstreams, plan)
+			res, err := Run(fstreams, faulted)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.FaultLosses() == 0 {
+				t.Fatal("50% signaling loss over 130s injected nothing")
+			}
+			if got := res.ReportsFaultDropped + res.ReportsCorrupted; got == 0 {
+				t.Fatal("no report-plane losses under a report fault window")
+			}
+			total := len(res.Handovers) + len(res.Failures)
+			if total == 0 {
+				t.Fatal("faulted run attempted no mobility at all")
+			}
+
+			// Same seed, same plan: the faulted run reproduces exactly.
+			again, astreams := twoCellScenario(t, 40, 3, 3)
+			again.MeasCfg = tc.cfg
+			armFaults(t, again, astreams, plan)
+			res2, err := Run(astreams, again)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(res.Handovers, res2.Handovers) ||
+				res.FaultLosses() != res2.FaultLosses() {
+				t.Fatal("identical seed+plan produced different faulted results")
+			}
+		})
+	}
+}
+
+// TestFaultOutageWindowDetaches schedules an all-cells outage window
+// mid-run and checks the radio hook actually takes the air interface
+// away: the UE's recorded outage time must cover the window.
+func TestFaultOutageWindowDetaches(t *testing.T) {
+	plan := &fault.Plan{
+		Name:    "blackout-outage",
+		Outages: []fault.CellOutage{{Cell: fault.AllCells, Start: 60, End: 75}},
+	}
+	sc, streams := twoCellScenario(t, 41, 3, 3)
+	armFaults(t, sc, streams, plan)
+	res, err := Run(streams, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var outageTime float64
+	for _, o := range res.Outages {
+		outageTime += o.Duration
+	}
+	if outageTime < 10 {
+		t.Fatalf("15s all-cells outage window reflected as only %.1fs of outage", outageTime)
+	}
+	if len(res.Failures) == 0 {
+		t.Fatal("losing every cell mid-run caused no radio link failure")
 	}
 }
 

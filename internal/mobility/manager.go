@@ -13,9 +13,11 @@ import (
 	"fmt"
 	"sort"
 
+	"rem/internal/fault"
 	"rem/internal/geo"
 	"rem/internal/policy"
 	"rem/internal/ran"
+	"rem/internal/rrc"
 	"rem/internal/sim"
 )
 
@@ -123,6 +125,13 @@ type Scenario struct {
 	// deterministic for a given (t, serving, cands) to preserve the
 	// byte-determinism contract.
 	SelectTarget func(t float64, serving int, cands []Candidate) (target int, ok bool)
+	// Faults is the run's fault injector (nil = no fault plane). The
+	// runner consults it on every signaling delivery (transport-level
+	// drop/delay/corruption on top of the PHY outcome); cell outages
+	// and CSI faults from the same injector are wired into the
+	// RadioEnv and MeasConfig hooks by the scenario builder. The
+	// injector is owned by this scenario's single stepping goroutine.
+	Faults *fault.Injector
 }
 
 // Result aggregates everything the evaluation needs.
@@ -158,6 +167,18 @@ type Result struct {
 	ReportsDelivered, ReportsLost int
 	// CmdsDelivered / CmdsLost count handover command outcomes.
 	CmdsDelivered, CmdsLost int
+	// Injected-fault accounting (all zero without a fault plane).
+	// Transport drops and corruptions are also counted in the
+	// corresponding Lost totals above; these break out the share the
+	// injector caused rather than the PHY.
+	ReportsFaultDropped, ReportsCorrupted int
+	CmdsFaultDropped, CmdsCorrupted       int
+}
+
+// FaultLosses returns the total signaling losses the fault plane
+// injected (transport drops plus corruptions fatal to the codec).
+func (r *Result) FaultLosses() int {
+	return r.ReportsFaultDropped + r.ReportsCorrupted + r.CmdsFaultDropped + r.CmdsCorrupted
 }
 
 // HandoverCount returns the number of executed handovers.
@@ -408,6 +429,23 @@ func (r *Runner) tick(t float64) {
 		}
 		res.CmdFirstBLER = append(res.CmdFirstBLER, del.FirstBLER)
 		res.CmdBLERAt = append(res.CmdBLERAt, t)
+		// Transport-level injected faults compose on top of the PHY
+		// outcome: a command must survive both.
+		if del.OK && sc.Faults != nil {
+			switch v := sc.Faults.Signaling(t, fault.MsgCommand); {
+			case v.Drop:
+				del.OK = false
+				res.CmdsFaultDropped++
+			case v.Corrupt && !r.commandSurvivesCorruption(r.cmd.target):
+				del.OK = false
+				res.CmdsCorrupted++
+			case v.ExtraDelay > 0:
+				// Transport delay: the command arrives later; retry
+				// this delivery once the extra latency has elapsed.
+				r.cmd.sendAt = t + v.ExtraDelay
+				return
+			}
+		}
 		if del.OK {
 			res.CmdsDelivered++
 			r.connectTo(t, r.cmd.target, r.cmd.trigger, snap)
@@ -439,6 +477,18 @@ func (r *Runner) tick(t float64) {
 	}
 	res.FeedbackFirstBLER = append(res.FeedbackFirstBLER, del.FirstBLER)
 	res.FeedbackBLERAt = append(res.FeedbackBLERAt, t)
+	if del.OK && sc.Faults != nil {
+		switch v := sc.Faults.Signaling(t, fault.MsgReport); {
+		case v.Drop:
+			del.OK = false
+			res.ReportsFaultDropped++
+		case v.Corrupt && !r.reportSurvivesCorruption(best.CellID, best.Metric):
+			del.OK = false
+			res.ReportsCorrupted++
+		default:
+			del.Delay += v.ExtraDelay
+		}
+	}
 	if !del.OK {
 		res.ReportsLost++
 		return
@@ -488,6 +538,61 @@ func (r *Runner) tick(t float64) {
 			}
 		}
 	}
+}
+
+// cmdConfigWords is the representative RRCConnectionReconfiguration
+// payload used when round-tripping an injected-corruption command.
+const cmdConfigWords = 20
+
+// reportSurvivesCorruption round-trips the delivered measurement report
+// through the RRC codec with injector-flipped bits. The report survives
+// only when the garbled bits decode back to the identical message — the
+// codec-level stand-in for an integrity check (flips that cancel out
+// leave the message intact; anything else is rejected by the receiver).
+func (r *Runner) reportSurvivesCorruption(cellID int, metric float64) bool {
+	msg := &rrc.MeasurementReport{
+		Serving: rrc.MeasEntry{CellID: uint16(r.serving)},
+		Entries: []rrc.MeasEntry{{CellID: uint16(cellID), Value: metric}},
+	}
+	return survivesCorruption(r.sc.Faults, msg)
+}
+
+// commandSurvivesCorruption is the downlink twin: a handover command
+// with a representative configuration block.
+func (r *Runner) commandSurvivesCorruption(target int) bool {
+	msg := &rrc.HandoverCommand{
+		TargetCell:  uint16(target),
+		ConfigWords: make([]uint16, cmdConfigWords),
+	}
+	return survivesCorruption(r.sc.Faults, msg)
+}
+
+type rrcEncoder interface{ Encode() ([]byte, error) }
+
+func survivesCorruption(inj *fault.Injector, msg rrcEncoder) bool {
+	orig, err := msg.Encode()
+	if err != nil {
+		return true // cannot model corruption; treat transport as clean
+	}
+	garbled := inj.CorruptBits(append([]byte(nil), orig...))
+	dec, err := rrc.Decode(garbled)
+	if err != nil {
+		return false
+	}
+	enc, ok := dec.(rrcEncoder)
+	if !ok {
+		return false
+	}
+	re, err := enc.Encode()
+	if err != nil || len(re) != len(orig) {
+		return false
+	}
+	for i := range re {
+		if re[i] != orig[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // StepTo processes every tick with simulated time <= t (and within the

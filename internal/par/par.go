@@ -12,10 +12,42 @@ package par
 
 import (
 	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
+
+// PanicError is a worker panic converted into an error: one item's
+// panic must not tear down the process (a serving layer runs many
+// independent evaluations in one address space), so the pool recovers
+// it, captures the stack, and reports it through the normal error path
+// with the same smallest-index determinism as ordinary errors.
+type PanicError struct {
+	// Index is the work item whose fn panicked.
+	Index int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack at recovery time.
+	Stack []byte
+}
+
+// Error formats the panic with its origin; the full stack is carried
+// separately in Stack.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("par: item %d panicked: %v", e.Index, e.Value)
+}
+
+// guard invokes fn(worker, i), converting a panic into a *PanicError.
+func guard(fn func(worker, i int) error, worker, i int) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Index: i, Value: v, Stack: debug.Stack()}
+		}
+	}()
+	return fn(worker, i)
+}
 
 // Workers normalizes a configured pool width: n <= 0 selects
 // runtime.GOMAXPROCS(0) (all available cores), any positive n is used
@@ -82,7 +114,7 @@ func ForEachWorkerCtx(ctx context.Context, workers, n int, fn func(worker, i int
 			if canceled() {
 				return ctx.Err()
 			}
-			if err := fn(0, i); err != nil {
+			if err := guard(fn, 0, i); err != nil {
 				return err
 			}
 		}
@@ -103,7 +135,7 @@ func ForEachWorkerCtx(ctx context.Context, workers, n int, fn func(worker, i int
 				if i >= n {
 					return
 				}
-				errs[i] = fn(w, i)
+				errs[i] = guard(fn, w, i)
 			}
 		}(w)
 	}

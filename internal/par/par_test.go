@@ -5,8 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestWorkers(t *testing.T) {
@@ -184,5 +186,90 @@ func TestIndexedMapError(t *testing.T) {
 	})
 	if err == nil || out != nil {
 		t.Fatalf("expected error and nil slice, got %v %v", out, err)
+	}
+}
+
+func TestPanicRecoveredIntoError(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int32
+		err := ForEach(workers, 16, func(i int) error {
+			ran.Add(1)
+			if i == 6 {
+				panic(fmt.Sprintf("worker bug %d", i))
+			}
+			return nil
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: got %T (%v), want *PanicError", workers, err, err)
+		}
+		if pe.Index != 6 {
+			t.Errorf("workers=%d: PanicError.Index = %d, want 6", workers, pe.Index)
+		}
+		if pe.Value != "worker bug 6" {
+			t.Errorf("workers=%d: PanicError.Value = %v", workers, pe.Value)
+		}
+		if len(pe.Stack) == 0 || !strings.Contains(string(pe.Stack), "par.guard") {
+			t.Errorf("workers=%d: PanicError.Stack missing or lacks recovery frame", workers)
+		}
+		if !strings.Contains(pe.Error(), "item 6 panicked") {
+			t.Errorf("workers=%d: Error() = %q", workers, pe.Error())
+		}
+		if workers > 1 && ran.Load() != 16 {
+			// Pooled path: one item's panic must not stop the others
+			// (the everything-runs contract ordinary errors obey).
+			t.Errorf("workers=%d: only %d/16 items ran after a panic", workers, ran.Load())
+		}
+	}
+}
+
+func TestPanicSmallestIndexDeterministic(t *testing.T) {
+	// Multiple panicking items: like ordinary errors, the reported
+	// panic must be the smallest-index one on every schedule.
+	for trial := 0; trial < 20; trial++ {
+		err := ForEach(8, 64, func(i int) error {
+			if i%9 == 4 {
+				panic(i)
+			}
+			return nil
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) || pe.Index != 4 {
+			t.Fatalf("trial %d: got %v, want PanicError at index 4", trial, err)
+		}
+	}
+}
+
+func TestPanicDoesNotLeakGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for trial := 0; trial < 8; trial++ {
+		_ = ForEach(8, 32, func(i int) error {
+			if i%3 == 0 {
+				panic("recurring failure")
+			}
+			return nil
+		})
+	}
+	// Workers exit through wg.Done() even when items panic; give the
+	// scheduler a moment to retire them before counting.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Fatalf("goroutine leak: %d before, %d after", before, after)
+	}
+}
+
+func TestIndexedMapPanic(t *testing.T) {
+	out, err := IndexedMap(4, 10, func(i int) (int, error) {
+		if i == 2 {
+			panic("mapper bug")
+		}
+		return i, nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) || out != nil {
+		t.Fatalf("got (%v, %v), want (nil, *PanicError)", out, err)
 	}
 }

@@ -3,6 +3,7 @@ package ran
 import (
 	"sort"
 
+	"rem/internal/fault"
 	"rem/internal/policy"
 	"rem/internal/sim"
 )
@@ -49,6 +50,13 @@ type MeasConfig struct {
 	// measurements stay clean (the stable h(τ,ν) of Appendix A), which
 	// is the paper's core reliability argument.
 	MeasNoiseStdDB float64
+	// CSIFault, when non-nil, is the fault plane's cross-band CSI hook:
+	// fault.CSIStale freezes sibling-band estimates at their last value
+	// (decisions run on outdated CSI), fault.CSIZero collapses them to
+	// the noise floor (inter-band cells effectively vanish from the
+	// policy input). Direct anchor measurements are real radio reads
+	// and stay unaffected. The hook must be deterministic in t.
+	CSIFault func(t float64) fault.CSIMode
 }
 
 // DefaultLegacyMeasConfig returns the operator-flavored legacy schedule.
@@ -268,6 +276,12 @@ func (e *MeasEngine) visit(t float64, snap map[int]CellRadio) {
 	e.firstTick = false
 }
 
+// csiZeroFloorDB is what a zeroed cross-band estimate reads as: the
+// estimator returned an all-zero channel, so the inferred sibling
+// metric collapses to the measurement floor, far below any connect or
+// trigger threshold.
+const csiZeroFloorDB = -40
+
 // visitCrossBand measures one cell per base station and estimates its
 // co-sited siblings (paper §5.2/§6): intra-frequency anchor when
 // available, otherwise the strongest cell of the site.
@@ -277,6 +291,10 @@ func (e *MeasEngine) visitCrossBand(t float64, snap map[int]CellRadio, servingCh
 	}
 	e.lastIntra = t
 	e.firstTick = false
+	csi := fault.CSIHealthy
+	if e.Cfg.CSIFault != nil {
+		csi = e.Cfg.CSIFault(t)
+	}
 	for _, bs := range e.Dep.BSs {
 		// Pick the anchor: intra-frequency cell if the site has one
 		// visible, else the first visible cell.
@@ -304,6 +322,17 @@ func (e *MeasEngine) visitCrossBand(t float64, snap map[int]CellRadio, servingCh
 			}
 			scr, ok := snap[sib.ID]
 			if !ok {
+				continue
+			}
+			switch csi {
+			case fault.CSIStale:
+				// Estimates freeze: the stored sibling value (if any)
+				// keeps feeding the policy until the window passes.
+				continue
+			case fault.CSIZero:
+				// Zeroed estimator output: bypass the L3 filter so the
+				// inferred metric slams to the floor immediately.
+				e.values[sib.ID] = measValue{metric: csiZeroFloorDB, measuredAt: t, valid: true}
 				continue
 			}
 			// Cross-band estimate: true sibling metric plus the

@@ -96,6 +96,15 @@ type RadioEnv struct {
 	Dep *Deployment
 	Cfg RadioConfig
 
+	// CellDown, when non-nil, is the fault plane's scheduled-outage
+	// hook: a cell reported down at time t is omitted from snapshots
+	// entirely (clients can neither measure nor connect to it), and its
+	// fading process freezes until it restarts. The hook must be
+	// deterministic in (cell, t) and draw no randomness — it is
+	// consulted before any RNG advance so that a nil hook and a
+	// hook returning false produce identical draw sequences.
+	CellDown func(cell int, t float64) bool
+
 	cells []cellRadioState
 	snap  map[int]CellRadio // reused across Snapshot calls
 	rng   *sim.RNG
@@ -196,6 +205,9 @@ func (e *RadioEnv) Snapshot(pos geo.Point, t float64) map[int]CellRadio {
 	for i := range e.cells {
 		st := &e.cells[i]
 		c := st.cell
+		if e.CellDown != nil && e.CellDown(c.ID, t) {
+			continue
+		}
 		d := pos.Distance(c.BS.Pos)
 		pl := e.Cfg.PathLoss.DistTermDB(d) + st.freqTerm
 		sh := st.shadow.At(pos.X) + st.cellSh.At(pos.X)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"rem/internal/chanmodel"
+	"rem/internal/fault"
 	"rem/internal/geo"
 	"rem/internal/mobility"
 	"rem/internal/policy"
@@ -52,6 +53,9 @@ func BuildFleetShared(cfg FleetConfig) (*Shared, error) {
 	}
 	if cfg.SpeedJitterFrac < 0 || cfg.SpeedJitterFrac >= 1 {
 		return nil, fmt.Errorf("trace: speed jitter %g outside [0, 1)", cfg.SpeedJitterFrac)
+	}
+	if err := cfg.Faults.Validate(); err != nil {
+		return nil, err
 	}
 	ds := cfg.Dataset
 	if cfg.StartSpreadM == 0 {
@@ -125,6 +129,19 @@ func (s *Shared) BuildUE(ue int) (*Built, error) {
 
 	env := ran.NewRadioEnv(s.Dep, radioCfg, streams)
 	link := ran.NewLinkModel(streams.Stream("link"), ran.DefaultLinkConfig())
+	// Every UE gets its own injector over the one shared plan: outage
+	// and CSI windows are common to the fleet (they model the world),
+	// while per-delivery randomness comes from the UE's private stream
+	// — so outcomes stay independent of worker count and of the other
+	// UEs, exactly like the rest of the per-UE draw sequence.
+	var inj *fault.Injector
+	if !s.Cfg.Faults.Empty() {
+		inj = fault.NewInjector(s.Cfg.Faults, streams.Stream("fault.injector"))
+		env.CellDown = inj.CellDown
+		if measCfg.CrossBand {
+			measCfg.CSIFault = inj.CSIMode
+		}
+	}
 	sc := &mobility.Scenario{
 		Dep:           s.Dep,
 		Env:           env,
@@ -135,6 +152,7 @@ func (s *Shared) BuildUE(ue int) (*Built, error) {
 		Cfg:           mobility.DefaultConfig(),
 		OTFSSignaling: s.OTFS,
 		Duration:      s.Cfg.Duration,
+		Faults:        inj,
 	}
 	return &Built{
 		Scenario: sc, Streams: streams,

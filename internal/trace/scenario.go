@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"rem/internal/chanmodel"
+	"rem/internal/fault"
 	"rem/internal/geo"
 	"rem/internal/mobility"
 	"rem/internal/ofdm"
@@ -54,6 +55,11 @@ type BuildConfig struct {
 	Mode     Mode
 	Duration float64 // seconds of travel
 	Seed     int64
+	// Faults, when non-nil and non-empty, arms the deterministic fault
+	// plane: the plan's schedule plus an injector RNG drawn from this
+	// run's stream factory (the "fault.injector" stream, so arming
+	// faults never perturbs any pre-existing stream's draws).
+	Faults *fault.Plan
 }
 
 // Built is a ready-to-run scenario plus the artifacts the evaluation
@@ -105,6 +111,18 @@ func Build(cfg BuildConfig) (*Built, error) {
 	env := ran.NewRadioEnv(dep, radioCfg, streams)
 	link := ran.NewLinkModel(streams.Stream("link"), ran.DefaultLinkConfig())
 
+	var inj *fault.Injector
+	if !cfg.Faults.Empty() {
+		if err := cfg.Faults.Validate(); err != nil {
+			return nil, err
+		}
+		inj = fault.NewInjector(cfg.Faults, streams.Stream("fault.injector"))
+		env.CellDown = inj.CellDown
+		if measCfg.CrossBand {
+			measCfg.CSIFault = inj.CSIMode
+		}
+	}
+
 	sc := &mobility.Scenario{
 		Dep:           dep,
 		Env:           env,
@@ -115,6 +133,7 @@ func Build(cfg BuildConfig) (*Built, error) {
 		Cfg:           mobility.DefaultConfig(),
 		OTFSSignaling: otfs,
 		Duration:      cfg.Duration,
+		Faults:        inj,
 	}
 	return &Built{
 		Scenario: sc, Streams: streams,

@@ -7,6 +7,7 @@ import (
 	"rem/internal/crossband"
 	"rem/internal/dsp"
 	"rem/internal/eval"
+	"rem/internal/fault"
 	"rem/internal/fleet"
 	"rem/internal/geo"
 	"rem/internal/locate"
@@ -108,6 +109,12 @@ type (
 	FleetOptions = fleet.Options
 	// FleetProgress is the per-epoch fleet heartbeat.
 	FleetProgress = fleet.Progress
+	// FaultPlan is a deterministic fault-injection schedule (cell
+	// outages, signaling loss/delay/corruption, CSI degradation and
+	// Gilbert–Elliott burst loss windows).
+	FaultPlan = fault.Plan
+	// FaultGenSpec parameterizes seed-derived fault plan generation.
+	FaultGenSpec = fault.GenSpec
 )
 
 // Dataset identifiers.
@@ -155,6 +162,9 @@ type ScenarioConfig struct {
 	Mode     Mode
 	Duration float64 // simulated seconds
 	Seed     int64
+	// Faults arms the deterministic fault plane (nil = disabled; the
+	// run is then byte-identical to one without the fault plane).
+	Faults *FaultPlan
 }
 
 // DescribeDataset returns a dataset's calibrated descriptor.
@@ -206,7 +216,22 @@ func BuildScenario(cfg ScenarioConfig) (*Built, error) {
 		Mode:     cfg.Mode,
 		Duration: cfg.Duration,
 		Seed:     cfg.Seed,
+		Faults:   cfg.Faults,
 	})
+}
+
+// LoadFaultPlan reads and validates a JSON fault plan file (the
+// remsim/remeval -faults argument).
+func LoadFaultPlan(path string) (*FaultPlan, error) { return fault.Load(path) }
+
+// ParseFaultPlan unmarshals and validates a JSON fault plan.
+func ParseFaultPlan(data []byte) (*FaultPlan, error) { return fault.Parse(data) }
+
+// GenerateFaultPlan derives a random fault plan from a master seed.
+// The schedule depends only on (seed, spec), making generated plans as
+// reproducible as committed JSON files.
+func GenerateFaultPlan(seed int64, spec FaultGenSpec) (*FaultPlan, error) {
+	return fault.Generate(sim.NewStreams(seed), spec)
 }
 
 // RunScenario executes a built scenario through the three-phase
