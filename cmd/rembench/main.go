@@ -7,16 +7,19 @@
 //
 //	rembench                      # full run, prints a table
 //	rembench -quick               # CI-scale run (seconds, not minutes)
-//	rembench -out BENCH_PR3.json  # also write machine-readable results
-//	rembench -quick -baseline BENCH_PR3.json
+//	rembench -out BENCH_PR5.json  # also write machine-readable results
+//	rembench -quick -baseline BENCH_PR5.json
 //	                              # compare against a committed baseline:
 //	                              # prints a per-benchmark diff table and
 //	                              # exits 1 on >25% ns/op, any allocs/op,
 //	                              # or any B/op regression beyond slack
 //
-// The committed BENCH_PR3.json at the repo root is the reference the CI
+// The committed BENCH_PR5.json at the repo root is the reference the CI
 // bench job gates on; regenerate it with `rembench -quick -out
-// BENCH_PR3.json` after an intentional performance change.
+// BENCH_PR5.json` after an intentional performance change. The
+// fleet_100ue_epoch / fleet_100ue_epoch_armed pair additionally prints
+// the telemetry instrumentation overhead (armed must stay within 5%
+// ns/op of disarmed).
 package main
 
 import (
@@ -32,12 +35,13 @@ import (
 	"rem/internal/crossband"
 	"rem/internal/dsp"
 	"rem/internal/fleet"
+	"rem/internal/obs"
 	"rem/internal/ofdm"
 	"rem/internal/sim"
 	"rem/internal/trace"
 )
 
-// result is one benchmark's measurement, the unit of BENCH_PR3.json.
+// result is one benchmark's measurement, the unit of BENCH_PR5.json.
 type result struct {
 	Name        string  `json:"name"`
 	Iterations  int     `json:"iterations"`
@@ -102,6 +106,7 @@ func main() {
 	if len(rep.Benchmarks) == 0 {
 		fatal(fmt.Errorf("no benchmarks matched -bench %q", *filter))
 	}
+	printOverhead(rep)
 
 	if *outPath != "" {
 		buf, err := json.MarshalIndent(rep, "", "  ")
@@ -120,6 +125,24 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println("baseline gate passed")
+	}
+}
+
+// printOverhead reports the telemetry instrumentation cost when both
+// halves of the fleet benchmark pair ran.
+func printOverhead(rep report) {
+	var disarmed, armed float64
+	for _, r := range rep.Benchmarks {
+		switch r.Name {
+		case "fleet_100ue_epoch":
+			disarmed = r.NsPerOp
+		case "fleet_100ue_epoch_armed":
+			armed = r.NsPerOp
+		}
+	}
+	if disarmed > 0 && armed > 0 {
+		fmt.Printf("telemetry overhead: %+.1f%% ns/op (armed vs disarmed 100-UE fleet)\n",
+			100*(armed/disarmed-1))
 	}
 }
 
@@ -205,6 +228,7 @@ func specs() []spec {
 		{name: "svd_estimate", quickTime: "20x", fullTime: "1s", fn: benchSVDEstimate},
 		{name: "table2_quick", quickTime: "1x", fullTime: "3x", fn: benchTable2, allocSlack: 0.02},
 		{name: "fleet_100ue_epoch", quickTime: "1x", fullTime: "3x", fn: benchFleet100, allocSlack: 0.02},
+		{name: "fleet_100ue_epoch_armed", quickTime: "1x", fullTime: "3x", fn: benchFleet100Armed, allocSlack: 0.02},
 	}
 }
 
@@ -293,6 +317,33 @@ func benchFleet100(b *testing.B) {
 		}
 		if res == nil {
 			b.Fatal("nil result")
+		}
+	}
+}
+
+// benchFleet100Armed: the identical fleet workload with the
+// observability plane armed (per-UE scopes, timeline recording, epoch
+// drains) — the instrumentation-overhead twin of fleet_100ue_epoch.
+// The acceptance bar is armed ns/op within 5% of disarmed.
+func benchFleet100Armed(b *testing.B) {
+	spec := fleet.Spec{
+		UEs: 100, Dataset: trace.BeijingShanghai, Mode: trace.REM,
+		DurationSec: 2, Seed: 1, EpochSec: 0.5,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tel := obs.New(obs.Config{})
+		events := 0
+		res, err := fleet.RunWithOptions(context.Background(), spec, fleet.Options{
+			Telemetry:  tel,
+			OnTimeline: func(evs []obs.Event) { events += len(evs) },
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res == nil || events == 0 {
+			b.Fatal("armed run produced no telemetry")
 		}
 	}
 }

@@ -10,6 +10,12 @@
 // identical serial runs, and co-running experiments under -all inflate
 // them) — run it alone for clean timings.
 //
+// -timeline FILE and -metrics FILE arm the deterministic observability
+// plane across every replica: the run additionally writes a merged
+// NDJSON event timeline and/or a Prometheus text metrics snapshot.
+// Arming telemetry never changes the rendered reports (with -all the
+// experiment fan-out runs serially so replica scopes keep one writer).
+//
 // Usage:
 //
 //	remeval -list
@@ -41,6 +47,8 @@ func main() {
 		baseSeed = flag.Int64("seed", 1, "base RNG seed")
 		workers  = flag.Int("workers", 0, "parallel worker pool size; 0 = all cores (output is identical at any value)")
 		faults   = flag.String("faults", "", "JSON fault plan file; arms the deterministic fault plane for every replica")
+		timeline = flag.String("timeline", "", "arm telemetry and write the merged replica timeline (NDJSON) to this file")
+		metrics  = flag.String("metrics", "", "arm telemetry and write a Prometheus text metrics snapshot to this file")
 		jsonOut  = flag.Bool("json", false, "emit each report as machine-readable JSON instead of rendered text")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -79,6 +87,9 @@ func main() {
 	}
 	cfg.BaseSeed = *baseSeed
 	cfg.Workers = *workers
+	if *timeline != "" || *metrics != "" {
+		cfg.Telemetry = rem.NewTelemetry(rem.TelemetryConfig{})
+	}
 	if *faults != "" {
 		plan, err := rem.LoadFaultPlan(*faults)
 		if err != nil {
@@ -122,11 +133,19 @@ func main() {
 		exps := rem.Experiments()
 		inner := cfg
 		inner.Workers = 1
+		// With telemetry armed the experiments share one scope space
+		// (scope = replica index within each fan-out), so run them
+		// serially: one writer per scope at a time, and the merged
+		// artifacts stay deterministic.
+		pool := cfg.Workers
+		if cfg.Telemetry != nil {
+			pool = 1
+		}
 		type outcome struct {
 			rep *rem.Report
 			err error
 		}
-		outs, _ := par.IndexedMap(cfg.Workers, len(exps), func(i int) (outcome, error) {
+		outs, _ := par.IndexedMap(pool, len(exps), func(i int) (outcome, error) {
 			rep, err := rem.RunExperiment(exps[i].ID, inner)
 			return outcome{rep: rep, err: err}, nil
 		})
@@ -153,5 +172,29 @@ func main() {
 		flag.Usage()
 		exit(2)
 	}
+	if err := writeTelemetry(cfg.Telemetry, *timeline, *metrics); err != nil {
+		fmt.Fprintf(os.Stderr, "remeval: %v\n", err)
+		exit(1)
+	}
 	exit(0)
+}
+
+// writeTelemetry flushes the armed observability plane: the merged
+// (time, ue, seq)-ordered replica timeline as NDJSON and/or the
+// metrics snapshot as Prometheus text. No-op when disarmed.
+func writeTelemetry(tel *rem.Telemetry, timeline, metrics string) error {
+	if tel == nil {
+		return nil
+	}
+	if timeline != "" {
+		if err := os.WriteFile(timeline, rem.MarshalTimeline(tel.Drain()), 0o644); err != nil {
+			return err
+		}
+	}
+	if metrics != "" {
+		if err := os.WriteFile(metrics, tel.Snapshot().PrometheusText(), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
 }

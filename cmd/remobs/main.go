@@ -1,0 +1,259 @@
+// Command remobs validates observability-plane artifacts: NDJSON
+// handover timelines (parsed and round-tripped byte-exactly through
+// the obs codec) and Prometheus text metric expositions. It is the
+// scrape-smoke verifier CI runs against a live remserve, and doubles
+// as an offline linter for remsim/remeval -timeline and -metrics
+// files.
+//
+// Usage:
+//
+//	remobs -timeline run.ndjson   # "-" reads stdin
+//	remobs -prom run.prom
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"rem"
+)
+
+func main() {
+	var (
+		timeline = flag.String("timeline", "", "NDJSON timeline file to validate (\"-\" = stdin)")
+		prom     = flag.String("prom", "", "Prometheus text exposition file to validate (\"-\" = stdin)")
+	)
+	flag.Parse()
+	if *timeline == "" && *prom == "" {
+		fmt.Fprintln(os.Stderr, "remobs: pass -timeline and/or -prom")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *timeline != "" {
+		if err := checkTimeline(readInput(*timeline)); err != nil {
+			fatal(fmt.Errorf("timeline: %w", err))
+		}
+	}
+	if *prom != "" {
+		if err := checkProm(readInput(*prom)); err != nil {
+			fatal(fmt.Errorf("prometheus: %w", err))
+		}
+	}
+}
+
+func readInput(path string) []byte {
+	var (
+		data []byte
+		err  error
+	)
+	if path == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(path)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	return data
+}
+
+// checkTimeline parses the stream with the strict codec (unknown
+// fields rejected), re-marshals it, and requires byte equality — the
+// artifact must be canonical codec output. It then prints a summary.
+func checkTimeline(data []byte) error {
+	evs, err := rem.ReadTimeline(bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	if len(evs) == 0 {
+		return fmt.Errorf("empty timeline")
+	}
+	if back := rem.MarshalTimeline(evs); !bytes.Equal(back, data) {
+		return fmt.Errorf("stream is not canonical codec output (%d bytes in, %d bytes re-encoded)",
+			len(data), len(back))
+	}
+	ues := map[int]bool{}
+	kinds := map[string]int{}
+	// Seq is dense per UE; any gap is a ring-buffer drop.
+	maxSeq := map[int]int{}
+	events := map[int]int{}
+	for _, ev := range evs {
+		if ev.Kind == "" {
+			return fmt.Errorf("event %d/%d has empty kind", ev.UE, ev.Seq)
+		}
+		ues[ev.UE] = true
+		kinds[ev.Kind]++
+		events[ev.UE]++
+		if ev.Seq > maxSeq[ev.UE] {
+			maxSeq[ev.UE] = ev.Seq
+		}
+	}
+	dropped := 0
+	for ue, n := range events {
+		dropped += maxSeq[ue] + 1 - n
+	}
+	names := make([]string, 0, len(kinds))
+	for k := range kinds {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	fmt.Printf("timeline ok: %d events, %d scopes, %d dropped\n", len(evs), len(ues), dropped)
+	for _, k := range names {
+		fmt.Printf("  %-16s %d\n", k, kinds[k])
+	}
+	return nil
+}
+
+// checkProm validates the Prometheus text exposition (format 0.0.4):
+// every series must belong to a declared TYPE, values must parse, and
+// histogram families must have monotone cumulative buckets ending in
+// +Inf with a matching _count series.
+func checkProm(data []byte) error {
+	types := map[string]string{}
+	type histState struct {
+		lastCum  float64
+		infSeen  bool
+		infCount float64
+		count    float64
+		hasCount bool
+	}
+	hists := map[string]*histState{}
+	series := 0
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		switch {
+		case text == "":
+		case strings.HasPrefix(text, "# TYPE "):
+			f := strings.Fields(text)
+			if len(f) != 4 {
+				return fmt.Errorf("line %d: malformed TYPE", line)
+			}
+			if _, dup := types[f[2]]; dup {
+				return fmt.Errorf("line %d: duplicate TYPE for %s", line, f[2])
+			}
+			types[f[2]] = f[3]
+			if f[3] == "histogram" {
+				hists[f[2]] = &histState{}
+			}
+		case strings.HasPrefix(text, "# HELP "):
+		case strings.HasPrefix(text, "#"):
+		default:
+			name, labels, value, err := parseSeries(text)
+			if err != nil {
+				return fmt.Errorf("line %d: %w", line, err)
+			}
+			series++
+			family, role := histRole(name, types)
+			if _, ok := types[family]; !ok {
+				return fmt.Errorf("line %d: series %s has no TYPE declaration", line, name)
+			}
+			h := hists[family]
+			switch role {
+			case "bucket":
+				le, ok := labelValue(labels, "le")
+				if !ok {
+					return fmt.Errorf("line %d: %s bucket without le label", line, name)
+				}
+				if le == "+Inf" {
+					h.infSeen, h.infCount = true, value
+					h.lastCum = 0 // next labeled series restarts the ladder
+					break
+				}
+				if _, err := strconv.ParseFloat(le, 64); err != nil {
+					return fmt.Errorf("line %d: bad le %q", line, le)
+				}
+				if value < h.lastCum {
+					return fmt.Errorf("line %d: %s cumulative count decreased", line, name)
+				}
+				h.lastCum = value
+			case "count":
+				h.count, h.hasCount = value, true
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if series == 0 {
+		return fmt.Errorf("no series found")
+	}
+	for family, h := range hists {
+		if !h.infSeen {
+			return fmt.Errorf("histogram %s has no +Inf bucket", family)
+		}
+		if !h.hasCount {
+			return fmt.Errorf("histogram %s has no _count series", family)
+		}
+		if h.count != h.infCount {
+			return fmt.Errorf("histogram %s: _count %v != +Inf bucket %v", family, h.count, h.infCount)
+		}
+	}
+	fmt.Printf("prometheus ok: %d series across %d families (%d histograms)\n",
+		series, len(types), len(hists))
+	return nil
+}
+
+// parseSeries splits `name{labels} value` / `name value`.
+func parseSeries(text string) (name, labels string, value float64, err error) {
+	rest := text
+	if i := strings.IndexByte(text, '{'); i >= 0 {
+		j := strings.LastIndexByte(text, '}')
+		if j < i {
+			return "", "", 0, fmt.Errorf("unbalanced braces")
+		}
+		name, labels, rest = text[:i], text[i+1:j], strings.TrimSpace(text[j+1:])
+	} else {
+		f := strings.SplitN(text, " ", 2)
+		if len(f) != 2 {
+			return "", "", 0, fmt.Errorf("malformed series %q", text)
+		}
+		name, rest = f[0], strings.TrimSpace(f[1])
+	}
+	value, err = strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return "", "", 0, fmt.Errorf("bad value %q: %w", rest, err)
+	}
+	return name, labels, value, nil
+}
+
+// histRole resolves a series name to its family and, for histogram
+// members, its role ("bucket", "sum", "count").
+func histRole(name string, types map[string]string) (family, role string) {
+	for _, s := range []struct{ suffix, role string }{
+		{"_bucket", "bucket"}, {"_sum", "sum"}, {"_count", "count"},
+	} {
+		base := strings.TrimSuffix(name, s.suffix)
+		if base != name && types[base] == "histogram" {
+			return base, s.role
+		}
+	}
+	return name, ""
+}
+
+// labelValue extracts one label's (unescaped) value from a rendered
+// label string like `cause="x",le="0.5"`.
+func labelValue(labels, key string) (string, bool) {
+	for _, part := range strings.Split(labels, ",") {
+		kv := strings.SplitN(part, "=", 2)
+		if len(kv) == 2 && kv[0] == key {
+			return strings.Trim(kv[1], `"`), true
+		}
+	}
+	return "", false
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "remobs:", err)
+	os.Exit(1)
+}

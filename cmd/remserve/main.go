@@ -5,19 +5,24 @@
 //
 // Endpoints:
 //
-//	POST /runs              start a fleet run (JSON spec; see below)
-//	GET  /runs              list runs
-//	GET  /runs/{id}         run status; includes the result when done
-//	POST /runs/{id}/cancel  cancel a running fleet
-//	GET  /runs/{id}/events  NDJSON event stream (replay + live follow)
-//	GET  /metrics           service counters + epoch-latency histogram
-//	GET  /healthz           liveness probe
+//	POST /runs                start a fleet run (JSON spec; see below)
+//	GET  /runs                list runs
+//	GET  /runs/{id}           run status; includes the result when done
+//	POST /runs/{id}/cancel    cancel a running fleet
+//	GET  /runs/{id}/events    NDJSON event stream (replay + live follow)
+//	GET  /runs/{id}/timeline  NDJSON telemetry timeline (armed runs only)
+//	GET  /runs/{id}/metrics   run metrics snapshot, Prometheus text
+//	GET  /metrics             service metrics: legacy JSON by default,
+//	                          Prometheus text with Accept: text/plain
+//	GET  /healthz             liveness probe
 //
 // A spec names dataset and mode as strings and otherwise matches
-// rem.FleetSpec's JSON shape:
+// rem.FleetSpec's JSON shape; "telemetry": true arms the deterministic
+// observability plane for the run (timelines + per-run metrics)
+// without changing a byte of its result:
 //
 //	curl -s localhost:8080/runs -d '{"ues":50,"dataset":"beijing-shanghai",
-//	  "mode":"rem","speed_kmh":330,"duration_sec":60,"seed":7}'
+//	  "mode":"rem","speed_kmh":330,"duration_sec":60,"seed":7,"telemetry":true}'
 //
 // Runs derive every RNG stream from the spec's seed, so re-posting the
 // same spec reproduces the same summary byte-for-byte regardless of

@@ -8,6 +8,7 @@ import (
 	"log"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -21,6 +22,11 @@ type wireSpec struct {
 	rem.FleetSpec
 	Dataset string `json:"dataset,omitempty"`
 	Mode    string `json:"mode,omitempty"`
+	// Telemetry arms the deterministic observability plane for the
+	// run: GET /runs/{id}/timeline streams its handover timeline and
+	// GET /runs/{id}/metrics serves its metrics snapshot. Arming never
+	// changes the run's result bytes.
+	Telemetry bool `json:"telemetry,omitempty"`
 }
 
 // Run lifecycle states.
@@ -52,6 +58,12 @@ type run struct {
 	progress rem.FleetProgress
 	result   *rem.FleetResult
 	started  time.Time
+	// Telemetry state (spec.Telemetry runs only): the run's armed
+	// plane, its accumulated timeline, and the latest metrics snapshot
+	// (refreshed at every epoch barrier and once after the run ends).
+	tel      *rem.Telemetry
+	timeline []rem.TimelineEvent
+	snap     *rem.MetricsSnapshot
 	// userCanceled distinguishes a client-requested cancel (terminal
 	// state "canceled") from a shutdown- or deadline-induced context
 	// cancellation (terminal state "failed").
@@ -103,6 +115,7 @@ type runView struct {
 	SimTime  float64          `json:"sim_time_sec"`
 	Attached int              `json:"attached"`
 	Events   int              `json:"events"`
+	Timeline int              `json:"timeline_events,omitempty"`
 	Result   *rem.FleetResult `json:"result,omitempty"`
 }
 
@@ -112,7 +125,7 @@ func (r *run) view(withResult bool) runView {
 	v := runView{
 		ID: r.id, State: r.state, Error: r.errMsg, Spec: r.spec,
 		SimTime: r.progress.SimTime, Attached: r.progress.Attached,
-		Events: len(r.events),
+		Events: len(r.events), Timeline: len(r.timeline),
 	}
 	if withResult {
 		v.Result = r.result
@@ -186,20 +199,18 @@ type server struct {
 	order []string
 	seq   int
 
-	runsStarted, runsCompleted, runsCanceled, runsFailed int
-	runsShed, runsRecovered, runsRetried                 int
-	epochs                                               int
-	epochHist                                            []int // len(epochBuckets)+1, last = overflow
+	// sm is the service metrics registry (all writes under mu).
+	sm *serverMetrics
 }
 
 func newServer(ctx context.Context, cfg serverConfig) (*server, error) {
 	cfg = cfg.defaulted()
 	s := &server{
-		baseCtx:   ctx,
-		cfg:       cfg,
-		slots:     make(chan struct{}, cfg.MaxActive),
-		runs:      make(map[string]*run),
-		epochHist: make([]int, len(epochBuckets)+1),
+		baseCtx: ctx,
+		cfg:     cfg,
+		slots:   make(chan struct{}, cfg.MaxActive),
+		runs:    make(map[string]*run),
+		sm:      newServerMetrics(),
 	}
 	if cfg.JournalPath != "" {
 		j, entries, err := openJournal(cfg.JournalPath)
@@ -259,8 +270,8 @@ func (s *server) recover(entries []journalEntry) {
 		}
 		s.runs[id] = r
 		s.order = append(s.order, id)
-		s.runsFailed++
-		s.runsRecovered++
+		s.sm.failed.Inc()
+		s.sm.recovered.Inc()
 		s.journalEnd(r)
 	}
 }
@@ -283,6 +294,8 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET /runs/{id}", s.handleGetRun)
 	mux.HandleFunc("POST /runs/{id}/cancel", s.handleCancelRun)
 	mux.HandleFunc("GET /runs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /runs/{id}/timeline", s.handleTimeline)
+	mux.HandleFunc("GET /runs/{id}/metrics", s.handleRunMetrics)
 	return mux
 }
 
@@ -313,46 +326,44 @@ type bucketCount struct {
 	Count int     `json:"count"`
 }
 
-func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+func (s *server) handleMetrics(w http.ResponseWriter, req *http.Request) {
 	s.mu.Lock()
-	m := metricsView{
-		RunsStarted:   s.runsStarted,
-		RunsCompleted: s.runsCompleted,
-		RunsCanceled:  s.runsCanceled,
-		RunsFailed:    s.runsFailed,
-		RunsShed:      s.runsShed,
-		RunsRecovered: s.runsRecovered,
-		RunsRetried:   s.runsRetried,
-		Epochs:        s.epochs,
-	}
-	for i, n := range s.epochHist {
-		b := bucketCount{Count: n}
-		if i < len(epochBuckets) {
-			b.LeMs = epochBuckets[i]
-		}
-		m.EpochWallHist = append(m.EpochWallHist, b)
-	}
 	views := make([]*run, 0, len(s.runs))
 	for _, id := range s.order {
 		views = append(views, s.runs[id])
 	}
 	s.mu.Unlock()
 
-	// Live counters: sum each run's latest progress heartbeat (the
-	// hooks carry cumulative totals per run, so this includes both
-	// finished and still-running fleets).
+	// Live gauges: sum each run's latest progress heartbeat (the hooks
+	// carry cumulative totals per run, so this includes both finished
+	// and still-running fleets).
+	var activeRuns, activeUEs, handovers, failures, blocked int
 	for _, r := range views {
 		r.mu.Lock()
 		if r.state == stateRunning {
-			m.ActiveRuns++
-			m.ActiveUEs += r.progress.Attached
+			activeRuns++
+			activeUEs += r.progress.Attached
 		}
-		m.Handovers += r.progress.Handovers
-		m.Failures += r.progress.Failures
-		m.Blocked += r.progress.Blocked
+		handovers += r.progress.Handovers
+		failures += r.progress.Failures
+		blocked += r.progress.Blocked
 		r.mu.Unlock()
 	}
-	writeJSON(w, http.StatusOK, m)
+	s.mu.Lock()
+	s.sm.activeRuns.Set(float64(activeRuns))
+	s.sm.activeUEs.Set(float64(activeUEs))
+	s.sm.handovers.Set(float64(handovers))
+	s.sm.failures.Set(float64(failures))
+	s.sm.blocked.Set(float64(blocked))
+	snap := s.sm.reg.Snapshot()
+	s.mu.Unlock()
+
+	if wantsPrometheus(req) {
+		w.Header().Set("Content-Type", rem.PrometheusContentType)
+		w.Write(snap.PrometheusText())
+		return
+	}
+	writeJSON(w, http.StatusOK, metricsViewFrom(snap))
 }
 
 // errBusy is returned by startRun when the non-terminal run count has
@@ -428,7 +439,7 @@ func (s *server) startRun(spec wireSpec) (*run, error) {
 		other.mu.Unlock()
 	}
 	if inFlight >= s.cfg.MaxActive+s.cfg.MaxQueue {
-		s.runsShed++
+		s.sm.shed.Inc()
 		s.mu.Unlock()
 		cancel()
 		return nil, errBusy
@@ -437,7 +448,7 @@ func (s *server) startRun(spec wireSpec) (*run, error) {
 	r.id = fmt.Sprintf("run-%04d", s.seq)
 	s.runs[r.id] = r
 	s.order = append(s.order, r.id)
-	s.runsStarted++
+	s.sm.started.Inc()
 	s.mu.Unlock()
 
 	if err := s.journal.record(journalEntry{Op: "start", ID: r.id, Spec: &spec}); err != nil {
@@ -469,24 +480,48 @@ func (s *server) execute(ctx context.Context, r *run, fs rem.FleetSpec) {
 	r.wake()
 	r.mu.Unlock()
 
-	opts := rem.FleetOptions{
-		Observer: func(ev rem.FleetEvent) {
-			r.markObserved()
-			r.appendEvent(ev)
-		},
-		Progress: func(p rem.FleetProgress) {
-			r.markObserved()
-			r.setProgress(p)
-			s.observeEpoch(p.WallStep)
-		},
-	}
-
 	// Transient failures at run start (before the fleet produced any
 	// observable output) are retried with a short backoff; anything
 	// after first output is not, to avoid replaying partial streams.
 	var res *rem.FleetResult
 	var err error
 	for attempt := 0; ; attempt++ {
+		opts := rem.FleetOptions{
+			Observer: func(ev rem.FleetEvent) {
+				r.markObserved()
+				r.appendEvent(ev)
+			},
+			Progress: func(p rem.FleetProgress) {
+				r.markObserved()
+				r.setProgress(p)
+				s.observeEpoch(p.WallStep)
+			},
+		}
+		if r.spec.Telemetry {
+			// A fresh plane per attempt: a retried start must not
+			// inherit a failed attempt's partial metrics or events.
+			tel := rem.NewTelemetry(rem.TelemetryConfig{})
+			r.mu.Lock()
+			r.tel, r.timeline, r.snap = tel, nil, nil
+			r.mu.Unlock()
+			opts.Telemetry = tel
+			opts.OnTimeline = func(evs []rem.TimelineEvent) {
+				r.mu.Lock()
+				r.timeline = append(r.timeline, evs...)
+				r.wake()
+				r.mu.Unlock()
+			}
+			// Refresh the snapshot at every epoch barrier: the
+			// coordinator calls Progress while the worker pool is
+			// parked, which is exactly when a snapshot is race-free.
+			prog := opts.Progress
+			opts.Progress = func(p rem.FleetProgress) {
+				prog(p)
+				r.mu.Lock()
+				r.snap = tel.Snapshot()
+				r.mu.Unlock()
+			}
+		}
 		res, err = rem.RunFleetWithOptions(ctx, fs, opts)
 		if err == nil || ctx.Err() != nil {
 			break
@@ -498,7 +533,7 @@ func (s *server) execute(ctx context.Context, r *run, fs rem.FleetSpec) {
 			break
 		}
 		s.mu.Lock()
-		s.runsRetried++
+		s.sm.retried.Inc()
 		s.mu.Unlock()
 		select {
 		case <-time.After(time.Duration(attempt+1) * 10 * time.Millisecond):
@@ -508,6 +543,13 @@ func (s *server) execute(ctx context.Context, r *run, fs rem.FleetSpec) {
 	if err != nil {
 		res = nil
 	}
+	// Final snapshot after the pool has joined: it includes the
+	// post-run TCP stall observations the last timeline batch carried.
+	r.mu.Lock()
+	if r.tel != nil {
+		r.snap = r.tel.Snapshot()
+	}
+	r.mu.Unlock()
 	s.finishRunResult(r, res, err)
 }
 
@@ -541,11 +583,11 @@ func (s *server) finishRunResult(r *run, res *rem.FleetResult, err error) {
 	s.mu.Lock()
 	switch state {
 	case stateDone:
-		s.runsCompleted++
+		s.sm.completed.Inc()
 	case stateCanceled:
-		s.runsCanceled++
+		s.sm.canceled.Inc()
 	default:
-		s.runsFailed++
+		s.sm.failed.Inc()
 	}
 	s.mu.Unlock()
 
@@ -557,12 +599,8 @@ func (s *server) finishRunResult(r *run, res *rem.FleetResult, err error) {
 func (s *server) observeEpoch(d time.Duration) {
 	ms := float64(d) / float64(time.Millisecond)
 	s.mu.Lock()
-	s.epochs++
-	i := 0
-	for i < len(epochBuckets) && ms > epochBuckets[i] {
-		i++
-	}
-	s.epochHist[i]++
+	s.sm.epochs.Inc()
+	s.sm.epochWall.Observe(ms)
 	s.mu.Unlock()
 }
 
@@ -646,6 +684,81 @@ func (s *server) handleEvents(w http.ResponseWriter, req *http.Request) {
 			return
 		}
 	}
+}
+
+// handleTimeline streams the run's telemetry timeline as NDJSON:
+// buffered replay first, then live follow until the run reaches a
+// terminal state or the client disconnects. Batches arrive at epoch
+// barriers, each internally ordered by (time, ue, seq).
+func (s *server) handleTimeline(w http.ResponseWriter, req *http.Request) {
+	r := s.lookup(req)
+	if r == nil {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no such run"))
+		return
+	}
+	if !r.spec.Telemetry {
+		httpError(w, http.StatusConflict,
+			fmt.Errorf("run has no telemetry; POST the spec with \"telemetry\": true"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	idx := 0
+	for {
+		r.mu.Lock()
+		pending := r.timeline[idx:]
+		idx = len(r.timeline)
+		done := terminal(r.state)
+		notify := r.notify
+		r.mu.Unlock()
+
+		for _, ev := range pending {
+			if err := enc.Encode(ev); err != nil {
+				return
+			}
+		}
+		if len(pending) > 0 && flusher != nil {
+			flusher.Flush()
+		}
+		if done {
+			return
+		}
+		select {
+		case <-notify:
+		case <-req.Context().Done():
+			return
+		}
+	}
+}
+
+// handleRunMetrics serves the run's latest metrics snapshot —
+// refreshed at every epoch barrier and after the run finishes — as
+// Prometheus text by default, or the snapshot JSON when the client
+// asks for application/json.
+func (s *server) handleRunMetrics(w http.ResponseWriter, req *http.Request) {
+	r := s.lookup(req)
+	if r == nil {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no such run"))
+		return
+	}
+	if !r.spec.Telemetry {
+		httpError(w, http.StatusConflict,
+			fmt.Errorf("run has no telemetry; POST the spec with \"telemetry\": true"))
+		return
+	}
+	r.mu.Lock()
+	snap := r.snap
+	r.mu.Unlock()
+	if snap == nil {
+		snap = &rem.MetricsSnapshot{} // armed but no barrier reached yet
+	}
+	if strings.Contains(req.Header.Get("Accept"), "application/json") {
+		writeJSON(w, http.StatusOK, snap)
+		return
+	}
+	w.Header().Set("Content-Type", rem.PrometheusContentType)
+	w.Write(snap.PrometheusText())
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

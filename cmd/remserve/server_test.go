@@ -322,10 +322,10 @@ func TestLoadSheddingQueueFull(t *testing.T) {
 		t.Fatal("503 without Retry-After header")
 	}
 	s.mu.Lock()
-	shed := s.runsShed
+	shed := s.sm.shed.Value()
 	s.mu.Unlock()
 	if shed != 1 {
-		t.Fatalf("runsShed = %d, want 1", shed)
+		t.Fatalf("runs shed = %v, want 1", shed)
 	}
 
 	// Cancel the hog; capacity frees and the next POST is admitted.
@@ -406,10 +406,10 @@ func TestJournalRecoveryMarksInterruptedRunFailed(t *testing.T) {
 		t.Fatalf("recovered spec lost: %+v", v.Spec)
 	}
 	s.mu.Lock()
-	recovered := s.runsRecovered
+	recovered := s.sm.recovered.Value()
 	s.mu.Unlock()
 	if recovered != 1 {
-		t.Fatalf("runsRecovered = %d, want 1 (run-0001 ended cleanly)", recovered)
+		t.Fatalf("runs recovered = %v, want 1 (run-0001 ended cleanly)", recovered)
 	}
 
 	// New runs continue the sequence past recovered IDs.
@@ -427,10 +427,10 @@ func TestJournalRecoveryMarksInterruptedRunFailed(t *testing.T) {
 	}
 	defer s3.journal.Close()
 	s3.mu.Lock()
-	again := s3.runsRecovered
+	again := s3.sm.recovered.Value()
 	s3.mu.Unlock()
 	if again != 0 {
-		t.Fatalf("second recovery found %d interrupted runs, want 0", again)
+		t.Fatalf("second recovery found %v interrupted runs, want 0", again)
 	}
 }
 

@@ -12,10 +12,17 @@
 // FleetSummary JSON that remserve returns, so CLI and service output
 // are directly diffable.
 //
+// -timeline FILE and -metrics FILE arm the deterministic observability
+// plane: the run additionally emits a merged NDJSON handover timeline
+// and/or a Prometheus text metrics snapshot. Arming telemetry never
+// changes the summary bytes, and the artifacts themselves are
+// byte-identical at any -workers value.
+//
 // Usage:
 //
 //	remsim -dataset beijing-shanghai -speed 330 -mode rem -duration 600
 //	remsim -mode rem -replicas 8 -workers 4 -json
+//	remsim -mode rem -replicas 4 -timeline run.ndjson -metrics run.prom
 package main
 
 import (
@@ -40,6 +47,8 @@ func main() {
 		replicas = flag.Int("replicas", 1, "independent replicas to run (seeds rem.ReplicaSeed(seed, i))")
 		faults   = flag.String("faults", "", "JSON fault plan file; arms the deterministic fault plane")
 		workers  = flag.Int("workers", 0, "parallel worker pool size; 0 = all cores (output is identical at any value)")
+		timeline = flag.String("timeline", "", "arm telemetry and write the merged handover timeline (NDJSON) to this file")
+		metrics  = flag.String("metrics", "", "arm telemetry and write a Prometheus text metrics snapshot to this file")
 		jsonOut  = flag.Bool("json", false, "emit the machine-readable summary JSON instead of text")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -81,8 +90,15 @@ func main() {
 		}
 	}
 
+	var tel *rem.Telemetry
+	if *timeline != "" || *metrics != "" {
+		tel = rem.NewTelemetry(rem.TelemetryConfig{})
+	}
+
 	// Each replica builds and runs its own scenario from an
 	// index-derived seed; the pool width never changes the numbers.
+	// Replica s records into telemetry scope s (its own scope, so one
+	// worker is the scope's only writer).
 	results, err := par.IndexedMap(*workers, *replicas, func(s int) (*rem.Result, error) {
 		built, err := rem.BuildScenario(rem.ScenarioConfig{
 			Dataset: ds, SpeedKmh: *speed, Mode: md, Duration: *duration,
@@ -91,9 +107,18 @@ func main() {
 		if err != nil {
 			return nil, err
 		}
-		return rem.RunScenario(built)
+		rem.AttachTelemetry(built, tel, s)
+		res, err := rem.RunScenario(built)
+		if err == nil {
+			rem.ObserveTCPStalls(tel, s, res)
+		}
+		return res, err
 	})
 	if err != nil {
+		fmt.Fprintf(os.Stderr, "remsim: %v\n", err)
+		exit(1)
+	}
+	if err := writeTelemetry(tel, *timeline, *metrics); err != nil {
 		fmt.Fprintf(os.Stderr, "remsim: %v\n", err)
 		exit(1)
 	}
@@ -129,6 +154,26 @@ func main() {
 	fmt.Printf("aggregate : %d handovers, %d failures over %d replicas (ratio %.2f%%)\n",
 		hos, fails, *replicas, 100*ratio)
 	exit(0)
+}
+
+// writeTelemetry flushes the armed observability plane: the merged
+// (time, ue, seq)-ordered timeline as NDJSON and/or the metrics
+// snapshot as Prometheus text. No-op when telemetry is disarmed.
+func writeTelemetry(tel *rem.Telemetry, timeline, metrics string) error {
+	if tel == nil {
+		return nil
+	}
+	if timeline != "" {
+		if err := os.WriteFile(timeline, rem.MarshalTimeline(tel.Drain()), 0o644); err != nil {
+			return err
+		}
+	}
+	if metrics != "" {
+		if err := os.WriteFile(metrics, tel.Snapshot().PrometheusText(), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func printSummary(res *rem.Result) {

@@ -33,28 +33,54 @@ func (a *Admission) Admissible(load int) bool {
 	return a.Capacity <= 0 || load < a.Capacity
 }
 
+// Decision is the full outcome of one admission evaluation — what
+// Select reports, plus the detail an observability layer wants.
+type Decision struct {
+	// Target is the selected cell (valid when OK).
+	Target int
+	// OK is false when no candidate was admissible: the handover is
+	// deferred and the client stays attached and re-reports.
+	OK bool
+	// Admissible counts candidates that passed the capacity check.
+	Admissible int
+	// Spread reports that load spreading picked a cell other than the
+	// strongest admissible one.
+	Spread bool
+}
+
 // Select picks the handover target from candidates (any order): the
 // strongest admissible cell, or — with SpreadMarginDB > 0 — the
 // least-loaded cell within the margin of the strongest admissible one.
 // ok is false when no candidate is admissible (the handover is
 // deferred; the client stays and re-reports).
 func (a *Admission) Select(cands []TargetCandidate) (target int, ok bool) {
+	d := a.Decide(cands)
+	return d.Target, d.OK
+}
+
+// Decide evaluates admission over the candidates and returns the full
+// Decision. Deterministic for a given candidate list.
+func (a *Admission) Decide(cands []TargetCandidate) Decision {
+	var d Decision
 	// Strongest admissible candidate first.
 	bestIdx := -1
 	for i, c := range cands {
 		if !a.Admissible(c.Load) {
 			continue
 		}
+		d.Admissible++
 		if bestIdx < 0 || c.Metric > cands[bestIdx].Metric ||
 			(c.Metric == cands[bestIdx].Metric && c.CellID < cands[bestIdx].CellID) {
 			bestIdx = i
 		}
 	}
 	if bestIdx < 0 {
-		return 0, false
+		return d
 	}
+	d.OK = true
 	if a.SpreadMarginDB <= 0 {
-		return cands[bestIdx].CellID, true
+		d.Target = cands[bestIdx].CellID
+		return d
 	}
 	floor := cands[bestIdx].Metric - a.SpreadMarginDB
 	pick := bestIdx
@@ -69,5 +95,7 @@ func (a *Admission) Select(cands []TargetCandidate) (target int, ok bool) {
 			pick = i
 		}
 	}
-	return cands[pick].CellID, true
+	d.Target = cands[pick].CellID
+	d.Spread = pick != bestIdx
+	return d
 }

@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"rem/internal/fault"
+	"rem/internal/obs"
 )
 
 // Table is a printable table.
@@ -144,6 +145,17 @@ type Config struct {
 	// every experiment cell (nil = disarmed; reports then match a
 	// build without the fault plane byte for byte).
 	Faults *fault.Plan
+	// Telemetry arms the observability plane for every replica (nil =
+	// disarmed; rendered reports are byte-identical either way).
+	// Scope IDs are replica indices within each experiment fan-out
+	// (cell index × Seeds + seed index), so metrics aggregate across
+	// an experiment's whole fan-out; timelines from multi-table
+	// experiments reuse those IDs per fan-out.
+	Telemetry *obs.Telemetry
+
+	// telemetryBase offsets the scope IDs runCell assigns (runCells
+	// sets it so each cell's replicas get distinct scopes).
+	telemetryBase int
 }
 
 // DefaultConfig returns full-scale experiment settings.

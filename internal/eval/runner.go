@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"rem/internal/mobility"
+	"rem/internal/obs"
 	"rem/internal/par"
 	"rem/internal/policy"
 	"rem/internal/tcpsim"
@@ -88,9 +89,23 @@ func runCell(cfg Config, ds trace.Dataset, bucket [2]float64, mode trace.Mode) (
 		if err != nil {
 			return replicaOut{}, fmt.Errorf("eval: build %v/%v: %w", ds.ID, mode, err)
 		}
+		// Telemetry scope per replica index: single-writer (this worker)
+		// for the replica's whole life, merged deterministically later.
+		var scope *obs.UEScope
+		if cfg.Telemetry != nil {
+			scope = cfg.Telemetry.Scope(cfg.telemetryBase + s)
+			built.Scenario.Obs = scope
+		}
 		res, err := mobility.Run(built.Streams, built.Scenario)
 		if err != nil {
 			return replicaOut{}, fmt.Errorf("eval: run %v/%v: %w", ds.ID, mode, err)
+		}
+		if scope != nil && len(res.Outages) > 0 {
+			outs := make([]tcpsim.Outage, len(res.Outages))
+			for j, o := range res.Outages {
+				outs[j] = tcpsim.Outage{Start: o.Start, Duration: o.Duration}
+			}
+			tcpsim.ObserveStalls(scope, tcpsim.Replay(outs, tcpsim.DefaultConfig()).Stalls)
 		}
 		loops := policy.LoopDetector{}.Detect(res.Handovers)
 		return replicaOut{
@@ -183,12 +198,15 @@ func runCell(cfg Config, ds trace.Dataset, bucket [2]float64, mode trace.Mode) (
 // parallel and returns the aggregates in argument order. The per-cell
 // seed schedule is identical to calling runCell sequentially.
 func runCells(cfg Config, cells []cellSpec) ([]*Agg, error) {
+	seeds := cfg.normalized().Seeds
 	return par.IndexedMap(cfg.Workers, len(cells), func(i int) (*Agg, error) {
 		// The outer fan-out already provides cell-level parallelism;
 		// run each cell's replicas serially to avoid multiplying the
 		// pool width.
 		inner := cfg
 		inner.Workers = 1
+		// Distinct telemetry scopes per cell replica (cell-major).
+		inner.telemetryBase = cfg.telemetryBase + i*seeds
 		return runCell(inner, cells[i].ds, cells[i].bucket, cells[i].mode)
 	})
 }

@@ -4,6 +4,15 @@ import (
 	"rem/internal/sim"
 )
 
+// Verdict classes, naming which plan list a Verdict.Window indexes
+// into. They match the rem/internal/obs fault-marker classes so
+// timeline events can carry them verbatim.
+const (
+	ClassSignaling = "signaling"
+	ClassBurst     = "burst"
+	ClassOutage    = "outage"
+)
+
 // Verdict is the transport-level outcome the injector imposes on one
 // signaling delivery, composed on top of whatever the PHY decided.
 type Verdict struct {
@@ -14,6 +23,14 @@ type Verdict struct {
 	Corrupt bool
 	// ExtraDelay is added transport latency in seconds.
 	ExtraDelay float64
+	// Class and Window attribute the dominant effect to the plan
+	// window that caused it: Class is one of the Class* constants and
+	// Window the 1-based index into the matching plan list
+	// (Plan.Bursts for burst drops, Plan.Signaling otherwise; 0 =
+	// no attribution). Timelines surface these so a loss can be tied
+	// to its injected window in tests.
+	Class  string
+	Window int
 }
 
 // Injector is the runtime half of the fault plane: one per run (or per
@@ -96,6 +113,10 @@ func (in *Injector) Signaling(t float64, kind MsgKind) Verdict {
 	if in == nil {
 		return v
 	}
+	// Per-effect attribution, resolved to Class/Window at the end:
+	// the dominant effect (drop > corrupt > delay) names the window.
+	var dropWin, corruptWin, delayWin int
+	dropClass := ClassSignaling
 	// Burst (Gilbert–Elliott) gate.
 	if i := in.burstAt(t); i >= 0 {
 		b := in.plan.Bursts[i]
@@ -116,12 +137,13 @@ func (in *Injector) Signaling(t float64, kind MsgKind) Verdict {
 		}
 		if loss > 0 && in.rng.Bool(loss) {
 			v.Drop = true
+			dropClass, dropWin = ClassBurst, i+1
 		}
 	} else {
 		in.burstIdx = -1
 	}
 	// Scheduled signaling windows.
-	for _, s := range in.plan.Signaling {
+	for si, s := range in.plan.Signaling {
 		if t < s.Start || t >= s.End {
 			continue
 		}
@@ -130,25 +152,49 @@ func (in *Injector) Signaling(t float64, kind MsgKind) Verdict {
 		}
 		if !v.Drop && s.DropProb > 0 && in.rng.Bool(s.DropProb) {
 			v.Drop = true
+			dropClass, dropWin = ClassSignaling, si+1
 		}
 		if s.CorruptProb > 0 && in.rng.Bool(s.CorruptProb) {
+			if !v.Corrupt {
+				corruptWin = si + 1
+			}
 			v.Corrupt = true
 		}
 		if s.DelaySec > v.ExtraDelay {
 			v.ExtraDelay = s.DelaySec
+			delayWin = si + 1
 		}
 	}
 	switch {
 	case v.Drop:
 		v.Corrupt = false // a dropped message cannot also be garbled
+		v.Class, v.Window = dropClass, dropWin
 		in.Dropped++
 	case v.Corrupt:
+		v.Class, v.Window = ClassSignaling, corruptWin
 		in.Corrupted++
+	case v.ExtraDelay > 0:
+		v.Class, v.Window = ClassSignaling, delayWin
 	}
 	if !v.Drop && v.ExtraDelay > 0 {
 		in.Delayed++
 	}
 	return v
+}
+
+// OutageWindow returns the 1-based index of the plan outage window
+// covering (cell, t), or 0 when none does. Like CellDown it draws no
+// randomness, so timeline attribution never perturbs verdict streams.
+func (in *Injector) OutageWindow(cell int, t float64) int {
+	if in == nil {
+		return 0
+	}
+	for i, o := range in.plan.Outages {
+		if t >= o.Start && t < o.End && (o.Cell == AllCells || o.Cell == cell) {
+			return i + 1
+		}
+	}
+	return 0
 }
 
 func (in *Injector) burstAt(t float64) int {

@@ -28,7 +28,9 @@ import (
 	"rem/internal/eval"
 	"rem/internal/fault"
 	"rem/internal/mobility"
+	"rem/internal/obs"
 	"rem/internal/par"
+	"rem/internal/tcpsim"
 	"rem/internal/trace"
 )
 
@@ -109,7 +111,7 @@ type Progress struct {
 	WallStep  time.Duration // wall-clock cost of this epoch
 }
 
-// Options customizes a run with observation hooks. Both hooks are
+// Options customizes a run with observation hooks. All hooks are
 // called from the coordinating goroutine only (never concurrently).
 type Options struct {
 	// Observer receives every fleet event in deterministic order
@@ -117,6 +119,17 @@ type Options struct {
 	Observer func(Event)
 	// Progress receives one heartbeat per epoch.
 	Progress func(Progress)
+	// Telemetry arms the observability plane: every UE gets a scope
+	// (recorder + metrics shard) on this Telemetry, drained at epoch
+	// barriers. nil (the default) is fully disarmed — summaries and
+	// reports are byte-identical either way, and armed output is
+	// byte-identical at any worker count.
+	Telemetry *obs.Telemetry
+	// OnTimeline receives each epoch's merged timeline batch (sorted
+	// by time, UE, sequence), plus one final batch after the run
+	// completes that also carries the replayed TCP stall events.
+	// Only called when Telemetry is armed.
+	OnTimeline func([]obs.Event)
 }
 
 // Run executes the fleet to completion (or ctx cancellation).
@@ -154,6 +167,56 @@ type engine struct {
 	handovers int
 	failures  int
 	blocked   int
+
+	// tel / runObs are the armed observability plane (nil when
+	// disarmed): per-UE scopes live on tel, run-level metrics on the
+	// coordinator-owned obs.RunScope shard.
+	tel    *obs.Telemetry
+	runObs *runScopeObs
+}
+
+// runScopeObs holds the run-level metric handles the coordinator
+// updates at epoch barriers.
+type runScopeObs struct {
+	epochs          *obs.Counter
+	timelineEvents  *obs.Counter
+	timelineDropped *obs.Counter
+	attached        *obs.Gauge
+	simTime         *obs.Gauge
+	dropSeen        int
+}
+
+// armTelemetry installs the run's telemetry before any session exists.
+func (e *engine) armTelemetry(tel *obs.Telemetry) {
+	if tel == nil {
+		return
+	}
+	e.tel = tel
+	sh := tel.Scope(obs.RunScope).Shard
+	e.runObs = &runScopeObs{
+		epochs:          sh.Counter(obs.MEpochs),
+		timelineEvents:  sh.Counter(obs.MTimelineEvents),
+		timelineDropped: sh.Counter(obs.MTimelineDropped),
+		attached:        sh.Gauge(obs.MAttachedUEs),
+		simTime:         sh.Gauge(obs.MSimTime),
+	}
+}
+
+// publishTimeline drains every scope (UE order) and hands the merged
+// batch to the OnTimeline hook, keeping the run-level event counters
+// current. Coordinator-only, at barriers or after the pool joins.
+func (e *engine) publishTimeline(opts Options) {
+	evs := e.tel.Drain()
+	if len(evs) > 0 {
+		e.runObs.timelineEvents.Add(float64(len(evs)))
+	}
+	if d := e.tel.Dropped(); d > e.runObs.dropSeen {
+		e.runObs.timelineDropped.Add(float64(d - e.runObs.dropSeen))
+		e.runObs.dropSeen = d
+	}
+	if len(evs) > 0 && opts.OnTimeline != nil {
+		opts.OnTimeline(evs)
+	}
 }
 
 func newEngine(spec Spec) (*engine, error) {
@@ -193,6 +256,7 @@ func newEngine(spec Spec) (*engine, error) {
 
 func (e *engine) run(ctx context.Context, opts Options) (*Result, error) {
 	spec := e.spec
+	e.armTelemetry(opts.Telemetry)
 	// Build every session on the pool: scenario assembly (deployment
 	// lookups, policy wiring, per-UE RNG streams) is itself parallel.
 	sessions, err := par.IndexedMapCtx(ctx, spec.Workers, spec.UEs, func(ue int) (*session, error) {
@@ -247,6 +311,12 @@ func (e *engine) run(ctx context.Context, opts Options) (*Result, error) {
 		}
 		e.refreshLoads()
 		e.updatePeaks()
+		if e.tel != nil {
+			e.runObs.epochs.Inc()
+			e.runObs.attached.Set(float64(e.attachedCount()))
+			e.runObs.simTime.Set(simT)
+			e.publishTimeline(opts)
+		}
 		if opts.Progress != nil {
 			opts.Progress(Progress{
 				SimTime:   simT,
@@ -263,6 +333,23 @@ func (e *engine) run(ctx context.Context, opts Options) (*Result, error) {
 	results := make([]*mobility.Result, len(e.sessions))
 	for i, s := range e.sessions {
 		results[i] = s.runner.Finish()
+	}
+	if e.tel != nil {
+		// Replay each UE's radio outages through the TCP model (UE
+		// order, coordinator goroutine) and publish the final batch:
+		// Finish-appended events plus the stall open/close pairs.
+		for i, s := range e.sessions {
+			res := results[i]
+			if len(res.Outages) == 0 {
+				continue
+			}
+			outs := make([]tcpsim.Outage, len(res.Outages))
+			for j, o := range res.Outages {
+				outs[j] = tcpsim.Outage{Start: o.Start, Duration: o.Duration}
+			}
+			tcpsim.ObserveStalls(s.scope, tcpsim.Replay(outs, tcpsim.DefaultConfig()).Stalls)
+		}
+		e.publishTimeline(opts)
 	}
 	return e.buildResult(results), nil
 }

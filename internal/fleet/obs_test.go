@@ -1,0 +1,178 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"rem/internal/fault"
+	"rem/internal/obs"
+	"rem/internal/trace"
+)
+
+// armedRun executes a 100-UE fleet with telemetry armed and returns
+// every byte-comparable artifact: the run result, the metrics
+// snapshot (JSON and Prometheus text), and the sorted timeline
+// rendered as NDJSON.
+func armedRun(t *testing.T, workers int) (resJS, snapJS, prom, ndjson []byte) {
+	t.Helper()
+	spec := Spec{
+		UEs: 100, Dataset: trace.BeijingShanghai, Mode: trace.REM,
+		SpeedKmh: 330, DurationSec: 4, Seed: 9, Workers: workers,
+		CellCapacity: 12, SpreadMarginDB: 3,
+		Faults: &fault.Plan{
+			Name:      "obs-invariance",
+			Outages:   []fault.CellOutage{{Cell: fault.AllCells, Start: 1.5, End: 2.0}},
+			Signaling: []fault.SignalingFault{{Start: 0, End: 4, DropProb: 0.2, DelaySec: 0.03}},
+		},
+	}
+	tel := obs.New(obs.Config{})
+	var timeline []obs.Event
+	res, err := RunWithOptions(context.Background(), spec, Options{
+		Telemetry:  tel,
+		OnTimeline: func(evs []obs.Event) { timeline = append(timeline, evs...) },
+	})
+	if err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	resJS, err = json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := tel.Snapshot()
+	snapJS, err = json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The final batch appends TCP stall replays with earlier
+	// timestamps, so sort the concatenation before rendering (the
+	// order is deterministic either way; sorting makes the artifact a
+	// single time-ordered timeline).
+	obs.SortEvents(timeline)
+	return resJS, snapJS, snap.PrometheusText(), obs.MarshalNDJSON(timeline)
+}
+
+// TestFleetObsWorkerInvariance is the armed-determinism gate: a 100-UE
+// fleet run with telemetry armed must produce byte-identical metrics
+// snapshots and timeline NDJSON at workers=1 and workers=8.
+func TestFleetObsWorkerInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("100-UE armed fleet runs skipped in -short mode")
+	}
+	res1, snap1, prom1, nd1 := armedRun(t, 1)
+	res8, snap8, prom8, nd8 := armedRun(t, 8)
+	if !bytes.Equal(res1, res8) {
+		t.Error("run result differs across worker counts")
+	}
+	if !bytes.Equal(snap1, snap8) {
+		t.Error("metrics snapshot JSON differs across worker counts")
+	}
+	if !bytes.Equal(prom1, prom8) {
+		t.Error("Prometheus text differs across worker counts")
+	}
+	if !bytes.Equal(nd1, nd8) {
+		t.Error("timeline NDJSON differs across worker counts")
+	}
+	if len(nd1) == 0 {
+		t.Fatal("armed run produced an empty timeline")
+	}
+	// The timeline must round-trip through the codec and carry TCP
+	// stall events from the end-of-run replay.
+	evs, err := obs.ReadNDJSON(bytes.NewReader(nd1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := obs.ReadNDJSON(bytes.NewReader(obs.MarshalNDJSON(evs)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(evs, back) {
+		t.Fatal("fleet timeline did not survive an NDJSON round-trip")
+	}
+	kinds := map[string]int{}
+	for _, ev := range evs {
+		kinds[ev.Kind]++
+	}
+	if kinds[obs.EvAttach] < 100 {
+		t.Fatalf("%d attach events for 100 UEs", kinds[obs.EvAttach])
+	}
+	if kinds[obs.EvTCPStallOpen] == 0 {
+		t.Error("all-cells outage produced no TCP stall events")
+	}
+	if kinds[obs.EvRLF] == 0 || kinds[obs.EvBlackoutOpen] == 0 {
+		t.Error("all-cells outage produced no RLF/blackout events")
+	}
+}
+
+// TestFleetObsDisarmedIdentical proves arming telemetry does not
+// change a single byte of the fleet result or event stream.
+func TestFleetObsDisarmedIdentical(t *testing.T) {
+	spec := Spec{
+		UEs: 40, Dataset: trace.BeijingTaiyuan, Mode: trace.REM,
+		SpeedKmh: 300, DurationSec: 4, Seed: 5, Workers: 4,
+		CellCapacity: 10, SpreadMarginDB: 3,
+		Faults: &fault.Plan{
+			Name:      "obs-disarm",
+			Signaling: []fault.SignalingFault{{Start: 0, End: 4, DropProb: 0.25}},
+		},
+	}
+	run := func(armed bool) []byte {
+		var opts Options
+		if armed {
+			opts.Telemetry = obs.New(obs.Config{})
+		}
+		res, err := RunWithOptions(context.Background(), spec, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		js, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return js
+	}
+	if !bytes.Equal(run(false), run(true)) {
+		t.Fatal("arming fleet telemetry changed the run result")
+	}
+}
+
+// TestFleetObsRunMetrics checks the coordinator's run-scope metrics:
+// epoch count, attached gauge, sim-time gauge, and the timeline event
+// accounting exposed through the registry.
+func TestFleetObsRunMetrics(t *testing.T) {
+	tel := obs.New(obs.Config{})
+	published, epochs := 0, 0
+	_, err := RunWithOptions(context.Background(), Spec{
+		UEs: 20, Dataset: trace.BeijingShanghai, Mode: trace.REM,
+		SpeedKmh: 330, DurationSec: 2, Seed: 3, Workers: 2, EpochSec: 0.5,
+	}, Options{
+		Telemetry:  tel,
+		OnTimeline: func(evs []obs.Event) { published += len(evs) },
+		Progress:   func(Progress) { epochs++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := tel.Snapshot()
+	byName := map[string]obs.Sample{}
+	for _, s := range snap.Samples {
+		byName[s.Family+"|"+s.Labels] = s
+	}
+	if got := byName[obs.MEpochs+"|"].Value; got != float64(epochs) {
+		t.Fatalf("epochs metric %v, Progress saw %d", got, epochs)
+	}
+	if got := byName[obs.MSimTime+"|"].Value; got != 2 {
+		t.Fatalf("sim time gauge %v, want 2", got)
+	}
+	if got := byName[obs.MTimelineEvents+"|"].Value; got != float64(published) {
+		t.Fatalf("timeline events metric %v, OnTimeline saw %d", got, published)
+	}
+	if byName[obs.MAttachedUEs+"|"].Value == 0 {
+		t.Fatal("attached gauge never set")
+	}
+	if byName[obs.MHandovers+"|"].Value == 0 {
+		t.Fatal("no handovers counted in a 20-UE REM run")
+	}
+}

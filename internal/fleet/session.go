@@ -5,6 +5,7 @@ import (
 
 	"rem/internal/core"
 	"rem/internal/mobility"
+	"rem/internal/obs"
 )
 
 // session is one UE's private slice of the fleet: its scenario,
@@ -25,6 +26,11 @@ type session struct {
 	// wasAttached tracks outage recovery so reattaches are reported.
 	wasAttached bool
 	lastServing int
+
+	// scope is the UE's telemetry scope (nil when disarmed); spread is
+	// the resolved load-spreading counter handle (nil-safe).
+	scope  *obs.UEScope
+	spread *obs.Counter
 }
 
 func newSession(e *engine, ue int) (*session, error) {
@@ -33,6 +39,13 @@ func newSession(e *engine, ue int) (*session, error) {
 		return nil, fmt.Errorf("fleet: build UE %d: %w", ue, err)
 	}
 	s := &session{ue: ue, seed: e.shared.UESeed(ue)}
+	if e.tel != nil {
+		// Scope creation races between session builders are fine: the
+		// Telemetry locks, and every merge sorts by scope ID.
+		s.scope = e.tel.Scope(ue)
+		s.spread = s.scope.Shard.Counter(obs.MSpreadPicks)
+		built.Scenario.Obs = s.scope
+	}
 	// Load-aware admission: the hook sees the engine's frozen
 	// epoch-boundary loads, so its decisions are independent of worker
 	// scheduling. Deferrals are recorded session-locally and published
@@ -47,14 +60,17 @@ func newSession(e *engine, ue int) (*session, error) {
 			}
 			tcs = append(tcs, core.TargetCandidate{CellID: c.CellID, Metric: c.Metric, Load: load})
 		}
-		target, ok := e.adm.Select(tcs)
-		if !ok && len(cands) > 0 {
+		d := e.adm.Decide(tcs)
+		if d.OK && d.Spread {
+			s.spread.Inc()
+		}
+		if !d.OK && len(cands) > 0 {
 			s.pending = append(s.pending, Event{
 				UE: s.ue, Time: t, Type: EventBlocked,
 				From: serving, To: cands[0].CellID,
 			})
 		}
-		return target, ok
+		return d.Target, d.OK
 	}
 	r, err := mobility.NewRunner(built.Streams, built.Scenario)
 	if err != nil {

@@ -15,6 +15,7 @@ import (
 
 	"rem/internal/fault"
 	"rem/internal/geo"
+	"rem/internal/obs"
 	"rem/internal/policy"
 	"rem/internal/ran"
 	"rem/internal/rrc"
@@ -132,6 +133,12 @@ type Scenario struct {
 	// RadioEnv and MeasConfig hooks by the scenario builder. The
 	// injector is owned by this scenario's single stepping goroutine.
 	Faults *fault.Injector
+	// Obs, when non-nil, arms the observability plane for this run:
+	// the scope's recorder receives the handover-lifecycle timeline
+	// and its metrics shard the canonical rem_* counters/histograms.
+	// nil (the default) compiles to no-ops on every hot path; arming
+	// draws no randomness, so results are byte-identical either way.
+	Obs *obs.UEScope
 }
 
 // Result aggregates everything the evaluation needs.
@@ -223,6 +230,7 @@ type Runner struct {
 
 	measRNG *sim.RNG
 	engine  *ran.MeasEngine
+	obs     *runnerObs
 
 	serving        int
 	outOfSyncSince float64
@@ -267,6 +275,10 @@ func NewRunner(streams *sim.Streams, sc *Scenario) (*Runner, error) {
 	} else if _, ok := snap[r.serving]; !ok {
 		return nil, fmt.Errorf("mobility: initial cell %d not visible at start", r.serving)
 	}
+	r.obs = newRunnerObs(sc.Obs)
+	if o := r.obs; o != nil {
+		o.rec.Record(obs.Event{T: 0, Kind: obs.EvAttach, To: r.serving})
+	}
 	r.newEngine(r.serving)
 
 	r.steps = int(sc.Duration/cfg.TickSec) + 1
@@ -309,6 +321,10 @@ func (r *Runner) newEngine(cell int) {
 			Rules: []policy.Rule{{Type: policy.A3, OffsetDB: 3, TTTSec: 0.08}}}
 	}
 	r.engine = ran.NewMeasEngine(r.measRNG, sc.Dep, pol, cell, sc.MeasCfg)
+	if o := r.obs; o != nil {
+		r.engine.Rec = o.rec
+		r.engine.Trig = o.measTriggers
+	}
 }
 
 func (r *Runner) classify(t float64, snap map[int]ran.CellRadio) FailureCause {
@@ -357,6 +373,10 @@ func (r *Runner) connectTo(t float64, target int, trigger policy.EventType, snap
 		TriggerType: trigger, DisruptionSec: cfg.HOInterruptSec,
 	})
 	res.Outages = append(res.Outages, Outage{Start: t, Duration: cfg.HOInterruptSec})
+	if o := r.obs; o != nil {
+		o.handovers.Inc()
+		o.rec.Record(obs.Event{T: t, Kind: obs.EvComplete, Cell: from, To: target})
+	}
 	r.serving = target
 	r.newEngine(r.serving)
 	r.cmd = nil
@@ -377,6 +397,13 @@ func (r *Runner) tick(t float64) {
 		if t >= r.reestablishAt {
 			if best, _, ok := ran.BestCell(snap, false, cfg.ConnectFloorDB); ok {
 				res.Outages = append(res.Outages, Outage{Start: r.outageStart, Duration: t - r.outageStart})
+				if o := r.obs; o != nil {
+					d := t - r.outageStart
+					o.blackout.Observe(d)
+					o.rec.Record(obs.Event{T: t, Kind: obs.EvBlackoutClose, To: best, Value: d})
+					o.reattaches.Inc()
+					o.rec.Record(obs.Event{T: t, Kind: obs.EvAttach, To: best, Cause: "reattach"})
+				}
 				r.inOutage = false
 				r.serving = best
 				r.newEngine(r.serving)
@@ -398,9 +425,25 @@ func (r *Runner) tick(t float64) {
 			r.outOfSyncSince = t
 		}
 		if t-r.outOfSyncSince >= cfg.RLFTimeoutSec {
+			cause := r.classify(t, snap)
 			res.Failures = append(res.Failures, FailureEvent{
-				Time: t, Serving: r.serving, Cause: r.classify(t, snap),
+				Time: t, Serving: r.serving, Cause: cause,
 			})
+			if o := r.obs; o != nil {
+				o.failure(cause)
+				// Attribute the blackout to an injected outage window
+				// when the serving cell is inside one (the faultsweep ↔
+				// timeline seam: OutageWindow draws no randomness).
+				w := sc.Faults.OutageWindow(r.serving, t)
+				fclass := ""
+				if w > 0 {
+					fclass = obs.FaultOutage
+				}
+				o.rec.Record(obs.Event{T: t, Kind: obs.EvRLF, Cell: r.serving,
+					Cause: cause.String(), Fault: fclass, Window: w})
+				o.rec.Record(obs.Event{T: t, Kind: obs.EvBlackoutOpen, Cell: r.serving,
+					Fault: fclass, Window: w})
+			}
 			r.inOutage = true
 			r.outageStart = t
 			r.reestablishAt = t + cfg.ReestablishSec
@@ -431,26 +474,49 @@ func (r *Runner) tick(t float64) {
 		res.CmdBLERAt = append(res.CmdBLERAt, t)
 		// Transport-level injected faults compose on top of the PHY
 		// outcome: a command must survive both.
+		fclass, fwin := "", 0
 		if del.OK && sc.Faults != nil {
 			switch v := sc.Faults.Signaling(t, fault.MsgCommand); {
 			case v.Drop:
 				del.OK = false
 				res.CmdsFaultDropped++
+				fclass, fwin = v.Class, v.Window
+				if o := r.obs; o != nil {
+					o.faultDropped.Inc()
+				}
 			case v.Corrupt && !r.commandSurvivesCorruption(r.cmd.target):
 				del.OK = false
 				res.CmdsCorrupted++
+				fclass, fwin = v.Class, v.Window
+				if o := r.obs; o != nil {
+					o.faultCorrupted.Inc()
+				}
 			case v.ExtraDelay > 0:
 				// Transport delay: the command arrives later; retry
 				// this delivery once the extra latency has elapsed.
 				r.cmd.sendAt = t + v.ExtraDelay
+				if o := r.obs; o != nil {
+					o.faultDelayed.Inc()
+					o.rec.Record(obs.Event{T: t, Kind: obs.EvFault, Cell: r.serving,
+						To: r.cmd.target, Value: v.ExtraDelay, Fault: v.Class, Window: v.Window})
+				}
 				return
 			}
 		}
 		if del.OK {
 			res.CmdsDelivered++
+			if o := r.obs; o != nil {
+				o.cmdsOK.Inc()
+				o.rec.Record(obs.Event{T: t, Kind: obs.EvCmd, Cell: r.serving, To: r.cmd.target})
+			}
 			r.connectTo(t, r.cmd.target, r.cmd.trigger, snap)
 		} else {
 			res.CmdsLost++
+			if o := r.obs; o != nil {
+				o.cmdsLost.Inc()
+				o.rec.Record(obs.Event{T: t, Kind: obs.EvCmdLost, Cell: r.serving,
+					To: r.cmd.target, Fault: fclass, Window: fwin})
+			}
 			r.lastCmdFailed = t
 			r.cmd = nil // serving cell will retry on next report
 		}
@@ -477,25 +543,52 @@ func (r *Runner) tick(t float64) {
 	}
 	res.FeedbackFirstBLER = append(res.FeedbackFirstBLER, del.FirstBLER)
 	res.FeedbackBLERAt = append(res.FeedbackBLERAt, t)
+	fclass, fwin := "", 0
 	if del.OK && sc.Faults != nil {
 		switch v := sc.Faults.Signaling(t, fault.MsgReport); {
 		case v.Drop:
 			del.OK = false
 			res.ReportsFaultDropped++
+			fclass, fwin = v.Class, v.Window
+			if o := r.obs; o != nil {
+				o.faultDropped.Inc()
+			}
 		case v.Corrupt && !r.reportSurvivesCorruption(best.CellID, best.Metric):
 			del.OK = false
 			res.ReportsCorrupted++
+			fclass, fwin = v.Class, v.Window
+			if o := r.obs; o != nil {
+				o.faultCorrupted.Inc()
+			}
 		default:
 			del.Delay += v.ExtraDelay
+			if v.ExtraDelay > 0 {
+				if o := r.obs; o != nil {
+					o.faultDelayed.Inc()
+					o.rec.Record(obs.Event{T: t, Kind: obs.EvFault, Cell: r.serving,
+						To: best.CellID, Value: v.ExtraDelay, Fault: v.Class, Window: v.Window})
+				}
+			}
 		}
 	}
 	if !del.OK {
 		res.ReportsLost++
+		if o := r.obs; o != nil {
+			o.reportsLost.Inc()
+			o.rec.Record(obs.Event{T: t, Kind: obs.EvReportLost, Cell: r.serving,
+				To: best.CellID, Fault: fclass, Window: fwin})
+		}
 		return
 	}
 	res.ReportsDelivered++
 	delay := (t - best.CriterionAt) + del.Delay
 	res.FeedbackDelays = append(res.FeedbackDelays, delay)
+	if o := r.obs; o != nil {
+		o.reportsOK.Inc()
+		o.feedbackDelay.Observe(delay)
+		o.rec.Record(obs.Event{T: t, Kind: obs.EvMeasReport, Cell: r.serving,
+			To: best.CellID, Value: delay})
+	}
 	if tc := sc.Dep.CellByID(best.CellID); tc != nil {
 		if scell := sc.Dep.CellByID(r.serving); scell != nil && tc.Channel != scell.Channel {
 			res.FeedbackDelaysInter = append(res.FeedbackDelaysInter, delay)
@@ -536,6 +629,12 @@ func (r *Runner) tick(t float64) {
 				sendAt:  t + cfg.DecisionSec,
 				trigger: trigger,
 			}
+			if o := r.obs; o != nil {
+				o.rec.Record(obs.Event{T: t, Kind: obs.EvDecision, Cell: r.serving, To: target})
+			}
+		} else if o := r.obs; o != nil {
+			o.deferrals.Inc()
+			o.rec.Record(obs.Event{T: t, Kind: obs.EvDeferred, Cell: r.serving, To: best.CellID})
 		}
 	}
 }
@@ -617,6 +716,12 @@ func (r *Runner) Finish() *Result {
 		r.finished = true
 		if r.inOutage {
 			r.res.Outages = append(r.res.Outages, Outage{Start: r.outageStart, Duration: r.sc.Duration - r.outageStart})
+			if o := r.obs; o != nil {
+				d := r.sc.Duration - r.outageStart
+				o.blackout.Observe(d)
+				o.rec.Record(obs.Event{T: r.sc.Duration, Kind: obs.EvBlackoutClose,
+					Cause: "run-end", Value: d})
+			}
 		}
 	}
 	return r.res

@@ -1,0 +1,63 @@
+package mobility
+
+import (
+	"rem/internal/obs"
+)
+
+// runnerObs bundles one runner's telemetry writers: its scope's event
+// recorder plus metric handles resolved once at construction. The
+// whole struct is absent (nil) when the run is disarmed, so every
+// call site is a single pointer test away from the PR4 code path —
+// and recording draws no randomness, so arming telemetry cannot
+// perturb any RNG stream or report byte.
+type runnerObs struct {
+	rec *obs.Recorder
+
+	handovers      *obs.Counter
+	reportsOK      *obs.Counter
+	reportsLost    *obs.Counter
+	cmdsOK         *obs.Counter
+	cmdsLost       *obs.Counter
+	faultDropped   *obs.Counter
+	faultCorrupted *obs.Counter
+	faultDelayed   *obs.Counter
+	deferrals      *obs.Counter
+	reattaches     *obs.Counter
+	measTriggers   *obs.Counter
+	causes         [CauseCoverageHole + 1]*obs.Counter
+	feedbackDelay  *obs.Histogram
+	blackout       *obs.Histogram
+}
+
+func newRunnerObs(sc *obs.UEScope) *runnerObs {
+	if sc == nil {
+		return nil
+	}
+	o := &runnerObs{
+		rec:            sc.Rec,
+		handovers:      sc.Shard.Counter(obs.MHandovers),
+		reportsOK:      sc.Shard.Counter(obs.MReportsOK),
+		reportsLost:    sc.Shard.Counter(obs.MReportsLost),
+		cmdsOK:         sc.Shard.Counter(obs.MCmdsOK),
+		cmdsLost:       sc.Shard.Counter(obs.MCmdsLost),
+		faultDropped:   sc.Shard.Counter(obs.MFaultDropped),
+		faultCorrupted: sc.Shard.Counter(obs.MFaultCorrupted),
+		faultDelayed:   sc.Shard.Counter(obs.MFaultDelayed),
+		deferrals:      sc.Shard.Counter(obs.MDeferrals),
+		reattaches:     sc.Shard.Counter(obs.MReattaches),
+		measTriggers:   sc.Shard.Counter(obs.MMeasTriggers),
+		feedbackDelay:  sc.Shard.Histogram(obs.MFeedbackDelay),
+		blackout:       sc.Shard.Histogram(obs.MBlackout),
+	}
+	for c := CauseFeedback; c <= CauseCoverageHole; c++ {
+		o.causes[c] = sc.Shard.Counter(obs.FailureSeries(c.String()))
+	}
+	return o
+}
+
+// failure counts one classified RLF.
+func (o *runnerObs) failure(c FailureCause) {
+	if c >= CauseFeedback && c <= CauseCoverageHole {
+		o.causes[c].Inc()
+	}
+}

@@ -1,0 +1,194 @@
+package mobility
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"rem/internal/fault"
+	"rem/internal/obs"
+)
+
+// TestObsCauseTaxonomyMatches pins the obs failure-label schema to
+// mobility's Table 2 taxonomy: the two are declared in separate
+// packages and must not drift apart.
+func TestObsCauseTaxonomyMatches(t *testing.T) {
+	var got []string
+	for c := CauseFeedback; c <= CauseCoverageHole; c++ {
+		got = append(got, c.String())
+	}
+	if !reflect.DeepEqual(got, obs.FailureCauses) {
+		t.Fatalf("obs.FailureCauses = %v, mobility taxonomy = %v", obs.FailureCauses, got)
+	}
+}
+
+// TestObsArmedByteIdentical proves the disarm contract: arming
+// telemetry must not change a single byte of the run result (no RNG
+// draw, no state perturbation).
+func TestObsArmedByteIdentical(t *testing.T) {
+	run := func(armed bool) ([]byte, *obs.Telemetry) {
+		sc, streams := twoCellScenario(t, 41, 3, 3)
+		armFaults(t, sc, streams, &fault.Plan{
+			Name:      "mix",
+			Outages:   []fault.CellOutage{{Cell: fault.AllCells, Start: 60, End: 75}},
+			Signaling: []fault.SignalingFault{{Start: 10, End: 140, DropProb: 0.3, DelaySec: 0.05}},
+		})
+		var tel *obs.Telemetry
+		if armed {
+			tel = obs.New(obs.Config{})
+			sc.Obs = tel.Scope(0)
+		}
+		res, err := Run(streams, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		js, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return js, tel
+	}
+	disarmed, _ := run(false)
+	armed, tel := run(true)
+	if string(disarmed) != string(armed) {
+		t.Fatal("arming telemetry changed the run result")
+	}
+	// And the armed run actually produced a timeline and metrics.
+	evs := tel.Drain()
+	if len(evs) == 0 {
+		t.Fatal("armed run recorded no events")
+	}
+	snap := tel.Snapshot()
+	byName := map[string]obs.Sample{}
+	for _, s := range snap.Samples {
+		byName[s.Family+"|"+s.Labels] = s
+	}
+	if byName["rem_reports_delivered_total|"].Value == 0 {
+		t.Fatal("no delivered reports counted")
+	}
+	if byName["rem_feedback_delay_seconds|"].Count == 0 {
+		t.Fatal("feedback delay histogram empty")
+	}
+}
+
+// TestObsTimelineLifecycle checks the recorded event stream tells a
+// coherent handover story: attach first, triggers precede reports,
+// decisions precede commands, completes match the result's handovers.
+func TestObsTimelineLifecycle(t *testing.T) {
+	sc, streams := twoCellScenario(t, 1, 3, 3)
+	tel := obs.New(obs.Config{RingCap: 1 << 16})
+	sc.Obs = tel.Scope(0)
+	res, err := Run(streams, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := tel.Drain()
+	if evs[0].Kind != obs.EvAttach || evs[0].T != 0 {
+		t.Fatalf("first event %+v, want t=0 attach", evs[0])
+	}
+	count := map[string]int{}
+	for _, ev := range evs {
+		count[ev.Kind]++
+	}
+	if count[obs.EvComplete] != len(res.Handovers) {
+		t.Fatalf("%d ho_complete events for %d handovers", count[obs.EvComplete], len(res.Handovers))
+	}
+	if count[obs.EvMeasReport] != res.ReportsDelivered {
+		t.Fatalf("%d meas_report events for %d delivered reports", count[obs.EvMeasReport], res.ReportsDelivered)
+	}
+	if count[obs.EvDecision] < count[obs.EvComplete] {
+		t.Fatal("fewer decisions than completed handovers")
+	}
+	if count[obs.EvMeasTrigger] < count[obs.EvMeasReport] {
+		t.Fatal("fewer client triggers than delivered reports")
+	}
+	// The NDJSON codec round-trips the real stream.
+	back, err := obs.ReadNDJSON(bytes.NewReader(obs.MarshalNDJSON(evs)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(evs, back) {
+		t.Fatal("timeline did not survive the NDJSON round-trip")
+	}
+}
+
+// TestObsBlackoutAttributedToOutageWindow is the faultsweep ↔ timeline
+// seam: an all-cells outage window [60,75) must surface as an RLF +
+// blackout_open carrying fault="outage" and the 1-based window index,
+// so a blackout is attributable to the injected outage that caused it.
+func TestObsBlackoutAttributedToOutageWindow(t *testing.T) {
+	plan := &fault.Plan{
+		Name: "blackout-outage",
+		Outages: []fault.CellOutage{
+			{Cell: 9999, Start: 5, End: 6}, // window 1: no such cell, never fires
+			{Cell: fault.AllCells, Start: 60, End: 75},
+		},
+	}
+	sc, streams := twoCellScenario(t, 41, 3, 3)
+	armFaults(t, sc, streams, plan)
+	tel := obs.New(obs.Config{})
+	sc.Obs = tel.Scope(0)
+	if _, err := Run(streams, sc); err != nil {
+		t.Fatal(err)
+	}
+	evs := tel.Drain()
+	var opened *obs.Event
+	for i, ev := range evs {
+		if ev.Kind == obs.EvBlackoutOpen && ev.T >= 60 && ev.T < 75 {
+			opened = &evs[i]
+			break
+		}
+	}
+	if opened == nil {
+		t.Fatal("no blackout_open inside the outage window")
+	}
+	if opened.Fault != obs.FaultOutage || opened.Window != 2 {
+		t.Fatalf("blackout_open attribution = (%q, %d), want (outage, 2)", opened.Fault, opened.Window)
+	}
+	// The paired RLF carries the same attribution.
+	for _, ev := range evs {
+		if ev.Kind == obs.EvRLF && ev.T == opened.T {
+			if ev.Fault != obs.FaultOutage || ev.Window != 2 {
+				t.Fatalf("rlf attribution = (%q, %d), want (outage, 2)", ev.Fault, ev.Window)
+			}
+			return
+		}
+	}
+	t.Fatal("blackout_open without a matching rlf event")
+}
+
+// TestObsSignalingLossAttributed checks injected signaling drops carry
+// their window identifier on the loss events.
+func TestObsSignalingLossAttributed(t *testing.T) {
+	plan := &fault.Plan{
+		Name: "drops",
+		Signaling: []fault.SignalingFault{
+			{Start: 10, End: 140, DropProb: 0.5, CorruptProb: 0.3},
+			{Start: 10, End: 140, Kind: "command", DropProb: 0.5},
+		},
+	}
+	sc, streams := twoCellScenario(t, 40, 3, 3)
+	armFaults(t, sc, streams, plan)
+	tel := obs.New(obs.Config{})
+	sc.Obs = tel.Scope(0)
+	res, err := Run(streams, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FaultLosses() == 0 {
+		t.Skip("no injected losses this seed")
+	}
+	attributed := 0
+	for _, ev := range tel.Drain() {
+		if (ev.Kind == obs.EvReportLost || ev.Kind == obs.EvCmdLost) && ev.Fault == obs.FaultSignaling {
+			if ev.Window < 1 || ev.Window > len(plan.Signaling) {
+				t.Fatalf("loss event window %d out of range [1,%d]", ev.Window, len(plan.Signaling))
+			}
+			attributed++
+		}
+	}
+	if attributed == 0 {
+		t.Fatalf("%d injected losses but no attributed loss events", res.FaultLosses())
+	}
+}

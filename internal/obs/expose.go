@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// PrometheusContentType is the content type of the text exposition.
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// fmtFloat renders a sample value the Prometheus way: shortest
+// round-trippable decimal.
+func fmtFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes a HELP string per the exposition format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text
+// exposition format (version 0.0.4). Samples appear in registration
+// order; series of the same family share one HELP/TYPE header, so the
+// output is byte-stable for a given snapshot.
+func (s *Snapshot) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	lastFamily := ""
+	for _, smp := range s.Samples {
+		if smp.Family != lastFamily {
+			lastFamily = smp.Family
+			if smp.Help != "" {
+				fmt.Fprintf(bw, "# HELP %s %s\n", smp.Family, escapeHelp(smp.Help))
+			}
+			fmt.Fprintf(bw, "# TYPE %s %s\n", smp.Family, smp.Kind)
+		}
+		switch smp.Kind {
+		case KindHistogram:
+			for _, b := range smp.Buckets {
+				fmt.Fprintf(bw, "%s_bucket{%sle=%q} %d\n",
+					smp.Family, labelPrefix(smp.Labels), fmtFloat(b.Le), b.Count)
+			}
+			fmt.Fprintf(bw, "%s_bucket{%sle=\"+Inf\"} %d\n",
+				smp.Family, labelPrefix(smp.Labels), smp.Count)
+			fmt.Fprintf(bw, "%s_sum%s %s\n", smp.Family, labelSuffix(smp.Labels), fmtFloat(smp.Sum))
+			fmt.Fprintf(bw, "%s_count%s %d\n", smp.Family, labelSuffix(smp.Labels), smp.Count)
+		default:
+			fmt.Fprintf(bw, "%s%s %s\n", smp.Family, labelSuffix(smp.Labels), fmtFloat(smp.Value))
+		}
+	}
+	return bw.Flush()
+}
+
+func labelPrefix(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return labels + ","
+}
+
+func labelSuffix(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}
+
+// PrometheusText renders the snapshot to a byte slice.
+func (s *Snapshot) PrometheusText() []byte {
+	var b bytes.Buffer
+	s.WritePrometheus(&b)
+	return b.Bytes()
+}
+
+// WriteNDJSON emits one JSON object per line for each event, in slice
+// order. The encoding is canonical (encoding/json field order), so
+// identical event slices produce identical bytes.
+func WriteNDJSON(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range events {
+		if err := enc.Encode(&events[i]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// MarshalNDJSON renders a timeline to bytes (test/assertion helper).
+func MarshalNDJSON(events []Event) []byte {
+	var b bytes.Buffer
+	WriteNDJSON(&b, events)
+	return b.Bytes()
+}
+
+// ReadNDJSON parses an NDJSON timeline, rejecting unknown fields so
+// the codec round-trip in CI catches schema drift. Blank lines are
+// skipped (trailing newline tolerance).
+func ReadNDJSON(r io.Reader) ([]Event, error) {
+	var out []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		dec := json.NewDecoder(bytes.NewReader(raw))
+		dec.DisallowUnknownFields()
+		var ev Event
+		if err := dec.Decode(&ev); err != nil {
+			return nil, fmt.Errorf("obs: timeline line %d: %w", line, err)
+		}
+		out = append(out, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

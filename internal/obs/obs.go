@@ -1,0 +1,234 @@
+// Package obs is the deterministic observability plane: a metrics
+// registry with per-scope shards that merge in index order, and a
+// per-UE structured event recorder emitting handover-lifecycle
+// timelines as NDJSON. It is disarmed by default — a nil Telemetry,
+// nil UEScope, nil Recorder or nil metric handle compiles to no-ops —
+// so arming telemetry must never perturb an RNG draw or a report byte.
+//
+// # Determinism model
+//
+// The same discipline as internal/par reduction and the internal/fault
+// private-stream rule applies: every exported quantity depends only on
+// (seed, spec), never on worker count or goroutine interleaving.
+//
+//   - Each scope (one per UE, plus a run-level scope) owns a private
+//     metrics shard and event recorder, written by exactly one
+//     goroutine at a time (the session's stepping worker). The pool
+//     join at each epoch barrier provides the happens-before edge to
+//     the coordinator.
+//   - Snapshots merge shards in ascending scope-ID order, so even
+//     floating-point sums accumulate in a pinned order.
+//   - Timelines merge per-scope rings stably by (time, UE, sequence);
+//     each ring is already time-ordered because simulated time is
+//     monotonic per UE.
+//   - Recording draws no randomness and reads no clocks.
+package obs
+
+// Event kinds: the handover lifecycle plus transport and fault
+// markers. Kept as short stable strings — they are the NDJSON schema.
+const (
+	// EvAttach is the initial attach or a post-outage re-attach
+	// (To = serving cell; Cause = "reattach" on re-establishment).
+	EvAttach = "attach"
+	// EvGapsArmed marks inter-frequency measurement gaps arming after
+	// the A2 gate (Value = activation time, i.e. t + reconfig RTT).
+	EvGapsArmed = "gaps_armed"
+	// EvMeasTrigger is a measurement rule's TTT elapsing at the client
+	// (To = reported cell, Value = reported metric).
+	EvMeasTrigger = "meas_trigger"
+	// EvMeasReport is a delivered uplink measurement report
+	// (To = best reported cell, Value = end-to-end feedback delay).
+	EvMeasReport = "meas_report"
+	// EvReportLost is an uplink report lost to the PHY or the fault
+	// plane (Fault/Window attribute injected losses).
+	EvReportLost = "report_lost"
+	// EvDecision is the serving cell queueing a handover command
+	// (To = chosen target).
+	EvDecision = "decision"
+	// EvDeferred is a load-aware admission deferral (To = best
+	// candidate that was refused).
+	EvDeferred = "ho_deferred"
+	// EvCmd is a delivered downlink handover command (To = target).
+	EvCmd = "rrc_cmd"
+	// EvCmdLost is a lost handover command.
+	EvCmdLost = "rrc_cmd_lost"
+	// EvComplete is a completed handover (Cell = from, To = target).
+	EvComplete = "ho_complete"
+	// EvRLF is a radio link failure (Cause = Table 2 taxonomy).
+	EvRLF = "rlf"
+	// EvBlackoutOpen / EvBlackoutClose bracket a service blackout
+	// (RLF + re-establishment). Close carries Value = duration.
+	EvBlackoutOpen  = "blackout_open"
+	EvBlackoutClose = "blackout_close"
+	// EvTCPStallOpen / EvTCPStallClose bracket a TCP stall replayed
+	// over the run's outages (open: Value = final RTO reached; close:
+	// Value = stall duration).
+	EvTCPStallOpen  = "tcp_stall_open"
+	EvTCPStallClose = "tcp_stall_close"
+	// EvFault is a standalone fault-injection marker: a verdict that
+	// perturbed a delivery without losing it (e.g. injected transport
+	// delay, Value = extra seconds). Losses carry their attribution on
+	// the report_lost / rrc_cmd_lost event instead.
+	EvFault = "fault"
+)
+
+// Fault classes carried in Event.Fault, attributing an event to the
+// fault-plane window that caused it. Window is the 1-based index into
+// the plan's window list for that class (fault.Plan.Outages,
+// .Signaling, .Bursts), so a blackout can be tied to its injected
+// outage in tests.
+const (
+	FaultOutage    = "outage"
+	FaultSignaling = "signaling"
+	FaultBurst     = "burst"
+)
+
+// Event is one timeline entry. The zero value of every optional field
+// is omitted from NDJSON so disinterested kinds stay compact.
+type Event struct {
+	// Seq is the recorder-local sequence number (dense per UE even
+	// across ring overwrites — a gap in Seq is a dropped event).
+	Seq int `json:"seq"`
+	// UE is the owning scope's ID (the UE index; -1 = run scope).
+	UE int `json:"ue"`
+	// T is simulated seconds.
+	T float64 `json:"t"`
+	// Kind is one of the Ev* constants.
+	Kind string `json:"kind"`
+	// Cell is the serving cell when the event fired.
+	Cell int `json:"cell,omitempty"`
+	// To is the event's other cell (target, reported cell, ...).
+	To int `json:"to,omitempty"`
+	// Cause carries the failure taxonomy or attach reason.
+	Cause string `json:"cause,omitempty"`
+	// Value is the kind-specific scalar (delay, duration, metric).
+	Value float64 `json:"value,omitempty"`
+	// Fault + Window attribute the event to an injected fault window
+	// (one of the Fault* classes; Window is 1-based, 0 = none).
+	Fault  string `json:"fault,omitempty"`
+	Window int    `json:"window,omitempty"`
+}
+
+// Recorder is a single-writer ring buffer of events for one scope.
+// All methods are nil-safe; a nil *Recorder records nothing. The ring
+// allocates lazily — it starts empty and doubles up to its capacity
+// bound — so arming telemetry on a large fleet does not pay the
+// worst-case buffer for every quiet UE upfront.
+type Recorder struct {
+	ue      int
+	max     int     // capacity bound (ring never grows past this)
+	buf     []Event // current ring storage, len(buf) <= max
+	head    int     // index of the oldest buffered event
+	n       int     // buffered count
+	seq     int     // next sequence number (total ever recorded)
+	dropped int     // overwritten before a drain
+}
+
+// newRecorder builds a ring bounded at the given capacity for scope ue.
+func newRecorder(ue, capacity int) *Recorder {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Recorder{ue: ue, max: capacity}
+}
+
+// Record appends one event, stamping UE and Seq. When the ring is
+// full the oldest undrained event is overwritten (and counted
+// dropped); sequence numbers stay dense so consumers can detect gaps.
+func (r *Recorder) Record(ev Event) {
+	if r == nil {
+		return
+	}
+	ev.UE = r.ue
+	ev.Seq = r.seq
+	r.seq++
+	if r.n == len(r.buf) && len(r.buf) < r.max {
+		r.grow()
+	}
+	if r.n == len(r.buf) {
+		r.buf[r.head] = ev
+		r.head++
+		if r.head == len(r.buf) {
+			r.head = 0
+		}
+		r.dropped++
+		return
+	}
+	i := r.head + r.n
+	if i >= len(r.buf) {
+		i -= len(r.buf)
+	}
+	r.buf[i] = ev
+	r.n++
+}
+
+// grow doubles the ring storage (bounded by max), unrolling the
+// wrapped contents to the front of the new buffer.
+func (r *Recorder) grow() {
+	newCap := 2 * len(r.buf)
+	if newCap == 0 {
+		newCap = 64
+	}
+	if newCap > r.max {
+		newCap = r.max
+	}
+	nb := make([]Event, newCap)
+	for i := 0; i < r.n; i++ {
+		j := r.head + i
+		if j >= len(r.buf) {
+			j -= len(r.buf)
+		}
+		nb[i] = r.buf[j]
+	}
+	r.buf, r.head = nb, 0
+}
+
+// Drain copies out the buffered events in record order and resets the
+// ring (sequence and drop counters persist).
+func (r *Recorder) Drain() []Event {
+	if r == nil || r.n == 0 {
+		return nil
+	}
+	out := make([]Event, r.n)
+	for i := 0; i < r.n; i++ {
+		j := r.head + i
+		if j >= len(r.buf) {
+			j -= len(r.buf)
+		}
+		out[i] = r.buf[j]
+	}
+	r.head, r.n = 0, 0
+	return out
+}
+
+// Len returns the number of undrained events.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	return r.n
+}
+
+// Dropped returns how many events were overwritten before a drain.
+func (r *Recorder) Dropped() int {
+	if r == nil {
+		return 0
+	}
+	return r.dropped
+}
+
+// Seq returns the total number of events ever recorded.
+func (r *Recorder) Seq() int {
+	if r == nil {
+		return 0
+	}
+	return r.seq
+}
+
+// UE returns the recorder's scope ID.
+func (r *Recorder) UE() int {
+	if r == nil {
+		return 0
+	}
+	return r.ue
+}

@@ -1,0 +1,233 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRecorderRingAndSeq(t *testing.T) {
+	r := newRecorder(7, 3)
+	for i := 0; i < 5; i++ {
+		r.Record(Event{T: float64(i), Kind: EvAttach})
+	}
+	if r.Dropped() != 2 {
+		t.Fatalf("dropped = %d, want 2", r.Dropped())
+	}
+	evs := r.Drain()
+	if len(evs) != 3 {
+		t.Fatalf("drained %d, want 3", len(evs))
+	}
+	// Oldest two were overwritten: survivors are seqs 2,3,4 with UE
+	// stamped.
+	for i, ev := range evs {
+		if ev.Seq != i+2 || ev.UE != 7 {
+			t.Fatalf("event %d = %+v", i, ev)
+		}
+	}
+	if r.Drain() != nil {
+		t.Fatal("second drain not empty")
+	}
+	// Seq stays dense across the reset.
+	r.Record(Event{T: 9})
+	if got := r.Drain(); len(got) != 1 || got[0].Seq != 5 {
+		t.Fatalf("post-reset drain = %+v", got)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var tel *Telemetry
+	sc := tel.Scope(3)
+	if sc != nil {
+		t.Fatal("nil telemetry handed out a scope")
+	}
+	var rec *Recorder
+	rec.Record(Event{}) // must not panic
+	var c *Counter
+	c.Inc()
+	c.Add(2)
+	var g *Gauge
+	g.Set(1)
+	var h *Histogram
+	h.Observe(1)
+	var sh *Shard
+	if sh.Counter(MHandovers) != nil {
+		t.Fatal("nil shard returned a live handle")
+	}
+	if tel.Drain() != nil || tel.Dropped() != 0 {
+		t.Fatal("nil telemetry drained something")
+	}
+	if n := len(tel.Snapshot().Samples); n != 0 {
+		t.Fatalf("nil telemetry snapshot has %d samples", n)
+	}
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	g := NewRegistry()
+	g.Histogram("h", "test", []float64{1, 2, 5})
+	h := g.Shard(0).Histogram("h")
+	for _, v := range []float64{0.5, 1, 1.5, 2.5, 10} {
+		h.Observe(v)
+	}
+	snap := g.Snapshot()
+	smp := snap.Samples[0]
+	// Cumulative: le=1 sees {0.5, 1}, le=2 adds {1.5}, le=5 adds {2.5};
+	// 10 lands in +Inf only.
+	want := []int64{2, 3, 4}
+	for i, b := range smp.Buckets {
+		if b.Count != want[i] {
+			t.Fatalf("bucket %g = %d, want %d", b.Le, b.Count, want[i])
+		}
+	}
+	if smp.Count != 5 || smp.Sum != 15.5 {
+		t.Fatalf("count/sum = %d/%g", smp.Count, smp.Sum)
+	}
+}
+
+// TestSnapshotMergeOrderInvariance proves the determinism contract:
+// the merged snapshot and its renderings are byte-identical no matter
+// what order scopes were created or written in.
+func TestSnapshotMergeOrderInvariance(t *testing.T) {
+	build := func(order []int) ([]byte, []byte) {
+		tel := New(Config{})
+		for _, ue := range order {
+			sc := tel.Scope(ue)
+			for i := 0; i <= ue; i++ {
+				sc.Shard.Counter(MHandovers).Inc()
+				// Distinct fractional values make float accumulation
+				// order visible if the merge were unordered.
+				sc.Shard.Histogram(MFeedbackDelay).Observe(0.1 + float64(ue)/3)
+			}
+		}
+		snap := tel.Snapshot()
+		js, err := json.Marshal(snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return js, snap.PrometheusText()
+	}
+	j1, p1 := build([]int{0, 1, 2, 3, 4})
+	j2, p2 := build([]int{4, 2, 0, 3, 1})
+	if !bytes.Equal(j1, j2) {
+		t.Fatal("snapshot JSON depends on scope creation order")
+	}
+	if !bytes.Equal(p1, p2) {
+		t.Fatal("prometheus text depends on scope creation order")
+	}
+}
+
+func TestConcurrentScopeCreation(t *testing.T) {
+	tel := New(Config{})
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(ue int) {
+			defer wg.Done()
+			sc := tel.Scope(ue)
+			sc.Shard.Counter(MHandovers).Inc()
+			sc.Rec.Record(Event{T: float64(ue), Kind: EvAttach})
+		}(i)
+	}
+	wg.Wait()
+	if got := len(tel.Drain()); got != 16 {
+		t.Fatalf("drained %d events, want 16", got)
+	}
+}
+
+func TestDrainMergeOrder(t *testing.T) {
+	tel := New(Config{})
+	// Same timestamp across UEs: order must fall back to UE then Seq.
+	tel.Scope(2).Rec.Record(Event{T: 1, Kind: EvRLF})
+	tel.Scope(0).Rec.Record(Event{T: 1, Kind: EvRLF})
+	tel.Scope(0).Rec.Record(Event{T: 1, Kind: EvBlackoutOpen})
+	tel.Scope(1).Rec.Record(Event{T: 0.5, Kind: EvAttach})
+	evs := tel.Drain()
+	wantUE := []int{1, 0, 0, 2}
+	for i, ev := range evs {
+		if ev.UE != wantUE[i] {
+			t.Fatalf("event %d from UE %d, want %d (%+v)", i, ev.UE, wantUE[i], evs)
+		}
+	}
+	if evs[1].Kind != EvRLF || evs[2].Kind != EvBlackoutOpen {
+		t.Fatal("same-T same-UE events lost their Seq order")
+	}
+}
+
+func TestNDJSONRoundTrip(t *testing.T) {
+	in := []Event{
+		{Seq: 0, UE: 3, T: 1.5, Kind: EvRLF, Cell: 12, Cause: "feedback-delay/loss"},
+		{Seq: 1, UE: 3, T: 1.5, Kind: EvBlackoutOpen, Cell: 12, Fault: FaultOutage, Window: 2},
+		{Seq: 2, UE: 3, T: 3.25, Kind: EvBlackoutClose, To: 14, Value: 1.75},
+	}
+	raw := MarshalNDJSON(in)
+	out, err := ReadNDJSON(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("round-trip length %d != %d", len(out), len(in))
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Fatalf("event %d: %+v != %+v", i, in[i], out[i])
+		}
+	}
+	// Round-trip bytes are stable too.
+	if !bytes.Equal(raw, MarshalNDJSON(out)) {
+		t.Fatal("re-encoding decoded events changed bytes")
+	}
+	// Unknown fields are schema drift, not noise.
+	if _, err := ReadNDJSON(strings.NewReader(`{"seq":0,"ue":1,"t":0,"kind":"attach","bogus":1}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}
+
+func TestPrometheusShape(t *testing.T) {
+	tel := New(Config{})
+	sc := tel.Scope(0)
+	sc.Shard.Counter(MHandovers).Inc()
+	sc.Shard.Counter(FailureSeries("missed-cell")).Inc()
+	sc.Shard.Histogram(MBlackout).Observe(1.6)
+	text := string(tel.Snapshot().PrometheusText())
+	for _, want := range []string{
+		"# TYPE rem_handovers_total counter\n",
+		"rem_handovers_total 1\n",
+		"# TYPE rem_failures_total counter\n",
+		`rem_failures_total{cause="missed-cell"} 1` + "\n",
+		`rem_failures_total{cause="coverage-hole"} 0` + "\n",
+		"# TYPE rem_blackout_seconds histogram\n",
+		`rem_blackout_seconds_bucket{le="1"} 0` + "\n",
+		`rem_blackout_seconds_bucket{le="2"} 1` + "\n",
+		`rem_blackout_seconds_bucket{le="+Inf"} 1` + "\n",
+		"rem_blackout_seconds_sum 1.6\n",
+		"rem_blackout_seconds_count 1\n",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q in:\n%s", want, text)
+		}
+	}
+	// One TYPE header per family, even with 4 labeled failure series.
+	if got := strings.Count(text, "# TYPE rem_failures_total "); got != 1 {
+		t.Fatalf("rem_failures_total TYPE header appears %d times", got)
+	}
+}
+
+func TestShardSchemaMisuse(t *testing.T) {
+	tel := New(Config{})
+	sc := tel.Scope(0)
+	for _, fn := range []func(){
+		func() { sc.Shard.Counter("no_such_metric") },
+		func() { sc.Shard.Counter(MBlackout) }, // histogram, not counter
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("schema misuse did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

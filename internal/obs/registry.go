@@ -1,0 +1,345 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Metric kinds.
+const (
+	KindCounter   = "counter"
+	KindGauge     = "gauge"
+	KindHistogram = "histogram"
+)
+
+// Def describes one metric series: a family name, an optional fixed
+// label set (rendered inside {} in the Prometheus exposition), and for
+// histograms the fixed bucket bounds. Labels are a pre-rendered
+// `key="value"` string — the registry treats them as opaque, which
+// keeps exposition allocation-free and byte-stable.
+type Def struct {
+	Family  string
+	Labels  string
+	Help    string
+	Kind    string
+	Buckets []float64 // ascending upper bounds; +Inf is implicit
+}
+
+// name returns the full series name (family plus label set).
+func (d Def) name() string {
+	if d.Labels == "" {
+		return d.Family
+	}
+	return d.Family + "{" + d.Labels + "}"
+}
+
+// Counter is a monotonically increasing count. Handles are nil-safe:
+// operations on a nil *Counter are no-ops, so disarmed call sites need
+// no branches.
+type Counter struct{ v float64 }
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v++
+	}
+}
+
+// Add adds n (n must be >= 0; negative adds are ignored).
+func (c *Counter) Add(n float64) {
+	if c != nil && n > 0 {
+		c.v += n
+	}
+}
+
+// Value returns the current count (single-writer read).
+func (c *Counter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge is a point-in-time value.
+type Gauge struct {
+	v   float64
+	set bool
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.v, g.set = v, true
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// Histogram is a fixed-bucket distribution. Buckets are cumulative in
+// the exposition; internally counts are per-bucket so merges are
+// plain adds.
+type Histogram struct {
+	bounds []float64
+	counts []int64 // len(bounds)+1; last is the +Inf overflow
+	sum    float64
+	n      int64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i]++
+	h.sum += v
+	h.n++
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.n
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
+
+// Registry holds an ordered metric schema and its per-scope shards.
+// Registration happens once, before any shard exists; shard creation
+// and snapshotting are mutex-guarded (shard writes themselves are
+// lock-free single-writer).
+type Registry struct {
+	mu     sync.Mutex
+	defs   []Def
+	index  map[string]int
+	scopes map[int]*Shard
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{index: make(map[string]int), scopes: make(map[int]*Shard)}
+}
+
+func (g *Registry) register(d Def) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if len(g.scopes) > 0 {
+		panic(fmt.Sprintf("obs: register %q after shards exist", d.name()))
+	}
+	if _, dup := g.index[d.name()]; dup {
+		panic(fmt.Sprintf("obs: duplicate metric %q", d.name()))
+	}
+	g.index[d.name()] = len(g.defs)
+	g.defs = append(g.defs, d)
+}
+
+// Counter registers an unlabeled counter family.
+func (g *Registry) Counter(family, help string) {
+	g.register(Def{Family: family, Help: help, Kind: KindCounter})
+}
+
+// CounterWith registers one labeled series of a counter family (the
+// help string of the first registration wins in the exposition).
+func (g *Registry) CounterWith(family, labels, help string) {
+	g.register(Def{Family: family, Labels: labels, Help: help, Kind: KindCounter})
+}
+
+// Gauge registers an unlabeled gauge family.
+func (g *Registry) Gauge(family, help string) {
+	g.register(Def{Family: family, Help: help, Kind: KindGauge})
+}
+
+// Histogram registers a fixed-bucket histogram family. Bounds must be
+// ascending; the +Inf bucket is implicit.
+func (g *Registry) Histogram(family, help string, bounds []float64) {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram %q bounds not ascending", family))
+		}
+	}
+	g.register(Def{Family: family, Help: help, Kind: KindHistogram,
+		Buckets: append([]float64(nil), bounds...)})
+}
+
+// Shard returns the per-scope shard for id, creating it on first use.
+// Creation order is irrelevant (snapshots merge in sorted-ID order),
+// so concurrent session builders may race to create their own scopes.
+func (g *Registry) Shard(id int) *Shard {
+	if g == nil {
+		return nil
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if s, ok := g.scopes[id]; ok {
+		return s
+	}
+	s := &Shard{reg: g, id: id, slots: make([]any, len(g.defs))}
+	for i, d := range g.defs {
+		switch d.Kind {
+		case KindCounter:
+			s.slots[i] = &Counter{}
+		case KindGauge:
+			s.slots[i] = &Gauge{}
+		case KindHistogram:
+			s.slots[i] = &Histogram{bounds: d.Buckets, counts: make([]int64, len(d.Buckets)+1)}
+		}
+	}
+	g.scopes[id] = s
+	return s
+}
+
+// Shard is one scope's private metric storage: a slot per registered
+// def. Handle lookups resolve once at construction time; the handles
+// themselves are lock-free single-writer.
+type Shard struct {
+	reg   *Registry
+	id    int
+	slots []any
+}
+
+func (s *Shard) slot(name, kind string) any {
+	if s == nil {
+		return nil
+	}
+	i, ok := s.reg.index[name]
+	if !ok {
+		panic(fmt.Sprintf("obs: unknown metric %q", name))
+	}
+	if got := s.reg.defs[i].Kind; got != kind {
+		panic(fmt.Sprintf("obs: metric %q is a %s, not a %s", name, got, kind))
+	}
+	return s.slots[i]
+}
+
+// Counter resolves a counter handle by full series name (family, or
+// family{labels}). Panics on unknown names — the schema is static, so
+// a miss is a programming error. Nil-safe: a nil shard yields a nil
+// handle whose operations no-op.
+func (s *Shard) Counter(name string) *Counter {
+	v := s.slot(name, KindCounter)
+	if v == nil {
+		return nil
+	}
+	return v.(*Counter)
+}
+
+// Gauge resolves a gauge handle (see Counter for the contract).
+func (s *Shard) Gauge(name string) *Gauge {
+	v := s.slot(name, KindGauge)
+	if v == nil {
+		return nil
+	}
+	return v.(*Gauge)
+}
+
+// Histogram resolves a histogram handle (see Counter for the contract).
+func (s *Shard) Histogram(name string) *Histogram {
+	v := s.slot(name, KindHistogram)
+	if v == nil {
+		return nil
+	}
+	return v.(*Histogram)
+}
+
+// ID returns the shard's scope ID.
+func (s *Shard) ID() int {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// BucketCount is one cumulative histogram bucket in a snapshot.
+type BucketCount struct {
+	Le    float64 `json:"le"`
+	Count int64   `json:"count"`
+}
+
+// Sample is one merged series in a snapshot.
+type Sample struct {
+	Family string `json:"family"`
+	Labels string `json:"labels,omitempty"`
+	Kind   string `json:"kind"`
+	Help   string `json:"help,omitempty"`
+	// Value carries counters and gauges.
+	Value float64 `json:"value"`
+	// Histogram fields: finite cumulative buckets plus total count and
+	// sum (the implicit +Inf cumulative count equals Count).
+	Count   int64         `json:"count,omitempty"`
+	Sum     float64       `json:"sum,omitempty"`
+	Buckets []BucketCount `json:"buckets,omitempty"`
+}
+
+// Snapshot is a deterministic point-in-time merge of every shard, in
+// registration order; JSON-stable.
+type Snapshot struct {
+	Samples []Sample `json:"samples"`
+}
+
+// Snapshot merges all shards in ascending scope-ID order. Callers must
+// hold the single-writer contract: no shard may be written
+// concurrently (fleet snapshots run at epoch barriers or after the
+// pool joins).
+func (g *Registry) Snapshot() *Snapshot {
+	if g == nil {
+		return &Snapshot{}
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	ids := make([]int, 0, len(g.scopes))
+	for id := range g.scopes {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	snap := &Snapshot{Samples: make([]Sample, len(g.defs))}
+	for di, d := range g.defs {
+		smp := Sample{Family: d.Family, Labels: d.Labels, Kind: d.Kind, Help: d.Help}
+		if d.Kind == KindHistogram {
+			counts := make([]int64, len(d.Buckets)+1)
+			for _, id := range ids {
+				h := g.scopes[id].slots[di].(*Histogram)
+				for i, c := range h.counts {
+					counts[i] += c
+				}
+				smp.Sum += h.sum
+				smp.Count += h.n
+			}
+			var cum int64
+			smp.Buckets = make([]BucketCount, len(d.Buckets))
+			for i, le := range d.Buckets {
+				cum += counts[i]
+				smp.Buckets[i] = BucketCount{Le: le, Count: cum}
+			}
+		} else {
+			for _, id := range ids {
+				switch v := g.scopes[id].slots[di].(type) {
+				case *Counter:
+					smp.Value += v.v
+				case *Gauge:
+					// Gauges are meaningful on a single scope (the run
+					// scope); merging sums the scopes that Set them.
+					if v.set {
+						smp.Value += v.v
+					}
+				}
+			}
+		}
+		snap.Samples[di] = smp
+	}
+	return snap
+}

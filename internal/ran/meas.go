@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"rem/internal/fault"
+	"rem/internal/obs"
 	"rem/internal/policy"
 	"rem/internal/sim"
 )
@@ -110,6 +111,14 @@ type MeasEngine struct {
 	Dep     *Deployment
 	Policy  *policy.Policy
 	Serving int
+
+	// Rec, when non-nil, receives client-side timeline events
+	// (gaps arming, measurement triggers). Trig, when non-nil, counts
+	// elapsed time-to-trigger criteria. Both are nil-safe handles from
+	// rem/internal/obs; recording draws no randomness, so arming them
+	// cannot perturb the measurement RNG stream.
+	Rec  *obs.Recorder
+	Trig *obs.Counter
 
 	rng *sim.RNG
 
@@ -364,6 +373,7 @@ func (e *MeasEngine) evaluate(t float64) []Report {
 				e.a2Armed = true
 				e.gapsActive = true
 				e.gapsAt = t + e.Cfg.ReconfigRTT
+				e.Rec.Record(obs.Event{T: t, Kind: obs.EvGapsArmed, Cell: e.Serving, Value: e.gapsAt})
 			}
 		} else {
 			e.a2Since = -1
@@ -431,6 +441,8 @@ func (e *MeasEngine) evaluate(t float64) []Report {
 						CriterionAt: since,
 						ReadyAt:     t,
 					})
+					e.Trig.Inc()
+					e.Rec.Record(obs.Event{T: t, Kind: obs.EvMeasTrigger, Cell: e.Serving, To: id, Value: v.metric})
 					// Re-arm so a persisting condition re-reports
 					// only after the report interval (3GPP
 					// reportInterval), not every tick.

@@ -1,0 +1,24 @@
+package tcpsim
+
+import (
+	"rem/internal/obs"
+)
+
+// ObserveStalls publishes a replayed stall list to a telemetry scope:
+// one tcp_stall_open/close event pair per stall (open carries the
+// final RTO reached, close the stall duration) plus the stall counter
+// and duration histogram. Nil-safe; stalls are already in start order
+// because Replay merges outages sorted by start.
+func ObserveStalls(sc *obs.UEScope, stalls []Stall) {
+	if sc == nil {
+		return
+	}
+	n := sc.Shard.Counter(obs.MTCPStalls)
+	h := sc.Shard.Histogram(obs.MTCPStall)
+	for _, st := range stalls {
+		n.Inc()
+		h.Observe(st.Duration)
+		sc.Rec.Record(obs.Event{T: st.Start, Kind: obs.EvTCPStallOpen, Value: st.FinalRTO})
+		sc.Rec.Record(obs.Event{T: st.Start + st.Duration, Kind: obs.EvTCPStallClose, Value: st.Duration})
+	}
+}

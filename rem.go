@@ -2,6 +2,7 @@ package rem
 
 import (
 	"context"
+	"io"
 
 	"rem/internal/chanmodel"
 	"rem/internal/crossband"
@@ -12,6 +13,7 @@ import (
 	"rem/internal/geo"
 	"rem/internal/locate"
 	"rem/internal/mobility"
+	"rem/internal/obs"
 	"rem/internal/otfs"
 	"rem/internal/policy"
 	"rem/internal/rrc"
@@ -115,6 +117,19 @@ type (
 	FaultPlan = fault.Plan
 	// FaultGenSpec parameterizes seed-derived fault plan generation.
 	FaultGenSpec = fault.GenSpec
+	// Telemetry is the deterministic observability plane: a metrics
+	// registry plus per-UE event recorders. Arming it never changes a
+	// run's bytes, and its own outputs are byte-identical at any
+	// worker count.
+	Telemetry = obs.Telemetry
+	// TelemetryConfig sizes the observability plane.
+	TelemetryConfig = obs.Config
+	// TimelineEvent is one structured handover-lifecycle event.
+	TimelineEvent = obs.Event
+	// MetricsSnapshot is a merged, deterministic view of every metric.
+	MetricsSnapshot = obs.Snapshot
+	// MetricSample is one metric series inside a snapshot.
+	MetricSample = obs.Sample
 )
 
 // Dataset identifiers.
@@ -233,6 +248,54 @@ func ParseFaultPlan(data []byte) (*FaultPlan, error) { return fault.Parse(data) 
 func GenerateFaultPlan(seed int64, spec FaultGenSpec) (*FaultPlan, error) {
 	return fault.Generate(sim.NewStreams(seed), spec)
 }
+
+// AttachTelemetry gives a built scenario a recording scope on tel;
+// the scope ID becomes the "ue" field of every timeline event the run
+// emits. Attaching telemetry never changes the run's result bytes.
+func AttachTelemetry(b *Built, tel *Telemetry, scope int) {
+	if b == nil || tel == nil {
+		return
+	}
+	b.Scenario.Obs = tel.Scope(scope)
+}
+
+// ObserveTCPStalls replays a finished run's radio outages through the
+// deterministic TCP model and records the resulting stall events and
+// histograms into the run's telemetry scope.
+func ObserveTCPStalls(tel *Telemetry, scope int, res *Result) {
+	if tel == nil || res == nil || len(res.Outages) == 0 {
+		return
+	}
+	outs := make([]tcpsim.Outage, len(res.Outages))
+	for i, o := range res.Outages {
+		outs[i] = tcpsim.Outage{Start: o.Start, Duration: o.Duration}
+	}
+	tcpsim.ObserveStalls(tel.Scope(scope), tcpsim.Replay(outs, tcpsim.DefaultConfig()).Stalls)
+}
+
+// NewTelemetry returns an armed observability plane. Pass a zero
+// TelemetryConfig for defaults. Wire it into a fleet run via
+// FleetOptions.Telemetry or an experiment via
+// ExperimentConfig.Telemetry; scenario-level runs attach a per-UE
+// scope through the internal mobility hooks.
+func NewTelemetry(cfg TelemetryConfig) *Telemetry { return obs.New(cfg) }
+
+// MarshalTimeline renders timeline events as NDJSON (one JSON object
+// per line), the format every timeline endpoint and file uses.
+func MarshalTimeline(events []TimelineEvent) []byte { return obs.MarshalNDJSON(events) }
+
+// ReadTimeline parses an NDJSON timeline stream, rejecting unknown
+// fields so schema drift is caught at the boundary.
+func ReadTimeline(r io.Reader) ([]TimelineEvent, error) { return obs.ReadNDJSON(r) }
+
+// SortTimeline orders events by (time, UE, sequence), the canonical
+// deterministic timeline order.
+func SortTimeline(events []TimelineEvent) { obs.SortEvents(events) }
+
+// PrometheusContentType is the Content-Type of Prometheus text
+// exposition format 0.0.4, which MetricsSnapshot.WritePrometheus and
+// remserve's /metrics emit.
+const PrometheusContentType = obs.PrometheusContentType
 
 // RunScenario executes a built scenario through the three-phase
 // handover engine and returns the replay result.
