@@ -19,11 +19,12 @@ type serverMetrics struct {
 
 	started, completed, canceled, failed *obs.Counter
 	shed, recovered, retried             *obs.Counter
-	epochs                               *obs.Counter
+	epochs, epochAllocs                  *obs.Counter
 	epochWall                            *obs.Histogram
 
 	activeRuns, activeUEs        *obs.Gauge
 	handovers, failures, blocked *obs.Gauge
+	lastEpochNs, lastEpochAllocs *obs.Gauge
 }
 
 func newServerMetrics() *serverMetrics {
@@ -36,7 +37,10 @@ func newServerMetrics() *serverMetrics {
 	reg.Counter("remserve_runs_recovered_total", "Interrupted runs surfaced as failed at boot.")
 	reg.Counter("remserve_runs_retried_total", "Transient run-start retries.")
 	reg.Counter("remserve_epochs_total", "Fleet epoch barriers executed.")
+	reg.Counter("remserve_epoch_allocs_total", "Heap objects allocated across fleet epochs.")
 	reg.Histogram("remserve_epoch_wall_ms", "Fleet epoch wall-clock latency (ms).", epochBuckets)
+	reg.Gauge("remserve_last_epoch_ns", "Wall-clock nanoseconds of the most recent fleet epoch.")
+	reg.Gauge("remserve_last_epoch_allocs", "Heap objects allocated during the most recent fleet epoch.")
 	reg.Gauge("remserve_active_runs", "Runs currently executing.")
 	reg.Gauge("remserve_active_ues", "UEs attached across executing runs.")
 	reg.Gauge("remserve_handovers", "Handovers across all runs (latest heartbeats).")
@@ -44,21 +48,24 @@ func newServerMetrics() *serverMetrics {
 	reg.Gauge("remserve_blocked", "Admission-blocked handovers across all runs.")
 	sh := reg.Shard(0)
 	return &serverMetrics{
-		reg:        reg,
-		started:    sh.Counter("remserve_runs_started_total"),
-		completed:  sh.Counter("remserve_runs_completed_total"),
-		canceled:   sh.Counter("remserve_runs_canceled_total"),
-		failed:     sh.Counter("remserve_runs_failed_total"),
-		shed:       sh.Counter("remserve_runs_shed_total"),
-		recovered:  sh.Counter("remserve_runs_recovered_total"),
-		retried:    sh.Counter("remserve_runs_retried_total"),
-		epochs:     sh.Counter("remserve_epochs_total"),
-		epochWall:  sh.Histogram("remserve_epoch_wall_ms"),
-		activeRuns: sh.Gauge("remserve_active_runs"),
-		activeUEs:  sh.Gauge("remserve_active_ues"),
-		handovers:  sh.Gauge("remserve_handovers"),
-		failures:   sh.Gauge("remserve_failures"),
-		blocked:    sh.Gauge("remserve_blocked"),
+		reg:             reg,
+		started:         sh.Counter("remserve_runs_started_total"),
+		completed:       sh.Counter("remserve_runs_completed_total"),
+		canceled:        sh.Counter("remserve_runs_canceled_total"),
+		failed:          sh.Counter("remserve_runs_failed_total"),
+		shed:            sh.Counter("remserve_runs_shed_total"),
+		recovered:       sh.Counter("remserve_runs_recovered_total"),
+		retried:         sh.Counter("remserve_runs_retried_total"),
+		epochs:          sh.Counter("remserve_epochs_total"),
+		epochAllocs:     sh.Counter("remserve_epoch_allocs_total"),
+		epochWall:       sh.Histogram("remserve_epoch_wall_ms"),
+		activeRuns:      sh.Gauge("remserve_active_runs"),
+		activeUEs:       sh.Gauge("remserve_active_ues"),
+		handovers:       sh.Gauge("remserve_handovers"),
+		failures:        sh.Gauge("remserve_failures"),
+		blocked:         sh.Gauge("remserve_blocked"),
+		lastEpochNs:     sh.Gauge("remserve_last_epoch_ns"),
+		lastEpochAllocs: sh.Gauge("remserve_last_epoch_allocs"),
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -79,9 +80,21 @@ func TestMetricsPrometheusNegotiation(t *testing.T) {
 		"remserve_epoch_wall_ms_sum",
 		"remserve_epoch_wall_ms_count",
 		"# TYPE remserve_active_runs gauge",
+		"# TYPE remserve_epoch_allocs_total counter",
+		"# TYPE remserve_last_epoch_ns gauge",
+		"# TYPE remserve_last_epoch_allocs gauge",
 	} {
 		if !strings.Contains(text, want) {
 			t.Fatalf("Prometheus exposition missing %q in:\n%s", want, text)
+		}
+	}
+	// The per-epoch performance gauges carry real measurements after a
+	// completed run: the last epoch took nonzero wall time.
+	for _, line := range strings.Split(text, "\n") {
+		if rest, ok := strings.CutPrefix(line, "remserve_last_epoch_ns "); ok {
+			if v, err := strconv.ParseFloat(rest, 64); err != nil || v <= 0 {
+				t.Fatalf("remserve_last_epoch_ns = %q, want > 0", rest)
+			}
 		}
 	}
 }

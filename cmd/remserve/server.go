@@ -494,7 +494,7 @@ func (s *server) execute(ctx context.Context, r *run, fs rem.FleetSpec) {
 			Progress: func(p rem.FleetProgress) {
 				r.markObserved()
 				r.setProgress(p)
-				s.observeEpoch(p.WallStep)
+				s.observeEpoch(p)
 			},
 		}
 		if r.spec.Telemetry {
@@ -596,11 +596,14 @@ func (s *server) finishRunResult(r *run, res *rem.FleetResult, err error) {
 	s.journalEnd(r)
 }
 
-func (s *server) observeEpoch(d time.Duration) {
-	ms := float64(d) / float64(time.Millisecond)
+func (s *server) observeEpoch(p rem.FleetProgress) {
+	ms := float64(p.WallStep) / float64(time.Millisecond)
 	s.mu.Lock()
 	s.sm.epochs.Inc()
 	s.sm.epochWall.Observe(ms)
+	s.sm.epochAllocs.Add(float64(p.EpochAllocs))
+	s.sm.lastEpochNs.Set(float64(p.WallStep.Nanoseconds()))
+	s.sm.lastEpochAllocs.Set(float64(p.EpochAllocs))
 	s.mu.Unlock()
 }
 

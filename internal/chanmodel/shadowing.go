@@ -19,11 +19,18 @@ type Shadowing struct {
 	primed bool
 
 	// rho/sig memo for the common fixed-step advance: tick-driven
-	// callers query equidistant positions, so exp and sqrt of the same
-	// delta dominate the cost. Keyed on the exact float delta, the
-	// cached values are bitwise what the direct computation yields.
-	memoDelta, memoRho, memoSig float64
-	memoOK                      bool
+	// callers query near-equidistant positions, so exp and sqrt of a
+	// handful of deltas dominate the cost. Successive positions come
+	// from x = v·t, so the step wobbles across a few ulp-distinct
+	// values — a single-entry memo thrashes between them, hence the
+	// small table. Keyed on the exact float delta, the cached values
+	// are bitwise what the direct computation yields.
+	memo  [8]shadowMemoEntry
+	memoN int // entries filled; also the ring insert cursor
+}
+
+type shadowMemoEntry struct {
+	delta, rho, sig float64
 }
 
 // NewShadowing creates a correlated shadowing process.
@@ -46,14 +53,32 @@ func (s *Shadowing) At(d float64) float64 {
 		return s.lastDB
 	}
 	var rho, sig float64
-	if s.memoOK && delta == s.memoDelta {
-		rho, sig = s.memoRho, s.memoSig
+	if i := s.memoFind(delta); i >= 0 {
+		rho, sig = s.memo[i].rho, s.memo[i].sig
 	} else {
 		rho = math.Exp(-delta / s.DecorrM)
 		sig = math.Sqrt(1 - rho*rho)
-		s.memoDelta, s.memoRho, s.memoSig, s.memoOK = delta, rho, sig, true
+		s.memoPut(delta, rho, sig)
 	}
 	s.lastDB = rho*s.lastDB + sig*s.rng.Gauss(0, s.StdDB)
 	s.lastD = d
 	return s.lastDB
+}
+
+func (s *Shadowing) memoFind(delta float64) int {
+	n := s.memoN
+	if n > len(s.memo) {
+		n = len(s.memo)
+	}
+	for i := 0; i < n; i++ {
+		if s.memo[i].delta == delta {
+			return i
+		}
+	}
+	return -1
+}
+
+func (s *Shadowing) memoPut(delta, rho, sig float64) {
+	s.memo[s.memoN%len(s.memo)] = shadowMemoEntry{delta: delta, rho: rho, sig: sig}
+	s.memoN++
 }

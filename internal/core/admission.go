@@ -58,6 +58,73 @@ func (a *Admission) Select(cands []TargetCandidate) (target int, ok bool) {
 	return d.Target, d.OK
 }
 
+// PackedCandidates is the struct-of-arrays candidate list the fleet's
+// hot path feeds admission: three parallel slices a caller resets and
+// refills per decision, so steady-state evaluations allocate nothing.
+// Index i across the slices is one candidate.
+type PackedCandidates struct {
+	IDs     []int
+	Metrics []float64
+	Loads   []int
+}
+
+// Reset empties the list, keeping the backing arrays.
+func (p *PackedCandidates) Reset() {
+	p.IDs = p.IDs[:0]
+	p.Metrics = p.Metrics[:0]
+	p.Loads = p.Loads[:0]
+}
+
+// Append adds one candidate.
+func (p *PackedCandidates) Append(id int, metric float64, load int) {
+	p.IDs = append(p.IDs, id)
+	p.Metrics = append(p.Metrics, metric)
+	p.Loads = append(p.Loads, load)
+}
+
+// Len returns the number of candidates.
+func (p *PackedCandidates) Len() int { return len(p.IDs) }
+
+// DecidePacked is Decide over a packed candidate list: identical
+// selection and tie-breaking, zero allocations.
+func (a *Admission) DecidePacked(p *PackedCandidates) Decision {
+	var d Decision
+	bestIdx := -1
+	for i, load := range p.Loads {
+		if !a.Admissible(load) {
+			continue
+		}
+		d.Admissible++
+		if bestIdx < 0 || p.Metrics[i] > p.Metrics[bestIdx] ||
+			(p.Metrics[i] == p.Metrics[bestIdx] && p.IDs[i] < p.IDs[bestIdx]) {
+			bestIdx = i
+		}
+	}
+	if bestIdx < 0 {
+		return d
+	}
+	d.OK = true
+	if a.SpreadMarginDB <= 0 {
+		d.Target = p.IDs[bestIdx]
+		return d
+	}
+	floor := p.Metrics[bestIdx] - a.SpreadMarginDB
+	pick := bestIdx
+	for i, load := range p.Loads {
+		if i == bestIdx || !a.Admissible(load) || p.Metrics[i] < floor {
+			continue
+		}
+		if load < p.Loads[pick] ||
+			(load == p.Loads[pick] && (p.Metrics[i] > p.Metrics[pick] ||
+				(p.Metrics[i] == p.Metrics[pick] && p.IDs[i] < p.IDs[pick]))) {
+			pick = i
+		}
+	}
+	d.Target = p.IDs[pick]
+	d.Spread = pick != bestIdx
+	return d
+}
+
 // Decide evaluates admission over the candidates and returns the full
 // Decision. Deterministic for a given candidate list.
 func (a *Admission) Decide(cands []TargetCandidate) Decision {

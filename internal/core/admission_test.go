@@ -1,6 +1,9 @@
 package core
 
-import "testing"
+import (
+	"math/rand"
+	"testing"
+)
 
 func TestAdmissionUnlimitedPicksStrongest(t *testing.T) {
 	a := NewAdmission(0)
@@ -66,6 +69,42 @@ func TestAdmissionSpreadTieBreaksDeterministically(t *testing.T) {
 		target, ok := a.Select(cands)
 		if !ok || target != 4 {
 			t.Fatalf("got (%d, %v), want (4, true)", target, ok)
+		}
+	}
+}
+
+// TestDecidePackedMatchesDecide fuzzes the struct-of-arrays admission
+// path against the boxed one: for every generated candidate set —
+// including metric ties, full cells, and spread-margin clusters — the
+// two must return identical Decisions.
+func TestDecidePackedMatchesDecide(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	admissions := []*Admission{
+		{Capacity: 0},
+		{Capacity: 3},
+		{Capacity: 0, SpreadMarginDB: 3},
+		{Capacity: 4, SpreadMarginDB: 5},
+	}
+	for trial := 0; trial < 500; trial++ {
+		n := rng.Intn(6) // 0..5 candidates, empty included
+		cands := make([]TargetCandidate, n)
+		var packed PackedCandidates
+		packed.Reset()
+		for i := range cands {
+			cands[i] = TargetCandidate{
+				CellID: 1 + rng.Intn(4),           // collisions likely
+				Metric: float64(rng.Intn(8)) - 3,  // coarse grid forces ties
+				Load:   rng.Intn(5),
+			}
+			packed.Append(cands[i].CellID, cands[i].Metric, cands[i].Load)
+		}
+		for _, a := range admissions {
+			want := a.Decide(cands)
+			got := a.DecidePacked(&packed)
+			if got != want {
+				t.Fatalf("trial %d, admission %+v, cands %+v:\npacked %+v\nboxed  %+v",
+					trial, a, cands, got, want)
+			}
 		}
 	}
 }

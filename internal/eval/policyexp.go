@@ -222,11 +222,11 @@ func conflictTraceScenario(seed int64, startX float64,
 	for i := 0; i <= 100; i++ {
 		tt := float64(i) * 0.1
 		snap := env2.Snapshot(traj.At(tt), tt)
-		if cr, ok := snap[a.ID]; ok {
+		if cr, ok := snap.Get(a.ID); ok {
 			sA.X = append(sA.X, tt)
 			sA.Y = append(sA.Y, cr.RSRP)
 		}
-		if cr, ok := snap[b.ID]; ok {
+		if cr, ok := snap.Get(b.ID); ok {
 			sB.X = append(sB.X, tt)
 			sB.Y = append(sB.Y, cr.RSRP)
 		}

@@ -1,0 +1,181 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"sort"
+	"testing"
+
+	"rem/internal/fault"
+	"rem/internal/obs"
+	"rem/internal/trace"
+)
+
+// fastPathRun executes a fault-armed fleet whose UEs repeatedly enter
+// and leave an all-cells blackout, with the detached-client fast path
+// either active (the default) or disabled via the always-step
+// verification knob, and returns every byte-comparable artifact.
+func fastPathRun(t *testing.T, fullSnapshot bool) (resJS, snapJS, ndjson []byte) {
+	t.Helper()
+	spec := Spec{
+		UEs: 30, Dataset: trace.BeijingShanghai, Mode: trace.REM,
+		SpeedKmh: 330, DurationSec: 5, Seed: 21, Workers: 4,
+		CellCapacity: 10, SpreadMarginDB: 3,
+		Faults: &fault.Plan{
+			Name: "fastpath-blackouts",
+			Outages: []fault.CellOutage{
+				{Cell: fault.AllCells, Start: 1.0, End: 1.6},
+				{Cell: fault.AllCells, Start: 3.0, End: 3.4},
+			},
+		},
+	}
+	tel := obs.New(obs.Config{})
+	var timeline []obs.Event
+	res, err := RunWithOptions(context.Background(), spec, Options{
+		Telemetry:            tel,
+		OnTimeline:           func(evs []obs.Event) { timeline = append(timeline, evs...) },
+		fullSnapshotInOutage: fullSnapshot,
+	})
+	if err != nil {
+		t.Fatalf("fullSnapshot=%v: %v", fullSnapshot, err)
+	}
+	resJS, err = json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapJS, err = json.Marshal(tel.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs.SortEvents(timeline)
+	return resJS, snapJS, obs.MarshalNDJSON(timeline)
+}
+
+// TestFleetBlackoutFastPathEquivalence is the activity/fast-path
+// acceptance test: UEs that black out under a fault plan take the
+// detached DD-only snapshot path (skipping full per-cell SNR work)
+// yet must produce byte-identical summaries, metrics snapshots and
+// timelines — with dense per-UE Seq streams — versus forcing every
+// tick through the full always-step snapshot.
+func TestFleetBlackoutFastPathEquivalence(t *testing.T) {
+	resFast, snapFast, ndFast := fastPathRun(t, false)
+	resFull, snapFull, ndFull := fastPathRun(t, true)
+	if !bytes.Equal(resFast, resFull) {
+		t.Error("result JSON differs between fast path and always-step path")
+	}
+	if !bytes.Equal(snapFast, snapFull) {
+		t.Error("metrics snapshot differs between fast path and always-step path")
+	}
+	if !bytes.Equal(ndFast, ndFull) {
+		t.Error("timeline NDJSON differs between fast path and always-step path")
+	}
+
+	evs, err := obs.ReadNDJSON(bytes.NewReader(ndFast))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The plan must actually have exercised the detached path.
+	blackouts := 0
+	seqs := map[int][]int{}
+	for _, ev := range evs {
+		if ev.Kind == obs.EvBlackoutOpen {
+			blackouts++
+		}
+		seqs[ev.UE] = append(seqs[ev.UE], ev.Seq)
+	}
+	if blackouts == 0 {
+		t.Fatal("all-cells outages produced no blackouts — fast path never exercised")
+	}
+	// Seq streams stay dense per UE: no event was lost or double-drained
+	// while sessions toggled between the detached and attached paths.
+	for ue, ss := range seqs {
+		sort.Ints(ss)
+		for i, s := range ss {
+			if s != i {
+				t.Fatalf("UE %d: Seq stream not dense at index %d (got %d)", ue, i, s)
+			}
+		}
+	}
+}
+
+// TestFleetActivityIndexDrainsAtEnd checks the activity index's
+// lifecycle: during the run every UE is live, after the final barrier
+// the index is empty (done runners are never dispatched again), and a
+// StepEpoch past the end is a reported no-op.
+func TestFleetActivityIndexDrainsAtEnd(t *testing.T) {
+	eng, err := NewEngine(context.Background(), Spec{
+		UEs: 10, Dataset: trace.BeijingTaiyuan, Mode: trace.Legacy,
+		SpeedKmh: 300, DurationSec: 2, Seed: 3, Workers: 2, EpochSec: 0.5,
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eng.active) != 10 {
+		t.Fatalf("activity index holds %d of 10 UEs before the run", len(eng.active))
+	}
+	steps := 0
+	for {
+		done, err := eng.StepEpoch(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		steps++
+		if done {
+			break
+		}
+		if len(eng.active) != 10 {
+			t.Fatalf("mid-run activity index holds %d of 10 UEs", len(eng.active))
+		}
+	}
+	if steps != 4 {
+		t.Fatalf("2s at 0.5s epochs took %d StepEpoch calls, want 4", steps)
+	}
+	if len(eng.active) != 0 {
+		t.Fatalf("activity index still holds %d UEs after the final barrier", len(eng.active))
+	}
+	if done, err := eng.StepEpoch(context.Background()); err != nil || !done {
+		t.Fatalf("StepEpoch past the end = (%v, %v), want (true, nil)", done, err)
+	}
+	res := eng.Finish()
+	if res.Summary.UEs != 10 {
+		t.Fatalf("summary UEs = %d", res.Summary.UEs)
+	}
+}
+
+// TestFleetOversubscribedWorkers16 drives the epoch barrier with 16
+// pool workers over 24 UEs — more workers than step batches — armed
+// and fault-injected, and checks the result is byte-identical to the
+// single-worker run. CI runs this under -race as the barrier's
+// concurrency smoke.
+func TestFleetOversubscribedWorkers16(t *testing.T) {
+	run := func(workers int) []byte {
+		spec := Spec{
+			UEs: 24, Dataset: trace.BeijingShanghai, Mode: trace.REM,
+			SpeedKmh: 330, DurationSec: 3, Seed: 5, Workers: workers,
+			CellCapacity: 8, SpreadMarginDB: 3,
+			Faults: &fault.Plan{
+				Name:    "workers16",
+				Outages: []fault.CellOutage{{Cell: fault.AllCells, Start: 1.0, End: 1.5}},
+			},
+		}
+		tel := obs.New(obs.Config{})
+		var timeline []obs.Event
+		res, err := RunWithOptions(context.Background(), spec, Options{
+			Telemetry:  tel,
+			OnTimeline: func(evs []obs.Event) { timeline = append(timeline, evs...) },
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		resJS, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		obs.SortEvents(timeline)
+		return append(resJS, obs.MarshalNDJSON(timeline)...)
+	}
+	if !bytes.Equal(run(16), run(1)) {
+		t.Fatal("16-worker run differs from single-worker run")
+	}
+}

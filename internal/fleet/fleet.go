@@ -16,11 +16,22 @@
 // produces therefore depends only on (spec, epoch schedule) — never on
 // the worker count or on goroutine interleaving — so aggregate
 // reports are byte-identical at -workers 1 and -workers N.
+//
+// # Struct-of-arrays layout
+//
+// Session state is packed flat: all mobility.Runner values live in one
+// contiguous slice indexed by UE, with per-UE fleet bookkeeping in a
+// parallel sessState slice. Live UEs are tracked in a dense activity
+// index that the worker pool steps in fixed-size batches, and every
+// per-epoch buffer (event batches, admission candidate lists, frozen
+// load snapshots, timeline drains) is pooled on the engine, so
+// steady-state epochs allocate nothing on the coordinator path.
 package fleet
 
 import (
 	"context"
 	"fmt"
+	gometrics "runtime/metrics"
 	"sort"
 	"time"
 
@@ -49,8 +60,8 @@ type Spec struct {
 	DurationSec float64 `json:"duration_sec"`
 	// Seed roots every RNG stream of the run (default 1).
 	Seed int64 `json:"seed,omitempty"`
-	// Workers bounds the parallel pool (0 = all cores). Results are
-	// byte-identical at any value.
+	// Workers bounds the parallel pool (0 = all cores; must not exceed
+	// UEs). Results are byte-identical at any value.
 	Workers int `json:"workers,omitempty"`
 	// EpochSec is the barrier interval at which shared cell state is
 	// refreshed and events are published (default 0.5 simulated
@@ -86,13 +97,31 @@ func (s Spec) withDefaults() Spec {
 	return s
 }
 
+// SpecError is a typed spec-validation failure: which field was
+// rejected and why. Invalid values are rejected, never silently
+// clamped — a spec that runs is the spec that was asked for.
+type SpecError struct {
+	Field string // the offending Spec field name
+	Msg   string // what was wrong with it
+}
+
+func (e *SpecError) Error() string {
+	return "fleet: invalid spec: " + e.Field + ": " + e.Msg
+}
+
 // Validate checks the spec without running it.
 func (s Spec) Validate() error {
 	if s.UEs < 1 {
-		return fmt.Errorf("fleet: UEs must be >= 1 (got %d)", s.UEs)
+		return &SpecError{Field: "UEs", Msg: fmt.Sprintf("must be >= 1 (got %d)", s.UEs)}
 	}
 	if s.DurationSec <= 0 {
-		return fmt.Errorf("fleet: non-positive duration %g", s.DurationSec)
+		return &SpecError{Field: "DurationSec", Msg: fmt.Sprintf("must be > 0 (got %g)", s.DurationSec)}
+	}
+	if s.Workers < 0 {
+		return &SpecError{Field: "Workers", Msg: fmt.Sprintf("must be >= 0 (got %d)", s.Workers)}
+	}
+	if s.Workers > s.UEs {
+		return &SpecError{Field: "Workers", Msg: fmt.Sprintf("%d workers exceed %d UEs", s.Workers, s.UEs)}
 	}
 	if err := s.Faults.Validate(); err != nil {
 		return err
@@ -109,6 +138,11 @@ type Progress struct {
 	Failures  int           // cumulative
 	Blocked   int           // cumulative admission deferrals
 	WallStep  time.Duration // wall-clock cost of this epoch
+	// EpochAllocs is the number of heap objects allocated during this
+	// epoch (workers plus coordinator, via runtime/metrics). Collected
+	// only when a Progress hook is installed, so disarmed runs pay
+	// nothing for it.
+	EpochAllocs uint64
 }
 
 // Options customizes a run with observation hooks. All hooks are
@@ -128,8 +162,16 @@ type Options struct {
 	// OnTimeline receives each epoch's merged timeline batch (sorted
 	// by time, UE, sequence), plus one final batch after the run
 	// completes that also carries the replayed TCP stall events.
-	// Only called when Telemetry is armed.
+	// Only called when Telemetry is armed. The batch slice is pooled
+	// and reused between calls — copy events out to retain them.
 	OnTimeline func([]obs.Event)
+
+	// fullSnapshotInOutage forces every session onto the always-step
+	// full-snapshot path while detached (see
+	// mobility.Config.FullSnapshotInOutage). Test-only verification
+	// knob for the detached fast path; outputs must be byte-identical
+	// either way.
+	fullSnapshotInOutage bool
 }
 
 // Run executes the fleet to completion (or ctx cancellation).
@@ -139,40 +181,79 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 
 // RunWithOptions is Run with observation hooks.
 func RunWithOptions(ctx context.Context, spec Spec, opts Options) (*Result, error) {
-	spec = spec.withDefaults()
-	if err := spec.Validate(); err != nil {
-		return nil, err
-	}
-	eng, err := newEngine(spec)
+	eng, err := NewEngine(ctx, spec, opts)
 	if err != nil {
 		return nil, err
 	}
-	return eng.run(ctx, opts)
+	return eng.runAll(ctx)
 }
 
-// engine holds one run's shared state.
-type engine struct {
-	spec     Spec
-	shared   *trace.Shared
-	sessions []*session
-	adm      *core.Admission
+// stepBatchSize is the number of UEs one pool task steps back-to-back:
+// large enough to amortize task dispatch, small enough to load-balance
+// across workers.
+const stepBatchSize = 64
+
+// Engine is one fleet run's packed state, advanced epoch by epoch.
+// Build it with NewEngine, call StepEpoch until done, then Finish.
+// Run/RunWithOptions wrap that loop for callers that just want the
+// result.
+//
+// All exported methods are coordinator-side: they must be called from
+// a single goroutine.
+type Engine struct {
+	spec   Spec
+	opts   Options
+	shared *trace.Shared
+	adm    *core.Admission
+
+	// Struct-of-arrays session state, indexed by UE: the runners slice
+	// holds every mobility.Runner by value (contiguous, cache-friendly
+	// batch stepping), sess the per-UE fleet bookkeeping.
+	runners []mobility.Runner
+	sess    []sessState
+
+	// active is the dense activity index: the UE ids still live (not
+	// Done), rebuilt at every barrier. Pool tasks step fixed-size
+	// batches of it.
+	active []int32
 
 	// loads is the frozen per-cell attach count (indexed by cell ID)
-	// the sessions' admission hooks read during an epoch. It is
-	// replaced — never mutated — at epoch barriers, and the par pool's
-	// goroutine spawn provides the happens-before edge to the workers.
-	loads []int
+	// the sessions' admission hooks read during an epoch. The two
+	// buffers are swapped — never reallocated — at epoch barriers, and
+	// the par pool's goroutine spawn provides the happens-before edge
+	// to the workers.
+	loads     []int
+	loadsNext []int
 
-	cells     map[int]*CellStat
+	// cellStats is dense by cell ID (IDs start at 1; slot 0 unused).
+	cellStats []CellStat
 	handovers int
 	failures  int
 	blocked   int
 
+	simT float64
+	done bool
+
+	// Pooled per-epoch scratch: the barrier's merged event batch and
+	// its stored sorter (so sort.Stable takes an interface that is
+	// already a pointer — no per-epoch allocation), plus the bound
+	// batch-stepping closure handed to the pool.
+	epochEvents []Event
+	sorter      eventSorter
+	stepFn      func(i int) error
+	epochEnd    float64
+
 	// tel / runObs are the armed observability plane (nil when
 	// disarmed): per-UE scopes live on tel, run-level metrics on the
-	// coordinator-owned obs.RunScope shard.
-	tel    *obs.Telemetry
-	runObs *runScopeObs
+	// coordinator-owned obs.RunScope shard. timelineBuf is the pooled
+	// drain target handed to OnTimeline.
+	tel         *obs.Telemetry
+	runObs      *runScopeObs
+	timelineBuf []obs.Event
+
+	// allocSamples is the runtime/metrics scratch for
+	// Progress.EpochAllocs (nil unless a Progress hook is installed).
+	allocSamples []gometrics.Sample
 }
 
 // runScopeObs holds the run-level metric handles the coordinator
@@ -187,7 +268,7 @@ type runScopeObs struct {
 }
 
 // armTelemetry installs the run's telemetry before any session exists.
-func (e *engine) armTelemetry(tel *obs.Telemetry) {
+func (e *Engine) armTelemetry(tel *obs.Telemetry) {
 	if tel == nil {
 		return
 	}
@@ -202,11 +283,13 @@ func (e *engine) armTelemetry(tel *obs.Telemetry) {
 	}
 }
 
-// publishTimeline drains every scope (UE order) and hands the merged
-// batch to the OnTimeline hook, keeping the run-level event counters
-// current. Coordinator-only, at barriers or after the pool joins.
-func (e *engine) publishTimeline(opts Options) {
-	evs := e.tel.Drain()
+// publishTimeline drains every scope (UE order) into the pooled batch
+// and hands it to the OnTimeline hook, keeping the run-level event
+// counters current. Coordinator-only, at barriers or after the pool
+// joins.
+func (e *Engine) publishTimeline() {
+	e.timelineBuf = e.tel.DrainInto(e.timelineBuf[:0])
+	evs := e.timelineBuf
 	if len(evs) > 0 {
 		e.runObs.timelineEvents.Add(float64(len(evs)))
 	}
@@ -214,12 +297,19 @@ func (e *engine) publishTimeline(opts Options) {
 		e.runObs.timelineDropped.Add(float64(d - e.runObs.dropSeen))
 		e.runObs.dropSeen = d
 	}
-	if len(evs) > 0 && opts.OnTimeline != nil {
-		opts.OnTimeline(evs)
+	if len(evs) > 0 && e.opts.OnTimeline != nil {
+		e.opts.OnTimeline(evs)
 	}
 }
 
-func newEngine(spec Spec) (*engine, error) {
+// NewEngine validates the spec, builds the shared world and every UE
+// session (scenario assembly runs on the pool), and leaves the engine
+// at simulated time zero, ready for StepEpoch.
+func NewEngine(ctx context.Context, spec Spec, opts Options) (*Engine, error) {
+	spec = spec.withDefaults()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
 	shared, err := trace.BuildFleetShared(trace.FleetConfig{
 		BuildConfig: trace.BuildConfig{
 			Dataset:  trace.Describe(spec.Dataset),
@@ -235,111 +325,149 @@ func newEngine(spec Spec) (*engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	maxCell := 0
-	for _, c := range shared.Dep.Cells {
-		if c.ID > maxCell {
-			maxCell = c.ID
-		}
-	}
-	eng := &engine{
-		spec:   spec,
-		shared: shared,
-		adm:    &core.Admission{Capacity: spec.CellCapacity, SpreadMarginDB: spec.SpreadMarginDB},
-		loads:  make([]int, maxCell+1),
-		cells:  make(map[int]*CellStat, len(shared.Dep.Cells)),
+	maxCell := shared.Dep.MaxCellID()
+	e := &Engine{
+		spec:      spec,
+		opts:      opts,
+		shared:    shared,
+		adm:       &core.Admission{Capacity: spec.CellCapacity, SpreadMarginDB: spec.SpreadMarginDB},
+		loads:     make([]int, maxCell+1),
+		loadsNext: make([]int, maxCell+1),
+		cellStats: make([]CellStat, maxCell+1),
 	}
 	for _, c := range shared.Dep.Cells {
-		eng.cells[c.ID] = &CellStat{Cell: c.ID, Channel: c.Channel}
+		e.cellStats[c.ID] = CellStat{Cell: c.ID, Channel: c.Channel}
 	}
-	return eng, nil
-}
-
-func (e *engine) run(ctx context.Context, opts Options) (*Result, error) {
-	spec := e.spec
 	e.armTelemetry(opts.Telemetry)
+	if opts.Progress != nil {
+		e.allocSamples = []gometrics.Sample{{Name: "/gc/heap/allocs:objects"}}
+	}
+	e.stepFn = e.stepBatch
+
 	// Build every session on the pool: scenario assembly (deployment
 	// lookups, policy wiring, per-UE RNG streams) is itself parallel.
-	sessions, err := par.IndexedMapCtx(ctx, spec.Workers, spec.UEs, func(ue int) (*session, error) {
-		return newSession(e, ue)
+	// Each worker writes only its own UE's slots.
+	e.runners = make([]mobility.Runner, spec.UEs)
+	e.sess = make([]sessState, spec.UEs)
+	err = par.ForEachCtx(ctx, spec.Workers, spec.UEs, func(ue int) error {
+		return e.buildSession(ue)
 	})
 	if err != nil {
 		return nil, err
 	}
-	e.sessions = sessions
+	e.rebuildActive()
 	e.refreshLoads()
-	for _, s := range e.sessions {
-		if cs := e.cells[s.runner.Serving()]; cs != nil {
-			cs.Attaches++
-		}
+	for i := range e.runners {
+		e.bumpCell(e.runners[i].Serving(), func(cs *CellStat) { cs.Attaches++ })
 	}
 	e.updatePeaks()
+	return e, nil
+}
 
-	// Epoch loop: step everyone to the next barrier, then reduce in
-	// UE order.
-	for simT := 0.0; simT < spec.DurationSec; {
-		end := simT + spec.EpochSec
-		if end > spec.DurationSec {
-			end = spec.DurationSec
-		}
-		wallStart := time.Now()
-		err := par.ForEachCtx(ctx, spec.Workers, len(e.sessions), func(i int) error {
-			e.sessions[i].stepTo(end)
-			return nil
-		})
+// runAll steps the engine to completion and finalizes.
+func (e *Engine) runAll(ctx context.Context) (*Result, error) {
+	for {
+		done, err := e.StepEpoch(ctx)
 		if err != nil {
 			return nil, err
 		}
-		simT = end
-
-		// Barrier: UE-ordered reduction of everything the epoch
-		// produced, then refresh the frozen loads for the next epoch.
-		var events []Event
-		for _, s := range e.sessions {
-			events = append(events, s.drainEvents()...)
-		}
-		sort.SliceStable(events, func(a, b int) bool {
-			if events[a].Time != events[b].Time {
-				return events[a].Time < events[b].Time
-			}
-			return events[a].UE < events[b].UE
-		})
-		for _, ev := range events {
-			e.applyEvent(ev)
-			if opts.Observer != nil {
-				opts.Observer(ev)
-			}
-		}
-		e.refreshLoads()
-		e.updatePeaks()
-		if e.tel != nil {
-			e.runObs.epochs.Inc()
-			e.runObs.attached.Set(float64(e.attachedCount()))
-			e.runObs.simTime.Set(simT)
-			e.publishTimeline(opts)
-		}
-		if opts.Progress != nil {
-			opts.Progress(Progress{
-				SimTime:   simT,
-				Attached:  e.attachedCount(),
-				Handovers: e.handovers,
-				Failures:  e.failures,
-				Blocked:   e.blocked,
-				WallStep:  time.Since(wallStart),
-			})
+		if done {
+			return e.Finish(), nil
 		}
 	}
+}
 
-	// Finish every runner (in order) and aggregate.
-	results := make([]*mobility.Result, len(e.sessions))
-	for i, s := range e.sessions {
-		results[i] = s.runner.Finish()
+// allocCount reads the cumulative heap-allocation object count (only
+// when Progress sampling is armed).
+func (e *Engine) allocCount() uint64 {
+	if e.allocSamples == nil {
+		return 0
+	}
+	gometrics.Read(e.allocSamples)
+	return e.allocSamples[0].Value.Uint64()
+}
+
+// StepEpoch advances the fleet one barrier interval: steps every live
+// UE on the pool, then reduces in UE order (events, loads, cell stats,
+// telemetry, progress). It reports done=true once simulated time has
+// reached the spec duration; further calls are no-ops. Steady-state
+// epochs allocate nothing beyond what the installed hooks do.
+func (e *Engine) StepEpoch(ctx context.Context) (done bool, err error) {
+	if e.done {
+		return true, nil
+	}
+	spec := e.spec
+	end := e.simT + spec.EpochSec
+	if end > spec.DurationSec {
+		end = spec.DurationSec
+	}
+	var wallStart time.Time
+	var allocStart uint64
+	if e.opts.Progress != nil {
+		wallStart = time.Now()
+		allocStart = e.allocCount()
+	}
+	e.epochEnd = end
+	nBatches := (len(e.active) + stepBatchSize - 1) / stepBatchSize
+	if err := par.ForEachCtx(ctx, spec.Workers, nBatches, e.stepFn); err != nil {
+		return false, err
+	}
+	e.simT = end
+	e.done = e.simT >= spec.DurationSec
+
+	// Barrier: UE-ordered reduction of everything the epoch produced,
+	// then refresh the frozen loads for the next epoch. The single
+	// stable sort by (time, UE) fixes the same canonical order the
+	// per-session time sort + global merge used to produce: events of
+	// one UE at equal times keep their append order either way.
+	e.epochEvents = e.epochEvents[:0]
+	for i := range e.sess {
+		e.drainEvents(i)
+	}
+	e.sorter.evs = e.epochEvents
+	sort.Stable(&e.sorter)
+	for _, ev := range e.epochEvents {
+		e.applyEvent(ev)
+		if e.opts.Observer != nil {
+			e.opts.Observer(ev)
+		}
+	}
+	e.rebuildActive()
+	e.refreshLoads()
+	e.updatePeaks()
+	if e.tel != nil {
+		e.runObs.epochs.Inc()
+		e.runObs.attached.Set(float64(e.attachedCount()))
+		e.runObs.simTime.Set(e.simT)
+		e.publishTimeline()
+	}
+	if e.opts.Progress != nil {
+		e.opts.Progress(Progress{
+			SimTime:     e.simT,
+			Attached:    e.attachedCount(),
+			Handovers:   e.handovers,
+			Failures:    e.failures,
+			Blocked:     e.blocked,
+			WallStep:    time.Since(wallStart),
+			EpochAllocs: e.allocCount() - allocStart,
+		})
+	}
+	return e.done, nil
+}
+
+// Finish finalizes every runner (UE order), replays outages through
+// the TCP model when telemetry is armed, and aggregates the result.
+// Call it once, after StepEpoch reported done.
+func (e *Engine) Finish() *Result {
+	results := make([]*mobility.Result, len(e.runners))
+	for i := range e.runners {
+		results[i] = e.runners[i].Finish()
 	}
 	if e.tel != nil {
 		// Replay each UE's radio outages through the TCP model (UE
 		// order, coordinator goroutine) and publish the final batch:
 		// Finish-appended events plus the stall open/close pairs.
-		for i, s := range e.sessions {
-			res := results[i]
+		for i, res := range results {
 			if len(res.Outages) == 0 {
 				continue
 			}
@@ -347,63 +475,103 @@ func (e *engine) run(ctx context.Context, opts Options) (*Result, error) {
 			for j, o := range res.Outages {
 				outs[j] = tcpsim.Outage{Start: o.Start, Duration: o.Duration}
 			}
-			tcpsim.ObserveStalls(s.scope, tcpsim.Replay(outs, tcpsim.DefaultConfig()).Stalls)
+			tcpsim.ObserveStalls(e.sess[i].scope, tcpsim.Replay(outs, tcpsim.DefaultConfig()).Stalls)
 		}
-		e.publishTimeline(opts)
+		e.publishTimeline()
 	}
-	return e.buildResult(results), nil
+	return e.buildResult(results)
 }
 
-func (e *engine) applyEvent(ev Event) {
+// stepBatch advances one fixed-size slice of the activity index; pool
+// task i owns active[i*stepBatchSize : (i+1)*stepBatchSize].
+func (e *Engine) stepBatch(b int) error {
+	lo := b * stepBatchSize
+	hi := lo + stepBatchSize
+	if hi > len(e.active) {
+		hi = len(e.active)
+	}
+	batch := e.active[lo:hi]
+	if stepHook != nil {
+		for _, ue := range batch {
+			stepHook(int(ue))
+			e.runners[ue].StepTo(e.epochEnd)
+		}
+		return nil
+	}
+	mobility.StepBatch(e.runners, batch, e.epochEnd)
+	return nil
+}
+
+// rebuildActive refreshes the dense activity index: UEs whose runner
+// has not exhausted its tick schedule. Done UEs drop out and are never
+// dispatched to the pool again.
+func (e *Engine) rebuildActive() {
+	e.active = e.active[:0]
+	for i := range e.runners {
+		if !e.runners[i].Done() {
+			e.active = append(e.active, int32(i))
+		}
+	}
+}
+
+// bumpCell applies fn to cell id's stats when the id is a deployed
+// cell.
+func (e *Engine) bumpCell(id int, fn func(*CellStat)) {
+	if id >= 0 && id < len(e.cellStats) && e.cellStats[id].Cell != 0 {
+		fn(&e.cellStats[id])
+	}
+}
+
+func (e *Engine) applyEvent(ev Event) {
 	switch ev.Type {
 	case EventHandover:
 		e.handovers++
-		if cs := e.cells[ev.To]; cs != nil {
+		e.bumpCell(ev.To, func(cs *CellStat) {
 			cs.HandoversIn++
 			cs.Attaches++
-		}
+		})
 	case EventFailure:
 		e.failures++
-		if cs := e.cells[ev.From]; cs != nil {
-			cs.Failures++
-		}
+		e.bumpCell(ev.From, func(cs *CellStat) { cs.Failures++ })
 	case EventBlocked:
 		e.blocked++
-		if cs := e.cells[ev.To]; cs != nil {
-			cs.Blocked++
-		}
+		e.bumpCell(ev.To, func(cs *CellStat) { cs.Blocked++ })
 	case EventReattach:
-		if cs := e.cells[ev.To]; cs != nil {
-			cs.Attaches++
-		}
+		e.bumpCell(ev.To, func(cs *CellStat) { cs.Attaches++ })
 	}
 }
 
 // refreshLoads recomputes the per-cell attach counts from the
 // sessions' current serving cells (UE order; detached UEs count
-// nowhere) and publishes a fresh frozen snapshot.
-func (e *engine) refreshLoads() {
-	loads := make([]int, len(e.loads))
-	for _, s := range e.sessions {
-		if s.runner.Attached() {
-			id := s.runner.Serving()
-			if id >= 0 && id < len(loads) {
+// nowhere) into the spare buffer and swaps it in as the next epoch's
+// frozen snapshot. The buffer being retired is not touched again until
+// the following barrier, by which time the epoch that read it has
+// joined.
+func (e *Engine) refreshLoads() {
+	loads := e.loadsNext
+	clear(loads)
+	for i := range e.runners {
+		r := &e.runners[i]
+		if r.Attached() {
+			if id := r.Serving(); id >= 0 && id < len(loads) {
 				loads[id]++
 			}
 		}
 	}
+	e.loadsNext = e.loads
 	e.loads = loads
 }
 
-func (e *engine) updatePeaks() {
-	for id, cs := range e.cells {
-		if id < len(e.loads) && e.loads[id] > cs.PeakAttached {
+func (e *Engine) updatePeaks() {
+	for id := range e.cellStats {
+		cs := &e.cellStats[id]
+		if cs.Cell != 0 && e.loads[id] > cs.PeakAttached {
 			cs.PeakAttached = e.loads[id]
 		}
 	}
 }
 
-func (e *engine) attachedCount() int {
+func (e *Engine) attachedCount() int {
 	n := 0
 	for _, l := range e.loads {
 		n += l
@@ -411,19 +579,15 @@ func (e *engine) attachedCount() int {
 	return n
 }
 
-func (e *engine) buildResult(results []*mobility.Result) *Result {
+func (e *Engine) buildResult(results []*mobility.Result) *Result {
 	sum := summarize(e.spec, results, func(ue int) int64 { return e.shared.UESeed(ue) })
 	sum.Blocked = e.blocked
-	ids := make([]int, 0, len(e.cells))
-	for id := range e.cells {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
-	for _, id := range ids {
-		cs := *e.cells[id]
-		if id < len(e.loads) {
-			cs.FinalAttached = e.loads[id]
+	for id := range e.cellStats {
+		if e.cellStats[id].Cell == 0 {
+			continue
 		}
+		cs := e.cellStats[id]
+		cs.FinalAttached = e.loads[id]
 		sum.Cells = append(sum.Cells, cs)
 	}
 	agg := eval.AggregateFleet(results)
@@ -431,4 +595,18 @@ func (e *engine) buildResult(results []*mobility.Result) *Result {
 		e.spec.UEs, trace.Describe(e.spec.Dataset).ID, e.spec.Mode,
 		e.spec.SpeedKmh, e.spec.DurationSec, e.spec.Seed)
 	return &Result{Summary: *sum, Report: agg.Report(title).Render()}
+}
+
+// eventSorter is the stored sort.Interface for the barrier's merged
+// event batch: stable order by (time, UE), with same-UE same-time
+// events keeping their per-session append order.
+type eventSorter struct{ evs []Event }
+
+func (s *eventSorter) Len() int      { return len(s.evs) }
+func (s *eventSorter) Swap(a, b int) { s.evs[a], s.evs[b] = s.evs[b], s.evs[a] }
+func (s *eventSorter) Less(a, b int) bool {
+	if s.evs[a].Time != s.evs[b].Time {
+		return s.evs[a].Time < s.evs[b].Time
+	}
+	return s.evs[a].UE < s.evs[b].UE
 }

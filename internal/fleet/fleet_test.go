@@ -89,11 +89,11 @@ func TestFleetMatchesSingleUERuns(t *testing.T) {
 		UEs: ues, Dataset: trace.BeijingShanghai, Mode: trace.REM,
 		SpeedKmh: 330, DurationSec: 6, Seed: 11, Workers: 4,
 	}
-	eng, err := newEngine(spec.withDefaults())
+	eng, err := NewEngine(context.Background(), spec, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := eng.run(context.Background(), Options{})
+	res, err := eng.runAll(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +120,7 @@ func TestFleetMatchesSingleUERuns(t *testing.T) {
 			t.Fatalf("UE %d: fleet %d HOs/%d fails, solo %d/%d — state bled between sessions",
 				ue, st.Handovers, st.Failures, len(solo.Handovers), len(solo.Failures))
 		}
-		fleetRes := eng.sessions[ue].res
+		fleetRes := eng.runners[ue].Result()
 		if !reflect.DeepEqual(fleetRes.Handovers, solo.Handovers) {
 			t.Fatalf("UE %d: handover sequences diverge:\nfleet %v\nsolo  %v",
 				ue, fleetRes.Handovers, solo.Handovers)
@@ -165,24 +165,25 @@ func TestFleetAdmissionCapacityRespected(t *testing.T) {
 		SpeedKmh: 330, DurationSec: 10, Seed: 5, Workers: 4,
 		CellCapacity: capacity, StartSpreadM: 6000,
 	}
-	eng, err := newEngine(spec.withDefaults())
-	if err != nil {
-		t.Fatal(err)
-	}
-	res, err := eng.run(context.Background(), Options{
+	var eng *Engine
+	eng, err := NewEngine(context.Background(), spec, Options{
 		Observer: func(ev Event) {
 			if ev.Type == EventBlocked {
 				blocked++
 			}
 		},
 		Progress: func(Progress) {
-			for _, cs := range eng.cells {
-				if id := cs.Cell; id < len(eng.loads) && eng.loads[id] > maxLoad {
+			for id := range eng.cellStats {
+				if eng.cellStats[id].Cell != 0 && eng.loads[id] > maxLoad {
 					maxLoad = eng.loads[id]
 				}
 			}
 		},
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.runAll(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,11 +204,48 @@ func TestFleetAdmissionCapacityRespected(t *testing.T) {
 }
 
 func TestSpecValidation(t *testing.T) {
-	if _, err := Run(context.Background(), Spec{UEs: 0, DurationSec: 1}); err == nil {
-		t.Fatal("expected error for 0 UEs")
+	cases := []struct {
+		name  string
+		spec  Spec
+		field string // "" means the spec must validate
+	}{
+		{name: "zero UEs", spec: Spec{UEs: 0, DurationSec: 1}, field: "UEs"},
+		{name: "negative UEs", spec: Spec{UEs: -3, DurationSec: 1}, field: "UEs"},
+		{name: "zero duration", spec: Spec{UEs: 1}, field: "DurationSec"},
+		{name: "negative duration", spec: Spec{UEs: 1, DurationSec: -2}, field: "DurationSec"},
+		{name: "negative workers", spec: Spec{UEs: 4, DurationSec: 1, Workers: -1}, field: "Workers"},
+		{name: "workers exceed UEs", spec: Spec{UEs: 4, DurationSec: 1, Workers: 5}, field: "Workers"},
+		{name: "workers equal UEs", spec: Spec{UEs: 4, DurationSec: 1, Workers: 4}},
+		{name: "minimal valid", spec: Spec{UEs: 1, DurationSec: 0.5}},
 	}
-	if _, err := Run(context.Background(), Spec{UEs: 1}); err == nil {
-		t.Fatal("expected error for 0 duration")
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.spec.Validate()
+			if tc.field == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			var se *SpecError
+			if !errors.As(err, &se) {
+				t.Fatalf("Validate() = %v (%T), want *SpecError", err, err)
+			}
+			if se.Field != tc.field {
+				t.Fatalf("SpecError.Field = %q, want %q", se.Field, tc.field)
+			}
+			if se.Error() == "" {
+				t.Fatal("empty error message")
+			}
+		})
+	}
+	// The run entry points must reject, not clamp.
+	if _, err := Run(context.Background(), Spec{UEs: 2, DurationSec: 1, Workers: 8}); err == nil {
+		t.Fatal("Run accepted workers > UEs")
+	}
+	var se *SpecError
+	if _, err := NewEngine(context.Background(), Spec{UEs: 0, DurationSec: 1}, Options{}); !errors.As(err, &se) {
+		t.Fatalf("NewEngine error %v is not a *SpecError", err)
 	}
 }
 

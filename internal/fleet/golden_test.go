@@ -1,0 +1,160 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rem/internal/fault"
+	"rem/internal/obs"
+	"rem/internal/trace"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite fleet golden files from the current implementation")
+
+// goldenSpec100 is the armed observability spec (identical to armedRun
+// in obs_test.go): all-cells outage plus lossy/delayed signaling, so
+// the golden bytes cover the fault plane, the obs plane and the
+// admission path at once.
+func goldenSpec100(workers int) Spec {
+	return Spec{
+		UEs: 100, Dataset: trace.BeijingShanghai, Mode: trace.REM,
+		SpeedKmh: 330, DurationSec: 4, Seed: 9, Workers: workers,
+		CellCapacity: 12, SpreadMarginDB: 3,
+		Faults: &fault.Plan{
+			Name:      "obs-invariance",
+			Outages:   []fault.CellOutage{{Cell: fault.AllCells, Start: 1.5, End: 2.0}},
+			Signaling: []fault.SignalingFault{{Start: 0, End: 4, DropProb: 0.2, DelaySec: 0.03}},
+		},
+	}
+}
+
+// goldenSpec1000 is the 1000-UE legacy acceptance spec (identical to
+// TestFleetWorkerInvariance1000UE).
+func goldenSpec1000(workers int) Spec {
+	return Spec{
+		UEs: 1000, Dataset: trace.BeijingShanghai, Mode: trace.Legacy,
+		SpeedKmh: 330, DurationSec: 5, Seed: 7, Workers: workers,
+		CellCapacity: 40, SpreadMarginDB: 3,
+	}
+}
+
+// goldenArtifacts runs a spec with telemetry armed or disarmed and
+// returns every byte-comparable artifact. Disarmed runs return only
+// the result JSON.
+func goldenArtifacts(t *testing.T, spec Spec, armed bool) (resJS, snapJS, prom, ndjson []byte) {
+	t.Helper()
+	var opts Options
+	var timeline []obs.Event
+	var tel *obs.Telemetry
+	if armed {
+		tel = obs.New(obs.Config{})
+		opts.Telemetry = tel
+		opts.OnTimeline = func(evs []obs.Event) { timeline = append(timeline, evs...) }
+	}
+	res, err := RunWithOptions(context.Background(), spec, opts)
+	if err != nil {
+		t.Fatalf("workers=%d armed=%v: %v", spec.Workers, armed, err)
+	}
+	resJS, err = json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !armed {
+		return resJS, nil, nil, nil
+	}
+	snap := tel.Snapshot()
+	snapJS, err = json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs.SortEvents(timeline)
+	return resJS, snapJS, snap.PrometheusText(), obs.MarshalNDJSON(timeline)
+}
+
+// checkGolden compares got against testdata/<name>, rewriting the file
+// under -update. Large artifacts (>256 KiB) are stored as a SHA-256
+// digest instead of verbatim bytes; byte-identity is what the digest
+// certifies.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	const digestCutoff = 256 << 10
+	store := got
+	if len(got) > digestCutoff {
+		path += ".sha256"
+		store = []byte(fmt.Sprintf("sha256:%s size:%d\n", hex.EncodeToString(sha256sum(got)), len(got)))
+	}
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, store, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden %s (run with -update to create): %v", path, err)
+	}
+	if !bytes.Equal(store, want) {
+		t.Errorf("%s drifted from the PR 5 golden (%d bytes got, %d want); "+
+			"this is a determinism break, not a test to update casually", name, len(store), len(want))
+	}
+}
+
+func sha256sum(b []byte) []byte {
+	h := sha256.Sum256(b)
+	return h[:]
+}
+
+// TestFleetGolden100UE pins the 100-UE armed run byte-for-byte against
+// the PR 5 goldens at workers 1 and 8, armed and disarmed: summary,
+// metrics snapshot, Prometheus text and the sorted timeline NDJSON
+// must all match the committed artifacts exactly.
+func TestFleetGolden100UE(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden fleet runs skipped in -short mode")
+	}
+	for _, workers := range []int{1, 8} {
+		for _, armed := range []bool{false, true} {
+			resJS, snapJS, prom, nd := goldenArtifacts(t, goldenSpec100(workers), armed)
+			// One summary golden serves all four runs: worker count and
+			// telemetry arming must not change a byte of the result.
+			checkGolden(t, "golden_100ue_result.json", resJS)
+			if armed {
+				checkGolden(t, "golden_100ue_snapshot.json", snapJS)
+				checkGolden(t, "golden_100ue_metrics.prom", prom)
+				checkGolden(t, "golden_100ue_timeline.ndjson", nd)
+			}
+		}
+	}
+}
+
+// TestFleetGolden1000UE pins the 1000-UE legacy acceptance spec the
+// same way. The armed pass runs once per worker count (obs snapshot +
+// timeline goldens); the disarmed pass pins the pure result bytes.
+func TestFleetGolden1000UE(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden fleet runs skipped in -short mode")
+	}
+	for _, workers := range []int{1, 8} {
+		for _, armed := range []bool{false, true} {
+			resJS, snapJS, prom, nd := goldenArtifacts(t, goldenSpec1000(workers), armed)
+			checkGolden(t, "golden_1000ue_result.json", resJS)
+			if armed {
+				checkGolden(t, "golden_1000ue_snapshot.json", snapJS)
+				checkGolden(t, "golden_1000ue_metrics.prom", prom)
+				checkGolden(t, "golden_1000ue_timeline.ndjson", nd)
+			}
+		}
+	}
+}

@@ -8,24 +8,25 @@ import (
 	"rem/internal/obs"
 )
 
-// session is one UE's private slice of the fleet: its scenario,
-// runner, and the bookkeeping needed to diff out newly produced
-// events at each epoch barrier. A session is stepped by exactly one
-// worker at a time; its hook writes only session-local state.
-type session struct {
-	ue     int
-	seed   int64
-	runner *mobility.Runner
-	res    *mobility.Result
+// sessState is one UE's fleet-side bookkeeping, stored flat in the
+// engine's sess slice (the runner itself lives in the parallel runners
+// slice). A session is stepped by exactly one worker at a time; the
+// admission hook writes only this UE's slots.
+type sessState struct {
+	seed int64
 
 	// Consumed prefix lengths of the accumulating result slices.
 	hoSeen, failSeen int
 	// pending collects this epoch's blocked (admission-deferred)
-	// events, appended by the SelectTarget hook while stepping.
+	// events, appended by the SelectTarget hook while stepping. The
+	// buffer is reset, not freed, at each barrier.
 	pending []Event
 	// wasAttached tracks outage recovery so reattaches are reported.
 	wasAttached bool
 	lastServing int
+
+	// cands is the UE's reusable packed admission candidate list.
+	cands core.PackedCandidates
 
 	// scope is the UE's telemetry scope (nil when disarmed); spread is
 	// the resolved load-spreading counter handle (nil-safe).
@@ -33,117 +34,102 @@ type session struct {
 	spread *obs.Counter
 }
 
-func newSession(e *engine, ue int) (*session, error) {
+// buildSession assembles UE ue in place: its scenario over the shared
+// world, the admission hook, and the runner slot in the packed runners
+// slice. Runs on a pool worker; writes only index ue.
+func (e *Engine) buildSession(ue int) error {
 	built, err := e.shared.BuildUE(ue)
 	if err != nil {
-		return nil, fmt.Errorf("fleet: build UE %d: %w", ue, err)
+		return fmt.Errorf("fleet: build UE %d: %w", ue, err)
 	}
-	s := &session{ue: ue, seed: e.shared.UESeed(ue)}
+	ss := &e.sess[ue]
+	ss.seed = e.shared.UESeed(ue)
 	if e.tel != nil {
 		// Scope creation races between session builders are fine: the
 		// Telemetry locks, and every merge sorts by scope ID.
-		s.scope = e.tel.Scope(ue)
-		s.spread = s.scope.Shard.Counter(obs.MSpreadPicks)
-		built.Scenario.Obs = s.scope
+		ss.scope = e.tel.Scope(ue)
+		ss.spread = ss.scope.Shard.Counter(obs.MSpreadPicks)
+		built.Scenario.Obs = ss.scope
 	}
+	built.Scenario.Cfg.FullSnapshotInOutage = e.opts.fullSnapshotInOutage
 	// Load-aware admission: the hook sees the engine's frozen
 	// epoch-boundary loads, so its decisions are independent of worker
 	// scheduling. Deferrals are recorded session-locally and published
 	// at the barrier.
 	built.Scenario.SelectTarget = func(t float64, serving int, cands []mobility.Candidate) (int, bool) {
 		loads := e.loads
-		tcs := make([]core.TargetCandidate, 0, len(cands))
+		pc := &ss.cands
+		pc.Reset()
 		for _, c := range cands {
 			load := 0
 			if c.CellID >= 0 && c.CellID < len(loads) {
 				load = loads[c.CellID]
 			}
-			tcs = append(tcs, core.TargetCandidate{CellID: c.CellID, Metric: c.Metric, Load: load})
+			pc.Append(c.CellID, c.Metric, load)
 		}
-		d := e.adm.Decide(tcs)
+		d := e.adm.DecidePacked(pc)
 		if d.OK && d.Spread {
-			s.spread.Inc()
+			ss.spread.Inc()
 		}
 		if !d.OK && len(cands) > 0 {
-			s.pending = append(s.pending, Event{
-				UE: s.ue, Time: t, Type: EventBlocked,
+			ss.pending = append(ss.pending, Event{
+				UE: ue, Time: t, Type: EventBlocked,
 				From: serving, To: cands[0].CellID,
 			})
 		}
 		return d.Target, d.OK
 	}
-	r, err := mobility.NewRunner(built.Streams, built.Scenario)
-	if err != nil {
-		return nil, fmt.Errorf("fleet: UE %d: %w", ue, err)
+	if err := mobility.InitRunner(&e.runners[ue], built.Streams, built.Scenario); err != nil {
+		return fmt.Errorf("fleet: UE %d: %w", ue, err)
 	}
-	s.runner = r
-	s.res = r.Result()
-	s.wasAttached = true
-	s.lastServing = r.Serving()
-	return s, nil
+	ss.wasAttached = true
+	ss.lastServing = e.runners[ue].Serving()
+	return nil
 }
 
 // stepHook, when non-nil, runs before each session step. It exists so
 // tests can inject a failure into an epoch worker and prove the panic
-// surfaces as an error instead of killing the process.
+// surfaces as an error instead of killing the process. Setting it also
+// forces per-UE stepping instead of the batched fast path.
 var stepHook func(ue int)
 
-// stepTo advances the session to simulated time t (exclusive of later
-// ticks). Runs on a pool worker; touches only session-local state plus
-// the engine's frozen load snapshot.
-func (s *session) stepTo(t float64) {
-	if stepHook != nil {
-		stepHook(s.ue)
-	}
-	s.runner.StepTo(t)
-}
-
-// drainEvents converts everything the last epoch appended to the
-// result into fleet events, in time order, and marks it consumed.
-// Called at the barrier (single goroutine).
-func (s *session) drainEvents() []Event {
-	var out []Event
-	for _, h := range s.res.Handovers[s.hoSeen:] {
-		out = append(out, Event{
-			UE: s.ue, Time: h.Time, Type: EventHandover,
+// drainEvents appends everything UE i's last epoch produced — new
+// handovers, failures, admission deferrals, and a post-outage reattach
+// — to the engine's pooled epoch batch, and marks it consumed. Called
+// at the barrier (single goroutine). Events are appended unsorted; the
+// barrier's single stable (time, UE) sort fixes the canonical order.
+func (e *Engine) drainEvents(i int) {
+	ss := &e.sess[i]
+	r := &e.runners[i]
+	res := r.Result()
+	for _, h := range res.Handovers[ss.hoSeen:] {
+		e.epochEvents = append(e.epochEvents, Event{
+			UE: i, Time: h.Time, Type: EventHandover,
 			From: h.From, To: h.To,
 		})
 	}
-	s.hoSeen = len(s.res.Handovers)
-	for _, f := range s.res.Failures[s.failSeen:] {
-		out = append(out, Event{
-			UE: s.ue, Time: f.Time, Type: EventFailure,
+	ss.hoSeen = len(res.Handovers)
+	for _, f := range res.Failures[ss.failSeen:] {
+		e.epochEvents = append(e.epochEvents, Event{
+			UE: i, Time: f.Time, Type: EventFailure,
 			From: f.Serving, Cause: f.Cause.String(),
 		})
 	}
-	s.failSeen = len(s.res.Failures)
-	out = append(out, s.pending...)
-	s.pending = nil
+	ss.failSeen = len(res.Failures)
+	e.epochEvents = append(e.epochEvents, ss.pending...)
+	ss.pending = ss.pending[:0]
 
 	// Reattach after an outage: the runner silently switched serving
 	// cells during re-establishment; surface it as an event so cell
 	// attach counts stay explainable.
-	attached := s.runner.Attached()
-	serving := s.runner.Serving()
-	if attached && !s.wasAttached {
-		out = append(out, Event{
-			UE: s.ue, Time: s.runner.Now(), Type: EventReattach,
-			From: s.lastServing, To: serving,
+	attached := r.Attached()
+	serving := r.Serving()
+	if attached && !ss.wasAttached {
+		e.epochEvents = append(e.epochEvents, Event{
+			UE: i, Time: r.Now(), Type: EventReattach,
+			From: ss.lastServing, To: serving,
 		})
 	}
-	s.wasAttached = attached
-	s.lastServing = serving
-
-	// Time-order within the session (handovers/failures/blocked are
-	// each already sorted; merge cheaply by insertion).
-	sortEventsByTime(out)
-	return out
-}
-
-func sortEventsByTime(evs []Event) {
-	for i := 1; i < len(evs); i++ {
-		for j := i; j > 0 && evs[j].Time < evs[j-1].Time; j-- {
-			evs[j], evs[j-1] = evs[j-1], evs[j]
-		}
-	}
+	ss.wasAttached = attached
+	ss.lastServing = serving
 }

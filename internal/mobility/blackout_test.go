@@ -168,6 +168,38 @@ func TestFaultOutageWindowDetaches(t *testing.T) {
 	}
 }
 
+// TestOutageFastPathInvariance is the detached-client fast-path
+// contract: while a UE sits in an outage the runner samples the radio
+// through ran.RadioEnv.SnapshotDD (same RNG draw sequence, DD-SNR
+// arithmetic only), and the full result must be bit-identical to the
+// always-step full-snapshot path (Config.FullSnapshotInOutage).
+func TestOutageFastPathInvariance(t *testing.T) {
+	plan := &fault.Plan{
+		Name: "fastpath-outage",
+		Outages: []fault.CellOutage{
+			{Cell: fault.AllCells, Start: 30, End: 45},
+			{Cell: fault.AllCells, Start: 80, End: 90},
+		},
+	}
+	run := func(full bool) *Result {
+		sc, streams := twoCellScenario(t, 43, 3, 3)
+		sc.Cfg.FullSnapshotInOutage = full
+		armFaults(t, sc, streams, plan)
+		res, err := Run(streams, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	fast, full := run(false), run(true)
+	if len(fast.Outages) == 0 {
+		t.Fatal("outage plan produced no outages — fast path never exercised")
+	}
+	if !reflect.DeepEqual(fast, full) {
+		t.Fatalf("detached fast path diverged from full-snapshot path:\nfast %+v\nfull %+v", fast, full)
+	}
+}
+
 // TestPolicyFallbackForUnknownCell ensures cells with no configured
 // policy fall back to a sane default A3 instead of stalling.
 func TestPolicyFallbackForUnknownCell(t *testing.T) {

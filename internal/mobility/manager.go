@@ -11,7 +11,6 @@ package mobility
 
 import (
 	"fmt"
-	"sort"
 
 	"rem/internal/fault"
 	"rem/internal/geo"
@@ -76,6 +75,14 @@ type Config struct {
 	// MissedCellMarginDB: a cell this far above the connect floor that
 	// was never measurable counts as "missed" (default 6).
 	MissedCellMarginDB float64
+	// FullSnapshotInOutage disables every deferred-conversion fast
+	// path: snapshots are eagerly materialized on all ticks (attached
+	// and blacked out), not just where a value is read. The lazy path
+	// is draw-for-draw and bit-for-bit identical (mobility and fleet
+	// tests assert equality between both settings); this knob exists so
+	// those tests — and anyone auditing the determinism argument — can
+	// force the always-step path.
+	FullSnapshotInOutage bool
 }
 
 // DefaultConfig returns standard-flavored timings.
@@ -223,6 +230,9 @@ type pendingCmd struct {
 // interleaved (the fleet engine steps thousands of them in epochs).
 // A Runner is single-goroutine; different Runners are independent as
 // long as they do not share a Scenario's Env, Link or Streams.
+//
+// Runner is a value type by design: a fleet packs its runners into one
+// contiguous slice (struct-of-arrays epoch stepping) via InitRunner.
 type Runner struct {
 	sc  *Scenario
 	cfg Config
@@ -234,11 +244,21 @@ type Runner struct {
 
 	serving        int
 	outOfSyncSince float64
-	cmd            *pendingCmd
+	cmd            pendingCmd
+	cmdPending     bool
 	lastCmdFailed  float64 // time of last lost handover command
 	inOutage       bool
 	outageStart    float64
 	reestablishAt  float64
+
+	multiChannel bool // more than one deployed carrier (cached)
+
+	// cands is the decision phase's reusable candidate scratch;
+	// fallbackPol backs serving cells without an explicit policy so a
+	// handover to one does not allocate.
+	cands        []Candidate
+	fallbackPol  policy.Policy
+	fallbackRule [1]policy.Rule
 
 	i, steps, traceEvery int
 	finished             bool
@@ -247,20 +267,32 @@ type Runner struct {
 // NewRunner validates the scenario, performs the initial attach and
 // returns a Runner positioned at t = 0 with no ticks processed.
 func NewRunner(streams *sim.Streams, sc *Scenario) (*Runner, error) {
+	r := new(Runner)
+	if err := InitRunner(r, streams, sc); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// InitRunner initializes a Runner in place — the entry point fleet
+// engines use to build a contiguous []Runner without one heap object
+// per UE. The previous contents of r are discarded.
+func InitRunner(r *Runner, streams *sim.Streams, sc *Scenario) error {
 	if sc.Duration <= 0 {
-		return nil, fmt.Errorf("mobility: non-positive duration")
+		return fmt.Errorf("mobility: non-positive duration")
 	}
 	cfg := sc.Cfg
 	if cfg.TickSec <= 0 {
 		cfg = DefaultConfig()
 	}
-	r := &Runner{
+	*r = Runner{
 		sc:             sc,
 		cfg:            cfg,
 		res:            &Result{Duration: sc.Duration, SNRTraceStep: 0.1},
 		measRNG:        streams.Stream("mobility.meas"),
 		outOfSyncSince: -1,
 		lastCmdFailed:  -100,
+		multiChannel:   len(sc.Dep.Channels()) > 1,
 	}
 
 	// Initial attach: pinned cell if configured, else best at t=0.
@@ -269,11 +301,11 @@ func NewRunner(streams *sim.Streams, sc *Scenario) (*Runner, error) {
 	if r.serving == 0 {
 		best, _, ok := ran.BestCell(snap, !sc.MeasCfg.UseDDSNR, -999)
 		if !ok {
-			return nil, fmt.Errorf("mobility: no cell visible at start")
+			return fmt.Errorf("mobility: no cell visible at start")
 		}
 		r.serving = best
-	} else if _, ok := snap[r.serving]; !ok {
-		return nil, fmt.Errorf("mobility: initial cell %d not visible at start", r.serving)
+	} else if !snap.Visible(r.serving) {
+		return fmt.Errorf("mobility: initial cell %d not visible at start", r.serving)
 	}
 	r.obs = newRunnerObs(sc.Obs)
 	if o := r.obs; o != nil {
@@ -286,7 +318,10 @@ func NewRunner(streams *sim.Streams, sc *Scenario) (*Runner, error) {
 	if r.traceEvery < 1 {
 		r.traceEvery = 1
 	}
-	return r, nil
+	// The SNR trace has a known exact bound; sizing it upfront keeps
+	// steady-state epoch stepping allocation-free.
+	r.res.SNRTrace = make([]float64, 0, (r.steps-1)/r.traceEvery+1)
+	return nil
 }
 
 // Now returns the simulated time of the next unprocessed tick.
@@ -311,23 +346,27 @@ func (r *Runner) newEngine(cell int) {
 	sc := r.sc
 	pol := sc.Policies[cell]
 	if pol == nil {
-		// A cell without an explicit policy gets a plain A3.
-		c := sc.Dep.CellByID(cell)
-		ch := 0
-		if c != nil {
-			ch = c.Channel
-		}
-		pol = &policy.Policy{CellID: cell, Channel: ch,
-			Rules: []policy.Rule{{Type: policy.A3, OffsetDB: 3, TTTSec: 0.08}}}
+		// A cell without an explicit policy gets a plain A3, built into
+		// runner-owned storage so repeat handovers do not allocate.
+		r.fallbackRule[0] = policy.Rule{Type: policy.A3, OffsetDB: 3, TTTSec: 0.08}
+		r.fallbackPol = policy.Policy{CellID: cell, Channel: sc.Dep.ChannelOf(cell),
+			Rules: r.fallbackRule[:]}
+		pol = &r.fallbackPol
 	}
-	r.engine = ran.NewMeasEngine(r.measRNG, sc.Dep, pol, cell, sc.MeasCfg)
+	if r.engine == nil {
+		r.engine = ran.NewMeasEngine(r.measRNG, sc.Dep, pol, cell, sc.MeasCfg)
+	} else {
+		// 3GPP resets measurement state on reconfiguration; Reset does
+		// exactly that over the same flat state and RNG stream.
+		r.engine.Reset(pol, cell)
+	}
 	if o := r.obs; o != nil {
 		r.engine.Rec = o.rec
 		r.engine.Trig = o.measTriggers
 	}
 }
 
-func (r *Runner) classify(t float64, snap map[int]ran.CellRadio) FailureCause {
+func (r *Runner) classify(t float64, snap *ran.RadioSnap) FailureCause {
 	cfg, sc := r.cfg, r.sc
 	// Coverage hole: nothing connectable anywhere.
 	_, _, any := ran.BestCell(snap, false, cfg.ConnectFloorDB)
@@ -336,14 +375,14 @@ func (r *Runner) classify(t float64, snap map[int]ran.CellRadio) FailureCause {
 	}
 	// Execution failure: a handover command is in flight or was
 	// recently lost (paper §3.3).
-	if r.cmd != nil || t-r.lastCmdFailed < 2.0 {
+	if r.cmdPending || t-r.lastCmdFailed < 2.0 {
 		return CauseHOCmdLoss
 	}
 	// Decision failure: a strong cell exists but the multi-stage
 	// policy has not (or only just) armed the inter-frequency
 	// measurements that would surface it (paper §3.2).
 	if _, _, strong := ran.BestCell(snap, false, cfg.ConnectFloorDB+cfg.MissedCellMarginDB); strong {
-		if r.engine != nil && len(sc.Dep.Channels()) > 1 && !sc.MeasCfg.CrossBand &&
+		if r.engine != nil && r.multiChannel && !sc.MeasCfg.CrossBand &&
 			!r.engine.GapsActive(t-1.0) {
 			return CauseMissedCell
 		}
@@ -352,24 +391,16 @@ func (r *Runner) classify(t float64, snap map[int]ran.CellRadio) FailureCause {
 	return CauseFeedback
 }
 
-func (r *Runner) connectTo(t float64, target int, trigger policy.EventType, snap map[int]ran.CellRadio) bool {
+func (r *Runner) connectTo(t float64, target int, trigger policy.EventType, snap *ran.RadioSnap) bool {
 	cfg, sc, res := r.cfg, r.sc, r.res
-	tcr, ok := snap[target]
+	tcr, ok := snap.Get(target)
 	if !ok || tcr.DDSNR < cfg.ConnectFloorDB {
 		return false
 	}
 	from := r.serving
-	fc, tc := sc.Dep.CellByID(from), sc.Dep.CellByID(target)
-	fch, tch := 0, 0
-	if fc != nil {
-		fch = fc.Channel
-	}
-	if tc != nil {
-		tch = tc.Channel
-	}
 	res.Handovers = append(res.Handovers, policy.HandoverRecord{
 		Time: t, From: from, To: target,
-		FromChannel: fch, ToChannel: tch,
+		FromChannel: sc.Dep.ChannelOf(from), ToChannel: sc.Dep.ChannelOf(target),
 		TriggerType: trigger, DisruptionSec: cfg.HOInterruptSec,
 	})
 	res.Outages = append(res.Outages, Outage{Start: t, Duration: cfg.HOInterruptSec})
@@ -379,7 +410,7 @@ func (r *Runner) connectTo(t float64, target int, trigger policy.EventType, snap
 	}
 	r.serving = target
 	r.newEngine(r.serving)
-	r.cmd = nil
+	r.cmdPending = false
 	r.outOfSyncSince = -1
 	return true
 }
@@ -388,12 +419,21 @@ func (r *Runner) connectTo(t float64, target int, trigger policy.EventType, snap
 func (r *Runner) tick(t float64) {
 	cfg, sc, res := r.cfg, r.sc, r.res
 	pos := sc.Traj.At(t)
-	snap := sc.Env.Snapshot(pos, t)
-	if r.i%r.traceEvery == 0 {
-		res.SNRTrace = append(res.SNRTrace, scrSNR(snap, r.serving))
-	}
+	onTrace := r.i%r.traceEvery == 0
 
 	if r.inOutage {
+		// Blacked-out fast path: advance every radio process through
+		// the identical draw sequence; the lazy snapshot skips the
+		// per-cell SINR math a detached client never reads. Reattach
+		// needs DDSNR only; the SNR trace fills the (former) serving
+		// cell alone.
+		snap := sc.Env.SnapshotDD(pos, t, r.serving)
+		if cfg.FullSnapshotInOutage {
+			snap.FillAll()
+		}
+		if onTrace {
+			res.SNRTrace = append(res.SNRTrace, scrSNR(snap, r.serving))
+		}
 		if t >= r.reestablishAt {
 			if best, _, ok := ran.BestCell(snap, false, cfg.ConnectFloorDB); ok {
 				res.Outages = append(res.Outages, Outage{Start: r.outageStart, Duration: t - r.outageStart})
@@ -408,10 +448,18 @@ func (r *Runner) tick(t float64) {
 				r.serving = best
 				r.newEngine(r.serving)
 				r.outOfSyncSince = -1
-				r.cmd = nil
+				r.cmdPending = false
 			}
 		}
 		return
+	}
+
+	snap := sc.Env.Snapshot(pos, t)
+	if cfg.FullSnapshotInOutage {
+		snap.FillAll()
+	}
+	if onTrace {
+		res.SNRTrace = append(res.SNRTrace, scrSNR(snap, r.serving))
 	}
 
 	if r.engine.GapsActive(t) {
@@ -419,7 +467,7 @@ func (r *Runner) tick(t float64) {
 	}
 
 	// Radio-link monitoring.
-	scr, visible := snap[r.serving]
+	scr, visible := snap.Get(r.serving)
 	if !visible || scr.SNR < cfg.ServeFloorDB {
 		if r.outOfSyncSince < 0 {
 			r.outOfSyncSince = t
@@ -454,7 +502,7 @@ func (r *Runner) tick(t float64) {
 	}
 
 	// Execution phase: pending handover command.
-	if r.cmd != nil && t >= r.cmd.sendAt {
+	if r.cmdPending && t >= r.cmd.sendAt {
 		// Handover commands are much larger RRC blocks than
 		// measurement reports (full target configuration). On the
 		// legacy PHY the narrow signaling allocation must squeeze
@@ -518,7 +566,7 @@ func (r *Runner) tick(t float64) {
 					To: r.cmd.target, Fault: fclass, Window: fwin})
 			}
 			r.lastCmdFailed = t
-			r.cmd = nil // serving cell will retry on next report
+			r.cmdPending = false // serving cell will retry on next report
 		}
 		return
 	}
@@ -598,20 +646,15 @@ func (r *Runner) tick(t float64) {
 	// Decision phase: the serving cell picks the target — the best
 	// reported cell, unless a SelectTarget hook (load-aware admission)
 	// overrides or defers the choice.
-	if r.cmd == nil {
+	if !r.cmdPending {
 		target, trigger, ok := best.CellID, best.Rule.Type, true
 		if sc.SelectTarget != nil {
-			cands := make([]Candidate, 0, len(reports))
+			cands := r.cands[:0]
 			for _, rp := range reports {
 				cands = append(cands, Candidate{CellID: rp.CellID, Metric: rp.Metric, Trigger: rp.Rule.Type})
 			}
-			// Best-first, stable: metric descending, cell ID ascending.
-			sort.SliceStable(cands, func(a, b int) bool {
-				if cands[a].Metric != cands[b].Metric {
-					return cands[a].Metric > cands[b].Metric
-				}
-				return cands[a].CellID < cands[b].CellID
-			})
+			r.cands = cands
+			sortCandidates(cands)
 			target, ok = sc.SelectTarget(t, r.serving, cands)
 			if ok {
 				trigger = best.Rule.Type
@@ -624,11 +667,12 @@ func (r *Runner) tick(t float64) {
 			}
 		}
 		if ok {
-			r.cmd = &pendingCmd{
+			r.cmd = pendingCmd{
 				target:  target,
 				sendAt:  t + cfg.DecisionSec,
 				trigger: trigger,
 			}
+			r.cmdPending = true
 			if o := r.obs; o != nil {
 				o.rec.Record(obs.Event{T: t, Kind: obs.EvDecision, Cell: r.serving, To: target})
 			}
@@ -637,6 +681,25 @@ func (r *Runner) tick(t float64) {
 			o.rec.Record(obs.Event{T: t, Kind: obs.EvDeferred, Cell: r.serving, To: best.CellID})
 		}
 	}
+}
+
+// sortCandidates orders candidates best-first — metric descending,
+// cell ID ascending — by stable insertion (candidate lists are a
+// handful of entries; this replaces an allocating reflective sort on
+// the per-report hot path).
+func sortCandidates(cands []Candidate) {
+	for i := 1; i < len(cands); i++ {
+		for j := i; j > 0 && candLess(cands[j], cands[j-1]); j-- {
+			cands[j], cands[j-1] = cands[j-1], cands[j]
+		}
+	}
+}
+
+func candLess(a, b Candidate) bool {
+	if a.Metric != b.Metric {
+		return a.Metric > b.Metric
+	}
+	return a.CellID < b.CellID
 }
 
 // cmdConfigWords is the representative RRCConnectionReconfiguration
@@ -736,16 +799,27 @@ func Run(streams *sim.Streams, sc *Scenario) (*Result, error) {
 	return r.Finish(), nil
 }
 
-func scrSNR(snap map[int]ran.CellRadio, id int) float64 {
-	if cr, ok := snap[id]; ok {
+func scrSNR(snap *ran.RadioSnap, id int) float64 {
+	if cr, ok := snap.Get(id); ok {
 		return cr.SNR
 	}
 	return -30
 }
 
-func scrDD(snap map[int]ran.CellRadio, id int) float64 {
-	if cr, ok := snap[id]; ok {
-		return cr.DDSNR
+func scrDD(snap *ran.RadioSnap, id int) float64 {
+	if dd, ok := snap.DD(id); ok {
+		return dd
 	}
 	return -30
+}
+
+// StepBatch advances a batch of runners (selected by index into rs) to
+// simulated time t — the fleet's cache-friendly epoch stepping entry
+// point: runners are contiguous in rs, and a worker walks its batch in
+// index order. Each runner still steps independently; batching changes
+// memory traversal, never results.
+func StepBatch(rs []Runner, idx []int32, t float64) {
+	for _, i := range idx {
+		rs[i].StepTo(t)
+	}
 }

@@ -189,16 +189,25 @@ func (r *Recorder) Drain() []Event {
 	if r == nil || r.n == 0 {
 		return nil
 	}
-	out := make([]Event, r.n)
+	return r.DrainInto(make([]Event, 0, r.n))
+}
+
+// DrainInto appends the buffered events to buf in record order, resets
+// the ring (sequence and drop counters persist), and returns the
+// extended buffer. A recycled buf keeps per-epoch drains off the heap.
+func (r *Recorder) DrainInto(buf []Event) []Event {
+	if r == nil || r.n == 0 {
+		return buf
+	}
 	for i := 0; i < r.n; i++ {
 		j := r.head + i
 		if j >= len(r.buf) {
 			j -= len(r.buf)
 		}
-		out[i] = r.buf[j]
+		buf = append(buf, r.buf[j])
 	}
 	r.head, r.n = 0, 0
-	return out
+	return buf
 }
 
 // Len returns the number of undrained events.

@@ -3,6 +3,7 @@ package obs
 import (
 	"bytes"
 	"encoding/json"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -229,5 +230,82 @@ func TestShardSchemaMisuse(t *testing.T) {
 			}()
 			fn()
 		}()
+	}
+}
+
+// TestDrainIntoReuseAndEquivalence checks the pooled-buffer drain path:
+// DrainInto must produce the same merged stream as Drain, append after
+// existing contents, recycle a caller buffer without reallocating, and
+// keep the cached scope order correct when a scope appears mid-run.
+func TestDrainIntoReuseAndEquivalence(t *testing.T) {
+	fill := func(tel *Telemetry) {
+		tel.Scope(2).Rec.Record(Event{T: 1, Kind: EvRLF})
+		tel.Scope(0).Rec.Record(Event{T: 1, Kind: EvRLF})
+		tel.Scope(1).Rec.Record(Event{T: 0.5, Kind: EvAttach})
+	}
+	a, b := New(Config{}), New(Config{})
+	fill(a)
+	fill(b)
+	want := a.Drain()
+	got := b.DrainInto(nil)
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("DrainInto(nil) = %+v, want %+v", got, want)
+	}
+
+	// Appends after existing contents, leaving them untouched.
+	c := New(Config{})
+	fill(c)
+	prefix := []Event{{UE: 99, T: -1, Kind: EvAttach}}
+	out := c.DrainInto(prefix)
+	if out[0].UE != 99 || !reflect.DeepEqual(out[1:], want) {
+		t.Fatalf("DrainInto with prefix = %+v", out)
+	}
+
+	// Steady state: recycling the buffer does not grow it. (Seq values
+	// advance each round — recorders never reset them — so compare
+	// everything but Seq against the first-round stream.)
+	fill(b)
+	buf := make([]Event, 0, 16)
+	buf = b.DrainInto(buf)
+	p0 := &buf[:cap(buf)][0]
+	fill(b)
+	buf = b.DrainInto(buf[:0])
+	if &buf[:cap(buf)][0] != p0 {
+		t.Fatal("recycled buffer was reallocated")
+	}
+	if len(buf) != len(want) {
+		t.Fatalf("recycled drain has %d events, want %d", len(buf), len(want))
+	}
+	for i := range buf {
+		got, exp := buf[i], want[i]
+		got.Seq, exp.Seq = 0, 0
+		if got != exp {
+			t.Fatalf("recycled drain event %d = %+v, want %+v", i, buf[i], want[i])
+		}
+	}
+
+	// A scope created after drains must invalidate the cached order.
+	fill(b)
+	b.Scope(5).Rec.Record(Event{T: 0.1, Kind: EvAttach})
+	out = b.DrainInto(nil)
+	if len(out) != len(want)+1 || out[0].UE != 5 {
+		t.Fatalf("drain after late scope = %+v", out)
+	}
+
+	// Recorder-level DrainInto: appends in record order, resets, and
+	// keeps Seq dense across the reset.
+	r := newRecorder(4, 8)
+	r.Record(Event{T: 1})
+	r.Record(Event{T: 2})
+	rbuf := r.DrainInto(nil)
+	if len(rbuf) != 2 || rbuf[0].Seq != 0 || rbuf[1].Seq != 1 {
+		t.Fatalf("recorder DrainInto = %+v", rbuf)
+	}
+	if r.Len() != 0 {
+		t.Fatal("DrainInto did not reset the ring")
+	}
+	r.Record(Event{T: 3})
+	if out := r.DrainInto(rbuf[:0]); len(out) != 1 || out[0].Seq != 2 {
+		t.Fatalf("post-reset recorder drain = %+v", out)
 	}
 }

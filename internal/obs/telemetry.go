@@ -106,6 +106,10 @@ type Telemetry struct {
 	ringCap int
 	mu      sync.Mutex
 	scopes  map[int]*UEScope
+	// sorted caches the ascending-ID scope order so per-epoch drains do
+	// not re-sort; invalidated when Scope creates a new entry.
+	sorted []*UEScope
+	dirty  bool
 }
 
 // New builds an armed Telemetry with the canonical run schema.
@@ -140,21 +144,27 @@ func (t *Telemetry) Scope(id int) *UEScope {
 	}
 	s := &UEScope{Rec: newRecorder(id, t.ringCap), Shard: t.Registry.Shard(id)}
 	t.scopes[id] = s
+	t.dirty = true
 	return s
 }
 
-// sortedScopes returns the scopes in ascending ID order.
+// sortedScopes returns the scopes in ascending ID order, rebuilding
+// the cached order only when the scope set changed. Caller holds mu.
 func (t *Telemetry) sortedScopes() []*UEScope {
+	if !t.dirty && len(t.sorted) == len(t.scopes) {
+		return t.sorted
+	}
 	ids := make([]int, 0, len(t.scopes))
 	for id := range t.scopes {
 		ids = append(ids, id)
 	}
 	sort.Ints(ids)
-	out := make([]*UEScope, len(ids))
-	for i, id := range ids {
-		out[i] = t.scopes[id]
+	t.sorted = t.sorted[:0]
+	for _, id := range ids {
+		t.sorted = append(t.sorted, t.scopes[id])
 	}
-	return out
+	t.dirty = false
+	return t.sorted
 }
 
 // Drain empties every scope's ring (ascending scope ID) and returns
@@ -162,17 +172,26 @@ func (t *Telemetry) sortedScopes() []*UEScope {
 // call only when no scope is being stepped (epoch barrier or
 // end-of-run). Nil-safe.
 func (t *Telemetry) Drain() []Event {
+	return t.DrainInto(nil)
+}
+
+// DrainInto is Drain into a caller-owned buffer: every scope's ring is
+// appended to buf (ascending scope ID), the appended region is sorted
+// by (T, UE, Seq), and the extended buffer is returned. Passing a
+// recycled buf[:0] makes steady-state epoch drains allocation-free.
+// Same single-writer contract as Drain; nil-safe.
+func (t *Telemetry) DrainInto(buf []Event) []Event {
 	if t == nil {
-		return nil
+		return buf
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	var out []Event
+	start := len(buf)
 	for _, s := range t.sortedScopes() {
-		out = append(out, s.Rec.Drain()...)
+		buf = s.Rec.DrainInto(buf)
 	}
-	SortEvents(out)
-	return out
+	SortEvents(buf[start:])
+	return buf
 }
 
 // Dropped sums ring overflow across scopes.

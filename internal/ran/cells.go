@@ -40,10 +40,41 @@ type Deployment struct {
 	BSs      []*BaseStation
 	Cells    []*Cell
 	cellByID map[int]*Cell
+	chanByID []int // dense channel index (cell IDs start at 1)
 }
 
 // CellByID resolves a cell, or nil.
 func (d *Deployment) CellByID(id int) *Cell { return d.cellByID[id] }
+
+// MaxCellID returns the highest cell ID in the deployment (IDs are
+// dense from 1, so this also sizes per-cell flat state).
+func (d *Deployment) MaxCellID() int { return len(d.chanByID) - 1 }
+
+// ChannelOf returns cell id's channel without a map lookup (0 when the
+// id is unknown) — the hot-path companion of CellByID.
+func (d *Deployment) ChannelOf(id int) int {
+	if id >= 0 && id < len(d.chanByID) {
+		return d.chanByID[id]
+	}
+	if c := d.cellByID[id]; c != nil {
+		return c.Channel
+	}
+	return 0
+}
+
+// buildIndex (re)derives the dense per-ID lookups from d.Cells.
+func (d *Deployment) buildIndex() {
+	maxID := 0
+	for _, c := range d.Cells {
+		if c.ID > maxID {
+			maxID = c.ID
+		}
+	}
+	d.chanByID = make([]int, maxID+1)
+	for _, c := range d.Cells {
+		d.chanByID[c.ID] = c.Channel
+	}
+}
 
 // Channels returns the sorted distinct channel numbers in use.
 func (d *Deployment) Channels() []int {
@@ -186,5 +217,6 @@ func NewLinearDeployment(rng *sim.RNG, cfg DeploymentConfig) (*Deployment, error
 		}
 		d.BSs = append(d.BSs, bs)
 	}
+	d.buildIndex()
 	return d, nil
 }

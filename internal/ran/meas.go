@@ -1,8 +1,6 @@
 package ran
 
 import (
-	"sort"
-
 	"rem/internal/fault"
 	"rem/internal/obs"
 	"rem/internal/policy"
@@ -97,15 +95,11 @@ type measValue struct {
 	valid      bool
 }
 
-type tttKey struct {
-	ruleIdx int
-	cellID  int
-}
-
 // MeasEngine runs the client-side measurement schedule and event
-// evaluation for one serving cell's policy. Create a fresh engine
-// after every handover (3GPP resets measurement state on
-// reconfiguration).
+// evaluation for one serving cell's policy. After a handover, Reset
+// re-points the same engine at the new serving cell and policy (3GPP
+// resets measurement state on reconfiguration) without reallocating
+// its flat per-cell state.
 type MeasEngine struct {
 	Cfg     MeasConfig
 	Dep     *Deployment
@@ -116,14 +110,18 @@ type MeasEngine struct {
 	// (gaps arming, measurement triggers). Trig, when non-nil, counts
 	// elapsed time-to-trigger criteria. Both are nil-safe handles from
 	// rem/internal/obs; recording draws no randomness, so arming them
-	// cannot perturb the measurement RNG stream.
+	// cannot perturb the measurement RNG stream. Both survive Reset.
 	Rec  *obs.Recorder
 	Trig *obs.Counter
 
 	rng *sim.RNG
 
-	values     map[int]measValue
-	tttSince   map[tttKey]float64
+	// values is the flat L3 filter state, indexed by dense cell ID
+	// (slot 0 unused); tttSince tracks per (rule, cell) when each
+	// criterion became continuously true, at index
+	// ruleIdx*len(values)+cellID, with -1 meaning "not tracking".
+	values     []measValue
+	tttSince   []float64
 	gapsActive bool
 	gapsAt     float64 // when gaps become active (after reconfig RTT)
 	a2Since    float64
@@ -136,25 +134,60 @@ type MeasEngine struct {
 	gapRR      int // round-robin index over foreign channels
 	firstTick  bool
 	foreignChs []int
-	idsBuf     []int // scratch for per-tick sorted-ID iteration
+	allChs     []int    // every deployed channel, sorted (cached)
+	reports    []Report // reused by evaluate; valid until the next Tick
+
+	// ruleCands[ri] lists, in ascending dense-ID order, the non-serving
+	// cells that pass rule ri's TargetChannel filter. The deployment
+	// and serving cell are fixed between Resets, so evaluate can walk
+	// these short lists instead of re-filtering the full ID range per
+	// rule per tick. Backed by candBuf, reused across Resets.
+	ruleCands [][]int32
+	candBuf   []int32
 }
 
 // NewMeasEngine builds the engine for a serving cell and its policy.
 func NewMeasEngine(rng *sim.RNG, dep *Deployment, pol *policy.Policy, servingCell int, cfg MeasConfig) *MeasEngine {
+	maxID := dep.MaxCellID()
+	if maxID < servingCell {
+		maxID = servingCell
+	}
 	e := &MeasEngine{
-		Cfg: cfg, Dep: dep, Policy: pol, Serving: servingCell,
-		rng:       rng,
-		values:    make(map[int]measValue),
-		tttSince:  make(map[tttKey]float64),
-		firstTick: true,
-		a2Since:   -1,
+		Cfg: cfg, Dep: dep,
+		rng:    rng,
+		values: make([]measValue, maxID+1),
+		allChs: dep.Channels(),
 	}
-	serving := dep.CellByID(servingCell)
-	servingCh := 0
-	if serving != nil {
-		servingCh = serving.Channel
+	e.Reset(pol, servingCell)
+	return e
+}
+
+// Reset re-initializes the engine for a new serving cell and policy in
+// place, reusing the flat measurement state. The RNG stream continues
+// uninterrupted — exactly what creating a fresh engine over the same
+// stream did.
+func (e *MeasEngine) Reset(pol *policy.Policy, servingCell int) {
+	e.Policy, e.Serving = pol, servingCell
+	clear(e.values)
+	need := len(pol.Rules) * len(e.values)
+	if cap(e.tttSince) < need {
+		e.tttSince = make([]float64, need)
+	} else {
+		e.tttSince = e.tttSince[:need]
 	}
-	for _, ch := range dep.Channels() {
+	for i := range e.tttSince {
+		e.tttSince[i] = -1
+	}
+	e.gapsActive, e.gapsAt = false, 0
+	e.a2Since, e.a2Armed = -1, false
+	e.startAt, e.started = 0, false
+	e.lastIntra, e.lastGap, e.gapRR = 0, 0, 0
+	e.firstTick = true
+	e.reports = e.reports[:0]
+
+	servingCh := e.Dep.ChannelOf(servingCell)
+	e.foreignChs = e.foreignChs[:0]
+	for _, ch := range e.allChs {
 		if ch != servingCh {
 			e.foreignChs = append(e.foreignChs, ch)
 		}
@@ -164,7 +197,7 @@ func NewMeasEngine(rng *sim.RNG, dep *Deployment, pol *policy.Policy, servingCel
 	// inter-frequency measurement object: gaps are armed from the
 	// start, no A2 gate involved. Cross-band mode needs no gaps at all
 	// — inferring co-sited bands is the point of §5.2.
-	if !cfg.CrossBand {
+	if !e.Cfg.CrossBand {
 		for _, r := range pol.Rules {
 			if r.IsHandoverRule() && r.Stage == 0 &&
 				r.TargetChannel != 0 && r.TargetChannel != servingCh {
@@ -174,7 +207,35 @@ func NewMeasEngine(rng *sim.RNG, dep *Deployment, pol *policy.Policy, servingCel
 			}
 		}
 	}
-	return e
+
+	// Precompute the per-rule candidate lists evaluate walks every
+	// tick. Skipped IDs (serving cell, wrong channel) have no side
+	// effects in evaluate, so filtering them out here is equivalent to
+	// re-filtering inline — minus the per-tick cost.
+	stride := len(e.values)
+	if maxCand := len(pol.Rules) * (stride - 1); cap(e.candBuf) < maxCand {
+		e.candBuf = make([]int32, 0, maxCand)
+	}
+	e.candBuf = e.candBuf[:0]
+	if cap(e.ruleCands) < len(pol.Rules) {
+		e.ruleCands = make([][]int32, len(pol.Rules))
+	}
+	e.ruleCands = e.ruleCands[:len(pol.Rules)]
+	for ri, r := range pol.Rules {
+		start := len(e.candBuf)
+		if r.IsHandoverRule() {
+			for id := 1; id < stride; id++ {
+				if id == servingCell {
+					continue
+				}
+				if r.TargetChannel != 0 && e.Dep.ChannelOf(id) != r.TargetChannel {
+					continue
+				}
+				e.candBuf = append(e.candBuf, int32(id))
+			}
+		}
+		e.ruleCands[ri] = e.candBuf[start:len(e.candBuf):len(e.candBuf)]
+	}
 }
 
 // GapsActive reports whether inter-frequency measurement gaps are
@@ -187,12 +248,15 @@ func (e *MeasEngine) GapsActive(t float64) bool {
 	return e.gapsActive && t >= e.gapsAt
 }
 
-// metric selects the configured policy input from a snapshot entry.
-func (e *MeasEngine) metric(cr CellRadio) float64 {
+// metricAt reads the configured policy input for cell id. The DD-SNR
+// path uses the snapshot's lazy accessor so REM-mode scans never force
+// the fade-dependent conversions they don't consume.
+func (e *MeasEngine) metricAt(snap *RadioSnap, id int) (float64, bool) {
 	if e.Cfg.UseDDSNR {
-		return cr.DDSNR
+		return snap.DD(id)
 	}
-	return cr.RSRP
+	cr, ok := snap.Get(id)
+	return cr.RSRP, ok
 }
 
 // store applies the L3 filter and records a measurement. Values older
@@ -206,17 +270,18 @@ func (e *MeasEngine) store(id int, t, raw float64) {
 	if a <= 0 || a > 1 {
 		a = 1
 	}
-	old, ok := e.values[id]
+	old := e.values[id]
 	v := raw
-	if ok && old.valid && t-old.measuredAt < 1.0 {
+	if old.valid && t-old.measuredAt < 1.0 {
 		v = old.metric + a*(raw-old.metric)
 	}
 	e.values[id] = measValue{metric: v, measuredAt: t, valid: true}
 }
 
 // Tick advances the engine to time t with the given radio snapshot and
-// returns reports whose TTT has just elapsed. dt is the tick duration.
-func (e *MeasEngine) Tick(t float64, snap map[int]CellRadio) []Report {
+// returns reports whose TTT has just elapsed. The returned slice is
+// engine-owned scratch, valid until the next Tick.
+func (e *MeasEngine) Tick(t float64, snap *RadioSnap) []Report {
 	if !e.started {
 		e.startAt = t
 		e.started = true
@@ -229,18 +294,14 @@ func (e *MeasEngine) Tick(t float64, snap map[int]CellRadio) []Report {
 }
 
 // visit updates stored measurement values according to the schedule.
-func (e *MeasEngine) visit(t float64, snap map[int]CellRadio) {
-	serving := e.Dep.CellByID(e.Serving)
-	servingCh := 0
-	if serving != nil {
-		servingCh = serving.Channel
-	}
+func (e *MeasEngine) visit(t float64, snap *RadioSnap) {
+	servingCh := e.Dep.ChannelOf(e.Serving)
 
 	// Serving cell is always tracked.
-	if cr, ok := snap[e.Serving]; ok {
-		e.store(e.Serving, t, e.metric(cr))
+	if m, ok := e.metricAt(snap, e.Serving); ok {
+		e.store(e.Serving, t, m)
 	} else {
-		e.values[e.Serving] = measValue{valid: false}
+		e.values[e.Serving] = measValue{}
 	}
 
 	if e.Cfg.CrossBand {
@@ -248,23 +309,18 @@ func (e *MeasEngine) visit(t float64, snap map[int]CellRadio) {
 		return
 	}
 
-	// Intra-frequency scan. Iterate in cell-ID order so RNG draws are
-	// reproducible (map order is randomized).
-	ids := e.idsBuf[:0]
-	for id := range snap {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
-	e.idsBuf = ids
+	// Intra-frequency scan. The flat snapshot iterates in ascending
+	// cell-ID order by construction, keeping RNG draws reproducible.
+	maxID := snap.MaxID()
 	if e.firstTick || t-e.lastIntra >= e.Cfg.IntraPeriod {
 		e.lastIntra = t
-		for _, id := range ids {
-			if id == e.Serving {
+		for id := 1; id <= maxID; id++ {
+			if id == e.Serving || !snap.Visible(id) {
 				continue
 			}
-			c := e.Dep.CellByID(id)
-			if c != nil && c.Channel == servingCh {
-				e.store(id, t, e.metric(snap[id]))
+			if e.Dep.ChannelOf(id) == servingCh {
+				m, _ := e.metricAt(snap, id)
+				e.store(id, t, m)
 			}
 		}
 	}
@@ -275,10 +331,13 @@ func (e *MeasEngine) visit(t float64, snap map[int]CellRadio) {
 		e.lastGap = t
 		ch := e.foreignChs[e.gapRR%len(e.foreignChs)]
 		e.gapRR++
-		for _, id := range ids {
-			c := e.Dep.CellByID(id)
-			if c != nil && c.Channel == ch {
-				e.store(id, t, e.metric(snap[id]))
+		for id := 1; id <= maxID; id++ {
+			if !snap.Visible(id) {
+				continue
+			}
+			if e.Dep.ChannelOf(id) == ch {
+				m, _ := e.metricAt(snap, id)
+				e.store(id, t, m)
 			}
 		}
 	}
@@ -294,7 +353,7 @@ const csiZeroFloorDB = -40
 // visitCrossBand measures one cell per base station and estimates its
 // co-sited siblings (paper §5.2/§6): intra-frequency anchor when
 // available, otherwise the strongest cell of the site.
-func (e *MeasEngine) visitCrossBand(t float64, snap map[int]CellRadio, servingCh int) {
+func (e *MeasEngine) visitCrossBand(t float64, snap *RadioSnap, servingCh int) {
 	if !e.firstTick && t-e.lastIntra < e.Cfg.IntraPeriod {
 		return
 	}
@@ -309,7 +368,7 @@ func (e *MeasEngine) visitCrossBand(t float64, snap map[int]CellRadio, servingCh
 		// visible, else the first visible cell.
 		var anchor *Cell
 		for _, c := range bs.Cells {
-			if _, ok := snap[c.ID]; !ok {
+			if !snap.Visible(c.ID) {
 				continue
 			}
 			if c.Channel == servingCh {
@@ -323,13 +382,13 @@ func (e *MeasEngine) visitCrossBand(t float64, snap map[int]CellRadio, servingCh
 		if anchor == nil {
 			continue
 		}
-		cr := snap[anchor.ID]
-		e.store(anchor.ID, t, e.metric(cr))
+		m, _ := e.metricAt(snap, anchor.ID)
+		e.store(anchor.ID, t, m)
 		for _, sib := range bs.Cells {
 			if sib.ID == anchor.ID {
 				continue
 			}
-			scr, ok := snap[sib.ID]
+			sm, ok := e.metricAt(snap, sib.ID)
 			if !ok {
 				continue
 			}
@@ -346,17 +405,17 @@ func (e *MeasEngine) visitCrossBand(t float64, snap map[int]CellRadio, servingCh
 			}
 			// Cross-band estimate: true sibling metric plus the
 			// estimation error of Algorithm 1 (Fig. 12 calibration).
-			est := e.metric(scr) + e.rng.Gauss(0, e.Cfg.CrossBandErrStdDB)
+			est := sm + e.rng.Gauss(0, e.Cfg.CrossBandErrStdDB)
 			e.store(sib.ID, t, est)
 		}
 	}
 }
 
 // evaluate runs the policy rules over stored values and returns due
-// reports.
+// reports (engine-owned scratch, valid until the next Tick).
 func (e *MeasEngine) evaluate(t float64) []Report {
-	serv, ok := e.values[e.Serving]
-	if !ok || !serv.valid {
+	serv := e.values[e.Serving]
+	if !serv.valid {
 		return nil
 	}
 
@@ -388,50 +447,35 @@ func (e *MeasEngine) evaluate(t float64) []Report {
 		return e.a2Armed || e.Cfg.CrossBand
 	}
 
-	var out []Report
-	// Deterministic order over cells.
-	ids := e.idsBuf[:0]
-	for id := range e.values {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
-	e.idsBuf = ids
-
+	// The flat value table iterates in ascending cell-ID order — the
+	// same deterministic order the sorted map keys produced.
+	out := e.reports[:0]
+	stride := len(e.values)
 	for ri, r := range e.Policy.Rules {
 		if !r.IsHandoverRule() || !stageArmed(r.Stage) {
 			continue
 		}
-		for _, id := range ids {
-			if id == e.Serving {
-				continue
-			}
-			c := e.Dep.CellByID(id)
-			if c == nil {
-				continue
-			}
-			if r.TargetChannel != 0 && c.Channel != r.TargetChannel {
-				continue
-			}
+		ttt := e.tttSince[ri*stride : (ri+1)*stride]
+		for _, cid := range e.ruleCands[ri] {
+			id := int(cid)
 			v := e.values[id]
 			if !v.valid {
 				continue
 			}
-			key := tttKey{ruleIdx: ri, cellID: id}
 			eff := r
 			if r.Type == policy.A3 {
 				eff.OffsetDB = e.Policy.A3OffsetFor(r, id)
 			}
 			if eff.Satisfied(serv.metric, v.metric) {
-				since, tracking := e.tttSince[key]
-				if !tracking {
-					e.tttSince[key] = t
+				since := ttt[id]
+				if since < 0 {
+					ttt[id] = t
 					since = t
 				}
 				rearm := r.TTTSec
 				if e.Cfg.ReportIntervalSec > rearm {
 					rearm = e.Cfg.ReportIntervalSec
 				}
-				_ = rearm
 				if t-since >= r.TTTSec {
 					out = append(out, Report{
 						CellID:      id,
@@ -446,12 +490,13 @@ func (e *MeasEngine) evaluate(t float64) []Report {
 					// Re-arm so a persisting condition re-reports
 					// only after the report interval (3GPP
 					// reportInterval), not every tick.
-					e.tttSince[key] = t + rearm - r.TTTSec
+					ttt[id] = t + rearm - r.TTTSec
 				}
 			} else {
-				delete(e.tttSince, key)
+				ttt[id] = -1
 			}
 		}
 	}
+	e.reports = out
 	return out
 }

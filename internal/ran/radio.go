@@ -70,10 +70,36 @@ type cellFadeState struct {
 	g      complex128
 	lastT  float64
 	primed bool
-	// rho memo keyed on the exact elapsed dt (tick-driven callers
-	// advance in fixed steps, so the exp() argument repeats).
-	memoDt, memoRho float64
-	memoOK          bool
+	// rho memo keyed on the exact elapsed dt. Tick-driven callers
+	// advance in near-fixed steps — t = n·dt wobbles across a few
+	// ulp-distinct differences, and outage/visibility gaps add a few
+	// multi-tick strides — so a small table keyed on the exact float
+	// dt catches almost every advance while returning bitwise the
+	// value a direct exp() would.
+	memo  [8]fadeMemoEntry
+	memoN int // entries filled; also the ring insert cursor
+}
+
+type fadeMemoEntry struct {
+	dt, rho float64
+}
+
+func (f *cellFadeState) memoFind(dt float64) (float64, bool) {
+	n := f.memoN
+	if n > len(f.memo) {
+		n = len(f.memo)
+	}
+	for i := 0; i < n; i++ {
+		if f.memo[i].dt == dt {
+			return f.memo[i].rho, true
+		}
+	}
+	return 0, false
+}
+
+func (f *cellFadeState) memoPut(dt, rho float64) {
+	f.memo[f.memoN%len(f.memo)] = fadeMemoEntry{dt: dt, rho: rho}
+	f.memoN++
 }
 
 // cellRadioState carries everything Snapshot needs for one cell: the
@@ -89,6 +115,140 @@ type cellRadioState struct {
 	tc       float64 // chanmodel.CoherenceTime(FreqHz, speed)
 	ici      float64 // ofdm.ICIPowerRatio at this carrier
 }
+
+// RadioSnap is the flat per-tick radio view: one slot per cell,
+// indexed by the deployment's dense cell IDs (slot 0 unused). A slot
+// is meaningful only while Visible reports true — invisible slots
+// keep stale bytes rather than paying a full clear per tick. The
+// struct is owned by whoever built it (RadioEnv reuses one across
+// Snapshot calls) and must be consumed before the next refill.
+type RadioSnap struct {
+	radio []CellRadio
+	vis   []bool
+	// Lazy fade-conversion state. A slot filled by the environment
+	// starts with only DDSNR final; the fade-dependent RSRP/SNR fields
+	// are derived on first Get from the stored linear fade sample —
+	// bitwise the same arithmetic the eager path ran, just deferred
+	// past the cells a tick never reads in full (REM policies evaluate
+	// on DD-SNR, so most ticks read one full slot: the serving cell).
+	full  []bool
+	mean  []float64 // pre-fade mean RSRP (dBm)
+	fadeP []float64 // linear fading power gain
+	iciF  []float64 // Doppler ICI power ratio
+	n     int
+}
+
+// NewRadioSnap returns an empty snapshot sized for cell IDs 1..maxID.
+func NewRadioSnap(maxID int) *RadioSnap {
+	if maxID < 0 {
+		maxID = 0
+	}
+	return &RadioSnap{
+		radio: make([]CellRadio, maxID+1),
+		vis:   make([]bool, maxID+1),
+		full:  make([]bool, maxID+1),
+		mean:  make([]float64, maxID+1),
+		fadeP: make([]float64, maxID+1),
+		iciF:  make([]float64, maxID+1),
+	}
+}
+
+// Reset marks every cell invisible (one memclr; no per-slot work).
+// Stale full/mean/fade bytes are harmless: every put path overwrites
+// them before the slot turns visible again.
+func (s *RadioSnap) Reset() {
+	clear(s.vis)
+	s.n = 0
+}
+
+// Put stores cell id's complete radio state, growing the index if
+// needed.
+func (s *RadioSnap) Put(id int, cr CellRadio) {
+	if id < 0 {
+		return
+	}
+	for id >= len(s.vis) {
+		s.radio = append(s.radio, CellRadio{})
+		s.vis = append(s.vis, false)
+		s.full = append(s.full, false)
+		s.mean = append(s.mean, 0)
+		s.fadeP = append(s.fadeP, 0)
+		s.iciF = append(s.iciF, 0)
+	}
+	if !s.vis[id] {
+		s.n++
+	}
+	s.radio[id], s.vis[id], s.full[id] = cr, true, true
+}
+
+// putLazy stores cell id's pre-conversion radio state: DDSNR is final,
+// the fade-dependent fields are derived on first Get. Only the
+// environment calls this, on a snapshot it sized itself.
+func (s *RadioSnap) putLazy(id int, meanRSRP, meanSNR, fadeP, ici float64) {
+	if !s.vis[id] {
+		s.n++
+	}
+	s.vis[id], s.full[id] = true, false
+	s.radio[id] = CellRadio{DDSNR: meanSNR}
+	s.mean[id], s.fadeP[id], s.iciF[id] = meanRSRP, fadeP, ici
+}
+
+// fill derives a visible slot's fade-dependent fields — the same
+// operations, in the same order, the eager snapshot used to run.
+func (s *RadioSnap) fill(id int) {
+	fadeDB := dsp.DB(s.fadeP[id])
+
+	// ICI behaves as self-noise: SINR = S/(N + ici·S).
+	lin := dsp.FromDB(s.radio[id].DDSNR + fadeDB)
+	sinr := lin / (1 + s.iciF[id]*lin)
+
+	s.radio[id].RSRP = s.mean[id] + fadeDB
+	s.radio[id].SNR = dsp.DB(sinr)
+	s.full[id] = true
+}
+
+// FillAll materializes every visible slot eagerly — the always-step
+// verification path (mobility's Config.FullSnapshotInOutage). Results
+// are bitwise identical to lazy fills.
+func (s *RadioSnap) FillAll() {
+	for id := 1; id < len(s.vis); id++ {
+		if s.vis[id] && !s.full[id] {
+			s.fill(id)
+		}
+	}
+}
+
+// Get returns cell id's radio state and whether it is visible.
+func (s *RadioSnap) Get(id int) (CellRadio, bool) {
+	if id < 0 || id >= len(s.vis) || !s.vis[id] {
+		return CellRadio{}, false
+	}
+	if !s.full[id] {
+		s.fill(id)
+	}
+	return s.radio[id], true
+}
+
+// DD returns cell id's delay-Doppler SNR and whether it is visible,
+// without forcing the fade-dependent conversions — the REM hot path
+// reads only this.
+func (s *RadioSnap) DD(id int) (float64, bool) {
+	if id < 0 || id >= len(s.vis) || !s.vis[id] {
+		return 0, false
+	}
+	return s.radio[id].DDSNR, true
+}
+
+// Visible reports whether cell id is in the snapshot.
+func (s *RadioSnap) Visible(id int) bool {
+	return id >= 0 && id < len(s.vis) && s.vis[id]
+}
+
+// MaxID returns the highest indexable cell ID (iterate 1..MaxID).
+func (s *RadioSnap) MaxID() int { return len(s.vis) - 1 }
+
+// Len returns the number of visible cells.
+func (s *RadioSnap) Len() int { return s.n }
 
 // RadioEnv computes per-cell radio snapshots for a client moving along
 // the deployment. It is deterministic for a given RNG stream.
@@ -106,7 +266,7 @@ type RadioEnv struct {
 	CellDown func(cell int, t float64) bool
 
 	cells []cellRadioState
-	snap  map[int]CellRadio // reused across Snapshot calls
+	snap  *RadioSnap // reused across Snapshot calls
 	rng   *sim.RNG
 }
 
@@ -175,11 +335,13 @@ func (e *RadioEnv) fadeSample(st *cellRadioState, t float64) float64 {
 		var rho float64
 		if math.IsInf(st.tc, 1) {
 			rho = 1
-		} else if dt := t - f.lastT; f.memoOK && dt == f.memoDt {
-			rho = f.memoRho
 		} else {
-			rho = math.Exp(-dt / st.tc)
-			f.memoDt, f.memoRho, f.memoOK = dt, rho, true
+			dt := t - f.lastT
+			var hit bool
+			if rho, hit = f.memoFind(dt); !hit {
+				rho = math.Exp(-dt / st.tc)
+				f.memoPut(dt, rho)
+			}
 		}
 		f.g = complex(rho, 0)*f.g + e.rng.ComplexNorm(1-rho*rho)
 		f.lastT = t
@@ -193,23 +355,55 @@ func (e *RadioEnv) fadeSample(st *cellRadioState, t float64) float64 {
 
 // Snapshot returns the radio state of every cell at client position pos
 // and time t. Cells below the visibility floor (−140 dBm RSRP) are
-// omitted. The returned map is owned by the environment and reused by
-// the next Snapshot call: consume it before advancing.
-func (e *RadioEnv) Snapshot(pos geo.Point, t float64) map[int]CellRadio {
+// omitted. Every slot's DDSNR is final on return; the fade-dependent
+// RSRP/SNR conversions are deferred to the slot's first Get, so ticks
+// that read only DD-SNR (REM policies, detached clients) never pay
+// them. The returned snapshot is owned by the environment and reused
+// by the next Snapshot/SnapshotDD call: consume it before advancing.
+func (e *RadioEnv) Snapshot(pos geo.Point, t float64) *RadioSnap {
+	return e.snapshot(pos, t)
+}
+
+// SnapshotDD is the historical name of the outage fast path. Since the
+// dB conversions became lazy snapshot-wide, it is identical to
+// Snapshot — every radio process advances through the same draw
+// sequence, and a full CellRadio (any cell's, not just fullID's) is a
+// Get away. Kept so detached-path call sites read as what they are.
+func (e *RadioEnv) SnapshotDD(pos geo.Point, t float64, fullID int) *RadioSnap {
+	return e.snapshot(pos, t)
+}
+
+func (e *RadioEnv) snapshot(pos geo.Point, t float64) *RadioSnap {
 	if e.snap == nil {
-		e.snap = make(map[int]CellRadio, len(e.cells))
-	} else {
-		clear(e.snap)
+		maxID := 0
+		for i := range e.cells {
+			if id := e.cells[i].cell.ID; id > maxID {
+				maxID = id
+			}
+		}
+		e.snap = NewRadioSnap(maxID)
 	}
 	out := e.snap
+	out.Reset()
+	// Co-sited cells are contiguous in e.cells (deployment appends
+	// per site, then per band) and share the base-station position,
+	// so the distance term — the lone Log10 in the loop — is computed
+	// once per site and the identical value reused for its siblings.
+	var (
+		lastBS   *BaseStation
+		distTerm float64
+	)
 	for i := range e.cells {
 		st := &e.cells[i]
 		c := st.cell
 		if e.CellDown != nil && e.CellDown(c.ID, t) {
 			continue
 		}
-		d := pos.Distance(c.BS.Pos)
-		pl := e.Cfg.PathLoss.DistTermDB(d) + st.freqTerm
+		if c.BS != lastBS {
+			lastBS = c.BS
+			distTerm = e.Cfg.PathLoss.DistTermDB(pos.Distance(c.BS.Pos))
+		}
+		pl := distTerm + st.freqTerm
 		sh := st.shadow.At(pos.X) + st.cellSh.At(pos.X)
 		meanRSRP := c.TxPowerDBm - pl - sh
 		for _, h := range e.Cfg.Holes {
@@ -220,39 +414,36 @@ func (e *RadioEnv) Snapshot(pos geo.Point, t float64) map[int]CellRadio {
 		if meanRSRP < -140 {
 			continue
 		}
-		fadeDB := dsp.DB(e.fadeSample(st, t))
+		fade := e.fadeSample(st, t)
 		meanSNR := meanRSRP - e.Cfg.NoisePerREDBm - e.Cfg.InterfMarginDB
-
-		// ICI behaves as self-noise: SINR = S/(N + ici·S).
-		lin := dsp.FromDB(meanSNR + fadeDB)
-		sinr := lin / (1 + st.ici*lin)
-
-		out[c.ID] = CellRadio{
-			RSRP:  meanRSRP + fadeDB,
-			SNR:   dsp.DB(sinr),
-			DDSNR: meanSNR,
-		}
+		out.putLazy(c.ID, meanRSRP, meanSNR, fade, st.ici)
 	}
 	return out
 }
 
 // BestCell returns the cell with the strongest metric in a snapshot
 // (RSRP when byRSRP, otherwise DDSNR) and whether any cell qualifies
-// above the floor.
-func BestCell(snap map[int]CellRadio, byRSRP bool, floor float64) (int, float64, bool) {
+// above the floor. The ascending-ID scan with a strict comparison
+// keeps the lower ID on ties.
+func BestCell(snap *RadioSnap, byRSRP bool, floor float64) (int, float64, bool) {
 	bestID, bestV, found := 0, 0.0, false
-	// Single pass with deterministic tie-breaking by cell ID: strictly
-	// better value wins, equal value goes to the lower ID — the same
-	// winner the former sorted-ascending scan produced.
-	for id, cr := range snap {
-		v := cr.RSRP
-		if !byRSRP {
-			v = cr.DDSNR
+	for id := 1; id < len(snap.vis); id++ {
+		if !snap.vis[id] {
+			continue
+		}
+		var v float64
+		if byRSRP {
+			if !snap.full[id] {
+				snap.fill(id)
+			}
+			v = snap.radio[id].RSRP
+		} else {
+			v = snap.radio[id].DDSNR
 		}
 		if v < floor {
 			continue
 		}
-		if !found || v > bestV || (v == bestV && id < bestID) {
+		if !found || v > bestV {
 			bestID, bestV, found = id, v, true
 		}
 	}

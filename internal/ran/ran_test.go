@@ -93,7 +93,7 @@ func TestRadioEnvSnapshotBasics(t *testing.T) {
 	env := NewRadioEnv(dep, DefaultRadioConfig(83), streams)
 	// Stand right under the first base station.
 	snap := env.Snapshot(geo.Point{X: 800, Y: 0}, 0)
-	if len(snap) == 0 {
+	if snap.Len() == 0 {
 		t.Fatal("no visible cells")
 	}
 	// The nearest site's cells should be strongest.
@@ -132,7 +132,7 @@ func TestRadioEnvDDSNRStability(t *testing.T) {
 		if cellID == 0 {
 			cellID, _, _ = BestCell(snap, true, -140)
 		}
-		cr, ok := snap[cellID]
+		cr, ok := snap.Get(cellID)
 		if !ok {
 			t.Fatal("cell disappeared")
 		}
@@ -159,17 +159,19 @@ func TestRadioEnvICIPenaltyGrowsWithSpeed(t *testing.T) {
 	id, _, _ := BestCell(a, true, -140)
 	// DD SNR is fade-free so the comparison is deterministic: the ICI
 	// penalty only affects the OFDM SNR. Compare the SNR-to-DDSNR gap.
-	gapSlow := a[id].DDSNR - a[id].SNR
-	gapFast := b[id].DDSNR - b[id].SNR
+	crA, _ := a.Get(id)
+	crB, _ := b.Get(id)
+	gapSlow := crA.DDSNR - crA.SNR
+	gapFast := crB.DDSNR - crB.SNR
 	// Fading differs between draws; average over many ticks.
 	var sumSlow, sumFast float64
 	const n = 300
 	for i := 1; i <= n; i++ {
 		t0 := float64(i) * 0.01
-		sa := slow.Snapshot(pos, t0)
-		sb := fast.Snapshot(pos, t0)
-		sumSlow += sa[id].DDSNR - sa[id].SNR
-		sumFast += sb[id].DDSNR - sb[id].SNR
+		sa, _ := slow.Snapshot(pos, t0).Get(id)
+		sb, _ := fast.Snapshot(pos, t0).Get(id)
+		sumSlow += sa.DDSNR - sa.SNR
+		sumFast += sb.DDSNR - sb.SNR
 	}
 	_ = gapSlow
 	_ = gapFast
@@ -179,11 +181,10 @@ func TestRadioEnvICIPenaltyGrowsWithSpeed(t *testing.T) {
 }
 
 func TestBestCellDeterministicAndFloor(t *testing.T) {
-	snap := map[int]CellRadio{
-		1: {RSRP: -100, DDSNR: 5},
-		2: {RSRP: -90, DDSNR: 15},
-		3: {RSRP: -90, DDSNR: 15},
-	}
+	snap := NewRadioSnap(3)
+	snap.Put(1, CellRadio{RSRP: -100, DDSNR: 5})
+	snap.Put(2, CellRadio{RSRP: -90, DDSNR: 15})
+	snap.Put(3, CellRadio{RSRP: -90, DDSNR: 15})
 	id, v, ok := BestCell(snap, true, -140)
 	if !ok || id != 2 || v != -90 {
 		t.Fatalf("BestCell = (%d, %g, %v), want (2, -90, true) with ID tie-break", id, v, ok)
@@ -266,10 +267,16 @@ func measPolicy(cellID, servingCh, interCh int) *policy.Policy {
 }
 
 // snapshotWhere builds a synthetic radio snapshot.
-func snapshotWhere(vals map[int]float64) map[int]CellRadio {
-	out := make(map[int]CellRadio)
+func snapshotWhere(vals map[int]float64) *RadioSnap {
+	maxID := 0
+	for id := range vals {
+		if id > maxID {
+			maxID = id
+		}
+	}
+	out := NewRadioSnap(maxID)
 	for id, v := range vals {
-		out[id] = CellRadio{RSRP: v, SNR: v + 20, DDSNR: v + 22}
+		out.Put(id, CellRadio{RSRP: v, SNR: v + 20, DDSNR: v + 22})
 	}
 	return out
 }
@@ -387,7 +394,8 @@ func TestMeasEngineCrossBandSkipsGatesAndGaps(t *testing.T) {
 	}
 	// The metric is a DD-SNR estimate near the true value (within a
 	// few σ of the 1 dB estimation error).
-	trueDD := snap[interSibling.ID].DDSNR
+	trueCR, _ := snap.Get(interSibling.ID)
+	trueDD := trueCR.DDSNR
 	if math.Abs(got[0].Metric-trueDD) > 5 {
 		t.Fatalf("cross-band metric %g too far from true %g", got[0].Metric, trueDD)
 	}
