@@ -1,0 +1,335 @@
+// Command remctl is the operator CLI for remserve: it submits fleet
+// runs (single-process or sharded across a cluster), follows their
+// progress, and fetches results, event streams, timelines and metrics
+// through the typed client in rem/pkg/remclient.
+//
+// Usage:
+//
+//	remctl [-server URL] <command> [flags] [args]
+//
+// Commands:
+//
+//	submit    submit a run spec; -wait blocks until it finishes
+//	list      list runs
+//	status    print one run (-json for the raw view)
+//	watch     follow a run's progress until it reaches a terminal state
+//	cancel    cancel a run
+//	events    stream the run's NDJSON event feed to stdout
+//	timeline  stream the run's NDJSON telemetry timeline to stdout
+//	metrics   print the run's Prometheus metrics snapshot
+//	summary   print a finished run's human-readable report
+//	health    print the server's role-aware health view
+//
+// Examples:
+//
+//	remctl submit -ues 100 -duration 60 -seed 7 -telemetry -shards 4 -wait
+//	remctl watch run-0001
+//	remctl metrics run-0001 | grep rem_handovers_total
+//
+// The server defaults to http://localhost:8080 and can also be set
+// with the REMCTL_SERVER environment variable.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"rem/pkg/remclient"
+)
+
+func main() {
+	server := flag.String("server", defaultServer(), "remserve base URL")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() == 0 {
+		usage()
+		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	c := remclient.New(*server)
+	cmd, args := flag.Arg(0), flag.Args()[1:]
+	err := dispatch(ctx, c, cmd, args)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "remctl: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func defaultServer() string {
+	if s := os.Getenv("REMCTL_SERVER"); s != "" {
+		return s
+	}
+	return "http://localhost:8080"
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage: remctl [-server URL] <command> [flags] [args]
+
+commands:
+  submit    submit a run spec; -wait blocks until it finishes
+  list      list runs
+  status    print one run (-json for the raw view)
+  watch     follow a run's progress until it finishes
+  cancel    cancel a run
+  events    stream the run's NDJSON event feed
+  timeline  stream the run's NDJSON telemetry timeline
+  metrics   print the run's Prometheus metrics snapshot
+  summary   print a finished run's report
+  health    print the server's health view
+
+run "remctl <command> -h" for command flags.
+`)
+}
+
+func dispatch(ctx context.Context, c *remclient.Client, cmd string, args []string) error {
+	switch cmd {
+	case "submit":
+		return cmdSubmit(ctx, c, args)
+	case "list":
+		return cmdList(ctx, c)
+	case "status":
+		return cmdStatus(ctx, c, args)
+	case "watch":
+		return cmdWatch(ctx, c, args)
+	case "cancel":
+		return cmdCancel(ctx, c, args)
+	case "events":
+		return cmdStream(ctx, c, args, "events")
+	case "timeline":
+		return cmdStream(ctx, c, args, "timeline")
+	case "metrics":
+		return cmdMetrics(ctx, c, args)
+	case "summary":
+		return cmdSummary(ctx, c, args)
+	case "health":
+		return cmdHealth(ctx, c)
+	default:
+		usage()
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+// runID extracts the single positional run-id argument.
+func runID(fs *flag.FlagSet, args []string) (string, error) {
+	if err := fs.Parse(args); err != nil {
+		return "", err
+	}
+	if fs.NArg() != 1 {
+		return "", fmt.Errorf("want exactly one run id, got %d args", fs.NArg())
+	}
+	return fs.Arg(0), nil
+}
+
+func cmdSubmit(ctx context.Context, c *remclient.Client, args []string) error {
+	fs := flag.NewFlagSet("submit", flag.ContinueOnError)
+	var spec remclient.Spec
+	fs.IntVar(&spec.UEs, "ues", 1, "fleet size")
+	fs.StringVar(&spec.Dataset, "dataset", "beijing-shanghai", "trace dataset")
+	fs.StringVar(&spec.Mode, "mode", "rem", "handover mode")
+	fs.Float64Var(&spec.SpeedKmh, "speed", 300, "train speed, km/h")
+	fs.Float64Var(&spec.DurationSec, "duration", 60, "simulated seconds")
+	fs.Int64Var(&spec.Seed, "seed", 1, "master seed")
+	fs.IntVar(&spec.Workers, "workers", 0, "worker goroutines (0 = auto)")
+	fs.Float64Var(&spec.EpochSec, "epoch", 0, "epoch barrier interval, seconds (0 = default)")
+	fs.IntVar(&spec.CellCapacity, "cell-capacity", 0, "per-cell admission capacity (0 = unlimited)")
+	fs.Float64Var(&spec.SpreadMarginDB, "spread-margin", 0, "admission spread margin, dB")
+	fs.Float64Var(&spec.StartSpreadM, "start-spread", 0, "UE start-position spread, meters")
+	fs.Float64Var(&spec.SpeedJitterFrac, "speed-jitter", 0, "per-UE speed jitter fraction")
+	fs.BoolVar(&spec.Telemetry, "telemetry", false, "arm the observability plane")
+	fs.IntVar(&spec.Shards, "shards", 0, "cluster shards (0 = in-process; >0 needs a coordinator)")
+	faults := fs.String("faults", "", "fault-injection plan: inline JSON or @file")
+	wait := fs.Bool("wait", false, "block until the run finishes; print its report")
+	poll := fs.Duration("poll", 200*time.Millisecond, "poll interval with -wait")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *faults != "" {
+		data := []byte(*faults)
+		if strings.HasPrefix(*faults, "@") {
+			var err error
+			if data, err = os.ReadFile((*faults)[1:]); err != nil {
+				return err
+			}
+		}
+		spec.Faults = json.RawMessage(data)
+	}
+
+	run, err := c.Submit(ctx, spec)
+	if err != nil {
+		return err
+	}
+	fmt.Println(run.ID)
+	if !*wait {
+		return nil
+	}
+	done, err := c.Wait(ctx, run.ID, *poll)
+	if err != nil {
+		return err
+	}
+	printRun(done)
+	if done.State == remclient.StateDone && done.Result != nil {
+		fmt.Print(done.Result.Report)
+	}
+	if done.State != remclient.StateDone {
+		return fmt.Errorf("run %s finished %s", done.ID, done.State)
+	}
+	return nil
+}
+
+func cmdList(ctx context.Context, c *remclient.Client) error {
+	runs, err := c.List(ctx)
+	if err != nil {
+		return err
+	}
+	for _, r := range runs {
+		shard := ""
+		if r.Spec.Shards > 0 {
+			shard = fmt.Sprintf("  shards=%d", r.Spec.Shards)
+		}
+		fmt.Printf("%s  %-8s  ues=%d  t=%.1fs%s\n", r.ID, r.State, r.Spec.UEs, r.SimTimeSec, shard)
+	}
+	return nil
+}
+
+func cmdStatus(ctx context.Context, c *remclient.Client, args []string) error {
+	fs := flag.NewFlagSet("status", flag.ContinueOnError)
+	asJSON := fs.Bool("json", false, "print the raw run view")
+	id, err := runID(fs, args)
+	if err != nil {
+		return err
+	}
+	run, err := c.Get(ctx, id)
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(run)
+	}
+	printRun(run)
+	return nil
+}
+
+func cmdWatch(ctx context.Context, c *remclient.Client, args []string) error {
+	fs := flag.NewFlagSet("watch", flag.ContinueOnError)
+	poll := fs.Duration("poll", 500*time.Millisecond, "poll interval")
+	id, err := runID(fs, args)
+	if err != nil {
+		return err
+	}
+	for {
+		run, err := c.Get(ctx, id)
+		if err != nil {
+			return err
+		}
+		printRun(run)
+		if remclient.Terminal(run.State) {
+			if run.State != remclient.StateDone {
+				return fmt.Errorf("run %s finished %s", run.ID, run.State)
+			}
+			return nil
+		}
+		select {
+		case <-time.After(*poll):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+func cmdCancel(ctx context.Context, c *remclient.Client, args []string) error {
+	id, err := runID(flag.NewFlagSet("cancel", flag.ContinueOnError), args)
+	if err != nil {
+		return err
+	}
+	run, err := c.Cancel(ctx, id)
+	if err != nil {
+		return err
+	}
+	printRun(run)
+	return nil
+}
+
+func cmdStream(ctx context.Context, c *remclient.Client, args []string, kind string) error {
+	id, err := runID(flag.NewFlagSet(kind, flag.ContinueOnError), args)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(os.Stdout)
+	if kind == "events" {
+		return c.Events(ctx, id, func(ev remclient.Event) error { return enc.Encode(ev) })
+	}
+	return c.Timeline(ctx, id, func(ev remclient.TimelineEvent) error { return enc.Encode(ev) })
+}
+
+func cmdMetrics(ctx context.Context, c *remclient.Client, args []string) error {
+	id, err := runID(flag.NewFlagSet("metrics", flag.ContinueOnError), args)
+	if err != nil {
+		return err
+	}
+	text, err := c.MetricsText(ctx, id)
+	if err != nil {
+		return err
+	}
+	os.Stdout.Write(text)
+	return nil
+}
+
+func cmdSummary(ctx context.Context, c *remclient.Client, args []string) error {
+	id, err := runID(flag.NewFlagSet("summary", flag.ContinueOnError), args)
+	if err != nil {
+		return err
+	}
+	run, err := c.Get(ctx, id)
+	if err != nil {
+		return err
+	}
+	if run.Result == nil {
+		return fmt.Errorf("run %s has no result (state %s)", run.ID, run.State)
+	}
+	fmt.Print(run.Result.Report)
+	return nil
+}
+
+func cmdHealth(ctx context.Context, c *remclient.Client) error {
+	h, err := c.Health(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("status=%s role=%s ready=%t", h.Status, h.Role, h.Ready)
+	if h.Members != nil {
+		fmt.Printf(" members=%d", *h.Members)
+	}
+	if h.Shards != nil {
+		fmt.Printf(" shards=%d", *h.Shards)
+	}
+	fmt.Println()
+	if !h.Ready {
+		return fmt.Errorf("server not ready")
+	}
+	return nil
+}
+
+// printRun writes the one-line human view of a run.
+func printRun(r *remclient.Run) {
+	line := fmt.Sprintf("%s  %-8s  ues=%d  t=%.1fs  attached=%d  events=%d",
+		r.ID, r.State, r.Spec.UEs, r.SimTimeSec, r.Attached, r.Events)
+	if r.Spec.Shards > 0 {
+		line += fmt.Sprintf("  shards=%d", r.Spec.Shards)
+	}
+	if r.Error != "" {
+		line += "  error=" + r.Error
+	}
+	fmt.Println(line)
+}

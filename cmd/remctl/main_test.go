@@ -1,0 +1,108 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+
+	"rem/pkg/remclient"
+)
+
+// stubServer fakes the remserve endpoints remctl drives.
+func stubServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /runs", func(w http.ResponseWriter, r *http.Request) {
+		var spec remclient.Spec
+		json.NewDecoder(r.Body).Decode(&spec)
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(remclient.Run{ID: "run-0042", State: "pending", Spec: spec})
+	})
+	mux.HandleFunc("GET /runs/run-0042", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(remclient.Run{
+			ID: "run-0042", State: "done",
+			Result: &remclient.Result{Summary: json.RawMessage(`{}`), Report: "report body\n"},
+		})
+	})
+	mux.HandleFunc("GET /runs", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"runs":[{"id":"run-0042","state":"done","spec":{"ues":5,"duration_sec":1,"shards":2}}]}`))
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		n := 0
+		json.NewEncoder(w).Encode(remclient.Health{Status: "ok", Role: "coordinator", Ready: false, Members: &n})
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// capture runs fn with stdout redirected and returns what it printed.
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	ferr := fn()
+	w.Close()
+	os.Stdout = old
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := r.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return sb.String(), ferr
+}
+
+func TestDispatch(t *testing.T) {
+	ctx := context.Background()
+	c := remclient.New(stubServer(t).URL)
+
+	out, err := capture(t, func() error {
+		return dispatch(ctx, c, "submit", []string{"-ues", "5", "-duration", "1", "-shards", "2", "-wait"})
+	})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if !strings.Contains(out, "run-0042") || !strings.Contains(out, "report body") {
+		t.Fatalf("submit output:\n%s", out)
+	}
+
+	out, err = capture(t, func() error { return dispatch(ctx, c, "list", nil) })
+	if err != nil || !strings.Contains(out, "shards=2") {
+		t.Fatalf("list output %q, err %v", out, err)
+	}
+
+	out, err = capture(t, func() error { return dispatch(ctx, c, "summary", []string{"run-0042"}) })
+	if err != nil || out != "report body\n" {
+		t.Fatalf("summary output %q, err %v", out, err)
+	}
+
+	out, err = capture(t, func() error { return dispatch(ctx, c, "status", []string{"-json", "run-0042"}) })
+	if err != nil || !strings.Contains(out, `"id": "run-0042"`) {
+		t.Fatalf("status -json output %q, err %v", out, err)
+	}
+
+	// A not-ready coordinator prints its view and exits nonzero.
+	out, err = capture(t, func() error { return dispatch(ctx, c, "health", nil) })
+	if err == nil || !strings.Contains(out, "role=coordinator") || !strings.Contains(out, "members=0") {
+		t.Fatalf("health output %q, err %v", out, err)
+	}
+
+	if _, err := capture(t, func() error { return dispatch(ctx, c, "bogus", nil) }); err == nil {
+		t.Fatal("unknown command did not error")
+	}
+	if _, err := capture(t, func() error { return dispatch(ctx, c, "status", nil) }); err == nil {
+		t.Fatal("status without id did not error")
+	}
+}

@@ -10,16 +10,27 @@ import (
 
 // journalEntry is one line of the crash-safe run journal: a "start"
 // when a run is admitted (carrying its spec, so an interrupted run is
-// reproducible after restart) and an "end" when it reaches a terminal
-// state. A run that has a start but no end at server boot was in
-// flight when the previous process died; recovery marks it failed
-// instead of leaking it.
+// reproducible after restart), an "assign" for every cluster shard
+// placement (failovers included), and an "end" when the run reaches a
+// terminal state. A run that has a start but no end at server boot was
+// in flight when the previous process died; recovery marks it failed —
+// or, for sharded runs on a coordinator, re-queues it, since the
+// journaled spec re-executes byte-identically.
 type journalEntry struct {
-	Op    string    `json:"op"` // "start" | "end"
+	Op    string    `json:"op"` // "start" | "assign" | "end"
 	ID    string    `json:"id"`
 	State string    `json:"state,omitempty"` // terminal state, end entries only
 	Error string    `json:"error,omitempty"`
 	Spec  *wireSpec `json:"spec,omitempty"` // start entries only
+
+	// Shard assignment fields ("assign" entries only): which member
+	// took which shard, from which epoch, and whether this placement
+	// was a failover.
+	Shard      *int   `json:"shard,omitempty"`
+	Member     string `json:"member,omitempty"`
+	Addr       string `json:"addr,omitempty"`
+	Epoch      int    `json:"epoch,omitempty"`
+	Reassigned bool   `json:"reassigned,omitempty"`
 }
 
 // journal is an append-only JSON-lines file. Every record is synced so

@@ -14,7 +14,11 @@
 //	GET  /runs/{id}/metrics   run metrics snapshot, Prometheus text
 //	GET  /metrics             service metrics: legacy JSON by default,
 //	                          Prometheus text with Accept: text/plain
-//	GET  /healthz             liveness probe
+//	GET  /healthz             role-aware health: {status, role, ready,
+//	                          members, shards}
+//	POST /cluster/v1/...      cluster plane (join/heartbeat/members on a
+//	                          coordinator; shard start/step/finish/abort
+//	                          on a member)
 //
 // A spec names dataset and mode as strings and otherwise matches
 // rem.FleetSpec's JSON shape; "telemetry": true arms the deterministic
@@ -28,6 +32,15 @@
 // same spec reproduces the same summary byte-for-byte regardless of
 // worker count or server load. SIGINT/SIGTERM cancels in-flight runs
 // and shuts the listener down gracefully.
+//
+// With -role coordinator, a spec may add "shards": N to partition the
+// fleet across member remserves (-role member -coordinator URL
+// -advertise URL): members execute shard ranges in lock-step with
+// per-cell loads exchanged at every epoch barrier, and the merged
+// result, timeline and metrics are byte-identical to a single-process
+// run — including after a mid-run member failure, which replays the
+// shard deterministically on a survivor. See cmd/remctl for the
+// operator CLI and DESIGN.md "Cluster plane" for the contract.
 package main
 
 import (
@@ -41,6 +54,8 @@ import (
 	"os/signal"
 	"syscall"
 	"time"
+
+	"rem/internal/cluster"
 )
 
 func main() {
@@ -51,7 +66,14 @@ func main() {
 	maxActive := flag.Int("max-active", 4, "fleet runs executing concurrently; further runs queue")
 	maxQueue := flag.Int("max-queue", 8, "pending-run queue depth, 0 for none; beyond it POST /runs returns 503")
 	retries := flag.Int("retries", 2, "retry attempts for run starts that fail before producing output (-1 disables)")
-	journalPath := flag.String("journal", "", "crash-safe run journal path; on restart, interrupted runs surface as failed")
+	journalPath := flag.String("journal", "", "crash-safe run journal path; on restart, interrupted runs surface as failed (sharded runs on a coordinator are re-queued)")
+	role := flag.String("role", "single", "cluster role: single, coordinator, or member")
+	coordURL := flag.String("coordinator", "", "coordinator base URL to join (member role)")
+	advertise := flag.String("advertise", "", "base URL the coordinator dials this member back on (member role)")
+	memberID := flag.String("member-id", "", "member identity in the cluster (member role; defaults to the advertise URL)")
+	heartbeat := flag.Duration("heartbeat", time.Second, "member heartbeat interval")
+	memberTTL := flag.Duration("member-ttl", 5*time.Second, "coordinator: member liveness window after its last heartbeat")
+	memberWait := flag.Duration("member-wait", 30*time.Second, "coordinator: how long a sharded run waits for a live member")
 	flag.Parse()
 
 	// The profiling endpoints live on their own listener so they are
@@ -79,11 +101,41 @@ func main() {
 		MaxQueue:    mq,
 		Retries:     *retries,
 		JournalPath: *journalPath,
+		Role:        *role,
+		MemberTTL:   *memberTTL,
+		MemberWait:  *memberWait,
 	})
 	if err != nil {
 		log.Fatalf("remserve: %v", err)
 	}
 	defer s.journal.Close()
+
+	// A member announces itself to the coordinator and keeps beating
+	// until shutdown. Join failures are retried — the coordinator may
+	// simply not be up yet.
+	if *role == "member" && *coordURL != "" {
+		if *advertise == "" {
+			log.Fatalf("remserve: -role member needs -advertise")
+		}
+		id := *memberID
+		if id == "" {
+			id = *advertise
+		}
+		go func() {
+			for ctx.Err() == nil {
+				err := cluster.Heartbeat(ctx, nil, *coordURL, id, *advertise, *heartbeat)
+				if ctx.Err() != nil {
+					return
+				}
+				log.Printf("remserve: heartbeat: %v", err)
+				select {
+				case <-time.After(*heartbeat):
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
 	srv := &http.Server{
 		Addr:        *addr,
 		Handler:     s.handler(),

@@ -18,7 +18,7 @@ type serverMetrics struct {
 	reg *obs.Registry
 
 	started, completed, canceled, failed *obs.Counter
-	shed, recovered, retried             *obs.Counter
+	shed, recovered, retried, resumed    *obs.Counter
 	epochs, epochAllocs                  *obs.Counter
 	epochWall                            *obs.Histogram
 
@@ -36,6 +36,9 @@ func newServerMetrics() *serverMetrics {
 	reg.Counter("remserve_runs_shed_total", "Run requests rejected at capacity (503).")
 	reg.Counter("remserve_runs_recovered_total", "Interrupted runs surfaced as failed at boot.")
 	reg.Counter("remserve_runs_retried_total", "Transient run-start retries.")
+	// Registry-only (kept out of the legacy JSON view, whose shape is
+	// pinned by existing clients).
+	reg.Counter("remserve_runs_resumed_total", "Sharded runs re-queued after a coordinator restart.")
 	reg.Counter("remserve_epochs_total", "Fleet epoch barriers executed.")
 	reg.Counter("remserve_epoch_allocs_total", "Heap objects allocated across fleet epochs.")
 	reg.Histogram("remserve_epoch_wall_ms", "Fleet epoch wall-clock latency (ms).", epochBuckets)
@@ -56,6 +59,7 @@ func newServerMetrics() *serverMetrics {
 		shed:            sh.Counter("remserve_runs_shed_total"),
 		recovered:       sh.Counter("remserve_runs_recovered_total"),
 		retried:         sh.Counter("remserve_runs_retried_total"),
+		resumed:         sh.Counter("remserve_runs_resumed_total"),
 		epochs:          sh.Counter("remserve_epochs_total"),
 		epochAllocs:     sh.Counter("remserve_epoch_allocs_total"),
 		epochWall:       sh.Histogram("remserve_epoch_wall_ms"),

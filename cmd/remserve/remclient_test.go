@@ -1,0 +1,186 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"rem/pkg/remclient"
+)
+
+// TestRemclientAgainstLiveServer drives the typed client against a
+// real remserve — single-process first, then a sharded run on a live
+// coordinator — and pins the client-visible result bytes to the
+// in-process engine.
+func TestRemclientAgainstLiveServer(t *testing.T) {
+	ctx := context.Background()
+	want := directResult(t)
+
+	spec := remclient.Spec{
+		UEs: 60, Dataset: "beijing-shanghai", Mode: "rem",
+		SpeedKmh: 330, DurationSec: 2, Seed: 7,
+		CellCapacity: 12, SpreadMarginDB: 3,
+		Telemetry: true,
+	}
+
+	_, single := newTestServer(t)
+	c := remclient.New(single.URL)
+
+	h, err := c.Health(ctx)
+	if err != nil || h.Status != "ok" || h.Role != roleSingle || !h.Ready {
+		t.Fatalf("health = %+v, %v", h, err)
+	}
+
+	run, err := c.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, err := c.Wait(ctx, run.ID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.State != remclient.StateDone || done.Result == nil {
+		t.Fatalf("final view = %+v", done)
+	}
+	singleJS, _ := json.Marshal(struct {
+		Summary json.RawMessage `json:"summary"`
+		Report  string          `json:"report"`
+	}{done.Result.Summary, done.Result.Report})
+	if string(singleJS) != string(want) {
+		t.Fatal("client-visible result differs from in-process engine")
+	}
+
+	var evs int
+	if err := c.Events(ctx, run.ID, func(remclient.Event) error { evs++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if evs == 0 {
+		t.Error("no events streamed")
+	}
+	var tls int
+	if err := c.Timeline(ctx, run.ID, func(remclient.TimelineEvent) error { tls++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if tls == 0 {
+		t.Error("no timeline events streamed")
+	}
+	prom, err := c.MetricsText(ctx, run.ID)
+	if err != nil || !strings.Contains(string(prom), "rem_epochs_total") {
+		t.Fatalf("run metrics = %.120s, %v", prom, err)
+	}
+
+	// Unarmed runs must surface the server's 409 as a typed APIError.
+	bare, err := c.Submit(ctx, remclient.Spec{
+		UEs: 2, Dataset: "beijing-shanghai", Mode: "rem", DurationSec: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Wait(ctx, bare.ID, 10*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.MetricsText(ctx, bare.ID); err == nil {
+		t.Error("metrics on unarmed run did not error")
+	}
+
+	// Same spec, sharded across two member remserves: the client sees
+	// the identical bytes.
+	cs, cts := newTestServerCfg(t, serverConfig{Role: roleCoordinator, MemberTTL: time.Hour})
+	newMemberRemserve(t, cs, "m0")
+	newMemberRemserve(t, cs, "m1")
+	cc := remclient.New(cts.URL)
+
+	spec.Shards = 4
+	crun, err := cc.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cdone, err := cc.Wait(ctx, crun.ID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cdone.State != remclient.StateDone || cdone.Result == nil {
+		t.Fatalf("cluster final view = %+v (err %q)", cdone, cdone.Error)
+	}
+	clusterJS, _ := json.Marshal(struct {
+		Summary json.RawMessage `json:"summary"`
+		Report  string          `json:"report"`
+	}{cdone.Result.Summary, cdone.Result.Report})
+	if string(clusterJS) != string(want) {
+		t.Fatal("sharded client-visible result differs from in-process engine")
+	}
+
+	runs, err := cc.List(ctx)
+	if err != nil || len(runs) != 1 || runs[0].ID != crun.ID {
+		t.Fatalf("list = %+v, %v", runs, err)
+	}
+}
+
+// TestRemclientCancel submits a long run and cancels it through the
+// client.
+func TestRemclientCancel(t *testing.T) {
+	ctx := context.Background()
+	_, ts := newTestServer(t)
+	c := remclient.New(ts.URL)
+
+	run, err := c.Submit(ctx, remclient.Spec{
+		UEs: 4, Dataset: "beijing-shanghai", Mode: "rem", DurationSec: 3600,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Cancel(ctx, run.ID); err != nil {
+		t.Fatal(err)
+	}
+	done, err := c.Wait(ctx, run.ID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.State != remclient.StateCanceled {
+		t.Fatalf("state after cancel = %q", done.State)
+	}
+}
+
+// TestRemclientSpecMatchesWireSpec round-trips the client spec through
+// the server's decoder (which rejects unknown fields), so the two
+// shapes cannot drift apart silently.
+func TestRemclientSpecMatchesWireSpec(t *testing.T) {
+	spec := remclient.Spec{
+		UEs: 3, UEOffset: 0, Dataset: "beijing-shanghai", Mode: "rem",
+		SpeedKmh: 200, DurationSec: 1, Seed: 9, Workers: 2, EpochSec: 0.5,
+		CellCapacity: 4, SpreadMarginDB: 2, StartSpreadM: 100,
+		SpeedJitterFrac: 0.1, Telemetry: true,
+		Faults: json.RawMessage(`{"name":"chaos"}`),
+	}
+	data, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	var ws wireSpec
+	if err := dec.Decode(&ws); err != nil {
+		t.Fatalf("server decoder rejects client spec: %v", err)
+	}
+	if ws.UEs != 3 || ws.Dataset != "beijing-shanghai" || !ws.Telemetry ||
+		ws.Seed != 9 || ws.EpochSec != 0.5 || ws.Faults == nil {
+		t.Fatalf("decoded wire spec = %+v", ws)
+	}
+
+	// And the reverse: every JSON key the server view emits decodes
+	// into the client Run without loss of the load-bearing fields.
+	_, ts := newTestServer(t)
+	v := postRun(t, ts, fmt.Sprintf(clusterSpecJSON, 0, false))
+	done := waitState(t, ts, v.ID, stateDone)
+	viewJS, _ := json.Marshal(done)
+	var cr remclient.Run
+	if err := json.Unmarshal(viewJS, &cr); err != nil {
+		t.Fatal(err)
+	}
+	if cr.ID != done.ID || cr.State != string(done.State) || cr.Result == nil {
+		t.Fatalf("client run view = %+v", cr)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"rem"
+	"rem/internal/cluster"
 )
 
 // wireSpec is the POST /runs request body: the fleet spec plus
@@ -27,6 +28,11 @@ type wireSpec struct {
 	// GET /runs/{id}/metrics serves its metrics snapshot. Arming never
 	// changes the run's result bytes.
 	Telemetry bool `json:"telemetry,omitempty"`
+	// Shards > 0 executes the run on the cluster plane: the UE range
+	// is partitioned into this many contiguous shards dispatched to
+	// member nodes, with merged output byte-identical to a local run.
+	// Requires -role coordinator; 0 runs in-process as always.
+	Shards int `json:"shards,omitempty"`
 }
 
 // Run lifecycle states.
@@ -157,8 +163,20 @@ type serverConfig struct {
 	// was not a cancellation). Negative disables retries.
 	Retries int
 	// JournalPath enables the crash-safe run journal; runs found
-	// started-but-unfinished at boot are recovered as failed.
+	// started-but-unfinished at boot are recovered as failed —
+	// except sharded runs on a coordinator, which are re-queued and
+	// re-executed (byte-identical, so the restart is invisible in the
+	// results).
 	JournalPath string
+	// Role selects the cluster role: "single" (default) serves runs
+	// in-process only, "coordinator" additionally accepts sharded
+	// specs and the member join/heartbeat endpoints, "member" serves
+	// the shard execution protocol for a coordinator.
+	Role string
+	// MemberTTL / MemberWait tune the coordinator's member registry
+	// (see cluster.Config). Coordinator role only.
+	MemberTTL  time.Duration
+	MemberWait time.Duration
 }
 
 func (c serverConfig) defaulted() serverConfig {
@@ -180,8 +198,18 @@ func (c serverConfig) defaulted() serverConfig {
 	if c.Retries < 0 {
 		c.Retries = 0
 	}
+	if c.Role == "" {
+		c.Role = roleSingle
+	}
 	return c
 }
+
+// Cluster roles.
+const (
+	roleSingle      = "single"
+	roleCoordinator = "coordinator"
+	roleMember      = "member"
+)
 
 // server owns the run registry and metrics. Metrics are plain fields
 // (not expvar globals) so tests can construct independent servers
@@ -201,6 +229,10 @@ type server struct {
 
 	// sm is the service metrics registry (all writes under mu).
 	sm *serverMetrics
+
+	// Cluster plane (role-dependent; nil otherwise).
+	coord  *cluster.Coordinator
+	member *cluster.Member
 }
 
 func newServer(ctx context.Context, cfg serverConfig) (*server, error) {
@@ -211,6 +243,17 @@ func newServer(ctx context.Context, cfg serverConfig) (*server, error) {
 		slots:   make(chan struct{}, cfg.MaxActive),
 		runs:    make(map[string]*run),
 		sm:      newServerMetrics(),
+	}
+	switch cfg.Role {
+	case roleSingle:
+	case roleCoordinator:
+		s.coord = cluster.NewCoordinator(cluster.Config{
+			MemberTTL: cfg.MemberTTL, MemberWait: cfg.MemberWait,
+		})
+	case roleMember:
+		s.member = cluster.NewMember()
+	default:
+		return nil, fmt.Errorf("remserve: unknown role %q", cfg.Role)
 	}
 	if cfg.JournalPath != "" {
 		j, entries, err := openJournal(cfg.JournalPath)
@@ -258,6 +301,15 @@ func (s *server) recover(entries []journalEntry) {
 		if rc.ended {
 			continue
 		}
+		// A sharded run interrupted on a coordinator is re-queued, not
+		// failed: members re-execute the shards from the journaled spec
+		// and the merged output is byte-identical, so the restart is
+		// invisible to the client beyond the extra wall-clock.
+		if s.coord != nil && rc.spec != nil && rc.spec.Shards > 0 {
+			if err := s.resumeRun(id, *rc.spec); err == nil {
+				continue
+			}
+		}
 		r := &run{
 			id:     id,
 			cancel: func() {},
@@ -274,6 +326,28 @@ func (s *server) recover(entries []journalEntry) {
 		s.sm.recovered.Inc()
 		s.journalEnd(r)
 	}
+}
+
+// resumeRun re-admits a journaled sharded run after a coordinator
+// restart. The original "start" entry is still open, so the eventual
+// terminal state pairs with it — no second start is journaled.
+func (s *server) resumeRun(id string, spec wireSpec) error {
+	fs, err := s.fleetSpec(spec)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	r := &run{
+		id: id, spec: spec, cancel: cancel,
+		state: statePending, notify: make(chan struct{}),
+		started: time.Now(),
+	}
+	s.runs[id] = r
+	s.order = append(s.order, id)
+	s.sm.started.Inc()
+	s.sm.resumed.Inc()
+	go s.execute(ctx, r, fs)
+	return nil
 }
 
 func (s *server) journalEnd(r *run) {
@@ -296,12 +370,39 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET /runs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /runs/{id}/timeline", s.handleTimeline)
 	mux.HandleFunc("GET /runs/{id}/metrics", s.handleRunMetrics)
+	if s.coord != nil {
+		s.coord.RegisterHandlers(mux)
+	}
+	if s.member != nil {
+		s.member.RegisterHandlers(mux)
+	}
 	return mux
 }
 
+// healthView is the GET /healthz body. Status "ok" is liveness; Ready
+// is readiness for the role (a coordinator is ready once at least one
+// member is live). Members carries the coordinator's live member
+// count, Shards a member's resident shard engines.
+type healthView struct {
+	Status  string `json:"status"`
+	Role    string `json:"role"`
+	Ready   bool   `json:"ready"`
+	Members *int   `json:"members,omitempty"`
+	Shards  *int   `json:"shards,omitempty"`
+}
+
 func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintln(w, "ok")
+	v := healthView{Status: "ok", Role: s.cfg.Role, Ready: true}
+	if s.coord != nil {
+		n := s.coord.LiveCount()
+		v.Members = &n
+		v.Ready = n > 0
+	}
+	if s.member != nil {
+		n := s.member.Shards()
+		v.Shards = &n
+	}
+	writeJSON(w, http.StatusOK, v)
 }
 
 type metricsView struct {
@@ -401,23 +502,44 @@ func (s *server) handleStartRun(w http.ResponseWriter, req *http.Request) {
 // retryAfterSec is the Retry-After hint sent with load-shed responses.
 const retryAfterSec = 1
 
-func (s *server) startRun(spec wireSpec) (*run, error) {
+// fleetSpec resolves and validates a wire spec into the typed fleet
+// spec, including the cluster-plane checks.
+func (s *server) fleetSpec(spec wireSpec) (rem.FleetSpec, error) {
 	ds, err := rem.ParseDataset(spec.Dataset)
 	if err != nil {
-		return nil, err
+		return rem.FleetSpec{}, err
 	}
 	md, err := rem.ParseMode(spec.Mode)
 	if err != nil {
-		return nil, err
+		return rem.FleetSpec{}, err
 	}
 	fs := spec.FleetSpec
 	fs.Dataset = ds
 	fs.Mode = md
 	if fs.DurationSec <= 0 {
-		return nil, fmt.Errorf("spec: duration_sec must be > 0")
+		return rem.FleetSpec{}, fmt.Errorf("spec: duration_sec must be > 0")
 	}
 	if fs.UEs < 1 {
-		return nil, fmt.Errorf("spec: ues must be >= 1")
+		return rem.FleetSpec{}, fmt.Errorf("spec: ues must be >= 1")
+	}
+	if spec.Shards < 0 {
+		return rem.FleetSpec{}, fmt.Errorf("spec: shards must be >= 0")
+	}
+	if spec.Shards > 0 {
+		if s.coord == nil {
+			return rem.FleetSpec{}, fmt.Errorf("spec: sharded runs need -role coordinator (this server is %q)", s.cfg.Role)
+		}
+		if spec.Shards > fs.UEs {
+			return rem.FleetSpec{}, fmt.Errorf("spec: %d shards exceed %d ues", spec.Shards, fs.UEs)
+		}
+	}
+	return fs, nil
+}
+
+func (s *server) startRun(spec wireSpec) (*run, error) {
+	fs, err := s.fleetSpec(spec)
+	if err != nil {
+		return nil, err
 	}
 
 	ctx, cancel := context.WithCancel(s.baseCtx)
@@ -479,6 +601,18 @@ func (s *server) execute(ctx context.Context, r *run, fs rem.FleetSpec) {
 	r.state = stateRunning
 	r.wake()
 	r.mu.Unlock()
+
+	// Sharded runs execute on the cluster plane, which owns its own
+	// retry story (member failover and reassignment); the local
+	// transient-retry loop below is for in-process runs only.
+	if r.spec.Shards > 0 && s.coord != nil {
+		res, err := s.runCluster(ctx, r, fs)
+		if err != nil {
+			res = nil
+		}
+		s.finishRunResult(r, res, err)
+		return
+	}
 
 	// Transient failures at run start (before the fleet produced any
 	// observable output) are retried with a short backoff; anything
@@ -551,6 +685,59 @@ func (s *server) execute(ctx context.Context, r *run, fs rem.FleetSpec) {
 	}
 	r.mu.Unlock()
 	s.finishRunResult(r, res, err)
+}
+
+// runCluster executes a sharded run through the coordinator, bridging
+// the cluster hooks onto the run's event/timeline/progress state and
+// journaling every shard assignment (failovers included) so a restart
+// can reconstruct what ran where.
+func (s *server) runCluster(ctx context.Context, r *run, fs rem.FleetSpec) (*rem.FleetResult, error) {
+	hooks := cluster.RunHooks{
+		OnEvents: func(evs []rem.FleetEvent) {
+			r.markObserved()
+			r.mu.Lock()
+			r.events = append(r.events, evs...)
+			r.wake()
+			r.mu.Unlock()
+		},
+		OnProgress: func(p rem.FleetProgress) {
+			r.markObserved()
+			r.setProgress(p)
+			s.observeEpoch(p)
+		},
+		OnAssign: func(a cluster.Assignment) {
+			shard := a.Shard
+			if err := s.journal.record(journalEntry{
+				Op: "assign", ID: a.Run, Shard: &shard, Member: a.Member,
+				Addr: a.Addr, Epoch: a.FromEpoch, Reassigned: a.Reassigned,
+			}); err != nil {
+				log.Printf("remserve: journal: %v", err)
+			}
+		},
+	}
+	if r.spec.Telemetry {
+		hooks.OnTimeline = func(evs []rem.TimelineEvent) {
+			r.mu.Lock()
+			r.timeline = append(r.timeline, evs...)
+			r.wake()
+			r.mu.Unlock()
+		}
+	}
+	art, err := s.coord.RunFleet(ctx, fs, cluster.RunOptions{
+		RunID: r.id, Shards: r.spec.Shards, Telemetry: r.spec.Telemetry, Hooks: hooks,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// The merged snapshot arrives with the artifacts (shard registries
+	// only ship their dumps at finish), so unlike in-process armed runs
+	// there are no mid-run snapshot refreshes.
+	if art.Snapshot != nil {
+		r.mu.Lock()
+		r.snap = art.Snapshot
+		r.mu.Unlock()
+	}
+	return art.Result, nil
 }
 
 // finishRun finishes a run that never produced a result.

@@ -1,0 +1,247 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Config parameterizes a Coordinator. The zero value works.
+type Config struct {
+	// MemberTTL is how long a member stays live after its last join or
+	// heartbeat (default 5s).
+	MemberTTL time.Duration
+	// MemberWait bounds how long a run waits for enough members to
+	// join before failing (default 30s).
+	MemberWait time.Duration
+	// HTTPClient dials members (default http.DefaultClient).
+	HTTPClient *http.Client
+}
+
+func (c Config) defaulted() Config {
+	if c.MemberTTL <= 0 {
+		c.MemberTTL = 5 * time.Second
+	}
+	if c.MemberWait <= 0 {
+		c.MemberWait = 30 * time.Second
+	}
+	if c.HTTPClient == nil {
+		c.HTTPClient = http.DefaultClient
+	}
+	return c
+}
+
+// Coordinator owns the member registry and drives clustered runs. It
+// is the server side of join/heartbeat and the client side of the
+// shard protocol.
+type Coordinator struct {
+	cfg Config
+
+	mu      sync.Mutex
+	members map[string]*memberState
+}
+
+// memberState is one registered member.
+type memberState struct {
+	ID       string
+	Addr     string
+	lastSeen time.Time
+	// dead marks a member the coordinator observed failing a shard
+	// call. A fresh join or heartbeat clears it (the process came
+	// back); until then the member gets no new shards even if
+	// heartbeats still arrive, because its engines are gone.
+	dead bool
+}
+
+// NewCoordinator builds a coordinator with an empty member registry.
+func NewCoordinator(cfg Config) *Coordinator {
+	return &Coordinator{cfg: cfg.defaulted(), members: make(map[string]*memberState)}
+}
+
+// RegisterHandlers mounts the membership endpoints on mux.
+func (c *Coordinator) RegisterHandlers(mux *http.ServeMux) {
+	mux.HandleFunc("POST "+pathJoin, c.handleJoin)
+	mux.HandleFunc("POST "+pathHeartbeat, c.handleJoin)
+	mux.HandleFunc("GET "+pathMembers, c.handleMembers)
+}
+
+// handleJoin registers or refreshes a member. Heartbeats share the
+// handler: a heartbeat from an unknown member re-registers it, which is
+// what makes a coordinator restart self-healing — the registry refills
+// within one heartbeat interval.
+func (c *Coordinator) handleJoin(w http.ResponseWriter, r *http.Request) {
+	var req joinRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		protocolError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.ID == "" || req.Addr == "" {
+		protocolError(w, http.StatusBadRequest, fmt.Errorf("cluster: join needs id and addr"))
+		return
+	}
+	c.Register(req.ID, req.Addr)
+	writeProtocolJSON(w, struct{}{})
+}
+
+// Register adds or refreshes a member, clearing any dead mark — the
+// member process (re)announced itself, so its engines are fresh.
+func (c *Coordinator) Register(id, addr string) {
+	c.mu.Lock()
+	c.members[id] = &memberState{ID: id, Addr: addr, lastSeen: time.Now()}
+	c.mu.Unlock()
+}
+
+func (c *Coordinator) handleMembers(w http.ResponseWriter, r *http.Request) {
+	writeProtocolJSON(w, membersResponse{Members: c.Members()})
+}
+
+// Members lists every registered member sorted by ID, with liveness.
+func (c *Coordinator) Members() []MemberInfo {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cutoff := time.Now().Add(-c.cfg.MemberTTL)
+	out := make([]MemberInfo, 0, len(c.members))
+	for _, m := range c.members {
+		out = append(out, MemberInfo{ID: m.ID, Addr: m.Addr, Live: !m.dead && m.lastSeen.After(cutoff)})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
+// LiveCount reports how many members are currently live.
+func (c *Coordinator) LiveCount() int {
+	n := 0
+	for _, m := range c.Members() {
+		if m.Live {
+			n++
+		}
+	}
+	return n
+}
+
+// liveMembers returns the live members sorted by ID. The sort makes
+// shard placement a pure function of the membership set, so two
+// coordinators with the same members place shards identically.
+func (c *Coordinator) liveMembers() []MemberInfo {
+	all := c.Members()
+	live := make([]MemberInfo, 0, len(all))
+	for _, m := range all {
+		if m.Live {
+			live = append(live, m)
+		}
+	}
+	return live
+}
+
+// markDead records that a member failed a shard call.
+func (c *Coordinator) markDead(id string) {
+	c.mu.Lock()
+	if m := c.members[id]; m != nil {
+		m.dead = true
+	}
+	c.mu.Unlock()
+}
+
+// waitForMembers blocks until at least n members are live, the wait
+// budget runs out, or ctx ends.
+func (c *Coordinator) waitForMembers(ctx context.Context, n int) error {
+	deadline := time.Now().Add(c.cfg.MemberWait)
+	for {
+		if c.LiveCount() >= n {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("cluster: %d live members after %s, need %d", c.LiveCount(), c.cfg.MemberWait, n)
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}
+
+// postJSON round-trips one protocol call; a non-2xx status surfaces the
+// body's error string.
+func (c *Coordinator) postJSON(ctx context.Context, addr, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, addr+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.cfg.HTTPClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		var e errorResponse
+		if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+			return fmt.Errorf("cluster: %s %s: %s", path, resp.Status, e.Error)
+		}
+		return fmt.Errorf("cluster: %s %s", path, resp.Status)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Heartbeat joins coordinator as member id (dialed back at advertise)
+// and refreshes the registration every interval until ctx ends. The
+// first join is synchronous so callers know the member is visible; the
+// loop then runs on the calling goroutine (start it with go).
+func Heartbeat(ctx context.Context, client *http.Client, coordinator, id, advertise string, interval time.Duration) error {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	if interval <= 0 {
+		interval = time.Second
+	}
+	join := func(path string) error {
+		body, err := json.Marshal(joinRequest{ID: id, Addr: advertise})
+		if err != nil {
+			return err
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, coordinator+path, bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err != nil {
+			return err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode/100 != 2 {
+			return fmt.Errorf("cluster: join %s: %s", coordinator, resp.Status)
+		}
+		return nil
+	}
+	if err := join(pathJoin); err != nil {
+		return err
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(interval):
+			// Heartbeat failures are transient by assumption — the next
+			// tick retries, and the coordinator re-registers on any
+			// successful beat.
+			_ = join(pathHeartbeat)
+		}
+	}
+}

@@ -1,0 +1,217 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"rem/internal/fleet"
+	"rem/internal/obs"
+)
+
+// Member executes shard engines on behalf of a coordinator. It is the
+// server side of the shard protocol: start builds an engine for one
+// contiguous UE range, step advances it one epoch under
+// coordinator-supplied global loads, finish finalizes and ships the raw
+// shard state, abort drops it. A member holds any number of shards from
+// any number of runs; distinct shards step concurrently, one shard
+// never does.
+type Member struct {
+	mu     sync.Mutex
+	shards map[string]*shardRun
+}
+
+// NewMember builds an empty member.
+func NewMember() *Member {
+	return &Member{shards: make(map[string]*shardRun)}
+}
+
+// shardRun is one shard engine plus its per-epoch output buffers. The
+// engine's hooks append into the buffers; each protocol call swaps them
+// out under the shard lock.
+type shardRun struct {
+	mu       sync.Mutex
+	eng      *fleet.Engine
+	tel      *obs.Telemetry
+	epoch    int
+	done     bool
+	events   []fleet.Event
+	timeline []obs.Event
+}
+
+func shardKey(run string, shard int) string {
+	return fmt.Sprintf("%s/%d", run, shard)
+}
+
+// RegisterHandlers mounts the shard protocol on mux.
+func (m *Member) RegisterHandlers(mux *http.ServeMux) {
+	mux.HandleFunc("POST "+pathShardStart, m.handleStart)
+	mux.HandleFunc("POST "+pathShardStep, m.handleStep)
+	mux.HandleFunc("POST "+pathShardFinish, m.handleFinish)
+	mux.HandleFunc("POST "+pathShardAbort, m.handleAbort)
+}
+
+// Shards reports how many shard engines are currently resident.
+func (m *Member) Shards() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.shards)
+}
+
+// handleStart builds a shard engine. Restarting an existing key
+// replaces the old engine: that is the failover path when a shard is
+// reassigned back to a member that still holds a stale copy.
+func (m *Member) handleStart(w http.ResponseWriter, r *http.Request) {
+	var req startRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		protocolError(w, http.StatusBadRequest, err)
+		return
+	}
+	spec, err := req.Spec.ToFleet()
+	if err != nil {
+		protocolError(w, http.StatusBadRequest, err)
+		return
+	}
+	sr := &shardRun{}
+	opts := fleet.Options{
+		Observer: func(ev fleet.Event) { sr.events = append(sr.events, ev) },
+	}
+	if req.Telemetry {
+		sr.tel = obs.New(obs.Config{})
+		opts.Telemetry = sr.tel
+		// The batch slice is pooled inside the engine — copy out.
+		opts.OnTimeline = func(evs []obs.Event) { sr.timeline = append(sr.timeline, evs...) }
+	}
+	eng, err := fleet.NewEngine(r.Context(), spec, opts)
+	if err != nil {
+		protocolError(w, http.StatusBadRequest, err)
+		return
+	}
+	sr.eng = eng
+	m.mu.Lock()
+	m.shards[shardKey(req.Run, req.Shard)] = sr
+	m.mu.Unlock()
+	writeProtocolJSON(w, startResponse{Loads: eng.Loads()})
+}
+
+func (m *Member) lookup(run string, shard int) *shardRun {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.shards[shardKey(run, shard)]
+}
+
+func (m *Member) drop(run string, shard int) {
+	m.mu.Lock()
+	delete(m.shards, shardKey(run, shard))
+	m.mu.Unlock()
+}
+
+// handleStep installs the global loads and advances the shard one
+// epoch. Any failure drops the shard and reports 500 — the coordinator
+// treats the member as lost for this shard and reassigns, so a
+// half-stepped engine is never stepped again.
+func (m *Member) handleStep(w http.ResponseWriter, r *http.Request) {
+	var req stepRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		protocolError(w, http.StatusBadRequest, err)
+		return
+	}
+	sr := m.lookup(req.Run, req.Shard)
+	if sr == nil {
+		protocolError(w, http.StatusNotFound, fmt.Errorf("cluster: unknown shard %s", shardKey(req.Run, req.Shard)))
+		return
+	}
+	sr.mu.Lock()
+	defer sr.mu.Unlock()
+	if req.Epoch != sr.epoch {
+		m.drop(req.Run, req.Shard)
+		protocolError(w, http.StatusConflict,
+			fmt.Errorf("cluster: shard %s at epoch %d, coordinator asked for %d", shardKey(req.Run, req.Shard), sr.epoch, req.Epoch))
+		return
+	}
+	if err := sr.eng.SetLoads(req.Loads); err != nil {
+		m.drop(req.Run, req.Shard)
+		protocolError(w, http.StatusInternalServerError, err)
+		return
+	}
+	sr.events = sr.events[:0]
+	sr.timeline = sr.timeline[:0]
+	done, err := sr.eng.StepEpoch(r.Context())
+	if err != nil {
+		m.drop(req.Run, req.Shard)
+		protocolError(w, http.StatusInternalServerError, err)
+		return
+	}
+	sr.epoch++
+	sr.done = done
+	writeProtocolJSON(w, stepResponse{
+		Done:     done,
+		Events:   sr.events,
+		Loads:    sr.eng.Loads(),
+		Timeline: sr.timeline,
+	})
+}
+
+// handleFinish finalizes a completed shard and ships its raw state:
+// per-UE totals under global ids, shard-local admission and cell
+// tallies, the metrics dump and the final timeline batch (TCP stall
+// replay included). The shard is dropped afterwards.
+func (m *Member) handleFinish(w http.ResponseWriter, r *http.Request) {
+	var req finishRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		protocolError(w, http.StatusBadRequest, err)
+		return
+	}
+	sr := m.lookup(req.Run, req.Shard)
+	if sr == nil {
+		protocolError(w, http.StatusNotFound, fmt.Errorf("cluster: unknown shard %s", shardKey(req.Run, req.Shard)))
+		return
+	}
+	sr.mu.Lock()
+	defer sr.mu.Unlock()
+	if !sr.done {
+		protocolError(w, http.StatusConflict, fmt.Errorf("cluster: shard %s not done", shardKey(req.Run, req.Shard)))
+		return
+	}
+	sr.timeline = sr.timeline[:0]
+	results := sr.eng.FinishResults()
+	offset := sr.eng.Spec().UEOffset
+	resp := finishResponse{
+		UEs:     make([]UETotals, len(results)),
+		Blocked: sr.eng.Blocked(),
+		Cells:   sr.eng.CellStats(),
+	}
+	for i, res := range results {
+		resp.UEs[i] = totalsFromResult(offset+i, res)
+	}
+	if sr.tel != nil {
+		resp.Metrics = sr.tel.Registry.Dump()
+		resp.Timeline = sr.timeline
+	}
+	m.drop(req.Run, req.Shard)
+	writeProtocolJSON(w, resp)
+}
+
+// handleAbort drops a shard without finalizing it (run canceled, or
+// the shard was reassigned elsewhere).
+func (m *Member) handleAbort(w http.ResponseWriter, r *http.Request) {
+	var req abortRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		protocolError(w, http.StatusBadRequest, err)
+		return
+	}
+	m.drop(req.Run, req.Shard)
+	writeProtocolJSON(w, struct{}{})
+}
+
+func protocolError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(errorResponse{Error: err.Error()})
+}
+
+func writeProtocolJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,74 @@
+package cluster
+
+import (
+	"fmt"
+
+	"rem/internal/obs"
+)
+
+// MergeDumps folds per-member registry dumps into one registry with
+// the canonical run schema, ready to Snapshot.
+//
+// Per-UE scopes are disjoint across members (global scope ids), so
+// slot-wise addition reproduces them exactly. The shared run scope
+// needs a policy per metric: every member counts the same barrier
+// schedule, so epochs and simulated time take the maximum (they are
+// equal across members — a sum would multiply them by the member
+// count), while everything else on the run scope is a per-shard
+// quantity whose global value is the sum (attached UEs, timeline
+// event/drop counts — all integer-valued, so float addition is exact
+// in any order).
+func MergeDumps(dumps []*obs.Dump) (*obs.Registry, error) {
+	reg := obs.NewRegistry()
+	obs.RegisterRunMetrics(reg)
+
+	maxIdx := make(map[int]bool) // def index -> max policy
+	for i, def := range reg.Defs() {
+		if def.Labels == "" && (def.Family == obs.MEpochs || def.Family == obs.MSimTime) {
+			maxIdx[i] = true
+		}
+	}
+	var maxV = make(map[int]float64)
+	var maxSet = make(map[int]bool)
+	for _, d := range dumps {
+		for si := range d.Scopes {
+			sc := &d.Scopes[si]
+			if sc.Scope != obs.RunScope {
+				continue
+			}
+			for i := range sc.Slots {
+				if !maxIdx[i] {
+					continue
+				}
+				// Zero the slot so AddDump's sum skips it; the tracked
+				// max is re-applied below.
+				sl := sc.Slots[i]
+				if sl.V > maxV[i] {
+					maxV[i] = sl.V
+				}
+				maxSet[i] = maxSet[i] || sl.Set
+				sc.Slots[i] = obs.SlotDump{}
+			}
+		}
+		if err := reg.AddDump(d); err != nil {
+			return nil, err
+		}
+	}
+	sh := reg.Shard(obs.RunScope)
+	for i, def := range reg.Defs() {
+		if !maxIdx[i] {
+			continue
+		}
+		switch def.Kind {
+		case obs.KindCounter:
+			sh.Counter(def.Family).Add(maxV[i])
+		case obs.KindGauge:
+			if maxSet[i] {
+				sh.Gauge(def.Family).Set(maxV[i])
+			}
+		default:
+			return nil, fmt.Errorf("cluster: max policy on %s: unsupported kind", def.Family)
+		}
+	}
+	return reg, nil
+}

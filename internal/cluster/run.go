@@ -1,0 +1,481 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"rem/internal/fleet"
+	"rem/internal/mobility"
+	"rem/internal/obs"
+)
+
+// Range is one shard's contiguous UE id range.
+type Range struct {
+	Offset int `json:"offset"`
+	UEs    int `json:"ues"`
+}
+
+// PartitionUEs tiles [0, ues) into n contiguous ranges, the first
+// ues%n of them one UE larger. n must be in [1, ues].
+func PartitionUEs(ues, n int) []Range {
+	base, rem := ues/n, ues%n
+	out := make([]Range, n)
+	off := 0
+	for i := range out {
+		size := base
+		if i < rem {
+			size++
+		}
+		out[i] = Range{Offset: off, UEs: size}
+		off += size
+	}
+	return out
+}
+
+// Assignment records one shard placement: which member runs which
+// shard starting at which epoch. Reassigned placements are failovers —
+// the member rebuilds the shard from its spec and replays the recorded
+// global-load history up to FromEpoch before rejoining the barrier.
+type Assignment struct {
+	Run        string `json:"run"`
+	Shard      int    `json:"shard"`
+	Member     string `json:"member"`
+	Addr       string `json:"addr"`
+	FromEpoch  int    `json:"from_epoch"`
+	Reassigned bool   `json:"reassigned,omitempty"`
+}
+
+// RunHooks observes a clustered run. OnEvents, OnTimeline and
+// OnProgress are called from the driver goroutine only, once per
+// epoch, with merged batches in the exact order a single-process run
+// would emit. OnAssign may be called from internal goroutines during
+// failover.
+type RunHooks struct {
+	OnEvents   func([]fleet.Event)
+	OnTimeline func([]obs.Event)
+	OnProgress func(fleet.Progress)
+	OnAssign   func(Assignment)
+}
+
+// RunOptions configures one clustered run.
+type RunOptions struct {
+	// RunID names the run in the shard protocol (default "run").
+	RunID string
+	// Shards is the number of UE-range shards (default 1; at most
+	// spec.UEs).
+	Shards int
+	// Telemetry arms the observability plane on every shard; the
+	// merged snapshot lands in Artifacts.Snapshot.
+	Telemetry bool
+	Hooks     RunHooks
+}
+
+// Artifacts is a clustered run's merged output.
+type Artifacts struct {
+	// Result is byte-identical to the single-process fleet result.
+	Result *fleet.Result
+	// Snapshot is the merged metrics snapshot (nil when telemetry is
+	// off), byte-identical to a single-process armed run's.
+	Snapshot *obs.Snapshot
+	// Epochs is how many barrier intervals the run took.
+	Epochs int
+	// Assignments is the full placement history, initial assignments
+	// first, failovers appended as they happened.
+	Assignments []Assignment
+}
+
+// runState is one clustered run's driver-side state.
+type runState struct {
+	id        string
+	telemetry bool
+	hooks     RunHooks
+	// loadHist[k] is the global per-cell load vector installed before
+	// epoch k — the replay script a failover needs to re-derive any
+	// shard's state at any barrier.
+	loadHist [][]int
+
+	mu          sync.Mutex
+	assignments []Assignment
+}
+
+func (rs *runState) recordAssignment(a Assignment) {
+	rs.mu.Lock()
+	rs.assignments = append(rs.assignments, a)
+	if rs.hooks.OnAssign != nil {
+		rs.hooks.OnAssign(a)
+	}
+	rs.mu.Unlock()
+}
+
+// shardState is one shard's driver-side view.
+type shardState struct {
+	idx  int
+	rng  Range
+	spec fleet.Spec
+	// member is the current placement; initLoads the shard's initial
+	// per-cell loads from its first start.
+	member    MemberInfo
+	initLoads []int
+}
+
+// RunFleet executes spec across the live members as opts.Shards
+// UE-range shards in epoch lock-step and merges the output. The merged
+// result, metrics snapshot, event stream and timeline are
+// byte-identical to RunWithOptions of the same spec in one process.
+// Member failures at any point trigger reassignment; the run only
+// fails when no live members remain.
+func (c *Coordinator) RunFleet(ctx context.Context, spec fleet.Spec, opts RunOptions) (*Artifacts, error) {
+	spec = spec.Defaulted()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if spec.UEOffset != 0 {
+		return nil, fmt.Errorf("cluster: spec already sharded (UEOffset %d)", spec.UEOffset)
+	}
+	shards := opts.Shards
+	if shards <= 0 {
+		shards = 1
+	}
+	if shards > spec.UEs {
+		return nil, fmt.Errorf("cluster: %d shards exceed %d UEs", shards, spec.UEs)
+	}
+	rs := &runState{id: opts.RunID, telemetry: opts.Telemetry, hooks: opts.Hooks}
+	if rs.id == "" {
+		rs.id = "run"
+	}
+
+	sts := make([]*shardState, shards)
+	for i, rng := range PartitionUEs(spec.UEs, shards) {
+		ss := spec
+		ss.UEOffset, ss.UEs = rng.Offset, rng.UEs
+		if ss.Workers > ss.UEs {
+			ss.Workers = ss.UEs // worker count never affects output
+		}
+		sts[i] = &shardState{idx: i, rng: rng, spec: ss}
+	}
+
+	// Initial placement, then the global epoch-zero load snapshot.
+	if err := c.waitForMembers(ctx, 1); err != nil {
+		return nil, err
+	}
+	for _, sh := range sts {
+		if err := c.placeShard(ctx, rs, sh, 0, false); err != nil {
+			c.abortShards(rs, sts)
+			return nil, err
+		}
+	}
+	global := make([]int, len(sts[0].initLoads))
+	for _, sh := range sts {
+		if err := addLoads(global, sh.initLoads); err != nil {
+			c.abortShards(rs, sts)
+			return nil, err
+		}
+	}
+	rs.loadHist = append(rs.loadHist, global)
+	peaks := append([]int(nil), global...)
+
+	// The epoch loop: step every shard in parallel against the same
+	// frozen global loads, merge the epoch's output, refresh the
+	// globals. Counters accumulate from the merged event stream exactly
+	// as the single-process engine accumulates from its own.
+	var handovers, failures, blocked int
+	epoch := 0
+	var events []fleet.Event
+	var timeline []obs.Event
+	for {
+		steps, err := c.stepAll(ctx, rs, sts, epoch)
+		if err != nil {
+			c.abortShards(rs, sts)
+			return nil, err
+		}
+		done := steps[0].Done
+		events = events[:0]
+		timeline = timeline[:0]
+		global = make([]int, len(rs.loadHist[0]))
+		for _, sr := range steps {
+			if sr.Done != done {
+				c.abortShards(rs, sts)
+				return nil, fmt.Errorf("cluster: shards disagree on epoch schedule at epoch %d", epoch)
+			}
+			events = append(events, sr.Events...)
+			timeline = append(timeline, sr.Timeline...)
+			if err := addLoads(global, sr.Loads); err != nil {
+				c.abortShards(rs, sts)
+				return nil, err
+			}
+		}
+		sortFleetEvents(events)
+		for _, ev := range events {
+			switch ev.Type {
+			case fleet.EventHandover:
+				handovers++
+			case fleet.EventFailure:
+				failures++
+			case fleet.EventBlocked:
+				blocked++
+			}
+		}
+		if len(events) > 0 && rs.hooks.OnEvents != nil {
+			rs.hooks.OnEvents(events)
+		}
+		if len(timeline) > 0 {
+			obs.SortEvents(timeline)
+			if rs.hooks.OnTimeline != nil {
+				rs.hooks.OnTimeline(timeline)
+			}
+		}
+		rs.loadHist = append(rs.loadHist, global)
+		maxLoads(peaks, global)
+		epoch++
+		if rs.hooks.OnProgress != nil {
+			simT := float64(epoch) * spec.EpochSec
+			if simT > spec.DurationSec {
+				simT = spec.DurationSec
+			}
+			rs.hooks.OnProgress(fleet.Progress{
+				SimTime: simT, Attached: sumLoads(global),
+				Handovers: handovers, Failures: failures, Blocked: blocked,
+			})
+		}
+		if done {
+			break
+		}
+	}
+	finals := rs.loadHist[len(rs.loadHist)-1]
+
+	// Finalize every shard (failover included: a member lost here gets
+	// the shard replayed end-to-end elsewhere, then finished there).
+	fins, err := c.finishAll(ctx, rs, sts, epoch)
+	if err != nil {
+		c.abortShards(rs, sts)
+		return nil, err
+	}
+
+	slices := make([]fleet.ShardSlice, shards)
+	dumps := make([]*obs.Dump, 0, shards)
+	var tail []obs.Event
+	for i, fr := range fins {
+		results := make([]*mobility.Result, len(fr.UEs))
+		for j, t := range fr.UEs {
+			if want := sts[i].rng.Offset + j; t.UE != want {
+				return nil, fmt.Errorf("cluster: shard %d returned UE %d at slot %d, want %d", i, t.UE, j, want)
+			}
+			res, err := t.reconstruct()
+			if err != nil {
+				return nil, err
+			}
+			results[j] = res
+		}
+		slices[i] = fleet.ShardSlice{Offset: sts[i].rng.Offset, Results: results, Blocked: fr.Blocked, Cells: fr.Cells}
+		if fr.Metrics != nil {
+			dumps = append(dumps, fr.Metrics)
+		}
+		tail = append(tail, fr.Timeline...)
+	}
+	if len(tail) > 0 {
+		obs.SortEvents(tail)
+		if rs.hooks.OnTimeline != nil {
+			rs.hooks.OnTimeline(tail)
+		}
+	}
+	result, err := fleet.MergeShards(spec, slices, peaks, finals)
+	if err != nil {
+		return nil, err
+	}
+	art := &Artifacts{Result: result, Epochs: epoch, Assignments: rs.assignments}
+	if rs.telemetry {
+		reg, err := MergeDumps(dumps)
+		if err != nil {
+			return nil, err
+		}
+		art.Snapshot = reg.Snapshot()
+	}
+	return art, nil
+}
+
+// placeShard starts sh on a live member, replaying the recorded load
+// history up to fromEpoch (outputs discarded) so the engine rejoins
+// the barrier in the exact state the lost one held. Members that fail
+// are marked dead and the next candidate tried; it gives up only when
+// no member turns live within the coordinator's wait budget.
+func (c *Coordinator) placeShard(ctx context.Context, rs *runState, sh *shardState, fromEpoch int, reassigned bool) error {
+	avoid := ""
+	for {
+		if err := c.waitForMembers(ctx, 1); err != nil {
+			return fmt.Errorf("cluster: shard %d unplaceable: %w", sh.idx, err)
+		}
+		live := c.liveMembers()
+		m := live[sh.idx%len(live)]
+		if m.ID == avoid && len(live) > 1 {
+			m = live[(sh.idx+1)%len(live)]
+		}
+		err := c.startAndReplay(ctx, rs, sh, m, fromEpoch)
+		if err == nil {
+			sh.member = m
+			rs.recordAssignment(Assignment{
+				Run: rs.id, Shard: sh.idx, Member: m.ID, Addr: m.Addr,
+				FromEpoch: fromEpoch, Reassigned: reassigned,
+			})
+			return nil
+		}
+		if ctx.Err() != nil {
+			return err
+		}
+		c.markDead(m.ID)
+		avoid = m.ID
+	}
+}
+
+// startAndReplay builds the shard on m and replays epochs
+// [0, fromEpoch) from the load history.
+func (c *Coordinator) startAndReplay(ctx context.Context, rs *runState, sh *shardState, m MemberInfo, fromEpoch int) error {
+	var sres startResponse
+	err := c.postJSON(ctx, m.Addr, pathShardStart, startRequest{
+		Run: rs.id, Shard: sh.idx, Spec: SpecToWire(sh.spec), Telemetry: rs.telemetry,
+	}, &sres)
+	if err != nil {
+		return err
+	}
+	sh.initLoads = sres.Loads
+	for k := 0; k < fromEpoch; k++ {
+		var step stepResponse
+		err := c.postJSON(ctx, m.Addr, pathShardStep, stepRequest{
+			Run: rs.id, Shard: sh.idx, Epoch: k, Loads: rs.loadHist[k],
+		}, &step)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// stepAll advances every shard one epoch in parallel. A failed step
+// fails the member over and retries the same epoch on the replacement.
+func (c *Coordinator) stepAll(ctx context.Context, rs *runState, sts []*shardState, epoch int) ([]*stepResponse, error) {
+	out := make([]*stepResponse, len(sts))
+	errs := make([]error, len(sts))
+	var wg sync.WaitGroup
+	for i, sh := range sts {
+		wg.Add(1)
+		go func(i int, sh *shardState) {
+			defer wg.Done()
+			for {
+				var step stepResponse
+				err := c.postJSON(ctx, sh.member.Addr, pathShardStep, stepRequest{
+					Run: rs.id, Shard: sh.idx, Epoch: epoch, Loads: rs.loadHist[epoch],
+				}, &step)
+				if err == nil {
+					out[i] = &step
+					return
+				}
+				if ctx.Err() != nil {
+					errs[i] = err
+					return
+				}
+				c.markDead(sh.member.ID)
+				if err := c.placeShard(ctx, rs, sh, epoch, true); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+		}(i, sh)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// finishAll finalizes every shard in parallel, failing over through a
+// full replay (epochs [0, total)) when a member is lost at the line.
+func (c *Coordinator) finishAll(ctx context.Context, rs *runState, sts []*shardState, total int) ([]*finishResponse, error) {
+	out := make([]*finishResponse, len(sts))
+	errs := make([]error, len(sts))
+	var wg sync.WaitGroup
+	for i, sh := range sts {
+		wg.Add(1)
+		go func(i int, sh *shardState) {
+			defer wg.Done()
+			for {
+				var fin finishResponse
+				err := c.postJSON(ctx, sh.member.Addr, pathShardFinish,
+					finishRequest{Run: rs.id, Shard: sh.idx}, &fin)
+				if err == nil {
+					out[i] = &fin
+					return
+				}
+				if ctx.Err() != nil {
+					errs[i] = err
+					return
+				}
+				c.markDead(sh.member.ID)
+				if err := c.placeShard(ctx, rs, sh, total, true); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+		}(i, sh)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// abortShards best-effort drops every shard of a failed run.
+func (c *Coordinator) abortShards(rs *runState, sts []*shardState) {
+	for _, sh := range sts {
+		if sh.member.Addr == "" {
+			continue
+		}
+		_ = c.postJSON(context.Background(), sh.member.Addr, pathShardAbort,
+			abortRequest{Run: rs.id, Shard: sh.idx}, nil)
+	}
+}
+
+func addLoads(dst, src []int) error {
+	if len(src) != len(dst) {
+		return fmt.Errorf("cluster: load vector length %d, want %d (shards on different deployments?)", len(src), len(dst))
+	}
+	for i, v := range src {
+		dst[i] += v
+	}
+	return nil
+}
+
+func maxLoads(dst, src []int) {
+	for i, v := range src {
+		if v > dst[i] {
+			dst[i] = v
+		}
+	}
+}
+
+func sumLoads(loads []int) int {
+	n := 0
+	for _, v := range loads {
+		n += v
+	}
+	return n
+}
+
+// sortFleetEvents fixes the merged epoch batch into the engine's
+// canonical (time, UE) order. Stable: same-UE same-time events keep
+// their shard-local append order, which is the per-session order the
+// single-process sort preserves.
+func sortFleetEvents(evs []fleet.Event) {
+	sort.SliceStable(evs, func(a, b int) bool {
+		if evs[a].Time != evs[b].Time {
+			return evs[a].Time < evs[b].Time
+		}
+		return evs[a].UE < evs[b].UE
+	})
+}

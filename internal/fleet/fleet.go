@@ -31,6 +31,7 @@ package fleet
 import (
 	"context"
 	"fmt"
+	"math"
 	gometrics "runtime/metrics"
 	"sort"
 	"time"
@@ -49,6 +50,13 @@ import (
 type Spec struct {
 	// UEs is the number of concurrent sessions (required, >= 1).
 	UEs int `json:"ues"`
+	// UEOffset shifts every UE of the run into the global id range
+	// [UEOffset, UEOffset+UEs): local UE i draws its seed, substrate
+	// and telemetry scope from global id UEOffset+i, and every event
+	// and stat it emits carries that global id. It is how a cluster
+	// shard of a larger fleet stays byte-identical to the same UE range
+	// of the single-process run (0 = unsharded).
+	UEOffset int `json:"ue_offset,omitempty"`
 	// Dataset selects the synthesized deployment (default
 	// beijing-shanghai).
 	Dataset trace.DatasetID `json:"-"`
@@ -84,6 +92,11 @@ type Spec struct {
 	Faults *fault.Plan `json:"faults,omitempty"`
 }
 
+// Defaulted returns the spec with unset tunables resolved — the exact
+// spec a run executes, which is what a cluster coordinator must
+// partition so every shard inherits the same resolved schedule.
+func (s Spec) Defaulted() Spec { return s.withDefaults() }
+
 func (s Spec) withDefaults() Spec {
 	if s.SpeedKmh == 0 {
 		s.SpeedKmh = 300
@@ -113,6 +126,12 @@ func (e *SpecError) Error() string {
 func (s Spec) Validate() error {
 	if s.UEs < 1 {
 		return &SpecError{Field: "UEs", Msg: fmt.Sprintf("must be >= 1 (got %d)", s.UEs)}
+	}
+	if s.UEOffset < 0 {
+		return &SpecError{Field: "UEOffset", Msg: fmt.Sprintf("must be >= 0 (got %d)", s.UEOffset)}
+	}
+	if s.UEOffset > math.MaxInt-s.UEs {
+		return &SpecError{Field: "UEOffset", Msg: fmt.Sprintf("%d overflows with %d UEs", s.UEOffset, s.UEs)}
 	}
 	if s.DurationSec <= 0 {
 		return &SpecError{Field: "DurationSec", Msg: fmt.Sprintf("must be > 0 (got %g)", s.DurationSec)}
@@ -459,6 +478,16 @@ func (e *Engine) StepEpoch(ctx context.Context) (done bool, err error) {
 // the TCP model when telemetry is armed, and aggregates the result.
 // Call it once, after StepEpoch reported done.
 func (e *Engine) Finish() *Result {
+	return e.buildResult(e.FinishResults())
+}
+
+// FinishResults is the raw half of Finish: it finalizes every runner
+// (UE order), replays outages through the TCP model and publishes the
+// final timeline batch when telemetry is armed, and returns the per-UE
+// mobility results (local order) without aggregating them. Cluster
+// members use it so the coordinator can fold all shards' raw results
+// through the single aggregation path. Call it once.
+func (e *Engine) FinishResults() []*mobility.Result {
 	results := make([]*mobility.Result, len(e.runners))
 	for i := range e.runners {
 		results[i] = e.runners[i].Finish()
@@ -479,7 +508,39 @@ func (e *Engine) Finish() *Result {
 		}
 		e.publishTimeline()
 	}
-	return e.buildResult(results)
+	return results
+}
+
+// Spec returns the resolved (defaulted) spec the engine is running.
+func (e *Engine) Spec() Spec { return e.spec }
+
+// Loads returns a copy of the frozen per-cell attach counts (dense by
+// cell ID) the next epoch's admission decisions will read.
+func (e *Engine) Loads() []int {
+	return append([]int(nil), e.loads...)
+}
+
+// SetLoads replaces the frozen per-cell loads for the next epoch. A
+// cluster coordinator installs the fleet-wide sums here before every
+// StepEpoch, so each shard's admission decisions see the same global
+// loads a single-process run would. The slice is copied.
+func (e *Engine) SetLoads(loads []int) error {
+	if len(loads) != len(e.loads) {
+		return fmt.Errorf("fleet: SetLoads: %d cells, engine has %d", len(loads), len(e.loads))
+	}
+	copy(e.loads, loads)
+	return nil
+}
+
+// Blocked returns the cumulative admission-deferral count.
+func (e *Engine) Blocked() int { return e.blocked }
+
+// CellStats returns a copy of the dense per-cell statistics table
+// (indexed by cell ID; slot 0 and undeployed IDs carry Cell == 0).
+// Peak/final attach counts are engine-local — a cluster merge
+// recomputes them from the global load history.
+func (e *Engine) CellStats() []CellStat {
+	return append([]CellStat(nil), e.cellStats...)
 }
 
 // stepBatch advances one fixed-size slice of the activity index; pool
@@ -580,7 +641,7 @@ func (e *Engine) attachedCount() int {
 }
 
 func (e *Engine) buildResult(results []*mobility.Result) *Result {
-	sum := summarize(e.spec, results, func(ue int) int64 { return e.shared.UESeed(ue) })
+	sum := summarize(e.spec, results, func(ue int) int64 { return e.shared.UESeed(e.spec.UEOffset + ue) })
 	sum.Blocked = e.blocked
 	for id := range e.cellStats {
 		if e.cellStats[id].Cell == 0 {
@@ -591,10 +652,15 @@ func (e *Engine) buildResult(results []*mobility.Result) *Result {
 		sum.Cells = append(sum.Cells, cs)
 	}
 	agg := eval.AggregateFleet(results)
-	title := fmt.Sprintf("%d-UE fleet, %s/%s at %g km/h for %gs (seed %d)",
-		e.spec.UEs, trace.Describe(e.spec.Dataset).ID, e.spec.Mode,
-		e.spec.SpeedKmh, e.spec.DurationSec, e.spec.Seed)
-	return &Result{Summary: *sum, Report: agg.Report(title).Render()}
+	return &Result{Summary: *sum, Report: agg.Report(specTitle(e.spec)).Render()}
+}
+
+// specTitle renders the report title for a (defaulted) spec; the
+// cluster merge reuses it so merged reports match single-process ones.
+func specTitle(spec Spec) string {
+	return fmt.Sprintf("%d-UE fleet, %s/%s at %g km/h for %gs (seed %d)",
+		spec.UEs, trace.Describe(spec.Dataset).ID, spec.Mode,
+		spec.SpeedKmh, spec.DurationSec, spec.Seed)
 }
 
 // eventSorter is the stored sort.Interface for the barrier's merged

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"math"
 	"reflect"
 	"testing"
 
@@ -216,6 +217,10 @@ func TestSpecValidation(t *testing.T) {
 		{name: "negative workers", spec: Spec{UEs: 4, DurationSec: 1, Workers: -1}, field: "Workers"},
 		{name: "workers exceed UEs", spec: Spec{UEs: 4, DurationSec: 1, Workers: 5}, field: "Workers"},
 		{name: "workers equal UEs", spec: Spec{UEs: 4, DurationSec: 1, Workers: 4}},
+		{name: "negative UE offset", spec: Spec{UEs: 4, DurationSec: 1, UEOffset: -1}, field: "UEOffset"},
+		{name: "UE offset overflows", spec: Spec{UEs: 2, DurationSec: 1, UEOffset: math.MaxInt - 1}, field: "UEOffset"},
+		{name: "UE offset at boundary", spec: Spec{UEs: 2, DurationSec: 1, UEOffset: math.MaxInt - 2}},
+		{name: "sharded UE range", spec: Spec{UEs: 250, DurationSec: 1, UEOffset: 750}},
 		{name: "minimal valid", spec: Spec{UEs: 1, DurationSec: 0.5}},
 	}
 	for _, tc := range cases {

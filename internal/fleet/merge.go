@@ -1,0 +1,97 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+
+	"rem/internal/eval"
+	"rem/internal/mobility"
+	"rem/internal/sim"
+)
+
+// ShardSlice is one shard's contribution to a merged fleet result: the
+// raw per-UE mobility results for the contiguous global UE range
+// starting at Offset, plus the shard engine's admission and cell
+// tallies (Blocked, CellStats).
+type ShardSlice struct {
+	Offset  int
+	Results []*mobility.Result
+	Blocked int
+	// Cells is the shard engine's dense per-cell table, indexed by cell
+	// ID. Every shard shares one deployment, so tables must agree on
+	// length and cell identity.
+	Cells []CellStat
+}
+
+// MergeShards reduces per-shard raw results into the Result a
+// single-process run of spec produces. Shards are reordered by Offset
+// and must tile [0, spec.UEs) exactly. The reduction reuses the
+// engine's own aggregation (summarize + eval.AggregateFleet) over the
+// concatenated results in global UE order, so every floating-point
+// fold runs in the single-process order and the merge is
+// byte-identical, not merely statistically equivalent.
+//
+// peaks and finals are the coordinator-tracked global per-cell attach
+// counts (dense by cell ID): the elementwise maximum over every epoch
+// barrier, and the last barrier's counts. Shard-local peak/final
+// values are discarded — a max of per-shard peaks is not the peak of
+// the global sum.
+func MergeShards(spec Spec, shards []ShardSlice, peaks, finals []int) (*Result, error) {
+	spec = spec.withDefaults()
+	spec.UEOffset = 0
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	sorted := append([]ShardSlice(nil), shards...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a].Offset < sorted[b].Offset })
+
+	results := make([]*mobility.Result, 0, spec.UEs)
+	blocked := 0
+	var cells []CellStat
+	for _, sh := range sorted {
+		if sh.Offset != len(results) {
+			return nil, fmt.Errorf("fleet: merge: shard ranges not contiguous at UE %d (offset %d)", len(results), sh.Offset)
+		}
+		results = append(results, sh.Results...)
+		blocked += sh.Blocked
+		if cells == nil {
+			cells = append(cells, sh.Cells...)
+			continue
+		}
+		if len(sh.Cells) != len(cells) {
+			return nil, fmt.Errorf("fleet: merge: cell table length %d, want %d", len(sh.Cells), len(cells))
+		}
+		for id, cs := range sh.Cells {
+			if cs.Cell != cells[id].Cell || cs.Channel != cells[id].Channel {
+				return nil, fmt.Errorf("fleet: merge: cell %d identity differs across shards", id)
+			}
+			cells[id].Attaches += cs.Attaches
+			cells[id].HandoversIn += cs.HandoversIn
+			cells[id].Failures += cs.Failures
+			cells[id].Blocked += cs.Blocked
+		}
+	}
+	if len(results) != spec.UEs {
+		return nil, fmt.Errorf("fleet: merge: shards cover %d UEs, spec has %d", len(results), spec.UEs)
+	}
+
+	sum := summarize(spec, results, func(ue int) int64 { return sim.ReplicaSeed(spec.Seed, ue) })
+	sum.Blocked = blocked
+	for id := range cells {
+		if cells[id].Cell == 0 {
+			continue
+		}
+		cs := cells[id]
+		cs.PeakAttached = 0
+		if id < len(peaks) {
+			cs.PeakAttached = peaks[id]
+		}
+		cs.FinalAttached = 0
+		if id < len(finals) {
+			cs.FinalAttached = finals[id]
+		}
+		sum.Cells = append(sum.Cells, cs)
+	}
+	agg := eval.AggregateFleet(results)
+	return &Result{Summary: *sum, Report: agg.Report(specTitle(spec)).Render()}, nil
+}

@@ -38,16 +38,20 @@ type sessState struct {
 // world, the admission hook, and the runner slot in the packed runners
 // slice. Runs on a pool worker; writes only index ue.
 func (e *Engine) buildSession(ue int) error {
-	built, err := e.shared.BuildUE(ue)
+	// Everything identity-derived — substrate, seed, telemetry scope,
+	// emitted events — uses the global UE id, so a UEOffset shard is
+	// byte-identical to the same id range of an unsharded run.
+	gue := e.spec.UEOffset + ue
+	built, err := e.shared.BuildUE(gue)
 	if err != nil {
-		return fmt.Errorf("fleet: build UE %d: %w", ue, err)
+		return fmt.Errorf("fleet: build UE %d: %w", gue, err)
 	}
 	ss := &e.sess[ue]
-	ss.seed = e.shared.UESeed(ue)
+	ss.seed = e.shared.UESeed(gue)
 	if e.tel != nil {
 		// Scope creation races between session builders are fine: the
 		// Telemetry locks, and every merge sorts by scope ID.
-		ss.scope = e.tel.Scope(ue)
+		ss.scope = e.tel.Scope(gue)
 		ss.spread = ss.scope.Shard.Counter(obs.MSpreadPicks)
 		built.Scenario.Obs = ss.scope
 	}
@@ -73,7 +77,7 @@ func (e *Engine) buildSession(ue int) error {
 		}
 		if !d.OK && len(cands) > 0 {
 			ss.pending = append(ss.pending, Event{
-				UE: ue, Time: t, Type: EventBlocked,
+				UE: gue, Time: t, Type: EventBlocked,
 				From: serving, To: cands[0].CellID,
 			})
 		}
@@ -101,17 +105,18 @@ var stepHook func(ue int)
 func (e *Engine) drainEvents(i int) {
 	ss := &e.sess[i]
 	r := &e.runners[i]
+	gue := e.spec.UEOffset + i
 	res := r.Result()
 	for _, h := range res.Handovers[ss.hoSeen:] {
 		e.epochEvents = append(e.epochEvents, Event{
-			UE: i, Time: h.Time, Type: EventHandover,
+			UE: gue, Time: h.Time, Type: EventHandover,
 			From: h.From, To: h.To,
 		})
 	}
 	ss.hoSeen = len(res.Handovers)
 	for _, f := range res.Failures[ss.failSeen:] {
 		e.epochEvents = append(e.epochEvents, Event{
-			UE: i, Time: f.Time, Type: EventFailure,
+			UE: gue, Time: f.Time, Type: EventFailure,
 			From: f.Serving, Cause: f.Cause.String(),
 		})
 	}
@@ -126,7 +131,7 @@ func (e *Engine) drainEvents(i int) {
 	serving := r.Serving()
 	if attached && !ss.wasAttached {
 		e.epochEvents = append(e.epochEvents, Event{
-			UE: i, Time: r.Now(), Type: EventReattach,
+			UE: gue, Time: r.Now(), Type: EventReattach,
 			From: ss.lastServing, To: serving,
 		})
 	}

@@ -113,7 +113,7 @@ func summarize(spec Spec, results []*mobility.Result, seedOf func(int) int64) *S
 		if res == nil {
 			continue
 		}
-		st := UEStat{UE: i, Seed: seedOf(i)}
+		st := UEStat{UE: spec.UEOffset + i, Seed: seedOf(i)}
 		st.Handovers = len(res.Handovers)
 		st.Failures = len(res.Failures)
 		st.FailureRatio = res.FailureRatio()

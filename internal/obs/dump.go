@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+)
+
+// The dump codec is the cross-process half of the registry's merge
+// contract. Snapshot folds every scope into one sample per def — fine
+// for exposition, lossy for merging: once scopes are folded, a second
+// process's floats can only be added in arrival order. Dump instead
+// exports the raw per-scope slot values, so a coordinator can rebuild
+// the exact shard layout of N member registries with AddDump and then
+// take one Snapshot whose ascending-scope-ID float folds are
+// bit-identical to a single-process registry holding the same scopes.
+
+// SlotDump is one metric slot's raw value: V/Set carry counters and
+// gauges, Counts/Sum/N a histogram (per-bucket counts, last bucket the
+// +Inf overflow).
+type SlotDump struct {
+	V      float64 `json:"v,omitempty"`
+	Set    bool    `json:"set,omitempty"`
+	Counts []int64 `json:"counts,omitempty"`
+	Sum    float64 `json:"sum,omitempty"`
+	N      int64   `json:"n,omitempty"`
+}
+
+// ScopeDump is one scope's slots, in registration (def) order.
+type ScopeDump struct {
+	Scope int        `json:"scope"`
+	Slots []SlotDump `json:"slots"`
+}
+
+// Dump is a registry's raw per-scope state, scopes in ascending ID
+// order. It is JSON-safe: float64 survives encoding/json round-trips
+// bit-exactly.
+type Dump struct {
+	Scopes []ScopeDump `json:"scopes"`
+}
+
+// Dump exports every shard's raw slot values. Same single-writer
+// contract as Snapshot: no shard may be written concurrently.
+func (g *Registry) Dump() *Dump {
+	if g == nil {
+		return &Dump{}
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	ids := g.sortedIDs()
+	out := &Dump{Scopes: make([]ScopeDump, 0, len(ids))}
+	for _, id := range ids {
+		sh := g.scopes[id]
+		sd := ScopeDump{Scope: id, Slots: make([]SlotDump, len(g.defs))}
+		for i := range g.defs {
+			switch v := sh.slots[i].(type) {
+			case *Counter:
+				sd.Slots[i] = SlotDump{V: v.v}
+			case *Gauge:
+				sd.Slots[i] = SlotDump{V: v.v, Set: v.set}
+			case *Histogram:
+				sd.Slots[i] = SlotDump{Counts: append([]int64(nil), v.counts...), Sum: v.sum, N: v.n}
+			}
+		}
+		out.Scopes = append(out.Scopes, sd)
+	}
+	return out
+}
+
+// AddDump folds raw dumped scopes into the registry, creating scopes
+// on demand: counter and set-gauge values add, histogram buckets add
+// per bucket. Adding one dump into a fresh registry reproduces the
+// source registry exactly; adding several merges them slot-wise. The
+// dump's slot layout must match this registry's schema. Coordinator
+// side of the single-writer contract: do not call while shards are
+// being written.
+func (g *Registry) AddDump(d *Dump) error {
+	if g == nil || d == nil {
+		return nil
+	}
+	for _, sc := range d.Scopes {
+		sh := g.Shard(sc.Scope)
+		if len(sc.Slots) != len(g.defs) {
+			return fmt.Errorf("obs: dump scope %d has %d slots, registry has %d defs", sc.Scope, len(sc.Slots), len(g.defs))
+		}
+		for i, sd := range sc.Slots {
+			switch v := sh.slots[i].(type) {
+			case *Counter:
+				v.v += sd.V
+			case *Gauge:
+				if sd.Set {
+					v.v += sd.V
+					v.set = true
+				}
+			case *Histogram:
+				if len(sd.Counts) != len(v.counts) {
+					return fmt.Errorf("obs: dump scope %d slot %d: %d buckets, registry has %d", sc.Scope, i, len(sd.Counts), len(v.counts))
+				}
+				for j, c := range sd.Counts {
+					v.counts[j] += c
+				}
+				v.sum += sd.Sum
+				v.n += sd.N
+			}
+		}
+	}
+	return nil
+}
+
+// Defs returns a copy of the registered schema in registration order,
+// so cross-process mergers can locate slots by family name.
+func (g *Registry) Defs() []Def {
+	if g == nil {
+		return nil
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return append([]Def(nil), g.defs...)
+}
+
+// sortedIDs returns the scope IDs ascending. Caller holds mu.
+func (g *Registry) sortedIDs() []int {
+	ids := make([]int, 0, len(g.scopes))
+	for id := range g.scopes {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}

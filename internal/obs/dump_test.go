@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// populate writes an uneven spread of values into a run-schema shard.
+func populateScope(sh *Shard, salt float64) {
+	sh.Counter(MHandovers).Add(3 + salt)
+	sh.Counter(FailureSeries("missed-cell")).Inc()
+	sh.Histogram(MFeedbackDelay).Observe(0.031 + salt/1000)
+	sh.Histogram(MFeedbackDelay).Observe(1.7)
+	sh.Histogram(MBlackout).Observe(0.4 + salt)
+}
+
+// TestDumpRoundTripIdentity: a dump shipped through JSON and folded
+// into a fresh registry must reproduce the source snapshot and
+// Prometheus text byte-for-byte.
+func TestDumpRoundTripIdentity(t *testing.T) {
+	src := NewRegistry()
+	RegisterRunMetrics(src)
+	for _, id := range []int{RunScope, 0, 3, 7} {
+		populateScope(src.Shard(id), float64(id)*0.137)
+	}
+	src.Shard(RunScope).Gauge(MSimTime).Set(4.5)
+
+	wire, err := json.Marshal(src.Dump())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded Dump
+	if err := json.Unmarshal(wire, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	dst := NewRegistry()
+	RegisterRunMetrics(dst)
+	if err := dst.AddDump(&decoded); err != nil {
+		t.Fatal(err)
+	}
+
+	srcSnap, _ := json.Marshal(src.Snapshot())
+	dstSnap, _ := json.Marshal(dst.Snapshot())
+	if !bytes.Equal(srcSnap, dstSnap) {
+		t.Fatalf("snapshot drifted across the wire:\n src %s\n dst %s", srcSnap, dstSnap)
+	}
+	if !bytes.Equal(src.Snapshot().PrometheusText(), dst.Snapshot().PrometheusText()) {
+		t.Fatal("Prometheus text drifted across the wire")
+	}
+}
+
+// TestDumpMergeEqualsSingleRegistry: two registries holding disjoint
+// scope sets merged via AddDump must snapshot identically to one
+// registry that held all scopes — including float sums, which must
+// fold in ascending scope order either way.
+func TestDumpMergeEqualsSingleRegistry(t *testing.T) {
+	single := NewRegistry()
+	RegisterRunMetrics(single)
+	partA := NewRegistry()
+	RegisterRunMetrics(partA)
+	partB := NewRegistry()
+	RegisterRunMetrics(partB)
+
+	// Interleaved scope ids across the parts, values chosen so float
+	// addition order matters if the merge gets it wrong.
+	for _, id := range []int{0, 2, 5} {
+		populateScope(single.Shard(id), 0.1+float64(id)*1e-9)
+		populateScope(partA.Shard(id), 0.1+float64(id)*1e-9)
+	}
+	for _, id := range []int{1, 3, 4} {
+		populateScope(single.Shard(id), 0.3+float64(id)*1e7)
+		populateScope(partB.Shard(id), 0.3+float64(id)*1e7)
+	}
+
+	merged := NewRegistry()
+	RegisterRunMetrics(merged)
+	// Deliberately add the high-id part first: scope order inside the
+	// merged registry, not dump arrival order, must govern the folds.
+	if err := merged.AddDump(partB.Dump()); err != nil {
+		t.Fatal(err)
+	}
+	if err := merged.AddDump(partA.Dump()); err != nil {
+		t.Fatal(err)
+	}
+
+	wantJS, _ := json.Marshal(single.Snapshot())
+	gotJS, _ := json.Marshal(merged.Snapshot())
+	if !bytes.Equal(wantJS, gotJS) {
+		t.Fatalf("merged snapshot differs from single registry:\n got %s\nwant %s", gotJS, wantJS)
+	}
+}
+
+// TestAddDumpSchemaMismatch pins the slot-count check.
+func TestAddDumpSchemaMismatch(t *testing.T) {
+	reg := NewRegistry()
+	RegisterRunMetrics(reg)
+	if err := reg.AddDump(&Dump{Scopes: []ScopeDump{{Scope: 1, Slots: make([]SlotDump, 2)}}}); err == nil {
+		t.Fatal("AddDump accepted a dump with the wrong slot count")
+	}
+}

@@ -1,0 +1,373 @@
+// Package remclient is a typed Go client for the remserve HTTP API.
+//
+// It mirrors the server's wire shapes one-for-one — specs, run views,
+// NDJSON event and timeline streams, metrics expositions and the
+// role-aware health view — without importing any simulator internals,
+// so external tooling can drive a remserve (single-process or
+// clustered) with nothing beyond the standard library.
+//
+//	c := remclient.New("http://localhost:8080")
+//	run, err := c.Submit(ctx, remclient.Spec{
+//		UEs: 100, Dataset: "beijing-shanghai", Mode: "rem",
+//		SpeedKmh: 330, DurationSec: 60, Seed: 7,
+//		Telemetry: true, Shards: 4,
+//	})
+//	run, err = c.Wait(ctx, run.ID, 0)
+//
+// Every non-2xx response decodes the server's {"error": "..."} body
+// into an *APIError carrying the status code.
+package remclient
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Spec is the POST /runs request body. Dataset and mode are named as
+// strings (e.g. "beijing-shanghai", "rem"); Telemetry arms the run's
+// observability plane; Shards > 0 executes on a coordinator's cluster
+// plane with output byte-identical to a local run. Faults passes a
+// fault-injection plan through verbatim — the server validates it.
+type Spec struct {
+	UEs             int             `json:"ues"`
+	UEOffset        int             `json:"ue_offset,omitempty"`
+	Dataset         string          `json:"dataset,omitempty"`
+	Mode            string          `json:"mode,omitempty"`
+	SpeedKmh        float64         `json:"speed_kmh,omitempty"`
+	DurationSec     float64         `json:"duration_sec"`
+	Seed            int64           `json:"seed,omitempty"`
+	Workers         int             `json:"workers,omitempty"`
+	EpochSec        float64         `json:"epoch_sec,omitempty"`
+	CellCapacity    int             `json:"cell_capacity,omitempty"`
+	SpreadMarginDB  float64         `json:"spread_margin_db,omitempty"`
+	StartSpreadM    float64         `json:"start_spread_m,omitempty"`
+	SpeedJitterFrac float64         `json:"speed_jitter_frac,omitempty"`
+	Faults          json.RawMessage `json:"faults,omitempty"`
+	Telemetry       bool            `json:"telemetry,omitempty"`
+	Shards          int             `json:"shards,omitempty"`
+}
+
+// Run lifecycle states, as reported in Run.State.
+const (
+	StatePending  = "pending"
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateCanceled = "canceled"
+	StateFailed   = "failed"
+)
+
+// Terminal reports whether a run state is final.
+func Terminal(state string) bool {
+	return state == StateDone || state == StateCanceled || state == StateFailed
+}
+
+// Run is the GET /runs/{id} body: identity, lifecycle state, the
+// submitted spec, live progress and — once done — the result.
+type Run struct {
+	ID             string  `json:"id"`
+	State          string  `json:"state"`
+	Error          string  `json:"error,omitempty"`
+	Spec           Spec    `json:"spec"`
+	SimTimeSec     float64 `json:"sim_time_sec"`
+	Attached       int     `json:"attached"`
+	Events         int     `json:"events"`
+	TimelineEvents int     `json:"timeline_events,omitempty"`
+	Result         *Result `json:"result,omitempty"`
+}
+
+// Result is a finished run's output: the machine-readable summary
+// (kept raw so its bytes round-trip unmodified) and the human report.
+type Result struct {
+	Summary json.RawMessage `json:"summary"`
+	Report  string          `json:"report"`
+}
+
+// Event is one line of the /runs/{id}/events NDJSON stream.
+type Event struct {
+	UE    int     `json:"ue"`
+	Time  float64 `json:"t"`
+	Type  string  `json:"type"`
+	From  int     `json:"from,omitempty"`
+	To    int     `json:"to,omitempty"`
+	Cause string  `json:"cause,omitempty"`
+}
+
+// TimelineEvent is one line of the /runs/{id}/timeline NDJSON stream
+// (telemetry-armed runs only).
+type TimelineEvent struct {
+	Seq    int     `json:"seq"`
+	UE     int     `json:"ue"`
+	T      float64 `json:"t"`
+	Kind   string  `json:"kind"`
+	Cell   int     `json:"cell,omitempty"`
+	To     int     `json:"to,omitempty"`
+	Cause  string  `json:"cause,omitempty"`
+	Value  float64 `json:"value,omitempty"`
+	Fault  string  `json:"fault,omitempty"`
+	Window int     `json:"window,omitempty"`
+}
+
+// Health is the GET /healthz body. Members is the coordinator's live
+// member count (nil off-coordinator); Shards is a member's resident
+// shard engines (nil off-member).
+type Health struct {
+	Status  string `json:"status"`
+	Role    string `json:"role"`
+	Ready   bool   `json:"ready"`
+	Members *int   `json:"members,omitempty"`
+	Shards  *int   `json:"shards,omitempty"`
+}
+
+// APIError is a non-2xx response: the HTTP status plus the server's
+// {"error": "..."} message (or the raw body when it isn't JSON).
+type APIError struct {
+	StatusCode int
+	Message    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("remserve: %s (http %d)", e.Message, e.StatusCode)
+}
+
+// Client talks to one remserve. The zero HTTPClient means
+// http.DefaultClient; BaseURL is scheme://host[:port], no trailing
+// slash required. Methods are safe for concurrent use.
+type Client struct {
+	// BaseURL is the remserve root, e.g. "http://localhost:8080".
+	BaseURL string
+	// HTTPClient overrides the transport; nil uses http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+// New returns a client for the remserve at baseURL.
+func New(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+// Submit starts a fleet run and returns its accepted view (state
+// pending or running; poll Get or call Wait for the result).
+func (c *Client) Submit(ctx context.Context, spec Spec) (*Run, error) {
+	var run Run
+	if err := c.do(ctx, http.MethodPost, "/runs", spec, &run); err != nil {
+		return nil, err
+	}
+	return &run, nil
+}
+
+// Get fetches one run by ID.
+func (c *Client) Get(ctx context.Context, id string) (*Run, error) {
+	var run Run
+	if err := c.do(ctx, http.MethodGet, "/runs/"+id, nil, &run); err != nil {
+		return nil, err
+	}
+	return &run, nil
+}
+
+// List fetches every run the server knows about.
+func (c *Client) List(ctx context.Context) ([]Run, error) {
+	var body struct {
+		Runs []Run `json:"runs"`
+	}
+	if err := c.do(ctx, http.MethodGet, "/runs", nil, &body); err != nil {
+		return nil, err
+	}
+	return body.Runs, nil
+}
+
+// Cancel requests cancellation of a run and returns its view.
+func (c *Client) Cancel(ctx context.Context, id string) (*Run, error) {
+	var run Run
+	if err := c.do(ctx, http.MethodPost, "/runs/"+id+"/cancel", nil, &run); err != nil {
+		return nil, err
+	}
+	return &run, nil
+}
+
+// Wait polls the run until it reaches a terminal state and returns the
+// final view. poll <= 0 defaults to 100ms. The context bounds the
+// wait; its error is returned on expiry.
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (*Run, error) {
+	if poll <= 0 {
+		poll = 100 * time.Millisecond
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		run, err := c.Get(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if Terminal(run.State) {
+			return run, nil
+		}
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			return run, ctx.Err()
+		}
+	}
+}
+
+// Events streams the run's NDJSON event feed — buffered replay, then
+// live follow until the run ends — calling fn for each event. A
+// non-nil error from fn stops the stream and is returned.
+func (c *Client) Events(ctx context.Context, id string, fn func(Event) error) error {
+	return c.stream(ctx, "/runs/"+id+"/events", func(line []byte) error {
+		var ev Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return fmt.Errorf("remclient: bad event line: %w", err)
+		}
+		return fn(ev)
+	})
+}
+
+// Timeline streams the run's telemetry timeline (armed runs only),
+// calling fn for each event.
+func (c *Client) Timeline(ctx context.Context, id string, fn func(TimelineEvent) error) error {
+	return c.stream(ctx, "/runs/"+id+"/timeline", func(line []byte) error {
+		var ev TimelineEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return fmt.Errorf("remclient: bad timeline line: %w", err)
+		}
+		return fn(ev)
+	})
+}
+
+// MetricsText fetches the run's metrics snapshot as Prometheus text
+// (armed runs only).
+func (c *Client) MetricsText(ctx context.Context, id string) ([]byte, error) {
+	return c.raw(ctx, "/runs/"+id+"/metrics", "")
+}
+
+// Metrics fetches the run's metrics snapshot as JSON (armed runs
+// only), kept raw so the bytes round-trip.
+func (c *Client) Metrics(ctx context.Context, id string) (json.RawMessage, error) {
+	return c.raw(ctx, "/runs/"+id+"/metrics", "application/json")
+}
+
+// ServerMetricsText fetches the service-level /metrics exposition as
+// Prometheus text.
+func (c *Client) ServerMetricsText(ctx context.Context) ([]byte, error) {
+	return c.raw(ctx, "/metrics", "text/plain")
+}
+
+// Health fetches the role-aware health view.
+func (c *Client) Health(ctx context.Context) (*Health, error) {
+	var h Health
+	if err := c.do(ctx, http.MethodGet, "/healthz", nil, &h); err != nil {
+		return nil, err
+	}
+	return &h, nil
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// do runs one JSON round trip: in (may be nil) is the request body,
+// out (may be nil) receives the decoded response.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return apiError(resp)
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// raw fetches a non-JSON (or raw-JSON) body with an optional Accept
+// header.
+func (c *Client) raw(ctx context.Context, path, accept string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	if accept != "" {
+		req.Header.Set("Accept", accept)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return nil, apiError(resp)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// stream reads an NDJSON response line by line.
+func (c *Client) stream(ctx context.Context, path string, fn func(line []byte) error) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return apiError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		if err := fn(line); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+// apiError decodes a non-2xx response body into an *APIError.
+func apiError(resp *http.Response) error {
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 64*1024))
+	var body struct {
+		Error string `json:"error"`
+	}
+	msg := strings.TrimSpace(string(data))
+	if json.Unmarshal(data, &body) == nil && body.Error != "" {
+		msg = body.Error
+	}
+	if msg == "" {
+		msg = resp.Status
+	}
+	return &APIError{StatusCode: resp.StatusCode, Message: msg}
+}

@@ -1,0 +1,148 @@
+package remclient
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// stubServer fakes just enough of the remserve API surface for the
+// client's wire handling to be pinned without the real engine.
+func stubServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	state := "running"
+	polls := 0
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /runs", func(w http.ResponseWriter, r *http.Request) {
+		var spec Spec
+		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+			t.Errorf("stub decode: %v", err)
+		}
+		if spec.UEs <= 0 {
+			w.WriteHeader(http.StatusBadRequest)
+			w.Write([]byte(`{"error":"spec: UEs must be positive"}`))
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(Run{ID: "run-0001", State: "pending", Spec: spec})
+	})
+	mux.HandleFunc("GET /runs/run-0001", func(w http.ResponseWriter, r *http.Request) {
+		polls++
+		if polls >= 2 {
+			state = "done"
+		}
+		run := Run{ID: "run-0001", State: state, Attached: 3}
+		if state == "done" {
+			run.Result = &Result{Summary: json.RawMessage(`{"ues":3}`), Report: "3 UEs"}
+		}
+		json.NewEncoder(w).Encode(run)
+	})
+	mux.HandleFunc("GET /runs", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"runs":[{"id":"run-0001","state":"running"}]}`))
+	})
+	mux.HandleFunc("GET /runs/run-0001/events", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.Write([]byte(`{"ue":0,"t":1,"type":"handover","from":1,"to":2}` + "\n" +
+			`{"ue":1,"t":2,"type":"failure","cause":"coverage-hole"}` + "\n"))
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		n := 2
+		json.NewEncoder(w).Encode(Health{Status: "ok", Role: "coordinator", Ready: true, Members: &n})
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestClientRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	c := New(stubServer(t).URL + "/") // trailing slash must not double up
+
+	run, err := c.Submit(ctx, Spec{UEs: 3, Dataset: "beijing-shanghai", DurationSec: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.ID != "run-0001" || run.Spec.Dataset != "beijing-shanghai" {
+		t.Fatalf("submit view = %+v", run)
+	}
+
+	done, err := c.Wait(ctx, run.ID, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.State != StateDone || done.Result == nil || done.Result.Report != "3 UEs" {
+		t.Fatalf("wait view = %+v", done)
+	}
+
+	runs, err := c.List(ctx)
+	if err != nil || len(runs) != 1 || runs[0].ID != "run-0001" {
+		t.Fatalf("list = %+v, %v", runs, err)
+	}
+
+	var evs []Event
+	if err := c.Events(ctx, run.ID, func(ev Event) error {
+		evs = append(evs, ev)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 2 || evs[0].Type != "handover" || evs[1].Cause != "coverage-hole" {
+		t.Fatalf("events = %+v", evs)
+	}
+
+	h, err := c.Health(ctx)
+	if err != nil || h.Role != "coordinator" || h.Members == nil || *h.Members != 2 {
+		t.Fatalf("health = %+v, %v", h, err)
+	}
+}
+
+func TestClientAPIError(t *testing.T) {
+	c := New(stubServer(t).URL)
+	_, err := c.Submit(context.Background(), Spec{})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("error type = %T (%v)", err, err)
+	}
+	if apiErr.StatusCode != http.StatusBadRequest || apiErr.Message != "spec: UEs must be positive" {
+		t.Fatalf("api error = %+v", apiErr)
+	}
+	if apiErr.Error() == "" {
+		t.Error("empty Error() string")
+	}
+
+	// 404 with a non-JSON body still yields a usable message.
+	_, err = c.Get(context.Background(), "nope")
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusNotFound {
+		t.Fatalf("get missing run: %v", err)
+	}
+}
+
+func TestEventsCallbackErrorStopsStream(t *testing.T) {
+	c := New(stubServer(t).URL)
+	sentinel := errors.New("stop")
+	n := 0
+	err := c.Events(context.Background(), "run-0001", func(Event) error {
+		n++
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) || n != 1 {
+		t.Fatalf("err = %v after %d events", err, n)
+	}
+}
+
+func TestTerminal(t *testing.T) {
+	for _, s := range []string{StateDone, StateCanceled, StateFailed} {
+		if !Terminal(s) {
+			t.Errorf("Terminal(%q) = false", s)
+		}
+	}
+	for _, s := range []string{StatePending, StateRunning, ""} {
+		if Terminal(s) {
+			t.Errorf("Terminal(%q) = true", s)
+		}
+	}
+}
