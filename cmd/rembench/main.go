@@ -7,16 +7,16 @@
 //
 //	rembench                      # full run, prints a table
 //	rembench -quick               # CI-scale run (seconds, not minutes)
-//	rembench -out BENCH_PR6.json  # also write machine-readable results
-//	rembench -quick -baseline BENCH_PR6.json
+//	rembench -out BENCH_PR8.json  # also write machine-readable results
+//	rembench -quick -baseline BENCH_PR8.json
 //	                              # compare against a committed baseline:
 //	                              # prints a per-benchmark diff table and
 //	                              # exits 1 on >25% ns/op, any allocs/op,
 //	                              # or any B/op regression beyond slack
 //
-// The committed BENCH_PR6.json at the repo root is the reference the CI
+// The committed BENCH_PR8.json at the repo root is the reference the CI
 // bench job gates on; regenerate it with `rembench -quick -out
-// BENCH_PR6.json` after an intentional performance change. The fleet
+// BENCH_PR8.json` after an intentional performance change. The fleet
 // benchmarks measure a steady-state epoch (engine built and pools
 // warmed outside the timer; one op = one StepEpoch), so their
 // allocs/op is the zero-alloc contract itself. The fleet_100ue_epoch /
@@ -44,13 +44,17 @@ import (
 	"rem/internal/trace"
 )
 
-// result is one benchmark's measurement, the unit of BENCH_PR6.json.
+// result is one benchmark's measurement, the unit of BENCH_PR8.json.
 type result struct {
 	Name        string  `json:"name"`
 	Iterations  int     `json:"iterations"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
+	// Extra carries benchmark-reported custom metrics (b.ReportMetric),
+	// e.g. the fleet benchmarks' resident RNG bytes per UE. Informational
+	// — the baseline gate does not compare them.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 type report struct {
@@ -102,6 +106,9 @@ func main() {
 			AllocsPerOp: br.AllocsPerOp(),
 			BytesPerOp:  br.AllocedBytesPerOp(),
 		}
+		if len(br.Extra) > 0 {
+			r.Extra = br.Extra
+		}
 		rep.Benchmarks = append(rep.Benchmarks, r)
 		fmt.Printf("%-24s %10d it  %14.0f ns/op  %8d allocs/op  %12d B/op\n",
 			r.Name, r.Iterations, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp)
@@ -146,6 +153,15 @@ func printOverhead(rep report) {
 	if disarmed > 0 && armed > 0 {
 		fmt.Printf("telemetry overhead: %+.1f%% ns/op (armed vs disarmed 100-UE fleet)\n",
 			100*(armed/disarmed-1))
+	}
+	for _, r := range rep.Benchmarks {
+		if r.Name != "fleet_100k_epoch" || r.Extra == nil {
+			continue
+		}
+		if bpu, ok := r.Extra["RNG_B/ue"]; ok {
+			fmt.Printf("RNG state @100k UEs: %.0f B/UE resident (eager-equivalent %.0f B/UE, %.1fx smaller), %.0f spills\n",
+				bpu, r.Extra["RNG_eager_B/ue"], r.Extra["RNG_eager_B/ue"]/bpu, r.Extra["RNG_spills"])
+		}
 	}
 }
 
@@ -230,6 +246,8 @@ func specs() []spec {
 		{name: "block_bler_fused", quickTime: "5000x", fullTime: "1s", fn: benchBlockBLER},
 		{name: "svd_estimate", quickTime: "20x", fullTime: "1s", fn: benchSVDEstimate},
 		{name: "table2_quick", quickTime: "1x", fullTime: "3x", fn: benchTable2, allocSlack: 0.02},
+		{name: "rng_stream_new", quickTime: "20000x", fullTime: "1s", fn: benchRNGStreamNew},
+		{name: "rng_stream_new_lazy", quickTime: "20000x", fullTime: "1s", fn: benchRNGStreamNewLazy},
 		// The 100-UE epochs are ~10ms ops: quick scale runs 12 of them
 		// so one host-scheduling blip cannot push a clean run past the
 		// gate's 25% ns/op allowance.
@@ -309,6 +327,34 @@ func benchTable2(b *testing.B) {
 	}
 }
 
+// benchRNGStreamNew: the eager stream-derivation cost — one op hashes
+// the name and allocates + runs the 607-word stdlib seeding loop, the
+// per-stream price every UE build used to pay up front.
+func benchRNGStreamNew(b *testing.B) {
+	streams := sim.NewStreams(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var g *sim.RNG
+	for i := 0; i < b.N; i++ {
+		g = streams.Stream("bench.stream")
+	}
+	_ = g
+}
+
+// benchRNGStreamNewLazy: the arena-path twin — one op derives the same
+// stream but defers seeding to first draw (which never comes here), the
+// cost a fleet build pays per stream that is created but may stay cold.
+func benchRNGStreamNewLazy(b *testing.B) {
+	streams := sim.NewArena().Streams(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var g *sim.RNG
+	for i := 0; i < b.N; i++ {
+		g = streams.StreamBudget("bench.stream", 64)
+	}
+	_ = g
+}
+
 // benchFleetEpochs measures the steady-state epoch: the engine is
 // built outside the timer, one warm-up epoch primes the scratch pools,
 // and each op is one StepEpoch. When a run completes the engine is
@@ -351,6 +397,14 @@ func benchFleetEpochs(b *testing.B, spec fleet.Spec, armed bool) {
 	b.StopTimer()
 	if armed && events == 0 {
 		b.Fatal("armed run produced no telemetry")
+	}
+	// Resident RNG state accounting, the memory half of the substrate's
+	// acceptance bar: live arena bytes per UE next to what the same
+	// stream count cost as eagerly seeded heap generators.
+	if st := eng.RNGStats(); st.Streams > 0 && st.LiveBytes > 0 {
+		b.ReportMetric(float64(st.LiveBytes)/float64(spec.UEs), "RNG_B/ue")
+		b.ReportMetric(float64(int64(st.Streams)*sim.EagerStreamBytes)/float64(spec.UEs), "RNG_eager_B/ue")
+		b.ReportMetric(float64(st.Spills), "RNG_spills")
 	}
 }
 

@@ -42,6 +42,7 @@ import (
 	"rem/internal/mobility"
 	"rem/internal/obs"
 	"rem/internal/par"
+	"rem/internal/sim"
 	"rem/internal/tcpsim"
 	"rem/internal/trace"
 )
@@ -225,6 +226,14 @@ type Engine struct {
 	shared *trace.Shared
 	adm    *core.Admission
 
+	// arena holds every UE's RNG generator state in contiguous chunks:
+	// streams seed lazily on first draw and tick-budgeted streams
+	// materialize as short output tapes, so an epoch streams generator
+	// state roughly in stepping order instead of pointer-chasing ~20
+	// scattered ~5 KB windows per UE. Draw sequences are byte-identical
+	// to the eager path (see sim.ArenaStreams).
+	arena *sim.Arena
+
 	// Struct-of-arrays session state, indexed by UE: the runners slice
 	// holds every mobility.Runner by value (contiguous, cache-friendly
 	// batch stepping), sess the per-UE fleet bookkeeping.
@@ -349,6 +358,7 @@ func NewEngine(ctx context.Context, spec Spec, opts Options) (*Engine, error) {
 		spec:      spec,
 		opts:      opts,
 		shared:    shared,
+		arena:     sim.NewArena(),
 		adm:       &core.Admission{Capacity: spec.CellCapacity, SpreadMarginDB: spec.SpreadMarginDB},
 		loads:     make([]int, maxCell+1),
 		loadsNext: make([]int, maxCell+1),
@@ -473,6 +483,11 @@ func (e *Engine) StepEpoch(ctx context.Context) (done bool, err error) {
 	}
 	return e.done, nil
 }
+
+// RNGStats returns a snapshot of the fleet's RNG arena accounting:
+// stream/seeded/tape/window counts, spills, and resident bytes. It is
+// the basis of rembench's bytes-of-RNG-state-per-UE stat.
+func (e *Engine) RNGStats() sim.ArenaStats { return e.arena.Stats() }
 
 // Finish finalizes every runner (UE order), replays outages through
 // the TCP model when telemetry is armed, and aggregates the result.

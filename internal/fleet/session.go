@@ -42,7 +42,7 @@ func (e *Engine) buildSession(ue int) error {
 	// emitted events — uses the global UE id, so a UEOffset shard is
 	// byte-identical to the same id range of an unsharded run.
 	gue := e.spec.UEOffset + ue
-	built, err := e.shared.BuildUE(gue)
+	built, err := e.shared.BuildUEIn(e.arena, gue)
 	if err != nil {
 		return fmt.Errorf("fleet: build UE %d: %w", gue, err)
 	}

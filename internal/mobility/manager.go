@@ -266,7 +266,7 @@ type Runner struct {
 
 // NewRunner validates the scenario, performs the initial attach and
 // returns a Runner positioned at t = 0 with no ticks processed.
-func NewRunner(streams *sim.Streams, sc *Scenario) (*Runner, error) {
+func NewRunner(streams sim.StreamSource, sc *Scenario) (*Runner, error) {
 	r := new(Runner)
 	if err := InitRunner(r, streams, sc); err != nil {
 		return nil, err
@@ -277,7 +277,7 @@ func NewRunner(streams *sim.Streams, sc *Scenario) (*Runner, error) {
 // InitRunner initializes a Runner in place — the entry point fleet
 // engines use to build a contiguous []Runner without one heap object
 // per UE. The previous contents of r are discarded.
-func InitRunner(r *Runner, streams *sim.Streams, sc *Scenario) error {
+func InitRunner(r *Runner, streams sim.StreamSource, sc *Scenario) error {
 	if sc.Duration <= 0 {
 		return fmt.Errorf("mobility: non-positive duration")
 	}
@@ -285,11 +285,17 @@ func InitRunner(r *Runner, streams *sim.Streams, sc *Scenario) error {
 	if cfg.TickSec <= 0 {
 		cfg = DefaultConfig()
 	}
+	// The measurement stream draws a few raw words per tick (RSRP noise
+	// Gauss draws, report loss Bernoullis); 6/tick plus slack bounds it
+	// comfortably. The budget is a residency hint for arena-backed
+	// factories — exceeding it is transparent (sim.ArenaStreams) — and
+	// eager factories ignore it.
+	measBudget := 6*(int(sc.Duration/cfg.TickSec)+1) + 16
 	*r = Runner{
 		sc:             sc,
 		cfg:            cfg,
 		res:            &Result{Duration: sc.Duration, SNRTraceStep: 0.1},
-		measRNG:        streams.Stream("mobility.meas"),
+		measRNG:        streams.StreamBudget("mobility.meas", measBudget),
 		outOfSyncSince: -1,
 		lastCmdFailed:  -100,
 		multiChannel:   len(sc.Dep.Channels()) > 1,
@@ -791,7 +797,7 @@ func (r *Runner) Finish() *Result {
 }
 
 // Run executes the scenario tick by tick to completion.
-func Run(streams *sim.Streams, sc *Scenario) (*Result, error) {
+func Run(streams sim.StreamSource, sc *Scenario) (*Result, error) {
 	r, err := NewRunner(streams, sc)
 	if err != nil {
 		return nil, err

@@ -49,6 +49,13 @@ type RadioConfig struct {
 	SpeedMS         float64 // client speed (drives fading rate and ICI)
 	SymbolT         float64 // OFDM symbol duration for the ICI penalty
 	Holes           []Hole  // coverage holes along the track
+	// ShadowDrawBudget is the expected raw-draw upper bound per
+	// shadowing stream (roughly one Gauss per tick of the run), passed
+	// to the stream factory as a residency hint: arena-backed factories
+	// materialize budgeted streams as short tapes instead of full
+	// 607-word generator windows. 0 means unbounded. The hint never
+	// affects draw values (see sim.ArenaStreams.StreamBudget).
+	ShadowDrawBudget int
 }
 
 // DefaultRadioConfig returns the HSR-calibrated defaults.
@@ -270,11 +277,16 @@ type RadioEnv struct {
 	rng   *sim.RNG
 }
 
-// NewRadioEnv wires a radio environment over a deployment.
-func NewRadioEnv(dep *Deployment, cfg RadioConfig, streams *sim.Streams) *RadioEnv {
+// NewRadioEnv wires a radio environment over a deployment. It accepts
+// any stream factory: the single-run path passes eager *sim.Streams,
+// the fleet path passes arena-backed *sim.ArenaStreams — the seed
+// schedule (and so every draw) is identical on either.
+func NewRadioEnv(dep *Deployment, cfg RadioConfig, streams sim.StreamSource) *RadioEnv {
 	e := &RadioEnv{
 		Dep: dep,
 		Cfg: cfg,
+		// Fading draws two Gauss per visible cell per tick — far past
+		// any tape, so it stays an unbounded (full-window) stream.
 		rng: streams.Stream("ran.fading"),
 	}
 	// Stream creation order (per BS, then per cell) is part of the seed
@@ -282,7 +294,8 @@ func NewRadioEnv(dep *Deployment, cfg RadioConfig, streams *sim.Streams) *RadioE
 	siteShadow := make(map[int]*chanmodel.Shadowing, len(dep.BSs))
 	for _, bs := range dep.BSs {
 		siteShadow[bs.ID] = chanmodel.NewShadowing(
-			streams.Stream("ran.shadow.bs."+itoa(bs.ID)), cfg.ShadowStdDB, cfg.ShadowDecorrM)
+			streams.StreamBudget("ran.shadow.bs."+itoa(bs.ID), cfg.ShadowDrawBudget),
+			cfg.ShadowStdDB, cfg.ShadowDecorrM)
 	}
 	e.cells = make([]cellRadioState, len(dep.Cells))
 	for i, c := range dep.Cells {
@@ -290,7 +303,8 @@ func NewRadioEnv(dep *Deployment, cfg RadioConfig, streams *sim.Streams) *RadioE
 			cell:   c,
 			shadow: siteShadow[c.BS.ID],
 			cellSh: chanmodel.NewShadowing(
-				streams.Stream("ran.shadow.cell."+itoa(c.ID)), cfg.CellShadowStdDB, cfg.ShadowDecorrM),
+				streams.StreamBudget("ran.shadow.cell."+itoa(c.ID), cfg.ShadowDrawBudget),
+				cfg.CellShadowStdDB, cfg.ShadowDecorrM),
 			tc:  chanmodel.CoherenceTime(c.FreqHz, cfg.SpeedMS),
 			ici: ofdm.ICIPowerRatio(chanmodel.MaxDoppler(c.FreqHz, cfg.SpeedMS), cfg.SymbolT),
 		}

@@ -1,0 +1,276 @@
+package sim
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// crossSeeds are the seeds every cross-check runs: positive, zero
+// (which the seeding loop remaps to 89482311), negative, a seed that
+// is ≡ 0 mod 2^31−1 (the other remap branch), and a wide 64-bit one.
+var crossSeeds = []int64{1, 0, -7, 1<<31 - 1, 0x7a3b_9f21_0c44_5e17}
+
+// TestALFGRawWordsMatchStdlib pins the raw word stream: Uint64 and
+// Int63 of a standalone alfgSource against rand.NewSource over every
+// cross seed, including a 10^6-draw horizon on the first seed (the
+// window wraps every 607 draws, so a million draws crosses it ~1600
+// times).
+func TestALFGRawWordsMatchStdlib(t *testing.T) {
+	for _, seed := range crossSeeds {
+		n := 10_000
+		if seed == crossSeeds[0] {
+			n = 1_000_000
+		}
+		ref := rand.NewSource(seed).(rand.Source64)
+		var src alfgSource
+		src.init(seed, nil, 0)
+		for i := 0; i < n; i++ {
+			if got, want := src.Uint64(), ref.Uint64(); got != want {
+				t.Fatalf("seed %d: Uint64 draw %d = %#x, stdlib %#x", seed, i, got, want)
+			}
+		}
+		// Int63 masks the same words.
+		ref = rand.NewSource(seed).(rand.Source64)
+		var src2 alfgSource
+		src2.init(seed, nil, 0)
+		for i := 0; i < 1000; i++ {
+			if got, want := src2.Int63(), ref.Int63(); got != want {
+				t.Fatalf("seed %d: Int63 draw %d = %d, stdlib %d", seed, i, got, want)
+			}
+		}
+	}
+}
+
+// drawMix exercises every RNG distribution method in a fixed rotation
+// and returns a value per step, so two generators can be compared
+// across the full method surface (Float64, Norm, Exp, Intn, Perm,
+// ComplexNorm, Rayleigh, Uniform, Gauss, Bool).
+func drawMix(g *RNG, steps int, sink func(vs ...float64)) {
+	for i := 0; i < steps; i++ {
+		switch i % 10 {
+		case 0:
+			sink(g.Float64())
+		case 1:
+			sink(g.Norm())
+		case 2:
+			sink(g.Exp(3.5))
+		case 3:
+			sink(float64(g.Intn(1000 + i%7)))
+		case 4:
+			p := g.Perm(8)
+			for _, v := range p {
+				sink(float64(v))
+			}
+		case 5:
+			c := g.ComplexNorm(2.0)
+			sink(real(c), imag(c))
+		case 6:
+			sink(g.Rayleigh(1.7))
+		case 7:
+			sink(g.Uniform(-4, 9))
+		case 8:
+			sink(g.Gauss(1, 2.5))
+		case 9:
+			b := 0.0
+			if g.Bool(0.3) {
+				b = 1
+			}
+			sink(b)
+		}
+	}
+}
+
+// compareRNGs drives two RNGs through the identical method rotation
+// and requires bitwise-equal outputs.
+func compareRNGs(t *testing.T, name string, a, b *RNG, steps int) {
+	t.Helper()
+	var av, bv []float64
+	drawMix(a, steps, func(vs ...float64) { av = append(av, vs...) })
+	drawMix(b, steps, func(vs ...float64) { bv = append(bv, vs...) })
+	if len(av) != len(bv) {
+		t.Fatalf("%s: draw count mismatch %d vs %d", name, len(av), len(bv))
+	}
+	for i := range av {
+		if math.Float64bits(av[i]) != math.Float64bits(bv[i]) {
+			t.Fatalf("%s: value %d = %v, want %v", name, i, av[i], bv[i])
+		}
+	}
+}
+
+// TestArenaStreamMatchesEagerStream is the distribution-level golden
+// cross-check: for every cross seed, an arena-backed lazily seeded
+// stream must match the eager stdlib stream of the same (seed, name)
+// over every RNG method — unbudgeted (window), small-budgeted (tape),
+// and a deliberately undersized budget that forces a spill across the
+// comparison horizon (the lazy-seed and tape-exhaustion boundaries are
+// exactly where a porting bug would strike).
+func TestArenaStreamMatchesEagerStream(t *testing.T) {
+	const steps = 4000 // ~8k draws: far past any tape and several window wraps
+	for _, seed := range crossSeeds {
+		eager := NewStreams(seed)
+		for _, tc := range []struct {
+			name   string
+			budget int
+		}{
+			{"window", 0},
+			{"tape-roomy", 5000}, // ≥ alfgLen entries: window representation
+			{"tape-exact", 520},  // fits in one tape
+			{"tape-spill", 40},   // exhausts after ~46 padded entries
+			{"tape-one", 1},      // minimum tape, immediate spill
+		} {
+			arena := NewArena()
+			as := arena.Streams(seed)
+			compareRNGs(t, tc.name,
+				as.StreamBudget("cross."+tc.name, tc.budget),
+				eager.Stream("cross."+tc.name), steps)
+			if tc.budget > 0 && tc.budget < 500 {
+				if sp := arena.Stats().Spills; sp != 1 {
+					t.Fatalf("%s seed %d: expected exactly one spill, got %d", tc.name, seed, sp)
+				}
+			}
+		}
+	}
+}
+
+// TestArenaStreamLazySeedBoundary interleaves two streams so one seeds
+// long after the other has drawn thousands of values: seeding time
+// must not leak between streams.
+func TestArenaStreamLazySeedBoundary(t *testing.T) {
+	arena := NewArena()
+	as := arena.Streams(99)
+	eager := NewStreams(99)
+	a, b := as.Stream("a"), as.StreamBudget("b", 64)
+	ea, eb := eager.Stream("a"), eager.Stream("b")
+	for i := 0; i < 5000; i++ {
+		if got, want := a.Float64(), ea.Float64(); got != want {
+			t.Fatalf("stream a draw %d: %v != %v", i, got, want)
+		}
+	}
+	if arena.Stats().Seeded != 1 {
+		t.Fatalf("stream b seeded before first draw: %+v", arena.Stats())
+	}
+	for i := 0; i < 200; i++ { // crosses b's 64+8+16 tape boundary
+		if got, want := b.Norm(), eb.Norm(); got != want {
+			t.Fatalf("stream b draw %d: %v != %v", i, got, want)
+		}
+	}
+}
+
+// TestALFGSeedReset pins Seed(): restarting a source from a new seed
+// matches a fresh stdlib source.
+func TestALFGSeedReset(t *testing.T) {
+	var src alfgSource
+	src.init(5, nil, 0)
+	for i := 0; i < 100; i++ {
+		src.Uint64()
+	}
+	src.Seed(77)
+	ref := rand.NewSource(77).(rand.Source64)
+	for i := 0; i < 700; i++ {
+		if got, want := src.Uint64(), ref.Uint64(); got != want {
+			t.Fatalf("post-Seed draw %d: %#x != %#x", i, got, want)
+		}
+	}
+}
+
+// TestArenaAccounting checks the stats the rembench per-UE stat is
+// built on: streams/seeded/tape/vec counts and live bytes.
+func TestArenaAccounting(t *testing.T) {
+	arena := NewArena()
+	as := arena.Streams(3)
+	cold := as.Stream("cold")
+	_ = cold
+	tape := as.StreamBudget("tape", 100)
+	vec := as.Stream("vec")
+	tape.Float64()
+	vec.Float64()
+	st := arena.Stats()
+	if st.Streams != 3 || st.Seeded != 2 || st.Tapes != 1 || st.Vecs != 1 || st.Spills != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	wantLive := int64((100+100/8+16)+alfgLen) * 8
+	if st.LiveBytes != wantLive {
+		t.Fatalf("LiveBytes = %d, want %d", st.LiveBytes, wantLive)
+	}
+	if st.ReservedBytes < st.LiveBytes {
+		t.Fatalf("ReservedBytes %d < LiveBytes %d", st.ReservedBytes, st.LiveBytes)
+	}
+}
+
+// TestArenaConcurrentDerivation is the race-coverage satellite: many
+// goroutines deriving, lazily seeding, and spilling streams from one
+// shared arena, under -race in CI. Values must still match the eager
+// factory per stream.
+func TestArenaConcurrentDerivation(t *testing.T) {
+	arena := NewArena()
+	as := arena.Streams(41)
+	eager := NewStreams(41)
+	const workers = 16
+	const streamsPer = 8
+	errc := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			for s := 0; s < streamsPer; s++ {
+				name := "race." + string(rune('a'+w)) + "." + string(rune('a'+s))
+				g := as.StreamBudget(name, 20) // tiny budget: most spill
+				e := eager.Stream(name)
+				for i := 0; i < 500; i++ {
+					if got, want := g.Float64(), e.Float64(); got != want {
+						errc <- fmt.Errorf("worker %d stream %q draw %d: %v != %v", w, name, i, got, want)
+						return
+					}
+				}
+			}
+			errc <- nil
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		if err := <-errc; err != nil {
+			t.Error(err)
+		}
+	}
+	st := arena.Stats()
+	if st.Streams != workers*streamsPer || st.Seeded != st.Streams {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestFNVInlineMatchesStdlib pins the inlined FNV-1a fold against
+// hash/fnv for representative stream names; a drift here would silently
+// re-seed every stream in the repository.
+func TestFNVInlineMatchesStdlib(t *testing.T) {
+	names := []string{"", "a", "ran.fading", "ran.shadow.bs.17",
+		"mobility.meas", "replica.12345", "fig12.etu.0042", "fault.injector"}
+	for _, n := range names {
+		h := fnv.New64a()
+		h.Write([]byte(n))
+		if got, want := fnv64a(n), h.Sum64(); got != want {
+			t.Fatalf("fnv64a(%q) = %#x, stdlib %#x", n, got, want)
+		}
+	}
+}
+
+// TestStreamDerivationZeroAlloc pins the satellite fix: deriving a
+// stream name must not allocate a hasher (the RNG box itself and the
+// stdlib source are counted and expected).
+func TestStreamDerivationZeroAlloc(t *testing.T) {
+	allocs := testing.AllocsPerRun(100, func() {
+		_ = fnv64a("ran.shadow.cell.123")
+	})
+	if allocs != 0 {
+		t.Fatalf("fnv64a allocates %v per run, want 0", allocs)
+	}
+}
+
+func BenchmarkALFGUint64(b *testing.B) {
+	var src alfgSource
+	src.init(1, nil, 0)
+	src.Uint64()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src.Uint64()
+	}
+}

@@ -19,7 +19,6 @@
 package sim
 
 import (
-	"hash/fnv"
 	"math"
 	"math/rand"
 	"strconv"
@@ -95,13 +94,52 @@ func NewStreams(seed int64) *Streams { return &Streams{seed: seed} }
 // with the same name yields generators that produce identical
 // sequences.
 func (s *Streams) Stream(name string) *RNG {
-	h := fnv.New64a()
-	h.Write([]byte(name))
-	return NewRNG(s.seed ^ int64(h.Sum64()))
+	return NewRNG(s.seed ^ int64(fnv64a(name)))
 }
+
+// StreamBudget returns the same stream as Stream(name). The draw
+// budget is an arena-path residency hint (see ArenaStreams); the
+// eager stdlib representation has nothing to size by it, so it is
+// accepted — keeping call sites uniform across factories — and
+// ignored.
+func (s *Streams) StreamBudget(name string, budget int) *RNG { return s.Stream(name) }
 
 // Seed returns the master seed the factory was built with.
 func (s *Streams) Seed() int64 { return s.seed }
+
+// StreamSource is the factory interface scenario builders consume, so
+// a build can run on either eagerly seeded heap streams (*Streams, the
+// single-run path) or lazily seeded arena streams (*ArenaStreams, the
+// fleet path). Both derive seeds identically: for every name and
+// master seed the two factories' RNGs emit the same draw sequence.
+type StreamSource interface {
+	Stream(name string) *RNG
+	StreamBudget(name string, budget int) *RNG
+	Seed() int64
+}
+
+var (
+	_ StreamSource = (*Streams)(nil)
+	_ StreamSource = (*ArenaStreams)(nil)
+)
+
+// fnv64a is FNV-1a over the name, inlined so stream derivation does
+// not allocate a hasher per call (hash/fnv's New64a escapes). The
+// constants and fold are exactly hash/fnv's; TestFNVInlineMatchesStdlib
+// pins equality, since every seed schedule in the repository depends
+// on this hash.
+func fnv64a(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}
 
 // ReplicaSeed derives the master seed for independent replica (or UE)
 // i of a run rooted at master. It uses the same FNV name-hashing as
@@ -112,7 +150,5 @@ func (s *Streams) Seed() int64 { return s.seed }
 // independent randomness" must use this helper so CLI, service and
 // evaluation seed schedules agree.
 func ReplicaSeed(master int64, i int) int64 {
-	h := fnv.New64a()
-	h.Write([]byte("replica." + strconv.Itoa(i)))
-	return master ^ int64(h.Sum64())
+	return master ^ int64(fnv64a("replica."+strconv.Itoa(i)))
 }

@@ -111,8 +111,38 @@ func (s *Shared) BuildUE(ue int) (*Built, error) {
 	if ue < 0 {
 		return nil, fmt.Errorf("trace: negative UE index %d", ue)
 	}
-	streams := sim.NewStreams(s.UESeed(ue))
-	ueRNG := streams.Stream("fleet.ue")
+	return s.buildUE(sim.NewStreams(s.UESeed(ue)), ue)
+}
+
+// BuildUEIn is BuildUE with the UE's generator state placed in the
+// fleet's arena: streams seed lazily on first draw, and small-budget
+// streams (shadowing, measurement, link) materialize as short output
+// tapes instead of full 607-word windows. Draw sequences — and so
+// every fleet result — are byte-identical to BuildUE's; only state
+// placement, residency and seeding time change. Safe to call
+// concurrently for different UEs (the arena allocator is
+// mutex-guarded; placement order never affects values).
+func (s *Shared) BuildUEIn(arena *sim.Arena, ue int) (*Built, error) {
+	if ue < 0 {
+		return nil, fmt.Errorf("trace: negative UE index %d", ue)
+	}
+	return s.buildUE(arena.Streams(s.UESeed(ue)), ue)
+}
+
+// drawBudgets returns the per-stream raw-draw budget hints for a run
+// of the shared duration: roughly one draw per tick plus slack for the
+// tick-driven streams. Budgets are hints, not contracts — an arena
+// stream that exceeds one spills to a full window and stays correct —
+// and eager factories ignore them entirely.
+func (s *Shared) drawBudgets() (ticks int) {
+	return int(s.Cfg.Duration/mobility.DefaultConfig().TickSec) + 2
+}
+
+func (s *Shared) buildUE(streams sim.StreamSource, ue int) (*Built, error) {
+	ticks := s.drawBudgets()
+	// The UE stream draws exactly two uniforms (start position, speed
+	// jitter).
+	ueRNG := streams.StreamBudget("fleet.ue", 4)
 	startX := s.Cfg.Dataset.SiteSpacingM/2 + ueRNG.Uniform(0, s.Cfg.StartSpreadM)
 	speed := s.speedMS * (1 + ueRNG.Uniform(-s.Cfg.SpeedJitterFrac, s.Cfg.SpeedJitterFrac))
 
@@ -122,13 +152,19 @@ func (s *Shared) BuildUE(ue int) (*Built, error) {
 	// its own error model, exactly as in the single-run Build.
 	radioCfg := s.RadioCfg
 	radioCfg.SpeedMS = speed
+	// Shadowing advances once per tick (one Gauss each); budget a tape
+	// accordingly so the fleet's many per-site/per-cell shadow streams
+	// stay a few hundred bytes each instead of 4.9 KB windows.
+	radioCfg.ShadowDrawBudget = ticks + 4
 	measCfg := s.MeasCfg
 	if !s.OTFS {
 		measCfg.MeasNoiseStdDB = 0.5 + speed/30
 	}
 
 	env := ran.NewRadioEnv(s.Dep, radioCfg, streams)
-	link := ran.NewLinkModel(streams.Stream("link"), ran.DefaultLinkConfig())
+	// The link draws a Bernoulli or two per signaling delivery, at most
+	// a few per tick.
+	link := ran.NewLinkModel(streams.StreamBudget("link", 4*ticks+8), ran.DefaultLinkConfig())
 	// Every UE gets its own injector over the one shared plan: outage
 	// and CSI windows are common to the fleet (they model the world),
 	// while per-delivery randomness comes from the UE's private stream

@@ -63,10 +63,14 @@ type BuildConfig struct {
 }
 
 // Built is a ready-to-run scenario plus the artifacts the evaluation
-// inspects (policies, coverage graph, deployment).
+// inspects (policies, coverage graph, deployment). Streams is the
+// factory the scenario's private streams were derived from: eager
+// *sim.Streams on the single-run path, arena-backed *sim.ArenaStreams
+// on the fleet path (Shared.BuildUEIn) — the draw sequences are
+// identical either way.
 type Built struct {
 	Scenario *mobility.Scenario
-	Streams  *sim.Streams
+	Streams  sim.StreamSource
 	Policies map[int]*policy.Policy
 	Coverage *policy.CoverageGraph
 	Channels map[int]int
