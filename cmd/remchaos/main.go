@@ -1,0 +1,72 @@
+// Command remchaos is a fault-injecting TCP proxy for cluster smoke
+// tests: it sits between the coordinator and a member (or between
+// clients and the coordinator) and injects connection drops, straggler
+// delays, torn responses and a wall-clock partition window, all from a
+// seeded schedule.
+//
+//	remchaos -listen 127.0.0.1:19001 -target 127.0.0.1:9001 \
+//	    -drop 0.05 -delay 0.1 -delay-for 300ms \
+//	    -partition-after 5s -partition-for 2s -seed 7
+//
+// The member behind the proxy advertises the proxy's address to the
+// coordinator, so every shard RPC crosses the fault plane.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rem/internal/chaos"
+)
+
+func main() {
+	var (
+		listen    = flag.String("listen", "127.0.0.1:0", "address to listen on")
+		target    = flag.String("target", "", "backend address to relay to (required)")
+		drop      = flag.Float64("drop", 0, "probability an accepted connection is reset before relay")
+		delay     = flag.Float64("delay", 0, "probability a connection is held before relay")
+		delayFor  = flag.Duration("delay-for", 50*time.Millisecond, "straggler hold time")
+		truncate  = flag.Float64("truncate", 0, "probability the response stream is torn mid-body")
+		partAfter = flag.Duration("partition-after", 0, "partition window start (relative to proxy start)")
+		partFor   = flag.Duration("partition-for", 0, "partition window length (0 disables)")
+		connTTL   = flag.Duration("conn-ttl", 0, "hard-close relays after this age so keep-alive traffic keeps redialing (0 = never)")
+		seed      = flag.Int64("seed", 1, "fault schedule seed")
+		quiet     = flag.Bool("quiet", false, "suppress per-fault logging")
+	)
+	flag.Parse()
+	if *target == "" {
+		fmt.Fprintln(os.Stderr, "remchaos: -target is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	plan := chaos.ProxyPlan{
+		Seed:           *seed,
+		DropConn:       *drop,
+		Delay:          *delay,
+		DelayFor:       *delayFor,
+		TruncateResp:   *truncate,
+		PartitionAfter: *partAfter,
+		PartitionFor:   *partFor,
+		MaxConnAge:     *connTTL,
+		Verbose:        !*quiet,
+	}
+	p, err := chaos.NewProxy(*listen, *target, plan)
+	if err != nil {
+		log.Fatalf("remchaos: %v", err)
+	}
+	log.Printf("remchaos: %s -> %s (%s)", p.Addr(), *target, plan)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	st := p.Stats()
+	p.Close()
+	log.Printf("remchaos: %d conns, faults: drop=%d delay=%d trunc=%d partition=%d",
+		st.Requests, st.Faults[chaos.FaultDropRequest], st.Faults[chaos.FaultDelay],
+		st.Faults[chaos.FaultTruncate], st.Faults[chaos.FaultPartition])
+}

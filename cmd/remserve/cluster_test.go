@@ -260,6 +260,134 @@ func TestCoordinatorRestartResumesShardedRun(t *testing.T) {
 	}
 }
 
+// TestCoordinatorResumeFromJournaledEpochs pins the mid-run resume
+// path through the full stack: a sharded run's journal — start,
+// interleaved assign and epoch entries, a gap from a lost epoch write,
+// and a torn tail from the crash — is replayed by a fresh coordinator,
+// which resumes from the last contiguous journaled barrier (not epoch
+// 0), finishes with byte-identical output, and serves a complete event
+// stream to clients re-reading it after the restart.
+func TestCoordinatorResumeFromJournaledEpochs(t *testing.T) {
+	want := directResult(t)
+	journal := filepath.Join(t.TempDir(), "journal.ndjson")
+	s, ts := newTestServerCfg(t, serverConfig{
+		Role: roleCoordinator, MemberTTL: time.Hour, JournalPath: journal,
+	})
+	newMemberRemserve(t, s, "m0")
+	newMemberRemserve(t, s, "m1")
+
+	v := postRun(t, ts, fmt.Sprintf(clusterSpecJSON, 2, false))
+	waitState(t, ts, v.ID, stateDone)
+	resp, err := http.Get(ts.URL + "/runs/" + v.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantEvents, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+
+	// Reconstruct the journal as the crashed process would have left
+	// it: no end entry, a gap in the epoch history (a failed journal
+	// write), and a torn trailing line.
+	data, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kept []string
+	epochs := 0
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		var e journalEntry
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("bad journal line %q: %v", line, err)
+		}
+		switch e.Op {
+		case "end":
+			continue
+		case "epoch":
+			epochs++
+			if len(e.Loads) == 0 {
+				t.Fatalf("epoch entry without loads: %q", line)
+			}
+			if e.Epoch == 3 {
+				continue // the gap: only barriers 0..2 form a usable prefix
+			}
+		}
+		kept = append(kept, line)
+	}
+	if epochs < 5 {
+		t.Fatalf("run journaled only %d epoch entries; the gap scenario needs 5+", epochs)
+	}
+	crash := strings.Join(kept, "\n") + "\n" + `{"op":"epoch","id":"` + v.ID + `","epo`
+	if err := os.WriteFile(journal, []byte(crash), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh coordinator over the crashed journal resumes the run.
+	s2, ts2 := newTestServerCfg(t, serverConfig{
+		Role: roleCoordinator, MemberTTL: time.Hour, JournalPath: journal,
+	})
+	newMemberRemserve(t, s2, "m0")
+	newMemberRemserve(t, s2, "m1")
+	done := waitState(t, ts2, v.ID, stateDone)
+	got, _ := json.Marshal(done.Result)
+	if string(got) != string(want) {
+		t.Fatal("resumed run differs from in-process engine")
+	}
+	if n := s2.sm.resumed.Value(); n != 1 {
+		t.Errorf("remserve_runs_resumed_total = %g, want 1", n)
+	}
+	// Barriers 0..2 survived contiguously, so the run must have resumed
+	// from barrier 2 — the epoch counter that proves it skipped 0 and
+	// stopped at the gap.
+	if e := s2.sm.resumeEpoch.Value(); e != 2 {
+		t.Errorf("remserve_run_resume_epoch = %g, want 2", e)
+	}
+	// The re-emitted replayed epochs make the event stream complete and
+	// byte-identical for clients re-reading it after the restart.
+	resp, err = http.Get(ts2.URL + "/runs/" + v.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotEvents, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(gotEvents) != string(wantEvents) {
+		t.Errorf("resumed event stream differs (%d vs %d bytes)", len(gotEvents), len(wantEvents))
+	}
+
+	// The journal healed: the torn tail is gone, the new epoch entries
+	// continue contiguously after the resumed barrier, and the run has
+	// its end entry.
+	data, err = os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	contiguous, ended := 0, false
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		var e journalEntry
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("journal not healed, bad line %q: %v", line, err)
+		}
+		switch {
+		// The recover scan: the stale epoch-3-less tail is bridged by
+		// the resumed run's new entries, so the contiguous prefix now
+		// spans the whole history — a second crash would resume from the
+		// end, not the old gap.
+		case e.Op == "epoch" && e.Epoch == contiguous:
+			contiguous++
+		case e.Op == "end" && e.ID == v.ID:
+			ended = true
+			if e.State != stateDone {
+				t.Errorf("end entry state %q", e.State)
+			}
+		}
+	}
+	if contiguous != epochs {
+		t.Errorf("healed journal has a contiguous barrier prefix of %d, want %d", contiguous, epochs)
+	}
+	if !ended {
+		t.Error("resumed run never journaled its end")
+	}
+}
+
 // TestShardedSpecRejectedOffCoordinator pins the role check.
 func TestShardedSpecRejectedOffCoordinator(t *testing.T) {
 	_, ts := newTestServer(t)

@@ -11,13 +11,16 @@ import (
 // journalEntry is one line of the crash-safe run journal: a "start"
 // when a run is admitted (carrying its spec, so an interrupted run is
 // reproducible after restart), an "assign" for every cluster shard
-// placement (failovers included), and an "end" when the run reaches a
-// terminal state. A run that has a start but no end at server boot was
-// in flight when the previous process died; recovery marks it failed —
-// or, for sharded runs on a coordinator, re-queues it, since the
-// journaled spec re-executes byte-identically.
+// placement (failovers included), an "epoch" for every barrier a
+// sharded run clears (carrying the global load vector — the replay
+// script a restarted coordinator resumes from), and an "end" when the
+// run reaches a terminal state. A run that has a start but no end at
+// server boot was in flight when the previous process died; recovery
+// marks it failed — or, for sharded runs on a coordinator, re-queues
+// it from its last journaled barrier, since the journaled spec and
+// load history re-execute byte-identically.
 type journalEntry struct {
-	Op    string    `json:"op"` // "start" | "assign" | "end"
+	Op    string    `json:"op"` // "start" | "assign" | "epoch" | "end"
 	ID    string    `json:"id"`
 	State string    `json:"state,omitempty"` // terminal state, end entries only
 	Error string    `json:"error,omitempty"`
@@ -25,12 +28,17 @@ type journalEntry struct {
 
 	// Shard assignment fields ("assign" entries only): which member
 	// took which shard, from which epoch, and whether this placement
-	// was a failover.
+	// was a failover. Epoch doubles as the barrier index on "epoch"
+	// entries.
 	Shard      *int   `json:"shard,omitempty"`
 	Member     string `json:"member,omitempty"`
 	Addr       string `json:"addr,omitempty"`
 	Epoch      int    `json:"epoch,omitempty"`
 	Reassigned bool   `json:"reassigned,omitempty"`
+
+	// Loads is the global per-cell load vector at the barrier ("epoch"
+	// entries only).
+	Loads []int `json:"loads,omitempty"`
 }
 
 // journal is an append-only JSON-lines file. Every record is synced so

@@ -74,6 +74,9 @@ func main() {
 	heartbeat := flag.Duration("heartbeat", time.Second, "member heartbeat interval")
 	memberTTL := flag.Duration("member-ttl", 5*time.Second, "coordinator: member liveness window after its last heartbeat")
 	memberWait := flag.Duration("member-wait", 30*time.Second, "coordinator: how long a sharded run waits for a live member")
+	callTimeout := flag.Duration("call-timeout", 2*time.Minute, "coordinator: per-shard-RPC deadline; exceeding it fails the member over (0 disables)")
+	barrierDeadline := flag.Duration("barrier-deadline", 0, "coordinator: per-epoch straggler deadline; a shard past it is reassigned (0 = call-timeout)")
+	callRetries := flag.Int("call-retries", 2, "coordinator: in-place retries for transiently failed shard RPCs (-1 disables)")
 	flag.Parse()
 
 	// The profiling endpoints live on their own listener so they are
@@ -94,16 +97,23 @@ func main() {
 	if mq == 0 {
 		mq = -1 // flag 0 means "no queue"; serverConfig uses -1 for that
 	}
+	ct := *callTimeout
+	if ct == 0 {
+		ct = -1 // flag 0 means "no deadline"; cluster.Config uses <0 for that
+	}
 	s, err := newServer(ctx, serverConfig{
-		RunTimeout:  *runTimeout,
-		MaxBody:     *maxBody,
-		MaxActive:   *maxActive,
-		MaxQueue:    mq,
-		Retries:     *retries,
-		JournalPath: *journalPath,
-		Role:        *role,
-		MemberTTL:   *memberTTL,
-		MemberWait:  *memberWait,
+		RunTimeout:      *runTimeout,
+		MaxBody:         *maxBody,
+		MaxActive:       *maxActive,
+		MaxQueue:        mq,
+		Retries:         *retries,
+		JournalPath:     *journalPath,
+		Role:            *role,
+		MemberTTL:       *memberTTL,
+		MemberWait:      *memberWait,
+		CallTimeout:     ct,
+		BarrierDeadline: *barrierDeadline,
+		CallRetries:     *callRetries,
 	})
 	if err != nil {
 		log.Fatalf("remserve: %v", err)
@@ -122,8 +132,18 @@ func main() {
 			id = *advertise
 		}
 		go func() {
+			opts := cluster.HeartbeatOpts{
+				Interval: *heartbeat,
+				// A missed beat (all in-tick retries exhausted) is logged
+				// and counted — silence here is how a partitioned member
+				// used to age out of the registry unnoticed.
+				OnMiss: func(consecutive int, err error) {
+					s.noteHeartbeatMiss()
+					log.Printf("remserve: heartbeat: %d consecutive misses: %v", consecutive, err)
+				},
+			}
 			for ctx.Err() == nil {
-				err := cluster.Heartbeat(ctx, nil, *coordURL, id, *advertise, *heartbeat)
+				err := cluster.HeartbeatWithOpts(ctx, nil, *coordURL, id, *advertise, opts)
 				if ctx.Err() != nil {
 					return
 				}

@@ -19,12 +19,14 @@ type serverMetrics struct {
 
 	started, completed, canceled, failed *obs.Counter
 	shed, recovered, retried, resumed    *obs.Counter
+	journalErrors, heartbeatMisses       *obs.Counter
 	epochs, epochAllocs                  *obs.Counter
 	epochWall                            *obs.Histogram
 
 	activeRuns, activeUEs        *obs.Gauge
 	handovers, failures, blocked *obs.Gauge
 	lastEpochNs, lastEpochAllocs *obs.Gauge
+	resumeEpoch                  *obs.Gauge
 }
 
 func newServerMetrics() *serverMetrics {
@@ -39,6 +41,9 @@ func newServerMetrics() *serverMetrics {
 	// Registry-only (kept out of the legacy JSON view, whose shape is
 	// pinned by existing clients).
 	reg.Counter("remserve_runs_resumed_total", "Sharded runs re-queued after a coordinator restart.")
+	reg.Counter("remserve_journal_errors_total", "Journal writes that failed (run unaffected, resume point degraded).")
+	reg.Counter("cluster_heartbeat_misses_total", "Member heartbeat ticks that failed after all in-tick retries.")
+	reg.Gauge("remserve_run_resume_epoch", "Barrier the most recently resumed run continued from (0 = none).")
 	reg.Counter("remserve_epochs_total", "Fleet epoch barriers executed.")
 	reg.Counter("remserve_epoch_allocs_total", "Heap objects allocated across fleet epochs.")
 	reg.Histogram("remserve_epoch_wall_ms", "Fleet epoch wall-clock latency (ms).", epochBuckets)
@@ -60,6 +65,9 @@ func newServerMetrics() *serverMetrics {
 		recovered:       sh.Counter("remserve_runs_recovered_total"),
 		retried:         sh.Counter("remserve_runs_retried_total"),
 		resumed:         sh.Counter("remserve_runs_resumed_total"),
+		journalErrors:   sh.Counter("remserve_journal_errors_total"),
+		heartbeatMisses: sh.Counter("cluster_heartbeat_misses_total"),
+		resumeEpoch:     sh.Gauge("remserve_run_resume_epoch"),
 		epochs:          sh.Counter("remserve_epochs_total"),
 		epochAllocs:     sh.Counter("remserve_epoch_allocs_total"),
 		epochWall:       sh.Histogram("remserve_epoch_wall_ms"),

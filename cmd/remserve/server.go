@@ -77,6 +77,10 @@ type run struct {
 	// observed flips once the fleet produced any event or progress;
 	// a failed start is only retried while it is still false.
 	observed bool
+	// resumeHist is the journaled barrier history a recovered sharded
+	// run resumes from (nil for fresh runs). Set before the executing
+	// goroutine starts and read only there — never mutated after.
+	resumeHist [][]int
 }
 
 func (r *run) markObserved() {
@@ -165,8 +169,8 @@ type serverConfig struct {
 	// JournalPath enables the crash-safe run journal; runs found
 	// started-but-unfinished at boot are recovered as failed —
 	// except sharded runs on a coordinator, which are re-queued and
-	// re-executed (byte-identical, so the restart is invisible in the
-	// results).
+	// resumed from their last journaled epoch barrier (byte-identical,
+	// so the restart is invisible in the results).
 	JournalPath string
 	// Role selects the cluster role: "single" (default) serves runs
 	// in-process only, "coordinator" additionally accepts sharded
@@ -177,6 +181,12 @@ type serverConfig struct {
 	// (see cluster.Config). Coordinator role only.
 	MemberTTL  time.Duration
 	MemberWait time.Duration
+	// CallTimeout / BarrierDeadline / CallRetries tune the
+	// coordinator's shard RPC robustness (see cluster.Config).
+	// Coordinator role only.
+	CallTimeout     time.Duration
+	BarrierDeadline time.Duration
+	CallRetries     int
 }
 
 func (c serverConfig) defaulted() serverConfig {
@@ -249,6 +259,8 @@ func newServer(ctx context.Context, cfg serverConfig) (*server, error) {
 	case roleCoordinator:
 		s.coord = cluster.NewCoordinator(cluster.Config{
 			MemberTTL: cfg.MemberTTL, MemberWait: cfg.MemberWait,
+			CallTimeout: cfg.CallTimeout, BarrierDeadline: cfg.BarrierDeadline,
+			CallRetries: cfg.CallRetries,
 		})
 	case roleMember:
 		s.member = cluster.NewMember()
@@ -270,9 +282,12 @@ func newServer(ctx context.Context, cfg serverConfig) (*server, error) {
 // start but no end were in flight when that process died — surface
 // them as failed (with their spec, so the client can re-POST) rather
 // than leaking them, and advance the ID sequence past everything seen.
+// Sharded runs additionally collect their journaled barrier history so
+// the resume continues from the last journaled epoch, not epoch 0.
 func (s *server) recover(entries []journalEntry) {
 	type rec struct {
 		spec  *wireSpec
+		hist  [][]int
 		ended bool
 	}
 	open := make(map[string]*rec)
@@ -289,6 +304,14 @@ func (s *server) recover(entries []journalEntry) {
 				open[e.ID] = &rec{spec: e.Spec}
 				order = append(order, e.ID)
 			}
+		case "epoch":
+			// Barriers are journaled in order; only a contiguous prefix
+			// from barrier 0 is a usable replay script. Anything after a
+			// gap (which a journal-write failure can leave) is dropped —
+			// the run then resumes from the prefix, which is always safe.
+			if r, ok := open[e.ID]; ok && e.Epoch == len(r.hist) && len(e.Loads) > 0 {
+				r.hist = append(r.hist, e.Loads)
+			}
 		case "end":
 			if r, ok := open[e.ID]; ok {
 				r.ended = true
@@ -302,11 +325,12 @@ func (s *server) recover(entries []journalEntry) {
 			continue
 		}
 		// A sharded run interrupted on a coordinator is re-queued, not
-		// failed: members re-execute the shards from the journaled spec
-		// and the merged output is byte-identical, so the restart is
-		// invisible to the client beyond the extra wall-clock.
+		// failed: members rebuild the shards from the journaled spec,
+		// replay the journaled load history to the last barrier, and the
+		// merged output is byte-identical, so the restart is invisible
+		// to the client beyond the extra wall-clock.
 		if s.coord != nil && rc.spec != nil && rc.spec.Shards > 0 {
-			if err := s.resumeRun(id, *rc.spec); err == nil {
+			if err := s.resumeRun(id, *rc.spec, rc.hist); err == nil {
 				continue
 			}
 		}
@@ -329,9 +353,12 @@ func (s *server) recover(entries []journalEntry) {
 }
 
 // resumeRun re-admits a journaled sharded run after a coordinator
-// restart. The original "start" entry is still open, so the eventual
-// terminal state pairs with it — no second start is journaled.
-func (s *server) resumeRun(id string, spec wireSpec) error {
+// restart, seeding it with the journaled barrier history so execution
+// continues from the last journaled epoch. The original "start" entry
+// is still open, so the eventual terminal state pairs with it — no
+// second start is journaled (the replayed barriers are not
+// re-journaled either; the history already covers them).
+func (s *server) resumeRun(id string, spec wireSpec, hist [][]int) error {
 	fs, err := s.fleetSpec(spec)
 	if err != nil {
 		return err
@@ -340,23 +367,38 @@ func (s *server) resumeRun(id string, spec wireSpec) error {
 	r := &run{
 		id: id, spec: spec, cancel: cancel,
 		state: statePending, notify: make(chan struct{}),
-		started: time.Now(),
+		started: time.Now(), resumeHist: hist,
 	}
 	s.runs[id] = r
 	s.order = append(s.order, id)
 	s.sm.started.Inc()
 	s.sm.resumed.Inc()
+	if len(hist) > 1 {
+		// Exposed before the run finishes so an operator (or the smoke
+		// test) can verify mid-flight that the restart skipped epochs.
+		s.sm.resumeEpoch.Set(float64(len(hist) - 1))
+	}
 	go s.execute(ctx, r, fs)
 	return nil
+}
+
+// journalRecord appends one journal entry, surfacing any write failure
+// as a counter and a log line — the journal degrades (a future resume
+// starts from an older barrier) but never fails the run itself.
+func (s *server) journalRecord(e journalEntry) {
+	if err := s.journal.record(e); err != nil {
+		s.mu.Lock()
+		s.sm.journalErrors.Inc()
+		s.mu.Unlock()
+		log.Printf("remserve: journal: %s %s: %v", e.Op, e.ID, err)
+	}
 }
 
 func (s *server) journalEnd(r *run) {
 	r.mu.Lock()
 	e := journalEntry{Op: "end", ID: r.id, State: r.state, Error: r.errMsg}
 	r.mu.Unlock()
-	if err := s.journal.record(e); err != nil {
-		log.Printf("remserve: journal: %v", err)
-	}
+	s.journalRecord(e)
 }
 
 func (s *server) handler() http.Handler {
@@ -573,9 +615,7 @@ func (s *server) startRun(spec wireSpec) (*run, error) {
 	s.sm.started.Inc()
 	s.mu.Unlock()
 
-	if err := s.journal.record(journalEntry{Op: "start", ID: r.id, Spec: &spec}); err != nil {
-		log.Printf("remserve: journal: %v", err)
-	}
+	s.journalRecord(journalEntry{Op: "start", ID: r.id, Spec: &spec})
 	go s.execute(ctx, r, fs)
 	return r, nil
 }
@@ -707,12 +747,16 @@ func (s *server) runCluster(ctx context.Context, r *run, fs rem.FleetSpec) (*rem
 		},
 		OnAssign: func(a cluster.Assignment) {
 			shard := a.Shard
-			if err := s.journal.record(journalEntry{
+			s.journalRecord(journalEntry{
 				Op: "assign", ID: a.Run, Shard: &shard, Member: a.Member,
 				Addr: a.Addr, Epoch: a.FromEpoch, Reassigned: a.Reassigned,
-			}); err != nil {
-				log.Printf("remserve: journal: %v", err)
-			}
+			})
+		},
+		OnBarrier: func(index int, loads []int) {
+			// The journaled load vectors are the complete replay script:
+			// a restarted coordinator resumes the run from the last
+			// contiguous barrier instead of re-executing from epoch 0.
+			s.journalRecord(journalEntry{Op: "epoch", ID: r.id, Epoch: index, Loads: loads})
 		},
 	}
 	if r.spec.Telemetry {
@@ -723,9 +767,13 @@ func (s *server) runCluster(ctx context.Context, r *run, fs rem.FleetSpec) (*rem
 			r.mu.Unlock()
 		}
 	}
-	art, err := s.coord.RunFleet(ctx, fs, cluster.RunOptions{
+	opts := cluster.RunOptions{
 		RunID: r.id, Shards: r.spec.Shards, Telemetry: r.spec.Telemetry, Hooks: hooks,
-	})
+	}
+	if len(r.resumeHist) > 0 {
+		opts.Resume = &cluster.Resume{LoadHist: r.resumeHist}
+	}
+	art, err := s.coord.RunFleet(ctx, fs, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -781,6 +829,14 @@ func (s *server) finishRunResult(r *run, res *rem.FleetResult, err error) {
 	r.finish(state, res, msg)
 	r.cancel()
 	s.journalEnd(r)
+}
+
+// noteHeartbeatMiss counts one missed member heartbeat (all in-tick
+// retries exhausted) for the Prometheus exposition.
+func (s *server) noteHeartbeatMiss() {
+	s.mu.Lock()
+	s.sm.heartbeatMisses.Inc()
+	s.mu.Unlock()
 }
 
 func (s *server) observeEpoch(p rem.FleetProgress) {

@@ -1,0 +1,241 @@
+// Package chaos is the deterministic network-fault harness for the
+// cluster plane: a seeded fault-injecting http.RoundTripper for
+// in-process tests and a TCP-level proxy (proxy.go, cmd/remchaos) for
+// multi-process smoke jobs.
+//
+// Both inject the failure classes the partition-tolerant protocol
+// must survive:
+//
+//   - drop request: the call never reaches the server (connection
+//     refused / partition onset);
+//   - drop response: the server executes the call but the reply is
+//     lost — the class that demands an idempotent protocol, because a
+//     blind retry would otherwise double-step an engine;
+//   - delay: a straggler that should trip the barrier deadline, not
+//     stall every shard;
+//   - partition window: a contiguous span of calls that all fail,
+//     both directions;
+//   - truncate: the response is cut mid-body, corrupting the decode.
+//
+// Faults draw from a private seeded stream in request-arrival order,
+// so a single-goroutine caller sees an exactly reproducible fault
+// schedule; concurrent callers see a reproducible fault *mix*. The
+// harness exists to prove a stronger property than schedule
+// reproducibility: the merged run artifacts are byte-identical no
+// matter which calls fail.
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Fault is one injected failure class.
+type Fault int
+
+// The injectable fault classes. FaultNone passes the call through.
+const (
+	FaultNone Fault = iota
+	FaultDropRequest
+	FaultDropResponse
+	FaultDelay
+	FaultPartition
+	FaultTruncate
+)
+
+// String names the fault class for stats and test output.
+func (f Fault) String() string {
+	switch f {
+	case FaultNone:
+		return "none"
+	case FaultDropRequest:
+		return "drop_request"
+	case FaultDropResponse:
+		return "drop_response"
+	case FaultDelay:
+		return "delay"
+	case FaultPartition:
+		return "partition"
+	case FaultTruncate:
+		return "truncate"
+	default:
+		return fmt.Sprintf("fault(%d)", int(f))
+	}
+}
+
+// ErrInjected marks every failure the harness fabricates, so tests can
+// tell injected faults from real ones.
+var ErrInjected = errors.New("chaos: injected fault")
+
+// Plan parameterizes the transport's fault schedule. Probabilities are
+// per matching request and are evaluated in the order drop request,
+// drop response, truncate, delay; the first hit wins. The partition
+// window is indexed by request count, which keeps it deterministic
+// without any wall-clock dependence.
+type Plan struct {
+	// Seed seeds the private fault stream (default 1).
+	Seed int64
+
+	// DropRequest is the probability the request never reaches the
+	// server.
+	DropRequest float64
+	// DropResponse is the probability the server executes the call
+	// but the response is discarded and an error returned instead.
+	DropResponse float64
+	// Truncate is the probability the response body is cut in half
+	// mid-flight.
+	Truncate float64
+	// Delay is the probability the request is held for DelayFor
+	// before being forwarded (a straggler, not a failure).
+	Delay float64
+	// DelayFor is the straggler hold time (default 50ms when Delay is
+	// set).
+	DelayFor time.Duration
+
+	// PartitionStart/PartitionLen fail every matching request whose
+	// arrival index (0-based) falls in [PartitionStart,
+	// PartitionStart+PartitionLen) — a deterministic partition window.
+	PartitionStart int
+	PartitionLen   int
+
+	// Match scopes injection to matching requests (nil = all).
+	// Non-matching requests pass through and do not advance the fault
+	// stream or the request index.
+	Match func(*http.Request) bool
+}
+
+// Stats counts what the transport actually injected, keyed by fault
+// class. Tests assert on it so a "survived chaos" pass cannot be
+// vacuous.
+type Stats struct {
+	Requests int
+	Faults   map[Fault]int
+}
+
+// Transport is the fault-injecting http.RoundTripper.
+type Transport struct {
+	base http.RoundTripper
+	plan Plan
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	seq   int
+	stats Stats
+}
+
+// NewTransport wraps base (nil = http.DefaultTransport) with plan.
+func NewTransport(base http.RoundTripper, plan Plan) *Transport {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	seed := plan.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	if plan.Delay > 0 && plan.DelayFor <= 0 {
+		plan.DelayFor = 50 * time.Millisecond
+	}
+	return &Transport{
+		base: base, plan: plan,
+		rng:   rand.New(rand.NewSource(seed)),
+		stats: Stats{Faults: make(map[Fault]int)},
+	}
+}
+
+// Stats returns a copy of the injection tally so far.
+func (t *Transport) Stats() Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := Stats{Requests: t.stats.Requests, Faults: make(map[Fault]int, len(t.stats.Faults))}
+	for k, v := range t.stats.Faults {
+		s.Faults[k] = v
+	}
+	return s
+}
+
+// draw picks the fault for the next matching request.
+func (t *Transport) draw() (Fault, int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	idx := t.seq
+	t.seq++
+	t.stats.Requests++
+	f := FaultNone
+	switch {
+	case t.plan.PartitionLen > 0 && idx >= t.plan.PartitionStart && idx < t.plan.PartitionStart+t.plan.PartitionLen:
+		f = FaultPartition
+	case t.roll(t.plan.DropRequest):
+		f = FaultDropRequest
+	case t.roll(t.plan.DropResponse):
+		f = FaultDropResponse
+	case t.roll(t.plan.Truncate):
+		f = FaultTruncate
+	case t.roll(t.plan.Delay):
+		f = FaultDelay
+	}
+	t.stats.Faults[f]++
+	return f, idx
+}
+
+// roll consumes one draw from the fault stream. Zero-probability
+// faults still draw, so disabling one fault class never shifts the
+// schedule of the others.
+func (t *Transport) roll(p float64) bool {
+	return t.rng.Float64() < p
+}
+
+// RoundTrip implements http.RoundTripper with the plan's fault mix.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if t.plan.Match != nil && !t.plan.Match(req) {
+		return t.base.RoundTrip(req)
+	}
+	fault, idx := t.draw()
+	switch fault {
+	case FaultDropRequest:
+		return nil, fmt.Errorf("%w: request %d dropped before send", ErrInjected, idx)
+	case FaultPartition:
+		return nil, fmt.Errorf("%w: request %d inside partition window", ErrInjected, idx)
+	case FaultDelay:
+		timer := time.NewTimer(t.plan.DelayFor)
+		defer timer.Stop()
+		select {
+		case <-timer.C:
+		case <-req.Context().Done():
+			return nil, fmt.Errorf("%w: request %d delayed past caller deadline: %v", ErrInjected, idx, req.Context().Err())
+		}
+		return t.base.RoundTrip(req)
+	case FaultDropResponse:
+		resp, err := t.base.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		// The server side executed; eat the reply.
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return nil, fmt.Errorf("%w: response to request %d dropped", ErrInjected, idx)
+	case FaultTruncate:
+		resp, err := t.base.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		body, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			return nil, rerr
+		}
+		cut := body[:len(body)/2]
+		resp.Body = io.NopCloser(bytes.NewReader(cut))
+		// Keep the original Content-Length: the reader hits EOF early,
+		// exactly like a connection cut mid-body.
+		resp.ContentLength = int64(len(body))
+		return resp, nil
+	default:
+		return t.base.RoundTrip(req)
+	}
+}

@@ -1,0 +1,228 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestTransportScheduleIsDeterministic pins the reproducibility
+// contract: the same seed yields the same fault schedule, request by
+// request, and the partition window fails exactly its span.
+func TestTransportScheduleIsDeterministic(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprint(w, `{"ok":true}`)
+	}))
+	defer srv.Close()
+
+	plan := Plan{
+		Seed: 7, DropRequest: 0.3, DropResponse: 0.2, Truncate: 0.2,
+		PartitionStart: 10, PartitionLen: 5,
+	}
+	schedule := func() []string {
+		tr := NewTransport(nil, plan)
+		client := &http.Client{Transport: tr}
+		var out []string
+		for i := 0; i < 40; i++ {
+			resp, err := client.Get(srv.URL)
+			switch {
+			case err != nil:
+				out = append(out, "err")
+			default:
+				body, rerr := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if rerr != nil || len(body) < len(`{"ok":true}`) {
+					out = append(out, "torn")
+				} else {
+					out = append(out, "ok")
+				}
+			}
+		}
+		st := tr.Stats()
+		if st.Requests != 40 {
+			t.Fatalf("stats counted %d requests, want 40", st.Requests)
+		}
+		if st.Faults[FaultPartition] != 5 {
+			t.Fatalf("partition window injected %d, want 5", st.Faults[FaultPartition])
+		}
+		return out
+	}
+	a, b := schedule(), schedule()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedules diverge at request %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+	if strings.Count(strings.Join(a, " "), "err") == 5 {
+		t.Fatal("only the partition window fired — probability draws are dead")
+	}
+}
+
+// TestTransportDropResponseExecutesCall pins the lost-response class:
+// the server side runs, only the reply is eaten — the scenario that
+// makes a non-idempotent protocol double-execute on retry.
+func TestTransportDropResponseExecutesCall(t *testing.T) {
+	var served atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		served.Add(1)
+		fmt.Fprint(w, "done")
+	}))
+	defer srv.Close()
+
+	client := &http.Client{Transport: NewTransport(nil, Plan{DropResponse: 1})}
+	_, err := client.Get(srv.URL)
+	if err == nil || !strings.Contains(err.Error(), "dropped") {
+		t.Fatalf("want injected drop error, got %v", err)
+	}
+	if !errors.Is(err, ErrInjected) {
+		// http.Client wraps transport errors in *url.Error, which
+		// preserves the chain — the marker must survive it.
+		t.Fatalf("injected fault lost the ErrInjected marker: %v", err)
+	}
+	if served.Load() != 1 {
+		t.Fatalf("server served %d requests, want 1 (call must execute)", served.Load())
+	}
+}
+
+// TestTransportMatchScopesInjection pins that non-matching requests
+// pass through untouched and do not advance the schedule.
+func TestTransportMatchScopesInjection(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprint(w, "ok")
+	}))
+	defer srv.Close()
+
+	tr := NewTransport(nil, Plan{
+		DropRequest: 1,
+		Match:       func(r *http.Request) bool { return strings.HasSuffix(r.URL.Path, "/faulty") },
+	})
+	client := &http.Client{Transport: tr}
+	if _, err := client.Get(srv.URL + "/clean"); err != nil {
+		t.Fatalf("non-matching request failed: %v", err)
+	}
+	if _, err := client.Get(srv.URL + "/faulty"); err == nil {
+		t.Fatal("matching request passed through a DropRequest=1 plan")
+	}
+	if st := tr.Stats(); st.Requests != 1 {
+		t.Fatalf("non-matching request advanced the schedule: %d", st.Requests)
+	}
+}
+
+// TestProxyRelayAndFaults exercises the TCP proxy end to end: clean
+// relay, full-drop, and the wall-clock partition window.
+func TestProxyRelayAndFaults(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprint(w, "backend")
+	}))
+	defer srv.Close()
+	target := strings.TrimPrefix(srv.URL, "http://")
+
+	t.Run("clean", func(t *testing.T) {
+		p, err := NewProxy("127.0.0.1:0", target, ProxyPlan{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer p.Close()
+		resp, err := http.Get("http://" + p.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if string(body) != "backend" {
+			t.Fatalf("relayed body %q", body)
+		}
+	})
+
+	t.Run("drop", func(t *testing.T) {
+		p, err := NewProxy("127.0.0.1:0", target, ProxyPlan{DropConn: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer p.Close()
+		client := &http.Client{Timeout: 2 * time.Second}
+		if _, err := client.Get("http://" + p.Addr()); err == nil {
+			t.Fatal("connection survived a DropConn=1 plan")
+		}
+		if st := p.Stats(); st.Faults[FaultDropRequest] == 0 {
+			t.Fatalf("drop not counted: %+v", st.Faults)
+		}
+	})
+
+	t.Run("partition-window", func(t *testing.T) {
+		p, err := NewProxy("127.0.0.1:0", target, ProxyPlan{
+			PartitionAfter: 0, PartitionFor: 300 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer p.Close()
+		client := &http.Client{Timeout: 2 * time.Second}
+		if _, err := client.Get("http://" + p.Addr()); err == nil {
+			t.Fatal("connection crossed an open partition")
+		}
+		time.Sleep(400 * time.Millisecond)
+		resp, err := client.Get("http://" + p.Addr())
+		if err != nil {
+			t.Fatalf("connection after the window closed: %v", err)
+		}
+		resp.Body.Close()
+		if st := p.Stats(); st.Faults[FaultPartition] == 0 {
+			t.Fatalf("partition not counted: %+v", st.Faults)
+		}
+	})
+
+	t.Run("max-conn-age", func(t *testing.T) {
+		p, err := NewProxy("127.0.0.1:0", target, ProxyPlan{MaxConnAge: 150 * time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer p.Close()
+		// A kept-alive client must be cut loose at the age cap and
+		// succeed again on a redial — that churn is what feeds the
+		// per-connection fault stream under HTTP keep-alive.
+		client := &http.Client{Timeout: 2 * time.Second}
+		resp, err := client.Get("http://" + p.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		time.Sleep(300 * time.Millisecond)
+		resp, err = client.Get("http://" + p.Addr())
+		if err != nil {
+			t.Fatalf("redial after age cut: %v", err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if string(body) != "backend" {
+			t.Fatalf("relayed body after redial %q", body)
+		}
+		if st := p.Stats(); st.Requests < 2 {
+			t.Fatalf("age cap did not force a redial: %d conns", st.Requests)
+		}
+	})
+
+	t.Run("truncate", func(t *testing.T) {
+		p, err := NewProxy("127.0.0.1:0", target, ProxyPlan{TruncateResp: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer p.Close()
+		client := &http.Client{Timeout: 2 * time.Second}
+		resp, err := client.Get("http://" + p.Addr())
+		if err == nil {
+			body, rerr := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if rerr == nil && string(body) == "backend" {
+				t.Fatal("response survived a TruncateResp=1 plan intact")
+			}
+		}
+	})
+}

@@ -1,0 +1,278 @@
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// ProxyPlan parameterizes the TCP-level proxy. Per-connection faults
+// draw from a seeded stream in accept order; the partition window is
+// wall-clock relative to proxy start, so a multi-process smoke run can
+// blanket every connection in a span regardless of arrival order.
+type ProxyPlan struct {
+	// Seed seeds the per-connection fault stream (default 1).
+	Seed int64
+
+	// DropConn is the probability an accepted connection is closed
+	// immediately, before any byte is relayed (connection refused as
+	// the dialer sees it).
+	DropConn float64
+	// Delay is the probability a connection's relay is held for
+	// DelayFor before any byte moves (a straggler at the TCP layer).
+	Delay float64
+	// DelayFor is the straggler hold time (default 50ms when Delay is
+	// set).
+	DelayFor time.Duration
+	// TruncateResp is the probability the backend→client direction is
+	// cut after half of the first response read, leaving the client
+	// with a torn body.
+	TruncateResp float64
+
+	// PartitionAfter/PartitionFor open a wall-clock window (relative
+	// to Start) during which every new connection is refused — a hard
+	// partition. Zero PartitionFor disables the window.
+	PartitionAfter time.Duration
+	PartitionFor   time.Duration
+
+	// MaxConnAge hard-closes every relay this long after it starts
+	// (zero = never). HTTP keep-alive funnels hundreds of requests
+	// through one connection, starving a per-connection fault stream;
+	// an age cap forces redials, so the seeded classes keep drawing —
+	// and a cut mid-request is itself a lost response, exercising the
+	// client's retry and idempotent-replay paths.
+	MaxConnAge time.Duration
+
+	// Verbose logs every injected fault to the standard logger.
+	Verbose bool
+}
+
+// Proxy relays TCP connections to a fixed target, injecting
+// connection-level faults per ProxyPlan. It is the process-boundary
+// sibling of Transport for smoke jobs where the coordinator and
+// members are separate processes.
+type Proxy struct {
+	ln     net.Listener
+	target string
+	plan   ProxyPlan
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	started time.Time
+	conns   int
+	faults  map[Fault]int
+
+	wg     sync.WaitGroup
+	closed chan struct{}
+}
+
+// NewProxy listens on listenAddr and relays to target. The proxy is
+// live on return; Close tears it down.
+func NewProxy(listenAddr, target string, plan ProxyPlan) (*Proxy, error) {
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return nil, err
+	}
+	seed := plan.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	if plan.Delay > 0 && plan.DelayFor <= 0 {
+		plan.DelayFor = 50 * time.Millisecond
+	}
+	p := &Proxy{
+		ln: ln, target: target, plan: plan,
+		rng:     rand.New(rand.NewSource(seed)),
+		started: time.Now(),
+		faults:  make(map[Fault]int),
+		closed:  make(chan struct{}),
+	}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr is the proxy's listen address (for "127.0.0.1:0" listeners).
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Stats returns a copy of the accepted-connection and fault tallies.
+func (p *Proxy) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := Stats{Requests: p.conns, Faults: make(map[Fault]int, len(p.faults))}
+	for k, v := range p.faults {
+		s.Faults[k] = v
+	}
+	return s
+}
+
+// Close stops accepting and waits for in-flight relays to finish.
+func (p *Proxy) Close() error {
+	select {
+	case <-p.closed:
+	default:
+		close(p.closed)
+	}
+	err := p.ln.Close()
+	p.wg.Wait()
+	return err
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			select {
+			case <-p.closed:
+				return
+			default:
+			}
+			return
+		}
+		fault, idx := p.classify()
+		if p.plan.Verbose && fault != FaultNone {
+			log.Printf("chaos: conn %d -> %s: %s", idx, p.target, fault)
+		}
+		p.wg.Add(1)
+		go p.relay(conn, fault, idx)
+	}
+}
+
+// classify draws the fault for the next accepted connection. The
+// partition window overrides the seeded stream but does not consume
+// from it, so the post-partition schedule is unshifted.
+func (p *Proxy) classify() (Fault, int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	idx := p.conns
+	p.conns++
+	f := FaultNone
+	if p.plan.PartitionFor > 0 {
+		since := time.Since(p.started)
+		if since >= p.plan.PartitionAfter && since < p.plan.PartitionAfter+p.plan.PartitionFor {
+			f = FaultPartition
+			p.faults[f]++
+			return f, idx
+		}
+	}
+	switch {
+	case p.rollLocked(p.plan.DropConn):
+		f = FaultDropRequest
+	case p.rollLocked(p.plan.TruncateResp):
+		f = FaultTruncate
+	case p.rollLocked(p.plan.Delay):
+		f = FaultDelay
+	}
+	p.faults[f]++
+	return f, idx
+}
+
+func (p *Proxy) rollLocked(prob float64) bool {
+	return p.rng.Float64() < prob
+}
+
+func (p *Proxy) relay(client net.Conn, fault Fault, idx int) {
+	defer p.wg.Done()
+	defer client.Close()
+	switch fault {
+	case FaultDropRequest, FaultPartition:
+		return // close without relaying: dial succeeded, then reset
+	case FaultDelay:
+		timer := time.NewTimer(p.plan.DelayFor)
+		defer timer.Stop()
+		select {
+		case <-timer.C:
+		case <-p.closed:
+			return
+		}
+	}
+	backend, err := net.Dial("tcp", p.target)
+	if err != nil {
+		if p.plan.Verbose {
+			log.Printf("chaos: conn %d: backend dial failed: %v", idx, err)
+		}
+		return
+	}
+	defer backend.Close()
+
+	// Sever the relay when the proxy closes (a kept-alive client
+	// connection would otherwise pin Close until its idle timeout) or
+	// when the connection outlives MaxConnAge.
+	stop := make(chan struct{})
+	defer close(stop)
+	var expired <-chan time.Time
+	if p.plan.MaxConnAge > 0 {
+		age := time.NewTimer(p.plan.MaxConnAge)
+		defer age.Stop()
+		expired = age.C
+	}
+	go func() {
+		select {
+		case <-p.closed:
+		case <-expired:
+			if p.plan.Verbose {
+				log.Printf("chaos: conn %d: cut at max age %s", idx, p.plan.MaxConnAge)
+			}
+		case <-stop:
+			return
+		}
+		client.Close()
+		backend.Close()
+	}()
+
+	done := make(chan struct{}, 2)
+	go func() { // client -> backend
+		io.Copy(backend, client)
+		if tc, ok := backend.(*net.TCPConn); ok {
+			tc.CloseWrite()
+		}
+		done <- struct{}{}
+	}()
+	go func() { // backend -> client, possibly truncated
+		if fault == FaultTruncate {
+			p.truncateCopy(client, backend)
+		} else {
+			io.Copy(client, backend)
+		}
+		if tc, ok := client.(*net.TCPConn); ok {
+			tc.CloseWrite()
+		}
+		done <- struct{}{}
+	}()
+	<-done
+	<-done
+}
+
+// truncateCopy relays half of the first read from the backend, then
+// cuts the connection — the client sees a response torn mid-body.
+func (p *Proxy) truncateCopy(dst net.Conn, src net.Conn) {
+	buf := make([]byte, 32<<10)
+	n, err := src.Read(buf)
+	if err != nil || n == 0 {
+		return
+	}
+	if _, err := dst.Write(buf[:(n+1)/2]); err != nil {
+		return
+	}
+	// Hard-close both directions so the client gets a reset, not a
+	// clean EOF that could masquerade as a complete short body.
+	if tc, ok := dst.(*net.TCPConn); ok {
+		tc.SetLinger(0)
+	}
+	if tc, ok := src.(*net.TCPConn); ok {
+		tc.SetLinger(0)
+	}
+	src.Close()
+	dst.Close()
+}
+
+// String summarizes the plan for startup logs.
+func (p ProxyPlan) String() string {
+	return fmt.Sprintf("seed=%d drop=%.3f delay=%.3f/%s trunc=%.3f partition=%s+%s conn-ttl=%s",
+		p.Seed, p.DropConn, p.Delay, p.DelayFor, p.TruncateResp, p.PartitionAfter, p.PartitionFor, p.MaxConnAge)
+}

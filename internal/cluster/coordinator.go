@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -20,6 +21,24 @@ type Config struct {
 	// MemberWait bounds how long a run waits for enough members to
 	// join before failing (default 30s).
 	MemberWait time.Duration
+	// CallTimeout bounds each shard RPC (default 2m, negative
+	// disables). A blown deadline counts as a member failure — the
+	// shard fails over rather than stalling the run.
+	CallTimeout time.Duration
+	// BarrierDeadline bounds one shard's epoch step specifically
+	// (default: CallTimeout). A member that cannot clear an epoch
+	// barrier within it is a straggler: its shard is reassigned so one
+	// slow member never stalls every other shard.
+	BarrierDeadline time.Duration
+	// CallRetries is how many times a transiently failed call
+	// (connection refused/reset, lost or truncated response, 502/503/
+	// 504) is retried against the same member before failing over
+	// (default 2, negative disables). Retries are safe because the
+	// member protocol is idempotent: a retried step or finish returns
+	// the cached response instead of re-advancing the engine.
+	CallRetries int
+	// RetrySeed seeds the jittered backoff schedule (default 1).
+	RetrySeed int64
 	// HTTPClient dials members (default http.DefaultClient).
 	HTTPClient *http.Client
 }
@@ -30,6 +49,18 @@ func (c Config) defaulted() Config {
 	}
 	if c.MemberWait <= 0 {
 		c.MemberWait = 30 * time.Second
+	}
+	if c.CallTimeout == 0 {
+		c.CallTimeout = 2 * time.Minute
+	}
+	if c.BarrierDeadline <= 0 {
+		c.BarrierDeadline = c.CallTimeout
+	}
+	if c.CallRetries == 0 {
+		c.CallRetries = 2
+	}
+	if c.CallRetries < 0 {
+		c.CallRetries = 0
 	}
 	if c.HTTPClient == nil {
 		c.HTTPClient = http.DefaultClient
@@ -42,6 +73,7 @@ func (c Config) defaulted() Config {
 // shard protocol.
 type Coordinator struct {
 	cfg Config
+	bo  *backoff
 
 	mu      sync.Mutex
 	members map[string]*memberState
@@ -61,7 +93,8 @@ type memberState struct {
 
 // NewCoordinator builds a coordinator with an empty member registry.
 func NewCoordinator(cfg Config) *Coordinator {
-	return &Coordinator{cfg: cfg.defaulted(), members: make(map[string]*memberState)}
+	cfg = cfg.defaulted()
+	return &Coordinator{cfg: cfg, bo: newBackoff(cfg.RetrySeed), members: make(map[string]*memberState)}
 }
 
 // RegisterHandlers mounts the membership endpoints on mux.
@@ -167,35 +200,92 @@ func (c *Coordinator) waitForMembers(ctx context.Context, n int) error {
 	}
 }
 
-// postJSON round-trips one protocol call; a non-2xx status surfaces the
-// body's error string.
-func (c *Coordinator) postJSON(ctx context.Context, addr, path string, in, out any) error {
+// call round-trips one protocol call with a per-call deadline,
+// classifying any failure and retrying transient ones in place with
+// seeded jittered backoff. timeout <= 0 leaves the call bounded only
+// by ctx. The returned error, when non-nil and not a bare context
+// error, is an *RPCError whose Class tells the caller whether to fail
+// the member over or abort the run.
+func (c *Coordinator) call(ctx context.Context, addr, path string, in, out any, timeout time.Duration) error {
 	body, err := json.Marshal(in)
 	if err != nil {
 		return err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, addr+path, bytes.NewReader(body))
+	for attempt := 0; ; attempt++ {
+		rerr := c.do(ctx, addr, path, body, out, timeout)
+		if rerr == nil {
+			return nil
+		}
+		if ctx.Err() != nil {
+			return rerr
+		}
+		var rpc *RPCError
+		if !errors.As(rerr, &rpc) || rpc.Class != FailTransient || attempt >= c.cfg.CallRetries {
+			return rerr
+		}
+		c.bo.sleep(ctx, attempt)
+	}
+}
+
+// do executes one attempt of a protocol call.
+func (c *Coordinator) do(ctx context.Context, addr, path string, body []byte, out any, timeout time.Duration) error {
+	cctx := ctx
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		cctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(cctx, http.MethodPost, addr+path, bytes.NewReader(body))
 	if err != nil {
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := c.cfg.HTTPClient.Do(req)
 	if err != nil {
-		return err
+		return &RPCError{Path: path, Class: classifyTransport(err, cctx, ctx), Err: err}
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode/100 != 2 {
 		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		rerr := fmt.Errorf("%s", resp.Status)
 		var e errorResponse
 		if json.Unmarshal(raw, &e) == nil && e.Error != "" {
-			return fmt.Errorf("cluster: %s %s: %s", path, resp.Status, e.Error)
+			rerr = fmt.Errorf("%s: %s", resp.Status, e.Error)
 		}
-		return fmt.Errorf("cluster: %s %s", path, resp.Status)
+		return &RPCError{Path: path, Status: resp.StatusCode, Class: classifyStatus(resp.StatusCode), Err: rerr}
 	}
 	if out == nil {
+		io.Copy(io.Discard, resp.Body)
 		return nil
 	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		// The response was cut mid-body (lost-response fault): the call
+		// likely executed, so a transient retry fetches the cached bytes.
+		return &RPCError{Path: path, Class: classifyTransport(err, cctx, ctx), Err: err}
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		return &RPCError{Path: path, Class: FailTransient, Err: fmt.Errorf("decoding response: %w", err)}
+	}
+	return nil
+}
+
+// HeartbeatOpts tunes the member-side heartbeat loop beyond the basic
+// interval. The zero value gives the defaults.
+type HeartbeatOpts struct {
+	// Interval between beats (default 1s).
+	Interval time.Duration
+	// Retries is how many in-tick retries a failed beat gets, each
+	// after a jittered backoff, before the tick counts as a miss
+	// (default 2, negative disables).
+	Retries int
+	// Seed seeds the retry jitter (default 1).
+	Seed int64
+	// OnMiss is called after every missed beat (retries exhausted)
+	// with the consecutive-miss count and the last error; a successful
+	// beat resets the count. Use it to log and count — silence here
+	// was how a partitioned member used to age out unnoticed.
+	OnMiss func(consecutive int, err error)
 }
 
 // Heartbeat joins coordinator as member id (dialed back at advertise)
@@ -203,12 +293,29 @@ func (c *Coordinator) postJSON(ctx context.Context, addr, path string, in, out a
 // first join is synchronous so callers know the member is visible; the
 // loop then runs on the calling goroutine (start it with go).
 func Heartbeat(ctx context.Context, client *http.Client, coordinator, id, advertise string, interval time.Duration) error {
+	return HeartbeatWithOpts(ctx, client, coordinator, id, advertise, HeartbeatOpts{Interval: interval})
+}
+
+// HeartbeatWithOpts is Heartbeat with in-tick jittered retries and a
+// miss hook. A beat that fails is retried opts.Retries times inside
+// its tick; only when all attempts fail does the tick count as a miss
+// and OnMiss fire. The coordinator re-registers a member on any
+// successful beat, so a run of misses shorter than the member TTL is
+// invisible to placement.
+func HeartbeatWithOpts(ctx context.Context, client *http.Client, coordinator, id, advertise string, opts HeartbeatOpts) error {
 	if client == nil {
 		client = http.DefaultClient
 	}
-	if interval <= 0 {
-		interval = time.Second
+	if opts.Interval <= 0 {
+		opts.Interval = time.Second
 	}
+	if opts.Retries == 0 {
+		opts.Retries = 2
+	}
+	if opts.Retries < 0 {
+		opts.Retries = 0
+	}
+	bo := newBackoff(opts.Seed)
 	join := func(path string) error {
 		body, err := json.Marshal(joinRequest{ID: id, Addr: advertise})
 		if err != nil {
@@ -230,18 +337,36 @@ func Heartbeat(ctx context.Context, client *http.Client, coordinator, id, advert
 		}
 		return nil
 	}
+	beat := func() error {
+		var err error
+		for attempt := 0; ; attempt++ {
+			err = join(pathHeartbeat)
+			if err == nil || ctx.Err() != nil || attempt >= opts.Retries {
+				return err
+			}
+			bo.sleep(ctx, attempt)
+		}
+	}
 	if err := join(pathJoin); err != nil {
 		return err
 	}
+	misses := 0
 	for {
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
-		case <-time.After(interval):
-			// Heartbeat failures are transient by assumption — the next
-			// tick retries, and the coordinator re-registers on any
-			// successful beat.
-			_ = join(pathHeartbeat)
+		case <-time.After(opts.Interval):
+			if err := beat(); err != nil {
+				if ctx.Err() != nil {
+					return ctx.Err()
+				}
+				misses++
+				if opts.OnMiss != nil {
+					opts.OnMiss(misses, err)
+				}
+			} else {
+				misses = 0
+			}
 		}
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
+	"sync/atomic"
 
 	"rem/internal/fleet"
 	"rem/internal/obs"
@@ -17,9 +18,22 @@ import (
 // shard state, abort drops it. A member holds any number of shards from
 // any number of runs; distinct shards step concurrently, one shard
 // never does.
+//
+// The protocol is idempotent per epoch: the member caches the response
+// of the last step (keyed by epoch) and of finish, so a coordinator
+// whose response was lost in flight can retry the call and receive the
+// exact cached bytes — the engine is stepped once and finalized once
+// no matter how many times a request is replayed. Without this, a lost
+// response would force a full shard failover (the engine would already
+// sit one epoch ahead of what the coordinator saw).
 type Member struct {
 	mu     sync.Mutex
 	shards map[string]*shardRun
+
+	// stepReplays / finishReplays count protocol retries answered from
+	// the idempotency cache (observable in tests and diagnostics).
+	stepReplays   atomic.Int64
+	finishReplays atomic.Int64
 }
 
 // NewMember builds an empty member.
@@ -27,9 +41,20 @@ func NewMember() *Member {
 	return &Member{shards: make(map[string]*shardRun)}
 }
 
+// StepReplays reports how many step requests were answered from the
+// idempotency cache instead of advancing an engine.
+func (m *Member) StepReplays() int64 { return m.stepReplays.Load() }
+
+// FinishReplays reports how many finish requests were answered from
+// the idempotency cache instead of finalizing an engine.
+func (m *Member) FinishReplays() int64 { return m.finishReplays.Load() }
+
 // shardRun is one shard engine plus its per-epoch output buffers. The
 // engine's hooks append into the buffers; each protocol call swaps them
-// out under the shard lock.
+// out under the shard lock. lastStep and finResp are the idempotency
+// caches: lastStep holds the response already sent for epoch-1 (valid
+// until the next step truncates the buffers it references), finResp
+// the finish response (the engine is released once it exists).
 type shardRun struct {
 	mu       sync.Mutex
 	eng      *fleet.Engine
@@ -38,6 +63,8 @@ type shardRun struct {
 	done     bool
 	events   []fleet.Event
 	timeline []obs.Event
+	lastStep *stepResponse
+	finResp  *finishResponse
 }
 
 func shardKey(run string, shard int) string {
@@ -108,9 +135,11 @@ func (m *Member) drop(run string, shard int) {
 }
 
 // handleStep installs the global loads and advances the shard one
-// epoch. Any failure drops the shard and reports 500 — the coordinator
-// treats the member as lost for this shard and reassigns, so a
-// half-stepped engine is never stepped again.
+// epoch. A request for the epoch just stepped is a retry after a lost
+// response and is answered from the idempotency cache without touching
+// the engine. Any engine failure drops the shard and reports 500 — the
+// coordinator treats the member as lost for this shard and reassigns,
+// so a half-stepped engine is never stepped again.
 func (m *Member) handleStep(w http.ResponseWriter, r *http.Request) {
 	var req stepRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -124,7 +153,15 @@ func (m *Member) handleStep(w http.ResponseWriter, r *http.Request) {
 	}
 	sr.mu.Lock()
 	defer sr.mu.Unlock()
-	if req.Epoch != sr.epoch {
+	if sr.lastStep != nil && req.Epoch == sr.epoch-1 {
+		// Duplicate of the last step: the response never reached the
+		// coordinator. Return the cached bytes; the engine already
+		// advanced and must not advance again.
+		m.stepReplays.Add(1)
+		writeProtocolJSON(w, *sr.lastStep)
+		return
+	}
+	if req.Epoch != sr.epoch || sr.finResp != nil {
 		m.drop(req.Run, req.Shard)
 		protocolError(w, http.StatusConflict,
 			fmt.Errorf("cluster: shard %s at epoch %d, coordinator asked for %d", shardKey(req.Run, req.Shard), sr.epoch, req.Epoch))
@@ -145,18 +182,25 @@ func (m *Member) handleStep(w http.ResponseWriter, r *http.Request) {
 	}
 	sr.epoch++
 	sr.done = done
-	writeProtocolJSON(w, stepResponse{
+	// Cache the response before sending it: the buffers it references
+	// are only truncated by the next step, which the coordinator sends
+	// only after it has this epoch's response in hand.
+	sr.lastStep = &stepResponse{
 		Done:     done,
 		Events:   sr.events,
 		Loads:    sr.eng.Loads(),
 		Timeline: sr.timeline,
-	})
+	}
+	writeProtocolJSON(w, *sr.lastStep)
 }
 
 // handleFinish finalizes a completed shard and ships its raw state:
 // per-UE totals under global ids, shard-local admission and cell
 // tallies, the metrics dump and the final timeline batch (TCP stall
-// replay included). The shard is dropped afterwards.
+// replay included). The response is cached and the engine released;
+// the shard entry stays resident so a retry after a lost response
+// replays the cached bytes (the engine is finalized exactly once),
+// until the coordinator's post-run abort sweeps it away.
 func (m *Member) handleFinish(w http.ResponseWriter, r *http.Request) {
 	var req finishRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -170,6 +214,11 @@ func (m *Member) handleFinish(w http.ResponseWriter, r *http.Request) {
 	}
 	sr.mu.Lock()
 	defer sr.mu.Unlock()
+	if sr.finResp != nil {
+		m.finishReplays.Add(1)
+		writeProtocolJSON(w, *sr.finResp)
+		return
+	}
 	if !sr.done {
 		protocolError(w, http.StatusConflict, fmt.Errorf("cluster: shard %s not done", shardKey(req.Run, req.Shard)))
 		return
@@ -177,7 +226,7 @@ func (m *Member) handleFinish(w http.ResponseWriter, r *http.Request) {
 	sr.timeline = sr.timeline[:0]
 	results := sr.eng.FinishResults()
 	offset := sr.eng.Spec().UEOffset
-	resp := finishResponse{
+	resp := &finishResponse{
 		UEs:     make([]UETotals, len(results)),
 		Blocked: sr.eng.Blocked(),
 		Cells:   sr.eng.CellStats(),
@@ -189,8 +238,11 @@ func (m *Member) handleFinish(w http.ResponseWriter, r *http.Request) {
 		resp.Metrics = sr.tel.Registry.Dump()
 		resp.Timeline = sr.timeline
 	}
-	m.drop(req.Run, req.Shard)
-	writeProtocolJSON(w, resp)
+	// Release the engine and telemetry plane — only the cached
+	// response is needed from here on.
+	sr.eng, sr.tel, sr.lastStep = nil, nil, nil
+	sr.finResp = resp
+	writeProtocolJSON(w, *resp)
 }
 
 // handleAbort drops a shard without finalizing it (run canceled, or

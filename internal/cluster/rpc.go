@@ -1,0 +1,150 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"sync"
+	"time"
+)
+
+// FailClass partitions shard-protocol failures by the correct
+// recovery action. The distinction matters because the two recovery
+// paths have very different costs: a same-member retry is one HTTP
+// round (the idempotent member returns cached bytes if the lost call
+// actually landed), while a failover rebuilds the shard elsewhere and
+// replays every completed epoch.
+type FailClass int
+
+const (
+	// FailTransient is a failure that may clear on its own: the
+	// connection was refused or reset, the response was lost or
+	// truncated in flight, or an intermediary returned 502/503/504.
+	// The coordinator retries the same member with jittered backoff;
+	// the idempotent epoch protocol makes the retry safe even when the
+	// original request executed.
+	FailTransient FailClass = iota
+	// FailMember means the member cannot serve this shard anymore —
+	// it answered 404/409/500 (its engine is gone or diverged) or it
+	// blew the per-call deadline (straggler). The shard fails over.
+	FailMember
+	// FailFatal is a protocol-level rejection (400) that no retry or
+	// reassignment can fix: the run itself is aborted.
+	FailFatal
+)
+
+func (c FailClass) String() string {
+	switch c {
+	case FailTransient:
+		return "transient"
+	case FailMember:
+		return "member"
+	default:
+		return "fatal"
+	}
+}
+
+// RPCError is a classified shard-protocol failure. Status is the HTTP
+// status code, or 0 for transport-level failures.
+type RPCError struct {
+	Path   string
+	Status int
+	Class  FailClass
+	Err    error
+}
+
+func (e *RPCError) Error() string {
+	return fmt.Sprintf("cluster: %s: %v (%s)", e.Path, e.Err, e.Class)
+}
+
+func (e *RPCError) Unwrap() error { return e.Err }
+
+// classifyStatus maps a non-2xx protocol status onto a failure class.
+func classifyStatus(status int) FailClass {
+	switch {
+	case status == http.StatusBadGateway,
+		status == http.StatusServiceUnavailable,
+		status == http.StatusGatewayTimeout:
+		// Intermediary trouble (or a member shedding load): the member
+		// process may be fine, so burn a transient retry first.
+		return FailTransient
+	case status == http.StatusBadRequest:
+		// The member rejected the request itself; no other member will
+		// accept it either.
+		return FailFatal
+	default:
+		// 404 (engine gone), 409 (epoch drift), 500 (engine error —
+		// the member drops the shard before answering): the member
+		// lost this shard's state, so only a failover replay helps.
+		return FailMember
+	}
+}
+
+// classifyTransport maps a transport-level error (no HTTP status) onto
+// a failure class. callCtx is the per-call context; a blown per-call
+// deadline while the run is still live means the member is a
+// straggler, which fails over rather than stalling the barrier.
+func classifyTransport(err error, callCtx, runCtx context.Context) FailClass {
+	if callCtx.Err() != nil && runCtx.Err() == nil {
+		return FailMember // straggler: the call deadline fired, the run did not
+	}
+	var uerr *url.Error
+	if errors.As(err, &uerr) {
+		// Refused/reset connections and dropped responses: the network
+		// hiccupped or the process is restarting; retry in place first.
+		return FailTransient
+	}
+	// Body decode failures (truncated or garbled response) land here:
+	// the request may well have executed, so the idempotent retry is
+	// both safe and the cheapest path to the lost bytes.
+	return FailTransient
+}
+
+// backoff is the coordinator's seeded jittered retry schedule. The
+// jitter stream is seeded (Config.RetrySeed), so a test re-running the
+// same fault schedule sees the same sleep sequence; it draws from its
+// own private source, never from any simulation stream.
+type backoff struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func newBackoff(seed int64) *backoff {
+	if seed == 0 {
+		seed = 1
+	}
+	return &backoff{rng: rand.New(rand.NewSource(seed))}
+}
+
+// retryBase and retryCap bound the backoff schedule: base*2^attempt
+// plus up to one base of jitter, capped.
+const (
+	retryBase = 25 * time.Millisecond
+	retryCap  = 500 * time.Millisecond
+)
+
+// delay returns the sleep before retry number attempt (0-based).
+func (b *backoff) delay(attempt int) time.Duration {
+	d := retryBase << uint(attempt)
+	if d > retryCap {
+		d = retryCap
+	}
+	b.mu.Lock()
+	j := time.Duration(b.rng.Int63n(int64(retryBase)))
+	b.mu.Unlock()
+	return d + j
+}
+
+// sleep waits out the backoff delay or the context, whichever ends
+// first.
+func (b *backoff) sleep(ctx context.Context, attempt int) {
+	t := time.NewTimer(b.delay(attempt))
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}

@@ -119,7 +119,10 @@ type startResponse struct {
 }
 
 // stepRequest drives one epoch barrier: the member installs the global
-// loads, steps the shard, and reports what the epoch produced.
+// loads, steps the shard, and reports what the epoch produced. The
+// call is idempotent per epoch: a duplicate request for the epoch just
+// stepped (a coordinator retry after a lost response) is answered from
+// the member's response cache without advancing the engine.
 type stepRequest struct {
 	Run   string `json:"run"`
 	Shard int    `json:"shard"`
@@ -141,7 +144,9 @@ type stepResponse struct {
 	Timeline []obs.Event `json:"timeline,omitempty"`
 }
 
-// finishRequest finalizes a completed shard.
+// finishRequest finalizes a completed shard. Idempotent: the engine is
+// finalized once and the response cached, so a retried finish returns
+// the same bytes; the shard entry is swept by the post-run abort.
 type finishRequest struct {
 	Run   string `json:"run"`
 	Shard int    `json:"shard"`
