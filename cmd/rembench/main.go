@@ -7,22 +7,23 @@
 //
 //	rembench                      # full run, prints a table
 //	rembench -quick               # CI-scale run (seconds, not minutes)
-//	rembench -out BENCH_PR8.json  # also write machine-readable results
-//	rembench -quick -baseline BENCH_PR8.json
+//	rembench -out BENCH_PR10.json # also write machine-readable results
+//	rembench -quick -baseline BENCH_PR10.json
 //	                              # compare against a committed baseline:
 //	                              # prints a per-benchmark diff table and
 //	                              # exits 1 on >25% ns/op, any allocs/op,
 //	                              # or any B/op regression beyond slack
 //
-// The committed BENCH_PR8.json at the repo root is the reference the CI
-// bench job gates on; regenerate it with `rembench -quick -out
-// BENCH_PR8.json` after an intentional performance change. The fleet
+// The committed BENCH_PR10.json at the repo root is the reference the
+// CI bench job gates on; regenerate it with `rembench -quick -out
+// BENCH_PR10.json` after an intentional performance change. The fleet
 // benchmarks measure a steady-state epoch (engine built and pools
 // warmed outside the timer; one op = one StepEpoch), so their
 // allocs/op is the zero-alloc contract itself. The fleet_100ue_epoch /
 // fleet_100ue_epoch_armed pair additionally prints the telemetry
 // instrumentation overhead (armed must stay within 5% ns/op of
-// disarmed).
+// disarmed), and transport_100ue_epoch / fleet_100ue_epoch form the
+// equivalent armed/disarmed pair for the per-UE transport plane.
 package main
 
 import (
@@ -42,9 +43,10 @@ import (
 	"rem/internal/ofdm"
 	"rem/internal/sim"
 	"rem/internal/trace"
+	"rem/internal/transport"
 )
 
-// result is one benchmark's measurement, the unit of BENCH_PR8.json.
+// result is one benchmark's measurement, the unit of BENCH_PR10.json.
 type result struct {
 	Name        string  `json:"name"`
 	Iterations  int     `json:"iterations"`
@@ -141,18 +143,24 @@ func main() {
 // printOverhead reports the telemetry instrumentation cost when both
 // halves of the fleet benchmark pair ran.
 func printOverhead(rep report) {
-	var disarmed, armed float64
+	var disarmed, armed, transported float64
 	for _, r := range rep.Benchmarks {
 		switch r.Name {
 		case "fleet_100ue_epoch":
 			disarmed = r.NsPerOp
 		case "fleet_100ue_epoch_armed":
 			armed = r.NsPerOp
+		case "transport_100ue_epoch":
+			transported = r.NsPerOp
 		}
 	}
 	if disarmed > 0 && armed > 0 {
 		fmt.Printf("telemetry overhead: %+.1f%% ns/op (armed vs disarmed 100-UE fleet)\n",
 			100*(armed/disarmed-1))
+	}
+	if disarmed > 0 && transported > 0 {
+		fmt.Printf("transport overhead: %+.1f%% ns/op (link recording armed vs disarmed 100-UE fleet)\n",
+			100*(transported/disarmed-1))
 	}
 	for _, r := range rep.Benchmarks {
 		if r.Name != "fleet_100k_epoch" || r.Extra == nil {
@@ -253,6 +261,7 @@ func specs() []spec {
 		// gate's 25% ns/op allowance.
 		{name: "fleet_100ue_epoch", quickTime: "12x", fullTime: "30x", fn: benchFleet100, allocSlack: 0.02},
 		{name: "fleet_100ue_epoch_armed", quickTime: "12x", fullTime: "30x", fn: benchFleet100Armed, allocSlack: 0.02},
+		{name: "transport_100ue_epoch", quickTime: "12x", fullTime: "30x", fn: benchFleet100Transport, allocSlack: 0.02},
 		{name: "fleet_1k_epoch", quickTime: "3x", fullTime: "9x", fn: benchFleet1k, allocSlack: 0.02},
 		{name: "fleet_100k_epoch", quickTime: "1x", fullTime: "3x", fn: benchFleet100k, allocSlack: 0.02},
 	}
@@ -428,6 +437,18 @@ func benchFleet100(b *testing.B) {
 // bar is armed ns/op within 5% of disarmed.
 func benchFleet100Armed(b *testing.B) {
 	benchFleetEpochs(b, fleetSpec(100, 0.5, 2), true)
+}
+
+// benchFleet100Transport: the identical 100-UE epoch with the per-UE
+// transport plane armed (gcc controller, video workload) — the
+// armed/disarmed twin of fleet_100ue_epoch for the link-trace
+// recording + replay cost. Steady-state epochs only record LinkDown
+// intervals; the controller replay itself runs at Finish, so the
+// per-epoch delta measures the recording hook.
+func benchFleet100Transport(b *testing.B) {
+	spec := fleetSpec(100, 0.5, 2)
+	spec.Transport = &transport.Spec{Controller: "gcc", Workload: "video", StartRateMbps: 4}
+	benchFleetEpochs(b, spec, false)
 }
 
 // benchFleet1k: one steady-state epoch at 1000 UEs — the scale where

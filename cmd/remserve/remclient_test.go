@@ -153,7 +153,8 @@ func TestRemclientSpecMatchesWireSpec(t *testing.T) {
 		SpeedKmh: 200, DurationSec: 1, Seed: 9, Workers: 2, EpochSec: 0.5,
 		CellCapacity: 4, SpreadMarginDB: 2, StartSpreadM: 100,
 		SpeedJitterFrac: 0.1, Telemetry: true,
-		Faults: json.RawMessage(`{"name":"chaos"}`),
+		Faults:    json.RawMessage(`{"name":"chaos"}`),
+		Transport: json.RawMessage(`{"controller":"bbr","workload":"bulk"}`),
 	}
 	data, err := json.Marshal(spec)
 	if err != nil {
@@ -168,6 +169,9 @@ func TestRemclientSpecMatchesWireSpec(t *testing.T) {
 	if ws.UEs != 3 || ws.Dataset != "beijing-shanghai" || !ws.Telemetry ||
 		ws.Seed != 9 || ws.EpochSec != 0.5 || ws.Faults == nil {
 		t.Fatalf("decoded wire spec = %+v", ws)
+	}
+	if ws.Transport == nil || ws.Transport.Controller != "bbr" || ws.Transport.Workload != "bulk" {
+		t.Fatalf("decoded transport spec = %+v", ws.Transport)
 	}
 
 	// And the reverse: every JSON key the server view emits decodes

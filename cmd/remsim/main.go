@@ -46,6 +46,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "RNG seed")
 		replicas = flag.Int("replicas", 1, "independent replicas to run (seeds rem.ReplicaSeed(seed, i))")
 		faults   = flag.String("faults", "", "JSON fault plan file; arms the deterministic fault plane")
+		tcc      = flag.String("transport", "", "arm the per-UE transport plane with this congestion controller (gcc | bbr); adds goodput/stall lines to the text output")
 		workers  = flag.Int("workers", 0, "parallel worker pool size; 0 = all cores (output is identical at any value)")
 		timeline = flag.String("timeline", "", "arm telemetry and write the merged handover timeline (NDJSON) to this file")
 		metrics  = flag.String("metrics", "", "arm telemetry and write a Prometheus text metrics snapshot to this file")
@@ -90,6 +91,16 @@ func main() {
 		}
 	}
 
+	var tspec *rem.TransportSpec
+	if *tcc != "" {
+		s := rem.TransportSpec{Controller: *tcc}
+		if err := s.Defaulted().Validate(); err != nil {
+			fmt.Fprintf(os.Stderr, "remsim: %v\n", err)
+			exit(2)
+		}
+		tspec = &s
+	}
+
 	var tel *rem.Telemetry
 	if *timeline != "" || *metrics != "" {
 		tel = rem.NewTelemetry(rem.TelemetryConfig{})
@@ -99,10 +110,13 @@ func main() {
 	// index-derived seed; the pool width never changes the numbers.
 	// Replica s records into telemetry scope s (its own scope, so one
 	// worker is the scope's only writer).
+	// tpTotals[s] is replica s's transport replay output (nil when the
+	// plane is disarmed); each worker writes only its own index.
+	tpTotals := make([]*rem.TransportTotals, *replicas)
 	results, err := par.IndexedMap(*workers, *replicas, func(s int) (*rem.Result, error) {
 		built, err := rem.BuildScenario(rem.ScenarioConfig{
 			Dataset: ds, SpeedKmh: *speed, Mode: md, Duration: *duration,
-			Seed: rem.ReplicaSeed(*seed, s), Faults: plan,
+			Seed: rem.ReplicaSeed(*seed, s), Faults: plan, Transport: tspec,
 		})
 		if err != nil {
 			return nil, err
@@ -111,6 +125,13 @@ func main() {
 		res, err := rem.RunScenario(built)
 		if err == nil {
 			rem.ObserveTCPStalls(tel, s, res)
+		}
+		if err == nil && tspec != nil {
+			tot, _, terr := rem.ReplayTransport(*tspec, built, res)
+			if terr != nil {
+				return nil, terr
+			}
+			tpTotals[s] = tot
 		}
 		return res, err
 	})
@@ -138,6 +159,7 @@ func main() {
 	fmt.Printf("mode      : %s at %.0f km/h for %.0fs (seed %d)\n", md, *speed, *duration, *seed)
 	if *replicas == 1 {
 		printSummary(results[0])
+		printTransport(tpTotals[0])
 		exit(0)
 	}
 	var hos, fails int
@@ -153,6 +175,21 @@ func main() {
 	}
 	fmt.Printf("aggregate : %d handovers, %d failures over %d replicas (ratio %.2f%%)\n",
 		hos, fails, *replicas, 100*ratio)
+	if tspec != nil {
+		var delivered, goodput, stallSec float64
+		var stalls int
+		for _, t := range tpTotals {
+			if t == nil {
+				continue
+			}
+			delivered += t.DeliveredMbit
+			goodput += t.GoodputMbps
+			stalls += t.Stalls
+			stallSec += t.StallSec
+		}
+		fmt.Printf("transport : %.1f Mbit delivered, mean goodput %.2f Mbps, %d stalls (%.1fs) over %d replicas\n",
+			delivered, goodput/float64(*replicas), stalls, stallSec, *replicas)
+	}
 	exit(0)
 }
 
@@ -174,6 +211,21 @@ func writeTelemetry(tel *rem.Telemetry, timeline, metrics string) error {
 		}
 	}
 	return nil
+}
+
+// printTransport appends the transport plane's goodput/stall lines to
+// the single-replica text summary. No-op when the plane is disarmed.
+func printTransport(tot *rem.TransportTotals) {
+	if tot == nil {
+		return
+	}
+	fmt.Printf("transport : %.1f Mbit delivered, goodput %.2f Mbps, mean send rate %.2f Mbps\n",
+		tot.DeliveredMbit, tot.GoodputMbps, tot.MeanRateMbps)
+	fmt.Printf("  stalls  : %d (%.1fs total), link down %.1fs\n",
+		tot.Stalls, tot.StallSec, tot.DownSec)
+	if tot.Rebuffers > 0 {
+		fmt.Printf("  video   : %d rebuffers (%.1fs)\n", tot.Rebuffers, tot.RebufferSec)
+	}
 }
 
 func printSummary(res *rem.Result) {

@@ -11,9 +11,11 @@ import (
 	"testing"
 	"time"
 
+	"rem/internal/fault"
 	"rem/internal/fleet"
 	"rem/internal/obs"
 	"rem/internal/trace"
+	"rem/internal/transport"
 )
 
 // coupledSpec has admission coupling (capacity + spreading), so every
@@ -250,5 +252,62 @@ func TestWireSpecRoundTrip(t *testing.T) {
 	}
 	if back != spec {
 		t.Fatalf("round-trip drifted:\n got %+v\nwant %+v", back, spec)
+	}
+}
+
+// transportCoupledSpec arms the per-UE transport plane on the coupled
+// spec, in legacy mode with a 2 s all-cells blackout so every shard
+// ships real stall/down totals over the wire (a short REM run is too
+// reliable to produce any).
+func transportCoupledSpec() fleet.Spec {
+	spec := coupledSpec()
+	spec.Mode = trace.Legacy
+	spec.DurationSec = 4
+	spec.Faults = &fault.Plan{
+		Name:    "transport-blackout",
+		Outages: []fault.CellOutage{{Cell: fault.AllCells, Start: 1, End: 2.5}},
+	}
+	spec.Transport = &transport.Spec{Controller: "gcc", Workload: "video", StartRateMbps: 4}
+	return spec
+}
+
+// TestClusterTransportMatchesSingleProcess extends the byte-identity
+// contract to transport-armed runs: per-UE transport totals ship over
+// the shard wire, the coordinator re-folds them in global UE order, and
+// the merged result, snapshot and Prometheus text match the
+// single-process engine exactly at shards 1 and 2.
+func TestClusterTransportMatchesSingleProcess(t *testing.T) {
+	spec := transportCoupledSpec()
+	wantRes, wantSnap, wantProm, _, _ := singleProcess(t, spec)
+
+	// The single-process run must actually exercise the stall path,
+	// or byte-identity proves nothing about the transport fold.
+	var single fleet.Result
+	if err := json.Unmarshal(wantRes, &single); err != nil {
+		t.Fatal(err)
+	}
+	if single.Summary.Transport == nil || single.Summary.Transport.Stalls == 0 {
+		t.Fatalf("spec produced no transport stalls: %+v", single.Summary.Transport)
+	}
+
+	for _, shards := range []int{1, 2} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			c := newTestCoordinator(newMemberServer(t), newMemberServer(t))
+			art, err := c.RunFleet(context.Background(), spec, RunOptions{
+				RunID: "tp", Shards: shards, Telemetry: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotRes, _ := json.Marshal(art.Result); string(gotRes) != string(wantRes) {
+				t.Errorf("result JSON differs from single process (%d vs %d bytes)", len(gotRes), len(wantRes))
+			}
+			if gotSnap, _ := json.Marshal(art.Snapshot); string(gotSnap) != string(wantSnap) {
+				t.Errorf("metrics snapshot differs from single process")
+			}
+			if got := art.Snapshot.PrometheusText(); string(got) != string(wantProm) {
+				t.Errorf("Prometheus exposition differs from single process")
+			}
+		})
 	}
 }

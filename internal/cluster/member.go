@@ -234,6 +234,12 @@ func (m *Member) handleFinish(w http.ResponseWriter, r *http.Request) {
 	for i, res := range results {
 		resp.UEs[i] = totalsFromResult(offset+i, res)
 	}
+	if tots := sr.eng.TransportTotals(); tots != nil {
+		for i := range resp.UEs {
+			tt := tots[i]
+			resp.UEs[i].Transport = &tt
+		}
+	}
 	if sr.tel != nil {
 		resp.Metrics = sr.tel.Registry.Dump()
 		resp.Timeline = sr.timeline

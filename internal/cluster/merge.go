@@ -18,9 +18,17 @@ import (
 // quantity whose global value is the sum (attached UEs, timeline
 // event/drop counts — all integer-valued, so float addition is exact
 // in any order).
-func MergeDumps(dumps []*obs.Dump) (*obs.Registry, error) {
+//
+// transportArmed must mirror the run spec's Transport != nil: armed
+// members registered the transport metric schema after the run schema,
+// and the merged registry must carry the identical def list for the
+// dumps to land.
+func MergeDumps(dumps []*obs.Dump, transportArmed bool) (*obs.Registry, error) {
 	reg := obs.NewRegistry()
 	obs.RegisterRunMetrics(reg)
+	if transportArmed {
+		obs.RegisterTransportMetrics(reg)
+	}
 
 	maxIdx := make(map[int]bool) // def index -> max policy
 	for i, def := range reg.Defs() {

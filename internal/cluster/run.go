@@ -12,6 +12,7 @@ import (
 	"rem/internal/fleet"
 	"rem/internal/mobility"
 	"rem/internal/obs"
+	"rem/internal/transport"
 )
 
 // Range is one shard's contiguous UE id range.
@@ -393,6 +394,16 @@ func (c *Coordinator) RunFleet(ctx context.Context, spec fleet.Spec, opts RunOpt
 			results[j] = res
 		}
 		slices[i] = fleet.ShardSlice{Offset: sts[i].rng.Offset, Results: results, Blocked: fr.Blocked, Cells: fr.Cells}
+		if spec.Transport != nil {
+			tr := make([]transport.Totals, len(fr.UEs))
+			for j, t := range fr.UEs {
+				if t.Transport == nil {
+					return nil, fmt.Errorf("cluster: shard %d UE %d missing transport totals", i, t.UE)
+				}
+				tr[j] = *t.Transport
+			}
+			slices[i].Transport = tr
+		}
 		if fr.Metrics != nil {
 			dumps = append(dumps, fr.Metrics)
 		}
@@ -413,7 +424,7 @@ func (c *Coordinator) RunFleet(ctx context.Context, spec fleet.Spec, opts RunOpt
 	c.abortShards(rs, sts)
 	art := &Artifacts{Result: result, Epochs: epoch, ResumedFrom: startEpoch, Assignments: rs.assignments}
 	if rs.telemetry {
-		reg, err := MergeDumps(dumps)
+		reg, err := MergeDumps(dumps, spec.Transport != nil)
 		if err != nil {
 			return nil, err
 		}

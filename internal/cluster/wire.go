@@ -41,6 +41,7 @@ import (
 	"rem/internal/obs"
 	"rem/internal/policy"
 	"rem/internal/trace"
+	"rem/internal/transport"
 )
 
 // Protocol paths (rooted on the member or coordinator mux).
@@ -199,6 +200,12 @@ type UETotals struct {
 	ReportsCorrupted    int `json:"reports_corrupted,omitempty"`
 	CmdsFaultDropped    int `json:"cmds_fault_dropped,omitempty"`
 	CmdsCorrupted       int `json:"cmds_corrupted,omitempty"`
+
+	// Transport is the UE's transport-plane totals, present exactly
+	// when the run's spec arms the plane. Every field of
+	// transport.Totals is a JSON-exact type (float64/int), so the
+	// coordinator's re-fold sees the member's bits unchanged.
+	Transport *transport.Totals `json:"transport,omitempty"`
 }
 
 // wireCauses is the fixed expansion order for reconstructed failure

@@ -12,19 +12,21 @@ func init() {
 	register("faultsweep", "Injected-fault sweep: legacy vs REM under identical fault schedules", runFaultSweep)
 }
 
-// faultArms builds the sweep's fault plans, every window scaled to the
-// configured run duration so quick and full runs stress the same
-// fractions of the journey. The plans are pure literals — no RNG — so
-// legacy and REM replicas see *identical* schedules and the comparison
-// isolates the policy, exactly the fault plane's determinism contract.
-func faultArms(d float64) []struct {
-	name string
-	plan *fault.Plan
-} {
-	return []struct {
-		name string
-		plan *fault.Plan
-	}{
+// FaultArm is one named fault plan of the standard sweep.
+type FaultArm struct {
+	Name string
+	Plan *fault.Plan
+}
+
+// FaultArms builds the standard sweep's fault plans, every window
+// scaled to the given run duration so quick and full runs stress the
+// same fractions of the journey. The plans are pure literals — no RNG
+// — so legacy and REM replicas see *identical* schedules and any
+// comparison over them isolates the policy, exactly the fault plane's
+// determinism contract. Shared by faultsweep and the transport plane's
+// goodputsweep so both stress the same schedules.
+func FaultArms(d float64) []FaultArm {
+	return []FaultArm{
 		{"none", nil},
 		{"burst-loss", &fault.Plan{
 			Name: "burst-loss",
@@ -66,7 +68,7 @@ func runFaultSweep(cfg Config) (*Report, error) {
 	cfg = cfg.normalized()
 	ds := trace.Describe(trace.BeijingShanghai)
 	bucket := ds.SpeedBucketsKmh[len(ds.SpeedBucketsKmh)-1]
-	arms := faultArms(cfg.DurationSec)
+	arms := FaultArms(cfg.DurationSec)
 
 	t := Table{
 		Title: fmt.Sprintf("Failure statistics under injected faults (%s %g-%g km/h)",
@@ -76,7 +78,7 @@ func runFaultSweep(cfg Config) (*Report, error) {
 	}
 	for _, arm := range arms {
 		armCfg := cfg
-		armCfg.Faults = arm.plan
+		armCfg.Faults = arm.Plan
 		aggs, err := runCells(armCfg, []cellSpec{
 			{ds: ds, bucket: bucket, mode: trace.Legacy},
 			{ds: ds, bucket: bucket, mode: trace.REM},
@@ -87,7 +89,7 @@ func runFaultSweep(cfg Config) (*Report, error) {
 		for i, mode := range []trace.Mode{trace.Legacy, trace.REM} {
 			a := aggs[i]
 			t.Rows = append(t.Rows, []string{
-				arm.name, mode.String(),
+				arm.Name, mode.String(),
 				fmt.Sprintf("%d", a.Handovers),
 				pct(a.FailureRatio),
 				pct(a.CauseRatio[mobility.CauseHOCmdLoss]),

@@ -123,8 +123,15 @@ func FeedbackDelayCDF(results []*mobility.Result) Series {
 		}
 		delays = append(delays, res.FeedbackDelays...)
 	}
-	s := Series{Name: "fleet feedback delay", XLabel: "delay (s)", YLabel: "CDF"}
-	for _, p := range dsp.CDF(delays) {
+	return CDFSeries("fleet feedback delay", "delay (s)", delays)
+}
+
+// CDFSeries reduces samples (any order; the CDF sorts) to an empirical
+// distribution series, the standard rendering for per-UE quantities
+// like goodput or stall time.
+func CDFSeries(name, xlabel string, vals []float64) Series {
+	s := Series{Name: name, XLabel: xlabel, YLabel: "CDF"}
+	for _, p := range dsp.CDF(vals) {
 		s.X = append(s.X, p.Value)
 		s.Y = append(s.Y, p.Prob)
 	}

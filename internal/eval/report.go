@@ -191,6 +191,15 @@ func register(id, title string, run func(Config) (*Report, error)) {
 	registry = append(registry, Experiment{ID: id, Title: title, Run: run})
 }
 
+// Register adds an experiment driver from outside the package. Layers
+// above eval (the fleet engine, which eval cannot import without a
+// cycle) use it to publish their experiments through the same registry
+// the CLIs enumerate. IDs must be unique; listing order is sorted, so
+// registration order is irrelevant.
+func Register(id, title string, run func(Config) (*Report, error)) {
+	register(id, title, run)
+}
+
 // Experiments lists all registered experiments sorted by ID.
 func Experiments() []Experiment {
 	out := append([]Experiment(nil), registry...)

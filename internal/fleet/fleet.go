@@ -45,6 +45,7 @@ import (
 	"rem/internal/sim"
 	"rem/internal/tcpsim"
 	"rem/internal/trace"
+	"rem/internal/transport"
 )
 
 // Spec configures a fleet run.
@@ -91,6 +92,13 @@ type Spec struct {
 	// schedule (outages, CSI windows) is shared fleet-wide, injection
 	// randomness comes from each UE's private stream.
 	Faults *fault.Plan `json:"faults,omitempty"`
+	// Transport arms the per-UE transport plane: every UE runs a
+	// congestion-controlled flow (see internal/transport) over its
+	// simulated radio link, with jitter/loss randomness drawn from the
+	// UE's private "transport.link" stream so arming it never perturbs
+	// any pre-existing stream — disarmed runs are byte-identical to
+	// builds that predate the field.
+	Transport *transport.Spec `json:"transport,omitempty"`
 }
 
 // Defaulted returns the spec with unset tunables resolved — the exact
@@ -145,6 +153,11 @@ func (s Spec) Validate() error {
 	}
 	if err := s.Faults.Validate(); err != nil {
 		return err
+	}
+	if s.Transport != nil {
+		if err := s.Transport.Validate(); err != nil {
+			return &SpecError{Field: "Transport", Msg: err.Error()}
+		}
 	}
 	return nil
 }
@@ -279,6 +292,10 @@ type Engine struct {
 	runObs      *runScopeObs
 	timelineBuf []obs.Event
 
+	// tpTotals is the per-UE transport totals (local UE order), filled
+	// by FinishResults when the transport plane is armed.
+	tpTotals []transport.Totals
+
 	// allocSamples is the runtime/metrics scratch for
 	// Progress.EpochAllocs (nil unless a Progress hook is installed).
 	allocSamples []gometrics.Sample
@@ -301,6 +318,12 @@ func (e *Engine) armTelemetry(tel *obs.Telemetry) {
 		return
 	}
 	e.tel = tel
+	if e.spec.Transport != nil {
+		// Extend the schema before the first scope (and so the first
+		// shard) exists; disarmed runs keep the pre-transport snapshot
+		// byte shape.
+		obs.RegisterTransportMetrics(tel.Registry)
+	}
 	sh := tel.Scope(obs.RunScope).Shard
 	e.runObs = &runScopeObs{
 		epochs:          sh.Counter(obs.MEpochs),
@@ -340,12 +363,13 @@ func NewEngine(ctx context.Context, spec Spec, opts Options) (*Engine, error) {
 	}
 	shared, err := trace.BuildFleetShared(trace.FleetConfig{
 		BuildConfig: trace.BuildConfig{
-			Dataset:  trace.Describe(spec.Dataset),
-			SpeedKmh: spec.SpeedKmh,
-			Mode:     spec.Mode,
-			Duration: spec.DurationSec,
-			Seed:     spec.Seed,
-			Faults:   spec.Faults,
+			Dataset:   trace.Describe(spec.Dataset),
+			SpeedKmh:  spec.SpeedKmh,
+			Mode:      spec.Mode,
+			Duration:  spec.DurationSec,
+			Seed:      spec.Seed,
+			Faults:    spec.Faults,
+			Transport: spec.Transport,
 		},
 		StartSpreadM:    spec.StartSpreadM,
 		SpeedJitterFrac: spec.SpeedJitterFrac,
@@ -507,6 +531,22 @@ func (e *Engine) FinishResults() []*mobility.Result {
 	for i := range e.runners {
 		results[i] = e.runners[i].Finish()
 	}
+	if e.spec.Transport != nil {
+		// Drain any link-trace tail the last epoch left unconsumed,
+		// close each flow, and collect the per-UE totals (UE order).
+		// Totals are computed whether or not telemetry is armed; the
+		// metric/event emission below is telemetry-only.
+		e.tpTotals = make([]transport.Totals, len(e.sess))
+		for i := range e.sess {
+			e.stepTransport(i)
+			ss := &e.sess[i]
+			ss.tp.Finish()
+			e.tpTotals[i] = ss.tp.Totals()
+			if e.tel != nil {
+				transport.Observe(ss.scope, e.tpTotals[i], ss.tp.Stalls())
+			}
+		}
+	}
 	if e.tel != nil {
 		// Replay each UE's radio outages through the TCP model (UE
 		// order, coordinator goroutine) and publish the final batch:
@@ -528,6 +568,12 @@ func (e *Engine) FinishResults() []*mobility.Result {
 
 // Spec returns the resolved (defaulted) spec the engine is running.
 func (e *Engine) Spec() Spec { return e.spec }
+
+// TransportTotals returns the per-UE transport totals (local UE order)
+// of a transport-armed run; nil when the plane is disarmed or before
+// FinishResults. Cluster members ship it so the coordinator folds the
+// fleet-wide transport view in global UE order.
+func (e *Engine) TransportTotals() []transport.Totals { return e.tpTotals }
 
 // Loads returns a copy of the frozen per-cell attach counts (dense by
 // cell ID) the next epoch's admission decisions will read.
@@ -572,10 +618,33 @@ func (e *Engine) stepBatch(b int) error {
 			stepHook(int(ue))
 			e.runners[ue].StepTo(e.epochEnd)
 		}
-		return nil
+	} else {
+		mobility.StepBatch(e.runners, batch, e.epochEnd)
 	}
-	mobility.StepBatch(e.runners, batch, e.epochEnd)
+	if e.spec.Transport != nil {
+		for _, ue := range batch {
+			e.stepTransport(int(ue))
+		}
+	}
 	return nil
+}
+
+// stepTransport feeds UE ue's newly recorded link-trace intervals to
+// its transport flow. Runs on the worker that owns the UE this batch
+// (single-writer, like the runner itself); randomness comes only from
+// the UE's private transport stream, so the consumed-prefix position
+// never depends on epoch boundaries or worker count.
+func (e *Engine) stepTransport(ue int) {
+	ss := &e.sess[ue]
+	if ss.tp == nil {
+		return
+	}
+	res := e.runners[ue].Result()
+	for ss.tpSeen < len(res.LinkDown) {
+		k := ss.tpSeen
+		ss.tp.Step(res.SNRTrace[k], res.LinkDown[k])
+		ss.tpSeen++
+	}
 }
 
 // rebuildActive refreshes the dense activity index: UEs whose runner
@@ -667,7 +736,9 @@ func (e *Engine) buildResult(results []*mobility.Result) *Result {
 		sum.Cells = append(sum.Cells, cs)
 	}
 	agg := eval.AggregateFleet(results)
-	return &Result{Summary: *sum, Report: agg.Report(specTitle(e.spec)).Render()}
+	rep := agg.Report(specTitle(e.spec))
+	applyTransport(e.spec, sum, rep, e.tpTotals)
+	return &Result{Summary: *sum, Report: rep.Render()}
 }
 
 // specTitle renders the report title for a (defaulted) spec; the

@@ -7,6 +7,7 @@ import (
 	"rem/internal/eval"
 	"rem/internal/mobility"
 	"rem/internal/sim"
+	"rem/internal/transport"
 )
 
 // ShardSlice is one shard's contribution to a merged fleet result: the
@@ -21,6 +22,10 @@ type ShardSlice struct {
 	// ID. Every shard shares one deployment, so tables must agree on
 	// length and cell identity.
 	Cells []CellStat
+	// Transport is the shard's per-UE transport totals (local UE
+	// order), required (one per Result) when the spec arms the
+	// transport plane and ignored otherwise.
+	Transport []transport.Totals
 }
 
 // MergeShards reduces per-shard raw results into the Result a
@@ -48,9 +53,16 @@ func MergeShards(spec Spec, shards []ShardSlice, peaks, finals []int) (*Result, 
 	results := make([]*mobility.Result, 0, spec.UEs)
 	blocked := 0
 	var cells []CellStat
+	var tpTotals []transport.Totals
 	for _, sh := range sorted {
 		if sh.Offset != len(results) {
 			return nil, fmt.Errorf("fleet: merge: shard ranges not contiguous at UE %d (offset %d)", len(results), sh.Offset)
+		}
+		if spec.Transport != nil {
+			if len(sh.Transport) != len(sh.Results) {
+				return nil, fmt.Errorf("fleet: merge: shard at offset %d carries %d transport totals for %d UEs", sh.Offset, len(sh.Transport), len(sh.Results))
+			}
+			tpTotals = append(tpTotals, sh.Transport...)
 		}
 		results = append(results, sh.Results...)
 		blocked += sh.Blocked
@@ -93,5 +105,7 @@ func MergeShards(spec Spec, shards []ShardSlice, peaks, finals []int) (*Result, 
 		sum.Cells = append(sum.Cells, cs)
 	}
 	agg := eval.AggregateFleet(results)
-	return &Result{Summary: *sum, Report: agg.Report(specTitle(spec)).Render()}, nil
+	rep := agg.Report(specTitle(spec))
+	applyTransport(spec, sum, rep, tpTotals)
+	return &Result{Summary: *sum, Report: rep.Render()}, nil
 }

@@ -6,6 +6,7 @@ import (
 	"rem/internal/core"
 	"rem/internal/mobility"
 	"rem/internal/obs"
+	"rem/internal/transport"
 )
 
 // sessState is one UE's fleet-side bookkeeping, stored flat in the
@@ -32,6 +33,12 @@ type sessState struct {
 	// the resolved load-spreading counter handle (nil-safe).
 	scope  *obs.UEScope
 	spread *obs.Counter
+
+	// tp is the UE's transport flow (nil when the transport plane is
+	// disarmed); tpSeen is the consumed prefix of the runner's recorded
+	// link trace (LinkDown/SNRTrace intervals already fed to the flow).
+	tp     *transport.UE
+	tpSeen int
 }
 
 // buildSession assembles UE ue in place: its scenario over the shared
@@ -82,6 +89,14 @@ func (e *Engine) buildSession(ue int) error {
 			})
 		}
 		return d.Target, d.OK
+	}
+	if tspec := e.spec.Transport; tspec != nil {
+		// The transport stream is named, so arming it never perturbs any
+		// other stream's draws; the budget covers two draws per 0.1 s
+		// interval with Gauss headroom (see transport.DrawBudget).
+		rng := built.Streams.StreamBudget(transport.StreamLink,
+			transport.DrawBudget(e.spec.DurationSec))
+		ss.tp = transport.NewUE(*tspec, rng)
 	}
 	if err := mobility.InitRunner(&e.runners[ue], built.Streams, built.Scenario); err != nil {
 		return fmt.Errorf("fleet: UE %d: %w", ue, err)

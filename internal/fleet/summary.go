@@ -4,6 +4,7 @@ import (
 	"rem/internal/mobility"
 	"rem/internal/sim"
 	"rem/internal/trace"
+	"rem/internal/transport"
 )
 
 // Event types streamed out of a fleet run.
@@ -33,6 +34,9 @@ type UEStat struct {
 	Failures     int     `json:"failures"`
 	FailureRatio float64 `json:"failure_ratio"`
 	FinalCell    int     `json:"final_cell"`
+	// Transport is the UE's transport-plane totals; nil (omitted) when
+	// the plane is disarmed, keeping legacy summaries byte-identical.
+	Transport *transport.Totals `json:"transport,omitempty"`
 }
 
 // CellStat summarizes one cell's share of the fleet.
@@ -69,6 +73,9 @@ type Summary struct {
 	// faults (drop + fatal corruption), fleet-wide. Omitted when the
 	// fault plane is disarmed, keeping legacy summaries byte-identical.
 	FaultLosses int `json:"fault_losses,omitempty"`
+	// Transport is the fleet-wide transport-plane aggregate; nil
+	// (omitted) when the plane is disarmed.
+	Transport *TransportSummary `json:"transport,omitempty"`
 
 	PerUE []UEStat   `json:"per_ue"`
 	Cells []CellStat `json:"cells,omitempty"`

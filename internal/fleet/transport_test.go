@@ -1,0 +1,148 @@
+package fleet
+
+import (
+	"strings"
+	"testing"
+
+	"rem/internal/fault"
+	"rem/internal/trace"
+	"rem/internal/transport"
+)
+
+// transportSpec100 is the armed-observability golden spec with the
+// transport plane armed on top: faults, obs, admission and transport
+// all exercised in one run.
+func transportSpec100(workers int) Spec {
+	spec := goldenSpec100(workers)
+	spec.Transport = &transport.Spec{Controller: "gcc", Workload: "video", StartRateMbps: 4}
+	return spec
+}
+
+// TestFleetTransportWorkerInvariance pins the transport plane's
+// determinism contract at fleet scale: a 100-UE transport-armed run
+// produces byte-identical result JSON, metrics snapshot, Prometheus
+// text and timeline NDJSON at workers 1 and 8.
+func TestFleetTransportWorkerInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet invariance runs skipped in -short mode")
+	}
+	wantRes, wantSnap, wantProm, wantND := goldenArtifacts(t, transportSpec100(1), true)
+	for _, workers := range []int{2, 8} {
+		gotRes, gotSnap, gotProm, gotND := goldenArtifacts(t, transportSpec100(workers), true)
+		if string(gotRes) != string(wantRes) {
+			t.Errorf("workers=%d: result JSON differs (%d vs %d bytes)", workers, len(gotRes), len(wantRes))
+		}
+		if string(gotSnap) != string(wantSnap) {
+			t.Errorf("workers=%d: metrics snapshot differs", workers)
+		}
+		if string(gotProm) != string(wantProm) {
+			t.Errorf("workers=%d: Prometheus exposition differs", workers)
+		}
+		if string(gotND) != string(wantND) {
+			t.Errorf("workers=%d: timeline differs", workers)
+		}
+	}
+	// Arming telemetry must not change the result bytes either.
+	disarmedRes, _, _, _ := goldenArtifacts(t, transportSpec100(4), false)
+	if string(disarmedRes) != string(wantRes) {
+		t.Error("telemetry arming changed a transport-armed run's result bytes")
+	}
+}
+
+// TestFleetTransportSummary checks the armed plane's output shape: one
+// totals entry per UE, a folded fleet aggregate, and the "Transport
+// plane" table in the rendered report.
+func TestFleetTransportSummary(t *testing.T) {
+	spec := transportSpec100(4)
+	spec.UEs = 20
+	// Legacy mode with a 2 s all-cells blackout: the outage outlives the
+	// 0.5 s RLF timeout, so every UE records real link-down time and the
+	// stall path is exercised (a 4 s REM run is too reliable to stall).
+	spec.Mode = trace.Legacy
+	spec.DurationSec = 6
+	spec.Faults = &fault.Plan{
+		Name:    "transport-blackout",
+		Outages: []fault.CellOutage{{Cell: fault.AllCells, Start: 1, End: 3}},
+	}
+	res := mustRun(t, spec)
+	ts := res.Summary.Transport
+	if ts == nil {
+		t.Fatal("armed run has no transport summary")
+	}
+	if ts.Controller != "gcc" || ts.Workload != "video" {
+		t.Fatalf("summary names %s/%s", ts.Controller, ts.Workload)
+	}
+	if ts.DeliveredMbit <= 0 || ts.MeanGoodputMbps <= 0 {
+		t.Fatalf("no delivery recorded: %+v", ts)
+	}
+	if len(res.Summary.PerUE) != spec.UEs {
+		t.Fatalf("per-UE stats = %d, want %d", len(res.Summary.PerUE), spec.UEs)
+	}
+	var withTotals int
+	for _, st := range res.Summary.PerUE {
+		if st.Transport != nil {
+			withTotals++
+			if st.Transport.Intervals == 0 {
+				t.Fatalf("UE %d transport totals empty: %+v", st.UE, st.Transport)
+			}
+		}
+	}
+	if withTotals != spec.UEs {
+		t.Fatalf("%d/%d UEs carry transport totals", withTotals, spec.UEs)
+	}
+	if !strings.Contains(res.Report, "Transport plane") {
+		t.Error("report is missing the Transport plane table")
+	}
+	// The all-cells outage window (1.5–2.0 s) must surface as stalls.
+	if ts.Stalls == 0 || ts.StallSec <= 0 {
+		t.Fatalf("fault-plane outage produced no transport stalls: %+v", ts)
+	}
+
+	// Disarmed: no transport fields anywhere.
+	spec.Transport = nil
+	bare := mustRun(t, spec)
+	if bare.Summary.Transport != nil {
+		t.Error("disarmed run carries a transport summary")
+	}
+	for _, st := range bare.Summary.PerUE {
+		if st.Transport != nil {
+			t.Fatal("disarmed run carries per-UE transport totals")
+		}
+	}
+	if strings.Contains(bare.Report, "Transport plane") {
+		t.Error("disarmed report renders the Transport plane table")
+	}
+}
+
+// TestFleetTransportStallsMatchReplay sanity-checks every UE's stall
+// accounting against the RTO model's invariants (the bit-level parity
+// of the ported model itself is pinned in the transport package's
+// TestStallParityWithTcpsim).
+func TestFleetTransportStallsMatchReplay(t *testing.T) {
+	spec := transportSpec100(4)
+	spec.UEs = 10
+	res := mustRun(t, spec)
+	for _, st := range res.Summary.PerUE {
+		if st.Transport == nil {
+			t.Fatalf("UE %d missing totals", st.UE)
+		}
+		if st.Transport.StallSec < 0 || st.Transport.DownSec < 0 {
+			t.Fatalf("UE %d negative stall accounting: %+v", st.UE, st.Transport)
+		}
+		// Stall time is never shorter than the link-down time that
+		// produced it (RTO overshoot only extends).
+		if st.Transport.Stalls > 0 && st.Transport.StallSec < st.Transport.DownSec-1e-9 {
+			t.Fatalf("UE %d stall %.3fs shorter than down %.3fs",
+				st.UE, st.Transport.StallSec, st.Transport.DownSec)
+		}
+	}
+}
+
+func mustRun(t *testing.T, spec Spec) *Result {
+	t.Helper()
+	res, err := Run(t.Context(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}

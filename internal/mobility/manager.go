@@ -140,6 +140,11 @@ type Scenario struct {
 	// RadioEnv and MeasConfig hooks by the scenario builder. The
 	// injector is owned by this scenario's single stepping goroutine.
 	Faults *fault.Injector
+	// RecordLink arms per-interval link availability recording for the
+	// transport plane: Result.LinkDown gains one down-fraction sample
+	// per SNR trace interval. Recording draws no randomness and costs
+	// one counter per tick, so disarmed runs are byte-identical.
+	RecordLink bool
 	// Obs, when non-nil, arms the observability plane for this run:
 	// the scope's recorder receives the handover-lifecycle timeline
 	// and its metrics shard the canonical rem_* counters/histograms.
@@ -174,6 +179,13 @@ type Result struct {
 	// pre-failure block error rates are computed from.
 	SNRTrace     []float64
 	SNRTraceStep float64
+	// LinkDown (recorded only when Scenario.RecordLink is set) is the
+	// fraction of each SNR trace interval the radio link was unusable —
+	// RLF/re-establishment outage or handover interruption. Entry k
+	// covers the interval between SNRTrace[k] and SNRTrace[k+1], so
+	// len(LinkDown) == len(SNRTrace)-1 when the run ends on a trace
+	// boundary. The transport plane derives its outage windows from it.
+	LinkDown []float64
 	// GapActiveSec is total time with inter-frequency measurement gaps
 	// armed (spectrum overhead accounting, §3.2).
 	GapActiveSec float64
@@ -250,6 +262,11 @@ type Runner struct {
 	inOutage       bool
 	outageStart    float64
 	reestablishAt  float64
+	// Transport-plane link recording (Scenario.RecordLink): ticks of
+	// the current trace interval the link was down, and the end of the
+	// current handover interruption.
+	downTicks   int
+	hoDownUntil float64
 
 	multiChannel bool // more than one deployed carrier (cached)
 
@@ -327,6 +344,9 @@ func InitRunner(r *Runner, streams sim.StreamSource, sc *Scenario) error {
 	// The SNR trace has a known exact bound; sizing it upfront keeps
 	// steady-state epoch stepping allocation-free.
 	r.res.SNRTrace = make([]float64, 0, (r.steps-1)/r.traceEvery+1)
+	if sc.RecordLink {
+		r.res.LinkDown = make([]float64, 0, (r.steps-1)/r.traceEvery)
+	}
 	return nil
 }
 
@@ -410,6 +430,7 @@ func (r *Runner) connectTo(t float64, target int, trigger policy.EventType, snap
 		TriggerType: trigger, DisruptionSec: cfg.HOInterruptSec,
 	})
 	res.Outages = append(res.Outages, Outage{Start: t, Duration: cfg.HOInterruptSec})
+	r.hoDownUntil = t + cfg.HOInterruptSec
 	if o := r.obs; o != nil {
 		o.handovers.Inc()
 		o.rec.Record(obs.Event{T: t, Kind: obs.EvComplete, Cell: from, To: target})
@@ -426,6 +447,19 @@ func (r *Runner) tick(t float64) {
 	cfg, sc, res := r.cfg, r.sc, r.res
 	pos := sc.Traj.At(t)
 	onTrace := r.i%r.traceEvery == 0
+
+	if sc.RecordLink {
+		// Flush the previous interval's down fraction on each trace
+		// boundary, then count this tick against the new interval using
+		// the state the tick begins in.
+		if onTrace && r.i > 0 {
+			res.LinkDown = append(res.LinkDown, float64(r.downTicks)/float64(r.traceEvery))
+			r.downTicks = 0
+		}
+		if r.inOutage || t < r.hoDownUntil {
+			r.downTicks++
+		}
+	}
 
 	if r.inOutage {
 		// Blacked-out fast path: advance every radio process through

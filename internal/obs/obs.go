@@ -65,6 +65,12 @@ const (
 	// Value = stall duration).
 	EvTCPStallOpen  = "tcp_stall_open"
 	EvTCPStallClose = "tcp_stall_close"
+	// EvTPStallOpen / EvTPStallClose bracket a transport-plane link
+	// stall (congestion-controlled flow blocked by an outage plus its
+	// RTO recovery; open: Value = final RTO reached; close: Value =
+	// stall duration). Only present when Spec.Transport is armed.
+	EvTPStallOpen  = "transport_stall_open"
+	EvTPStallClose = "transport_stall_close"
 	// EvFault is a standalone fault-injection marker: a verdict that
 	// perturbed a delivery without losing it (e.g. injected transport
 	// delay, Value = extra seconds). Losses carry their attribution on

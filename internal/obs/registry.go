@@ -148,6 +148,18 @@ func (g *Registry) register(d Def) {
 	g.defs = append(g.defs, d)
 }
 
+// Has reports whether a series (family, or family{labels}) is already
+// registered, letting optional schema extensions register idempotently.
+func (g *Registry) Has(name string) bool {
+	if g == nil {
+		return false
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	_, ok := g.index[name]
+	return ok
+}
+
 // Counter registers an unlabeled counter family.
 func (g *Registry) Counter(family, help string) {
 	g.register(Def{Family: family, Help: help, Kind: KindCounter})

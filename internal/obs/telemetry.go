@@ -25,6 +25,11 @@ const (
 	MBlackout        = "rem_blackout_seconds"
 	MTCPStalls       = "rem_tcp_stalls_total"
 	MTCPStall        = "rem_tcp_stall_seconds"
+	MTPDelivered     = "rem_transport_delivered_mbit_total"
+	MTPStalls        = "rem_transport_stalls_total"
+	MTPStall         = "rem_transport_stall_seconds"
+	MTPRebuffers     = "rem_transport_rebuffers_total"
+	MTPGoodput       = "rem_transport_goodput_mbps"
 	MEpochs          = "rem_epochs_total"
 	MTimelineEvents  = "rem_timeline_events_total"
 	MTimelineDropped = "rem_timeline_dropped_total"
@@ -53,6 +58,8 @@ var (
 	FeedbackDelayBuckets = []float64{0.05, 0.1, 0.2, 0.5, 1, 2, 5}
 	BlackoutBuckets      = []float64{0.5, 1, 2, 5, 10, 30}
 	TCPStallBuckets      = []float64{0.5, 1, 2, 5, 10, 30, 60}
+	TPStallBuckets       = []float64{0.5, 1, 2, 5, 10, 30, 60}
+	TPGoodputBuckets     = []float64{0.5, 1, 2, 5, 10, 20, 50}
 )
 
 // RegisterRunMetrics installs the canonical run schema on a registry.
@@ -81,6 +88,22 @@ func RegisterRunMetrics(g *Registry) {
 	g.Counter(MTimelineDropped, "Timeline events overwritten before a drain (ring overflow).")
 	g.Gauge(MAttachedUEs, "UEs currently holding a radio link.")
 	g.Gauge(MSimTime, "Simulated seconds completed.")
+}
+
+// RegisterTransportMetrics extends a registry with the transport-plane
+// schema. It is an opt-in extension — only transport-armed runs call
+// it, so disarmed snapshots keep their pre-transport byte shape — and
+// idempotent, skipping series already present. It must run before any
+// shard is created (same rule as all registration).
+func RegisterTransportMetrics(g *Registry) {
+	if g.Has(MTPDelivered) {
+		return
+	}
+	g.Counter(MTPDelivered, "Transport payload delivered to applications (Mbit).")
+	g.Counter(MTPStalls, "Transport link stalls (outage plus residual RTO wait).")
+	g.Histogram(MTPStall, "Transport link stall duration.", TPStallBuckets)
+	g.Counter(MTPRebuffers, "Video workload rebuffer onsets.")
+	g.Histogram(MTPGoodput, "Per-UE transport goodput.", TPGoodputBuckets)
 }
 
 // RunScope is the scope ID for run-level (non-UE) metrics.

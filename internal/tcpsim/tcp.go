@@ -4,6 +4,13 @@
 // exponentially, so the connection stalls for the outage duration plus
 // the residual wait until the next retransmission timer fires —
 // usually well past the moment radio connectivity returns.
+//
+// Deprecated for new code: the per-UE transport plane
+// (internal/transport) carries the same RTO stall model
+// (transport.StallForOutage / transport.ReplayStalls produce identical
+// stalls) plus congestion control and application workloads on top.
+// tcpsim remains the single-run Fig. 9 path and the model of record
+// the transport port is pinned against.
 package tcpsim
 
 import (
@@ -41,8 +48,15 @@ func (c Config) normalized() Config {
 	if c.BaseRTOSec <= 0 {
 		c.BaseRTOSec = 0.2
 	}
-	if c.MaxRTOSec < c.BaseRTOSec {
+	if c.MaxRTOSec <= 0 {
 		c.MaxRTOSec = 60
+	}
+	if c.MaxRTOSec < c.BaseRTOSec {
+		// A cap below the base would make the backoff loop shrink the
+		// RTO on its first doubling; pin it to the base instead of
+		// jumping to the default (a caller asking for a low cap wants a
+		// low cap).
+		c.MaxRTOSec = c.BaseRTOSec
 	}
 	if c.SlowStartSec <= 0 {
 		c.SlowStartSec = 1.5

@@ -122,3 +122,45 @@ func TestConfigNormalization(t *testing.T) {
 		t.Fatal("zero config should normalize to defaults and still work")
 	}
 }
+
+func TestConfigNormalizedClamps(t *testing.T) {
+	cases := []struct {
+		name     string
+		in       Config
+		wantBase float64
+		wantMax  float64
+	}{
+		{"zero fills defaults", Config{}, 0.2, 60},
+		{"explicit values kept", Config{BaseRTOSec: 0.5, MaxRTOSec: 30}, 0.5, 30},
+		// Regression: a cap below the base used to be replaced by the
+		// 60 s default, turning a deliberately low cap into a huge one.
+		// It must pin to the base instead (constant backoff).
+		{"cap below base pins to base", Config{BaseRTOSec: 1, MaxRTOSec: 0.5}, 1, 1},
+		{"negative cap falls back to default", Config{BaseRTOSec: 0.3, MaxRTOSec: -1}, 0.3, 60},
+		{"default base above tiny cap", Config{MaxRTOSec: 0.1}, 0.2, 0.2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := tc.in.normalized()
+			if got.BaseRTOSec != tc.wantBase || got.MaxRTOSec != tc.wantMax {
+				t.Fatalf("normalized() base/max = %g/%g, want %g/%g",
+					got.BaseRTOSec, got.MaxRTOSec, tc.wantBase, tc.wantMax)
+			}
+			if got.SlowStartSec <= 0 || got.RateMbps <= 0 {
+				t.Fatalf("normalized() left %+v unfilled", got)
+			}
+		})
+	}
+}
+
+func TestStallRTOCapBelowBaseStaysConstant(t *testing.T) {
+	// With the cap pinned at the base, backoff never grows: a long
+	// outage retransmits every BaseRTOSec.
+	st := StallForOutage(Outage{Duration: 10}, Config{BaseRTOSec: 1, MaxRTOSec: 0.5})
+	if st.FinalRTO != 1 {
+		t.Fatalf("final RTO = %g, want constant 1", st.FinalRTO)
+	}
+	if st.Retransmissions != 10 {
+		t.Fatalf("retransmissions = %d, want 10 (one per second)", st.Retransmissions)
+	}
+}

@@ -190,6 +190,9 @@ func (s *Shared) buildUE(streams sim.StreamSource, ue int) (*Built, error) {
 		Duration:      s.Cfg.Duration,
 		Faults:        inj,
 	}
+	if s.Cfg.Transport != nil {
+		sc.RecordLink = true
+	}
 	return &Built{
 		Scenario: sc, Streams: streams,
 		Policies: s.Policies, Coverage: s.Coverage, Channels: s.Channels,

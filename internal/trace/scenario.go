@@ -12,6 +12,7 @@ import (
 	"rem/internal/policy"
 	"rem/internal/ran"
 	"rem/internal/sim"
+	"rem/internal/transport"
 )
 
 // Mode selects the mobility management under test.
@@ -60,6 +61,13 @@ type BuildConfig struct {
 	// run's stream factory (the "fault.injector" stream, so arming
 	// faults never perturbs any pre-existing stream's draws).
 	Faults *fault.Plan
+	// Transport, when non-nil, arms the per-UE transport plane: the
+	// mobility runner records per-interval link availability
+	// (Scenario.RecordLink, which draws no randomness) and the caller
+	// steps a transport.UE over the recorded trace with the
+	// "transport.link" stream. Disarmed runs are byte-identical to
+	// builds that predate the field.
+	Transport *transport.Spec
 }
 
 // Built is a ready-to-run scenario plus the artifacts the evaluation
@@ -138,6 +146,9 @@ func Build(cfg BuildConfig) (*Built, error) {
 		OTFSSignaling: otfs,
 		Duration:      cfg.Duration,
 		Faults:        inj,
+	}
+	if cfg.Transport != nil {
+		sc.RecordLink = true
 	}
 	return &Built{
 		Scenario: sc, Streams: streams,

@@ -1,0 +1,152 @@
+package transport
+
+import "math"
+
+// bbr is a model-based controller in the BBR v1 style: it keeps a
+// windowed-max estimate of delivery rate (bottleneck bandwidth) and a
+// windowed-min RTT, and paces at gain × max_bw through a four-state
+// machine — Startup (2.885× gain until bandwidth stops growing),
+// Drain, ProbeBW (eight-phase gain cycle) and ProbeRTT (periodic
+// near-floor probe to refresh the min-RTT sample).
+type bbr struct {
+	spec Spec
+	rate float64
+
+	state    bbrState
+	bw       maxFilter
+	minRTT   float64
+	rttAge   int // intervals since the min-RTT sample was refreshed
+	cycleIdx int
+
+	// Startup plateau detection: full bandwidth reached when bw grew
+	// <25% over three consecutive intervals.
+	fullBW     float64
+	fullBWRuns int
+
+	probeRTTLeft int
+	down         bool // inside a down run (restart discovery once)
+}
+
+type bbrState int
+
+const (
+	bbrStartup bbrState = iota
+	bbrDrain
+	bbrProbeBW
+	bbrProbeRTT
+)
+
+const (
+	bbrStartupGain   = 2.885
+	bbrDrainGain     = 1 / 2.885
+	bbrBWWindow      = 10  // intervals of max-bandwidth memory
+	bbrMinRTTWindow  = 100 // intervals (10 s) before forcing ProbeRTT
+	bbrProbeRTTSpan  = 2   // intervals spent near the floor
+	bbrFullBWThresh  = 1.25
+	bbrFullBWRunsMax = 3
+)
+
+var bbrCycleGains = [...]float64{1.25, 0.75, 1, 1, 1, 1, 1, 1}
+
+func newBBR(spec Spec) *bbr {
+	return &bbr{
+		spec:   spec,
+		rate:   spec.StartRateMbps,
+		minRTT: math.Inf(1),
+		bw:     maxFilter{window: bbrBWWindow},
+	}
+}
+
+func (b *bbr) Name() string { return ControllerBBR }
+
+func (b *bbr) Update(fb Feedback) float64 {
+	if fb.Down {
+		// Outage: the path model is stale. Restart discovery — once per
+		// contiguous down run, so a long blackout costs one backoff, not
+		// one per interval.
+		if !b.down {
+			b.state = bbrStartup
+			b.bw = maxFilter{window: bbrBWWindow}
+			b.fullBW = 0
+			b.fullBWRuns = 0
+			b.rttAge = 0
+			b.rate = clampRate(b.rate*0.5, b.spec)
+			b.down = true
+		}
+		return b.rate
+	}
+	b.down = false
+	b.bw.push(fb.DeliveredMbps)
+	if fb.RTTSec < b.minRTT {
+		b.minRTT = fb.RTTSec
+		b.rttAge = 0
+	} else {
+		b.rttAge++
+	}
+
+	switch b.state {
+	case bbrStartup:
+		if bw := b.bw.max(); bw < b.fullBW*bbrFullBWThresh {
+			b.fullBWRuns++
+			if b.fullBWRuns >= bbrFullBWRunsMax {
+				b.state = bbrDrain
+			}
+		} else {
+			b.fullBW = bw
+			b.fullBWRuns = 0
+		}
+		b.rate = bbrStartupGain * math.Max(b.bw.max(), b.spec.StartRateMbps)
+	case bbrDrain:
+		b.rate = bbrDrainGain * b.bw.max()
+		// One drain interval is enough at this timescale.
+		b.state = bbrProbeBW
+		b.cycleIdx = 0
+	case bbrProbeBW:
+		if b.rttAge >= bbrMinRTTWindow {
+			b.state = bbrProbeRTT
+			b.probeRTTLeft = bbrProbeRTTSpan
+			b.rate = b.spec.MinRateMbps * 2
+			break
+		}
+		gain := bbrCycleGains[b.cycleIdx]
+		b.cycleIdx = (b.cycleIdx + 1) % len(bbrCycleGains)
+		b.rate = gain * b.bw.max()
+	case bbrProbeRTT:
+		b.probeRTTLeft--
+		if b.probeRTTLeft <= 0 {
+			b.rttAge = 0
+			b.state = bbrProbeBW
+			b.cycleIdx = 0
+		}
+		b.rate = b.spec.MinRateMbps * 2
+	}
+	b.rate = clampRate(b.rate, b.spec)
+	return b.rate
+}
+
+// maxFilter is a fixed-window running maximum over the last `window`
+// pushed samples.
+type maxFilter struct {
+	window  int
+	samples []float64
+}
+
+func (f *maxFilter) push(v float64) {
+	if len(f.samples) == f.window {
+		// Slide in place; a [1:] reslice would reallocate every push.
+		copy(f.samples, f.samples[1:])
+		f.samples[f.window-1] = v
+		return
+	}
+	f.samples = append(f.samples, v)
+}
+
+func (f *maxFilter) max() float64 {
+	m := 0.0
+	for _, v := range f.samples {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}

@@ -1,0 +1,50 @@
+package transport
+
+// Feedback is what the link hands the congestion controller once per
+// interval: what was offered, what arrived, and the delay it saw.
+type Feedback struct {
+	// DT is the interval length in seconds.
+	DT float64
+	// SendMbps is the rate the controller asked for this interval.
+	SendMbps float64
+	// DeliveredMbps is what the link actually carried.
+	DeliveredMbps float64
+	// RTTSec is base RTT + queueing delay + jitter as measured this
+	// interval.
+	RTTSec float64
+	// Lost reports a (random or overflow) loss event this interval.
+	Lost bool
+	// Down reports the link was unusable (outage or RTO recovery
+	// window) this interval.
+	Down bool
+}
+
+// Controller is a congestion controller: fed one Feedback per link
+// interval, it returns the send rate (Mbps) for the next interval.
+// Implementations are pure state machines — no RNG, no clocks — so a
+// rate trace is a deterministic function of the feedback sequence.
+type Controller interface {
+	Name() string
+	Update(fb Feedback) float64
+}
+
+// NewController builds the controller named by the (defaulted) spec.
+func NewController(spec Spec) Controller {
+	spec = spec.Defaulted()
+	switch spec.Controller {
+	case ControllerBBR:
+		return newBBR(spec)
+	default:
+		return newGCC(spec)
+	}
+}
+
+func clampRate(rate float64, spec Spec) float64 {
+	if rate < spec.MinRateMbps {
+		return spec.MinRateMbps
+	}
+	if rate > spec.MaxRateMbps {
+		return spec.MaxRateMbps
+	}
+	return rate
+}

@@ -1,0 +1,157 @@
+package transport
+
+import "math"
+
+// gcc is a delay-based bandwidth estimator in the Google Congestion
+// Control style (the libwebrtc/Chrome receiver behavior): a trendline
+// filter linear-regresses exponentially smoothed one-way-delay
+// deviations, an overuse detector with an adaptive threshold turns the
+// slope into increase/hold/decrease signals, and an AIMD rate control
+// multiplicatively probes up (~8%/s) and steps down to 85% of the
+// measured delivery rate on sustained overuse.
+type gcc struct {
+	spec Spec
+	rate float64
+
+	minRTT   float64
+	smoothed float64 // exponentially smoothed delay deviation, ms
+	// trendline regression window: sample index vs smoothed delay.
+	hist      []gccSample
+	numDeltas int
+
+	threshold   float64 // adaptive overuse threshold, ms
+	overuseRuns int     // consecutive over-threshold samples
+	sample      int
+	down        bool // inside a down run (back off once per run)
+}
+
+type gccSample struct {
+	x float64 // arrival index
+	y float64 // smoothed delay deviation, ms
+}
+
+const (
+	gccWindow       = 20    // regression window length
+	gccSmoothing    = 0.9   // exponential smoothing factor
+	gccGain         = 4.0   // trendline slope gain
+	gccMaxDeltas    = 60    // slope multiplier cap
+	gccThresholdLo  = 6.0   // ms
+	gccThresholdHi  = 600.0 // ms
+	gccKUp          = 0.0087
+	gccKDown        = 0.039
+	gccOveruseRuns  = 2    // sustained samples before decrease
+	gccBeta         = 0.85 // decrease: fraction of delivered rate
+	gccIncreasePerS = 1.08 // multiplicative increase per second
+	gccLossBackoff  = 0.97 // mild loss response per lossy interval
+)
+
+func newGCC(spec Spec) *gcc {
+	return &gcc{
+		spec:      spec,
+		rate:      spec.StartRateMbps,
+		minRTT:    math.Inf(1),
+		threshold: 12.5,
+		hist:      make([]gccSample, 0, gccWindow),
+	}
+}
+
+func (g *gcc) Name() string { return ControllerGCC }
+
+func (g *gcc) Update(fb Feedback) float64 {
+	if fb.Down {
+		// Link gone: back off hard — once per contiguous down run, not
+		// per interval, or a multi-second blackout would multiply the
+		// rate to the floor — and forget the delay baseline; the
+		// post-recovery queue tells us nothing about the old path.
+		if !g.down {
+			g.rate = clampRate(g.rate*0.5, g.spec)
+			g.down = true
+		}
+		g.hist = g.hist[:0]
+		g.numDeltas = 0
+		g.smoothed = 0
+		g.overuseRuns = 0
+		return g.rate
+	}
+	g.down = false
+	if fb.RTTSec < g.minRTT {
+		g.minRTT = fb.RTTSec
+	}
+	delayMs := (fb.RTTSec - g.minRTT) * 1000
+	g.smoothed = gccSmoothing*g.smoothed + (1-gccSmoothing)*delayMs
+	g.sample++
+	g.numDeltas++
+	// x is arrival time in ms (not sample index): the trendline slope
+	// must be delay-growth per millisecond for the libwebrtc-tuned
+	// thresholds to mean anything — an index axis would inflate the
+	// slope by the interval length and trip overuse on pure jitter.
+	s := gccSample{x: float64(g.sample) * fb.DT * 1000, y: g.smoothed}
+	if len(g.hist) == gccWindow {
+		// Slide in place: a [1:] reslice would shrink the capacity and
+		// force a reallocation every interval.
+		copy(g.hist, g.hist[1:])
+		g.hist[gccWindow-1] = s
+	} else {
+		g.hist = append(g.hist, s)
+	}
+
+	trend := trendlineSlope(g.hist)
+	nd := g.numDeltas
+	if nd > gccMaxDeltas {
+		nd = gccMaxDeltas
+	}
+	modified := trend * float64(nd) * gccGain
+
+	// Adaptive threshold (libwebrtc overuse_detector): track the
+	// modified trend so one congested path doesn't pin the detector.
+	k := gccKDown
+	if math.Abs(modified) > g.threshold {
+		k = gccKUp
+	}
+	g.threshold += k * (math.Abs(modified) - g.threshold) * (fb.DT * 1000 / 15)
+	g.threshold = math.Min(math.Max(g.threshold, gccThresholdLo), gccThresholdHi)
+
+	switch {
+	case modified > g.threshold:
+		g.overuseRuns++
+		if g.overuseRuns >= gccOveruseRuns {
+			g.rate = gccBeta * math.Max(fb.DeliveredMbps, g.spec.MinRateMbps)
+			g.overuseRuns = 0
+		}
+	case modified < -g.threshold:
+		// Underuse: hold and let the queue drain.
+		g.overuseRuns = 0
+	default:
+		g.overuseRuns = 0
+		g.rate *= math.Pow(gccIncreasePerS, fb.DT)
+	}
+	if fb.Lost {
+		g.rate *= gccLossBackoff
+	}
+	g.rate = clampRate(g.rate, g.spec)
+	return g.rate
+}
+
+// trendlineSlope is the least-squares slope of the (x, y) window —
+// delay-per-arrival, the core of the libwebrtc trendline estimator.
+func trendlineSlope(hist []gccSample) float64 {
+	n := float64(len(hist))
+	if n < 2 {
+		return 0
+	}
+	var sumX, sumY float64
+	for _, p := range hist {
+		sumX += p.x
+		sumY += p.y
+	}
+	meanX, meanY := sumX/n, sumY/n
+	var num, den float64
+	for _, p := range hist {
+		num += (p.x - meanX) * (p.y - meanY)
+		den += (p.x - meanX) * (p.x - meanX)
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}

@@ -1,0 +1,29 @@
+package transport
+
+import (
+	"rem/internal/obs"
+)
+
+// Observe publishes one UE's finished transport flow to its telemetry
+// scope: the delivered/goodput/rebuffer metrics plus one
+// transport_stall_open/close event pair per link stall (open carries
+// the final RTO reached, close the stall duration). Nil-safe; stalls
+// are already in start order because down windows close in time order.
+func Observe(sc *obs.UEScope, tot Totals, stalls []Stall) {
+	if sc == nil {
+		return
+	}
+	sc.Shard.Counter(obs.MTPDelivered).Add(tot.DeliveredMbit)
+	sc.Shard.Histogram(obs.MTPGoodput).Observe(tot.GoodputMbps)
+	for i := 0; i < tot.Rebuffers; i++ {
+		sc.Shard.Counter(obs.MTPRebuffers).Inc()
+	}
+	n := sc.Shard.Counter(obs.MTPStalls)
+	h := sc.Shard.Histogram(obs.MTPStall)
+	for _, st := range stalls {
+		n.Inc()
+		h.Observe(st.Duration)
+		sc.Rec.Record(obs.Event{T: st.Start, Kind: obs.EvTPStallOpen, Value: st.FinalRTO})
+		sc.Rec.Record(obs.Event{T: st.Start + st.Duration, Kind: obs.EvTPStallClose, Value: st.Duration})
+	}
+}

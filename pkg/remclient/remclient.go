@@ -50,8 +50,14 @@ type Spec struct {
 	StartSpreadM    float64         `json:"start_spread_m,omitempty"`
 	SpeedJitterFrac float64         `json:"speed_jitter_frac,omitempty"`
 	Faults          json.RawMessage `json:"faults,omitempty"`
-	Telemetry       bool            `json:"telemetry,omitempty"`
-	Shards          int             `json:"shards,omitempty"`
+	// Transport arms the per-UE transport plane: a JSON transport spec
+	// ({"controller":"gcc","workload":"video",...}) passed through
+	// verbatim — the server validates it. Armed runs carry per-UE
+	// goodput/stall totals in the summary and a "Transport plane" table
+	// in the report.
+	Transport json.RawMessage `json:"transport,omitempty"`
+	Telemetry bool            `json:"telemetry,omitempty"`
+	Shards    int             `json:"shards,omitempty"`
 }
 
 // Run lifecycle states, as reported in Run.State.

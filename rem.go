@@ -20,6 +20,7 @@ import (
 	"rem/internal/sim"
 	"rem/internal/tcpsim"
 	"rem/internal/trace"
+	"rem/internal/transport"
 )
 
 // Re-exported core types. The internal packages remain the
@@ -73,6 +74,19 @@ type (
 	Report = eval.Report
 	// TCPStall is one TCP stall event across a radio outage.
 	TCPStall = tcpsim.Stall
+	// TransportSpec arms and configures the per-UE transport plane: a
+	// delay-based congestion controller (gcc or bbr) driving a video,
+	// bulk or web workload over the UE's simulated radio link.
+	TransportSpec = transport.Spec
+	// TransportTotals is one flow's per-run transport accounting
+	// (delivered bytes, goodput, stall and rebuffer time).
+	TransportTotals = transport.Totals
+	// TransportStall is one transport-plane stall across a link-down
+	// window (the tcpsim RTO model replayed inside the new plane).
+	TransportStall = transport.Stall
+	// FleetTransportSummary is the fleet-wide transport aggregate
+	// attached to FleetSummary when a run arms the plane.
+	FleetTransportSummary = fleet.TransportSummary
 	// RangeObservation is one base station's delay-Doppler geometry
 	// reading (paper §10: delay-Doppler based localization).
 	RangeObservation = locate.RangeObservation
@@ -180,6 +194,13 @@ type ScenarioConfig struct {
 	// Faults arms the deterministic fault plane (nil = disabled; the
 	// run is then byte-identical to one without the fault plane).
 	Faults *FaultPlan
+	// Transport arms the per-UE transport plane (nil = disabled). An
+	// armed scenario records per-interval link-down fractions during
+	// the mobility replay — recording draws no randomness, so a
+	// disarmed run stays byte-identical to pre-transport builds — and
+	// ReplayTransport then steps the configured flow over the recorded
+	// link trace.
+	Transport *TransportSpec
 }
 
 // DescribeDataset returns a dataset's calibrated descriptor.
@@ -226,12 +247,13 @@ func Datasets() []Dataset { return trace.All() }
 // for REM modes), measurement schedule and signaling transport.
 func BuildScenario(cfg ScenarioConfig) (*Built, error) {
 	return trace.Build(trace.BuildConfig{
-		Dataset:  trace.Describe(cfg.Dataset),
-		SpeedKmh: cfg.SpeedKmh,
-		Mode:     cfg.Mode,
-		Duration: cfg.Duration,
-		Seed:     cfg.Seed,
-		Faults:   cfg.Faults,
+		Dataset:   trace.Describe(cfg.Dataset),
+		SpeedKmh:  cfg.SpeedKmh,
+		Mode:      cfg.Mode,
+		Duration:  cfg.Duration,
+		Seed:      cfg.Seed,
+		Faults:    cfg.Faults,
+		Transport: cfg.Transport,
 	})
 }
 
@@ -271,6 +293,31 @@ func ObserveTCPStalls(tel *Telemetry, scope int, res *Result) {
 		outs[i] = tcpsim.Outage{Start: o.Start, Duration: o.Duration}
 	}
 	tcpsim.ObserveStalls(tel.Scope(scope), tcpsim.Replay(outs, tcpsim.DefaultConfig()).Stalls)
+}
+
+// ReplayTransport steps a congestion-controlled flow over a finished
+// run's recorded link trace and returns its totals and stall events.
+// The scenario must have been built with ScenarioConfig.Transport set
+// (which arms link-trace recording); the flow's randomness comes from
+// the scenario's own "transport.link" stream, so the result depends
+// only on (config, seed). Returns nil totals when the run recorded no
+// link trace.
+func ReplayTransport(spec TransportSpec, b *Built, res *Result) (*TransportTotals, []TransportStall, error) {
+	if b == nil || res == nil || len(res.LinkDown) == 0 {
+		return nil, nil, nil
+	}
+	spec = spec.Defaulted()
+	if err := spec.Validate(); err != nil {
+		return nil, nil, err
+	}
+	rng := b.Streams.StreamBudget(transport.StreamLink, transport.DrawBudget(b.Scenario.Duration))
+	ue := transport.NewUE(spec, rng)
+	for k, down := range res.LinkDown {
+		ue.Step(res.SNRTrace[k], down)
+	}
+	ue.Finish()
+	tot := ue.Totals()
+	return &tot, ue.Stalls(), nil
 }
 
 // NewTelemetry returns an armed observability plane. Pass a zero
